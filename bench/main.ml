@@ -1,0 +1,244 @@
+(* Benchmark harness.
+
+   Two layers, both driven from this one executable:
+
+   - micro-benchmarks (Bechamel, one [Test.make] per substrate operation:
+     hashing, signatures, block construction, DAG queries, CSM
+     application, reconciliation) — the cost model behind the paper's
+     "low-power" claim;
+   - the macro experiment tables E1-E11 (one per paper figure/claim/
+     substrate, see DESIGN.md §5), run in quick mode.
+     `bin/experiments.exe` runs the same tables with full parameters.
+
+   Usage:
+     dune exec bench/main.exe                micro + quick experiments
+     dune exec bench/main.exe -- micro       micro benchmarks only
+     dune exec bench/main.exe -- experiments quick experiment tables only *)
+
+open Bechamel
+open Toolkit
+module V = Vegvisir
+module Crypto = Vegvisir_crypto
+module Value = Vegvisir_crdt.Value
+module Schema = Vegvisir_crdt.Schema
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures (built once, outside the timed regions)                     *)
+
+let payload_64 = String.make 64 'x'
+let payload_4k = String.make 4096 'x'
+
+let wots_params = Crypto.Wots.params ()
+let wots_sk, wots_pk = Crypto.Wots.derive wots_params ~seed:"bench-wots"
+let wots_sig = Crypto.Wots.sign wots_sk "bench message"
+
+let mss_pk = snd (Crypto.Mss.generate ~height:8 ~seed:"bench-mss-verify" ())
+
+let mss_sig =
+  let sk, _ = Crypto.Mss.generate ~height:8 ~seed:"bench-mss-verify" () in
+  Crypto.Mss.sign sk "bench message"
+
+(* A fresh exhaustible key per run would distort the numbers; signing is
+   benchmarked over a large key consumed leaf by leaf. *)
+let mss_signing_key =
+  fst (Crypto.Mss.generate ~height:14 ~seed:"bench-mss-sign" ())
+
+let signer = V.Signer.oracle ~signature_size:64 ~id:"bench" ()
+let cert = V.Certificate.self_signed ~signer ~role:"ca"
+let log_spec = Schema.spec Schema.Gset Value.T_string
+
+let genesis =
+  V.Node.genesis_block ~signer ~cert ~timestamp:(V.Timestamp.of_ms 0L)
+    ~extra:[ V.Transaction.create_crdt ~name:"log" log_spec ]
+    ()
+
+let tx n = V.Transaction.make ~crdt:"log" ~op:"add" [ Value.String ("e" ^ string_of_int n) ]
+
+(* A linear chain of [n] blocks over the genesis. *)
+let chain_dag n =
+  let dag = ref (Result.get_ok (V.Dag.add V.Dag.empty genesis)) in
+  let parent = ref genesis.V.Block.hash in
+  for i = 1 to n do
+    let b =
+      V.Block.create ~signer ~creator:cert.V.Certificate.user_id
+        ~timestamp:(V.Timestamp.of_ms (Int64.of_int (i * 10)))
+        ~parents:[ !parent ] [ tx i ]
+    in
+    dag := Result.get_ok (V.Dag.add !dag b);
+    parent := b.V.Block.hash
+  done;
+  !dag
+
+let dag_1k = chain_dag 1000
+let dag_16 = chain_dag 16
+let dag_genesis_only = Result.get_ok (V.Dag.add V.Dag.empty genesis)
+
+let block_for_decode =
+  V.Block.create ~signer ~creator:cert.V.Certificate.user_id
+    ~timestamp:(V.Timestamp.of_ms 10L)
+    ~parents:[ genesis.V.Block.hash ]
+    [ tx 1; tx 2; tx 3 ]
+
+let block_raw = V.Block.to_string block_for_decode
+
+let csm_after_genesis = fst (V.Csm.apply_block V.Csm.empty genesis)
+
+let value_sample =
+  Value.List
+    [
+      Value.Pair (Value.String "key", Value.Int 42);
+      Value.Bytes (String.make 64 '\x7f');
+      Value.List [ Value.Bool true; Value.Float 3.14 ];
+    ]
+
+let value_raw = Value.to_string value_sample
+
+(* ------------------------------------------------------------------ *)
+(* Micro benchmark definitions (M1-M7 in DESIGN.md)                     *)
+
+let stage = Staged.stage
+
+let tests =
+  [
+    Test.make_grouped ~name:"M1-sha256"
+      [
+        Test.make ~name:"64B" (stage (fun () -> Crypto.Sha256.digest payload_64));
+        Test.make ~name:"4KB" (stage (fun () -> Crypto.Sha256.digest payload_4k));
+        Test.make ~name:"hmac-64B"
+          (stage (fun () -> Crypto.Sha256.hmac ~key:"k" payload_64));
+      ];
+    Test.make_grouped ~name:"M2-signatures"
+      [
+        Test.make ~name:"wots-sign" (stage (fun () -> Crypto.Wots.sign wots_sk payload_64));
+        Test.make ~name:"wots-verify"
+          (stage (fun () -> Crypto.Wots.verify wots_params wots_pk "bench message" wots_sig));
+        Test.make ~name:"mss-sign"
+          (stage (fun () -> Crypto.Mss.sign mss_signing_key payload_64));
+        Test.make ~name:"mss-verify"
+          (stage (fun () -> Crypto.Mss.verify mss_pk "bench message" mss_sig));
+      ];
+    Test.make_grouped ~name:"M3-blocks"
+      [
+        Test.make ~name:"create+sign+hash"
+          (stage (fun () ->
+               V.Block.create ~signer ~creator:cert.V.Certificate.user_id
+                 ~timestamp:(V.Timestamp.of_ms 10L)
+                 ~parents:[ genesis.V.Block.hash ]
+                 [ tx 1 ]));
+        Test.make ~name:"decode" (stage (fun () -> V.Block.of_string block_raw));
+        Test.make ~name:"value-encode" (stage (fun () -> Value.to_string value_sample));
+        Test.make ~name:"value-decode" (stage (fun () -> Value.of_string value_raw));
+      ];
+    Test.make_grouped ~name:"M4-dag"
+      [
+        Test.make ~name:"add-block"
+          (stage (fun () ->
+               V.Dag.add dag_genesis_only
+                 (V.Block.create ~signer ~creator:cert.V.Certificate.user_id
+                    ~timestamp:(V.Timestamp.of_ms 10L)
+                    ~parents:[ genesis.V.Block.hash ]
+                    [])));
+        Test.make ~name:"frontier-1k" (stage (fun () -> V.Dag.frontier dag_1k));
+        Test.make ~name:"level-frontier-8-of-1k"
+          (stage (fun () -> V.Dag.level_frontier dag_1k 8));
+        Test.make ~name:"ancestors-1k"
+          (stage (fun () ->
+               V.Dag.ancestors dag_1k
+                 (V.Hash_id.Set.choose (V.Dag.frontier dag_1k))));
+        Test.make ~name:"topo-order-1k" (stage (fun () -> V.Dag.topo_order dag_1k));
+      ];
+    Test.make_grouped ~name:"M5-crdt"
+      [
+        Test.make ~name:"bloom-add"
+          (stage
+             (let bloom = Crypto.Bloom.create ~expected:1000 ~fp_rate:0.01 in
+              fun () -> Crypto.Bloom.add bloom payload_64));
+        Test.make ~name:"bloom-mem"
+          (stage
+             (let bloom = Crypto.Bloom.create ~expected:1000 ~fp_rate:0.01 in
+              Crypto.Bloom.add bloom payload_64;
+              fun () -> Crypto.Bloom.mem bloom payload_64));
+        Test.make ~name:"rga-insert-100th"
+          (stage
+             (let rga = ref Vegvisir_crdt.Rga.empty in
+              let anchor = ref Vegvisir_crdt.Rga.head in
+              for i = 1 to 100 do
+                let id = Printf.sprintf "id-%d" i in
+                rga := Vegvisir_crdt.Rga.insert ~anchor:!anchor ~id
+                    (Value.String "x") !rga;
+                anchor := id
+              done;
+              let n = ref 0 in
+              fun () ->
+                incr n;
+                Vegvisir_crdt.Rga.insert ~anchor:!anchor
+                  ~id:(Printf.sprintf "bench-%d" !n) (Value.String "y") !rga));
+        Test.make ~name:"rga-to-list-100"
+          (stage
+             (let rga = ref Vegvisir_crdt.Rga.empty in
+              let anchor = ref Vegvisir_crdt.Rga.head in
+              for i = 1 to 100 do
+                let id = Printf.sprintf "id-%d" i in
+                rga := Vegvisir_crdt.Rga.insert ~anchor:!anchor ~id
+                    (Value.String "x") !rga;
+                anchor := id
+              done;
+              fun () -> Vegvisir_crdt.Rga.to_list !rga));
+      ];
+    Test.make_grouped ~name:"M6-csm"
+      [
+        Test.make ~name:"apply-3tx-block"
+          (stage (fun () -> V.Csm.apply_block csm_after_genesis block_for_decode));
+      ];
+    Test.make_grouped ~name:"M7-reconcile"
+      [
+        Test.make ~name:"naive-depth16"
+          (stage (fun () -> V.Reconcile.sync_dags `Naive dag_genesis_only dag_16));
+        Test.make ~name:"indexed-depth16"
+          (stage (fun () -> V.Reconcile.sync_dags `Indexed dag_genesis_only dag_16));
+        Test.make ~name:"bloom-depth16"
+          (stage (fun () -> V.Reconcile.sync_dags `Bloom dag_genesis_only dag_16));
+        Test.make ~name:"respond-frontier-1k"
+          (stage (fun () ->
+               V.Reconcile.respond dag_1k (V.Reconcile.Frontier_request { level = 4 })));
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner: OLS estimate of ns/run per test, plain-text table            *)
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+      List.iter
+        (fun (name, r) ->
+          let ns =
+            match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+          in
+          let r2 = Option.value (Analyze.OLS.r_square r) ~default:nan in
+          Printf.printf "  %-42s %14.1f ns/run   (r2=%.3f)\n" name ns r2)
+        (List.sort compare rows))
+    tests;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let micro_only = List.mem "micro" args in
+  let experiments_only = List.mem "experiments" args in
+  if not experiments_only then run_micro ();
+  if not micro_only then begin
+    print_endline
+      "== Evaluation experiments (quick mode; bin/experiments.exe for full sweeps) ==";
+    Vegvisir_experiments.All.run_all ~quick:true ()
+  end

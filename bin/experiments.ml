@@ -1,0 +1,39 @@
+(* Experiment driver: regenerates every evaluation table.
+
+   Usage:
+     experiments                 run everything (full parameters)
+     experiments --quick         run everything at reduced scale
+     experiments e2 e4           run a subset *)
+
+open Cmdliner
+
+let run quick ids =
+  match ids with
+  | [] ->
+    Vegvisir_experiments.All.run_all ~quick ();
+    `Ok ()
+  | ids ->
+    let bad =
+      List.filter
+        (fun id -> not (Vegvisir_experiments.All.run_one ~quick id))
+        ids
+    in
+    if bad = [] then `Ok ()
+    else
+      `Error
+        (false, Printf.sprintf "unknown experiment id(s): %s" (String.concat ", " bad))
+
+let quick =
+  let doc = "Reduced durations and sweeps (same shapes, less wall time)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let ids =
+  let doc = "Experiment ids to run (e1..e8). Default: all." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let cmd =
+  let doc = "Vegvisir evaluation experiments (E1-E8)" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(ret (const run $ quick $ ids))
+
+let () = exit (Cmd.eval cmd)

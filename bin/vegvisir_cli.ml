@@ -1,0 +1,188 @@
+(* vegvisir-cli: a file-backed Vegvisir node.
+
+   Each directory is one participant: its DAG replica, key state, and
+   certificates. Typical session:
+
+     vegvisir-cli init   --dir alice --seed alice-secret --crdt log
+     vegvisir-cli enroll --ca-dir alice --dir bob --seed bob-secret --role member
+     vegvisir-cli append --dir bob --crdt log --value "hello from bob"
+     vegvisir-cli sync   --dir alice --from bob
+     vegvisir-cli show   --dir alice
+     vegvisir-cli verify --dir alice
+     vegvisir-cli export-dot --dir alice > chain.dot *)
+
+open Cmdliner
+module Value = Vegvisir_crdt.Value
+module Schema = Vegvisir_crdt.Schema
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 1
+
+let dir_arg =
+  Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc:"Node directory.")
+
+let seed_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Secret key seed (keep it safe).")
+
+let init_cmd =
+  let crdts =
+    Arg.(
+      value & opt_all string []
+      & info [ "crdt" ] ~docv:"NAME"
+          ~doc:"Create a grow-only string-set CRDT with this name in the genesis. Repeatable.")
+  in
+  let role = Arg.(value & opt string "ca" & info [ "role" ] ~doc:"Owner role.") in
+  let run dir seed crdts role =
+    let init_crdts =
+      List.map (fun name -> (name, Schema.spec Schema.Gset Value.T_string)) crdts
+    in
+    let t = or_die (Vegvisir_cli.Node_store.init ~dir ~seed ~role ~init_crdts ()) in
+    Printf.printf "initialized %s\n%s" dir (Vegvisir_cli.Node_store.summary t)
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create a new blockchain; this directory becomes the owner/CA.")
+    Term.(const run $ dir_arg $ seed_arg $ crdts $ role)
+
+let enroll_cmd =
+  let ca_dir =
+    Arg.(
+      required & opt (some string) None
+      & info [ "ca-dir" ] ~docv:"DIR" ~doc:"The owner/CA's node directory.")
+  in
+  let role = Arg.(value & opt string "member" & info [ "role" ] ~doc:"Member role.") in
+  let run ca_dir dir seed role =
+    let t = or_die (Vegvisir_cli.Node_store.enroll ~ca_dir ~dir ~seed ~role ()) in
+    Printf.printf "enrolled %s\n%s" dir (Vegvisir_cli.Node_store.summary t)
+  in
+  Cmd.v
+    (Cmd.info "enroll" ~doc:"Issue a certificate for a new member and seed its replica.")
+    Term.(const run $ ca_dir $ dir_arg $ seed_arg $ role)
+
+let append_cmd =
+  let crdt = Arg.(value & opt string "log" & info [ "crdt" ] ~doc:"Target CRDT.") in
+  let op = Arg.(value & opt string "add" & info [ "op" ] ~doc:"Operation.") in
+  let value =
+    Arg.(
+      required & opt (some string) None
+      & info [ "value" ] ~docv:"STRING" ~doc:"String argument of the operation.")
+  in
+  let run dir crdt op value =
+    let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
+    let block =
+      or_die (Vegvisir_cli.Node_store.append t ~crdt ~op [ Value.String value ])
+    in
+    Printf.printf "appended block %s\n" (Vegvisir.Hash_id.short block.Vegvisir.Block.hash)
+  in
+  Cmd.v
+    (Cmd.info "append" ~doc:"Append a transaction in a new block (parents = frontier).")
+    Term.(const run $ dir_arg $ crdt $ op $ value)
+
+let sync_cmd =
+  let from =
+    Arg.(
+      required & opt (some string) None
+      & info [ "from" ] ~docv:"DIR" ~doc:"Directory of the node to pull from.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("naive", `Naive); ("indexed", `Indexed); ("bloom", `Bloom) ]) `Naive
+      & info [ "mode" ] ~docv:"PROTOCOL"
+          ~doc:"Reconciliation protocol: naive (Algorithm 1), indexed, or bloom.")
+  in
+  let run dir from mode =
+    let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
+    let src = or_die (Vegvisir_cli.Node_store.load ~dir:from) in
+    let stats = Vegvisir_cli.Node_store.sync t ~from:src ~mode in
+    Printf.printf "pulled %d block(s) in %d round(s), %d bytes on the wire\n"
+      stats.Vegvisir.Reconcile.blocks_received stats.Vegvisir.Reconcile.rounds
+      (stats.Vegvisir.Reconcile.bytes_sent + stats.Vegvisir.Reconcile.bytes_received)
+  in
+  Cmd.v
+    (Cmd.info "sync" ~doc:"Pull missing blocks from another node directory (Algorithm 1).")
+    Term.(const run $ dir_arg $ from $ mode)
+
+let show_cmd =
+  let run dir =
+    let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
+    print_string (Vegvisir_cli.Node_store.summary t)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print the node's status and CRDT contents.")
+    Term.(const run $ dir_arg)
+
+let verify_cmd =
+  let run dir =
+    let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
+    let n = or_die (Vegvisir_cli.Node_store.verify t) in
+    Printf.printf "ok: %d block(s) revalidated from the genesis\n" n
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Revalidate every block against the SIV-E checks.")
+    Term.(const run $ dir_arg)
+
+let rotate_cmd =
+  let ca_dir =
+    Arg.(
+      required & opt (some string) None
+      & info [ "ca-dir" ] ~docv:"DIR" ~doc:"The owner/CA's node directory.")
+  in
+  let run ca_dir dir seed =
+    let t = or_die (Vegvisir_cli.Node_store.rotate ~ca_dir ~dir ~seed ()) in
+    Printf.printf "rotated key for %s; signatures remaining: %s
+" dir
+      (match Vegvisir_cli.Node_store.remaining_signatures t with
+      | Some n -> string_of_int n
+      | None -> "unbounded")
+  in
+  Cmd.v
+    (Cmd.info "rotate"
+       ~doc:"Switch to a fresh key before the hash-based key is exhausted.")
+    Term.(const run $ ca_dir $ dir_arg $ seed_arg)
+
+let simulate_cmd =
+  let file =
+    Arg.(
+      required & opt (some string) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"Scenario script (see examples/scenarios/).")
+  in
+  let run file =
+    let text = In_channel.with_open_bin file In_channel.input_all in
+    match Vegvisir_net.Script.parse text with
+    | Error msg ->
+      prerr_endline ("parse error: " ^ msg);
+      exit 1
+    | Ok scenario -> begin
+      match Vegvisir_net.Script.run scenario with
+      | Ok report -> print_string report
+      | Error msg ->
+        prerr_endline msg;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a declarative simulation scenario file.")
+    Term.(const run $ file)
+
+let export_dot_cmd =
+  let run dir =
+    let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
+    print_string (Vegvisir_cli.Node_store.export_dot t)
+  in
+  Cmd.v (Cmd.info "export-dot" ~doc:"Print the DAG in Graphviz format.")
+    Term.(const run $ dir_arg)
+
+let () =
+  let info =
+    Cmd.info "vegvisir-cli" ~doc:"File-backed Vegvisir blockchain nodes"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ init_cmd; enroll_cmd; append_cmd; sync_cmd; show_cmd; verify_cmd;
+            export_dot_cmd; simulate_cmd; rotate_cmd ]))

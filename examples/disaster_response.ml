@@ -1,0 +1,174 @@
+(* Disaster response (paper §II-A): use-based privacy for health records.
+
+   Emergency responders form an ad hoc network after infrastructure loss.
+   Medics may request access to sensitive health records; every request
+   must be persisted on the tamperproof log BEFORE the record is released,
+   and release additionally waits for a proof-of-witness (k nearby peers
+   hold the request). After the emergency, the log is audited; a rogue
+   medic who browsed a celebrity's record is identified and revoked.
+
+   Run with: dune exec examples/disaster_response.exe *)
+
+open Vegvisir_net
+module V = Vegvisir
+module Value = Vegvisir_crdt.Value
+module Schema = Vegvisir_crdt.Schema
+
+let n = 8
+let k_witness = 2
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n")
+
+(* Access-control: only medics may add access requests; everyone reads. *)
+let requests_spec =
+  Schema.spec
+    ~perms:[ ("add", [ "medic" ]) ]
+    Schema.Gset
+    Value.(T_pair (T_string, T_string)) (* (medic-id, record-id) *)
+
+let () =
+  step "1. The coordinator bootstraps the responder blockchain";
+  let role_of i = if i = 0 then "ca" else if i <= 5 then "medic" else "logistics" in
+  let topo =
+    Topology.random_uniform (Vegvisir_crypto.Rng.create 2024L) ~n ~area:100.
+      ~range:60.
+  in
+  let fleet =
+    Scenario.build ~seed:8L ~topo ~role_of
+      ~init_crdts:[ ("requests", requests_spec) ]
+      ()
+  in
+  let g = fleet.Scenario.gossip in
+  Printf.printf "%d responders enrolled; roles: 1 coordinator, 5 medics, 2 logistics\n" n;
+  Scenario.run fleet ~until_ms:3_000.;
+
+  step "2. Cell towers fail: the network partitions into two field teams";
+  Topology.set_partition (Simnet.topo fleet.Scenario.net)
+    (Some (Array.init n (fun i -> i mod 2)));
+
+  step "3. Medics request record access from both sides of the partition";
+  let request medic record =
+    let node = Gossip.node g medic in
+    let medic_id = V.Hash_id.to_hex (V.Node.user_id node) in
+    match
+      V.Node.prepare_transaction node ~crdt:"requests" ~op:"add"
+        [ Value.Pair (Value.String medic_id, Value.String record) ]
+    with
+    | Error e -> Fmt.failwith "prepare: %s" (Schema.error_to_string e)
+    | Ok tx -> begin
+      match Gossip.append g medic [ tx ] with
+      | Ok b ->
+        Printf.printf "medic %d requested %-26s (block %s)\n" medic record
+          (V.Hash_id.short b.V.Block.hash);
+        b.V.Block.hash
+      | Error e -> Fmt.failwith "append: %a" V.Node.pp_append_error e
+    end
+  in
+  let r1 = request 1 "patient-907/allergies" in
+  let r2 = request 2 "patient-113/medications" in
+  let _rogue_request = request 3 "celebrity-001/full-history" in
+
+  step "4. A logistics member tries to add a request: rejected by role";
+  (match
+     V.Node.prepare_transaction (Gossip.node g 6) ~crdt:"requests" ~op:"add"
+       [ Value.Pair (Value.String "x", Value.String "y") ]
+   with
+  | Error e -> Printf.printf "prepare failed: %s\n" (Schema.error_to_string e)
+  | Ok tx -> begin
+    (* The block is accepted (logistics IS a member) but the transaction
+       inside is a deterministic no-op at every replica: role 'logistics'
+       may not perform 'add' on this CRDT. *)
+    ignore (Gossip.append g 6 [ tx ]);
+    Scenario.run fleet ~until_ms:(Simnet.now fleet.Scenario.net +. 5_000.);
+    match
+      V.Csm.query (V.Node.csm (Gossip.node g 6)) ~crdt:"requests" ~op:"mem"
+        [ Value.Pair (Value.String "x", Value.String "y") ]
+    with
+    | Ok (Value.Bool b) ->
+      Printf.printf "logistics request applied anywhere: %b (expected false)\n" b;
+      assert (not b)
+    | _ -> assert false
+  end);
+
+  step "5. Records are released only after proof-of-witness (k = %d)" k_witness;
+  let wait_for_proof medic h =
+    let t0 = Simnet.now fleet.Scenario.net in
+    let released = ref None in
+    while !released = None && Simnet.now fleet.Scenario.net -. t0 < 120_000. do
+      Scenario.run fleet ~until_ms:(Simnet.now fleet.Scenario.net +. 1_000.);
+      (* Peers witness what they see (empty blocks, §IV-H). *)
+      for i = 0 to n - 1 do
+        if i <> medic && V.Dag.mem (V.Node.dag (Gossip.node g i)) h then
+          if V.Witness.witness_count (V.Node.dag (Gossip.node g i)) h = 0 then
+            ignore (Gossip.witness g i)
+      done;
+      if V.Witness.has_proof (V.Node.dag (Gossip.node g medic)) h ~k:k_witness then
+        released := Some (Simnet.now fleet.Scenario.net -. t0)
+    done;
+    match !released with
+    | Some dt ->
+      Printf.printf "record for request %s released after %.1f s (proof-of-witness)\n"
+        (V.Hash_id.short h) (dt /. 1000.)
+    | None -> Printf.printf "request %s not witnessed in time\n" (V.Hash_id.short h)
+  in
+  wait_for_proof 1 r1;
+  wait_for_proof 2 r2;
+
+  step "6. Partition heals; the audit sees requests from both teams";
+  Topology.set_partition (Simnet.topo fleet.Scenario.net) None;
+  let converge deadline =
+    while
+      (not (Gossip.honest_converged g)) && Simnet.now fleet.Scenario.net < deadline
+    do
+      Scenario.run fleet ~until_ms:(Simnet.now fleet.Scenario.net +. 5_000.)
+    done
+  in
+  converge (Simnet.now fleet.Scenario.net +. 600_000.);
+  Printf.printf "fleet converged: %b\n" (Gossip.honest_converged g);
+  (match
+     V.Csm.query (V.Node.csm (Gossip.node g 0)) ~crdt:"requests" ~op:"elements" []
+   with
+  | Ok (Value.List entries) ->
+    Printf.printf "audit log (%d request(s)):\n" (List.length entries);
+    List.iter
+      (function
+        | Value.Pair (Value.String medic, Value.String record) ->
+          Printf.printf "  %s... accessed %s\n" (String.sub medic 0 8) record
+        | v -> Fmt.pr "  %a@." Value.pp v)
+      entries
+  | _ -> assert false);
+
+  step "7. The rogue medic is identified and revoked by the CA";
+  let rogue_cert = fleet.Scenario.certs.(3) in
+  (match Gossip.append g 0 [ V.Transaction.revoke_user rogue_cert ] with
+  | Ok _ -> ()
+  | Error e -> Fmt.failwith "revoke: %a" V.Node.pp_append_error e);
+  converge (Simnet.now fleet.Scenario.net +. 300_000.);
+  (* New blocks from the revoked medic are rejected — the medic's own
+     replica already refuses to extend the chain it knows it is revoked on. *)
+  let node3 = Gossip.node g 3 in
+  let rejected =
+    match
+      V.Node.prepare_transaction node3 ~crdt:"requests" ~op:"add"
+        [
+          Value.Pair
+            ( Value.String (V.Hash_id.to_hex (V.Node.user_id node3)),
+              Value.String "patient-555/anything" );
+        ]
+    with
+    | Error _ -> true
+    | Ok tx -> begin
+      match Gossip.append g 3 [ tx ] with
+      | Error (V.Node.Self_rejected V.Validation.Revoked_creator) -> true
+      | Ok _ | Error _ -> false
+    end
+  in
+  Printf.printf "rogue medic's new request rejected: %b\n" rejected;
+  assert rejected;
+  (* The rogue's earlier request REMAINS on the log: tamperproofness. *)
+  (match
+     V.Csm.query (V.Node.csm (Gossip.node g 0)) ~crdt:"requests" ~op:"size" []
+   with
+  | Ok (Value.Int sz) ->
+    Printf.printf "audit log still holds all %d requests (tamperproof)\n" sz
+  | _ -> assert false);
+  print_endline "\ndisaster-response example OK"

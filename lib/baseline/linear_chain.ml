@@ -1,0 +1,91 @@
+module Hash_id = Vegvisir.Hash_id
+module HMap = Hash_id.Map
+
+type block = {
+  prev : Hash_id.t;
+  height : int;
+  miner : int;
+  timestamp : float;
+  txs : string list;
+  nonce : int;
+  hash : Hash_id.t;
+}
+
+let genesis_hash = Hash_id.digest "baseline-genesis"
+
+let block_hash ~prev ~height ~miner ~timestamp ~txs ~nonce =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "baseline-block-v1";
+  Buffer.add_string b (Hash_id.to_raw prev);
+  Buffer.add_string b (string_of_int height);
+  Buffer.add_string b (string_of_int miner);
+  Buffer.add_string b (Printf.sprintf "%.6f" timestamp);
+  List.iter (Buffer.add_string b) txs;
+  Buffer.add_string b (string_of_int nonce);
+  Hash_id.digest (Buffer.contents b)
+
+let make_block ~prev ~height ~miner ~timestamp ~txs ~nonce =
+  {
+    prev;
+    height;
+    miner;
+    timestamp;
+    txs;
+    nonce;
+    hash = block_hash ~prev ~height ~miner ~timestamp ~txs ~nonce;
+  }
+
+type t = {
+  mutable blocks : block HMap.t;
+  mutable tip : Hash_id.t;
+  mutable tip_height : int;
+  mutable reorgs : int;
+}
+
+let create () =
+  { blocks = HMap.empty; tip = genesis_hash; tip_height = 0; reorgs = 0 }
+
+let tip t = t.tip
+let tip_height t = t.tip_height
+let mem t h = Hash_id.equal h genesis_hash || HMap.mem h t.blocks
+let find t h = HMap.find_opt h t.blocks
+
+let add t (b : block) =
+  if HMap.mem b.hash t.blocks then `Duplicate
+  else if not (mem t b.prev) then `Orphan
+  else begin
+    let parent_height =
+      if Hash_id.equal b.prev genesis_hash then 0
+      else (HMap.find b.prev t.blocks).height
+    in
+    if b.height <> parent_height + 1 then `Orphan
+    else begin
+      t.blocks <- HMap.add b.hash b t.blocks;
+      if b.height > t.tip_height then begin
+        let extends_tip = Hash_id.equal b.prev t.tip in
+        t.tip <- b.hash;
+        t.tip_height <- b.height;
+        if extends_tip then `Extended
+        else begin
+          t.reorgs <- t.reorgs + 1;
+          `Reorged
+        end
+      end
+      else `Stored
+    end
+  end
+
+let main_chain t =
+  let rec go cur acc =
+    if Hash_id.equal cur genesis_hash then acc
+    else
+      match HMap.find_opt cur t.blocks with
+      | None -> acc
+      | Some b -> go b.prev (b :: acc)
+  in
+  go t.tip []
+
+let canonical_txs t = List.concat_map (fun b -> b.txs) (main_chain t)
+let block_count t = HMap.cardinal t.blocks
+let discarded_count t = block_count t - List.length (main_chain t)
+let reorg_count t = t.reorgs

@@ -1,0 +1,60 @@
+(** A Nakamoto-style linear blockchain with longest-chain fork resolution.
+
+    The comparison baseline: forks are {e resolved}, not embraced — when a
+    longer chain arrives, blocks on the losing branch (and the
+    transactions inside them) are discarded from the canonical history.
+    Under partitions each side extends its own branch and, on heal, one
+    side's work is thrown away: exactly the behaviour Vegvisir's DAG
+    avoids (§I, §IV-C). *)
+
+type block = private {
+  prev : Vegvisir.Hash_id.t;
+  height : int;
+  miner : int;
+  timestamp : float;
+  txs : string list;
+  nonce : int;
+  hash : Vegvisir.Hash_id.t;
+}
+
+type t
+
+val create : unit -> t
+(** Holds an implicit genesis at height 0. *)
+
+val genesis_hash : Vegvisir.Hash_id.t
+
+val make_block :
+  prev:Vegvisir.Hash_id.t ->
+  height:int ->
+  miner:int ->
+  timestamp:float ->
+  txs:string list ->
+  nonce:int ->
+  block
+
+val tip : t -> Vegvisir.Hash_id.t
+val tip_height : t -> int
+
+val add : t -> block -> [ `Extended | `Stored | `Reorged | `Duplicate | `Orphan ]
+(** [`Extended]: the block extends the current tip. [`Reorged]: it made a
+    different branch the longest — the tip switches and the old branch's
+    blocks leave the canonical chain. [`Stored]: on a losing branch.
+    [`Orphan]: parent unknown (buffered by the caller, not here). *)
+
+val mem : t -> Vegvisir.Hash_id.t -> bool
+val find : t -> Vegvisir.Hash_id.t -> block option
+val main_chain : t -> block list
+(** Genesis side first, excluding the implicit genesis. *)
+
+val canonical_txs : t -> string list
+(** Transactions on the main chain, in order. *)
+
+val block_count : t -> int
+(** All blocks ever stored (including discarded branches). *)
+
+val discarded_count : t -> int
+(** Blocks stored but not on the main chain — work thrown away. *)
+
+val reorg_count : t -> int
+(** How many times the tip switched branches. *)

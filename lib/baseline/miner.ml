@@ -1,0 +1,156 @@
+open Vegvisir_net
+module Rng = Vegvisir_crypto.Rng
+module Hash_id = Vegvisir.Hash_id
+module Wire = Vegvisir.Wire
+
+type t = {
+  net : Simnet.t;
+  chains : Linear_chain.t array;
+  mempool : string list array;
+  orphans : Linear_chain.block list array;
+  params : Pow.params;
+  mean_find_interval_ms : float;
+  mutable mined : int;
+  mutable attempts : int;
+}
+
+let create ~net ?(difficulty_bits = 20) ?(mean_find_interval_ms = 10_000.) () =
+  let n = Topology.size (Simnet.topo net) in
+  {
+    net;
+    chains = Array.init n (fun _ -> Linear_chain.create ());
+    mempool = Array.make n [];
+    orphans = Array.make n [];
+    params = { Pow.difficulty_bits };
+    mean_find_interval_ms;
+    mined = 0;
+    attempts = 0;
+  }
+
+(* Wire: 'B' <block> broadcasts a block; 'R' <hash> requests one (the
+   catch-up path after partitions: orphans trigger ancestor requests). *)
+let encode_block (b : Linear_chain.block) =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf 'B';
+  Wire.put_str buf (Hash_id.to_raw b.Linear_chain.prev);
+  Wire.put_u32 buf b.Linear_chain.height;
+  Wire.put_u32 buf b.Linear_chain.miner;
+  Wire.put_i64 buf (Int64.bits_of_float b.Linear_chain.timestamp);
+  Wire.put_list buf Wire.put_str b.Linear_chain.txs;
+  Wire.put_u32 buf b.Linear_chain.nonce;
+  Buffer.contents buf
+
+let encode_request h =
+  let buf = Buffer.create 40 in
+  Buffer.add_char buf 'R';
+  Wire.put_str buf (Hash_id.to_raw h);
+  Buffer.contents buf
+
+type wire_msg = Block of Linear_chain.block | Request of Hash_id.t
+
+let decode_msg s =
+  Wire.decode_string
+    (fun c ->
+      match Char.chr (Wire.get_u8 c) with
+      | 'B' ->
+        let prev = Hash_id.of_raw_exn (Wire.get_str c) in
+        let height = Wire.get_u32 c in
+        let miner = Wire.get_u32 c in
+        let timestamp = Int64.float_of_bits (Wire.get_i64 c) in
+        let txs = Wire.get_list c Wire.get_str in
+        let nonce = Wire.get_u32 c in
+        Block (Linear_chain.make_block ~prev ~height ~miner ~timestamp ~txs ~nonce)
+      | 'R' -> Request (Hash_id.of_raw_exn (Wire.get_str c))
+      | _ -> raise (Wire.Malformed "bad miner message tag"))
+    s
+
+let flood t ~me payload =
+  List.iter
+    (fun j -> Simnet.send t.net ~src:me ~dst:j payload)
+    (Topology.neighbors (Simnet.topo t.net) me)
+
+(* [from] is who delivered the block: orphans trigger an ancestor request
+   back to them, walking the fork until it connects (post-partition
+   catch-up). Locally mined blocks pass [from = None]. *)
+let rec absorb t ~me ?from (b : Linear_chain.block) =
+  match Linear_chain.add t.chains.(me) b with
+  | `Duplicate -> ()
+  | `Orphan ->
+    if
+      not
+        (List.exists
+           (fun o -> Hash_id.equal o.Linear_chain.hash b.Linear_chain.hash)
+           t.orphans.(me))
+      && List.length t.orphans.(me) < 1024
+    then begin
+      t.orphans.(me) <- b :: t.orphans.(me);
+      match from with
+      | Some peer ->
+        Simnet.send t.net ~src:me ~dst:peer (encode_request b.Linear_chain.prev)
+      | None -> ()
+    end
+  | `Extended | `Reorged | `Stored ->
+    flood t ~me (encode_block b);
+    (* Orphans may now connect. *)
+    let pending = t.orphans.(me) in
+    t.orphans.(me) <- [];
+    List.iter (fun ob -> absorb t ~me ?from ob) (List.rev pending)
+
+let mine t ~me =
+  let rng = Simnet.rng t.net in
+  let attempts = Pow.simulate_attempts rng t.params in
+  let meter = Simnet.meter t.net me in
+  meter.Energy.hashes <- meter.Energy.hashes + attempts;
+  t.attempts <- t.attempts + attempts;
+  t.mined <- t.mined + 1;
+  let chain = t.chains.(me) in
+  let b =
+    Linear_chain.make_block ~prev:(Linear_chain.tip chain)
+      ~height:(Linear_chain.tip_height chain + 1)
+      ~miner:me ~timestamp:(Simnet.now t.net) ~txs:(List.rev t.mempool.(me))
+      ~nonce:(Rng.int rng 1_000_000)
+  in
+  t.mempool.(me) <- [];
+  absorb t ~me b
+
+let exp_interval rng mean =
+  let u = Rng.float rng in
+  let u = if u >= 1. then Float.pred 1. else u in
+  -.mean *. log1p (-.u)
+
+let schedule_mine t ~me =
+  Simnet.set_timer t.net ~node:me
+    ~after:(exp_interval (Simnet.rng t.net) t.mean_find_interval_ms)
+    ~tag:"mine"
+
+let start t =
+  Simnet.set_handlers t.net
+    {
+      Simnet.on_message =
+        (fun ~me ~from payload ->
+          match decode_msg payload with
+          | Some (Block b) -> absorb t ~me ~from b
+          | Some (Request h) -> begin
+            match Linear_chain.find t.chains.(me) h with
+            | Some b -> Simnet.send t.net ~src:me ~dst:from (encode_block b)
+            | None -> ()
+          end
+          | None -> ());
+      on_timer =
+        (fun ~me ~tag ->
+          if String.equal tag "mine" then begin
+            mine t ~me;
+            schedule_mine t ~me
+          end);
+    };
+  Array.iteri (fun me _ -> schedule_mine t ~me) t.chains
+
+let submit_tx t i tx = t.mempool.(i) <- tx :: t.mempool.(i)
+let chain t i = t.chains.(i)
+let blocks_mined t = t.mined
+let total_hash_attempts t = t.attempts
+let canonical_tx_set t i = Linear_chain.canonical_txs t.chains.(i)
+
+let converged t =
+  let tip0 = Linear_chain.tip t.chains.(0) in
+  Array.for_all (fun c -> Hash_id.equal (Linear_chain.tip c) tip0) t.chains

@@ -1,0 +1,38 @@
+(** Nakamoto miner agents over the simulated network.
+
+    Each node mines independently: block finds arrive as a Poisson process
+    (exponential inter-find times), each find charges the energy meter
+    with a geometrically-sampled hash-attempt count, and found blocks are
+    flooded to neighbors. Longest chain wins; partitions therefore fork
+    the chain and healing discards one side's blocks — the baseline
+    behaviour Vegvisir's evaluation compares against. *)
+
+type t
+
+val create :
+  net:Vegvisir_net.Simnet.t ->
+  ?difficulty_bits:int ->
+  ?mean_find_interval_ms:float ->
+  unit ->
+  t
+(** One miner per topology node. [difficulty_bits] (default 20) sets the
+    hash-attempt cost of each find; [mean_find_interval_ms] (default
+    10_000) the per-miner find rate. *)
+
+val start : t -> unit
+(** Install handlers and schedule mining. *)
+
+val submit_tx : t -> int -> string -> unit
+(** Add a transaction to node [i]'s mempool; it is included in the next
+    block that node mines. *)
+
+val chain : t -> int -> Linear_chain.t
+val blocks_mined : t -> int
+val total_hash_attempts : t -> int
+(** Sum over all miners — the proof-of-work energy driver. *)
+
+val canonical_tx_set : t -> int -> string list
+(** Transactions on node [i]'s current main chain. *)
+
+val converged : t -> bool
+(** All miners agree on the tip. *)

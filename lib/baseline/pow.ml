@@ -1,0 +1,41 @@
+module Rng = Vegvisir_crypto.Rng
+module Sha256 = Vegvisir_crypto.Sha256
+
+type params = { difficulty_bits : int }
+
+let expected_attempts p = 2. ** float_of_int p.difficulty_bits
+
+let simulate_attempts rng p =
+  let prob = 1. /. expected_attempts p in
+  let u = Rng.float rng in
+  (* Geometric via inverse CDF; clamp to avoid log 0. *)
+  let u = if u >= 1. then Float.pred 1. else u in
+  max 1 (int_of_float (ceil (log1p (-.u) /. log1p (-.prob))))
+
+let leading_zero_bits digest =
+  let rec go i acc =
+    if i >= String.length digest then acc
+    else begin
+      let byte = Char.code digest.[i] in
+      if byte = 0 then go (i + 1) (acc + 8)
+      else begin
+        let rec count_bits mask n =
+          if byte land mask <> 0 then n else count_bits (mask lsr 1) (n + 1)
+        in
+        acc + count_bits 0x80 0
+      end
+    end
+  in
+  go 0 0
+
+let check p ~header ~nonce =
+  let digest = Sha256.digest_list [ header; string_of_int nonce ] in
+  leading_zero_bits digest >= p.difficulty_bits
+
+let mine p ~header ~max_attempts =
+  let rec go nonce attempts =
+    if attempts > max_attempts then None
+    else if check p ~header ~nonce then Some (nonce, attempts)
+    else go (nonce + 1) (attempts + 1)
+  in
+  go 0 1

@@ -1,0 +1,23 @@
+(** Simulated and real proof-of-work.
+
+    The energy experiments need the {e cost} of Nakamoto-style mining, not
+    actual grinding, so {!simulate_attempts} draws the number of hash
+    attempts a miner would have performed from the geometric distribution
+    with success probability [2^-difficulty_bits]; the count feeds the
+    energy meter. {!mine} actually grinds (usable in tests at small
+    difficulty) and both agree in expectation. *)
+
+type params = { difficulty_bits : int }
+(** Expected attempts per block: [2^difficulty_bits]. *)
+
+val expected_attempts : params -> float
+
+val simulate_attempts : Vegvisir_crypto.Rng.t -> params -> int
+(** Geometric sample (≥ 1) of how many hashes a successful mine consumed. *)
+
+val mine : params -> header:string -> max_attempts:int -> (int * int) option
+(** Real grinding: [Some (nonce, attempts)] such that
+    [SHA-256(header ‖ nonce)] has [difficulty_bits] leading zero bits,
+    or [None] after [max_attempts]. *)
+
+val check : params -> header:string -> nonce:int -> bool

@@ -1,0 +1,265 @@
+open Vegvisir
+module Schema = Vegvisir_crdt.Schema
+
+type t = { dir : string; node : Node.t; ca_cert : Certificate.t }
+
+let ( let* ) = Result.bind
+let ( // ) = Filename.concat
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Ok contents
+  | exception Sys_error msg -> Error msg
+
+let write_file path contents =
+  match Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+(* Key file: "mss <height> <used> <seed-hex>\n". The seed is secret key
+   material; a real deployment would keep it in a TEE (paper §V). *)
+let encode_key ~height ~used ~seed =
+  Printf.sprintf "mss %d %d %s\n" height used (Vegvisir_crypto.Hex.encode seed)
+
+let decode_key contents =
+  match String.split_on_char ' ' (String.trim contents) with
+  | [ "mss"; height; used; seed_hex ] -> begin
+    match
+      (int_of_string_opt height, int_of_string_opt used, Vegvisir_crypto.Hex.is_hex seed_hex)
+    with
+    | Some height, Some used, true ->
+      Ok (height, used, Vegvisir_crypto.Hex.decode seed_hex)
+    | _ -> Error "malformed key file"
+  end
+  | _ -> Error "malformed key file"
+
+let now_ts () = Timestamp.of_seconds (Unix_compat.now ())
+
+let signer_used (signer : Signer.t) ~height =
+  match signer.Signer.remaining () with
+  | Some r -> (1 lsl height) - r
+  | None -> 0
+
+let save_parts ~dir ~node ~ca_cert ~signer ~height ~seed =
+  let* () = write_file (dir // "chain.dag") (Dag.to_string (Node.dag node)) in
+  let* () =
+    write_file (dir // "key")
+      (encode_key ~height ~used:(signer_used signer ~height) ~seed)
+  in
+  let* () = write_file (dir // "cert") (Certificate.to_string (Node.cert node)) in
+  write_file (dir // "ca.cert") (Certificate.to_string ca_cert)
+
+(* The signer is embedded in the node; to persist its position we must
+   keep it at hand. We stash (signer, height, seed) per directory in a
+   registry keyed by dir — loads re-derive them, so the registry is only
+   a cache for the lifetime of the process. *)
+let registry : (string, Signer.t * int * string) Hashtbl.t = Hashtbl.create 8
+
+let save t =
+  match Hashtbl.find_opt registry t.dir with
+  | None -> Error "node not registered (load or init first)"
+  | Some (signer, height, seed) ->
+    save_parts ~dir:t.dir ~node:t.node ~ca_cert:t.ca_cert ~signer ~height ~seed
+
+let exists dir = Sys.file_exists (dir // "chain.dag")
+
+let ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok () else Error (dir ^ " is not a directory")
+  else begin
+    match Sys.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg
+  end
+
+let init ~dir ~seed ?(height = 10) ?(role = "ca") ?(init_crdts = []) () =
+  let* () = ensure_dir dir in
+  if exists dir then Error (dir ^ " already contains a node")
+  else begin
+    let signer = Signer.mss ~height ~seed () in
+    let cert = Certificate.self_signed ~signer ~role in
+    let extra =
+      List.map (fun (name, spec) -> Transaction.create_crdt ~name spec) init_crdts
+    in
+    let genesis = Node.genesis_block ~signer ~cert ~timestamp:(now_ts ()) ~extra () in
+    let node = Node.create ~signer ~cert () in
+    match Node.receive node ~now:(Timestamp.add_ms (now_ts ()) 1L) genesis with
+    | Node.Accepted ->
+      Hashtbl.replace registry dir (signer, height, seed);
+      let t = { dir; node; ca_cert = cert } in
+      let* () = save t in
+      Ok t
+    | r -> Error (Fmt.str "genesis rejected: %a" Node.pp_receive_result r)
+  end
+
+let load ~dir =
+  if not (exists dir) then Error (dir ^ " does not contain a node")
+  else begin
+    let* key_raw = read_file (dir // "key") in
+    let* height, used, seed = decode_key key_raw in
+    let* cert_raw = read_file (dir // "cert") in
+    let* ca_raw = read_file (dir // "ca.cert") in
+    let* dag_raw = read_file (dir // "chain.dag") in
+    let* cert =
+      Option.to_result ~none:"malformed certificate" (Certificate.of_string cert_raw)
+    in
+    let* ca_cert =
+      Option.to_result ~none:"malformed CA certificate" (Certificate.of_string ca_raw)
+    in
+    let* dag = Option.to_result ~none:"corrupt chain.dag" (Dag.of_string dag_raw) in
+    let signer = Signer.mss ~height ~used ~seed () in
+    if not (String.equal signer.Signer.public cert.Certificate.public) then
+      Error "key file does not match certificate"
+    else begin
+      let node = Node.create ~signer ~cert () in
+      Node.receive_all node
+        ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
+        (Dag.topo_order dag);
+      Hashtbl.replace registry dir (signer, height, seed);
+      Ok { dir; node; ca_cert }
+    end
+  end
+
+let enroll ~ca_dir ~dir ~seed ?(height = 10) ?(role = "member") () =
+  let* ca = load ~dir:ca_dir in
+  let* () = ensure_dir dir in
+  if exists dir then Error (dir ^ " already contains a node")
+  else begin
+    match Hashtbl.find_opt registry ca_dir with
+    | None -> Error "CA signer not available"
+    | Some (ca_signer, _, _) ->
+      let subject = Signer.mss ~height ~seed () in
+      let cert = Certificate.issue ~ca:ca.ca_cert ~ca_signer ~subject ~role in
+      (* Enrolment goes on the CA's chain. *)
+      let* _block =
+        Result.map_error
+          (Fmt.str "enrolment append failed: %a" Node.pp_append_error)
+          (Node.append ca.node ~now:(now_ts ()) [ Transaction.add_user cert ])
+      in
+      let* () = save ca in
+      let node = Node.create ~signer:subject ~cert () in
+      Node.receive_all node
+        ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
+        (Dag.topo_order (Node.dag ca.node));
+      Hashtbl.replace registry dir (subject, height, seed);
+      let t = { dir; node; ca_cert = ca.ca_cert } in
+      let* () = save t in
+      Ok t
+  end
+
+let append t ~crdt ~op args =
+  match Node.prepare_transaction t.node ~crdt ~op args with
+  | Error e -> Error (Schema.error_to_string e)
+  | Ok tx -> begin
+    match Node.append t.node ~now:(now_ts ()) [ tx ] with
+    | Error e -> Error (Fmt.str "%a" Node.pp_append_error e)
+    | Ok block ->
+      let* () = save t in
+      Ok block
+  end
+
+let remaining_signatures t =
+  match Hashtbl.find_opt registry t.dir with
+  | None -> None
+  | Some (signer, _, _) -> signer.Signer.remaining ()
+
+let rotate ~ca_dir ~dir ~seed ?(height = 10) () =
+  let* ca = load ~dir:ca_dir in
+  let* t = load ~dir in
+  match Hashtbl.find_opt registry ca_dir with
+  | None -> Error "CA signer not available"
+  | Some (ca_signer, _, _) ->
+    let fresh = Signer.mss ~height ~seed () in
+    let role = (Node.cert t.node).Certificate.role in
+    let cert = Certificate.issue ~ca:ca.ca_cert ~ca_signer ~subject:fresh ~role in
+    (match Node.rotate_key t.node ~now:(now_ts ()) ~signer:fresh ~cert with
+    | Error e -> Error (Fmt.str "rotation failed: %a" Node.pp_append_error e)
+    | Ok _block ->
+      Hashtbl.replace registry dir (fresh, height, seed);
+      let* () = save t in
+      (* The CA should learn the rotation block too. *)
+      Node.receive_all ca.node
+        ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
+        (Dag.topo_order (Node.dag t.node));
+      let* () = save ca in
+      Ok t)
+
+let sync t ~from ~mode =
+  let merged, stats =
+    Reconcile.sync_dags mode (Node.dag t.node) (Node.dag from.node)
+  in
+  Node.receive_all t.node
+    ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
+    (Dag.topo_order merged);
+  (match save t with Ok () -> () | Error _ -> ());
+  stats
+
+let verify t =
+  let dag = Node.dag t.node in
+  match Dag.genesis dag with
+  | None -> Error "no genesis block"
+  | Some g -> begin
+    match Validation.check_genesis g with
+    | Error e -> Error (Fmt.str "genesis invalid: %a" Validation.pp_error e)
+    | Ok membership ->
+      (* Replay in canonical order, validating each block against the
+         state accumulated so far (a faithful re-admission). *)
+      let replay = ref (Result.get_ok (Dag.add Dag.empty g)) in
+      let csm = ref (fst (Csm.apply_block Csm.empty g)) in
+      ignore membership;
+      let checked = ref 1 in
+      let rec go = function
+        | [] -> Ok !checked
+        | (b : Block.t) :: rest ->
+          if Block.is_genesis b then go rest
+          else begin
+            let m = Option.get (Csm.membership !csm) in
+            match
+              Validation.check_block ~membership:m ~dag:!replay
+                ~now:(Timestamp.add_ms b.Block.timestamp 1L) b
+            with
+            | Error e ->
+              Error
+                (Fmt.str "block %a fails validation: %a" Hash_id.pp b.Block.hash
+                   Validation.pp_error e)
+            | Ok () ->
+              replay := Result.get_ok (Dag.add !replay b);
+              csm := fst (Csm.apply_block !csm b);
+              incr checked;
+              go rest
+          end
+      in
+      go (Dag.topo_order dag)
+  end
+
+let summary t =
+  let dag = Node.dag t.node in
+  let csm = Node.csm t.node in
+  let buf = Buffer.create 512 in
+  let store = Csm.store csm in
+  Buffer.add_string buf
+    (Fmt.str "node %a (role %s)\n" Hash_id.pp (Node.user_id t.node)
+       (Node.cert t.node).Certificate.role);
+  Buffer.add_string buf
+    (Fmt.str "blocks: %d resident, %d archived, %d bytes\n" (Dag.cardinal dag)
+       (Dag.archived_count dag) (Dag.byte_size dag));
+  Buffer.add_string buf
+    (Fmt.str "frontier: %a\n"
+       (Fmt.list ~sep:(Fmt.any ", ") Hash_id.pp)
+       (Hash_id.Set.elements (Dag.frontier dag)));
+  (match Csm.membership csm with
+  | Some m -> Buffer.add_string buf (Fmt.str "members: %d\n" (Membership.cardinal m))
+  | None -> ());
+  List.iter
+    (fun name ->
+      match Vegvisir_crdt.Store.find store name with
+      | Some inst ->
+        Buffer.add_string buf
+          (Fmt.str "crdt %s (%s): %a\n" name
+             (Schema.kind_to_string (Vegvisir_crdt.Instance.spec inst).Schema.kind)
+             Vegvisir_crdt.Instance.pp inst)
+      | None -> ())
+    (Vegvisir_crdt.Store.names store);
+  Buffer.contents buf
+
+let export_dot t = Fmt.str "%a" Dag.pp_dot (Node.dag t.node)

@@ -1,0 +1,79 @@
+(** File-backed Vegvisir nodes: the persistence layer behind the
+    `vegvisir-cli` tool.
+
+    A {e node directory} holds:
+    - [chain.dag] — the DAG replica ({!Vegvisir.Dag.to_string});
+    - [key] — the node's MSS key state: seed, tree height, and the count
+      of consumed one-time leaves (rewinding a hash-based key would be
+      catastrophic, so the count is persisted on every save);
+    - [cert] and [ca.cert] — the node's certificate and the chain
+      owner's (CA) certificate.
+
+    Application state is not stored: it is deterministically rebuilt from
+    the DAG on load ({!Vegvisir.Csm.rebuild}). *)
+
+type t = {
+  dir : string;
+  node : Vegvisir.Node.t;
+  ca_cert : Vegvisir.Certificate.t;
+}
+
+val init :
+  dir:string ->
+  seed:string ->
+  ?height:int ->
+  ?role:string ->
+  ?init_crdts:(string * Vegvisir_crdt.Schema.spec) list ->
+  unit ->
+  (t, string) result
+(** Create a new blockchain: the directory's key becomes the owner/CA,
+    a genesis block is created (enrolling the owner and any initial
+    CRDTs) and everything is saved. Fails if [dir] already holds a node. *)
+
+val enroll :
+  ca_dir:string ->
+  dir:string ->
+  seed:string ->
+  ?height:int ->
+  ?role:string ->
+  unit ->
+  (t, string) result
+(** CA-side enrolment of a new member: creates the member's key in [dir],
+    issues its certificate, appends the enrolment block to the CA's
+    chain, and seeds the member's replica with the CA's current DAG.
+    Both directories are saved. *)
+
+val load : dir:string -> (t, string) result
+val save : t -> (unit, string) result
+
+val append :
+  t ->
+  crdt:string ->
+  op:string ->
+  Vegvisir_crdt.Value.t list ->
+  (Vegvisir.Block.t, string) result
+(** Prepare, append, and save. The block timestamp is the wall clock. *)
+
+val sync : t -> from:t -> mode:Vegvisir.Reconcile.mode -> Vegvisir.Reconcile.stats
+(** Pull missing blocks from another node directory; saves the target. *)
+
+val rotate :
+  ca_dir:string -> dir:string -> seed:string -> ?height:int -> unit ->
+  (t, string) result
+(** Rotate the node's key before its one-time leaves run out: the CA (in
+    [ca_dir]) issues a certificate for a fresh key derived from [seed];
+    the node appends a rotation block (enrol new, self-revoke old) signed
+    with the old key, then persists with the new key. *)
+
+val remaining_signatures : t -> int option
+(** One-time leaves left on the current key. *)
+
+val verify : t -> (int, string) result
+(** Revalidate the whole replica from the genesis: every block passes the
+    §IV-E checks against the state implied by its ancestors (evaluated in
+    canonical topological order). Returns the number of blocks checked. *)
+
+val summary : t -> string
+(** Human-readable status: block counts, frontier, CRDT contents. *)
+
+val export_dot : t -> string

@@ -1,0 +1,3 @@
+(* Wall-clock access isolated here so the rest of the tree stays free of
+   the unix dependency. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,415 @@
+open Vegvisir_net
+module Wire = Vegvisir.Wire
+
+let log_src = Logs.Src.create "vegvisir.raft" ~doc:"Superpeer Raft consensus"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type role = Follower | Candidate | Leader
+
+type config = { election_timeout_min_ms : float; heartbeat_ms : float }
+
+let default_config = { election_timeout_min_ms = 150.; heartbeat_ms = 50. }
+
+(* A minimal growable array for the log (1-based indexing at the API). *)
+module Vec = struct
+  type 'a t = { mutable arr : 'a array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+  let length v = v.len
+
+  let push v x =
+    if v.len = Array.length v.arr then begin
+      let cap = max 16 (2 * Array.length v.arr) in
+      let arr = Array.make cap x in
+      Array.blit v.arr 0 arr 0 v.len;
+      v.arr <- arr
+    end;
+    v.arr.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.arr.(i) (* 0-based internal *)
+  let truncate v n = v.len <- min v.len n
+end
+
+type entry = { eterm : int; cmd : string }
+
+type message =
+  | Request_vote of { term : int; candidate : int; last_index : int; last_term : int }
+  | Vote_reply of { term : int; granted : bool }
+  | Append_entries of {
+      term : int;
+      leader : int;
+      prev_index : int;
+      prev_term : int;
+      entries : entry list;
+      leader_commit : int;
+    }
+  | Append_reply of { term : int; success : bool; match_index : int }
+
+let encode_message b = function
+  | Request_vote { term; candidate; last_index; last_term } ->
+    Wire.put_u8 b 1;
+    Wire.put_u32 b term;
+    Wire.put_u32 b candidate;
+    Wire.put_u32 b last_index;
+    Wire.put_u32 b last_term
+  | Vote_reply { term; granted } ->
+    Wire.put_u8 b 2;
+    Wire.put_u32 b term;
+    Wire.put_u8 b (if granted then 1 else 0)
+  | Append_entries { term; leader; prev_index; prev_term; entries; leader_commit } ->
+    Wire.put_u8 b 3;
+    Wire.put_u32 b term;
+    Wire.put_u32 b leader;
+    Wire.put_u32 b prev_index;
+    Wire.put_u32 b prev_term;
+    Wire.put_u32 b leader_commit;
+    Wire.put_list b
+      (fun b e ->
+        Wire.put_u32 b e.eterm;
+        Wire.put_str b e.cmd)
+      entries
+  | Append_reply { term; success; match_index } ->
+    Wire.put_u8 b 4;
+    Wire.put_u32 b term;
+    Wire.put_u8 b (if success then 1 else 0);
+    Wire.put_u32 b match_index
+
+let decode_message c =
+  match Wire.get_u8 c with
+  | 1 ->
+    let term = Wire.get_u32 c in
+    let candidate = Wire.get_u32 c in
+    let last_index = Wire.get_u32 c in
+    let last_term = Wire.get_u32 c in
+    Request_vote { term; candidate; last_index; last_term }
+  | 2 ->
+    let term = Wire.get_u32 c in
+    let granted = Wire.get_u8 c = 1 in
+    Vote_reply { term; granted }
+  | 3 ->
+    let term = Wire.get_u32 c in
+    let leader = Wire.get_u32 c in
+    let prev_index = Wire.get_u32 c in
+    let prev_term = Wire.get_u32 c in
+    let leader_commit = Wire.get_u32 c in
+    let entries =
+      Wire.get_list c (fun c ->
+          let eterm = Wire.get_u32 c in
+          let cmd = Wire.get_str c in
+          { eterm; cmd })
+    in
+    Append_entries { term; leader; prev_index; prev_term; entries; leader_commit }
+  | 4 ->
+    let term = Wire.get_u32 c in
+    let success = Wire.get_u8 c = 1 in
+    let match_index = Wire.get_u32 c in
+    Append_reply { term; success; match_index }
+  | _ -> raise (Wire.Malformed "bad raft message tag")
+
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+
+type peer = {
+  id : int;
+  mutable role : role;
+  mutable term : int;
+  mutable voted_for : int option;
+  log : entry Vec.t;
+  mutable commit_index : int; (* 1-based; 0 = nothing committed *)
+  mutable last_applied : int;
+  mutable next_index : int IMap.t; (* leader state *)
+  mutable match_index : int IMap.t;
+  mutable votes : ISet.t;
+  mutable leader_hint : int option;
+  mutable election_generation : int;
+}
+
+type t = {
+  net : Simnet.t;
+  config : config;
+  ids : int list;
+  peers : peer IMap.t;
+  apply : me:int -> index:int -> string -> unit;
+  applied_log : (int, string list ref) Hashtbl.t; (* me -> applied, newest first *)
+}
+
+let majority t = (List.length t.ids / 2) + 1
+
+let create ?(config = default_config) ~net ~ids ~apply () =
+  if ids = [] then invalid_arg "Raft.create: empty cluster";
+  let peers =
+    List.fold_left
+      (fun m id ->
+        IMap.add id
+          {
+            id;
+            role = Follower;
+            term = 0;
+            voted_for = None;
+            log = Vec.create ();
+            commit_index = 0;
+            last_applied = 0;
+            next_index = IMap.empty;
+            match_index = IMap.empty;
+            votes = ISet.empty;
+            leader_hint = None;
+            election_generation = 0;
+          }
+          m)
+      IMap.empty ids
+  in
+  let applied_log = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace applied_log id (ref [])) ids;
+  { net; config; ids; peers; apply; applied_log }
+
+let peer t id = IMap.find id t.peers
+
+let last_index p = Vec.length p.log
+let entry_term p i = if i = 0 then 0 else (Vec.get p.log (i - 1)).eterm
+let last_term p = entry_term p (last_index p)
+
+let send t ~src ~dst msg =
+  let b = Buffer.create 128 in
+  encode_message b msg;
+  Simnet.send t.net ~src ~dst (Buffer.contents b)
+
+let broadcast t ~src msg =
+  List.iter (fun dst -> if dst <> src then send t ~src ~dst msg) t.ids
+
+let reset_election_timer t p =
+  p.election_generation <- p.election_generation + 1;
+  let rng = Simnet.rng t.net in
+  let timeout =
+    t.config.election_timeout_min_ms
+    *. (1. +. Vegvisir_crypto.Rng.float rng)
+  in
+  Simnet.set_timer t.net ~node:p.id ~after:timeout
+    ~tag:(Printf.sprintf "raft-el:%d" p.election_generation)
+
+let apply_committed t p =
+  while p.last_applied < p.commit_index do
+    p.last_applied <- p.last_applied + 1;
+    let e = Vec.get p.log (p.last_applied - 1) in
+    let log = Hashtbl.find t.applied_log p.id in
+    log := e.cmd :: !log;
+    t.apply ~me:p.id ~index:p.last_applied e.cmd
+  done
+
+let become_follower t p term =
+  p.term <- term;
+  p.role <- Follower;
+  p.voted_for <- None;
+  p.votes <- ISet.empty;
+  reset_election_timer t p
+
+(* Leader: replicate to one follower from its next_index. *)
+let send_append t p dst =
+  let ni = Option.value (IMap.find_opt dst p.next_index) ~default:(last_index p + 1) in
+  let prev_index = ni - 1 in
+  let entries =
+    List.init
+      (max 0 (last_index p - prev_index))
+      (fun k -> Vec.get p.log (prev_index + k))
+  in
+  send t ~src:p.id ~dst
+    (Append_entries
+       {
+         term = p.term;
+         leader = p.id;
+         prev_index;
+         prev_term = entry_term p prev_index;
+         entries;
+         leader_commit = p.commit_index;
+       })
+
+let heartbeat t p =
+  List.iter (fun dst -> if dst <> p.id then send_append t p dst) t.ids
+
+(* Commit rule: the largest N with a majority of match_index >= N and
+   log[N].term = currentTerm (Raft §5.4.2). *)
+let advance_commit t p =
+  let n = ref (last_index p) in
+  let advanced = ref false in
+  while (not !advanced) && !n > p.commit_index do
+    if entry_term p !n = p.term then begin
+      let count =
+        1
+        + List.length
+            (List.filter
+               (fun id ->
+                 id <> p.id
+                 && Option.value (IMap.find_opt id p.match_index) ~default:0 >= !n)
+               t.ids)
+      in
+      if count >= majority t then begin
+        p.commit_index <- !n;
+        advanced := true
+      end
+    end;
+    if not !advanced then decr n
+  done;
+  if !advanced then apply_committed t p
+
+let become_leader t p =
+  Log.info (fun m -> m "peer %d becomes leader of term %d" p.id p.term);
+  p.role <- Leader;
+  p.leader_hint <- Some p.id;
+  p.next_index <-
+    List.fold_left (fun m id -> IMap.add id (last_index p + 1) m) IMap.empty t.ids;
+  p.match_index <- List.fold_left (fun m id -> IMap.add id 0 m) IMap.empty t.ids;
+  heartbeat t p;
+  Simnet.set_timer t.net ~node:p.id ~after:t.config.heartbeat_ms ~tag:"raft-hb"
+
+let start_election t p =
+  Log.debug (fun m -> m "peer %d starts election for term %d" p.id (p.term + 1));
+  p.term <- p.term + 1;
+  p.role <- Candidate;
+  p.voted_for <- Some p.id;
+  p.votes <- ISet.singleton p.id;
+  p.leader_hint <- None;
+  reset_election_timer t p;
+  if ISet.cardinal p.votes >= majority t then become_leader t p
+  else
+    broadcast t ~src:p.id
+      (Request_vote
+         {
+           term = p.term;
+           candidate = p.id;
+           last_index = last_index p;
+           last_term = last_term p;
+         })
+
+let on_message t ~me ~from msg =
+  let p = peer t me in
+  match msg with
+  | Request_vote { term; candidate; last_index = c_li; last_term = c_lt } ->
+    if term > p.term then become_follower t p term;
+    let up_to_date =
+      c_lt > last_term p || (c_lt = last_term p && c_li >= last_index p)
+    in
+    let granted =
+      term = p.term
+      && up_to_date
+      && (match p.voted_for with None -> true | Some v -> v = candidate)
+    in
+    if granted then begin
+      p.voted_for <- Some candidate;
+      reset_election_timer t p
+    end;
+    send t ~src:me ~dst:from (Vote_reply { term = p.term; granted })
+  | Vote_reply { term; granted } ->
+    if term > p.term then become_follower t p term
+    else if p.role = Candidate && term = p.term && granted then begin
+      p.votes <- ISet.add from p.votes;
+      if ISet.cardinal p.votes >= majority t then become_leader t p
+    end
+  | Append_entries { term; leader; prev_index; prev_term; entries; leader_commit }
+    ->
+    if term > p.term then become_follower t p term;
+    if term < p.term then
+      send t ~src:me ~dst:from
+        (Append_reply { term = p.term; success = false; match_index = 0 })
+    else begin
+      (* Valid leader for this term. *)
+      if p.role <> Follower then p.role <- Follower;
+      p.leader_hint <- Some leader;
+      reset_election_timer t p;
+      let consistent =
+        prev_index = 0
+        || (prev_index <= last_index p && entry_term p prev_index = prev_term)
+      in
+      if not consistent then
+        send t ~src:me ~dst:from
+          (Append_reply { term = p.term; success = false; match_index = 0 })
+      else begin
+        (* Delete conflicts, append what is new. *)
+        List.iteri
+          (fun k e ->
+            let idx = prev_index + k + 1 in
+            if idx <= last_index p then begin
+              if entry_term p idx <> e.eterm then begin
+                Vec.truncate p.log (idx - 1);
+                Vec.push p.log e
+              end
+            end
+            else Vec.push p.log e)
+          entries;
+        let match_index = prev_index + List.length entries in
+        if leader_commit > p.commit_index then begin
+          p.commit_index <- min leader_commit (last_index p);
+          apply_committed t p
+        end;
+        send t ~src:me ~dst:from
+          (Append_reply { term = p.term; success = true; match_index })
+      end
+    end
+  | Append_reply { term; success; match_index } ->
+    if term > p.term then become_follower t p term
+    else if p.role = Leader && term = p.term then
+      if success then begin
+        let cur = Option.value (IMap.find_opt from p.match_index) ~default:0 in
+        if match_index > cur then begin
+          p.match_index <- IMap.add from match_index p.match_index;
+          p.next_index <- IMap.add from (match_index + 1) p.next_index;
+          advance_commit t p
+        end
+      end
+      else begin
+        let ni = Option.value (IMap.find_opt from p.next_index) ~default:1 in
+        p.next_index <- IMap.add from (max 1 (ni - 1)) p.next_index;
+        send_append t p from
+      end
+
+let on_timer t ~me ~tag =
+  let p = peer t me in
+  if String.equal tag "raft-hb" then begin
+    if p.role = Leader then begin
+      heartbeat t p;
+      Simnet.set_timer t.net ~node:me ~after:t.config.heartbeat_ms ~tag:"raft-hb"
+    end
+  end
+  else
+    match String.index_opt tag ':' with
+    | Some i when String.sub tag 0 i = "raft-el" -> begin
+      let generation =
+        int_of_string (String.sub tag (i + 1) (String.length tag - i - 1))
+      in
+      if generation = p.election_generation && p.role <> Leader then
+        start_election t p
+    end
+    | _ -> ()
+
+let start t =
+  Simnet.set_handlers t.net
+    {
+      Simnet.on_message =
+        (fun ~me ~from payload ->
+          if IMap.mem me t.peers then
+            match Wire.decode_string decode_message payload with
+            | Some msg -> on_message t ~me ~from msg
+            | None -> ());
+      on_timer =
+        (fun ~me ~tag -> if IMap.mem me t.peers then on_timer t ~me ~tag);
+    };
+  List.iter (fun id -> reset_election_timer t (peer t id)) t.ids
+
+let submit t id cmd =
+  let p = peer t id in
+  if p.role <> Leader then false
+  else begin
+    Vec.push p.log { eterm = p.term; cmd };
+    p.match_index <- IMap.add p.id (last_index p) p.match_index;
+    (* Single-node clusters commit immediately; otherwise replicate. *)
+    advance_commit t p;
+    heartbeat t p;
+    true
+  end
+
+let role_of t id = (peer t id).role
+let term_of t id = (peer t id).term
+let leader_hint t id = (peer t id).leader_hint
+let commit_index t id = (peer t id).commit_index
+let log_length t id = last_index (peer t id)
+let committed_prefix t id = List.rev !(Hashtbl.find t.applied_log id)

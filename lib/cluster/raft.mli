@@ -1,0 +1,64 @@
+(** A compact Raft consensus implementation over the discrete-event
+    simulator.
+
+    The paper's support blockchain "operates between the superpeers as
+    well as in the cloud" (§IV-I) — a {e linear} chain replicated among
+    well-connected servers, which, unlike the partition-tolerant IoT DAG,
+    needs agreement on a total order. This module provides that
+    agreement: leader election with randomized timeouts, log replication
+    with the AppendEntries consistency check, and commit advancement by
+    majority match (Raft §5, Ongaro & Ousterhout 2014).
+
+    Scope: fixed membership, no snapshots/compaction, no client-session
+    dedup — the pieces the superpeer archive actually needs. Safety
+    properties (election safety, log matching, leader completeness,
+    state-machine safety) hold and are exercised by the test suite under
+    partitions and leader loss.
+
+    Commands are opaque strings; committed commands are delivered
+    in-order, exactly once per replica, to the [apply] callback. *)
+
+type role = Follower | Candidate | Leader
+
+type config = {
+  election_timeout_min_ms : float;  (** randomized in [min, 2·min] *)
+  heartbeat_ms : float;
+}
+
+val default_config : config
+(** 150 ms minimum election timeout, 50 ms heartbeats — in simulated
+    time; scale for slow links. *)
+
+type t
+
+val create :
+  ?config:config ->
+  net:Vegvisir_net.Simnet.t ->
+  ids:int list ->
+  apply:(me:int -> index:int -> string -> unit) ->
+  unit ->
+  t
+(** One Raft peer per id in [ids] (must be valid simulator node ids).
+    [apply] is invoked on every replica for each committed command, in
+    log order. The cluster does not start until {!start}. *)
+
+val start : t -> unit
+(** Installs the simulator handlers (the cluster owns the nodes in [ids];
+    other simulator nodes' messages are untouched only if their node ids
+    do not overlap). Schedules election timers. *)
+
+val submit : t -> int -> string -> bool
+(** [submit t id cmd] proposes a command at peer [id]; [true] iff that
+    peer currently believes itself leader and appended the command to its
+    log (commitment is confirmed later via [apply]). Followers return
+    [false]; the caller retries at {!leader_hint}. *)
+
+val role_of : t -> int -> role
+val term_of : t -> int -> int
+val leader_hint : t -> int -> int option
+(** Who peer [id] believes is leader (itself if leader). *)
+
+val commit_index : t -> int -> int
+val log_length : t -> int -> int
+val committed_prefix : t -> int -> string list
+(** The commands peer [id] has applied, in order — for test assertions. *)

@@ -1,0 +1,54 @@
+open Vegvisir
+
+type t = {
+  raft : Raft.t;
+  ids : int list;
+  chains : (int, Support.t ref) Hashtbl.t;
+}
+
+let create ?config ~net ~ids () =
+  let chains = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace chains id (ref Support.empty)) ids;
+  let apply ~me ~index:_ cmd =
+    match Block.of_string cmd with
+    | None -> () (* unreachable with honest superpeers; ignore garbage *)
+    | Some block ->
+      let chain = Hashtbl.find chains me in
+      if not (Support.contains !chain block.Block.hash) then begin
+        match Support.append !chain block with
+        | Ok c -> chain := c
+        | Error _ -> ()
+      end
+  in
+  { raft = Raft.create ?config ~net ~ids ~apply (); ids; chains }
+
+let start t = Raft.start t.raft
+
+let archive t id block =
+  if Raft.submit t.raft id (Block.to_string block) then `Submitted
+  else `Redirect (Raft.leader_hint t.raft id)
+
+let chain t id = !(Hashtbl.find t.chains id)
+let archived_count t id = Support.length (chain t id)
+let is_leader t id = Raft.role_of t.raft id = Raft.Leader
+
+let leader t = List.find_opt (fun id -> is_leader t id) t.ids
+
+let identical_prefixes t =
+  let payload_hashes id =
+    List.map (fun (b : Block.t) -> b.Block.hash) (Support.payloads (chain t id))
+  in
+  match t.ids with
+  | [] -> true
+  | first :: rest ->
+    let base = payload_hashes first in
+    List.for_all
+      (fun id ->
+        let other = payload_hashes id in
+        let rec prefix_agree a b =
+          match (a, b) with
+          | [], _ | _, [] -> true
+          | x :: a, y :: b -> Hash_id.equal x y && prefix_agree a b
+        in
+        prefix_agree base other)
+      rest

@@ -1,0 +1,41 @@
+(** The replicated support blockchain: superpeers agree, via {!Raft}, on
+    a single total order of archived Vegvisir blocks (§IV-I: the support
+    blockchain "operates between the superpeers as well as in the
+    cloud").
+
+    Every superpeer applies the committed log to its own {!Vegvisir.Support}
+    chain, so all replicas hold identical hash-linked prefixes; committed
+    archive entries survive leader failure and cluster partitions (the
+    minority side just stalls — the support chain favours consistency,
+    unlike the IoT DAG). Duplicate proposals (client retries across
+    leader changes) are deduplicated at apply time. *)
+
+type t
+
+val create :
+  ?config:Raft.config ->
+  net:Vegvisir_net.Simnet.t ->
+  ids:int list ->
+  unit ->
+  t
+(** One superpeer per simulator node id. The cluster owns the simulator's
+    handlers; run it on a dedicated [Simnet]. *)
+
+val start : t -> unit
+
+val archive : t -> int -> Vegvisir.Block.t -> [ `Submitted | `Redirect of int option ]
+(** Propose archiving a block at superpeer [id]. [`Redirect hint] when
+    that peer is not the leader — retry at the hinted peer. Commitment is
+    observed via {!chain}. *)
+
+val chain : t -> int -> Vegvisir.Support.t
+(** Superpeer [id]'s applied support chain. *)
+
+val archived_count : t -> int -> int
+val is_leader : t -> int -> bool
+val leader : t -> int option
+(** Any peer currently believing itself leader. *)
+
+val identical_prefixes : t -> bool
+(** All superpeer chains agree entry-by-entry up to the shortest — the
+    state-machine-safety check used in tests. *)

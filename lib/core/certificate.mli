@@ -1,0 +1,40 @@
+(** Public key certificates (§IV-F).
+
+    A certificate binds a user ID (the hash of the public key) to a public
+    key, a role, and a signature from the blockchain owner, who acts as
+    the certificate authority. The genesis block carries the owner's
+    {e self-signed} certificate; every other user's certificate must be
+    CA-signed and placed on the blockchain before their blocks validate. *)
+
+type t = {
+  user_id : Hash_id.t;
+  scheme : string;  (** signature scheme of [public] *)
+  public : string;  (** the user's public key *)
+  role : string;  (** drives CRDT-operation access control *)
+  issuer : Hash_id.t;  (** user ID of the CA *)
+  signature : string;  (** CA (or self, for the CA cert) signature *)
+}
+
+val signing_bytes :
+  user_id:Hash_id.t -> scheme:string -> public:string -> role:string ->
+  issuer:Hash_id.t -> string
+(** The canonical bytes covered by the certificate signature. *)
+
+val issue : ca:t -> ca_signer:Signer.t -> subject:Signer.t -> role:string -> t
+(** CA-sign a certificate for [subject]'s key.
+    @raise Invalid_argument if [ca_signer]'s key does not match [ca]. *)
+
+val self_signed : signer:Signer.t -> role:string -> t
+(** The owner's certificate: issuer = subject. *)
+
+val verify : ca:t -> t -> bool
+(** Check the CA signature (or self-signature when [t] is the CA cert)
+    and that [user_id] matches the public key. *)
+
+val is_self_signed : t -> bool
+val encode : Buffer.t -> t -> unit
+val decode : Wire.cursor -> t
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,201 @@
+module Value = Vegvisir_crdt.Value
+module Schema = Vegvisir_crdt.Schema
+module Store = Vegvisir_crdt.Store
+module Op_ctx = Vegvisir_crdt.Op_ctx
+
+type t = {
+  store : Store.t;
+  membership : Membership.t option;
+  applied : Hash_id.Set.t;
+  rejected : int;
+}
+
+type tx_error =
+  | Crdt_error of Schema.error
+  | Bad_certificate of string
+  | Membership_error of string
+  | Genesis_bootstrap of string
+
+type tx_result = {
+  tx : Transaction.t;
+  uid : string;
+  outcome : (unit, tx_error) result;
+}
+
+let empty =
+  { store = Store.empty; membership = None; applied = Hash_id.Set.empty; rejected = 0 }
+
+let store t = t.store
+let membership t = t.membership
+
+let role_of t user =
+  match t.membership with None -> None | Some m -> Membership.role m user
+
+let applied t = t.applied
+let rejected_tx_count t = t.rejected
+
+let query t ~crdt ~op args = Store.query t.store ~crdt ~op args
+
+let decode_cert = function
+  | [ Value.Bytes raw ] -> begin
+    match Certificate.of_string raw with
+    | Some c -> Ok c
+    | None -> Error (Bad_certificate "malformed certificate encoding")
+  end
+  | _ -> Error (Bad_certificate "membership ops take a single bytes argument")
+
+(* Membership transactions: "_users" add/remove. Adding requires a valid
+   CA signature on the certificate (anyone may carry it to the chain);
+   removing requires the originator to be the CA or the certificate's own
+   subject (self-revocation). *)
+let apply_users_tx t ~block_hash ~originator (tx : Transaction.t) =
+  match t.membership with
+  | None -> Error (Membership_error "no genesis yet")
+  | Some m -> begin
+    match tx.Transaction.op with
+    | "add" -> begin
+      match decode_cert tx.Transaction.args with
+      | Error e -> Error e
+      | Ok cert -> begin
+        match Membership.add m cert with
+        | Ok m -> Ok { t with membership = Some m }
+        | Error Membership.Not_ca_signed ->
+          Error (Bad_certificate "certificate is not CA-signed")
+        | Error (Membership.Bad_certificate msg) -> Error (Bad_certificate msg)
+        | Error Membership.Already_revoked ->
+          Error (Membership_error "certificate already revoked")
+      end
+    end
+    | "remove" -> begin
+      match decode_cert tx.Transaction.args with
+      | Error e -> Error e
+      | Ok cert ->
+        let ca_id = (Membership.ca m).Certificate.user_id in
+        if
+          not
+            (Hash_id.equal originator ca_id
+            || Hash_id.equal originator cert.Certificate.user_id)
+        then
+          Error
+            (Membership_error "only the CA or the subject may revoke a certificate")
+        else begin
+          match Membership.revoke m cert ~revoked_in:block_hash with
+          | Ok m -> Ok { t with membership = Some m }
+          | Error Membership.Already_revoked -> Ok t
+          | Error (Membership.Bad_certificate msg) -> Error (Bad_certificate msg)
+          | Error Membership.Not_ca_signed ->
+            Error (Bad_certificate "certificate is not CA-signed")
+        end
+    end
+    | op -> Error (Crdt_error (Schema.Unknown_op op))
+  end
+
+let bootstrap_genesis t (b : Block.t) =
+  (* The genesis block must begin with the owner's self-signed cert. *)
+  match b.Block.transactions with
+  | { Transaction.crdt; op = "add"; args } :: _
+    when String.equal crdt Transaction.users_crdt -> begin
+    match decode_cert args with
+    | Error e -> Error e
+    | Ok cert ->
+      if not (Hash_id.equal cert.Certificate.user_id b.Block.creator) then
+        Error (Genesis_bootstrap "genesis certificate subject is not the block creator")
+      else begin
+        match Membership.create ~ca:cert with
+        | Ok m -> Ok { t with membership = Some m }
+        | Error (Membership.Bad_certificate msg) -> Error (Genesis_bootstrap msg)
+        | Error _ -> Error (Genesis_bootstrap "invalid genesis certificate")
+      end
+  end
+  | _ ->
+    Error
+      (Genesis_bootstrap
+         "genesis block must start with the owner's self-signed certificate")
+
+let apply_tx t ~block (tx : Transaction.t) ~index =
+  let block_hash = block.Block.hash in
+  let originator = block.Block.creator in
+  let uid = Hash_id.to_hex block_hash ^ ":" ^ string_of_int index in
+  let outcome, t =
+    if String.equal tx.Transaction.crdt Transaction.users_crdt then begin
+      match apply_users_tx t ~block_hash ~originator tx with
+      | Ok t -> (Ok (), t)
+      | Error e -> (Error e, { t with rejected = t.rejected + 1 })
+    end
+    else begin
+      let role = Option.value (role_of t originator) ~default:"" in
+      let ctx =
+        Op_ctx.make
+          ~origin:(Hash_id.to_hex originator)
+          ~timestamp:(Timestamp.to_ms block.Block.timestamp)
+          ~uid
+      in
+      match
+        Store.apply t.store ~role ~ctx ~crdt:tx.Transaction.crdt
+          ~op:tx.Transaction.op tx.Transaction.args
+      with
+      | Ok store -> (Ok (), { t with store })
+      | Error e -> (Error (Crdt_error e), { t with rejected = t.rejected + 1 })
+    end
+  in
+  ({ tx; uid; outcome }, t)
+
+let apply_block t (b : Block.t) =
+  let h = b.Block.hash in
+  if Hash_id.Set.mem h t.applied then (t, [])
+  else begin
+    let t = { t with applied = Hash_id.Set.add h t.applied } in
+    let t, genesis_result =
+      if Block.is_genesis b && t.membership = None then begin
+        match bootstrap_genesis t b with
+        | Ok t -> (t, None)
+        | Error e ->
+          ( { t with rejected = t.rejected + 1 },
+            Some
+              {
+                tx = Transaction.make ~crdt:Transaction.users_crdt ~op:"add" [];
+                uid = Hash_id.to_hex h ^ ":genesis";
+                outcome = Error e;
+              } )
+      end
+      else (t, None)
+    in
+    (* When the genesis cert bootstrapped U, the first transaction has
+       already been consumed by the bootstrap (adding it again via the
+       normal path is an idempotent no-op, so we just run all of them). *)
+    let t, rev_results =
+      List.fold_left
+        (fun (t, acc) (index, tx) ->
+          let r, t = apply_tx t ~block:b tx ~index in
+          (t, r :: acc))
+        (t, [])
+        (List.mapi (fun i tx -> (i, tx)) b.Block.transactions)
+    in
+    let results = List.rev rev_results in
+    let results =
+      match genesis_result with Some r -> r :: results | None -> results
+    in
+    (t, results)
+  end
+
+let rebuild dag =
+  List.fold_left (fun t b -> fst (apply_block t b)) empty (Dag.topo_order dag)
+
+let converged a b =
+  Store.equal a.store b.store
+  &&
+  match (a.membership, b.membership) with
+  | None, None -> true
+  | Some ma, Some mb ->
+    let ids m =
+      List.sort_uniq Hash_id.compare
+        (List.map (fun c -> c.Certificate.user_id) (Membership.members m))
+    in
+    List.equal Hash_id.equal (ids ma) (ids mb)
+  | None, Some _ | Some _, None -> false
+
+let pp_tx_error ppf = function
+  | Crdt_error e -> Schema.pp_error ppf e
+  | Bad_certificate m -> Fmt.pf ppf "bad certificate: %s" m
+  | Membership_error m -> Fmt.pf ppf "membership: %s" m
+  | Genesis_bootstrap m -> Fmt.pf ppf "genesis: %s" m

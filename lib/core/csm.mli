@@ -1,0 +1,62 @@
+(** The CRDT state machine (§IV-E).
+
+    The blockchain component checks blocks; the CSM checks and applies the
+    transactions inside them: the target CRDT must exist, the operation
+    must be valid for it, arguments must typecheck, and the originator's
+    role must permit the operation. Valid transactions update Ω (the
+    user-created CRDTs) and U (membership); invalid ones are recorded and
+    ignored — validity is deterministic, so every replica skips exactly
+    the same transactions.
+
+    Blocks must be fed in a causal (topological) order; CRDT commutativity
+    then makes the resulting state independent of which causal order a
+    replica happened to use. *)
+
+type t
+
+type tx_error =
+  | Crdt_error of Vegvisir_crdt.Schema.error
+  | Bad_certificate of string
+  | Membership_error of string
+  | Genesis_bootstrap of string
+
+type tx_result = {
+  tx : Transaction.t;
+  uid : string;
+  outcome : (unit, tx_error) result;
+}
+
+val empty : t
+
+val apply_block : t -> Block.t -> t * tx_result list
+(** Apply all transactions of a block. The genesis block's self-signed
+    certificate bootstraps U. Already-applied blocks are skipped (the
+    result list is then empty). *)
+
+val rebuild : Dag.t -> t
+(** Replay the whole DAG in canonical topological order. Because CRDT
+    operations commute, this equals any state built incrementally from
+    the same blocks in any causal order — the recovery path after
+    loading a persisted replica, and the invariant the property tests
+    pin down. *)
+
+val store : t -> Vegvisir_crdt.Store.t
+val membership : t -> Membership.t option
+(** [None] until a genesis block has been applied. *)
+
+val role_of : t -> Hash_id.t -> string option
+val applied : t -> Hash_id.Set.t
+val rejected_tx_count : t -> int
+
+val query :
+  t ->
+  crdt:string ->
+  op:string ->
+  Vegvisir_crdt.Value.t list ->
+  (Vegvisir_crdt.Value.t, Vegvisir_crdt.Schema.error) result
+
+val converged : t -> t -> bool
+(** True iff both CSMs hold identical application state (Ω and U) —
+    the convergence check used throughout the tests and experiments. *)
+
+val pp_tx_error : tx_error Fmt.t

@@ -1,0 +1,283 @@
+module HSet = Hash_id.Set
+module HMap = Hash_id.Map
+
+type t = {
+  blocks : Block.t HMap.t; (* resident blocks *)
+  kids : HSet.t HMap.t; (* hash -> children (resident or not-yet-known) *)
+  frontier : HSet.t;
+  heights : int HMap.t; (* resident and archived *)
+  archived : HSet.t; (* pruned: hash+height retained, body dropped *)
+  genesis : Block.t option;
+  bytes : int;
+}
+
+type add_error =
+  | Duplicate
+  | Missing_parents of Hash_id.Set.t
+  | Second_genesis
+
+let empty =
+  {
+    blocks = HMap.empty;
+    kids = HMap.empty;
+    frontier = HSet.empty;
+    heights = HMap.empty;
+    archived = HSet.empty;
+    genesis = None;
+    bytes = 0;
+  }
+
+let mem t h = HMap.mem h t.blocks
+let known t h = HMap.mem h t.blocks || HSet.mem h t.archived
+let find t h = HMap.find_opt h t.blocks
+let cardinal t = HMap.cardinal t.blocks
+let genesis t = t.genesis
+let frontier t = t.frontier
+let parents t h = match find t h with None -> [] | Some b -> b.Block.parents
+
+let children t h = Option.value (HMap.find_opt h t.kids) ~default:HSet.empty
+
+let height t h = HMap.find_opt h t.heights
+let max_height t = HMap.fold (fun _ h acc -> max h acc) t.heights 0
+
+let missing_parents t (b : Block.t) =
+  List.fold_left
+    (fun acc p -> if known t p then acc else HSet.add p acc)
+    HSet.empty b.Block.parents
+
+let add t (b : Block.t) =
+  let h = b.Block.hash in
+  if known t h then Error Duplicate
+  else if b.Block.parents = [] && t.genesis <> None then Error Second_genesis
+  else begin
+    let missing = missing_parents t b in
+    if not (HSet.is_empty missing) then Error (Missing_parents missing)
+    else begin
+      let height =
+        match b.Block.parents with
+        | [] -> 0
+        | ps ->
+          1
+          + List.fold_left
+              (fun acc p -> max acc (Option.value (HMap.find_opt p t.heights) ~default:0))
+              0 ps
+      in
+      let kids =
+        List.fold_left
+          (fun kids p ->
+            HMap.update p
+              (fun s -> Some (HSet.add h (Option.value s ~default:HSet.empty)))
+              kids)
+          t.kids b.Block.parents
+      in
+      let frontier =
+        HSet.add h
+          (List.fold_left (fun f p -> HSet.remove p f) t.frontier b.Block.parents)
+      in
+      Ok
+        {
+          blocks = HMap.add h b t.blocks;
+          kids;
+          frontier;
+          heights = HMap.add h height t.heights;
+          archived = t.archived;
+          genesis = (if b.Block.parents = [] then Some b else t.genesis);
+          bytes = t.bytes + Block.byte_size b;
+        }
+    end
+  end
+
+let level_frontier t n =
+  if n < 1 then invalid_arg "Dag.level_frontier: level must be >= 1";
+  let rec go n set =
+    if n <= 1 then set
+    else begin
+      let expanded =
+        HSet.fold
+          (fun h acc ->
+            List.fold_left
+              (fun acc p -> if mem t p then HSet.add p acc else acc)
+              acc (parents t h))
+          set set
+      in
+      go (n - 1) expanded
+    end
+  in
+  go n t.frontier
+
+let ancestors t h =
+  let rec go frontier acc =
+    if HSet.is_empty frontier then acc
+    else begin
+      let next =
+        HSet.fold
+          (fun x acc' ->
+            List.fold_left
+              (fun acc' p -> if HSet.mem p acc then acc' else HSet.add p acc')
+              acc' (parents t x))
+          frontier HSet.empty
+      in
+      go next (HSet.union acc next)
+    end
+  in
+  go (HSet.singleton h) HSet.empty
+
+let descendants t h =
+  let rec go frontier acc =
+    if HSet.is_empty frontier then acc
+    else begin
+      let next =
+        HSet.fold
+          (fun x acc' ->
+            HSet.fold
+              (fun c acc' -> if HSet.mem c acc then acc' else HSet.add c acc')
+              (children t x) acc')
+          frontier HSet.empty
+      in
+      go next (HSet.union acc next)
+    end
+  in
+  go (HSet.singleton h) HSet.empty
+
+let is_ancestor t ~ancestor ~descendant =
+  HSet.mem ancestor (ancestors t descendant)
+
+module Ready = Set.Make (struct
+  type t = Timestamp.t * Hash_id.t
+
+  let compare (t1, h1) (t2, h2) =
+    match Timestamp.compare t1 t2 with 0 -> Hash_id.compare h1 h2 | c -> c
+end)
+
+(* Kahn's algorithm with a deterministic ready set: parents first, ties by
+   (timestamp, hash). Pruned parents count as already emitted. *)
+let topo_order t =
+  let indegree =
+    HMap.map
+      (fun (b : Block.t) ->
+        List.length (List.filter (fun p -> mem t p) b.Block.parents))
+      t.blocks
+  in
+  let ready =
+    HMap.fold
+      (fun h d acc ->
+        if d = 0 then
+          let b = HMap.find h t.blocks in
+          Ready.add (b.Block.timestamp, h) acc
+        else acc)
+      indegree Ready.empty
+  in
+  let rec go ready indegree acc =
+    match Ready.min_elt_opt ready with
+    | None -> List.rev acc
+    | Some ((_, h) as elt) ->
+      let ready = Ready.remove elt ready in
+      let b = HMap.find h t.blocks in
+      let ready, indegree =
+        HSet.fold
+          (fun c (ready, indegree) ->
+            match HMap.find_opt c indegree with
+            | None -> (ready, indegree) (* child not resident *)
+            | Some d ->
+              let d = d - 1 in
+              let indegree = HMap.add c d indegree in
+              if d = 0 then
+                let cb = HMap.find c t.blocks in
+                (Ready.add (cb.Block.timestamp, c) ready, indegree)
+              else (ready, indegree))
+          (children t h) (ready, indegree)
+      in
+      go ready indegree (b :: acc)
+  in
+  go ready indegree []
+
+let blocks t = List.map snd (HMap.bindings t.blocks)
+let branch_width t = HSet.cardinal t.frontier
+
+let prune t h =
+  match HMap.find_opt h t.blocks with
+  | None -> t
+  | Some b ->
+    if b.Block.parents = [] then invalid_arg "Dag.prune: cannot prune genesis";
+    if HSet.mem h t.frontier then invalid_arg "Dag.prune: cannot prune a frontier block";
+    {
+      t with
+      blocks = HMap.remove h t.blocks;
+      archived = HSet.add h t.archived;
+      bytes = t.bytes - Block.byte_size b;
+    }
+
+let is_archived t h = HSet.mem h t.archived
+let archived_hashes t = t.archived
+let archived_count t = HSet.cardinal t.archived
+let byte_size t = t.bytes
+
+(* Persistence: resident blocks in canonical topological order, then the
+   archived (hash, height) pairs. Decoding re-inserts through [add], so a
+   corrupt or non-parent-closed image is rejected rather than trusted. *)
+
+let encode b t =
+  Wire.put_list b Block.encode (topo_order t);
+  Wire.put_list b
+    (fun b h ->
+      Wire.put_str b (Hash_id.to_raw h);
+      Wire.put_u32 b (Option.value (HMap.find_opt h t.heights) ~default:0))
+    (HSet.elements t.archived)
+
+let decode c =
+  let blocks = Wire.get_list c Block.decode in
+  let archived =
+    Wire.get_list c (fun c ->
+        let h = Hash_id.of_raw_exn (Wire.get_str c) in
+        let height = Wire.get_u32 c in
+        (h, height))
+  in
+  (* Archived hashes first, so resident blocks atop pruned history load. *)
+  let t =
+    List.fold_left
+      (fun t (h, height) ->
+        {
+          t with
+          archived = HSet.add h t.archived;
+          heights = HMap.add h height t.heights;
+        })
+      empty archived
+  in
+  List.fold_left
+    (fun t b ->
+      match add t b with
+      | Ok t -> t
+      | Error _ -> raise (Wire.Malformed "Dag.decode: blocks not parent-closed"))
+    t blocks
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  encode b t;
+  Buffer.contents b
+
+let of_string s = Wire.decode_string decode s
+
+let pp_dot ppf t =
+  Format.fprintf ppf "digraph vegvisir {@\n  rankdir=BT;@\n  node [shape=box, fontsize=10];@\n";
+  List.iter
+    (fun (b : Block.t) ->
+      let h = b.Block.hash in
+      let frontier_attr = if HSet.mem h t.frontier then ", penwidth=2, color=blue" else "" in
+      Format.fprintf ppf "  \"%s\" [label=\"%s\\nby %s, %d tx\"%s];@\n"
+        (Hash_id.short h) (Hash_id.short h)
+        (Hash_id.short b.Block.creator)
+        (List.length b.Block.transactions)
+        frontier_attr;
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "  \"%s\" -> \"%s\"%s;@\n" (Hash_id.short h)
+            (Hash_id.short p)
+            (if HSet.mem p t.archived then " [style=dashed]" else ""))
+        b.Block.parents)
+    (topo_order t);
+  HSet.iter
+    (fun h ->
+      Format.fprintf ppf "  \"%s\" [label=\"%s\\n(archived)\", style=dashed];@\n"
+        (Hash_id.short h) (Hash_id.short h))
+    t.archived;
+  Format.fprintf ppf "}@\n"

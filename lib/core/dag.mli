@@ -1,0 +1,95 @@
+(** The block DAG (§IV-C, Fig. 1).
+
+    Blocks point to their parents; the genesis block is the unique sink.
+    The {e frontier} (level-1 frontier set) is the set of blocks with no
+    successors; the level-N frontier adds N−1 generations of parents
+    (Fig. 3) and drives reconciliation (Algorithm 1).
+
+    The structure is immutable: [add] returns a new DAG sharing almost all
+    state, so nodes can snapshot cheaply.
+
+    Storage offloading (§IV-I) is supported by {!prune}: a pruned block's
+    body is dropped but its hash and height are remembered as {e archived},
+    so children can still be attached and ancestry queries report where
+    knowledge ends. *)
+
+type t
+
+type add_error =
+  | Duplicate
+  | Missing_parents of Hash_id.Set.t
+  | Second_genesis  (** a parentless block when a genesis already exists *)
+
+val empty : t
+val add : t -> Block.t -> (t, add_error) result
+val mem : t -> Hash_id.t -> bool
+val find : t -> Hash_id.t -> Block.t option
+val cardinal : t -> int
+(** Number of resident (non-pruned) blocks. *)
+
+val genesis : t -> Block.t option
+val frontier : t -> Hash_id.Set.t
+val level_frontier : t -> int -> Hash_id.Set.t
+(** [level_frontier t n] for [n >= 1]; pruned parents are skipped.
+    @raise Invalid_argument if [n < 1]. *)
+
+val parents : t -> Hash_id.t -> Hash_id.t list
+val children : t -> Hash_id.t -> Hash_id.Set.t
+val height : t -> Hash_id.t -> int option
+(** Genesis has height 0; otherwise 1 + max parent height. Known for
+    archived hashes too. *)
+
+val max_height : t -> int
+val missing_parents : t -> Block.t -> Hash_id.Set.t
+(** Parents neither resident nor archived. *)
+
+val ancestors : t -> Hash_id.t -> Hash_id.Set.t
+(** Proper ancestors reachable through resident blocks (archived ancestry
+    is cut off at the archived hash, which is included). *)
+
+val descendants : t -> Hash_id.t -> Hash_id.Set.t
+(** Proper descendants. *)
+
+val is_ancestor : t -> ancestor:Hash_id.t -> descendant:Hash_id.t -> bool
+
+val topo_order : t -> Block.t list
+(** Canonical topological order: parents before children; ties broken by
+    (timestamp, hash), so every replica with the same blocks lists them
+    identically. Pruned blocks are absent. *)
+
+val blocks : t -> Block.t list
+(** All resident blocks, unordered guarantees beyond determinism. *)
+
+val branch_width : t -> int
+(** [|frontier|] — 1 when the chain is effectively linear (Fig. 1). *)
+
+val prune : t -> Hash_id.t -> t
+(** Drop the block body, remember hash+height as archived. No-op if the
+    hash is not resident. Pruning the genesis or a frontier block is
+    refused (they anchor validation); @raise Invalid_argument then. *)
+
+val is_archived : t -> Hash_id.t -> bool
+val archived_hashes : t -> Hash_id.Set.t
+val archived_count : t -> int
+val byte_size : t -> int
+(** Total encoded size of resident blocks — the storage metric for §IV-I
+    experiments. *)
+
+(** {1 Persistence}
+
+    A replica can be flushed to stable storage and reloaded: resident
+    blocks travel in topological order (so reload needs no buffering)
+    and archived hashes travel with their heights. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : Wire.cursor -> t
+(** @raise Wire.Malformed on corrupt input (including a block set that is
+    not parent-closed). *)
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz rendering of the DAG (edges child → parent, Fig. 1 style):
+    nodes labelled with short hash, creator, and transaction count;
+    frontier blocks outlined. *)

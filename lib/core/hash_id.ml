@@ -1,0 +1,30 @@
+type t = string (* exactly 32 raw bytes *)
+
+let size = 32
+let of_raw s = if String.length s = size then Some s else None
+
+let of_raw_exn s =
+  if String.length s = size then s else invalid_arg "Hash_id.of_raw_exn: need 32 bytes"
+
+let digest s = Vegvisir_crypto.Sha256.digest s
+let to_raw t = t
+let to_hex t = Vegvisir_crypto.Hex.encode t
+
+let of_hex h =
+  match Vegvisir_crypto.Hex.decode h with
+  | raw -> of_raw raw
+  | exception Invalid_argument _ -> None
+
+let short t = String.sub (to_hex t) 0 8
+let compare = String.compare
+let equal = String.equal
+let pp ppf t = Fmt.string ppf (short t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

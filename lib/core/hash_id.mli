@@ -1,0 +1,32 @@
+(** 32-byte SHA-256 identifiers: block hashes and user IDs.
+
+    Blocks are identified by the hash of their encoding; users by the hash
+    of their public key. A dedicated type keeps raw byte strings and
+    digests from mixing. *)
+
+type t
+
+val size : int
+(** Always 32. *)
+
+val of_raw : string -> t option
+(** [of_raw s] is the identifier with digest bytes [s]; [None] unless
+    [String.length s = 32]. *)
+
+val of_raw_exn : string -> t
+val digest : string -> t
+(** [digest s] is the identifier [SHA-256(s)]. *)
+
+val to_raw : t -> string
+val to_hex : t -> string
+val of_hex : string -> t option
+
+val short : t -> string
+(** First 8 hex characters — for logs and display. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,19 @@
+type t = { lat : float; lon : float }
+
+let make ~lat ~lon = { lat; lon }
+
+let distance a b =
+  let dx = a.lat -. b.lat and dy = a.lon -. b.lon in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let encode b t =
+  Wire.put_i64 b (Int64.bits_of_float t.lat);
+  Wire.put_i64 b (Int64.bits_of_float t.lon)
+
+let decode c =
+  let lat = Int64.float_of_bits (Wire.get_i64 c) in
+  let lon = Int64.float_of_bits (Wire.get_i64 c) in
+  { lat; lon }
+
+let equal a b = Float.equal a.lat b.lat && Float.equal a.lon b.lon
+let pp ppf t = Fmt.pf ppf "(%.1f, %.1f)" t.lat t.lon

@@ -1,0 +1,13 @@
+(** Physical location recorded in block headers "if possible" (§IV-D). *)
+
+type t = { lat : float; lon : float }
+
+val make : lat:float -> lon:float -> t
+val distance : t -> t -> float
+(** Euclidean distance in the same units as the coordinates. Simulation
+    scenarios use a flat metre-denominated plane, so no geodesy. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : Wire.cursor -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,100 @@
+module HMap = Hash_id.Map
+
+type t = {
+  ca : Certificate.t;
+  added : Certificate.t HMap.t; (* cert digest -> cert *)
+  removed : Hash_id.t HMap.t; (* cert digest -> block carrying the revocation *)
+  by_user : Hash_id.Set.t HMap.t; (* user id -> cert digests ever added *)
+}
+
+type error = Bad_certificate of string | Not_ca_signed | Already_revoked
+
+let cert_digest c = Hash_id.digest (Certificate.to_string c)
+
+let index_user by_user c d =
+  HMap.update c.Certificate.user_id
+    (fun s -> Some (Hash_id.Set.add d (Option.value s ~default:Hash_id.Set.empty)))
+    by_user
+
+let create ~ca =
+  if not (Certificate.is_self_signed ca) then
+    Error (Bad_certificate "genesis certificate must be self-signed")
+  else if not (Certificate.verify ~ca ca) then
+    Error (Bad_certificate "genesis certificate does not verify")
+  else begin
+    let d = cert_digest ca in
+    Ok
+      {
+        ca;
+        added = HMap.add d ca HMap.empty;
+        removed = HMap.empty;
+        by_user = index_user HMap.empty ca d;
+      }
+  end
+
+let ca t = t.ca
+
+let add t c =
+  if not (Certificate.verify ~ca:t.ca c) then Error Not_ca_signed
+  else begin
+    let d = cert_digest c in
+    if HMap.mem d t.added then Ok t
+    else
+      Ok
+        {
+          t with
+          added = HMap.add d c t.added;
+          by_user = index_user t.by_user c d;
+        }
+  end
+
+let revoke t c ~revoked_in =
+  let d = cert_digest c in
+  if HMap.mem d t.removed then Ok t
+  else
+    (* 2P semantics: removal is valid even before the add is seen. Record
+       the cert so [certificate] can subtract it later. *)
+    Ok
+      {
+        t with
+        removed = HMap.add d revoked_in t.removed;
+        added = (if HMap.mem d t.added then t.added else HMap.add d c t.added);
+        by_user = index_user t.by_user c d;
+      }
+
+let live_digests t user =
+  match HMap.find_opt user t.by_user with
+  | None -> []
+  | Some ds ->
+    Hash_id.Set.elements (Hash_id.Set.filter (fun d -> not (HMap.mem d t.removed)) ds)
+
+let certificate t user =
+  match live_digests t user with
+  | [] -> None
+  | d :: _ -> HMap.find_opt d t.added
+
+let is_member t user = certificate t user <> None
+let role t user = Option.map (fun c -> c.Certificate.role) (certificate t user)
+
+let revoked_in t user =
+  match HMap.find_opt user t.by_user with
+  | None -> None
+  | Some ds ->
+    Hash_id.Set.fold
+      (fun d acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> HMap.find_opt d t.removed)
+      ds None
+
+let members t =
+  HMap.fold
+    (fun d c acc -> if HMap.mem d t.removed then acc else c :: acc)
+    t.added []
+
+let cardinal t = List.length (members t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>U (%d member(s)):@,%a@]" (cardinal t)
+    (Fmt.list ~sep:Fmt.cut Certificate.pp)
+    (members t)

@@ -1,0 +1,45 @@
+(** The user membership set U — a 2P-set of certificates (§IV-D, §IV-F).
+
+    Enrolment adds a CA-signed certificate to the add set; revocation adds
+    the same certificate to the remove set. U is implicitly created with
+    the blockchain: the genesis block carries the owner's self-signed
+    certificate, and the owner acts as certificate authority.
+
+    For each revocation the hash of the block that carried it is recorded,
+    so validators can decide whether a revocation is in a given block's
+    causal past (blocks created {e concurrently} with a revocation remain
+    valid; blocks created after it are rejected). *)
+
+type t
+
+type error =
+  | Bad_certificate of string
+  | Not_ca_signed
+  | Already_revoked
+
+val create : ca:Certificate.t -> (t, error) result
+(** Bootstrap from the owner's self-signed certificate (genesis). *)
+
+val ca : t -> Certificate.t
+
+val add : t -> Certificate.t -> (t, error) result
+(** Verify the CA signature and enrol. Idempotent. Re-adding a revoked
+    certificate enrols nothing (remove wins in a 2P-set). *)
+
+val revoke : t -> Certificate.t -> revoked_in:Hash_id.t -> (t, error) result
+(** Move the certificate to the remove set, remembering the block that
+    carried the revocation. Idempotent on the same certificate. *)
+
+val certificate : t -> Hash_id.t -> Certificate.t option
+(** Live certificate for a user ID ([add set \ remove set]). If a user
+    somehow has several live certificates the one with the smallest digest
+    is returned, deterministically. *)
+
+val is_member : t -> Hash_id.t -> bool
+val role : t -> Hash_id.t -> string option
+val revoked_in : t -> Hash_id.t -> Hash_id.t option
+(** The block that revoked this user, if any. *)
+
+val members : t -> Certificate.t list
+val cardinal : t -> int
+val pp : t Fmt.t

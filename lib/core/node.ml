@@ -1,0 +1,242 @@
+module Schema = Vegvisir_crdt.Schema
+module Store = Vegvisir_crdt.Store
+
+let log_src = Logs.Src.create "vegvisir.node" ~doc:"Vegvisir node block intake"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type receive_result =
+  | Accepted
+  | Duplicate
+  | Buffered of Validation.error
+  | Rejected of Validation.error
+
+type append_error =
+  | No_genesis
+  | Prepare_failed of Schema.error
+  | Signer_exhausted
+  | Self_rejected of Validation.error
+
+type stats = {
+  mutable created : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable duplicates : int;
+}
+
+type t = {
+  mutable signer : Signer.t;
+  mutable cert : Certificate.t;
+  mutable dag : Dag.t;
+  mutable csm : Csm.t;
+  mutable pending : Block.t list; (* newest first; drained on progress *)
+  max_skew_ms : int64;
+  max_pending : int;
+  stats : stats;
+}
+
+let create ?(max_skew_ms = Validation.default_max_skew_ms) ?(max_pending = 4096)
+    ~signer ~cert () =
+  {
+    signer;
+    cert;
+    dag = Dag.empty;
+    csm = Csm.empty;
+    pending = [];
+    max_skew_ms;
+    max_pending;
+    stats = { created = 0; accepted = 0; rejected = 0; duplicates = 0 };
+  }
+
+let genesis_block ~signer ~cert ~timestamp ?location ?(extra = []) () =
+  let creator = cert.Certificate.user_id in
+  Block.create ~signer ~creator ~timestamp ?location ~parents:[]
+    (Transaction.add_user cert :: extra)
+
+let user_id t = t.cert.Certificate.user_id
+let cert t = t.cert
+let dag t = t.dag
+let csm t = t.csm
+let membership t = Csm.membership t.csm
+let stats t = t.stats
+let pending_count t = List.length t.pending
+
+(* Accept a block that passed validation: store and apply. *)
+let commit t (b : Block.t) =
+  match Dag.add t.dag b with
+  | Error _ -> false
+  | Ok dag ->
+    t.dag <- dag;
+    let csm, _results = Csm.apply_block t.csm b in
+    t.csm <- csm;
+    t.stats.accepted <- t.stats.accepted + 1;
+    true
+
+let try_accept t ~now (b : Block.t) : receive_result =
+  if Dag.mem t.dag b.Block.hash || Dag.is_archived t.dag b.Block.hash then
+    Duplicate
+  else if Block.is_genesis b then begin
+    match Dag.genesis t.dag with
+    | Some g ->
+      if Block.equal g b then Duplicate
+      else Rejected Validation.Duplicate_genesis
+    | None -> begin
+      match Validation.check_genesis b with
+      | Error e -> Rejected e
+      | Ok _membership ->
+        if commit t b then Accepted else Rejected Validation.Duplicate_genesis
+    end
+  end
+  else begin
+    match membership t with
+    | None -> Buffered Validation.Unknown_creator (* no genesis yet *)
+    | Some m -> begin
+      match
+        Validation.check_block ~membership:m ~dag:t.dag ~now
+          ~max_skew_ms:t.max_skew_ms b
+      with
+      | Ok () ->
+        if commit t b then Accepted
+        else Rejected (Validation.Missing_parents Hash_id.Set.empty)
+      | Error e -> if Validation.is_transient e then Buffered e else Rejected e
+    end
+  end
+
+let buffer t (b : Block.t) =
+  if
+    not
+      (List.exists (fun p -> Hash_id.equal p.Block.hash b.Block.hash) t.pending)
+  then begin
+    let pending = b :: t.pending in
+    t.pending <-
+      (if List.length pending > t.max_pending then
+         List.filteri (fun i _ -> i < t.max_pending) pending
+       else pending)
+  end
+
+(* Retry buffered blocks until a pass makes no progress. *)
+let drain t ~now =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun b ->
+        match try_accept t ~now b with
+        | Accepted -> progress := true
+        | Duplicate -> ()
+        | Buffered _ -> still := b :: !still
+        | Rejected _ -> t.stats.rejected <- t.stats.rejected + 1)
+      (List.rev t.pending);
+    t.pending <- !still
+  done
+
+let receive t ~now b =
+  let r = try_accept t ~now b in
+  (match r with
+  | Accepted -> drain t ~now
+  | Duplicate -> t.stats.duplicates <- t.stats.duplicates + 1
+  | Buffered e ->
+    Log.debug (fun m ->
+        m "%a: buffered %a (%a)" Hash_id.pp (user_id t) Hash_id.pp b.Block.hash
+          Validation.pp_error e);
+    buffer t b
+  | Rejected e ->
+    Log.warn (fun m ->
+        m "%a: rejected %a (%a)" Hash_id.pp (user_id t) Hash_id.pp b.Block.hash
+          Validation.pp_error e);
+    t.stats.rejected <- t.stats.rejected + 1);
+  r
+
+let receive_all t ~now blocks = List.iter (fun b -> ignore (receive t ~now b)) blocks
+
+let missing_dependencies t =
+  List.fold_left
+    (fun acc b -> Hash_id.Set.union acc (Dag.missing_parents t.dag b))
+    Hash_id.Set.empty t.pending
+
+let prepare_transaction t ~crdt ~op args =
+  match Store.prepare (Csm.store t.csm) ~crdt ~op args with
+  | Ok args -> Ok (Transaction.make ~crdt ~op args)
+  | Error e -> Error e
+
+let append t ~now ?location ?parents txs =
+  match Dag.genesis t.dag with
+  | None -> Error No_genesis
+  | Some _ -> begin
+    let parents =
+      match parents with
+      | Some ps -> ps
+      | None -> Hash_id.Set.elements (Dag.frontier t.dag)
+    in
+    let parent_ts =
+      List.fold_left
+        (fun acc p ->
+          match Dag.find t.dag p with
+          | None -> acc
+          | Some pb -> Timestamp.max acc pb.Block.timestamp)
+        Timestamp.zero parents
+    in
+    let timestamp = Timestamp.max now (Timestamp.add_ms parent_ts 1L) in
+    match
+      Block.create ~signer:t.signer ~creator:(user_id t) ~timestamp ?location
+        ~parents txs
+    with
+    | exception Vegvisir_crypto.Mss.Exhausted -> Error Signer_exhausted
+    | b -> begin
+      t.stats.created <- t.stats.created + 1;
+      match receive t ~now:timestamp b with
+      | Accepted -> Ok b
+      | Duplicate -> Ok b
+      | Buffered e | Rejected e -> Error (Self_rejected e)
+    end
+  end
+
+let witness t ~now = append t ~now []
+
+let rotate_key t ~now ~signer ~cert =
+  if not (Hash_id.equal cert.Certificate.user_id (Signer.user_id_of_public signer.Signer.public))
+  then invalid_arg "Node.rotate_key: certificate does not match the new key";
+  (* One block, signed by the OLD key: enrol the new certificate and
+     self-revoke the old one. Revocation only affects causally-later
+     blocks, so the node's history stays valid; everything after this
+     block is signed by (and attributed to) the new identity. *)
+  match
+    append t ~now [ Transaction.add_user cert; Transaction.revoke_user t.cert ]
+  with
+  | Error _ as e -> e
+  | Ok b ->
+    t.signer <- signer;
+    t.cert <- cert;
+    Ok b
+
+let prune_to t ~max_bytes ~archived =
+  let pruned = ref 0 in
+  if Dag.byte_size t.dag > max_bytes then begin
+    let frontier = Dag.frontier t.dag in
+    List.iter
+      (fun (b : Block.t) ->
+        if
+          Dag.byte_size t.dag > max_bytes
+          && (not (Block.is_genesis b))
+          && not (Hash_id.Set.mem b.Block.hash frontier)
+        then begin
+          archived b;
+          t.dag <- Dag.prune t.dag b.Block.hash;
+          incr pruned
+        end)
+      (Dag.topo_order t.dag)
+  end;
+  !pruned
+
+let pp_receive_result ppf = function
+  | Accepted -> Fmt.string ppf "accepted"
+  | Duplicate -> Fmt.string ppf "duplicate"
+  | Buffered e -> Fmt.pf ppf "buffered (%a)" Validation.pp_error e
+  | Rejected e -> Fmt.pf ppf "rejected (%a)" Validation.pp_error e
+
+let pp_append_error ppf = function
+  | No_genesis -> Fmt.string ppf "no genesis block yet"
+  | Prepare_failed e -> Fmt.pf ppf "prepare failed: %a" Schema.pp_error e
+  | Signer_exhausted -> Fmt.string ppf "signing key exhausted"
+  | Self_rejected e -> Fmt.pf ppf "own block rejected: %a" Validation.pp_error e

@@ -1,0 +1,65 @@
+type t = {
+  mutable dag_ : Dag.t;
+  mutable chain_ : Support.t;
+  mutable buffer : Block.t list;
+}
+
+let create () = { dag_ = Dag.empty; chain_ = Support.empty; buffer = [] }
+
+let try_add t b =
+  match Dag.add t.dag_ b with
+  | Ok dag ->
+    t.dag_ <- dag;
+    true
+  | Error _ -> false
+
+let drain t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun b ->
+        if try_add t b then progress := true
+        else if not (Dag.mem t.dag_ b.Block.hash) then still := b :: !still)
+      (List.rev t.buffer);
+    t.buffer <- !still
+  done
+
+let absorb t b =
+  if not (Dag.mem t.dag_ b.Block.hash) then
+    if not (try_add t b) then begin
+      if
+        not
+          (List.exists
+             (fun p -> Hash_id.equal p.Block.hash b.Block.hash)
+             t.buffer)
+      then t.buffer <- b :: t.buffer
+    end
+    else drain t
+
+let absorb_all t blocks = List.iter (absorb t) blocks
+
+let flush t =
+  let archived = ref 0 in
+  List.iter
+    (fun (b : Block.t) ->
+      if not (Support.contains t.chain_ b.Block.hash) then begin
+        match Support.append t.chain_ b with
+        | Ok chain ->
+          t.chain_ <- chain;
+          incr archived
+        | Error _ -> ()
+      end)
+    (Dag.topo_order t.dag_);
+  !archived
+
+let chain t = t.chain_
+
+let fetch t h =
+  match Dag.find t.dag_ h with
+  | Some b -> Some b
+  | None -> Support.find t.chain_ h
+
+let dag t = t.dag_
+let buffered_count t = List.length t.buffer

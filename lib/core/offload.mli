@@ -1,0 +1,30 @@
+(** Superpeers: the bridge between the IoT DAG and the support blockchain
+    (§IV-I, Fig. 5).
+
+    A superpeer absorbs Vegvisir blocks (uploaded by storage-constrained
+    devices or gossiped), keeps its own DAG replica, and flushes blocks
+    onto the support chain in canonical topological order — which keeps
+    {!Support.verify} true by construction. Devices that pruned a block
+    can fetch it back from any superpeer. *)
+
+type t
+
+val create : unit -> t
+
+val absorb : t -> Block.t -> unit
+(** Accept a block (out-of-order arrivals are buffered until their parents
+    arrive). Duplicates are ignored. *)
+
+val absorb_all : t -> Block.t list -> unit
+
+val flush : t -> int
+(** Append every absorbed-but-unarchived block to the support chain in
+    topological order; returns how many were archived. *)
+
+val chain : t -> Support.t
+val fetch : t -> Hash_id.t -> Block.t option
+(** Recover a block from the superpeer (DAG or support chain). *)
+
+val dag : t -> Dag.t
+val buffered_count : t -> int
+(** Blocks waiting for missing parents. *)

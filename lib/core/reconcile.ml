@@ -1,0 +1,389 @@
+module HSet = Hash_id.Set
+
+type mode = [ `Naive | `Indexed | `Bloom ]
+
+type message =
+  | Frontier_request of { level : int }
+  | Frontier_reply of { level : int; blocks : Block.t list }
+  | Sync_request of { frontier : Hash_id.t list; recent : Hash_id.t list }
+  | Sync_reply of { blocks : Block.t list }
+  | Bloom_request of { filter : string }
+  | Bloom_reply of { blocks : Block.t list }
+  | Blocks_request of { hashes : Hash_id.t list }
+  | Blocks_reply of { blocks : Block.t list }
+
+type stats = {
+  rounds : int;
+  messages : int;
+  bytes_sent : int;
+  bytes_received : int;
+  blocks_received : int;
+  redundant_blocks : int;
+}
+
+let empty_stats =
+  {
+    rounds = 0;
+    messages = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+    blocks_received = 0;
+    redundant_blocks = 0;
+  }
+
+let add_stats a b =
+  {
+    rounds = a.rounds + b.rounds;
+    messages = a.messages + b.messages;
+    bytes_sent = a.bytes_sent + b.bytes_sent;
+    bytes_received = a.bytes_received + b.bytes_received;
+    blocks_received = a.blocks_received + b.blocks_received;
+    redundant_blocks = a.redundant_blocks + b.redundant_blocks;
+  }
+
+let encode_message b = function
+  | Frontier_request { level } ->
+    Wire.put_u8 b 1;
+    Wire.put_u32 b level
+  | Frontier_reply { level; blocks } ->
+    Wire.put_u8 b 2;
+    Wire.put_u32 b level;
+    Wire.put_list b Block.encode blocks
+  | Sync_request { frontier; recent } ->
+    Wire.put_u8 b 3;
+    Wire.put_list b (fun b h -> Wire.put_str b (Hash_id.to_raw h)) frontier;
+    Wire.put_list b (fun b h -> Wire.put_str b (Hash_id.to_raw h)) recent
+  | Sync_reply { blocks } ->
+    Wire.put_u8 b 4;
+    Wire.put_list b Block.encode blocks
+  | Bloom_request { filter } ->
+    Wire.put_u8 b 5;
+    Wire.put_str b filter
+  | Bloom_reply { blocks } ->
+    Wire.put_u8 b 6;
+    Wire.put_list b Block.encode blocks
+  | Blocks_request { hashes } ->
+    Wire.put_u8 b 7;
+    Wire.put_list b (fun b h -> Wire.put_str b (Hash_id.to_raw h)) hashes
+  | Blocks_reply { blocks } ->
+    Wire.put_u8 b 8;
+    Wire.put_list b Block.encode blocks
+
+let decode_message c =
+  match Wire.get_u8 c with
+  | 1 -> Frontier_request { level = Wire.get_u32 c }
+  | 2 ->
+    let level = Wire.get_u32 c in
+    let blocks = Wire.get_list c Block.decode in
+    Frontier_reply { level; blocks }
+  | 3 ->
+    let frontier = Wire.get_list c (fun c -> Hash_id.of_raw_exn (Wire.get_str c)) in
+    let recent = Wire.get_list c (fun c -> Hash_id.of_raw_exn (Wire.get_str c)) in
+    Sync_request { frontier; recent }
+  | 4 -> Sync_reply { blocks = Wire.get_list c Block.decode }
+  | 5 -> Bloom_request { filter = Wire.get_str c }
+  | 6 -> Bloom_reply { blocks = Wire.get_list c Block.decode }
+  | 7 ->
+    Blocks_request
+      { hashes = Wire.get_list c (fun c -> Hash_id.of_raw_exn (Wire.get_str c)) }
+  | 8 -> Blocks_reply { blocks = Wire.get_list c Block.decode }
+  | _ -> raise (Wire.Malformed "bad reconcile message tag")
+
+let message_size m =
+  let b = Buffer.create 256 in
+  encode_message b m;
+  Buffer.length b
+
+let message_equal a b =
+  let enc m =
+    let buf = Buffer.create 256 in
+    encode_message buf m;
+    Buffer.contents buf
+  in
+  String.equal (enc a) (enc b)
+
+let respond dag = function
+  | Frontier_request { level } ->
+    let hashes = Dag.level_frontier dag (max 1 level) in
+    let blocks = List.filter_map (Dag.find dag) (HSet.elements hashes) in
+    Some (Frontier_reply { level; blocks })
+  | Sync_request { frontier; recent } -> begin
+    (* Everything resident that is not in the ancestry of the hashes the
+       initiator claims to have. The [recent] hashes (the initiator's
+       deeper frontier levels) matter under mutual divergence: when the
+       responder does not know the initiator's frontier tips, it can still
+       subtract the shared history below them. *)
+    let base =
+      List.fold_left
+        (fun acc h ->
+          if Dag.mem dag h || Dag.is_archived dag h then
+            HSet.union (HSet.add h acc) (Dag.ancestors dag h)
+          else acc)
+        HSet.empty (frontier @ recent)
+    in
+    let blocks =
+      List.filter
+        (fun (b : Block.t) -> not (HSet.mem b.Block.hash base))
+        (Dag.topo_order dag)
+    in
+    Some (Sync_reply { blocks })
+  end
+  | Bloom_request { filter } -> begin
+    match Vegvisir_crypto.Bloom.of_string filter with
+    | None -> Some (Bloom_reply { blocks = [] })
+    | Some bloom ->
+      (* Everything resident the initiator does not (appear to) have; the
+         filter's false positives are recovered by explicit requests. *)
+      let blocks =
+        List.filter
+          (fun (b : Block.t) ->
+            not (Vegvisir_crypto.Bloom.mem bloom (Hash_id.to_raw b.Block.hash)))
+          (Dag.topo_order dag)
+      in
+      Some (Bloom_reply { blocks })
+  end
+  | Blocks_request { hashes } ->
+    Some (Blocks_reply { blocks = List.filter_map (Dag.find dag) hashes })
+  | Frontier_reply _ | Sync_reply _ | Bloom_reply _ | Blocks_reply _ -> None
+
+type session = {
+  mode : mode;
+  mutable level : int;
+  frontier : Hash_id.t list; (* indexed mode: what we advertised *)
+  recent : Hash_id.t list; (* indexed mode: deeper-level hashes advertised *)
+  mutable bloom : string; (* bloom mode: the filter we advertised *)
+  mutable collected : Block.t list; (* bloom mode: blocks received so far *)
+  mutable requested : HSet.t; (* bloom mode: hashes already asked for *)
+  mutable pending_request : message option; (* bloom mode: in-flight request *)
+  mutable last_reply_count : int; (* fixpoint detection across escalations *)
+  mutable stats : stats;
+}
+
+let track_send session m =
+  session.stats <-
+    {
+      session.stats with
+      messages = session.stats.messages + 1;
+      bytes_sent = session.stats.bytes_sent + message_size m;
+    }
+
+let recent_level = 16
+
+let bloom_of_dag dag =
+  let count = max 1 (Dag.cardinal dag + Dag.archived_count dag) in
+  let bloom = Vegvisir_crypto.Bloom.create ~expected:count ~fp_rate:0.01 in
+  List.iter
+    (fun (b : Block.t) ->
+      Vegvisir_crypto.Bloom.add bloom (Hash_id.to_raw b.Block.hash))
+    (Dag.blocks dag);
+  Hash_id.Set.iter
+    (fun h -> Vegvisir_crypto.Bloom.add bloom (Hash_id.to_raw h))
+    (Dag.archived_hashes dag);
+  Vegvisir_crypto.Bloom.to_string bloom
+
+let start mode dag =
+  let frontier = HSet.elements (Dag.frontier dag) in
+  let recent =
+    match mode with
+    | `Naive | `Bloom -> []
+    | `Indexed ->
+      (* Deeper frontier levels, minus the frontier itself: cheap (32 B per
+         hash) insurance against mutual divergence. *)
+      if Dag.cardinal dag = 0 then []
+      else
+        HSet.elements
+          (HSet.diff (Dag.level_frontier dag recent_level) (Dag.frontier dag))
+  in
+  let session =
+    {
+      mode;
+      level = 1;
+      frontier;
+      recent;
+      bloom = "";
+      collected = [];
+      requested = HSet.empty;
+      pending_request = None;
+      last_reply_count = -1;
+      stats = empty_stats;
+    }
+  in
+  let m =
+    match mode with
+    | `Naive -> Frontier_request { level = 1 }
+    | `Indexed -> Sync_request { frontier = session.frontier; recent = session.recent }
+    | `Bloom ->
+      session.bloom <- bloom_of_dag dag;
+      Bloom_request { filter = session.bloom }
+  in
+  track_send session m;
+  (session, m)
+
+let current_request session =
+  match session.mode with
+  | `Naive -> Frontier_request { level = session.level }
+  | `Indexed -> Sync_request { frontier = session.frontier; recent = session.recent }
+  | `Bloom ->
+    Option.value session.pending_request
+      ~default:(Bloom_request { filter = session.bloom })
+
+type step =
+  | Send of message
+  | Finished of { new_blocks : Block.t list; stats : stats }
+  | Ignored
+
+(* Order a set of blocks so that each block's parents are either already in
+   [dag] (or archived there) or appear earlier in the output. Blocks whose
+   parents cannot be satisfied locally (e.g. pruned on every reachable
+   peer) are appended at the end in deterministic order, so the caller can
+   buffer them and recover the missing ancestry from a superpeer's support
+   chain (SIV-I). *)
+let insertable_order dag blocks =
+  let pending = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      if not (Dag.mem dag b.Block.hash) then
+        Hashtbl.replace pending b.Block.hash b)
+    blocks;
+  let emitted = Hashtbl.create 16 in
+  let satisfied (b : Block.t) =
+    List.for_all
+      (fun p ->
+        Dag.mem dag p || Dag.is_archived dag p || Hashtbl.mem emitted p)
+      b.Block.parents
+  in
+  let out = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let ready =
+      Hashtbl.fold
+        (fun _ b acc -> if satisfied b then b :: acc else acc)
+        pending []
+    in
+    let ready = List.sort Block.compare ready in
+    List.iter
+      (fun (b : Block.t) ->
+        Hashtbl.remove pending b.Block.hash;
+        Hashtbl.replace emitted b.Block.hash ();
+        out := b :: !out;
+        progress := true)
+      ready
+  done;
+  let unsatisfied =
+    List.sort Block.compare (Hashtbl.fold (fun _ b acc -> b :: acc) pending [])
+  in
+  List.rev_append !out unsatisfied
+
+let receive_stats session dag blocks m =
+  let redundant =
+    List.length (List.filter (fun (b : Block.t) -> Dag.mem dag b.Block.hash) blocks)
+  in
+  session.stats <-
+    {
+      session.stats with
+      rounds = session.stats.rounds + 1;
+      messages = session.stats.messages + 1;
+      bytes_received = session.stats.bytes_received + message_size m;
+      blocks_received = session.stats.blocks_received + List.length blocks;
+      redundant_blocks = session.stats.redundant_blocks + redundant;
+    }
+
+let handle_reply session dag m =
+  match (session.mode, m) with
+  | `Naive, Frontier_reply { level; _ } when level <> session.level -> Ignored
+  | `Naive, Frontier_reply { level = _; blocks } ->
+    receive_stats session dag blocks m;
+    let unknown =
+      List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
+    in
+    let in_reply =
+      List.fold_left
+        (fun acc (b : Block.t) -> HSet.add b.Block.hash acc)
+        HSet.empty blocks
+    in
+    let bridged =
+      List.for_all
+        (fun (b : Block.t) ->
+          List.for_all
+            (fun p -> Dag.mem dag p || Dag.is_archived dag p || HSet.mem p in_reply)
+            b.Block.parents)
+        unknown
+    in
+    let fixpoint = List.length blocks = session.last_reply_count in
+    session.last_reply_count <- List.length blocks;
+    if bridged || fixpoint then
+      Finished { new_blocks = insertable_order dag unknown; stats = session.stats }
+    else begin
+      session.level <- session.level + 1;
+      let req = Frontier_request { level = session.level } in
+      track_send session req;
+      Send req
+    end
+  | `Indexed, Sync_reply { blocks } ->
+    receive_stats session dag blocks m;
+    let unknown =
+      List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
+    in
+    Finished { new_blocks = insertable_order dag unknown; stats = session.stats }
+  | `Bloom, (Bloom_reply { blocks } | Blocks_reply { blocks }) ->
+    receive_stats session dag blocks m;
+    session.collected <-
+      List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
+      @ session.collected;
+    let have =
+      List.fold_left
+        (fun acc (b : Block.t) -> HSet.add b.Block.hash acc)
+        HSet.empty session.collected
+    in
+    (* Parents neither local nor collected: the filter's false positives
+       (or genuinely absent ancestry). Ask for them explicitly, once. *)
+    let gaps =
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          List.fold_left
+            (fun acc p ->
+              if
+                Dag.mem dag p || Dag.is_archived dag p || HSet.mem p have
+                || HSet.mem p session.requested
+              then acc
+              else HSet.add p acc)
+            acc b.Block.parents)
+        HSet.empty session.collected
+    in
+    let got_nothing_new = blocks = [] in
+    if HSet.is_empty gaps || got_nothing_new then
+      Finished
+        { new_blocks = insertable_order dag session.collected; stats = session.stats }
+    else begin
+      session.requested <- HSet.union session.requested gaps;
+      let req = Blocks_request { hashes = HSet.elements gaps } in
+      session.pending_request <- Some req;
+      track_send session req;
+      Send req
+    end
+  | ( _,
+      ( Frontier_request _ | Sync_request _ | Frontier_reply _ | Sync_reply _
+      | Bloom_request _ | Bloom_reply _ | Blocks_request _ | Blocks_reply _ ) ) ->
+    invalid_arg "Reconcile.handle_reply: unexpected message for session mode"
+
+let sync_dags mode dst src =
+  let session, first = start mode dst in
+  let rec loop dst request =
+    match respond src request with
+    | None -> assert false
+    | Some reply -> begin
+      match handle_reply session dst reply with
+      | Send next -> loop dst next
+      | Ignored -> assert false (* local loop never duplicates replies *)
+      | Finished { new_blocks; stats } ->
+        let dst =
+          List.fold_left
+            (fun dst b ->
+              match Dag.add dst b with Ok dst -> dst | Error _ -> dst)
+            dst new_blocks
+        in
+        (dst, stats)
+    end
+  in
+  loop dst first

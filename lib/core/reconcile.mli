@@ -1,0 +1,91 @@
+(** Opportunistic DAG reconciliation (§IV-G, Algorithm 1, Fig. 3).
+
+    The {e naive} (paper) protocol: the initiator repeatedly requests the
+    responder's level-N frontier set, N = 1, 2, 3, …, until the received
+    blocks' parents are all locally known, then merges. Each escalation is
+    one round trip and re-transfers the previous level's blocks.
+
+    The {e indexed} protocol (the §VI future-work improvement, evaluated
+    as ablation E8): the initiator sends its own frontier hashes; the
+    responder computes exactly the blocks the initiator is missing (the
+    difference between its DAG and the ancestry of the received frontier)
+    and ships them, topologically ordered, in a single round trip.
+
+    Both are expressed as pure message handlers so they run over the
+    discrete-event simulator or any other transport. *)
+
+type mode = [ `Naive | `Indexed | `Bloom ]
+(** [`Naive] — the paper's Algorithm 1 (level escalation).
+    [`Indexed] — single round: the request advertises frontier + recent
+    ancestry hashes, the responder computes the difference.
+    [`Bloom] — the request is a Bloom filter over {e all} held hashes
+    (~10 bits/block instead of 32 bytes/hash), so request size stays
+    sub-linear on big DAGs; the filter's false positives are recovered
+    with explicit block requests. *)
+
+type message =
+  | Frontier_request of { level : int }
+  | Frontier_reply of { level : int; blocks : Block.t list }
+  | Sync_request of { frontier : Hash_id.t list; recent : Hash_id.t list }
+      (** [recent] holds deeper frontier-level hashes so the responder can
+          subtract shared history even when it does not know the
+          initiator's tips (mutual divergence) *)
+  | Sync_reply of { blocks : Block.t list }
+  | Bloom_request of { filter : string }
+  | Bloom_reply of { blocks : Block.t list }
+  | Blocks_request of { hashes : Hash_id.t list }
+  | Blocks_reply of { blocks : Block.t list }
+
+type stats = {
+  rounds : int;  (** request/reply round trips *)
+  messages : int;
+  bytes_sent : int;  (** from the initiator *)
+  bytes_received : int;  (** by the initiator *)
+  blocks_received : int;
+  redundant_blocks : int;  (** received blocks the initiator already had *)
+}
+
+val empty_stats : stats
+val add_stats : stats -> stats -> stats
+val message_size : message -> int
+(** Encoded size in bytes (used for bandwidth/energy accounting). *)
+
+val encode_message : Buffer.t -> message -> unit
+val decode_message : Wire.cursor -> message
+val message_equal : message -> message -> bool
+
+(** Responder side: answer any request from the local DAG. *)
+val respond : Dag.t -> message -> message option
+(** [None] for messages that are not requests. *)
+
+(** Initiator side: a pull session. *)
+type session
+
+val start : mode -> Dag.t -> session * message
+(** The session and the first request to send. *)
+
+type step =
+  | Send of message  (** escalate: send this next request *)
+  | Finished of { new_blocks : Block.t list; stats : stats }
+      (** [new_blocks] are the responder's blocks absent locally. Blocks
+          whose local insertion can succeed come first, parents before
+          children; blocks with ancestry that is unavailable even from the
+          responder (pruned/offloaded, §IV-I) follow at the end so the
+          caller can buffer them and recover the gap from a support
+          blockchain. *)
+  | Ignored
+      (** a stale duplicate (e.g. a retransmitted request produced two
+          replies for the same level) — drop it and keep waiting *)
+
+val handle_reply : session -> Dag.t -> message -> step
+(** Feed the responder's reply. @raise Invalid_argument on a non-reply. *)
+
+val current_request : session -> message
+(** The request the session is currently waiting on — what a transport
+    should retransmit when it suspects the previous copy (or its reply)
+    was lost. *)
+
+val sync_dags : mode -> Dag.t -> Dag.t -> Dag.t * stats
+(** Run a whole pull session locally: merge [src] into [dst], returning
+    the updated [dst] and transfer statistics. Blocks are inserted without
+    re-validation (both DAGs are assumed validated). *)

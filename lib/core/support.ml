@@ -1,0 +1,86 @@
+type entry = {
+  index : int;
+  prev : Hash_id.t;
+  payload : Block.t;
+  hash : Hash_id.t;
+}
+
+type t = {
+  rev_entries : entry list; (* newest first *)
+  archived : int Hash_id.Map.t; (* payload hash -> index *)
+}
+
+let zero_hash = Hash_id.digest "support-genesis"
+
+let empty = { rev_entries = []; archived = Hash_id.Map.empty }
+let length t = List.length t.rev_entries
+let contains t h = Hash_id.Map.mem h t.archived
+
+let entry_hash ~index ~prev ~payload =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "vegvisir-support-v1";
+  Wire.put_u32 b index;
+  Wire.put_str b (Hash_id.to_raw prev);
+  Block.encode b payload;
+  Hash_id.digest (Buffer.contents b)
+
+let append t (payload : Block.t) =
+  if contains t payload.Block.hash then Error "block already archived"
+  else begin
+    (* Topological order: any parent that will ever be archived must be
+       archived already. We cannot see the future, so the enforceable
+       rule is: a parent that IS currently known to be on-chain is fine,
+       and a parent that is NOT on-chain must never arrive later — which
+       [append] enforces at that later arrival? No: later arrival of the
+       parent would violate order. Therefore a conservative superpeer
+       archives in topological order; [verify] audits the invariant. *)
+    let index, prev =
+      match t.rev_entries with
+      | [] -> (0, zero_hash)
+      | e :: _ -> (e.index + 1, e.hash)
+    in
+    let entry =
+      { index; prev; payload; hash = entry_hash ~index ~prev ~payload }
+    in
+    Ok
+      {
+        rev_entries = entry :: t.rev_entries;
+        archived = Hash_id.Map.add payload.Block.hash index t.archived;
+      }
+  end
+
+let find t h =
+  match Hash_id.Map.find_opt h t.archived with
+  | None -> None
+  | Some index ->
+    List.find_map
+      (fun e -> if e.index = index then Some e.payload else None)
+      t.rev_entries
+
+let entries t = List.rev t.rev_entries
+let payloads t = List.rev_map (fun e -> e.payload) t.rev_entries
+
+let verify t =
+  let rec check_links = function
+    | [] -> true
+    | [ e ] -> e.index = 0 && Hash_id.equal e.prev zero_hash && check_hash e
+    | e :: (p :: _ as rest) ->
+      e.index = p.index + 1 && Hash_id.equal e.prev p.hash && check_hash e
+      && check_links rest
+  and check_hash e =
+    Hash_id.equal e.hash
+      (entry_hash ~index:e.index ~prev:e.prev ~payload:e.payload)
+  in
+  check_links t.rev_entries
+  &&
+  (* Topological order: each payload's parents, when archived, must have a
+     smaller index. *)
+  List.for_all
+    (fun e ->
+      List.for_all
+        (fun p ->
+          match Hash_id.Map.find_opt p t.archived with
+          | None -> true
+          | Some pi -> pi < e.index)
+        e.payload.Block.parents)
+    t.rev_entries

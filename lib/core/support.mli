@@ -1,0 +1,42 @@
+(** The support blockchain (§IV-I, Figs. 4–5).
+
+    A traditional linear chain maintained by higher-powered superpeers.
+    Each support block embeds one Vegvisir block; support blocks must be
+    appended so that the Vegvisir DAG's topological order is preserved:
+    whenever a block and one of its ancestors both appear on the support
+    chain, the ancestor appears first. Once a block is on the support
+    chain an IoT device may drop it locally. *)
+
+type entry = private {
+  index : int;
+  prev : Hash_id.t;  (** hash of the previous support entry, or zero *)
+  payload : Block.t;  (** the archived Vegvisir block *)
+  hash : Hash_id.t;  (** this entry's hash: links the linear chain *)
+}
+
+type t
+
+val empty : t
+val length : t -> int
+val contains : t -> Hash_id.t -> bool
+(** Whether a Vegvisir block (by hash) has been archived. *)
+
+val append : t -> Block.t -> (t, string) result
+(** Append a Vegvisir block. Fails if the block is already archived or if
+    one of its parents is neither archived yet nor unknown-to-the-chain —
+    i.e. appending would break topological order with respect to what the
+    chain already holds. Parents never archived are permitted: devices may
+    retain them forever. *)
+
+val find : t -> Hash_id.t -> Block.t option
+(** Recover an archived Vegvisir block. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val payloads : t -> Block.t list
+(** Archived Vegvisir blocks, oldest first. *)
+
+val verify : t -> bool
+(** Check the whole chain: hash links intact and topological order of the
+    embedded DAG preserved. *)

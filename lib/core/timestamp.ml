@@ -1,0 +1,11 @@
+type t = int64
+
+let zero = 0L
+let of_ms ms = ms
+let to_ms t = t
+let of_seconds s = Int64.of_float (s *. 1000.)
+let to_seconds t = Int64.to_float t /. 1000.
+let compare = Int64.compare
+let max a b = if Int64.compare a b >= 0 then a else b
+let add_ms = Int64.add
+let pp ppf t = Fmt.pf ppf "%Ldms" t

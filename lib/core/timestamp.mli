@@ -1,0 +1,18 @@
+(** Block timestamps: milliseconds since an epoch, as [int64].
+
+    Validation (§IV-E) requires a block's timestamp to exceed the maximum
+    of its parents' and not exceed the validator's current time (plus an
+    allowed clock skew, since the paper assumes loosely synchronized IoT
+    clocks). *)
+
+type t = int64
+
+val zero : t
+val of_ms : int64 -> t
+val to_ms : t -> int64
+val of_seconds : float -> t
+val to_seconds : t -> float
+val compare : t -> t -> int
+val max : t -> t -> t
+val add_ms : t -> int64 -> t
+val pp : t Fmt.t

@@ -1,0 +1,60 @@
+module Value = Vegvisir_crdt.Value
+module Store = Vegvisir_crdt.Store
+
+type t = { crdt : string; op : string; args : Value.t list }
+
+let users_crdt = "_users"
+
+let make ~crdt ~op args = { crdt; op; args }
+
+let add_user cert =
+  {
+    crdt = users_crdt;
+    op = "add";
+    args = [ Value.Bytes (Certificate.to_string cert) ];
+  }
+
+let revoke_user cert =
+  {
+    crdt = users_crdt;
+    op = "remove";
+    args = [ Value.Bytes (Certificate.to_string cert) ];
+  }
+
+let create_crdt ~name spec =
+  {
+    crdt = Store.omega_name;
+    op = Store.create_op;
+    args = Store.create_args ~name spec;
+  }
+
+let encode b t =
+  Wire.put_str b t.crdt;
+  Wire.put_str b t.op;
+  Wire.put_list b Value.encode t.args
+
+let decode c =
+  let crdt = Wire.get_str c in
+  let op = Wire.get_str c in
+  let n = Wire.get_u32 c in
+  let pos = ref c.Wire.pos in
+  let args =
+    try List.init n (fun _ -> Value.decode c.Wire.data pos)
+    with Invalid_argument m -> raise (Wire.Malformed m)
+  in
+  c.Wire.pos <- !pos;
+  { crdt; op; args }
+
+let byte_size t =
+  let b = Buffer.create 64 in
+  encode b t;
+  Buffer.length b
+
+let equal a b =
+  String.equal a.crdt b.crdt && String.equal a.op b.op
+  && List.equal Value.equal a.args b.args
+
+let pp ppf t =
+  Fmt.pf ppf "%s.%s(%a)" t.crdt t.op
+    (Fmt.list ~sep:(Fmt.any ", ") Value.pp)
+    t.args

@@ -1,0 +1,32 @@
+(** Transactions: operations on named CRDTs (§IV-D).
+
+    A transaction names a CRDT, an operation, and arguments. Transactions
+    carry no signature of their own — the enclosing block's signature
+    covers them and attributes them to the block creator. Two reserved
+    CRDT names address the built-in state: ["_users"] (the membership
+    2P-set U) and ["_omega"] (CRDT creation). *)
+
+type t = {
+  crdt : string;  (** target CRDT name *)
+  op : string;  (** operation name *)
+  args : Vegvisir_crdt.Value.t list;
+}
+
+val users_crdt : string
+(** ["_users"] — U. Ops: ["add"]/["remove"] with a certificate payload. *)
+
+val make : crdt:string -> op:string -> Vegvisir_crdt.Value.t list -> t
+
+val add_user : Certificate.t -> t
+(** Enrol a user: add their CA-signed certificate to U. *)
+
+val revoke_user : Certificate.t -> t
+(** Revoke: add the certificate to U's remove set (§IV-F). *)
+
+val create_crdt : name:string -> Vegvisir_crdt.Schema.spec -> t
+
+val encode : Buffer.t -> t -> unit
+val decode : Wire.cursor -> t
+val byte_size : t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,19 @@
+let witnesses dag h =
+  match Dag.find dag h with
+  | None -> Hash_id.Set.empty
+  | Some b ->
+    Hash_id.Set.fold
+      (fun d acc ->
+        match Dag.find dag d with
+        | None -> acc
+        | Some db ->
+          if Hash_id.equal db.Block.creator b.Block.creator then acc
+          else Hash_id.Set.add db.Block.creator acc)
+      (Dag.descendants dag h) Hash_id.Set.empty
+
+let witness_count dag h = Hash_id.Set.cardinal (witnesses dag h)
+let has_proof dag h ~k = witness_count dag h >= k
+
+let proven_ancestors dag h ~k =
+  if has_proof dag h ~k then Hash_id.Set.add h (Dag.ancestors dag h)
+  else Hash_id.Set.empty

@@ -1,0 +1,21 @@
+(** Proof-of-witness (§IV-H).
+
+    A user signals it has stored a block by appending a descendant block
+    (possibly empty) to the chain. Once a block has descendants signed by
+    at least [k] distinct other users, the block — and, transitively, all
+    its ancestors — is considered persistent by the application. Quorums
+    need not overlap because the chain is a DAG. *)
+
+val witnesses : Dag.t -> Hash_id.t -> Hash_id.Set.t
+(** Distinct creators of proper descendants of the block, excluding the
+    block's own creator. Empty if the hash is unknown or pruned. *)
+
+val witness_count : Dag.t -> Hash_id.t -> int
+
+val has_proof : Dag.t -> Hash_id.t -> k:int -> bool
+(** [has_proof dag h ~k] — at least [k] distinct witnesses. *)
+
+val proven_ancestors : Dag.t -> Hash_id.t -> k:int -> Hash_id.Set.t
+(** All blocks whose proof-of-witness follows from descendants of [h]
+    having one: every ancestor of a proven block is proven (§IV-H). This
+    returns the ancestors of [h] (including [h]) if [h] has a proof. *)

@@ -1,0 +1,12 @@
+(* Shared ordered collections over CRDT element values and string keys. *)
+
+module Value_ord = struct
+  type t = Value.t
+
+  let compare = Value.compare
+end
+
+module VSet = Set.Make (Value_ord)
+module VMap = Map.Make (Value_ord)
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)

@@ -1,0 +1,15 @@
+open Collections
+
+type t = int SMap.t
+
+let empty = SMap.empty
+
+let incr ~origin n t =
+  if n <= 0 then invalid_arg "Gcounter.incr: amount must be positive";
+  SMap.update origin (fun v -> Some (Option.value v ~default:0 + n)) t
+
+let value t = SMap.fold (fun _ v acc -> acc + v) t 0
+let value_of ~origin t = Option.value (SMap.find_opt origin t) ~default:0
+let merge = SMap.union (fun _ a b -> Some (max a b))
+let equal = SMap.equal Int.equal
+let pp ppf t = Fmt.pf ppf "%d" (value t)

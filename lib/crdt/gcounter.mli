@@ -1,0 +1,21 @@
+(** Grow-only counter CRDT (operation-based).
+
+    Increments are positive and commute by addition. Per-origin subtotals
+    are kept so applications can attribute contributions. *)
+
+type t
+
+val empty : t
+
+val incr : origin:string -> int -> t -> t
+(** @raise Invalid_argument if the amount is not positive. *)
+
+val value : t -> int
+val value_of : origin:string -> t -> int
+val merge : t -> t -> t
+(** Merge takes the per-origin {e max}, which is the correct state-based
+    join when each origin's subtotal grows monotonically — true for states
+    built from the same prefix-closed operation history. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,12 @@
+open Collections
+
+type t = VSet.t
+
+let empty = VSet.empty
+let add = VSet.add
+let mem = VSet.mem
+let elements = VSet.elements
+let cardinal = VSet.cardinal
+let merge = VSet.union
+let equal = VSet.equal
+let pp ppf t = Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any "; ") Value.pp) (elements t)

@@ -1,0 +1,21 @@
+(** Grow-only set CRDT.
+
+    The simplest CRDT: [add] is the only mutator and set union is both the
+    concurrent semantics and the state merge. The paper's motivating
+    application — the add-only set [H] of health-record access requests
+    (§IV-D) — is exactly this type. *)
+
+type t
+
+val empty : t
+val add : Value.t -> t -> t
+val mem : Value.t -> t -> bool
+val elements : t -> Value.t list
+val cardinal : t -> int
+
+val merge : t -> t -> t
+(** State-based join (set union); [apply]-order independence makes the
+    op-based and state-based views coincide. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,240 @@
+type state =
+  | S_gset of Gset.t
+  | S_two_pset of Two_pset.t
+  | S_orset of Orset.t
+  | S_gcounter of Gcounter.t
+  | S_pncounter of Pncounter.t
+  | S_lww of Lww_register.t
+  | S_mv of Mv_register.t
+  | S_rgraph of Rgraph.t
+  | S_rga of Rga.t
+
+type t = { spec : Schema.spec; state : state }
+
+let create (spec : Schema.spec) =
+  let state =
+    match spec.kind with
+    | Schema.Gset -> S_gset Gset.empty
+    | Schema.Two_pset -> S_two_pset Two_pset.empty
+    | Schema.Orset -> S_orset Orset.empty
+    | Schema.Gcounter -> S_gcounter Gcounter.empty
+    | Schema.Pncounter -> S_pncounter Pncounter.empty
+    | Schema.Lww_register -> S_lww Lww_register.empty
+    | Schema.Mv_register -> S_mv Mv_register.empty
+    | Schema.Rgraph -> S_rgraph Rgraph.empty
+    | Schema.Rga -> S_rga Rga.empty
+  in
+  { spec; state }
+
+let spec t = t.spec
+
+let ( let* ) = Result.bind
+
+let check_elem t ~op v =
+  if Value.typecheck t.spec.Schema.elem v then Ok ()
+  else Error (Schema.Type_error { op; index = 0; expected = t.spec.Schema.elem })
+
+(* User-level argument shapes differ from recorded shapes only for OR-set
+   remove and MV-register set, which gain a metadata list argument. *)
+let prepare t ~op args =
+  match (t.state, op, args) with
+  | S_orset s, "remove", [ v ] ->
+    let* () = check_elem t ~op v in
+    let tags = List.map (fun x -> Value.String x) (Orset.observed_tags v s) in
+    Ok [ v; Value.List tags ]
+  | S_mv s, "set", [ v ] ->
+    let* () = check_elem t ~op v in
+    let uids = List.map (fun x -> Value.String x) (Mv_register.observed_uids s) in
+    Ok [ v; Value.List uids ]
+  | S_orset _, "remove", _ | S_mv _, "set", _ ->
+    Error (Schema.Bad_arity { op; expected = 1; got = List.length args })
+  | _ ->
+    let* () = Schema.check_args t.spec ~op args in
+    Ok args
+
+let strings_of_list = function
+  | Value.List vs ->
+    List.map (function Value.String s -> s | _ -> assert false) vs
+  | _ -> assert false
+
+let apply t ~ctx ~op args =
+  let* () = Schema.check_args t.spec ~op args in
+  let ok state = Ok { t with state } in
+  match (t.state, op, args) with
+  | S_gset s, "add", [ v ] -> ok (S_gset (Gset.add v s))
+  | S_two_pset s, "add", [ v ] -> ok (S_two_pset (Two_pset.add v s))
+  | S_two_pset s, "remove", [ v ] -> ok (S_two_pset (Two_pset.remove v s))
+  | S_orset s, "add", [ v ] ->
+    ok (S_orset (Orset.add ~tag:ctx.Op_ctx.uid v s))
+  | S_orset s, "remove", [ v; tags ] ->
+    ok (S_orset (Orset.remove ~tags:(strings_of_list tags) v s))
+  | S_gcounter s, "incr", [ Value.Int n ] ->
+    if n <= 0 then Error (Schema.Invalid_argument_value "incr amount must be positive")
+    else ok (S_gcounter (Gcounter.incr ~origin:ctx.Op_ctx.origin n s))
+  | S_pncounter s, "incr", [ Value.Int n ] ->
+    if n <= 0 then Error (Schema.Invalid_argument_value "incr amount must be positive")
+    else ok (S_pncounter (Pncounter.incr ~origin:ctx.Op_ctx.origin n s))
+  | S_pncounter s, "decr", [ Value.Int n ] ->
+    if n <= 0 then Error (Schema.Invalid_argument_value "decr amount must be positive")
+    else ok (S_pncounter (Pncounter.decr ~origin:ctx.Op_ctx.origin n s))
+  | S_lww s, "set", [ v ] ->
+    ok (S_lww (Lww_register.set ~ts:ctx.Op_ctx.timestamp ~uid:ctx.Op_ctx.uid v s))
+  | S_mv s, "set", [ v; uids ] ->
+    ok
+      (S_mv
+         (Mv_register.set ~uid:ctx.Op_ctx.uid
+            ~overwrites:(strings_of_list uids) v s))
+  | S_rgraph s, "add_vertex", [ v ] -> ok (S_rgraph (Rgraph.add_vertex v s))
+  | S_rgraph s, "add_edge", [ u; v ] -> ok (S_rgraph (Rgraph.add_edge u v s))
+  | S_rga s, "insert", [ Value.String anchor; v ] ->
+    ok (S_rga (Rga.insert ~anchor ~id:ctx.Op_ctx.uid v s))
+  | S_rga s, "delete", [ Value.String id ] -> ok (S_rga (Rga.delete ~id s))
+  | _ ->
+    (* check_args passed, so shape mismatches here are impossible. *)
+    assert false
+
+let vlist vs = Value.List vs
+let vbool b = Value.Bool b
+let vint n = Value.Int n
+
+let query t op args =
+  let set_queries ~mem ~elements ~cardinal =
+    match (op, args) with
+    | "mem", [ v ] ->
+      let* () = check_elem t ~op v in
+      Ok (vbool (mem v))
+    | "elements", [] -> Ok (vlist (elements ()))
+    | "size", [] -> Ok (vint (cardinal ()))
+    | ("mem" | "elements" | "size"), _ ->
+      Error (Schema.Bad_arity { op; expected = (if op = "mem" then 1 else 0); got = List.length args })
+    | _ -> Error (Schema.Unknown_op op)
+  in
+  match t.state with
+  | S_gset s ->
+    set_queries
+      ~mem:(fun v -> Gset.mem v s)
+      ~elements:(fun () -> Gset.elements s)
+      ~cardinal:(fun () -> Gset.cardinal s)
+  | S_two_pset s ->
+    set_queries
+      ~mem:(fun v -> Two_pset.mem v s)
+      ~elements:(fun () -> Two_pset.elements s)
+      ~cardinal:(fun () -> Two_pset.cardinal s)
+  | S_orset s ->
+    set_queries
+      ~mem:(fun v -> Orset.mem v s)
+      ~elements:(fun () -> Orset.elements s)
+      ~cardinal:(fun () -> Orset.cardinal s)
+  | S_gcounter s -> begin
+    match (op, args) with
+    | "value", [] -> Ok (vint (Gcounter.value s))
+    | "value", _ -> Error (Schema.Bad_arity { op; expected = 0; got = List.length args })
+    | _ -> Error (Schema.Unknown_op op)
+  end
+  | S_pncounter s -> begin
+    match (op, args) with
+    | "value", [] -> Ok (vint (Pncounter.value s))
+    | "value", _ -> Error (Schema.Bad_arity { op; expected = 0; got = List.length args })
+    | _ -> Error (Schema.Unknown_op op)
+  end
+  | S_lww s -> begin
+    match (op, args) with
+    | "value", [] ->
+      Ok (Option.value (Lww_register.value s) ~default:Value.Unit)
+    | "value", _ -> Error (Schema.Bad_arity { op; expected = 0; got = List.length args })
+    | _ -> Error (Schema.Unknown_op op)
+  end
+  | S_mv s -> begin
+    match (op, args) with
+    | "values", [] -> Ok (vlist (Mv_register.values s))
+    | "values", _ -> Error (Schema.Bad_arity { op; expected = 0; got = List.length args })
+    | _ -> Error (Schema.Unknown_op op)
+  end
+  | S_rgraph s -> begin
+    match (op, args) with
+    | "has_vertex", [ v ] ->
+      let* () = check_elem t ~op v in
+      Ok (vbool (Rgraph.has_vertex v s))
+    | "has_edge", [ u; v ] -> Ok (vbool (Rgraph.has_edge u v s))
+    | "vertices", [] -> Ok (vlist (Rgraph.vertices s))
+    | "edges", [] ->
+      Ok (vlist (List.map (fun (u, v) -> Value.Pair (u, v)) (Rgraph.edges s)))
+    | "successors", [ v ] ->
+      let* () = check_elem t ~op v in
+      Ok (vlist (Rgraph.successors v s))
+    | ("has_vertex" | "has_edge" | "vertices" | "edges" | "successors"), _ ->
+      Error
+        (Schema.Bad_arity
+           {
+             op;
+             expected =
+               (match op with
+               | "has_edge" -> 2
+               | "vertices" | "edges" -> 0
+               | _ -> 1);
+             got = List.length args;
+           })
+    | _ -> Error (Schema.Unknown_op op)
+  end
+  | S_rga s -> begin
+    match (op, args) with
+    | "elements", [] -> Ok (vlist (Rga.to_list s))
+    | "size", [] -> Ok (vint (Rga.length s))
+    | "ids", [] ->
+      Ok (vlist (List.map (fun id -> Value.String id) (Rga.ids s)))
+    | "id_at", [ Value.Int i ] ->
+      Ok
+        (match Rga.id_at s i with
+        | Some id -> Value.String id
+        | None -> Value.Unit)
+    | ("elements" | "size" | "ids" | "id_at"), _ ->
+      Error
+        (Schema.Bad_arity
+           { op; expected = (if op = "id_at" then 1 else 0); got = List.length args })
+    | _ -> Error (Schema.Unknown_op op)
+  end
+
+let merge a b =
+  if not (Schema.equal a.spec b.spec) then
+    invalid_arg "Instance.merge: incompatible specs";
+  let state =
+    match (a.state, b.state) with
+    | S_gset x, S_gset y -> S_gset (Gset.merge x y)
+    | S_two_pset x, S_two_pset y -> S_two_pset (Two_pset.merge x y)
+    | S_orset x, S_orset y -> S_orset (Orset.merge x y)
+    | S_gcounter x, S_gcounter y -> S_gcounter (Gcounter.merge x y)
+    | S_pncounter x, S_pncounter y -> S_pncounter (Pncounter.merge x y)
+    | S_lww x, S_lww y -> S_lww (Lww_register.merge x y)
+    | S_mv x, S_mv y -> S_mv (Mv_register.merge x y)
+    | S_rgraph x, S_rgraph y -> S_rgraph (Rgraph.merge x y)
+    | S_rga x, S_rga y -> S_rga (Rga.merge x y)
+    | _ -> invalid_arg "Instance.merge: incompatible states"
+  in
+  { a with state }
+
+let equal a b =
+  Schema.equal a.spec b.spec
+  &&
+  match (a.state, b.state) with
+  | S_gset x, S_gset y -> Gset.equal x y
+  | S_two_pset x, S_two_pset y -> Two_pset.equal x y
+  | S_orset x, S_orset y -> Orset.equal x y
+  | S_gcounter x, S_gcounter y -> Gcounter.equal x y
+  | S_pncounter x, S_pncounter y -> Pncounter.equal x y
+  | S_lww x, S_lww y -> Lww_register.equal x y
+  | S_mv x, S_mv y -> Mv_register.equal x y
+  | S_rgraph x, S_rgraph y -> Rgraph.equal x y
+  | S_rga x, S_rga y -> Rga.equal x y
+  | _ -> false
+
+let pp ppf t =
+  match t.state with
+  | S_gset s -> Gset.pp ppf s
+  | S_two_pset s -> Two_pset.pp ppf s
+  | S_orset s -> Orset.pp ppf s
+  | S_gcounter s -> Gcounter.pp ppf s
+  | S_pncounter s -> Pncounter.pp ppf s
+  | S_lww s -> Lww_register.pp ppf s
+  | S_mv s -> Mv_register.pp ppf s
+  | S_rgraph s -> Rgraph.pp ppf s
+  | S_rga s -> Rga.pp ppf s

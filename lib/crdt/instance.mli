@@ -1,0 +1,38 @@
+(** A single named CRDT instance: spec plus current state, with dynamic
+    dispatch from (operation name, value arguments) as recorded in
+    transactions.
+
+    Two entry points mirror the op-based CRDT literature:
+    {!prepare} runs at the {e originating} replica and may enrich the
+    user-supplied arguments with metadata read from local state (observed
+    tags for OR-set [remove], observed uids for MV-register [set]);
+    {!apply} runs at {e every} replica, including the originator, on the
+    recorded arguments. *)
+
+type t
+
+val create : Schema.spec -> t
+val spec : t -> Schema.spec
+
+val prepare :
+  t -> op:string -> Value.t list -> (Value.t list, Schema.error) result
+(** Turn user-level arguments into the arguments to record in the
+    transaction. Checks user-level arity and types. *)
+
+val apply :
+  t -> ctx:Op_ctx.t -> op:string -> Value.t list -> (t, Schema.error) result
+(** Apply a recorded operation. Checks recorded arity and types
+    ({!Schema.check_args}) and value-level constraints (e.g. positive
+    counter increments). Does {b not} check permissions — the caller
+    (CRDT state machine) knows the originator's role. *)
+
+val query : t -> string -> Value.t list -> (Value.t, Schema.error) result
+(** Read-only queries, e.g. ["mem"], ["elements"], ["size"], ["value"],
+    ["values"], ["has_vertex"], ["has_edge"], ["vertices"], ["edges"],
+    ["successors"] depending on the kind. *)
+
+val merge : t -> t -> t
+(** State-based join. @raise Invalid_argument if the specs differ. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,31 @@
+type write = { ts : int64; uid : string; v : Value.t }
+type t = write option
+
+let empty = None
+
+let newer a b =
+  match Int64.compare a.ts b.ts with
+  | 0 -> String.compare a.uid b.uid > 0
+  | c -> c > 0
+
+let set ~ts ~uid v t =
+  let w = { ts; uid; v } in
+  match t with Some old when newer old w -> t | _ -> Some w
+
+let value = function None -> None | Some w -> Some w.v
+
+let merge x y =
+  match (x, y) with
+  | None, t | t, None -> t
+  | Some a, Some b -> if newer a b then x else y
+
+let equal x y =
+  match (x, y) with
+  | None, None -> true
+  | Some a, Some b ->
+    Int64.equal a.ts b.ts && String.equal a.uid b.uid && Value.equal a.v b.v
+  | None, Some _ | Some _, None -> false
+
+let pp ppf = function
+  | None -> Fmt.string ppf "<unset>"
+  | Some w -> Fmt.pf ppf "%a@%Ld" Value.pp w.v w.ts

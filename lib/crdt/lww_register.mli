@@ -1,0 +1,14 @@
+(** Last-writer-wins register CRDT.
+
+    The write with the greatest [(timestamp, uid)] pair wins; the uid
+    tie-break makes concurrent equal-timestamp writes resolve
+    deterministically on every replica. *)
+
+type t
+
+val empty : t
+val set : ts:int64 -> uid:string -> Value.t -> t -> t
+val value : t -> Value.t option
+val merge : t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

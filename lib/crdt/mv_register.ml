@@ -1,0 +1,29 @@
+open Collections
+
+type t = {
+  live : Value.t SMap.t; (* uid -> value, writes not yet overwritten *)
+  tombs : SSet.t; (* uids overwritten by some later write *)
+}
+
+let empty = { live = SMap.empty; tombs = SSet.empty }
+
+let set ~uid ~overwrites v t =
+  let tombs = SSet.union t.tombs (SSet.of_list overwrites) in
+  let live = SMap.filter (fun uid' _ -> not (SSet.mem uid' tombs)) t.live in
+  let live = if SSet.mem uid tombs then live else SMap.add uid v live in
+  { live; tombs }
+
+let observed_uids t = List.map fst (SMap.bindings t.live)
+
+let values t =
+  List.sort_uniq Value.compare (List.map snd (SMap.bindings t.live))
+
+let merge x y =
+  let tombs = SSet.union x.tombs y.tombs in
+  let both = SMap.union (fun _ v _ -> Some v) x.live y.live in
+  { live = SMap.filter (fun uid _ -> not (SSet.mem uid tombs)) both; tombs }
+
+let equal x y = SMap.equal Value.equal x.live y.live && SSet.equal x.tombs y.tombs
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any " | ") Value.pp) (values t)

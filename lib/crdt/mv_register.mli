@@ -1,0 +1,23 @@
+(** Multi-value register CRDT.
+
+    Each write carries a unique uid and the set of uids it overwrites (the
+    writes its originator had observed). Concurrent writes are all kept
+    and surfaced to the application — the register holds the set of
+    causally-maximal values. *)
+
+type t
+
+val empty : t
+
+val set : uid:string -> overwrites:string list -> Value.t -> t -> t
+
+val observed_uids : t -> string list
+(** Uids of currently live writes at this replica — what a locally prepared
+    [set] should declare as overwritten. *)
+
+val values : t -> Value.t list
+(** Causally-maximal values; more than one iff writes were concurrent. *)
+
+val merge : t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

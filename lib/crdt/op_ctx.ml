@@ -1,0 +1,7 @@
+type t = { origin : string; timestamp : int64; uid : string }
+
+let make ~origin ~timestamp ~uid = { origin; timestamp; uid }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>{origin=%s; ts=%Ld; uid=%s}@]" t.origin t.timestamp
+    (Vegvisir_crypto.Hex.encode t.uid)

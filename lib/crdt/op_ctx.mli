@@ -1,0 +1,17 @@
+(** Context of a CRDT operation's execution.
+
+    Every transaction in Vegvisir is implicitly attributed to the creator of
+    its enclosing block and stamped with that block's timestamp (§IV-D).
+    The [uid] is globally unique (block hash + transaction index) and gives
+    CRDTs that need unique tags (OR-set, MV-register) their tags, and
+    LWW its deterministic tie-break. *)
+
+type t = {
+  origin : string;  (** user ID of the block creator *)
+  timestamp : int64;  (** block timestamp, milliseconds *)
+  uid : string;  (** globally unique operation identifier *)
+}
+
+val make : origin:string -> timestamp:int64 -> uid:string -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,46 @@
+open Collections
+
+type t = {
+  live : SSet.t VMap.t; (* element -> tags currently alive *)
+  tombs : SSet.t VMap.t; (* element -> tags removed forever *)
+}
+
+let empty = { live = VMap.empty; tombs = VMap.empty }
+
+let tag_set m v = Option.value (VMap.find_opt v m) ~default:SSet.empty
+
+let add ~tag v t =
+  if SSet.mem tag (tag_set t.tombs v) then t (* remove already seen: stays dead *)
+  else { t with live = VMap.add v (SSet.add tag (tag_set t.live v)) t.live }
+
+let remove ~tags v t =
+  let dead = SSet.union (tag_set t.tombs v) (SSet.of_list tags) in
+  let alive = SSet.diff (tag_set t.live v) dead in
+  {
+    live =
+      (if SSet.is_empty alive then VMap.remove v t.live
+       else VMap.add v alive t.live);
+    tombs = VMap.add v dead t.tombs;
+  }
+
+let observed_tags v t = SSet.elements (tag_set t.live v)
+let mem v t = VMap.mem v t.live
+let elements t = List.map fst (VMap.bindings t.live)
+let cardinal t = VMap.cardinal t.live
+
+let merge x y =
+  let union_maps a b =
+    VMap.union (fun _ s1 s2 -> Some (SSet.union s1 s2)) a b
+  in
+  let tombs = union_maps x.tombs y.tombs in
+  let live =
+    VMap.filter_map
+      (fun v tags ->
+        let alive = SSet.diff tags (Option.value (VMap.find_opt v tombs) ~default:SSet.empty) in
+        if SSet.is_empty alive then None else Some alive)
+      (union_maps x.live y.live)
+  in
+  { live; tombs }
+
+let equal x y = VMap.equal SSet.equal x.live y.live && VMap.equal SSet.equal x.tombs y.tombs
+let pp ppf t = Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any "; ") Value.pp) (elements t)

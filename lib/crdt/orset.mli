@@ -1,0 +1,28 @@
+(** Observed-remove set CRDT.
+
+    Unlike the 2P-set, removed elements can be re-added: each [add] creates
+    a unique tag, and a [remove] deletes only the tags its originator had
+    observed. Concurrent add/remove therefore resolves add-wins.
+    Tombstones make application order-insensitive, so any linearisation of
+    the DAG's partial order converges. *)
+
+type t
+
+val empty : t
+
+val add : tag:string -> Value.t -> t -> t
+(** [tag] must be globally unique (Vegvisir uses the operation uid). *)
+
+val remove : tags:string list -> Value.t -> t -> t
+(** Removes exactly the given tags (observed by the originator). *)
+
+val observed_tags : Value.t -> t -> string list
+(** Live tags of an element at this replica — what a locally prepared
+    [remove] should carry. *)
+
+val mem : Value.t -> t -> bool
+val elements : t -> Value.t list
+val cardinal : t -> int
+val merge : t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

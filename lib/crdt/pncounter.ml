@@ -1,0 +1,9 @@
+type t = { p : Gcounter.t; n : Gcounter.t }
+
+let empty = { p = Gcounter.empty; n = Gcounter.empty }
+let incr ~origin amount t = { t with p = Gcounter.incr ~origin amount t.p }
+let decr ~origin amount t = { t with n = Gcounter.incr ~origin amount t.n }
+let value t = Gcounter.value t.p - Gcounter.value t.n
+let merge x y = { p = Gcounter.merge x.p y.p; n = Gcounter.merge x.n y.n }
+let equal x y = Gcounter.equal x.p y.p && Gcounter.equal x.n y.n
+let pp ppf t = Fmt.pf ppf "%d" (value t)

@@ -1,0 +1,16 @@
+(** Increment/decrement counter CRDT: a pair of grow-only counters. *)
+
+type t
+
+val empty : t
+
+val incr : origin:string -> int -> t -> t
+(** @raise Invalid_argument if the amount is not positive. *)
+
+val decr : origin:string -> int -> t -> t
+(** @raise Invalid_argument if the amount is not positive. *)
+
+val value : t -> int
+val merge : t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,147 @@
+open Collections
+
+type node = { value : Value.t; anchor : string; deleted : bool }
+
+type t = {
+  nodes : node SMap.t; (* integrated elements by id *)
+  children : string list SMap.t; (* anchor -> child ids, descending id *)
+  orphans : (string * Value.t) list SMap.t; (* missing anchor -> pending *)
+  predeleted : SSet.t; (* deletes that arrived before their insert *)
+}
+
+let empty =
+  {
+    nodes = SMap.empty;
+    children = SMap.empty;
+    orphans = SMap.empty;
+    predeleted = SSet.empty;
+  }
+
+let head = ""
+
+let children_of t anchor = Option.value (SMap.find_opt anchor t.children) ~default:[]
+
+(* Concurrent siblings are ordered by descending id: deterministic on
+   every replica, and causally-later inserts at the same anchor appear
+   earlier (RGA's standard ordering when ids grow with time). *)
+let insert_child t anchor id =
+  let rec place = function
+    | [] -> [ id ]
+    | x :: rest as l ->
+      if String.compare id x > 0 then id :: l else x :: place rest
+  in
+  SMap.add anchor (place (children_of t anchor)) t.children
+
+let known t id = String.equal id head || SMap.mem id t.nodes
+
+let rec integrate t ~anchor ~id value =
+  if SMap.mem id t.nodes then t
+  else begin
+    let deleted = SSet.mem id t.predeleted in
+    let t =
+      {
+        t with
+        nodes = SMap.add id { value; anchor; deleted } t.nodes;
+        predeleted = SSet.remove id t.predeleted;
+      }
+    in
+    let t = { t with children = insert_child t anchor id } in
+    (* Orphans anchored on the new element can now integrate. *)
+    match SMap.find_opt id t.orphans with
+    | None -> t
+    | Some waiting ->
+      let t = { t with orphans = SMap.remove id t.orphans } in
+      List.fold_left
+        (fun t (oid, ov) -> integrate t ~anchor:id ~id:oid ov)
+        t (List.rev waiting)
+  end
+
+let insert ~anchor ~id value t =
+  if SMap.mem id t.nodes then t
+  else if known t anchor then integrate t ~anchor ~id value
+  else begin
+    let waiting = Option.value (SMap.find_opt anchor t.orphans) ~default:[] in
+    if List.exists (fun (oid, _) -> String.equal oid id) waiting then t
+    else { t with orphans = SMap.add anchor ((id, value) :: waiting) t.orphans }
+  end
+
+let delete ~id t =
+  match SMap.find_opt id t.nodes with
+  | Some node ->
+    if node.deleted then t
+    else { t with nodes = SMap.add id { node with deleted = true } t.nodes }
+  | None -> { t with predeleted = SSet.add id t.predeleted }
+
+let fold f t acc =
+  (* Depth-first: an element precedes its own subtree; siblings in stored
+     order. *)
+  let rec walk acc anchor =
+    List.fold_left
+      (fun acc id ->
+        let node = SMap.find id t.nodes in
+        let acc = if node.deleted then acc else f acc id node.value in
+        walk acc id)
+      acc (children_of t anchor)
+  in
+  walk acc head
+
+let to_list t = List.rev (fold (fun acc _ v -> v :: acc) t [])
+let ids t = List.rev (fold (fun acc id _ -> id :: acc) t [])
+let id_at t i = List.nth_opt (ids t) i
+let length t = List.length (ids t)
+let orphan_count t = SMap.fold (fun _ l acc -> acc + List.length l) t.orphans 0
+
+let merge a b =
+  (* Replay b's operations into a: inserts (integrated and orphaned) and
+     deletes (tombstones and pre-tombstones). *)
+  let t =
+    SMap.fold
+      (fun id node t -> insert ~anchor:node.anchor ~id node.value t)
+      b.nodes a
+  in
+  (* b's integrated inserts may anchor on nodes a has not seen if b itself
+     merged them in a different order; iterate until stable. *)
+  let rec settle t =
+    let before = SMap.cardinal t.nodes in
+    let t =
+      SMap.fold
+        (fun id node t -> insert ~anchor:node.anchor ~id node.value t)
+        b.nodes t
+    in
+    if SMap.cardinal t.nodes = before then t else settle t
+  in
+  let t = settle t in
+  let t =
+    SMap.fold
+      (fun anchor waiting t ->
+        List.fold_left
+          (fun t (id, v) -> insert ~anchor ~id v t)
+          t (List.rev waiting))
+      b.orphans t
+  in
+  let t =
+    SMap.fold
+      (fun id node t -> if node.deleted then delete ~id t else t)
+      b.nodes t
+  in
+  SSet.fold (fun id t -> delete ~id t) b.predeleted t
+
+let equal a b =
+  SMap.equal
+    (fun x y ->
+      Value.equal x.value y.value
+      && String.equal x.anchor y.anchor
+      && Bool.equal x.deleted y.deleted)
+    a.nodes b.nodes
+  && (let norm m =
+        SMap.map
+          (fun l -> List.sort (fun (i, _) (j, _) -> String.compare i j) l)
+          m
+      in
+      SMap.equal
+        (List.equal (fun (i, v) (j, w) -> String.equal i j && Value.equal v w))
+        (norm a.orphans) (norm b.orphans))
+  && SSet.equal a.predeleted b.predeleted
+
+let pp ppf t =
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") Value.pp) (to_list t)

@@ -1,0 +1,44 @@
+(** Replicated Growable Array — a sequence CRDT (insert-after / delete),
+    the data type behind collaborative editing (the paper's related work
+    cites string-wise CRDT editors and JSON CRDTs built on it).
+
+    Every inserted element is identified by the unique id of its insert
+    operation; an insert anchors after an existing element (or the
+    sequence head). Concurrent inserts at the same anchor are ordered
+    deterministically (descending id), deletes tombstone. Out-of-order
+    delivery is tolerated: inserts whose anchor has not arrived wait in
+    an orphan buffer, deletes seen before their insert pre-tombstone, so
+    any permutation of the same operations converges. *)
+
+type t
+
+val empty : t
+
+val head : string
+(** The pseudo-anchor [""] for inserting at the front. *)
+
+val insert : anchor:string -> id:string -> Value.t -> t -> t
+(** [insert ~anchor ~id v t]: place [v] after element [anchor] (or at the
+    front when [anchor = head]). [id] must be globally unique (Vegvisir
+    uses the operation uid). Idempotent per [id]. *)
+
+val delete : id:string -> t -> t
+(** Tombstone an element. Commutes with its own insert. *)
+
+val to_list : t -> Value.t list
+(** Live elements, in sequence order. *)
+
+val ids : t -> string list
+(** Ids of live elements, in sequence order — the anchors/targets a local
+    user needs for [insert]/[delete]. *)
+
+val id_at : t -> int -> string option
+(** Id of the live element at a 0-based position. *)
+
+val length : t -> int
+val orphan_count : t -> int
+(** Inserts still waiting for their anchor. *)
+
+val merge : t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,36 @@
+open Collections
+
+module ESet = Set.Make (struct
+  type t = Value.t * Value.t
+
+  let compare (a1, b1) (a2, b2) =
+    match Value.compare a1 a2 with 0 -> Value.compare b1 b2 | c -> c
+end)
+
+type t = { vs : VSet.t; es : ESet.t }
+
+let empty = { vs = VSet.empty; es = ESet.empty }
+let add_vertex v t = { t with vs = VSet.add v t.vs }
+let add_edge u v t = { t with es = ESet.add (u, v) t.es }
+let has_vertex v t = VSet.mem v t.vs
+
+let edge_visible t (u, v) = VSet.mem u t.vs && VSet.mem v t.vs
+let has_edge u v t = ESet.mem (u, v) t.es && edge_visible t (u, v)
+let vertices t = VSet.elements t.vs
+let edges t = List.filter (edge_visible t) (ESet.elements t.es)
+
+let successors u t =
+  ESet.fold
+    (fun (a, b) acc -> if Value.equal a u && edge_visible t (a, b) then b :: acc else acc)
+    t.es []
+  |> List.sort Value.compare
+
+let merge x y = { vs = VSet.union x.vs y.vs; es = ESet.union x.es y.es }
+let equal x y = VSet.equal x.vs y.vs && ESet.equal x.es y.es
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>vertices: %a@,edges: %a@]"
+    (Fmt.list ~sep:(Fmt.any "; ") Value.pp)
+    (vertices t)
+    (Fmt.list ~sep:(Fmt.any "; ") (Fmt.pair ~sep:(Fmt.any "->") Value.pp Value.pp))
+    (edges t)

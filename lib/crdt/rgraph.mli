@@ -1,0 +1,24 @@
+(** Add-only graph CRDT for provenance tracking.
+
+    Vertices and edges only grow, so all operations commute. An edge may
+    be recorded before both endpoints are known locally (its add could
+    arrive via a different DAG branch); queries only expose edges whose
+    endpoints exist, so every replica converges to the same visible
+    graph. *)
+
+type t
+
+val empty : t
+val add_vertex : Value.t -> t -> t
+val add_edge : Value.t -> Value.t -> t -> t
+val has_vertex : Value.t -> t -> bool
+
+val has_edge : Value.t -> Value.t -> t -> bool
+(** True iff the edge was recorded and both endpoints exist. *)
+
+val vertices : t -> Value.t list
+val edges : t -> (Value.t * Value.t) list
+val successors : Value.t -> t -> Value.t list
+val merge : t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

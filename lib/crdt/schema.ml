@@ -1,0 +1,183 @@
+type kind =
+  | Gset
+  | Two_pset
+  | Orset
+  | Gcounter
+  | Pncounter
+  | Lww_register
+  | Mv_register
+  | Rgraph
+  | Rga
+
+type spec = {
+  kind : kind;
+  elem : Value.ty;
+  perms : (string * string list) list;
+}
+
+type error =
+  | No_such_crdt of string
+  | Duplicate_crdt of string
+  | Unknown_op of string
+  | Bad_arity of { op : string; expected : int; got : int }
+  | Type_error of { op : string; index : int; expected : Value.ty }
+  | Invalid_argument_value of string
+  | Permission_denied of { op : string; role : string }
+  | Spec_conflict of string
+
+let spec ?(perms = []) kind elem = { kind; elem; perms }
+
+let op_signature s op =
+  match (s.kind, op) with
+  | Gset, "add" -> Some [ s.elem ]
+  | Two_pset, ("add" | "remove") -> Some [ s.elem ]
+  | Orset, "add" -> Some [ s.elem ]
+  | Orset, "remove" -> Some [ s.elem; Value.T_list Value.T_string ]
+  | Gcounter, "incr" -> Some [ Value.T_int ]
+  | Pncounter, ("incr" | "decr") -> Some [ Value.T_int ]
+  | Lww_register, "set" -> Some [ s.elem ]
+  | Mv_register, "set" -> Some [ s.elem; Value.T_list Value.T_string ]
+  | Rgraph, "add_vertex" -> Some [ s.elem ]
+  | Rgraph, "add_edge" -> Some [ s.elem; s.elem ]
+  | Rga, "insert" -> Some [ Value.T_string; s.elem ] (* anchor id, value *)
+  | Rga, "delete" -> Some [ Value.T_string ] (* element id *)
+  | ( ( Gset | Two_pset | Orset | Gcounter | Pncounter | Lww_register
+      | Mv_register | Rgraph | Rga ),
+      _ ) ->
+    None
+
+let ops s =
+  match s.kind with
+  | Gset -> [ "add" ]
+  | Two_pset -> [ "add"; "remove" ]
+  | Orset -> [ "add"; "remove" ]
+  | Gcounter -> [ "incr" ]
+  | Pncounter -> [ "incr"; "decr" ]
+  | Lww_register -> [ "set" ]
+  | Mv_register -> [ "set" ]
+  | Rgraph -> [ "add_vertex"; "add_edge" ]
+  | Rga -> [ "insert"; "delete" ]
+
+let permitted s ~role ~op =
+  match List.assoc_opt op s.perms with
+  | None -> true
+  | Some roles -> List.mem "*" roles || List.mem role roles
+
+let check_args s ~op args =
+  match op_signature s op with
+  | None -> Error (Unknown_op op)
+  | Some sig_ ->
+    let expected = List.length sig_ and got = List.length args in
+    if expected <> got then Error (Bad_arity { op; expected; got })
+    else begin
+      let rec go i sig_ args =
+        match (sig_, args) with
+        | [], [] -> Ok ()
+        | ty :: sig_, v :: args ->
+          if Value.typecheck ty v then go (i + 1) sig_ args
+          else Error (Type_error { op; index = i; expected = ty })
+        | _ -> assert false
+      in
+      go 0 sig_ args
+    end
+
+let kind_to_string = function
+  | Gset -> "gset"
+  | Two_pset -> "2pset"
+  | Orset -> "orset"
+  | Gcounter -> "gcounter"
+  | Pncounter -> "pncounter"
+  | Lww_register -> "lww-register"
+  | Mv_register -> "mv-register"
+  | Rgraph -> "rgraph"
+  | Rga -> "rga"
+
+let pp_error ppf = function
+  | No_such_crdt n -> Fmt.pf ppf "no such CRDT: %s" n
+  | Duplicate_crdt n -> Fmt.pf ppf "CRDT already exists: %s" n
+  | Unknown_op op -> Fmt.pf ppf "unknown operation: %s" op
+  | Bad_arity { op; expected; got } ->
+    Fmt.pf ppf "operation %s expects %d argument(s), got %d" op expected got
+  | Type_error { op; index; expected } ->
+    Fmt.pf ppf "operation %s: argument %d must have type %a" op index
+      Value.pp_ty expected
+  | Invalid_argument_value msg -> Fmt.pf ppf "invalid argument: %s" msg
+  | Permission_denied { op; role } ->
+    Fmt.pf ppf "role %s may not perform %s" role op
+  | Spec_conflict n -> Fmt.pf ppf "conflicting concurrent creations of %s" n
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+let kind_tag = function
+  | Gset -> '\x01'
+  | Two_pset -> '\x02'
+  | Orset -> '\x03'
+  | Gcounter -> '\x04'
+  | Pncounter -> '\x05'
+  | Lww_register -> '\x06'
+  | Mv_register -> '\x07'
+  | Rgraph -> '\x08'
+  | Rga -> '\x09'
+
+let kind_of_tag = function
+  | '\x01' -> Gset
+  | '\x02' -> Two_pset
+  | '\x03' -> Orset
+  | '\x04' -> Gcounter
+  | '\x05' -> Pncounter
+  | '\x06' -> Lww_register
+  | '\x07' -> Mv_register
+  | '\x08' -> Rgraph
+  | '\x09' -> Rga
+  | _ -> invalid_arg "Schema.decode: bad kind tag"
+
+let encode b s =
+  Buffer.add_char b (kind_tag s.kind);
+  Value.encode_ty b s.elem;
+  (* perms as a value: list of (op, role list) pairs *)
+  let perms_value =
+    Value.List
+      (List.map
+         (fun (op, roles) ->
+           Value.Pair
+             (Value.String op, Value.List (List.map (fun r -> Value.String r) roles)))
+         s.perms)
+  in
+  Value.encode b perms_value
+
+let decode s pos =
+  if !pos >= String.length s then invalid_arg "Schema.decode: truncated";
+  let kind = kind_of_tag s.[!pos] in
+  incr pos;
+  let elem = Value.decode_ty s pos in
+  let perms =
+    match Value.decode s pos with
+    | Value.List entries ->
+      List.map
+        (function
+          | Value.Pair (Value.String op, Value.List roles) ->
+            ( op,
+              List.map
+                (function
+                  | Value.String r -> r
+                  | _ -> invalid_arg "Schema.decode: bad role")
+                roles )
+          | _ -> invalid_arg "Schema.decode: bad perms entry")
+        entries
+    | _ -> invalid_arg "Schema.decode: bad perms"
+  in
+  { kind; elem; perms }
+
+let to_string s =
+  let b = Buffer.create 32 in
+  encode b s;
+  Buffer.contents b
+
+let of_string raw =
+  let pos = ref 0 in
+  match decode raw pos with
+  | s when !pos = String.length raw -> Some s
+  | _ -> None
+  | exception Invalid_argument _ -> None
+
+let equal a b = String.equal (to_string a) (to_string b)

@@ -1,0 +1,62 @@
+(** CRDT type descriptors: kind, element type, and role-based permissions.
+
+    Per §IV-E, "when creating a CRDT, one must specify which roles can
+    perform which actions"; the CRDT state machine rejects transactions
+    whose originator's role is not permitted. *)
+
+type kind =
+  | Gset  (** grow-only set *)
+  | Two_pset  (** 2P-set: add set + remove set, remove wins (used for U) *)
+  | Orset  (** observed-remove set *)
+  | Gcounter  (** grow-only counter *)
+  | Pncounter  (** increment/decrement counter *)
+  | Lww_register  (** last-writer-wins register *)
+  | Mv_register  (** multi-value register *)
+  | Rgraph  (** add-only graph (provenance) *)
+  | Rga  (** sequence (insert-after / delete) — collaborative editing *)
+
+type spec = {
+  kind : kind;
+  elem : Value.ty;  (** element/payload type *)
+  perms : (string * string list) list;
+      (** [op -> roles allowed]. An op absent from the list is allowed to
+          every member; the role ["*"] in a list also allows everyone. *)
+}
+
+type error =
+  | No_such_crdt of string
+  | Duplicate_crdt of string
+  | Unknown_op of string
+  | Bad_arity of { op : string; expected : int; got : int }
+  | Type_error of { op : string; index : int; expected : Value.ty }
+  | Invalid_argument_value of string
+  | Permission_denied of { op : string; role : string }
+  | Spec_conflict of string
+
+val spec : ?perms:(string * string list) list -> kind -> Value.ty -> spec
+
+val op_signature : spec -> string -> Value.ty list option
+(** Declared argument types of a {e recorded} operation on a CRDT of this
+    spec, or [None] for an unknown op. Note that OR-set [remove] and
+    MV-register [set] record extra metadata arguments added by
+    {!Instance.prepare}. *)
+
+val ops : spec -> string list
+(** All operation names valid for the spec. *)
+
+val permitted : spec -> role:string -> op:string -> bool
+
+val check_args : spec -> op:string -> Value.t list -> (unit, error) result
+(** Arity + type check of recorded arguments. *)
+
+val kind_to_string : kind -> string
+val pp_error : error Fmt.t
+val error_to_string : error -> string
+
+val encode : Buffer.t -> spec -> unit
+val decode : string -> int ref -> spec
+(** @raise Invalid_argument on malformed input. *)
+
+val to_string : spec -> string
+val of_string : string -> spec option
+val equal : spec -> spec -> bool

@@ -1,0 +1,102 @@
+open Collections
+
+type entry = { creator_uid : string; inst : Instance.t }
+type t = { entries : entry SMap.t; conflicts : int }
+
+let empty = { entries = SMap.empty; conflicts = 0 }
+let omega_name = "_omega"
+let create_op = "create"
+
+let create_args ~name spec =
+  [ Value.String name; Value.Bytes (Schema.to_string spec) ]
+
+let find t name =
+  Option.map (fun e -> e.inst) (SMap.find_opt name t.entries)
+
+let names t = List.map fst (SMap.bindings t.entries)
+let conflicts t = t.conflicts
+
+let ( let* ) = Result.bind
+
+let apply_create t ~ctx args =
+  match args with
+  | [ Value.String name; Value.Bytes raw ] -> begin
+    if String.length name = 0 || name.[0] = '_' then
+      Error (Schema.Invalid_argument_value "CRDT names must be non-empty and not start with '_'")
+    else
+      match Schema.of_string raw with
+      | None -> Error (Schema.Invalid_argument_value "malformed CRDT spec")
+      | Some spec -> begin
+        let fresh = { creator_uid = ctx.Op_ctx.uid; inst = Instance.create spec } in
+        match SMap.find_opt name t.entries with
+        | None -> Ok { t with entries = SMap.add name fresh t.entries }
+        | Some existing ->
+          if Schema.equal (Instance.spec existing.inst) spec then Ok t
+          else if String.compare ctx.Op_ctx.uid existing.creator_uid < 0 then
+            (* Deterministic winner on (negligible) name collisions. *)
+            Ok
+              {
+                entries = SMap.add name fresh t.entries;
+                conflicts = t.conflicts + 1;
+              }
+          else Ok { t with conflicts = t.conflicts + 1 }
+      end
+  end
+  | _ ->
+    Error (Schema.Invalid_argument_value "create expects (string name, bytes spec)")
+
+let prepare t ~crdt ~op args =
+  if String.equal crdt omega_name then Ok args
+  else
+    match find t crdt with
+    | None -> Error (Schema.No_such_crdt crdt)
+    | Some inst -> Instance.prepare inst ~op args
+
+let apply t ~role ~ctx ~crdt ~op args =
+  if String.equal crdt omega_name then
+    if String.equal op create_op then apply_create t ~ctx args
+    else Error (Schema.Unknown_op op)
+  else
+    match SMap.find_opt crdt t.entries with
+    | None -> Error (Schema.No_such_crdt crdt)
+    | Some entry ->
+      if not (Schema.permitted (Instance.spec entry.inst) ~role ~op) then
+        Error (Schema.Permission_denied { op; role })
+      else
+        let* inst = Instance.apply entry.inst ~ctx ~op args in
+        Ok { t with entries = SMap.add crdt { entry with inst } t.entries }
+
+let query t ~crdt ~op args =
+  match find t crdt with
+  | None -> Error (Schema.No_such_crdt crdt)
+  | Some inst -> Instance.query inst op args
+
+let merge a b =
+  let entries =
+    SMap.union
+      (fun _ ea eb ->
+        if Schema.equal (Instance.spec ea.inst) (Instance.spec eb.inst) then
+          Some
+            {
+              creator_uid = min ea.creator_uid eb.creator_uid;
+              inst = Instance.merge ea.inst eb.inst;
+            }
+        else if String.compare ea.creator_uid eb.creator_uid < 0 then Some ea
+        else Some eb)
+      a.entries b.entries
+  in
+  { entries; conflicts = max a.conflicts b.conflicts }
+
+let equal a b =
+  SMap.equal
+    (fun x y ->
+      String.equal x.creator_uid y.creator_uid && Instance.equal x.inst y.inst)
+    a.entries b.entries
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (name, e) ->
+         Fmt.pf ppf "%s (%s): %a" name
+           (Schema.kind_to_string (Instance.spec e.inst).Schema.kind)
+           Instance.pp e.inst))
+    (SMap.bindings t.entries)

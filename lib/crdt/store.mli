@@ -1,0 +1,57 @@
+(** Ω — the collection of user-created CRDTs, itself a CRDT (§IV-D).
+
+    Creation is an operation on the reserved pseudo-CRDT {!omega_name}
+    with op {!create_op} and arguments [[String name; Bytes spec]].
+    Creation is add-only and idempotent: re-creating a name with an equal
+    spec is a no-op. The paper relies on long random names to make
+    concurrent creations of the same name with {e different} specs
+    negligible; should one occur anyway, the creation with the smaller
+    operation uid wins deterministically on every replica (the loser's
+    instance state is discarded) and {!conflicts} counts the event. *)
+
+type t
+
+val empty : t
+
+val omega_name : string
+(** ["_omega"]. Names beginning with ['_'] are reserved. *)
+
+val create_op : string
+(** ["create"]. *)
+
+val create_args : name:string -> Schema.spec -> Value.t list
+(** The recorded argument list of a creation transaction. *)
+
+val find : t -> string -> Instance.t option
+val names : t -> string list
+val conflicts : t -> int
+
+val prepare :
+  t ->
+  crdt:string ->
+  op:string ->
+  Value.t list ->
+  (Value.t list, Schema.error) result
+(** Originator-side argument enrichment; see {!Instance.prepare}. *)
+
+val apply :
+  t ->
+  role:string ->
+  ctx:Op_ctx.t ->
+  crdt:string ->
+  op:string ->
+  Value.t list ->
+  (t, Schema.error) result
+(** Validate and apply a recorded operation: the CRDT must exist, the op
+    must be valid for it, arguments must typecheck, and [role] must be
+    permitted (§IV-E's four transaction checks). *)
+
+val query :
+  t -> crdt:string -> op:string -> Value.t list -> (Value.t, Schema.error) result
+
+val merge : t -> t -> t
+(** State-based join of two stores (union of instances; per-name join;
+    uid-min rule on spec conflicts). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,16 @@
+open Collections
+
+type t = { a : VSet.t; r : VSet.t }
+
+let empty = { a = VSet.empty; r = VSet.empty }
+let add v t = { t with a = VSet.add v t.a }
+let remove v t = { t with r = VSet.add v t.r }
+let mem v t = VSet.mem v t.a && not (VSet.mem v t.r)
+let ever_added v t = VSet.mem v t.a
+let removed v t = VSet.mem v t.r
+let elements t = VSet.elements (VSet.diff t.a t.r)
+let removed_elements t = VSet.elements t.r
+let cardinal t = VSet.cardinal (VSet.diff t.a t.r)
+let merge x y = { a = VSet.union x.a y.a; r = VSet.union x.r y.r }
+let equal x y = VSet.equal x.a y.a && VSet.equal x.r y.r
+let pp ppf t = Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any "; ") Value.pp) (elements t)

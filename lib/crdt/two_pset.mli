@@ -1,0 +1,28 @@
+(** Two-phase set CRDT: an add set [A] and a remove set [R].
+
+    Membership is [A \ R]; once removed, an element can never be re-added
+    (remove-wins, permanently). Vegvisir's user membership set [U] is a
+    2P-set of certificates, where additions enrol users and additions to
+    [R] act as revocations (§IV-D, §IV-F). *)
+
+type t
+
+val empty : t
+val add : Value.t -> t -> t
+val remove : Value.t -> t -> t
+(** Unconditional: tombstones the element even if never added, so that
+    add/remove pairs commute. *)
+
+val mem : Value.t -> t -> bool
+(** [mem v t] is [v ∈ A \ R]. *)
+
+val ever_added : Value.t -> t -> bool
+val removed : Value.t -> t -> bool
+val elements : t -> Value.t list
+(** Live elements ([A \ R]). *)
+
+val removed_elements : t -> Value.t list
+val cardinal : t -> int
+val merge : t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,201 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Bytes of string
+  | List of t list
+  | Pair of t * t
+
+type ty =
+  | T_unit
+  | T_bool
+  | T_int
+  | T_float
+  | T_string
+  | T_bytes
+  | T_list of ty
+  | T_pair of ty * ty
+  | T_any
+
+let rec typecheck ty v =
+  match (ty, v) with
+  | T_any, _ -> true
+  | T_unit, Unit -> true
+  | T_bool, Bool _ -> true
+  | T_int, Int _ -> true
+  | T_float, Float _ -> true
+  | T_string, String _ -> true
+  | T_bytes, Bytes _ -> true
+  | T_list ty, List vs -> List.for_all (typecheck ty) vs
+  | T_pair (ta, tb), Pair (a, b) -> typecheck ta a && typecheck tb b
+  | (T_unit | T_bool | T_int | T_float | T_string | T_bytes | T_list _ | T_pair _), _
+    -> false
+
+(* Structural compare is a valid total order here: values contain no
+   functions or cycles, and NaN floats are excluded by the encoder. *)
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | String s -> Fmt.pf ppf "%S" s
+  | Bytes b -> Fmt.pf ppf "0x%s" (Vegvisir_crypto.Hex.encode b)
+  | List vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp) vs
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+
+let rec pp_ty ppf = function
+  | T_unit -> Fmt.string ppf "unit"
+  | T_bool -> Fmt.string ppf "bool"
+  | T_int -> Fmt.string ppf "int"
+  | T_float -> Fmt.string ppf "float"
+  | T_string -> Fmt.string ppf "string"
+  | T_bytes -> Fmt.string ppf "bytes"
+  | T_list t -> Fmt.pf ppf "%a list" pp_ty t
+  | T_pair (a, b) -> Fmt.pf ppf "(%a * %a)" pp_ty a pp_ty b
+  | T_any -> Fmt.string ppf "any"
+
+let ty_to_string ty = Fmt.str "%a" pp_ty ty
+
+let put_u32 b v =
+  for i = 3 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let put_i64 b v =
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let need s pos n =
+  if !pos + n > String.length s then invalid_arg "Value.decode: truncated"
+
+let get_u32 s pos =
+  need s pos 4;
+  let v =
+    (Char.code s.[!pos] lsl 24)
+    lor (Char.code s.[!pos + 1] lsl 16)
+    lor (Char.code s.[!pos + 2] lsl 8)
+    lor Char.code s.[!pos + 3]
+  in
+  pos := !pos + 4;
+  v
+
+let get_i64 s pos =
+  need s pos 8;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[!pos + i]))
+  done;
+  pos := !pos + 8;
+  !v
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let get_str s pos =
+  let n = get_u32 s pos in
+  need s pos n;
+  let r = String.sub s !pos n in
+  pos := !pos + n;
+  r
+
+let rec encode b = function
+  | Unit -> Buffer.add_char b '\x00'
+  | Bool false -> Buffer.add_char b '\x01'
+  | Bool true -> Buffer.add_char b '\x02'
+  | Int i ->
+    Buffer.add_char b '\x03';
+    put_i64 b (Int64.of_int i)
+  | Float f ->
+    if Float.is_nan f then invalid_arg "Value.encode: NaN is not encodable";
+    Buffer.add_char b '\x04';
+    put_i64 b (Int64.bits_of_float f)
+  | String s ->
+    Buffer.add_char b '\x05';
+    put_str b s
+  | Bytes s ->
+    Buffer.add_char b '\x06';
+    put_str b s
+  | List vs ->
+    Buffer.add_char b '\x07';
+    put_u32 b (List.length vs);
+    List.iter (encode b) vs
+  | Pair (x, y) ->
+    Buffer.add_char b '\x08';
+    encode b x;
+    encode b y
+
+let rec decode s pos =
+  need s pos 1;
+  let tag = s.[!pos] in
+  incr pos;
+  match tag with
+  | '\x00' -> Unit
+  | '\x01' -> Bool false
+  | '\x02' -> Bool true
+  | '\x03' -> Int (Int64.to_int (get_i64 s pos))
+  | '\x04' -> Float (Int64.float_of_bits (get_i64 s pos))
+  | '\x05' -> String (get_str s pos)
+  | '\x06' -> Bytes (get_str s pos)
+  | '\x07' ->
+    let n = get_u32 s pos in
+    List (List.init n (fun _ -> decode s pos))
+  | '\x08' ->
+    let x = decode s pos in
+    let y = decode s pos in
+    Pair (x, y)
+  | _ -> invalid_arg "Value.decode: bad tag"
+
+let rec encode_ty b = function
+  | T_unit -> Buffer.add_char b '\x40'
+  | T_bool -> Buffer.add_char b '\x41'
+  | T_int -> Buffer.add_char b '\x42'
+  | T_float -> Buffer.add_char b '\x43'
+  | T_string -> Buffer.add_char b '\x44'
+  | T_bytes -> Buffer.add_char b '\x45'
+  | T_list t ->
+    Buffer.add_char b '\x46';
+    encode_ty b t
+  | T_pair (x, y) ->
+    Buffer.add_char b '\x47';
+    encode_ty b x;
+    encode_ty b y
+  | T_any -> Buffer.add_char b '\x48'
+
+let rec decode_ty s pos =
+  need s pos 1;
+  let tag = s.[!pos] in
+  incr pos;
+  match tag with
+  | '\x40' -> T_unit
+  | '\x41' -> T_bool
+  | '\x42' -> T_int
+  | '\x43' -> T_float
+  | '\x44' -> T_string
+  | '\x45' -> T_bytes
+  | '\x46' -> T_list (decode_ty s pos)
+  | '\x47' ->
+    let x = decode_ty s pos in
+    let y = decode_ty s pos in
+    T_pair (x, y)
+  | '\x48' -> T_any
+  | _ -> invalid_arg "Value.decode_ty: bad tag"
+
+let to_string v =
+  let b = Buffer.create 32 in
+  encode b v;
+  Buffer.contents b
+
+let of_string s =
+  let pos = ref 0 in
+  match decode s pos with
+  | v when !pos = String.length s -> Some v
+  | _ -> None
+  | exception Invalid_argument _ -> None

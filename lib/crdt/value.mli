@@ -1,0 +1,55 @@
+(** Dynamically typed values carried by transactions, with type descriptors.
+
+    Vegvisir transactions name a CRDT, an operation, and arguments
+    (§IV-D). Arguments are values of this type; each CRDT operation
+    declares the argument types it expects and the CRDT state machine
+    rejects ill-typed transactions (§IV-E: "the argument to the operation
+    must pass type checks"). *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Bytes of string  (** opaque binary payloads, e.g. encrypted content *)
+  | List of t list
+  | Pair of t * t
+
+type ty =
+  | T_unit
+  | T_bool
+  | T_int
+  | T_float
+  | T_string
+  | T_bytes
+  | T_list of ty
+  | T_pair of ty * ty
+  | T_any  (** matches every value *)
+
+val typecheck : ty -> t -> bool
+(** [typecheck ty v] is [true] iff [v] inhabits [ty]. *)
+
+val compare : t -> t -> int
+(** Total order (used as a deterministic tie-break and for set keys). *)
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+val pp_ty : ty Fmt.t
+val ty_to_string : ty -> string
+
+val encode : Buffer.t -> t -> unit
+(** Deterministic binary encoding, appended to the buffer. *)
+
+val decode : string -> int ref -> t
+(** [decode s pos] reads a value at [!pos], advancing [pos].
+    @raise Invalid_argument on malformed input. *)
+
+val encode_ty : Buffer.t -> ty -> unit
+val decode_ty : string -> int ref -> ty
+
+val to_string : t -> string
+(** Round-trippable one-shot encoding. *)
+
+val of_string : string -> t option

@@ -1,0 +1,27 @@
+(** Bloom filters over SHA-256 double hashing.
+
+    Used by the Bloom reconciliation protocol: a replica summarizes the
+    set of block hashes it holds in ~10 bits per element, so the request
+    size is sub-linear in the DAG instead of 32 bytes per advertised
+    hash. False positives are possible (the responder may believe the
+    initiator holds a block it does not); the protocol recovers them with
+    explicit block requests. False negatives are impossible. *)
+
+type t
+
+val create : expected:int -> fp_rate:float -> t
+(** Sized for [expected] elements at the target false-positive rate.
+    @raise Invalid_argument unless [expected > 0] and [0 < fp_rate < 1]. *)
+
+val add : t -> string -> unit
+val mem : t -> string -> bool
+(** No false negatives; false positives at roughly the configured rate
+    while the load stays near [expected]. *)
+
+val bit_count : t -> int
+val hash_count : t -> int
+val byte_size : t -> int
+(** Serialized size. *)
+
+val to_string : t -> string
+val of_string : string -> t option

@@ -1,0 +1,16 @@
+(** Hexadecimal encoding of byte strings.
+
+    All functions operate on OCaml [string] values treated as raw bytes. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of [s]; its length is
+    [2 * String.length s]. *)
+
+val decode : string -> string
+(** [decode h] is the byte string whose hexadecimal rendering is [h].
+    Accepts upper- and lowercase digits.
+    @raise Invalid_argument if [h] has odd length or contains a character
+    outside [0-9a-fA-F]. *)
+
+val is_hex : string -> bool
+(** [is_hex h] is [true] iff [decode h] would succeed. *)

@@ -1,0 +1,85 @@
+(* Secret key: 256 pairs of 32-byte preimages. Public key: the SHA-256 of
+   the concatenation of the 512 preimage hashes (a compact commitment;
+   verification rebuilds the hashed positions from the signature plus the
+   unrevealed-side hashes stored in the signature is NOT possible with a
+   plain commitment, so the public key here is the full 512-hash list
+   hashed -- we therefore include the 256 unrevealed-side hashes in the
+   signature). *)
+
+type secret_key = { pre : string array array (* 256 x 2 x 32 bytes *) }
+type public_key = string
+
+type signature = {
+  revealed : string array; (* 256 preimages, one per digest bit *)
+  other : string array; (* hashes of the 256 unrevealed preimages *)
+}
+
+let bits = 256
+
+let generate rng =
+  let pre =
+    Array.init bits (fun _ -> [| Rng.bytes rng 32; Rng.bytes rng 32 |])
+  in
+  let ctx = Sha256.init () in
+  Array.iter
+    (fun pair ->
+      Sha256.feed ctx (Sha256.digest pair.(0));
+      Sha256.feed ctx (Sha256.digest pair.(1)))
+    pre;
+  ({ pre }, Sha256.finalize ctx)
+
+let public_of_secret sk =
+  let ctx = Sha256.init () in
+  Array.iter
+    (fun pair ->
+      Sha256.feed ctx (Sha256.digest pair.(0));
+      Sha256.feed ctx (Sha256.digest pair.(1)))
+    sk.pre;
+  Sha256.finalize ctx
+
+let bit_of_digest d i = (Char.code d.[i / 8] lsr (7 - (i mod 8))) land 1
+
+let sign sk msg =
+  let d = Sha256.digest msg in
+  let revealed = Array.make bits "" and other = Array.make bits "" in
+  for i = 0 to bits - 1 do
+    let b = bit_of_digest d i in
+    revealed.(i) <- sk.pre.(i).(b);
+    other.(i) <- Sha256.digest sk.pre.(i).(1 - b)
+  done;
+  { revealed; other }
+
+let verify pk msg s =
+  Array.length s.revealed = bits
+  && Array.length s.other = bits
+  &&
+  let d = Sha256.digest msg in
+  let ctx = Sha256.init () in
+  for i = 0 to bits - 1 do
+    let h_rev = Sha256.digest s.revealed.(i) in
+    let h0, h1 =
+      if bit_of_digest d i = 0 then (h_rev, s.other.(i))
+      else (s.other.(i), h_rev)
+    in
+    Sha256.feed ctx h0;
+    Sha256.feed ctx h1
+  done;
+  String.equal (Sha256.finalize ctx) pk
+
+let signature_size = bits * 32 * 2
+
+let signature_to_string s =
+  let b = Buffer.create signature_size in
+  Array.iter (Buffer.add_string b) s.revealed;
+  Array.iter (Buffer.add_string b) s.other;
+  Buffer.contents b
+
+let signature_of_string raw =
+  if String.length raw <> signature_size then None
+  else
+    let part off i = String.sub raw (off + (32 * i)) 32 in
+    Some
+      {
+        revealed = Array.init bits (part 0);
+        other = Array.init bits (part (bits * 32));
+      }

@@ -1,0 +1,28 @@
+(** Lamport one-time signatures over SHA-256.
+
+    The reference OTS: a key signs the 256 bits of the message digest by
+    revealing one of two preimages per bit. A secret key must sign at most
+    one message; signing twice leaks enough preimages for forgery. The
+    many-time scheme {!Mss} enforces one-time use; this module trusts the
+    caller. *)
+
+type secret_key
+type public_key = string (** 32-byte commitment to the key pair. *)
+
+type signature
+
+val generate : Rng.t -> secret_key * public_key
+(** Derive a key pair from the generator. The caller owns seed secrecy. *)
+
+val sign : secret_key -> string -> signature
+(** [sign sk msg] signs the SHA-256 digest of [msg]. *)
+
+val verify : public_key -> string -> signature -> bool
+
+val public_of_secret : secret_key -> public_key
+
+val signature_size : int
+(** Serialized signature size in bytes. *)
+
+val signature_to_string : signature -> string
+val signature_of_string : string -> signature option

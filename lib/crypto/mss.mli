@@ -1,0 +1,52 @@
+(** Merkle signature scheme: many-time signatures from W-OTS one-time keys.
+
+    A key pair holds [2^height] W-OTS leaf key pairs, derived on demand
+    from a master seed; the public key is the Merkle root over the leaf
+    public keys. Each signature consumes one leaf and carries the leaf
+    index, the W-OTS signature, the leaf public key, and its Merkle
+    authentication path. Verification needs only the 32-byte root.
+
+    Signing is stateful: a key signs at most [2^height] messages and each
+    leaf is used once. {!sign} raises {!Exhausted} when no leaves remain. *)
+
+exception Exhausted
+
+type secret_key
+type public_key = string (** 32-byte Merkle root. *)
+
+type signature
+
+val generate :
+  ?chunk_bits:int -> height:int -> seed:string -> unit -> secret_key * public_key
+(** [generate ~height ~seed ()] derives a key pair with [2^height] leaf
+    keys from a (secret) seed. [height] must be in [0..20].
+    Key generation performs [2^height] W-OTS key derivations, so keep
+    [height] modest in tests. *)
+
+val sign : secret_key -> string -> signature
+(** Consumes the next unused leaf. @raise Exhausted when none remain. *)
+
+val verify : ?chunk_bits:int -> public_key -> string -> signature -> bool
+
+val remaining : secret_key -> int
+(** Leaves not yet consumed. *)
+
+val used : secret_key -> int
+(** Leaves consumed so far. *)
+
+val advance : secret_key -> int -> unit
+(** [advance sk n] marks the first [n] leaves as consumed — restoring a
+    persisted key's position after re-deriving it from its seed. [n] may
+    not be smaller than the already-consumed count (one-time keys must
+    never be reused). @raise Invalid_argument on rewind or overflow. *)
+
+val capacity : secret_key -> int
+(** Total leaves, [2^height]. *)
+
+val public_of_secret : secret_key -> public_key
+
+val signature_to_string : signature -> string
+val signature_of_string : ?chunk_bits:int -> string -> signature option
+val signature_size : ?chunk_bits:int -> height:int -> unit -> int
+(** Serialized size of a signature for a key of the given height (paths to
+    a full tree have exactly [height] siblings). *)

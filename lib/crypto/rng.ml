@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (int64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the low 62 bits avoids modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec go () =
+    let v = Int64.to_int (int64 t) land mask in
+    let r = v mod bound in
+    if v - r + (bound - 1) >= 0 then r else go ()
+  in
+  go ()
+
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bytes t n =
+  let out = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (int64 t) in
+    let stop = min n (!i + 8) in
+    while !i < stop do
+      Bytes.set out !i (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+      v := Int64.shift_right_logical !v 8;
+      incr i
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    A [splitmix64] generator: fast, well-distributed, and fully reproducible
+    from a 64-bit seed. Used for key generation in tests/examples and for
+    all randomness in the network simulator, so that every experiment run is
+    bit-for-bit repeatable. Not a cryptographically secure RNG; the
+    signature schemes derive per-key material from caller-provided seeds and
+    document that contract. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator continuing from [t]'s state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it, such
+    that the two subsequent streams are independent. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte pseudo-random string. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. @raise Invalid_argument on []. *)

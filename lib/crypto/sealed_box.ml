@@ -1,0 +1,44 @@
+let overhead = 16 + 32
+
+let fit_nonce nonce =
+  let n = String.length nonce in
+  if n >= 16 then String.sub nonce 0 16 else nonce ^ String.make (16 - n) '\x00'
+
+let keystream ~key ~nonce len =
+  let b = Buffer.create (len + 32) in
+  let counter = ref 0 in
+  while Buffer.length b < len do
+    Buffer.add_string b
+      (Sha256.digest_list [ "box-ks"; key; nonce; string_of_int !counter ]);
+    incr counter
+  done;
+  Buffer.sub b 0 len
+
+let xor a b =
+  let n = String.length a in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set out i (Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+  done;
+  Bytes.unsafe_to_string out
+
+let mac_key key = Sha256.digest_list [ "box-mac"; key ]
+
+let encrypt ~key ~nonce plaintext =
+  let nonce = fit_nonce nonce in
+  let ct = xor plaintext (keystream ~key ~nonce (String.length plaintext)) in
+  let tag = Sha256.hmac ~key:(mac_key key) (nonce ^ ct) in
+  nonce ^ ct ^ tag
+
+let decrypt ~key box =
+  let n = String.length box in
+  if n < overhead then None
+  else begin
+    let nonce = String.sub box 0 16 in
+    let ct = String.sub box 16 (n - overhead) in
+    let tag = String.sub box (n - 32) 32 in
+    let expected = Sha256.hmac ~key:(mac_key key) (nonce ^ ct) in
+    if String.equal tag expected then
+      Some (xor ct (keystream ~key ~nonce (String.length ct)))
+    else None
+  end

@@ -1,0 +1,18 @@
+(** Authenticated symmetric encryption built from SHA-256 only.
+
+    Encrypt-then-MAC with a SHA-256-CTR keystream and HMAC-SHA-256. This is
+    a sound generic composition, but it is provided to model the paper's
+    "full encryption of contents within the blockchain" (§II-C) inside the
+    simulator — use a vetted AEAD in any real deployment. *)
+
+val encrypt : key:string -> nonce:string -> string -> string
+(** [encrypt ~key ~nonce plaintext] is [nonce] (padded/truncated to 16
+    bytes) followed by ciphertext and a 32-byte MAC. Never reuse a
+    [(key, nonce)] pair. *)
+
+val decrypt : key:string -> string -> string option
+(** [decrypt ~key box] is the plaintext, or [None] if the MAC check fails
+    or the box is malformed. *)
+
+val overhead : int
+(** Bytes added to a plaintext: 16 (nonce) + 32 (MAC). *)

@@ -1,0 +1,34 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4) with an incremental API, plus HMAC.
+
+    Digests are 32-byte raw strings; use {!Hex.encode} for display.
+    The implementation uses native [int] arithmetic masked to 32 bits,
+    which is correct on 64-bit platforms (OCaml's [int] is 63-bit). *)
+
+type ctx
+(** An in-progress hash computation. *)
+
+val digest_size : int
+(** Always 32. *)
+
+val init : unit -> ctx
+(** A fresh context. *)
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs all of [s]. *)
+
+val feed_bytes : ctx -> bytes -> int -> int -> unit
+(** [feed_bytes ctx b off len] absorbs [len] bytes of [b] at [off]. *)
+
+val finalize : ctx -> string
+(** [finalize ctx] is the 32-byte digest. The context must not be used
+    afterwards. *)
+
+val digest : string -> string
+(** One-shot hash of a string. *)
+
+val digest_list : string list -> string
+(** [digest_list parts] hashes the concatenation of [parts] without building
+    the concatenation. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA-256 (RFC 2104). *)

@@ -1,0 +1,86 @@
+type params = {
+  chunk_bits : int;
+  len1 : int;
+  len2 : int;
+  len : int;
+  chain_max : int;
+}
+
+let params ?(chunk_bits = 4) () =
+  if chunk_bits < 1 || chunk_bits > 8 then
+    invalid_arg "Wots.params: chunk_bits must be in 1..8";
+  let chain_max = (1 lsl chunk_bits) - 1 in
+  let len1 = (256 + chunk_bits - 1) / chunk_bits in
+  let max_checksum = len1 * chain_max in
+  let rec digits n acc = if n = 0 then max acc 1 else digits (n lsr chunk_bits) (acc + 1) in
+  let len2 = digits max_checksum 0 in
+  { chunk_bits; len1; len2; len = len1 + len2; chain_max }
+
+type secret_key = { p : params; keys : string array }
+type public_key = string
+type signature = { chains : string array }
+
+(* Extract the [len1] base-2^b chunks of a 32-byte digest, MSB first, then
+   append the checksum chunks. *)
+let chunks_of_digest p d =
+  let get_bit i = (Char.code d.[i / 8] lsr (7 - (i mod 8))) land 1 in
+  let msg_chunks =
+    Array.init p.len1 (fun i ->
+        let start = i * p.chunk_bits in
+        let v = ref 0 in
+        for j = start to min (start + p.chunk_bits) 256 - 1 do
+          v := (!v lsl 1) lor get_bit j
+        done;
+        (* A final short chunk is left-aligned like the others. *)
+        let got = min (start + p.chunk_bits) 256 - start in
+        !v lsl (p.chunk_bits - got))
+  in
+  let checksum = Array.fold_left (fun acc c -> acc + (p.chain_max - c)) 0 msg_chunks in
+  let cs_chunks =
+    Array.init p.len2 (fun i ->
+        (checksum lsr (p.chunk_bits * (p.len2 - 1 - i))) land p.chain_max)
+  in
+  Array.append msg_chunks cs_chunks
+
+let chain_step v = Sha256.digest_list [ "wots-chain"; v ]
+
+let rec chain v n = if n = 0 then v else chain (chain_step v) (n - 1)
+
+let public_of_keys p keys =
+  let ctx = Sha256.init () in
+  Array.iter (fun k -> Sha256.feed ctx (chain k p.chain_max)) keys;
+  Sha256.finalize ctx
+
+let generate p rng =
+  let keys = Array.init p.len (fun _ -> Rng.bytes rng 32) in
+  ({ p; keys }, public_of_keys p keys)
+
+let derive p ~seed =
+  let keys =
+    Array.init p.len (fun i ->
+        Sha256.digest_list [ "wots-sk"; seed; string_of_int i ])
+  in
+  ({ p; keys }, public_of_keys p keys)
+
+let sign sk msg =
+  let p = sk.p in
+  let cs = chunks_of_digest p (Sha256.digest msg) in
+  { chains = Array.mapi (fun i c -> chain sk.keys.(i) c) cs }
+
+let verify p pk msg s =
+  Array.length s.chains = p.len
+  &&
+  let cs = chunks_of_digest p (Sha256.digest msg) in
+  let ctx = Sha256.init () in
+  Array.iteri
+    (fun i c -> Sha256.feed ctx (chain s.chains.(i) (p.chain_max - c)))
+    cs;
+  String.equal (Sha256.finalize ctx) pk
+
+let signature_size p = p.len * 32
+
+let signature_to_string s = String.concat "" (Array.to_list s.chains)
+
+let signature_of_string p raw =
+  if String.length raw <> signature_size p then None
+  else Some { chains = Array.init p.len (fun i -> String.sub raw (32 * i) 32) }

@@ -1,0 +1,24 @@
+let experiments =
+  [
+    ("e1", Exp_branching.run);
+    ("e2", Exp_reconcile.run);
+    ("e3", Exp_energy.run);
+    ("e4", Exp_partition.run);
+    ("e5", Exp_propagation.run);
+    ("e6", Exp_witness.run);
+    ("e7", Exp_offload.run);
+    ("e8", Exp_ablation.run);
+    ("e9", Exp_sigsize.run);
+    ("e10", Exp_cluster.run);
+    ("e11", Exp_dutycycle.run);
+  ]
+
+let run_one ?quick id =
+  match List.assoc_opt (String.lowercase_ascii id) experiments with
+  | None -> false
+  | Some run ->
+    Report.print (run ?quick ());
+    true
+
+let run_all ?quick () =
+  List.iter (fun (_, run) -> Report.print (run ?quick ())) experiments

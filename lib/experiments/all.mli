@@ -1,0 +1,10 @@
+(** Registry of all experiments (E1–E11). *)
+
+val experiments : (string * (?quick:bool -> unit -> Report.table)) list
+(** Pairs of (lowercase id, runner). *)
+
+val run_one : ?quick:bool -> string -> bool
+(** Run and print one experiment by id (case-insensitive); [false] if the
+    id is unknown. *)
+
+val run_all : ?quick:bool -> unit -> unit

@@ -1,0 +1,10 @@
+(** E1 — DAG branching under partitions (Fig. 1, §IV-A).
+
+    Measures the DAG branch width (frontier size) while the network is
+    split into P partitions and after it heals, with and without the
+    frontier-reining rule ("when a user appends a new transaction, all
+    transactions known to the user must become ancestors"). Expected
+    shape: width ≈ P during the partition, back to ~1 after healing;
+    without reining the width keeps growing. *)
+
+val run : ?quick:bool -> unit -> Report.table

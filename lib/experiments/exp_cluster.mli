@@ -1,0 +1,11 @@
+(** E10 — The replicated support blockchain (§IV-I between superpeers).
+
+    Evaluates the consensus substrate behind the superpeer archive:
+    initial leader-election latency, replication latency for a batch of
+    archived blocks, and failover time after the leader is lost, across
+    cluster sizes. Expected shape: election and failover complete within
+    a few timeout periods regardless of size; replication latency stays
+    flat (one round trip from the leader); everything is safe (identical
+    archive prefixes) throughout. *)
+
+val run : ?quick:bool -> unit -> Report.table

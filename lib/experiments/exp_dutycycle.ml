@@ -1,0 +1,93 @@
+open Vegvisir_net
+module V = Vegvisir
+
+let n = 8
+
+let run_duty ~scale ~awake_fraction =
+  let ms x = x *. scale in
+  let topo = Topology.clique ~n in
+  let fleet =
+    Scenario.build ~seed:111L ~topo ~interval_ms:(ms 700.)
+      ~stale_after_ms:(ms 2_000.)
+      ~init_crdts:[ ("log", Workload.log_spec) ]
+      ()
+  in
+  let g = fleet.Scenario.gossip in
+  let net = fleet.Scenario.net in
+  if awake_fraction < 1. then
+    for i = 0 to n - 1 do
+      Simnet.set_duty_cycle net ~node:i ~period_ms:(ms 4_000.) ~awake_fraction
+    done;
+  let hashes = ref [] in
+  let appended = ref 0 in
+  Workload.drive fleet ~until_ms:(ms 100_000.) ~step_ms:(ms 5_000.) (fun t ->
+      if !appended < 12 then begin
+        let i = !appended mod n in
+        (* Devices wake to record their own observations even if the radio
+           sleeps; the block spreads at the next rendezvous. *)
+        match
+          V.Node.prepare_transaction (Gossip.node g i) ~crdt:"log" ~op:"add"
+            [ Vegvisir_crdt.Value.String (Printf.sprintf "d-%d-%.0f" i t) ]
+        with
+        | Error _ -> ()
+        | Ok tx -> begin
+          match Gossip.append g i [ tx ] with
+          | Ok b ->
+            incr appended;
+            hashes := b.V.Block.hash :: !hashes
+          | Error _ -> ()
+        end
+      end);
+  (* Run the tail until full dissemination (capped). *)
+  let deadline = Simnet.now net +. ms 1_200_000. in
+  let all_covered () =
+    List.for_all (fun h -> Gossip.coverage g h = n) !hashes
+  in
+  while (not (all_covered ())) && Simnet.now net < deadline do
+    Scenario.run fleet ~until_ms:(Simnet.now net +. ms 10_000.)
+  done;
+  let delays = ref [] and missing = ref 0 in
+  List.iter
+    (fun h ->
+      let birth = Option.get (Gossip.birth_time g h) in
+      for i = 0 to n - 1 do
+        match Gossip.arrival_time g ~peer:i h with
+        | Some a -> delays := ((a -. birth) /. scale) :: !delays
+        | None -> incr missing
+      done)
+    !hashes;
+  let energy = ref 0. in
+  for i = 0 to n - 1 do
+    energy := !energy +. Energy.total Energy.default_costs (Simnet.meter net i)
+  done;
+  let pairs = List.length !delays + !missing in
+  [
+    Report.fpct awake_fraction;
+    Report.ff ~decimals:1 (Metrics.mean_of !delays /. 1000.);
+    Report.ff ~decimals:1 (Metrics.percentile_of !delays 0.95 /. 1000.);
+    Report.ff ~decimals:0 (!energy /. 1000. /. float_of_int n);
+    Report.fpct (float_of_int (pairs - !missing) /. float_of_int (max 1 pairs));
+  ]
+
+let run ?(quick = false) () =
+  let fractions = if quick then [ 1.0; 0.25 ] else [ 1.0; 0.5; 0.25; 0.1 ] in
+  let scale = if quick then 0.35 else 1.0 in
+  {
+    Report.id = "E11";
+    title = "Duty-cycled radios: energy vs staleness";
+    claim =
+      "sleeping radios cut energy roughly with the awake fraction while \
+       opportunistic reconciliation still reaches everyone, at the cost \
+       of propagation delay";
+    header =
+      [ "awake"; "mean delay (s)"; "p95 (s)"; "mJ/peer"; "coverage" ];
+    rows = List.map (fun f -> run_duty ~scale ~awake_fraction:f) fractions;
+    notes =
+      [
+        "8-peer clique, 12 blocks, 4 s sleep period, randomized wake offsets \
+         (fixed phases fail to rendezvous below ~25% duty)";
+        "the energy floor below 25% is transmissions wasted on sleeping \
+         peers - wake-schedule gossip would reclaim it";
+        "tail runs until full dissemination (capped at 20 min simulated)";
+      ];
+  }

@@ -1,0 +1,11 @@
+(** E11 — Duty-cycled radios: the energy/staleness trade-off.
+
+    The paper's devices are "power-constrained"; real IoT radios sleep
+    most of the time. This experiment sweeps the awake fraction and
+    measures propagation delay, coverage, and per-peer energy. Expected
+    shape: energy falls roughly with the duty cycle (idle dominates a
+    quiet radio), propagation delay grows as encounters become rarer, and
+    coverage still reaches 100% — opportunistic reconciliation is exactly
+    the mechanism that tolerates sparse rendezvous. *)
+
+val run : ?quick:bool -> unit -> Report.table

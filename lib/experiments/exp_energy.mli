@@ -1,0 +1,10 @@
+(** E3 — Energy: Vegvisir vs proof-of-work (§I, §VI).
+
+    The same logging workload runs on a Vegvisir fleet and on a
+    Nakamoto-style miner fleet at several difficulties. Energy is the
+    weighted operation count of {!Vegvisir_net.Energy} (radio bytes,
+    hashes, signatures, idle). Expected shape: proof-of-work dominates by
+    orders of magnitude at any realistic difficulty and grows with it;
+    Vegvisir's cost is flat, dominated by the radio. *)
+
+val run : ?quick:bool -> unit -> Report.table

@@ -1,0 +1,9 @@
+(** E7 — Storage offloading to the support blockchain (§IV-I, Figs. 4–5).
+
+    Peers append continuously under a per-device storage cap; when over
+    the cap, the oldest non-frontier blocks are uploaded to a superpeer
+    and pruned locally. Verifies that resident storage stays bounded,
+    that the support chain preserves the DAG's topological order, and
+    that archived blocks can be fetched back. *)
+
+val run : ?quick:bool -> unit -> Report.table

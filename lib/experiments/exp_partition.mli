@@ -1,0 +1,9 @@
+(** E4 — Partition tolerance: nothing is lost, availability holds (§IV-A).
+
+    Both systems run the same workload across a 60-second network split.
+    Vegvisir: every block appended on either side survives the heal (the
+    DAG merges; tamperproofness is never traded away). The linear PoW
+    baseline: the losing branch's blocks are discarded on reorg and their
+    transactions vanish from the canonical history. *)
+
+val run : ?quick:bool -> unit -> Report.table

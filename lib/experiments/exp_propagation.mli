@@ -1,0 +1,9 @@
+(** E5 — Block propagation and transitivity (§IV-A, §IV-G).
+
+    Every peer appends one block; we measure, over all (block, peer)
+    pairs, how long the gossip takes to carry each block to each peer,
+    across topologies (clique, grid, line) and message-loss rates.
+    Expected shape: delay grows with network diameter and loss, but
+    coverage reaches 100% of correct peers — the Transitivity property. *)
+
+val run : ?quick:bool -> unit -> Report.table

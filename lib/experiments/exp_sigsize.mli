@@ -1,0 +1,12 @@
+(** E9 — Signature-size ablation (the DESIGN.md §2 substitution, made
+    measurable).
+
+    The paper leaves the signature scheme unspecified; this repository
+    implements hash-based MSS (≈2.6 KB signatures) and models an
+    ECDSA-class 64-byte scheme in fleet simulations. This experiment
+    quantifies what the choice costs on the radio: the same gossip
+    workload under signature sizes from ECDSA-class to Lamport-class,
+    reporting block size, propagation delay, bytes on air, and per-peer
+    energy. *)
+
+val run : ?quick:bool -> unit -> Report.table

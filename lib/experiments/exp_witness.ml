@@ -1,0 +1,88 @@
+open Vegvisir_net
+module V = Vegvisir
+
+let n = 10
+
+(* Returns the sim time (ms) when peer 0 first observes k witnesses of its
+   target block, or None within the horizon. *)
+let run_one ~scale ~k ~adversaries =
+  let ms x = x *. scale in
+  let topo = Topology.clique ~n in
+  let behaviors =
+    Array.init n (fun i ->
+        if i > 0 && i <= adversaries then Gossip.Silent else Gossip.Honest)
+  in
+  let fleet =
+    Scenario.build ~seed:(Int64.of_int (31 + k + (100 * adversaries))) ~topo
+      ~behaviors ~interval_ms:(ms 700.) ~stale_after_ms:(ms 1_500.)
+      ~session_timeout_ms:(ms 15_000.)
+      ~init_crdts:[ ("log", Workload.log_spec) ]
+      ()
+  in
+  let g = fleet.Scenario.gossip in
+  Scenario.run fleet ~until_ms:(ms 3_000.);
+  let target =
+    match
+      V.Node.prepare_transaction (Gossip.node g 0) ~crdt:"log" ~op:"add"
+        [ Vegvisir_crdt.Value.String "sensitive-access-request" ]
+    with
+    | Error _ -> invalid_arg "prepare failed"
+    | Ok tx -> begin
+      match Gossip.append g 0 [ tx ] with
+      | Ok b -> b.V.Block.hash
+      | Error _ -> invalid_arg "append failed"
+    end
+  in
+  let birth = Simnet.now fleet.Scenario.net in
+  let witnessed = Array.make n false in
+  let proof_at = ref None in
+  Workload.drive fleet ~until_ms:(ms 240_000.) ~step_ms:(ms 500.) (fun t ->
+      for i = 1 to n - 1 do
+        if
+          (not witnessed.(i))
+          && Gossip.behavior g i = Gossip.Honest
+          && V.Dag.mem (V.Node.dag (Gossip.node g i)) target
+        then begin
+          witnessed.(i) <- true;
+          ignore (Gossip.witness g i)
+        end
+      done;
+      if !proof_at = None then
+        if V.Witness.has_proof (V.Node.dag (Gossip.node g 0)) target ~k then
+          proof_at := Some ((t -. birth) /. scale));
+  !proof_at
+
+let row ~scale ~k ~adversaries =
+  let latency = run_one ~scale ~k ~adversaries in
+  [
+    Report.fi k;
+    Report.fi adversaries;
+    (match latency with
+    | Some l -> Report.ff ~decimals:1 (l /. 1000.)
+    | None -> "never");
+  ]
+
+let run ?(quick = false) () =
+  let scale = if quick then 0.4 else 1.0 in
+  let ks = if quick then [ 1; 3; 5 ] else [ 1; 2; 3; 4; 5; 6 ] in
+  let rows =
+    List.map (fun k -> row ~scale ~k ~adversaries:0) ks
+    @ List.map
+        (fun k -> row ~scale ~k ~adversaries:(k - 1))
+        (if quick then [ 3; 5 ] else [ 2; 3; 4; 5 ])
+  in
+  {
+    Report.id = "E6";
+    title = "Proof-of-witness latency (§IV-H)";
+    claim =
+      "time to k witnesses grows with k; with k-1 silent adversaries the \
+       proof still completes through the remaining correct peers";
+    header = [ "k"; "silent adversaries"; "latency (s)" ];
+    rows;
+    notes =
+      [
+        "10-peer clique; each correct peer witnesses a block once it sees it";
+        "latency measured at the target's creator (it must learn the \
+         witness blocks back through gossip)";
+      ];
+  }

@@ -1,0 +1,10 @@
+(** E6 — Proof-of-witness latency and adversary tolerance (§IV-H, §IV-B).
+
+    A target block is appended and peers witness new blocks by appending
+    empty descendants. Measures the time until the target's creator can
+    observe k distinct witnesses, for a k sweep, and with up to k−1
+    malicious (silent/withholding) peers among its closest neighbors —
+    the paper's adversary assumption is that at least one of the k
+    closest neighbors is correct. *)
+
+val run : ?quick:bool -> unit -> Report.table

@@ -1,0 +1,37 @@
+type table = {
+  id : string;
+  title : string;
+  claim : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let fi = string_of_int
+let ff ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let fpct f = Printf.sprintf "%.1f%%" (100. *. f)
+
+let print t =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let w = try List.nth acc i with _ -> 0 in
+            max w (String.length cell))
+          row)
+      (List.map String.length t.header)
+      t.rows
+  in
+  let pad cell w = cell ^ String.make (max 0 (w - String.length cell)) ' ' in
+  let line row =
+    String.concat "  " (List.mapi (fun i c -> pad c (List.nth widths i)) row)
+  in
+  Printf.printf "\n== %s: %s ==\n" t.id t.title;
+  Printf.printf "claim: %s\n" t.claim;
+  let header = line t.header in
+  print_endline header;
+  print_endline (String.make (String.length header) '-');
+  List.iter (fun r -> print_endline (line r)) t.rows;
+  List.iter (fun n -> Printf.printf "note: %s\n" n) t.notes;
+  print_newline ()

@@ -1,0 +1,18 @@
+(** Experiment result tables, printed in a fixed-width layout that
+    EXPERIMENTS.md quotes verbatim. *)
+
+type table = {
+  id : string;  (** "E1" … "E8" *)
+  title : string;
+  claim : string;  (** the paper claim / figure being reproduced *)
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val print : table -> unit
+
+val fi : int -> string
+val ff : ?decimals:int -> float -> string
+val fpct : float -> string
+(** [fpct 0.25] is ["25.0%"]. *)

@@ -1,0 +1,56 @@
+open Vegvisir_net
+module V = Vegvisir
+module Value = Vegvisir_crdt.Value
+module Schema = Vegvisir_crdt.Schema
+
+let log_spec = Schema.spec Schema.Gset Value.T_string
+
+let add_entry gossip i entry =
+  match
+    V.Node.prepare_transaction (Gossip.node gossip i) ~crdt:"log" ~op:"add"
+      [ Value.String entry ]
+  with
+  | Error _ -> false
+  | Ok tx -> begin
+    match Gossip.append gossip i [ tx ] with Ok _ -> true | Error _ -> false
+  end
+
+let drive fleet ~until_ms ~step_ms f =
+  let rec go t =
+    if t <= until_ms then begin
+      Scenario.run fleet ~until_ms:t;
+      f t;
+      go (t +. step_ms)
+    end
+  in
+  go step_ms;
+  Scenario.run fleet ~until_ms
+
+let offline_pair () =
+  let sa = V.Signer.oracle ~id:"offline-a" () in
+  let sb = V.Signer.oracle ~id:"offline-b" () in
+  let ca = V.Certificate.self_signed ~signer:sa ~role:"ca" in
+  let cb = V.Certificate.issue ~ca ~ca_signer:sa ~subject:sb ~role:"member" in
+  let genesis =
+    V.Node.genesis_block ~signer:sa ~cert:ca ~timestamp:(V.Timestamp.of_ms 0L)
+      ~extra:
+        [ V.Transaction.create_crdt ~name:"log" log_spec;
+          V.Transaction.add_user cb ]
+      ()
+  in
+  let a = V.Node.create ~signer:sa ~cert:ca () in
+  let b = V.Node.create ~signer:sb ~cert:cb () in
+  ignore (V.Node.receive a ~now:(V.Timestamp.of_ms 1L) genesis);
+  ignore (V.Node.receive b ~now:(V.Timestamp.of_ms 1L) genesis);
+  (a, b, genesis)
+
+let append_chain node ~label ~n =
+  for i = 1 to n do
+    let now = V.Timestamp.of_ms (Int64.of_int (i * 10)) in
+    match
+      V.Node.prepare_transaction node ~crdt:"log" ~op:"add"
+        [ Value.String (Printf.sprintf "%s-%d" label i) ]
+    with
+    | Error _ -> ()
+    | Ok tx -> ignore (V.Node.append node ~now [ tx ])
+  done

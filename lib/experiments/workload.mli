@@ -1,0 +1,27 @@
+(** Shared experiment plumbing: standard CRDT workloads and simulation
+    drivers. *)
+
+val log_spec : Vegvisir_crdt.Schema.spec
+(** A grow-only set of strings — the paper's add-only request log H. *)
+
+val add_entry : Vegvisir_net.Gossip.t -> int -> string -> bool
+(** Append a one-transaction block adding a unique entry at peer [i];
+    [false] if the append failed. *)
+
+val drive :
+  Vegvisir_net.Scenario.fleet ->
+  until_ms:float ->
+  step_ms:float ->
+  (float -> unit) ->
+  unit
+(** Run the simulation in [step_ms] increments, invoking the callback with
+    the current time after each increment (for workload generation and
+    sampling). *)
+
+val offline_pair :
+  unit -> Vegvisir.Node.t * Vegvisir.Node.t * Vegvisir.Block.t
+(** Two enrolled nodes sharing a genesis (with the standard log CRDT), no
+    network — for pure reconciliation experiments. *)
+
+val append_chain : Vegvisir.Node.t -> label:string -> n:int -> unit
+(** Append [n] single-transaction blocks in sequence (a depth-[n] chain). *)

@@ -1,0 +1,58 @@
+type costs = {
+  tx_per_byte : float;
+  rx_per_byte : float;
+  per_hash : float;
+  per_sign : float;
+  per_verify : float;
+  idle_per_ms : float;
+}
+
+let default_costs =
+  {
+    tx_per_byte = 0.15;
+    rx_per_byte = 0.12;
+    per_hash = 0.5;
+    per_sign = 2000. *. 0.5;
+    per_verify = 1100. *. 0.5;
+    idle_per_ms = 0.01;
+  }
+
+type meter = {
+  mutable tx_bytes : int;
+  mutable rx_bytes : int;
+  mutable hashes : int;
+  mutable signs : int;
+  mutable verifies : int;
+  mutable idle_ms : float;
+}
+
+let meter () =
+  { tx_bytes = 0; rx_bytes = 0; hashes = 0; signs = 0; verifies = 0; idle_ms = 0. }
+
+let reset m =
+  m.tx_bytes <- 0;
+  m.rx_bytes <- 0;
+  m.hashes <- 0;
+  m.signs <- 0;
+  m.verifies <- 0;
+  m.idle_ms <- 0.
+
+let add into m =
+  into.tx_bytes <- into.tx_bytes + m.tx_bytes;
+  into.rx_bytes <- into.rx_bytes + m.rx_bytes;
+  into.hashes <- into.hashes + m.hashes;
+  into.signs <- into.signs + m.signs;
+  into.verifies <- into.verifies + m.verifies;
+  into.idle_ms <- into.idle_ms +. m.idle_ms
+
+let total c m =
+  (float_of_int m.tx_bytes *. c.tx_per_byte)
+  +. (float_of_int m.rx_bytes *. c.rx_per_byte)
+  +. (float_of_int m.hashes *. c.per_hash)
+  +. (float_of_int m.signs *. c.per_sign)
+  +. (float_of_int m.verifies *. c.per_verify)
+  +. (m.idle_ms *. c.idle_per_ms)
+
+let pp_meter ppf m =
+  Fmt.pf ppf "tx=%dB rx=%dB hashes=%d signs=%d verifies=%d idle=%.0fms"
+    m.tx_bytes m.rx_bytes m.hashes m.signs m.verifies m.idle_ms

@@ -1,0 +1,43 @@
+(** Energy accounting for battery-constrained IoT nodes.
+
+    The paper's energy claim is comparative — Vegvisir has no
+    proof-of-work, so its per-block energy is dominated by radio traffic
+    and a few hash/signature operations, while Nakamoto-style chains burn
+    energy on cryptopuzzles. We model energy as a weighted count of the
+    operations a device performs; the default weights are loosely based on
+    published BLE radio and embedded-CPU figures (microjoules), but every
+    experiment reports the raw counters too, so any weighting can be
+    applied after the fact. *)
+
+type costs = {
+  tx_per_byte : float;  (** µJ per byte transmitted *)
+  rx_per_byte : float;  (** µJ per byte received *)
+  per_hash : float;  (** µJ per SHA-256 compression *)
+  per_sign : float;
+  per_verify : float;
+  idle_per_ms : float;  (** µJ per millisecond alive *)
+}
+
+val default_costs : costs
+(** BLE-class radio: 0.15/0.12 µJ per tx/rx byte, 0.5 µJ per hash,
+    hash-based signatures modelled as ~2000 hashes (sign) / ~1100
+    (verify), 0.01 µJ/ms idle. *)
+
+type meter = {
+  mutable tx_bytes : int;
+  mutable rx_bytes : int;
+  mutable hashes : int;
+  mutable signs : int;
+  mutable verifies : int;
+  mutable idle_ms : float;
+}
+
+val meter : unit -> meter
+val reset : meter -> unit
+val add : meter -> meter -> unit
+(** Accumulate the second meter into the first. *)
+
+val total : costs -> meter -> float
+(** Total µJ under the cost model. *)
+
+val pp_meter : meter Fmt.t

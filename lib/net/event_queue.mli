@@ -1,0 +1,18 @@
+(** A deterministic discrete-event priority queue.
+
+    Events are ordered by time; ties are broken by insertion sequence
+    number, so runs are reproducible regardless of float equality. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument if [time] is NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,276 @@
+open Vegvisir
+module Rng = Vegvisir_crypto.Rng
+
+let log_src = Logs.Src.create "vegvisir.gossip" ~doc:"Opportunistic gossip agent"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type behavior = Honest | Silent | Withholding
+
+type peer = {
+  node_ : Node.t;
+  behavior_ : behavior;
+  mutable session : (int * int * Reconcile.session) option;
+      (* responder, generation, session *)
+  mutable generation : int;
+  mutable last_activity : float; (* last session progress, for staleness *)
+  mutable retries : int; (* retransmissions of the current request *)
+  mutable fed : Block.t list; (* buffered-at-node blocks awaiting arrival record *)
+  arrivals : (Hash_id.t, float) Hashtbl.t;
+}
+
+type t = {
+  net : Simnet.t;
+  peers : peer array;
+  mode : Vegvisir.Reconcile.mode;
+  interval_ms : float;
+  stale_after_ms : float;
+  session_timeout_ms : float;
+  births : (Hash_id.t, float) Hashtbl.t;
+  mutable total_stats : Reconcile.stats;
+  mutable completed : int;
+  mutable aborted : int;
+}
+
+let create ~net ~nodes ?behaviors ?(mode = `Naive) ?(interval_ms = 1000.)
+    ?(stale_after_ms = 5_000.) ?(session_timeout_ms = 30_000.) () =
+  let n = Array.length nodes in
+  if Topology.size (Simnet.topo net) <> n then
+    invalid_arg "Gossip.create: nodes/topology size mismatch";
+  let behaviors =
+    match behaviors with
+    | None -> Array.make n Honest
+    | Some b ->
+      if Array.length b <> n then
+        invalid_arg "Gossip.create: behaviors size mismatch";
+      b
+  in
+  {
+    net;
+    peers =
+      Array.init n (fun i ->
+          {
+            node_ = nodes.(i);
+            behavior_ = behaviors.(i);
+            session = None;
+            generation = 0;
+            last_activity = 0.;
+            retries = 0;
+            fed = [];
+            arrivals = Hashtbl.create 64;
+          });
+    mode;
+    interval_ms;
+    stale_after_ms;
+    session_timeout_ms;
+    births = Hashtbl.create 64;
+    total_stats = Reconcile.empty_stats;
+    completed = 0;
+    aborted = 0;
+  }
+
+let node t i = t.peers.(i).node_
+let behavior t i = t.peers.(i).behavior_
+let size t = Array.length t.peers
+
+let sim_ts t = Timestamp.of_ms (Int64.of_float (Simnet.now t.net))
+
+let record_arrival t i (b : Block.t) =
+  let p = t.peers.(i) in
+  if
+    Dag.mem (Node.dag p.node_) b.Block.hash
+    && not (Hashtbl.mem p.arrivals b.Block.hash)
+  then Hashtbl.replace p.arrivals b.Block.hash (Simnet.now t.net)
+
+(* Blocks that were buffered at the node may enter the DAG later, during a
+   drain triggered by another accept; re-check them. *)
+let settle_fed t i =
+  let p = t.peers.(i) in
+  let dag = Node.dag p.node_ in
+  let still =
+    List.filter
+      (fun (b : Block.t) ->
+        if Dag.mem dag b.Block.hash then begin
+          record_arrival t i b;
+          false
+        end
+        else true)
+      p.fed
+  in
+  p.fed <- still
+
+let feed t i (b : Block.t) =
+  let p = t.peers.(i) in
+  let meter = Simnet.meter t.net i in
+  meter.Energy.verifies <- meter.Energy.verifies + 1;
+  meter.Energy.hashes <- meter.Energy.hashes + 2;
+  (match Node.receive p.node_ ~now:(sim_ts t) b with
+  | Node.Accepted -> record_arrival t i b
+  | Node.Buffered _ -> if List.length p.fed < 4096 then p.fed <- b :: p.fed
+  | Node.Duplicate | Node.Rejected _ -> ());
+  settle_fed t i
+
+(* Withholding peers serve only their own creations (plus genesis), which
+   models "choose not to propagate new blocks they receive" (§IV-B): they
+   answer from a censored view of their replica. *)
+let serving_dag (p : peer) =
+  match p.behavior_ with
+  | Honest | Silent -> Node.dag p.node_
+  | Withholding ->
+    let self = Node.user_id p.node_ in
+    let dag = Node.dag p.node_ in
+    List.fold_left
+      (fun acc (b : Block.t) ->
+        if Block.is_genesis b || Hash_id.equal b.Block.creator self then
+          match Dag.add acc b with Ok acc -> acc | Error _ -> acc
+        else acc)
+      Dag.empty (Dag.topo_order dag)
+
+let send_msg t ~src ~dst msg =
+  let b = Buffer.create 256 in
+  Reconcile.encode_message b msg;
+  Simnet.send t.net ~src ~dst (Buffer.contents b)
+
+let finish_session t i =
+  t.peers.(i).session <- None
+
+let on_message t ~me ~from payload =
+  let p = t.peers.(me) in
+  match Wire.decode_string Reconcile.decode_message payload with
+  | None -> ()
+  | Some msg -> begin
+    match Reconcile.respond (serving_dag p) msg with
+    | Some reply ->
+      (* It was a request. Silent peers do not answer. *)
+      if p.behavior_ <> Silent then send_msg t ~src:me ~dst:from reply
+    | None -> begin
+      (* It is a reply: feed the active session, if it matches. *)
+      match p.session with
+      | Some (responder, _gen, session) when responder = from -> begin
+        p.last_activity <- Simnet.now t.net;
+        p.retries <- 0;
+        match Reconcile.handle_reply session (Node.dag p.node_) msg with
+        | Reconcile.Send next -> send_msg t ~src:me ~dst:from next
+        | Reconcile.Ignored -> ()
+        | Reconcile.Finished { new_blocks; stats } ->
+          finish_session t me;
+          t.total_stats <- Reconcile.add_stats t.total_stats stats;
+          t.completed <- t.completed + 1;
+          List.iter (feed t me) new_blocks
+      end
+      | Some _ | None -> ()
+    end
+  end
+
+let gossip_round t i =
+  let p = t.peers.(i) in
+  (* A session with no recent progress retransmits its current request a
+     few times (the copy in flight, or its reply, may have been lost or be
+     slow); only after repeated silence is the session abandoned. *)
+  let now = Simnet.now t.net in
+  (match p.session with
+  | Some (dst, _, session)
+    when now -. p.last_activity > max t.stale_after_ms (2. *. t.interval_ms) ->
+    if p.retries < 3 then begin
+      p.retries <- p.retries + 1;
+      p.last_activity <- now;
+      send_msg t ~src:i ~dst (Reconcile.current_request session)
+    end
+    else begin
+      Log.debug (fun m -> m "peer %d: abandoning stalled session with %d" i dst);
+      finish_session t i;
+      t.aborted <- t.aborted + 1
+    end
+  | Some _ | None -> ());
+  if p.behavior_ <> Silent && p.session = None && Simnet.is_awake t.net i then begin
+    match Topology.neighbors (Simnet.topo t.net) i with
+    | [] -> ()
+    | neighbors ->
+      let dst = Rng.pick (Simnet.rng t.net) neighbors in
+      let session, first = Reconcile.start t.mode (Node.dag p.node_) in
+      p.generation <- p.generation + 1;
+      p.session <- Some (dst, p.generation, session);
+      p.last_activity <- now;
+      let generation = p.generation in
+      Simnet.set_timer t.net ~node:i ~after:t.session_timeout_ms
+        ~tag:("timeout:" ^ string_of_int generation);
+      send_msg t ~src:i ~dst first
+  end
+
+let on_timer t ~me ~tag =
+  if String.equal tag "gossip" then begin
+    gossip_round t me;
+    Simnet.set_timer t.net ~node:me ~after:t.interval_ms ~tag:"gossip"
+  end
+  else
+    match String.index_opt tag ':' with
+    | Some i when String.sub tag 0 i = "timeout" -> begin
+      let generation = int_of_string (String.sub tag (i + 1) (String.length tag - i - 1)) in
+      match t.peers.(me).session with
+      | Some (_, g, _) when g = generation ->
+        finish_session t me;
+        t.aborted <- t.aborted + 1
+      | Some _ | None -> ()
+    end
+    | _ -> ()
+
+let start t =
+  Simnet.set_handlers t.net
+    {
+      Simnet.on_message = (fun ~me ~from payload -> on_message t ~me ~from payload);
+      on_timer = (fun ~me ~tag -> on_timer t ~me ~tag);
+    };
+  (* Stagger the first rounds to avoid lock-step gossip. *)
+  Array.iteri
+    (fun i _ ->
+      let offset = Rng.float (Simnet.rng t.net) *. t.interval_ms in
+      Simnet.set_timer t.net ~node:i ~after:offset ~tag:"gossip")
+    t.peers
+
+let append t i ?location txs =
+  let p = t.peers.(i) in
+  match Node.append p.node_ ~now:(sim_ts t) ?location txs with
+  | Ok b ->
+    let meter = Simnet.meter t.net i in
+    meter.Energy.signs <- meter.Energy.signs + 1;
+    meter.Energy.hashes <- meter.Energy.hashes + 2;
+    Hashtbl.replace t.births b.Block.hash (Simnet.now t.net);
+    record_arrival t i b;
+    Ok b
+  | Error _ as e -> e
+
+let witness t i = append t i []
+
+let receive t i b =
+  Hashtbl.replace t.births b.Block.hash
+    (Option.value
+       (Hashtbl.find_opt t.births b.Block.hash)
+       ~default:(Simnet.now t.net));
+  feed t i b
+
+let birth_time t h = Hashtbl.find_opt t.births h
+let arrival_time t ~peer h = Hashtbl.find_opt t.peers.(peer).arrivals h
+
+let coverage t h =
+  Array.fold_left
+    (fun acc p -> if Dag.mem (Node.dag p.node_) h then acc + 1 else acc)
+    0 t.peers
+
+let honest_converged t =
+  let honest =
+    Array.to_list t.peers |> List.filter (fun p -> p.behavior_ = Honest)
+  in
+  match honest with
+  | [] -> true
+  | first :: rest ->
+    List.for_all
+      (fun p ->
+        Hash_id.Set.equal
+          (Dag.frontier (Node.dag p.node_))
+          (Dag.frontier (Node.dag first.node_))
+        && Csm.converged (Node.csm p.node_) (Node.csm first.node_))
+      rest
+
+let reconcile_stats t = t.total_stats
+let sessions_completed t = t.completed
+let sessions_aborted t = t.aborted

@@ -1,0 +1,64 @@
+(** The opportunistic gossip agent (§IV-G) running Vegvisir nodes over the
+    {!Simnet} simulator.
+
+    Each peer periodically picks a random physical neighbor and initiates a
+    {!Vegvisir.Reconcile} pull session; replies stream back through the
+    simulated radio and accepted blocks are validated and applied by the
+    peer's {!Vegvisir.Node}. Adversarial behaviours implement the §IV-B
+    model: a [Silent] peer neither initiates nor answers; a [Withholding]
+    peer answers but serves only blocks it created itself (refusing to
+    propagate others'); both can still be gossiped {e around}. *)
+
+type behavior = Honest | Silent | Withholding
+
+type t
+
+val create :
+  net:Simnet.t ->
+  nodes:Vegvisir.Node.t array ->
+  ?behaviors:behavior array ->
+  ?mode:Vegvisir.Reconcile.mode ->
+  ?interval_ms:float ->
+  ?stale_after_ms:float ->
+  ?session_timeout_ms:float ->
+  unit ->
+  t
+(** One gossip peer per node; array sizes must match the topology. *)
+
+val start : t -> unit
+(** Install handlers and schedule the first (staggered) gossip rounds. *)
+
+val node : t -> int -> Vegvisir.Node.t
+val behavior : t -> int -> behavior
+val size : t -> int
+
+val append :
+  t ->
+  int ->
+  ?location:Vegvisir.Location.t ->
+  Vegvisir.Transaction.t list ->
+  (Vegvisir.Block.t, Vegvisir.Node.append_error) result
+(** Create a block at peer [i] at the current simulated time, recording
+    its birth for propagation metrics and charging signing energy. *)
+
+val witness : t -> int -> (Vegvisir.Block.t, Vegvisir.Node.append_error) result
+
+val receive : t -> int -> Vegvisir.Block.t -> unit
+(** Inject a block from outside the gossip exchange (e.g. initial seeding
+    of the genesis). *)
+
+val birth_time : t -> Vegvisir.Hash_id.t -> float option
+val arrival_time : t -> peer:int -> Vegvisir.Hash_id.t -> float option
+(** When the block entered the peer's DAG (creation counts). *)
+
+val coverage : t -> Vegvisir.Hash_id.t -> int
+(** How many peers currently hold the block. *)
+
+val honest_converged : t -> bool
+(** All [Honest] peers hold identical DAGs (by frontier) and CSM state. *)
+
+val reconcile_stats : t -> Vegvisir.Reconcile.stats
+(** Aggregated over all completed sessions. *)
+
+val sessions_completed : t -> int
+val sessions_aborted : t -> int

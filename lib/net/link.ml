@@ -1,0 +1,27 @@
+module Rng = Vegvisir_crypto.Rng
+
+type t = {
+  base_latency_ms : float;
+  bandwidth_bytes_per_ms : float;
+  jitter_ms : float;
+  loss : float;
+}
+
+let default =
+  { base_latency_ms = 20.; bandwidth_bytes_per_ms = 25.; jitter_ms = 5.; loss = 0.01 }
+
+let make ?(base_latency_ms = default.base_latency_ms)
+    ?(bandwidth_bytes_per_ms = default.bandwidth_bytes_per_ms)
+    ?(jitter_ms = default.jitter_ms) ?(loss = default.loss) () =
+  if loss < 0. || loss > 1. then invalid_arg "Link.make: loss must be in [0,1]";
+  if bandwidth_bytes_per_ms <= 0. then
+    invalid_arg "Link.make: bandwidth must be positive";
+  { base_latency_ms; bandwidth_bytes_per_ms; jitter_ms; loss }
+
+let delivery rng t ~bytes =
+  if Rng.float rng < t.loss then None
+  else
+    Some
+      (t.base_latency_ms
+      +. (float_of_int bytes /. t.bandwidth_bytes_per_ms)
+      +. (Rng.float rng *. t.jitter_ms))

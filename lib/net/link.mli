@@ -1,0 +1,26 @@
+(** Link model: latency, bandwidth, loss.
+
+    Delivery latency is [base_latency + bytes / bandwidth] plus uniform
+    jitter; each message is independently lost with [loss] probability —
+    a simple model of a contended ad hoc radio channel. *)
+
+type t = {
+  base_latency_ms : float;
+  bandwidth_bytes_per_ms : float;
+  jitter_ms : float;
+  loss : float;  (** probability in [0, 1] *)
+}
+
+val default : t
+(** 20 ms base, 25 bytes/ms (~200 kbit/s BLE-ish), 5 ms jitter, 1% loss. *)
+
+val make :
+  ?base_latency_ms:float ->
+  ?bandwidth_bytes_per_ms:float ->
+  ?jitter_ms:float ->
+  ?loss:float ->
+  unit ->
+  t
+
+val delivery : Vegvisir_crypto.Rng.t -> t -> bytes:int -> float option
+(** Latency in ms for a message of [bytes], or [None] if lost. *)

@@ -1,0 +1,43 @@
+type series = { name : string; mutable rev_points : (float * float) list }
+
+let series name = { name; rev_points = [] }
+let record s ~t v = s.rev_points <- (t, v) :: s.rev_points
+let name s = s.name
+let points s = List.rev s.rev_points
+let values s = List.rev_map snd s.rev_points
+let count s = List.length s.rev_points
+
+let mean_of = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let stddev_of = function
+  | [] | [ _ ] -> 0.
+  | l ->
+    let m = mean_of l in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. l
+      /. float_of_int (List.length l - 1)
+    in
+    sqrt var
+
+let percentile_of l p =
+  match List.sort Float.compare l with
+  | [] -> 0.
+  | sorted ->
+    let n = List.length sorted in
+    let rank =
+      int_of_float (ceil (p *. float_of_int n)) |> max 1 |> min n
+    in
+    List.nth sorted (rank - 1)
+
+let mean s = mean_of (values s)
+
+let minimum s = match values s with [] -> 0. | l -> List.fold_left min infinity l
+let maximum s = match values s with [] -> 0. | l -> List.fold_left max neg_infinity l
+let percentile s p = percentile_of (values s) p
+let last s = match s.rev_points with [] -> 0. | (_, v) :: _ -> v
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%s: n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f" s.name (count s)
+    (mean s) (percentile s 0.5) (percentile s 0.95) (maximum s)

@@ -1,0 +1,31 @@
+(** Measurement collection for experiments: time series and summary
+    statistics. *)
+
+type series
+
+val series : string -> series
+val record : series -> t:float -> float -> unit
+val name : series -> string
+val points : series -> (float * float) list
+(** In recording order. *)
+
+val values : series -> float list
+val count : series -> int
+val mean : series -> float
+(** 0 when empty. *)
+
+val minimum : series -> float
+val maximum : series -> float
+val percentile : series -> float -> float
+(** [percentile s 0.5] is the median (nearest-rank). 0 when empty. *)
+
+val last : series -> float
+(** 0 when empty. *)
+
+val pp_summary : series Fmt.t
+
+(** {1 Plain float-list statistics} *)
+
+val mean_of : float list -> float
+val stddev_of : float list -> float
+val percentile_of : float list -> float -> float

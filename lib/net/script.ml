@@ -1,0 +1,323 @@
+module V = Vegvisir
+module Schema = Vegvisir_crdt.Schema
+module Value = Vegvisir_crdt.Value
+
+type topo_spec =
+  | Clique
+  | Line of float * float
+  | Grid of float * float
+  | Random of float * float
+
+type event =
+  | Partition of int array
+  | Heal
+  | Append of int * string * string (* peer, crdt, value *)
+  | Witness of int
+  | Assert_converged
+  | Assert_coverage of float (* fraction of peers holding every block *)
+  | Report
+
+type t = {
+  peers : int;
+  topo : topo_spec;
+  seed : int64;
+  interval_ms : float;
+  mode : V.Reconcile.mode;
+  duty : (float * float) option;
+  crdts : (string * Schema.spec) list;
+  events : (float * event) list; (* time-sorted *)
+  horizon : float;
+}
+
+let ( let* ) = Result.bind
+
+let parse_kind = function
+  | "gset" -> Ok Schema.Gset
+  | "orset" -> Ok Schema.Orset
+  | "counter" -> Ok Schema.Gcounter
+  | "rga" -> Ok Schema.Rga
+  | k -> Error ("unknown CRDT kind: " ^ k)
+
+let parse_elem = function
+  | "string" -> Ok Value.T_string
+  | "int" -> Ok Value.T_int
+  | "bytes" -> Ok Value.T_bytes
+  | e -> Error ("unknown element type: " ^ e)
+
+let parse_mode = function
+  | "naive" -> Ok `Naive
+  | "indexed" -> Ok `Indexed
+  | "bloom" -> Ok `Bloom
+  | m -> Error ("unknown mode: " ^ m)
+
+let int_field name s =
+  Option.to_result ~none:(name ^ " is not an integer: " ^ s) (int_of_string_opt s)
+
+let float_field name s =
+  Option.to_result ~none:(name ^ " is not a number: " ^ s) (float_of_string_opt s)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let strip line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    String.trim line
+  in
+  let state =
+    ref
+      {
+        peers = 0;
+        topo = Clique;
+        seed = 1L;
+        interval_ms = 800.;
+        mode = `Naive;
+        duty = None;
+        crdts = [];
+        events = [];
+        horizon = 0.;
+      }
+  in
+  let parse_line lineno line =
+    let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    let words =
+      List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+    in
+    match words with
+    | [] -> Ok ()
+    | [ "peers"; n ] ->
+      let* n = Result.map_error (fun e -> Printf.sprintf "line %d: %s" lineno e) (int_field "peers" n) in
+      if n < 1 then fail "peers must be positive"
+      else begin
+        state := { !state with peers = n };
+        Ok ()
+      end
+    | "topology" :: rest -> begin
+      let mk = function
+        | [ "clique" ] -> Ok Clique
+        | [ "line"; s; r ] ->
+          let* s = float_field "spacing" s in
+          let* r = float_field "range" r in
+          Ok (Line (s, r))
+        | [ "grid"; s; r ] ->
+          let* s = float_field "spacing" s in
+          let* r = float_field "range" r in
+          Ok (Grid (s, r))
+        | [ "random"; a; r ] ->
+          let* a = float_field "area" a in
+          let* r = float_field "range" r in
+          Ok (Random (a, r))
+        | _ -> Error "topology: clique | line S R | grid S R | random A R"
+      in
+      match mk rest with
+      | Ok topo ->
+        state := { !state with topo };
+        Ok ()
+      | Error e -> fail e
+    end
+    | [ "seed"; s ] -> begin
+      match Int64.of_string_opt s with
+      | Some seed ->
+        state := { !state with seed };
+        Ok ()
+      | None -> fail ("bad seed: " ^ s)
+    end
+    | [ "interval"; ms ] -> begin
+      match float_of_string_opt ms with
+      | Some interval_ms ->
+        state := { !state with interval_ms };
+        Ok ()
+      | None -> fail ("bad interval: " ^ ms)
+    end
+    | [ "mode"; m ] -> begin
+      match parse_mode m with
+      | Ok mode ->
+        state := { !state with mode };
+        Ok ()
+      | Error e -> fail e
+    end
+    | [ "duty"; period; fraction ] -> begin
+      match (float_of_string_opt period, float_of_string_opt fraction) with
+      | Some p, Some f when p > 0. && f > 0. && f <= 1. ->
+        state := { !state with duty = Some (p, f) };
+        Ok ()
+      | _ -> fail "duty: <period-ms> <awake-fraction in (0,1]>"
+    end
+    | [ "crdt"; name; kind; elem ] -> begin
+      match (parse_kind kind, parse_elem elem) with
+      | Ok kind, Ok elem ->
+        state :=
+          { !state with crdts = !state.crdts @ [ (name, Schema.spec kind elem) ] };
+        Ok ()
+      | Error e, _ | _, Error e -> fail e
+    end
+    | [ "run"; ms ] -> begin
+      match float_of_string_opt ms with
+      | Some horizon ->
+        state := { !state with horizon };
+        Ok ()
+      | None -> fail ("bad horizon: " ^ ms)
+    end
+    | "at" :: time :: rest -> begin
+      match float_of_string_opt time with
+      | None -> fail ("bad event time: " ^ time)
+      | Some t -> begin
+        let add ev =
+          state := { !state with events = !state.events @ [ (t, ev) ] };
+          Ok ()
+        in
+        match rest with
+        | "partition" :: groups -> begin
+          let parsed = List.map int_of_string_opt groups in
+          if List.exists Option.is_none parsed || parsed = [] then
+            fail "partition: one integer group per peer"
+          else add (Partition (Array.of_list (List.map Option.get parsed)))
+        end
+        | [ "heal" ] -> add Heal
+        | "append" :: peer :: crdt :: value_words when value_words <> [] -> begin
+          match int_of_string_opt peer with
+          | Some p -> add (Append (p, crdt, String.concat " " value_words))
+          | None -> fail ("bad peer: " ^ peer)
+        end
+        | [ "witness"; peer ] -> begin
+          match int_of_string_opt peer with
+          | Some p -> add (Witness p)
+          | None -> fail ("bad peer: " ^ peer)
+        end
+        | [ "assert-converged" ] -> add Assert_converged
+        | [ "assert-coverage"; f ] -> begin
+          match float_of_string_opt f with
+          | Some frac when frac >= 0. && frac <= 1. -> add (Assert_coverage frac)
+          | _ -> fail "assert-coverage: fraction in [0,1]"
+        end
+        | [ "report" ] -> add Report
+        | _ -> fail ("unknown event: " ^ String.concat " " rest)
+      end
+    end
+    | w :: _ -> fail ("unknown directive: " ^ w)
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest ->
+      let* () = parse_line lineno (strip line) in
+      go (lineno + 1) rest
+  in
+  let* () = go 1 lines in
+  let s = !state in
+  if s.peers < 1 then Error "missing 'peers' directive"
+  else if s.horizon <= 0. then Error "missing 'run' directive"
+  else if
+    List.exists
+      (fun (_, ev) ->
+        match ev with
+        | Partition groups -> Array.length groups <> s.peers
+        | Append (p, _, _) | Witness p -> p < 0 || p >= s.peers
+        | Heal | Assert_converged | Assert_coverage _ | Report -> false)
+      s.events
+  then Error "an event references a peer outside 0..peers-1"
+  else
+    Ok
+      {
+        s with
+        events =
+          List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) s.events;
+      }
+
+let build_topo spec ~n ~seed =
+  match spec with
+  | Clique -> Topology.clique ~n
+  | Line (spacing, range) -> Topology.line ~n ~spacing ~range
+  | Grid (spacing, range) -> Topology.grid ~n ~spacing ~range
+  | Random (area, range) ->
+    Topology.random_uniform (Vegvisir_crypto.Rng.create seed) ~n ~area ~range
+
+let run t =
+  let topo = build_topo t.topo ~n:t.peers ~seed:t.seed in
+  let fleet =
+    Scenario.build ~seed:t.seed ~topo ~mode:t.mode ~interval_ms:t.interval_ms
+      ~init_crdts:t.crdts ()
+  in
+  let g = fleet.Scenario.gossip in
+  (match t.duty with
+  | Some (period_ms, awake_fraction) ->
+    for i = 0 to t.peers - 1 do
+      Simnet.set_duty_cycle fleet.Scenario.net ~node:i ~period_ms ~awake_fraction
+    done
+  | None -> ());
+  let report = Buffer.create 256 in
+  let births = ref [] in
+  let line fmt =
+    Printf.ksprintf
+      (fun s -> Buffer.add_string report (s ^ "\n"))
+      fmt
+  in
+  let failure = ref None in
+  let do_event now = function
+    | Partition groups ->
+      Topology.set_partition (Simnet.topo fleet.Scenario.net) (Some groups)
+    | Heal -> Topology.set_partition (Simnet.topo fleet.Scenario.net) None
+    | Append (peer, crdt, value) -> begin
+      match
+        V.Node.prepare_transaction (Gossip.node g peer) ~crdt ~op:"add"
+          [ Value.String value ]
+      with
+      | Error e ->
+        line "t=%.0f append %d %s FAILED: %s" now peer crdt (Schema.error_to_string e)
+      | Ok tx -> begin
+        match Gossip.append g peer [ tx ] with
+        | Ok b ->
+          births := b.V.Block.hash :: !births;
+          line "t=%.0f peer %d appended %s (%s)" now peer value
+            (V.Hash_id.short b.V.Block.hash)
+        | Error e ->
+          line "t=%.0f append FAILED: %s" now (Fmt.str "%a" V.Node.pp_append_error e)
+      end
+    end
+    | Witness peer -> begin
+      match Gossip.witness g peer with
+      | Ok b -> line "t=%.0f peer %d witnessed (%s)" now peer (V.Hash_id.short b.V.Block.hash)
+      | Error e ->
+        line "t=%.0f witness FAILED: %s" now (Fmt.str "%a" V.Node.pp_append_error e)
+    end
+    | Assert_converged ->
+      if Gossip.honest_converged g then line "t=%.0f assert-converged: ok" now
+      else if !failure = None then
+        failure := Some (Printf.sprintf "t=%.0f assert-converged FAILED" now)
+    | Assert_coverage frac ->
+      let total = List.length !births * t.peers in
+      let held =
+        List.fold_left (fun acc h -> acc + Gossip.coverage g h) 0 !births
+      in
+      let actual =
+        if total = 0 then 1. else float_of_int held /. float_of_int total
+      in
+      if actual >= frac then line "t=%.0f assert-coverage %.2f: ok (%.2f)" now frac actual
+      else if !failure = None then
+        failure :=
+          Some (Printf.sprintf "t=%.0f assert-coverage FAILED: %.2f < %.2f" now actual frac)
+    | Report ->
+      let cards =
+        String.concat ","
+          (List.init t.peers (fun i ->
+               string_of_int (V.Dag.cardinal (V.Node.dag (Gossip.node g i)))))
+      in
+      line "t=%.0f report: blocks=[%s] converged=%b sessions=%d" now cards
+        (Gossip.honest_converged g)
+        (Gossip.sessions_completed g)
+  in
+  List.iter
+    (fun (time, ev) ->
+      if !failure = None then begin
+        Scenario.run fleet ~until_ms:time;
+        do_event time ev
+      end)
+    t.events;
+  if !failure = None then Scenario.run fleet ~until_ms:t.horizon;
+  match !failure with
+  | Some msg -> Error (msg ^ "\n--- report so far ---\n" ^ Buffer.contents report)
+  | None ->
+    line "t=%.0f end: %d peers, %d block(s) appended, converged=%b" t.horizon
+      t.peers (List.length !births) (Gossip.honest_converged g);
+    Ok (Buffer.contents report)

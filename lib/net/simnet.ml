@@ -1,0 +1,155 @@
+module Rng = Vegvisir_crypto.Rng
+
+type event =
+  | Deliver of { src : int; dst : int; payload : string }
+  | Timer of { node : int; tag : string }
+
+type handlers = {
+  on_message : me:int -> from:int -> string -> unit;
+  on_timer : me:int -> tag:string -> unit;
+}
+
+type duty = { period_ms : float; awake_fraction : float; node : int }
+
+type t = {
+  topo_ : Topology.t;
+  link : Link.t;
+  rng_ : Rng.t;
+  queue : event Event_queue.t;
+  meters : Energy.meter array;
+  duty : duty option array;
+  mutable now_ : float;
+  mutable idle_mark : float;
+  mutable handlers : handlers option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ~topo ~link ~seed =
+  {
+    topo_ = topo;
+    link;
+    rng_ = Rng.create seed;
+    queue = Event_queue.create ();
+    meters = Array.init (Topology.size topo) (fun _ -> Energy.meter ());
+    duty = Array.make (Topology.size topo) None;
+    now_ = 0.;
+    idle_mark = 0.;
+    handlers = None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let set_handlers t h = t.handlers <- Some h
+
+let set_duty_cycle t ~node ~period_ms ~awake_fraction =
+  if period_ms <= 0. then invalid_arg "Simnet.set_duty_cycle: period must be positive";
+  if awake_fraction <= 0. || awake_fraction > 1. then
+    invalid_arg "Simnet.set_duty_cycle: awake_fraction must be in (0, 1]";
+  if awake_fraction = 1. then t.duty.(node) <- None
+  else t.duty.(node) <- Some { period_ms; awake_fraction; node }
+
+let clear_duty_cycle t ~node = t.duty.(node) <- None
+
+(* The awake window's offset inside each period is a deterministic
+   pseudo-random function of (node, period index) — the randomized wake
+   schedule low-power MACs use so that any two nodes' windows eventually
+   overlap (fixed phases at low duty cycles can fail to rendezvous
+   forever). *)
+let awake_at duty time =
+  match duty with
+  | None -> true
+  | Some d ->
+    let period_index = int_of_float (Float.floor (time /. d.period_ms)) in
+    let digest =
+      Vegvisir_crypto.Sha256.digest_list
+        [ "duty"; string_of_int d.node; string_of_int period_index ]
+    in
+    let u =
+      float_of_int ((Char.code digest.[0] lsl 16)
+                    lor (Char.code digest.[1] lsl 8)
+                    lor Char.code digest.[2])
+      /. 16777216.
+    in
+    let awake_len = d.awake_fraction *. d.period_ms in
+    let offset = u *. (d.period_ms -. awake_len) in
+    let in_period = time -. (float_of_int period_index *. d.period_ms) in
+    in_period >= offset && in_period < offset +. awake_len
+
+let is_awake t node = awake_at t.duty.(node) t.now_
+let topo t = t.topo_
+let rng t = t.rng_
+let now t = t.now_
+
+let charge_idle t upto =
+  if upto > t.idle_mark then begin
+    let dt = upto -. t.idle_mark in
+    (* Sleeping radios accrue idle cost only for their awake share (exact
+       in expectation over whole periods). *)
+    Array.iteri
+      (fun i m ->
+        let share =
+          match t.duty.(i) with None -> 1. | Some d -> d.awake_fraction
+        in
+        m.Energy.idle_ms <- m.Energy.idle_ms +. (dt *. share))
+      t.meters;
+    t.idle_mark <- upto
+  end
+
+let send t ~src ~dst payload =
+  let bytes = String.length payload in
+  t.sent <- t.sent + 1;
+  t.meters.(src).Energy.tx_bytes <- t.meters.(src).Energy.tx_bytes + bytes;
+  if not (is_awake t src) then t.dropped <- t.dropped + 1
+  else if Topology.connected t.topo_ src dst then begin
+    match Link.delivery t.rng_ t.link ~bytes with
+    | None -> t.dropped <- t.dropped + 1
+    | Some latency ->
+      Event_queue.push t.queue ~time:(t.now_ +. latency)
+        (Deliver { src; dst; payload })
+  end
+  else t.dropped <- t.dropped + 1
+
+let set_timer t ~node ~after ~tag =
+  if after < 0. then invalid_arg "Simnet.set_timer: negative delay";
+  Event_queue.push t.queue ~time:(t.now_ +. after) (Timer { node; tag })
+
+let dispatch t event =
+  match t.handlers with
+  | None -> ()
+  | Some h -> begin
+    match event with
+    | Deliver { src; dst; payload } ->
+      (* The radio may have gone out of range — or to sleep — mid-flight. *)
+      if Topology.connected t.topo_ src dst && is_awake t dst then begin
+        t.delivered <- t.delivered + 1;
+        t.meters.(dst).Energy.rx_bytes <-
+          t.meters.(dst).Energy.rx_bytes + String.length payload;
+        h.on_message ~me:dst ~from:src payload
+      end
+      else t.dropped <- t.dropped + 1
+    | Timer { node; tag } -> h.on_timer ~me:node ~tag
+  end
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon -> begin
+      match Event_queue.pop t.queue with
+      | None -> continue := false
+      | Some (time, event) ->
+        t.now_ <- max t.now_ time;
+        dispatch t event
+    end
+    | Some _ | None -> continue := false
+  done;
+  t.now_ <- max t.now_ horizon;
+  charge_idle t horizon
+
+let meter t i = t.meters.(i)
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped

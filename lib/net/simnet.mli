@@ -1,0 +1,57 @@
+(** The discrete-event network simulator.
+
+    Agents are integer-identified nodes exchanging opaque byte-string
+    messages. The engine applies the {!Topology} connectivity test at send
+    time (out-of-range or cross-partition messages vanish, as on a real
+    radio), the {!Link} loss/latency model, and charges the {!Energy}
+    meters of sender and receiver. Timers drive periodic behaviour (gossip
+    rounds, mobility steps, application workload).
+
+    All randomness comes from the seed, so every run is reproducible. *)
+
+type t
+
+type handlers = {
+  on_message : me:int -> from:int -> string -> unit;
+  on_timer : me:int -> tag:string -> unit;
+}
+
+val create : topo:Topology.t -> link:Link.t -> seed:int64 -> t
+val set_handlers : t -> handlers -> unit
+val topo : t -> Topology.t
+val rng : t -> Vegvisir_crypto.Rng.t
+val now : t -> float
+(** Simulated milliseconds. *)
+
+val send : t -> src:int -> dst:int -> string -> unit
+(** Transmit energy is charged to [src] regardless; the message is
+    delivered only if [src] and [dst] are currently connected and the link
+    does not drop it. *)
+
+val set_timer : t -> node:int -> after:float -> tag:string -> unit
+
+(** {1 Duty cycling}
+
+    Battery-constrained radios sleep most of the time. A duty-cycled node
+    is awake for [awake_fraction] of every [period_ms], phase-shifted per
+    node; messages to or from a sleeping node are lost (its radio is off)
+    and its idle energy accrues only while awake. *)
+
+val set_duty_cycle :
+  t -> node:int -> period_ms:float -> awake_fraction:float -> unit
+(** [awake_fraction] in (0, 1]; 1 disables sleeping.
+    @raise Invalid_argument outside that range or for non-positive period. *)
+
+val clear_duty_cycle : t -> node:int -> unit
+val is_awake : t -> int -> bool
+
+val run_until : t -> float -> unit
+(** Process all events up to the given time, advancing the clock and
+    charging idle energy. Events scheduled during processing are included
+    if they fall before the horizon. *)
+
+val meter : t -> int -> Energy.meter
+val messages_sent : t -> int
+val messages_delivered : t -> int
+val messages_dropped : t -> int
+(** Lost by the link or blocked by range/partition. *)

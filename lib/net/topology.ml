@@ -1,0 +1,109 @@
+module Rng = Vegvisir_crypto.Rng
+
+type t = {
+  positions : (float * float) array;
+  range : float;
+  mutable partition : int array option;
+  mutable waypoints : (float * float) array option;
+}
+
+let create ~positions ~range =
+  if Array.length positions = 0 then invalid_arg "Topology.create: no nodes";
+  if range <= 0. then invalid_arg "Topology.create: range must be positive";
+  { positions; range; partition = None; waypoints = None }
+
+let random_uniform rng ~n ~area ~range =
+  create
+    ~positions:
+      (Array.init n (fun _ -> (Rng.float rng *. area, Rng.float rng *. area)))
+    ~range
+
+let grid ~n ~spacing ~range =
+  let side = int_of_float (ceil (sqrt (float_of_int n))) in
+  create
+    ~positions:
+      (Array.init n (fun i ->
+           (float_of_int (i mod side) *. spacing, float_of_int (i / side) *. spacing)))
+    ~range
+
+let clique ~n = create ~positions:(Array.make n (0., 0.)) ~range:1.0
+
+let line ~n ~spacing ~range =
+  create
+    ~positions:(Array.init n (fun i -> (float_of_int i *. spacing, 0.)))
+    ~range
+
+let size t = Array.length t.positions
+let position t i = t.positions.(i)
+let move t i p = t.positions.(i) <- p
+
+let set_partition t groups =
+  (match groups with
+  | Some g when Array.length g <> size t ->
+    invalid_arg "Topology.set_partition: group array size mismatch"
+  | _ -> ());
+  t.partition <- groups
+
+let partition_of t i =
+  match t.partition with None -> None | Some g -> Some g.(i)
+
+let distance (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let connected t i j =
+  i <> j
+  && (match t.partition with None -> true | Some g -> g.(i) = g.(j))
+  && distance t.positions.(i) t.positions.(j) <= t.range
+
+let neighbors t i =
+  let acc = ref [] in
+  for j = size t - 1 downto 0 do
+    if connected t i j then acc := j :: !acc
+  done;
+  !acc
+
+let components t =
+  let n = size t in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for i = 0 to n - 1 do
+    if not seen.(i) then begin
+      let comp = ref [] in
+      let rec dfs v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          comp := v :: !comp;
+          List.iter dfs (neighbors t v)
+        end
+      in
+      dfs i;
+      comps := List.rev !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let random_waypoint_step rng t ~area ~speed ~dt =
+  let n = size t in
+  let waypoints =
+    match t.waypoints with
+    | Some w when Array.length w = n -> w
+    | _ ->
+      let w =
+        Array.init n (fun _ -> (Rng.float rng *. area, Rng.float rng *. area))
+      in
+      t.waypoints <- Some w;
+      w
+  in
+  for i = 0 to n - 1 do
+    let px, py = t.positions.(i) and wx, wy = waypoints.(i) in
+    let d = distance (px, py) (wx, wy) in
+    let step = speed *. dt in
+    if d <= step then begin
+      t.positions.(i) <- (wx, wy);
+      waypoints.(i) <- (Rng.float rng *. area, Rng.float rng *. area)
+    end
+    else
+      t.positions.(i) <-
+        (px +. ((wx -. px) /. d *. step), py +. ((wy -. py) /. d *. step))
+  done

@@ -1,0 +1,45 @@
+(** Node placement, radio connectivity, partitions, and mobility.
+
+    Two nodes can communicate when they are within radio range {e and} in
+    the same partition group (when an explicit partition is imposed —
+    scenario scripts use this to model infrastructure loss or a ship
+    splitting from its lifeboats, §II). Mobility is random-waypoint. *)
+
+type t
+
+val create : positions:(float * float) array -> range:float -> t
+(** @raise Invalid_argument on empty positions or non-positive range. *)
+
+val random_uniform : Vegvisir_crypto.Rng.t -> n:int -> area:float -> range:float -> t
+(** [n] nodes uniform in an [area × area] square. *)
+
+val grid : n:int -> spacing:float -> range:float -> t
+(** Nodes on a ⌈√n⌉ grid — a connected, predictable layout. *)
+
+val clique : n:int -> t
+(** All nodes mutually connected (infinite range at the origin). *)
+
+val line : n:int -> spacing:float -> range:float -> t
+(** Nodes on a line — the worst-case diameter for propagation. *)
+
+val size : t -> int
+val position : t -> int -> float * float
+val move : t -> int -> float * float -> unit
+
+val set_partition : t -> int array option -> unit
+(** [Some groups] restricts connectivity to same-group pairs; [None]
+    lifts the restriction. [groups] must have one entry per node. *)
+
+val partition_of : t -> int -> int option
+
+val connected : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+(** Excludes the node itself. *)
+
+val components : t -> int list list
+(** Connected components under the current connectivity. *)
+
+val random_waypoint_step :
+  Vegvisir_crypto.Rng.t -> t -> area:float -> speed:float -> dt:float -> unit
+(** Move every node toward a per-node waypoint (re-drawn on arrival) by
+    [speed·dt]. *)

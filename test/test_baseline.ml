@@ -1,0 +1,129 @@
+(* Tests for the Nakamoto-style baseline: proof-of-work, the linear chain
+   with longest-chain fork resolution, and the miner agents. *)
+
+open Vegvisir_baseline
+module V = Vegvisir
+module Net = Vegvisir_net
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* PoW                                                                  *)
+
+let pow_real_mining () =
+  let p = { Pow.difficulty_bits = 8 } in
+  (match Pow.mine p ~header:"block-header" ~max_attempts:100_000 with
+  | Some (nonce, attempts) ->
+    check_b "meets difficulty" true (Pow.check p ~header:"block-header" ~nonce);
+    check_b "attempts positive" true (attempts >= 1)
+  | None -> Alcotest.fail "8-bit difficulty should be minable");
+  check_b "wrong nonce fails (overwhelmingly)" true
+    (let p16 = { Pow.difficulty_bits = 16 } in
+     not (Pow.check p16 ~header:"x" ~nonce:0)
+     || not (Pow.check p16 ~header:"x" ~nonce:1));
+  (* Impossible quota returns None. *)
+  check_b "gives up" true (Pow.mine { Pow.difficulty_bits = 60 } ~header:"x" ~max_attempts:10 = None)
+
+let pow_simulated_mean () =
+  let p = { Pow.difficulty_bits = 8 } in
+  let rng = Vegvisir_crypto.Rng.create 5L in
+  let n = 2000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    let a = Pow.simulate_attempts rng p in
+    check_b "at least one" true (a >= 1);
+    total := !total + a
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  let expected = Pow.expected_attempts p in
+  check_b
+    (Printf.sprintf "mean %.0f within 15%% of %.0f" mean expected)
+    true
+    (Float.abs (mean -. expected) /. expected < 0.15)
+
+(* ------------------------------------------------------------------ *)
+(* Linear chain                                                         *)
+
+let mk ~prev ~height ~miner ~nonce txs =
+  Linear_chain.make_block ~prev ~height ~miner ~timestamp:0. ~txs ~nonce
+
+let chain_extension_and_reorg () =
+  let c = Linear_chain.create () in
+  check_i "starts at 0" 0 (Linear_chain.tip_height c);
+  let a1 = mk ~prev:Linear_chain.genesis_hash ~height:1 ~miner:0 ~nonce:1 [ "t1" ] in
+  check_b "extend" true (Linear_chain.add c a1 = `Extended);
+  let a2 = mk ~prev:a1.Linear_chain.hash ~height:2 ~miner:0 ~nonce:2 [ "t2" ] in
+  check_b "extend 2" true (Linear_chain.add c a2 = `Extended);
+  (* A fork from genesis: shorter, stored but not adopted. *)
+  let b1 = mk ~prev:Linear_chain.genesis_hash ~height:1 ~miner:1 ~nonce:3 [ "u1" ] in
+  check_b "fork stored" true (Linear_chain.add c b1 = `Stored);
+  Alcotest.(check (list string)) "canonical txs" [ "t1"; "t2" ] (Linear_chain.canonical_txs c);
+  (* The fork grows past the main chain: reorg, and t-txs vanish. *)
+  let b2 = mk ~prev:b1.Linear_chain.hash ~height:2 ~miner:1 ~nonce:4 [ "u2" ] in
+  check_b "still stored" true (Linear_chain.add c b2 = `Stored);
+  let b3 = mk ~prev:b2.Linear_chain.hash ~height:3 ~miner:1 ~nonce:5 [ "u3" ] in
+  check_b "reorg" true (Linear_chain.add c b3 = `Reorged);
+  Alcotest.(check (list string))
+    "losing branch discarded" [ "u1"; "u2"; "u3" ]
+    (Linear_chain.canonical_txs c);
+  check_i "discarded blocks" 2 (Linear_chain.discarded_count c);
+  check_i "reorg count" 1 (Linear_chain.reorg_count c);
+  (* Orphans and duplicates. *)
+  let orphan = mk ~prev:(V.Hash_id.digest "ghost") ~height:9 ~miner:2 ~nonce:6 [] in
+  check_b "orphan" true (Linear_chain.add c orphan = `Orphan);
+  check_b "duplicate" true (Linear_chain.add c b3 = `Duplicate);
+  let bad_height = mk ~prev:b3.Linear_chain.hash ~height:17 ~miner:2 ~nonce:7 [] in
+  check_b "bad height is orphan" true (Linear_chain.add c bad_height = `Orphan)
+
+(* ------------------------------------------------------------------ *)
+(* Miner fleet                                                          *)
+
+let miners_converge () =
+  let topo = Net.Topology.clique ~n:4 in
+  let net = Net.Simnet.create ~topo ~link:(Net.Link.make ~loss:0. ()) ~seed:6L in
+  let m = Miner.create ~net ~difficulty_bits:12 ~mean_find_interval_ms:2_000. () in
+  Miner.start m;
+  for i = 0 to 3 do
+    Miner.submit_tx m i (Printf.sprintf "tx-%d" i)
+  done;
+  Net.Simnet.run_until net 60_000.;
+  check_b "blocks mined" true (Miner.blocks_mined m > 5);
+  check_b "attempts counted" true (Miner.total_hash_attempts m > Miner.blocks_mined m);
+  check_b "tips agree" true (Miner.converged m);
+  check_b "some txs canonical" true (List.length (Miner.canonical_tx_set m 0) > 0)
+
+let miners_fork_under_partition () =
+  let topo = Net.Topology.clique ~n:4 in
+  let net = Net.Simnet.create ~topo ~link:(Net.Link.make ~loss:0. ()) ~seed:7L in
+  let m = Miner.create ~net ~difficulty_bits:12 ~mean_find_interval_ms:1_000. () in
+  Miner.start m;
+  Net.Simnet.run_until net 10_000.;
+  Net.Topology.set_partition topo (Some [| 0; 0; 1; 1 |]);
+  Net.Simnet.run_until net 60_000.;
+  (* Two sides disagree on the tip during the partition (almost surely,
+     both sides mine at this rate). *)
+  let tip0 = Linear_chain.tip (Miner.chain m 0) in
+  let tip2 = Linear_chain.tip (Miner.chain m 2) in
+  check_b "forked" false (V.Hash_id.equal tip0 tip2);
+  Net.Topology.set_partition topo None;
+  Net.Simnet.run_until net 180_000.;
+  check_b "converged after heal" true (Miner.converged m);
+  check_b "work was discarded" true (Linear_chain.discarded_count (Miner.chain m 0) > 0)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "pow",
+        [
+          Alcotest.test_case "real mining" `Quick pow_real_mining;
+          Alcotest.test_case "simulated mean" `Quick pow_simulated_mean;
+        ] );
+      ( "linear-chain",
+        [ Alcotest.test_case "extension and reorg" `Quick chain_extension_and_reorg ] );
+      ( "miners",
+        [
+          Alcotest.test_case "converge" `Quick miners_converge;
+          Alcotest.test_case "fork under partition" `Quick miners_fork_under_partition;
+        ] );
+    ]

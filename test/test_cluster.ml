@@ -1,0 +1,312 @@
+(* Tests for the superpeer consensus substrate: Raft leader election, log
+   replication, failover, and the replicated support blockchain. *)
+
+open Vegvisir_net
+module V = Vegvisir
+module Raft = Vegvisir_cluster.Raft
+module Support_cluster = Vegvisir_cluster.Support_cluster
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let mk_net n =
+  let topo = Topology.clique ~n in
+  (* Superpeers are servers: fast, reliable links. *)
+  let link = Link.make ~base_latency_ms:5. ~bandwidth_bytes_per_ms:1000. ~jitter_ms:2. ~loss:0. () in
+  (topo, Simnet.create ~topo ~link ~seed:101L)
+
+let ids n = List.init n Fun.id
+
+let leaders raft idlist =
+  List.filter (fun id -> Raft.role_of raft id = Raft.Leader) idlist
+
+(* ------------------------------------------------------------------ *)
+
+let election_single_leader () =
+  let _topo, net = mk_net 5 in
+  let raft =
+    Raft.create ~net ~ids:(ids 5) ~apply:(fun ~me:_ ~index:_ _ -> ()) ()
+  in
+  Raft.start raft;
+  Simnet.run_until net 2_000.;
+  let ls = leaders raft (ids 5) in
+  check_i "exactly one leader" 1 (List.length ls);
+  (* All peers agree on who it is. *)
+  let l = List.hd ls in
+  List.iter
+    (fun id -> check_b "hint agrees" true (Raft.leader_hint raft id = Some l))
+    (ids 5)
+
+let election_terms_monotone () =
+  let topo, net = mk_net 3 in
+  let raft = Raft.create ~net ~ids:(ids 3) ~apply:(fun ~me:_ ~index:_ _ -> ()) () in
+  Raft.start raft;
+  Simnet.run_until net 2_000.;
+  let l = List.hd (leaders raft (ids 3)) in
+  let term_before = Raft.term_of raft l in
+  (* Isolate the leader: the rest elect a new one at a higher term. *)
+  Topology.set_partition topo (Some (Array.init 3 (fun i -> if i = l then 1 else 0)));
+  Simnet.run_until net 5_000.;
+  let others = List.filter (fun id -> id <> l) (ids 3) in
+  let ls = leaders raft others in
+  check_i "new leader among the majority" 1 (List.length ls);
+  check_b "term grew" true (Raft.term_of raft (List.hd ls) > term_before);
+  (* The deposed leader rejoins and steps down. *)
+  Topology.set_partition topo None;
+  Simnet.run_until net 10_000.;
+  check_i "single leader after heal" 1 (List.length (leaders raft (ids 3)))
+
+let replication_and_commit () =
+  let _topo, net = mk_net 3 in
+  let applied = Array.make 3 [] in
+  let raft =
+    Raft.create ~net ~ids:(ids 3)
+      ~apply:(fun ~me ~index:_ cmd -> applied.(me) <- cmd :: applied.(me))
+      ()
+  in
+  Raft.start raft;
+  Simnet.run_until net 2_000.;
+  let l = List.hd (leaders raft (ids 3)) in
+  for i = 1 to 10 do
+    check_b "submit accepted" true (Raft.submit raft l (Printf.sprintf "cmd-%d" i))
+  done;
+  check_b "follower submit refused" true
+    (not (Raft.submit raft ((l + 1) mod 3) "nope"));
+  Simnet.run_until net 4_000.;
+  let expected = List.init 10 (fun i -> Printf.sprintf "cmd-%d" (i + 1)) in
+  for id = 0 to 2 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "peer %d applied all, in order" id)
+      expected
+      (Raft.committed_prefix raft id);
+    check_i "commit index" 10 (Raft.commit_index raft id)
+  done
+
+let committed_survive_leader_loss () =
+  let topo, net = mk_net 5 in
+  let raft = Raft.create ~net ~ids:(ids 5) ~apply:(fun ~me:_ ~index:_ _ -> ()) () in
+  Raft.start raft;
+  Simnet.run_until net 2_000.;
+  let l1 = List.hd (leaders raft (ids 5)) in
+  for i = 1 to 5 do
+    ignore (Raft.submit raft l1 (Printf.sprintf "a-%d" i))
+  done;
+  Simnet.run_until net 4_000.;
+  check_i "first batch committed" 5 (Raft.commit_index raft l1);
+  (* Kill the leader (permanent isolation). *)
+  Topology.set_partition topo (Some (Array.init 5 (fun i -> if i = l1 then 1 else 0)));
+  Simnet.run_until net 10_000.;
+  let rest = List.filter (fun id -> id <> l1) (ids 5) in
+  let l2 = List.hd (leaders raft rest) in
+  check_b "different leader" true (l2 <> l1);
+  for i = 1 to 5 do
+    ignore (Raft.submit raft l2 (Printf.sprintf "b-%d" i))
+  done;
+  Simnet.run_until net 15_000.;
+  (* Every survivor has the first batch before the second (leader
+     completeness + log matching). *)
+  List.iter
+    (fun id ->
+      let prefix = Raft.committed_prefix raft id in
+      check_i "all ten" 10 (List.length prefix);
+      Alcotest.(check (list string))
+        "a-batch precedes b-batch"
+        (List.init 5 (fun i -> Printf.sprintf "a-%d" (i + 1))
+        @ List.init 5 (fun i -> Printf.sprintf "b-%d" (i + 1)))
+        prefix)
+    rest
+
+let minority_cannot_commit () =
+  let topo, net = mk_net 5 in
+  let raft = Raft.create ~net ~ids:(ids 5) ~apply:(fun ~me:_ ~index:_ _ -> ()) () in
+  Raft.start raft;
+  Simnet.run_until net 2_000.;
+  let l = List.hd (leaders raft (ids 5)) in
+  (* Partition so the old leader keeps only one follower (minority). *)
+  let follower = List.hd (List.filter (fun id -> id <> l) (ids 5)) in
+  Topology.set_partition topo
+    (Some (Array.init 5 (fun i -> if i = l || i = follower then 0 else 1)));
+  Simnet.run_until net 3_000.;
+  let before = Raft.commit_index raft l in
+  if Raft.role_of raft l = Raft.Leader then begin
+    ignore (Raft.submit raft l "doomed");
+    Simnet.run_until net 8_000.;
+    check_i "minority leader cannot advance commit" before (Raft.commit_index raft l)
+  end;
+  (* Majority side elects and commits. *)
+  let majority_side = List.filter (fun id -> id <> l && id <> follower) (ids 5) in
+  Simnet.run_until net 12_000.;
+  let l2 = List.hd (leaders raft majority_side) in
+  ignore (Raft.submit raft l2 "winner");
+  Simnet.run_until net 16_000.;
+  check_b "majority committed" true (Raft.commit_index raft l2 >= 1);
+  (* Heal: the doomed entry is overwritten everywhere. *)
+  Topology.set_partition topo None;
+  Simnet.run_until net 30_000.;
+  List.iter
+    (fun id ->
+      check_b
+        (Printf.sprintf "peer %d never applies the doomed entry" id)
+        false
+        (List.mem "doomed" (Raft.committed_prefix raft id));
+      check_b
+        (Printf.sprintf "peer %d applied the winner" id)
+        true
+        (List.mem "winner" (Raft.committed_prefix raft id)))
+    (ids 5)
+
+(* Randomized safety: under an adversarial schedule of partitions and
+   submissions, no two replicas ever apply different commands at the same
+   log index (state-machine safety), and committed prefixes agree. *)
+let randomized_safety () =
+  let n = 5 in
+  for trial = 0 to 4 do
+    let topo = Topology.clique ~n in
+    let link = Link.make ~base_latency_ms:5. ~bandwidth_bytes_per_ms:1000. ~jitter_ms:2. ~loss:0.05 () in
+    let net = Simnet.create ~topo ~link ~seed:(Int64.of_int (400 + trial)) in
+    let raft = Raft.create ~net ~ids:(ids n) ~apply:(fun ~me:_ ~index:_ _ -> ()) () in
+    Raft.start raft;
+    let rng = Vegvisir_crypto.Rng.create (Int64.of_int (500 + trial)) in
+    let submitted = ref 0 in
+    let check_prefixes_agree () =
+      let prefixes = List.map (fun id -> Raft.committed_prefix raft id) (ids n) in
+      let rec agree = function
+        | a :: (b :: _ as rest) ->
+          let rec prefix x y =
+            match (x, y) with
+            | [], _ | _, [] -> true
+            | hx :: tx, hy :: ty -> String.equal hx hy && prefix tx ty
+          in
+          check_b "prefixes agree" true (prefix a b);
+          agree rest
+        | _ -> ()
+      in
+      agree prefixes
+    in
+    for step = 1 to 40 do
+      Simnet.run_until net (float_of_int step *. 500.);
+      (match Vegvisir_crypto.Rng.int rng 4 with
+      | 0 ->
+        (* Random partition (possibly isolating several nodes). *)
+        Topology.set_partition topo
+          (Some (Array.init n (fun _ -> Vegvisir_crypto.Rng.int rng 2)))
+      | 1 -> Topology.set_partition topo None
+      | _ ->
+        (* Submit at whoever currently claims leadership. *)
+        List.iter
+          (fun id ->
+            if Raft.role_of raft id = Raft.Leader then begin
+              incr submitted;
+              ignore (Raft.submit raft id (Printf.sprintf "t%d-c%d" trial !submitted))
+            end)
+          (ids n));
+      check_prefixes_agree ()
+    done;
+    (* Heal and let the cluster settle: everything committed anywhere must
+       propagate to all replicas. *)
+    Topology.set_partition topo None;
+    Simnet.run_until net (40. *. 500. +. 30_000.);
+    check_prefixes_agree ();
+    let max_committed =
+      List.fold_left (fun acc id -> max acc (Raft.commit_index raft id)) 0 (ids n)
+    in
+    List.iter
+      (fun id -> check_i "all replicas caught up" max_committed (Raft.commit_index raft id))
+      (ids n)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Replicated support chain                                             *)
+
+let fixture_blocks n =
+  (* A chain of n Vegvisir blocks to archive. *)
+  let signer = V.Signer.oracle ~signature_size:64 ~id:"sp-fixture" () in
+  let cert = V.Certificate.self_signed ~signer ~role:"ca" in
+  let genesis =
+    V.Node.genesis_block ~signer ~cert ~timestamp:(V.Timestamp.of_ms 0L) ()
+  in
+  let node = V.Node.create ~signer ~cert () in
+  ignore (V.Node.receive node ~now:(V.Timestamp.of_ms 1L) genesis);
+  for i = 1 to n - 1 do
+    ignore (V.Node.append node ~now:(V.Timestamp.of_ms (Int64.of_int (i * 10))) [])
+  done;
+  V.Dag.topo_order (V.Node.dag node)
+
+let support_cluster_replicates () =
+  let _topo, net = mk_net 3 in
+  let cluster = Support_cluster.create ~net ~ids:(ids 3) () in
+  Support_cluster.start cluster;
+  Simnet.run_until net 2_000.;
+  let l = Option.get (Support_cluster.leader cluster) in
+  let blocks = fixture_blocks 8 in
+  List.iter
+    (fun b ->
+      match Support_cluster.archive cluster l b with
+      | `Submitted -> ()
+      | `Redirect _ -> Alcotest.fail "leader redirected")
+    blocks;
+  (* A follower redirects. *)
+  (match Support_cluster.archive cluster ((l + 1) mod 3) (List.hd blocks) with
+  | `Redirect (Some hint) -> check_i "hint points at leader" l hint
+  | `Redirect None -> Alcotest.fail "no hint"
+  | `Submitted -> Alcotest.fail "follower accepted");
+  Simnet.run_until net 5_000.;
+  for id = 0 to 2 do
+    check_i (Printf.sprintf "superpeer %d archived all" id) 8
+      (Support_cluster.archived_count cluster id);
+    check_b "chain verifies" true (V.Support.verify (Support_cluster.chain cluster id))
+  done;
+  check_b "identical prefixes" true (Support_cluster.identical_prefixes cluster)
+
+let support_cluster_failover_dedupes () =
+  let topo, net = mk_net 3 in
+  let cluster = Support_cluster.create ~net ~ids:(ids 3) () in
+  Support_cluster.start cluster;
+  Simnet.run_until net 2_000.;
+  let l1 = Option.get (Support_cluster.leader cluster) in
+  let blocks = fixture_blocks 6 in
+  let first, rest =
+    match blocks with
+    | a :: b :: tl -> ([ a; b ], tl)
+    | _ -> assert false
+  in
+  List.iter (fun b -> ignore (Support_cluster.archive cluster l1 b)) first;
+  Simnet.run_until net 4_000.;
+  (* Leader dies; client retries the SAME blocks plus the rest at the new
+     leader — dedup must keep each block once. *)
+  Topology.set_partition topo (Some (Array.init 3 (fun i -> if i = l1 then 1 else 0)));
+  Simnet.run_until net 10_000.;
+  let survivors = List.filter (fun id -> id <> l1) (ids 3) in
+  let l2 =
+    List.find (fun id -> Support_cluster.is_leader cluster id) survivors
+  in
+  List.iter (fun b -> ignore (Support_cluster.archive cluster l2 b)) (first @ rest);
+  Simnet.run_until net 20_000.;
+  List.iter
+    (fun id ->
+      check_i
+        (Printf.sprintf "superpeer %d has each block once" id)
+        6
+        (Support_cluster.archived_count cluster id);
+      check_b "verifies" true (V.Support.verify (Support_cluster.chain cluster id)))
+    survivors;
+  check_b "prefixes agree" true (Support_cluster.identical_prefixes cluster)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "raft",
+        [
+          Alcotest.test_case "single leader" `Quick election_single_leader;
+          Alcotest.test_case "terms monotone" `Quick election_terms_monotone;
+          Alcotest.test_case "replication" `Quick replication_and_commit;
+          Alcotest.test_case "leader loss" `Quick committed_survive_leader_loss;
+          Alcotest.test_case "minority stalls" `Quick minority_cannot_commit;
+          Alcotest.test_case "randomized safety" `Slow randomized_safety;
+        ] );
+      ( "support-cluster",
+        [
+          Alcotest.test_case "replicates" `Quick support_cluster_replicates;
+          Alcotest.test_case "failover dedupes" `Quick support_cluster_failover_dedupes;
+        ] );
+    ]

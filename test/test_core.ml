@@ -1,0 +1,1043 @@
+(* Unit and property tests for the core vegvisir library: identifiers,
+   wire format, certificates, blocks, the DAG, validation, the CRDT state
+   machine, reconciliation, witness proofs, and the support chain. *)
+
+open Vegvisir
+module Value = Vegvisir_crdt.Value
+module Schema = Vegvisir_crdt.Schema
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+let ts ms = Timestamp.of_ms (Int64.of_int ms)
+
+(* Shared fixtures: an owner (CA) and two members with oracle keys. *)
+let owner_signer = Signer.oracle ~signature_size:64 ~id:"owner" ()
+let owner_cert = Certificate.self_signed ~signer:owner_signer ~role:"ca"
+let alice_signer = Signer.oracle ~signature_size:64 ~id:"alice" ()
+
+let alice_cert =
+  Certificate.issue ~ca:owner_cert ~ca_signer:owner_signer ~subject:alice_signer
+    ~role:"medic"
+
+let bob_signer = Signer.oracle ~signature_size:64 ~id:"bob" ()
+
+let bob_cert =
+  Certificate.issue ~ca:owner_cert ~ca_signer:owner_signer ~subject:bob_signer
+    ~role:"member"
+
+let log_spec = Schema.spec Schema.Gset Value.T_string
+
+let genesis =
+  Node.genesis_block ~signer:owner_signer ~cert:owner_cert ~timestamp:(ts 0)
+    ~extra:
+      [
+        Transaction.create_crdt ~name:"log" log_spec;
+        Transaction.add_user alice_cert;
+        Transaction.add_user bob_cert;
+      ]
+    ()
+
+let fresh_node signer cert =
+  let n = Node.create ~signer ~cert () in
+  (match Node.receive n ~now:(ts 1) genesis with
+  | Node.Accepted -> ()
+  | r -> Alcotest.failf "genesis not accepted: %a" Node.pp_receive_result r);
+  n
+
+let add_tx entry = Transaction.make ~crdt:"log" ~op:"add" [ Value.String entry ]
+
+(* ------------------------------------------------------------------ *)
+(* Hash_id                                                              *)
+
+let hash_id_basics () =
+  let h = Hash_id.digest "hello" in
+  check_i "size" 32 (String.length (Hash_id.to_raw h));
+  check_b "of_raw roundtrip" true (Hash_id.of_raw (Hash_id.to_raw h) = Some h);
+  check_b "of_raw wrong size" true (Hash_id.of_raw "short" = None);
+  check_b "hex roundtrip" true (Hash_id.of_hex (Hash_id.to_hex h) = Some h);
+  check_b "bad hex" true (Hash_id.of_hex "zz" = None);
+  check_i "short" 8 (String.length (Hash_id.short h));
+  check_b "equal" true (Hash_id.equal h (Hash_id.digest "hello"));
+  check_b "distinct" false (Hash_id.equal h (Hash_id.digest "other"))
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                 *)
+
+let wire_roundtrip () =
+  let b = Buffer.create 64 in
+  Wire.put_u8 b 255;
+  Wire.put_u16 b 65535;
+  Wire.put_u32 b 123456;
+  Wire.put_i64 b (-42L);
+  Wire.put_str b "hello";
+  Wire.put_list b Wire.put_str [ "a"; "bb"; "" ];
+  Wire.put_opt b Wire.put_u32 (Some 7);
+  Wire.put_opt b Wire.put_u32 None;
+  let c = Wire.cursor (Buffer.contents b) in
+  check_i "u8" 255 (Wire.get_u8 c);
+  check_i "u16" 65535 (Wire.get_u16 c);
+  check_i "u32" 123456 (Wire.get_u32 c);
+  Alcotest.(check int64) "i64" (-42L) (Wire.get_i64 c);
+  check_s "str" "hello" (Wire.get_str c);
+  Alcotest.(check (list string)) "list" [ "a"; "bb"; "" ] (Wire.get_list c Wire.get_str);
+  check_b "opt some" true (Wire.get_opt c Wire.get_u32 = Some 7);
+  check_b "opt none" true (Wire.get_opt c Wire.get_u32 = None);
+  check_b "at end" true (Wire.at_end c)
+
+let wire_malformed () =
+  let c = Wire.cursor "\x01" in
+  (try
+     ignore (Wire.get_u32 c);
+     Alcotest.fail "expected Malformed"
+   with Wire.Malformed _ -> ());
+  check_b "decode_string rejects trailing" true
+    (Wire.decode_string Wire.get_u8 "\x01\x02" = None);
+  check_b "decode_string ok" true (Wire.decode_string Wire.get_u8 "\x09" = Some 9);
+  Alcotest.check_raises "put_u8 range" (Invalid_argument "Wire.put_u8") (fun () ->
+      Wire.put_u8 (Buffer.create 1) 256)
+
+(* ------------------------------------------------------------------ *)
+(* Signer / Certificate                                                 *)
+
+let signer_schemes () =
+  let mss = Signer.mss ~height:2 ~seed:"s" () in
+  let msg = "message" in
+  let sg = mss.Signer.sign msg in
+  check_b "mss verify" true
+    (Signer.verify ~scheme:"mss" ~public:mss.Signer.public ~msg ~signature:sg);
+  check_b "mss wrong msg" false
+    (Signer.verify ~scheme:"mss" ~public:mss.Signer.public ~msg:"other" ~signature:sg);
+  check_b "remaining counts" true (mss.Signer.remaining () = Some 3);
+  let o = Signer.oracle ~signature_size:64 ~id:"x" () in
+  let so = o.Signer.sign msg in
+  check_i "oracle size" 64 (String.length so);
+  check_b "oracle verify" true
+    (Signer.verify ~scheme:"oracle" ~public:o.Signer.public ~msg ~signature:so);
+  check_b "oracle wrong public" false
+    (Signer.verify ~scheme:"oracle" ~public:"oracle:y" ~msg ~signature:so);
+  check_b "unknown scheme" false
+    (Signer.verify ~scheme:"rsa" ~public:o.Signer.public ~msg ~signature:so)
+
+let certificate_checks () =
+  check_b "self-signed verifies" true (Certificate.verify ~ca:owner_cert owner_cert);
+  check_b "issued verifies" true (Certificate.verify ~ca:owner_cert alice_cert);
+  check_b "self-signed detected" true (Certificate.is_self_signed owner_cert);
+  check_b "issued not self-signed" false (Certificate.is_self_signed alice_cert);
+  (* Tampering with the role breaks the signature. *)
+  let tampered = { alice_cert with Certificate.role = "ca" } in
+  check_b "tampered role rejected" false (Certificate.verify ~ca:owner_cert tampered);
+  (* Serialization. *)
+  (match Certificate.of_string (Certificate.to_string alice_cert) with
+  | Some c ->
+    check_b "roundtrip" true (Certificate.equal c alice_cert);
+    check_b "roundtrip verifies" true (Certificate.verify ~ca:owner_cert c)
+  | None -> Alcotest.fail "certificate roundtrip");
+  check_b "garbage rejected" true (Certificate.of_string "junk" = None);
+  (* A certificate signed by a non-CA key fails. *)
+  let mallory = Signer.oracle ~signature_size:64 ~id:"mallory" () in
+  let forged = Certificate.issue ~ca:(Certificate.self_signed ~signer:mallory ~role:"ca")
+      ~ca_signer:mallory ~subject:bob_signer ~role:"admin" in
+  check_b "wrong issuer rejected" false (Certificate.verify ~ca:owner_cert forged)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction / Block                                                  *)
+
+let transaction_roundtrip () =
+  let txs =
+    [
+      add_tx "hello";
+      Transaction.add_user alice_cert;
+      Transaction.create_crdt ~name:"c" (Schema.spec Schema.Gcounter Value.T_int);
+      Transaction.make ~crdt:"x" ~op:"op" [];
+    ]
+  in
+  List.iter
+    (fun tx ->
+      let b = Buffer.create 64 in
+      Transaction.encode b tx;
+      let c = Wire.cursor (Buffer.contents b) in
+      let tx' = Transaction.decode c in
+      check_b "tx roundtrip" true (Transaction.equal tx tx');
+      check_i "byte_size" (Buffer.length b) (Transaction.byte_size tx))
+    txs
+
+let block_roundtrip_and_tamper () =
+  let b =
+    Block.create ~signer:alice_signer ~creator:alice_cert.Certificate.user_id
+      ~timestamp:(ts 10)
+      ~location:(Location.make ~lat:1.5 ~lon:2.5)
+      ~parents:[ genesis.Block.hash ]
+      [ add_tx "x"; add_tx "y" ]
+  in
+  check_b "not genesis" false (Block.is_genesis b);
+  check_b "signature verifies" true
+    (Block.verify_signature ~public:alice_signer.Signer.public ~scheme:"oracle" b);
+  (match Block.of_string (Block.to_string b) with
+  | Some b' ->
+    check_b "roundtrip equal" true (Block.equal b b');
+    check_b "hash stable" true (Hash_id.equal b.Block.hash b'.Block.hash);
+    check_b "location survives" true (b'.Block.location = b.Block.location)
+  | None -> Alcotest.fail "block roundtrip");
+  (* Bit-flip anywhere changes identity and is detected. *)
+  let raw = Bytes.of_string (Block.to_string b) in
+  Bytes.set raw 60 (Char.chr (Char.code (Bytes.get raw 60) lxor 1));
+  (match Block.of_string (Bytes.to_string raw) with
+  | Some forged ->
+    check_b "identity changed" false (Hash_id.equal forged.Block.hash b.Block.hash)
+  | None -> () (* structurally invalid is also fine *));
+  check_b "garbage rejected" true (Block.of_string "nope" = None)
+
+let block_canonical_parents () =
+  let p1 = Hash_id.digest "p1" and p2 = Hash_id.digest "p2" in
+  let mk parents =
+    Block.create ~signer:alice_signer ~creator:alice_cert.Certificate.user_id
+      ~timestamp:(ts 5) ~parents [ add_tx "z" ]
+  in
+  let a = mk [ p1; p2; p1 ] and b = mk [ p2; p1 ] in
+  check_b "parent order/dup canonicalized" true (Block.equal a b);
+  check_i "dedup" 2 (List.length a.Block.parents)
+
+(* ------------------------------------------------------------------ *)
+(* DAG                                                                  *)
+
+let mk_block ?(signer = alice_signer) ?(creator = alice_cert.Certificate.user_id)
+    ~t ~parents label =
+  Block.create ~signer ~creator ~timestamp:(ts t) ~parents [ add_tx label ]
+
+let dag_with_genesis () = Result.get_ok (Dag.add Dag.empty genesis)
+
+let dag_basics () =
+  let d = dag_with_genesis () in
+  check_i "one block" 1 (Dag.cardinal d);
+  check_b "genesis" true (Dag.genesis d = Some genesis);
+  check_b "frontier is genesis" true
+    (Hash_id.Set.equal (Dag.frontier d) (Hash_id.Set.singleton genesis.Block.hash));
+  let b1 = mk_block ~t:10 ~parents:[ genesis.Block.hash ] "b1" in
+  let d = Result.get_ok (Dag.add d b1) in
+  check_b "frontier moves" true
+    (Hash_id.Set.equal (Dag.frontier d) (Hash_id.Set.singleton b1.Block.hash));
+  check_b "duplicate" true (Dag.add d b1 = Error Dag.Duplicate);
+  check_b "height genesis" true (Dag.height d genesis.Block.hash = Some 0);
+  check_b "height b1" true (Dag.height d b1.Block.hash = Some 1);
+  check_i "max height" 1 (Dag.max_height d);
+  let orphan = mk_block ~t:20 ~parents:[ Hash_id.digest "unknown" ] "orphan" in
+  (match Dag.add d orphan with
+  | Error (Dag.Missing_parents missing) -> check_i "one missing" 1 (Hash_id.Set.cardinal missing)
+  | _ -> Alcotest.fail "expected missing parents");
+  let second_gen =
+    Node.genesis_block ~signer:bob_signer ~cert:bob_cert ~timestamp:(ts 0) ()
+  in
+  check_b "second genesis refused" true (Dag.add d second_gen = Error Dag.Second_genesis)
+
+(* Build the diamond: genesis <- a <- (b, c) <- d *)
+let diamond () =
+  let d0 = dag_with_genesis () in
+  let a = mk_block ~t:10 ~parents:[ genesis.Block.hash ] "a" in
+  let b = mk_block ~t:20 ~parents:[ a.Block.hash ] "b" in
+  let c = mk_block ~t:21 ~parents:[ a.Block.hash ] "c" in
+  let d = mk_block ~t:30 ~parents:[ b.Block.hash; c.Block.hash ] "d" in
+  let dag =
+    List.fold_left (fun acc x -> Result.get_ok (Dag.add acc x)) d0 [ a; b; c; d ]
+  in
+  (dag, a, b, c, d)
+
+let dag_diamond_queries () =
+  let dag, a, b, c, d = diamond () in
+  check_i "branch width" 1 (Dag.branch_width dag);
+  check_b "frontier = d" true
+    (Hash_id.Set.equal (Dag.frontier dag) (Hash_id.Set.singleton d.Block.hash));
+  check_b "ancestors of d" true
+    (Hash_id.Set.equal
+       (Dag.ancestors dag d.Block.hash)
+       (Hash_id.Set.of_list
+          [ genesis.Block.hash; a.Block.hash; b.Block.hash; c.Block.hash ]));
+  check_b "descendants of a" true
+    (Hash_id.Set.equal
+       (Dag.descendants dag a.Block.hash)
+       (Hash_id.Set.of_list [ b.Block.hash; c.Block.hash; d.Block.hash ]));
+  check_b "is_ancestor" true
+    (Dag.is_ancestor dag ~ancestor:a.Block.hash ~descendant:d.Block.hash);
+  check_b "not ancestor (concurrent)" false
+    (Dag.is_ancestor dag ~ancestor:b.Block.hash ~descendant:c.Block.hash);
+  check_b "height d" true (Dag.height dag d.Block.hash = Some 3);
+  check_i "children of a" 2 (Hash_id.Set.cardinal (Dag.children dag a.Block.hash))
+
+let dag_level_frontier () =
+  let dag, a, b, c, d = diamond () in
+  let lf n = Dag.level_frontier dag n in
+  check_b "level 1 = frontier" true (Hash_id.Set.equal (lf 1) (Dag.frontier dag));
+  (* level 2 = frontier + parents of frontier *)
+  check_b "level 2" true
+    (Hash_id.Set.equal (lf 2)
+       (Hash_id.Set.of_list [ d.Block.hash; b.Block.hash; c.Block.hash ]));
+  check_b "level 3 adds a" true (Hash_id.Set.mem a.Block.hash (lf 3));
+  check_b "level 4 adds genesis" true (Hash_id.Set.mem genesis.Block.hash (lf 4));
+  check_b "level 10 saturates" true (Hash_id.Set.equal (lf 10) (lf 4));
+  (* The recursive definition from the paper: L(n) = L(n-1) union parents(L(n-1)). *)
+  for n = 2 to 5 do
+    let expected =
+      Hash_id.Set.fold
+        (fun h acc ->
+          List.fold_left
+            (fun acc p -> if Dag.mem dag p then Hash_id.Set.add p acc else acc)
+            acc (Dag.parents dag h))
+        (lf (n - 1))
+        (lf (n - 1))
+    in
+    check_b (Printf.sprintf "paper definition level %d" n) true
+      (Hash_id.Set.equal (lf n) expected)
+  done;
+  Alcotest.check_raises "level 0 invalid"
+    (Invalid_argument "Dag.level_frontier: level must be >= 1") (fun () ->
+      ignore (lf 0))
+
+let dag_topo_order () =
+  let dag, _, _, _, _ = diamond () in
+  let order = Dag.topo_order dag in
+  check_i "all blocks" 5 (List.length order);
+  (* Parents precede children. *)
+  let pos =
+    List.mapi (fun i b -> (b.Block.hash, i)) order
+    |> List.to_seq |> Hash_id.Map.of_seq
+  in
+  List.iter
+    (fun (blk : Block.t) ->
+      List.iter
+        (fun p ->
+          check_b "parent before child" true
+            (Hash_id.Map.find p pos < Hash_id.Map.find blk.Block.hash pos))
+        blk.Block.parents)
+    order;
+  (* Canonical: rebuilding the DAG in a different insertion order yields
+     the same topological order. *)
+  let dag2 =
+    List.fold_left
+      (fun acc b -> match Dag.add acc b with Ok a -> a | Error _ -> acc)
+      (dag_with_genesis ())
+      (List.rev (Dag.topo_order dag))
+  in
+  let dag2 =
+    List.fold_left
+      (fun acc b -> match Dag.add acc b with Ok a -> a | Error _ -> acc)
+      dag2 (Dag.topo_order dag)
+  in
+  check_b "canonical order" true
+    (List.equal Block.equal (Dag.topo_order dag) (Dag.topo_order dag2))
+
+let dag_prune () =
+  let dag, a, b, _c, d = diamond () in
+  let bytes_before = Dag.byte_size dag in
+  Alcotest.check_raises "cannot prune genesis"
+    (Invalid_argument "Dag.prune: cannot prune genesis") (fun () ->
+      ignore (Dag.prune dag genesis.Block.hash));
+  Alcotest.check_raises "cannot prune frontier"
+    (Invalid_argument "Dag.prune: cannot prune a frontier block") (fun () ->
+      ignore (Dag.prune dag d.Block.hash));
+  let dag = Dag.prune dag a.Block.hash in
+  check_b "pruned gone" false (Dag.mem dag a.Block.hash);
+  check_b "archived" true (Dag.is_archived dag a.Block.hash);
+  check_i "archived count" 1 (Dag.archived_count dag);
+  check_b "height retained" true (Dag.height dag a.Block.hash = Some 1);
+  check_b "bytes decreased" true (Dag.byte_size dag < bytes_before);
+  (* New block on top of pruned history is accepted. *)
+  let e = mk_block ~t:40 ~parents:[ b.Block.hash ] "e" in
+  check_b "extends pruned dag" true (Result.is_ok (Dag.add dag e));
+  (* Prune is a no-op for unknown hashes. *)
+  check_b "noop" true (Dag.prune dag (Hash_id.digest "nothing") == dag)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                           *)
+
+let membership_of_genesis () =
+  match Validation.check_genesis genesis with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "genesis invalid: %a" Validation.pp_error e
+
+let validation_genesis () =
+  let m = membership_of_genesis () in
+  check_b "owner is member" true
+    (Membership.is_member m owner_cert.Certificate.user_id);
+  (* Genesis missing the owner cert is rejected. *)
+  let bad =
+    Block.create ~signer:owner_signer ~creator:owner_cert.Certificate.user_id
+      ~timestamp:(ts 0) ~parents:[] [ add_tx "not a cert" ]
+  in
+  (match Validation.check_genesis bad with
+  | Error (Validation.Malformed_genesis _) -> ()
+  | _ -> Alcotest.fail "genesis without cert accepted");
+  (* Genesis whose cert subject is not the creator is rejected. *)
+  let mismatched =
+    Block.create ~signer:owner_signer ~creator:alice_cert.Certificate.user_id
+      ~timestamp:(ts 0) ~parents:[]
+      [ Transaction.add_user owner_cert ]
+  in
+  match Validation.check_genesis mismatched with
+  | Error (Validation.Malformed_genesis _) -> ()
+  | _ -> Alcotest.fail "mismatched genesis accepted"
+
+let validation_four_checks () =
+  (* Build membership + dag from genesis, then exercise each check. *)
+  let m =
+    let m = membership_of_genesis () in
+    let m = Result.get_ok (Membership.add m alice_cert) in
+    Result.get_ok (Membership.add m bob_cert)
+  in
+  let dag = dag_with_genesis () in
+  let ok_block = mk_block ~t:100 ~parents:[ genesis.Block.hash ] "ok" in
+  check_b "valid block passes" true
+    (Validation.check_block ~membership:m ~dag ~now:(ts 200) ok_block = Ok ());
+  (* 1: unknown creator *)
+  let stranger = Signer.oracle ~signature_size:64 ~id:"stranger" () in
+  let sb =
+    Block.create ~signer:stranger
+      ~creator:(Signer.user_id_of_public stranger.Signer.public)
+      ~timestamp:(ts 100) ~parents:[ genesis.Block.hash ] []
+  in
+  check_b "unknown creator" true
+    (Validation.check_block ~membership:m ~dag ~now:(ts 200) sb
+    = Error Validation.Unknown_creator);
+  (* 2: missing parents *)
+  let mp = mk_block ~t:100 ~parents:[ Hash_id.digest "ghost" ] "mp" in
+  (match Validation.check_block ~membership:m ~dag ~now:(ts 200) mp with
+  | Error (Validation.Missing_parents _) -> ()
+  | _ -> Alcotest.fail "missing parents undetected");
+  (* 3a: timestamp must exceed parents' *)
+  let old = mk_block ~t:0 ~parents:[ genesis.Block.hash ] "old" in
+  check_b "stale timestamp" true
+    (Validation.check_block ~membership:m ~dag ~now:(ts 200) old
+    = Error Validation.Timestamp_not_after_parents);
+  (* 3b: timestamp must not be in the validator's future *)
+  let future = mk_block ~t:999_999 ~parents:[ genesis.Block.hash ] "future" in
+  check_b "future timestamp" true
+    (Validation.check_block ~membership:m ~dag ~now:(ts 200) future
+    = Error Validation.Timestamp_in_future);
+  (* clock skew tolerated *)
+  let slightly_ahead = mk_block ~t:202 ~parents:[ genesis.Block.hash ] "ahead" in
+  check_b "skew tolerated" true
+    (Validation.check_block ~membership:m ~dag ~now:(ts 200) slightly_ahead = Ok ());
+  (* 4: signature matches creator: bob signing as alice *)
+  let forged =
+    Block.create ~signer:bob_signer ~creator:alice_cert.Certificate.user_id
+      ~timestamp:(ts 100) ~parents:[ genesis.Block.hash ] []
+  in
+  check_b "forged signature" true
+    (Validation.check_block ~membership:m ~dag ~now:(ts 200) forged
+    = Error Validation.Bad_signature);
+  check_b "transient classification" true
+    (Validation.is_transient Validation.Unknown_creator
+    && Validation.is_transient (Validation.Missing_parents Hash_id.Set.empty)
+    && (not (Validation.is_transient Validation.Bad_signature))
+    && not (Validation.is_transient Validation.Revoked_creator))
+
+let validation_revocation_causality () =
+  (* Revocation only kills blocks that causally follow it. *)
+  let m = membership_of_genesis () in
+  let m = Result.get_ok (Membership.add m alice_cert) in
+  let dag = dag_with_genesis () in
+  (* Revocation block by owner. *)
+  let revoke_block =
+    Block.create ~signer:owner_signer ~creator:owner_cert.Certificate.user_id
+      ~timestamp:(ts 50) ~parents:[ genesis.Block.hash ]
+      [ Transaction.revoke_user alice_cert ]
+  in
+  let dag = Result.get_ok (Dag.add dag revoke_block) in
+  let m = Result.get_ok (Membership.revoke m alice_cert ~revoked_in:revoke_block.Block.hash) in
+  (* Alice's block concurrent with the revocation (parent = genesis). *)
+  let concurrent = mk_block ~t:60 ~parents:[ genesis.Block.hash ] "conc" in
+  check_b "concurrent block tolerated (transient)" true
+    (Validation.check_block ~membership:m ~dag ~now:(ts 100) concurrent
+    = Error Validation.Unknown_creator);
+  (* Alice's block after the revocation (descends from it). *)
+  let after = mk_block ~t:70 ~parents:[ revoke_block.Block.hash ] "after" in
+  check_b "post-revocation block rejected" true
+    (Validation.check_block ~membership:m ~dag ~now:(ts 100) after
+    = Error Validation.Revoked_creator)
+
+(* ------------------------------------------------------------------ *)
+(* Membership                                                           *)
+
+let membership_two_phase () =
+  let m = membership_of_genesis () in
+  let m = Result.get_ok (Membership.add m alice_cert) in
+  check_b "member" true (Membership.is_member m alice_cert.Certificate.user_id);
+  check_b "role" true (Membership.role m alice_cert.Certificate.user_id = Some "medic");
+  check_i "cardinal" 2 (Membership.cardinal m);
+  let rb = Hash_id.digest "revocation-block" in
+  let m = Result.get_ok (Membership.revoke m alice_cert ~revoked_in:rb) in
+  check_b "revoked" false (Membership.is_member m alice_cert.Certificate.user_id);
+  check_b "revoked_in" true
+    (Membership.revoked_in m alice_cert.Certificate.user_id = Some rb);
+  (* 2P: re-adding after revocation does not resurrect. *)
+  let m = Result.get_ok (Membership.add m alice_cert) in
+  check_b "no resurrection" false (Membership.is_member m alice_cert.Certificate.user_id);
+  (* Unsigned cert refused. *)
+  let mallory = Signer.oracle ~signature_size:64 ~id:"mallory2" () in
+  let self = Certificate.self_signed ~signer:mallory ~role:"ca" in
+  check_b "non-CA-signed refused" true (Membership.add m self = Error Membership.Not_ca_signed)
+
+(* ------------------------------------------------------------------ *)
+(* CSM                                                                  *)
+
+let csm_applies_genesis_and_txs () =
+  let csm, _ = Csm.apply_block Csm.empty genesis in
+  check_b "membership bootstrapped" true (Csm.membership csm <> None);
+  check_b "log exists" true
+    (Vegvisir_crdt.Store.find (Csm.store csm) "log" <> None);
+  check_b "alice enrolled" true
+    (Csm.role_of csm alice_cert.Certificate.user_id = Some "medic");
+  let b1 =
+    Block.create ~signer:alice_signer ~creator:alice_cert.Certificate.user_id
+      ~timestamp:(ts 10) ~parents:[ genesis.Block.hash ]
+      [ add_tx "entry-1"; add_tx "entry-2" ]
+  in
+  let csm, results = Csm.apply_block csm b1 in
+  check_i "two tx results" 2 (List.length results);
+  check_b "all ok" true (List.for_all (fun r -> r.Csm.outcome = Ok ()) results);
+  (match Csm.query csm ~crdt:"log" ~op:"size" [] with
+  | Ok (Value.Int 2) -> ()
+  | _ -> Alcotest.fail "size");
+  (* Re-applying the same block is a no-op. *)
+  let csm', results' = Csm.apply_block csm b1 in
+  check_i "idempotent" 0 (List.length results');
+  check_b "state unchanged" true (Csm.converged csm csm')
+
+let csm_rejects_invalid_txs () =
+  let csm, _ = Csm.apply_block Csm.empty genesis in
+  let bad_block =
+    Block.create ~signer:alice_signer ~creator:alice_cert.Certificate.user_id
+      ~timestamp:(ts 10) ~parents:[ genesis.Block.hash ]
+      [
+        Transaction.make ~crdt:"log" ~op:"add" [ Value.Int 3 ] (* type error *);
+        Transaction.make ~crdt:"ghost" ~op:"add" [ Value.String "x" ];
+        Transaction.make ~crdt:"log" ~op:"remove" [ Value.String "x" ] (* gset has no remove *);
+        add_tx "good";
+      ]
+  in
+  let csm, results = Csm.apply_block csm bad_block in
+  let errs = List.filter (fun r -> Result.is_error r.Csm.outcome) results in
+  check_i "three rejected" 3 (List.length errs);
+  check_i "rejected counted" 3 (Csm.rejected_tx_count csm);
+  (match Csm.query csm ~crdt:"log" ~op:"mem" [ Value.String "good" ] with
+  | Ok (Value.Bool true) -> ()
+  | _ -> Alcotest.fail "good tx applied")
+
+let csm_membership_rules () =
+  let csm, _ = Csm.apply_block Csm.empty genesis in
+  (* Alice (not CA, not subject) cannot revoke bob. *)
+  let attempt =
+    Block.create ~signer:alice_signer ~creator:alice_cert.Certificate.user_id
+      ~timestamp:(ts 10) ~parents:[ genesis.Block.hash ]
+      [ Transaction.revoke_user bob_cert ]
+  in
+  let csm, results = Csm.apply_block csm attempt in
+  check_b "non-CA revocation rejected" true
+    (List.exists (fun r -> Result.is_error r.Csm.outcome) results);
+  check_b "bob still member" true
+    (Csm.role_of csm bob_cert.Certificate.user_id = Some "member");
+  (* Bob may self-revoke. *)
+  let self_revoke =
+    Block.create ~signer:bob_signer ~creator:bob_cert.Certificate.user_id
+      ~timestamp:(ts 20) ~parents:[ genesis.Block.hash ]
+      [ Transaction.revoke_user bob_cert ]
+  in
+  let csm, results = Csm.apply_block csm self_revoke in
+  check_b "self-revocation ok" true
+    (List.for_all (fun r -> Result.is_ok r.Csm.outcome) results);
+  check_b "bob gone" true (Csm.role_of csm bob_cert.Certificate.user_id = None)
+
+let csm_deterministic_across_orders () =
+  (* Apply the diamond's blocks in two different topological orders and
+     check the CSM states coincide. *)
+  let _, a, b, c, d = diamond () in
+  let apply_seq blocks =
+    List.fold_left (fun csm blk -> fst (Csm.apply_block csm blk)) Csm.empty blocks
+  in
+  let s1 = apply_seq [ genesis; a; b; c; d ] in
+  let s2 = apply_seq [ genesis; a; c; b; d ] in
+  check_b "orders converge" true (Csm.converged s1 s2)
+
+(* ------------------------------------------------------------------ *)
+(* Witness                                                              *)
+
+let witness_counting () =
+  let dag, a, b, _c, _d = diamond () in
+  (* a's descendants b,c,d are all by alice = a's creator: no witnesses. *)
+  check_i "same-creator descendants don't witness" 0
+    (Witness.witness_count dag a.Block.hash);
+  (* Bob appends on top: one witness for everything above. *)
+  let w =
+    Block.create ~signer:bob_signer ~creator:bob_cert.Certificate.user_id
+      ~timestamp:(ts 50)
+      ~parents:(Hash_id.Set.elements (Dag.frontier dag))
+      []
+  in
+  let dag = Result.get_ok (Dag.add dag w) in
+  check_i "bob witnesses a" 1 (Witness.witness_count dag a.Block.hash);
+  check_b "proof k=1" true (Witness.has_proof dag a.Block.hash ~k:1);
+  check_b "no proof k=2" false (Witness.has_proof dag a.Block.hash ~k:2);
+  (* Proof covers ancestors. *)
+  let proven = Witness.proven_ancestors dag b.Block.hash ~k:1 in
+  check_b "ancestors proven" true
+    (Hash_id.Set.mem a.Block.hash proven && Hash_id.Set.mem genesis.Block.hash proven);
+  check_b "unknown hash no witnesses" true
+    (Hash_id.Set.is_empty (Witness.witnesses dag (Hash_id.digest "none")))
+
+(* ------------------------------------------------------------------ *)
+(* Reconcile                                                            *)
+
+let reconcile_message_roundtrip () =
+  let msgs =
+    [
+      Reconcile.Frontier_request { level = 3 };
+      Reconcile.Frontier_reply { level = 2; blocks = [ genesis ] };
+      Reconcile.Sync_request
+        { frontier = [ genesis.Block.hash ]; recent = [ Hash_id.digest "r" ] };
+      Reconcile.Sync_reply { blocks = [ genesis ] };
+    ]
+  in
+  List.iter
+    (fun m ->
+      let b = Buffer.create 64 in
+      Reconcile.encode_message b m;
+      let c = Wire.cursor (Buffer.contents b) in
+      let m' = Reconcile.decode_message c in
+      check_b "message roundtrip" true (Reconcile.message_equal m m');
+      check_i "message_size" (Buffer.length b) (Reconcile.message_size m))
+    msgs
+
+let reconcile_modes_converge () =
+  let dag, _, _, _, _ = diamond () in
+  List.iter
+    (fun mode ->
+      let base = dag_with_genesis () in
+      let merged, stats = Reconcile.sync_dags mode base dag in
+      check_i "all transferred" (Dag.cardinal dag) (Dag.cardinal merged);
+      check_b "rounds positive" true (stats.Reconcile.rounds >= 1);
+      (* Syncing identical DAGs transfers nothing new. *)
+      let merged2, stats2 = Reconcile.sync_dags mode merged dag in
+      check_i "idempotent" (Dag.cardinal merged) (Dag.cardinal merged2);
+      check_i "single round when identical" 1 stats2.Reconcile.rounds)
+    [ `Naive; `Indexed; `Bloom ]
+
+let reconcile_escalation_depth () =
+  let a, b, _ = (fun () ->
+      let sa = Signer.oracle ~signature_size:64 ~id:"ra" () in
+      let ca = Certificate.self_signed ~signer:sa ~role:"ca" in
+      let g = Node.genesis_block ~signer:sa ~cert:ca ~timestamp:(ts 0)
+          ~extra:[ Transaction.create_crdt ~name:"log" log_spec ] () in
+      let na = Node.create ~signer:sa ~cert:ca () in
+      let nb = Node.create ~signer:sa ~cert:ca () in
+      ignore (Node.receive na ~now:(ts 1) g);
+      ignore (Node.receive nb ~now:(ts 1) g);
+      (na, nb, g)) ()
+  in
+  (* b gets a chain of depth 5. *)
+  for i = 1 to 5 do
+    match Node.prepare_transaction b ~crdt:"log" ~op:"add" [ Value.String (string_of_int i) ] with
+    | Ok tx -> ignore (Node.append b ~now:(ts (i * 10)) [ tx ])
+    | Error _ -> Alcotest.fail "prepare"
+  done;
+  let _, stats = Reconcile.sync_dags `Naive (Node.dag a) (Node.dag b) in
+  check_i "naive rounds = divergence depth" 5 stats.Reconcile.rounds;
+  let _, istats = Reconcile.sync_dags `Indexed (Node.dag a) (Node.dag b) in
+  check_i "indexed single round" 1 istats.Reconcile.rounds;
+  check_b "indexed fewer bytes" true
+    (istats.Reconcile.bytes_received < stats.Reconcile.bytes_received)
+
+let reconcile_respond_ignores_replies () =
+  let dag = dag_with_genesis () in
+  check_b "reply gets no response" true
+    (Reconcile.respond dag (Reconcile.Frontier_reply { level = 1; blocks = [] }) = None);
+  check_b "sync reply gets no response" true
+    (Reconcile.respond dag (Reconcile.Sync_reply { blocks = [] }) = None)
+
+let reconcile_block_requests () =
+  let dag, a, _, _, _ = diamond () in
+  (* Explicit block request returns exactly the resident blocks asked for. *)
+  (match
+     Reconcile.respond dag
+       (Reconcile.Blocks_request { hashes = [ a.Block.hash; Hash_id.digest "nope" ] })
+   with
+  | Some (Reconcile.Blocks_reply { blocks = [ b ] }) ->
+    check_b "found the block" true (Block.equal b a)
+  | _ -> Alcotest.fail "blocks request");
+  (* An empty/garbage bloom filter elicits everything / nothing safely. *)
+  match Reconcile.respond dag (Reconcile.Bloom_request { filter = "junk" }) with
+  | Some (Reconcile.Bloom_reply { blocks = [] }) -> ()
+  | _ -> Alcotest.fail "garbage bloom should yield an empty reply"
+
+(* ------------------------------------------------------------------ *)
+(* Support / Offload                                                    *)
+
+let support_chain_rules () =
+  let _, a, b, _c, _d = diamond () in
+  let chain = Support.empty in
+  let chain = Result.get_ok (Support.append chain genesis) in
+  let chain = Result.get_ok (Support.append chain a) in
+  let chain = Result.get_ok (Support.append chain b) in
+  check_i "length" 3 (Support.length chain);
+  check_b "contains" true (Support.contains chain a.Block.hash);
+  check_b "find" true (Support.find chain a.Block.hash = Some a);
+  check_b "verify" true (Support.verify chain);
+  check_b "duplicate refused" true (Result.is_error (Support.append chain a));
+  check_b "payload order" true
+    (List.equal Block.equal (Support.payloads chain) [ genesis; a; b ])
+
+let support_detects_order_violation () =
+  let _, a, b, _c, _d = diamond () in
+  (* Child before parent: chain verifies false. *)
+  let chain = Result.get_ok (Support.append Support.empty b) in
+  let chain = Result.get_ok (Support.append chain a) in
+  check_b "topological violation detected" false (Support.verify chain)
+
+let offload_superpeer () =
+  let dag, a, b, c, d = diamond () in
+  ignore dag;
+  let sp = Offload.create () in
+  (* Absorb out of order: buffering must reorder. *)
+  Offload.absorb_all sp [ d; b; c ];
+  check_i "buffered while parents missing" 3 (Offload.buffered_count sp);
+  Offload.absorb_all sp [ genesis; a ];
+  check_i "buffer drained" 0 (Offload.buffered_count sp);
+  check_i "dag complete" 5 (Dag.cardinal (Offload.dag sp));
+  let archived = Offload.flush sp in
+  check_i "all archived" 5 archived;
+  check_b "chain valid" true (Support.verify (Offload.chain sp));
+  check_b "fetch" true (Offload.fetch sp c.Block.hash = Some c);
+  check_i "reflush archives nothing" 0 (Offload.flush sp)
+
+(* ------------------------------------------------------------------ *)
+(* Node                                                                 *)
+
+let node_buffering_out_of_order () =
+  let n = fresh_node bob_signer bob_cert in
+  let a = mk_block ~t:10 ~parents:[ genesis.Block.hash ] "a" in
+  let b = mk_block ~t:20 ~parents:[ a.Block.hash ] "b" in
+  (* Child first: buffered; parent arrival drains it. *)
+  (match Node.receive n ~now:(ts 100) b with
+  | Node.Buffered (Validation.Missing_parents _) -> ()
+  | r -> Alcotest.failf "expected buffered, got %a" Node.pp_receive_result r);
+  check_i "pending" 1 (Node.pending_count n);
+  check_b "parent accepted" true (Node.receive n ~now:(ts 100) a = Node.Accepted);
+  check_i "drained" 0 (Node.pending_count n);
+  check_i "both in dag" 3 (Dag.cardinal (Node.dag n));
+  check_b "duplicate detected" true (Node.receive n ~now:(ts 100) a = Node.Duplicate)
+
+let node_append_reins_frontier () =
+  let n = fresh_node bob_signer bob_cert in
+  let a = mk_block ~t:10 ~parents:[ genesis.Block.hash ] "a" in
+  let b = mk_block ~t:11 ~parents:[ genesis.Block.hash ] "b" in
+  ignore (Node.receive n ~now:(ts 100) a);
+  ignore (Node.receive n ~now:(ts 100) b);
+  check_i "two branches" 2 (Hash_id.Set.cardinal (Dag.frontier (Node.dag n)));
+  match Node.append n ~now:(ts 200) [] with
+  | Ok blk ->
+    check_i "reins both branches" 2 (List.length blk.Block.parents);
+    check_i "frontier is the new block" 1
+      (Hash_id.Set.cardinal (Dag.frontier (Node.dag n)))
+  | Error e -> Alcotest.failf "append: %a" Node.pp_append_error e
+
+let node_no_genesis () =
+  let n = Node.create ~signer:bob_signer ~cert:bob_cert () in
+  match Node.append n ~now:(ts 10) [] with
+  | Error Node.No_genesis -> ()
+  | _ -> Alcotest.fail "append without genesis"
+
+let node_signer_exhaustion () =
+  (* height 2 = 4 one-time keys: the self-signed certificate uses one, the
+     genesis block the second, two appends use the rest, and the next
+     append must report exhaustion. *)
+  let tiny = Signer.mss ~height:2 ~seed:"tiny-node" () in
+  let cert = Certificate.self_signed ~signer:tiny ~role:"ca" in
+  let g = Node.genesis_block ~signer:tiny ~cert ~timestamp:(ts 0) () in
+  let n = Node.create ~signer:tiny ~cert () in
+  ignore (Node.receive n ~now:(ts 1) g);
+  (match Node.append n ~now:(ts 10) [] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "third signature should work: %a" Node.pp_append_error e);
+  (match Node.append n ~now:(ts 20) [] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "fourth signature should work: %a" Node.pp_append_error e);
+  match Node.append n ~now:(ts 30) [] with
+  | Error Node.Signer_exhausted -> ()
+  | _ -> Alcotest.fail "expected exhaustion"
+
+let node_prune_to () =
+  let n = fresh_node bob_signer bob_cert in
+  for i = 1 to 30 do
+    match Node.prepare_transaction n ~crdt:"log" ~op:"add" [ Value.String (string_of_int i) ] with
+    | Ok tx -> ignore (Node.append n ~now:(ts (i * 10)) [ tx ])
+    | Error _ -> Alcotest.fail "prepare"
+  done;
+  let before = Dag.byte_size (Node.dag n) in
+  let uploaded = ref [] in
+  let cap = before / 2 in
+  let pruned = Node.prune_to n ~max_bytes:cap ~archived:(fun b -> uploaded := b :: !uploaded) in
+  check_b "pruned some" true (pruned > 0);
+  check_i "uploads match prunes" pruned (List.length !uploaded);
+  check_b "under cap" true (Dag.byte_size (Node.dag n) <= cap);
+  check_b "genesis kept" true (Dag.mem (Node.dag n) genesis.Block.hash);
+  (* Node still works after pruning. *)
+  match Node.append n ~now:(ts 1000) [] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "append after prune: %a" Node.pp_append_error e
+
+(* ------------------------------------------------------------------ *)
+(* Persistence and replay                                               *)
+
+let dag_persistence_roundtrip () =
+  let dag, a, _b, _c, _d = diamond () in
+  (match Dag.of_string (Dag.to_string dag) with
+  | Some dag' ->
+    check_i "cardinal" (Dag.cardinal dag) (Dag.cardinal dag');
+    check_b "frontier preserved" true
+      (Hash_id.Set.equal (Dag.frontier dag) (Dag.frontier dag'));
+    check_b "topo order identical" true
+      (List.equal Block.equal (Dag.topo_order dag) (Dag.topo_order dag'))
+  | None -> Alcotest.fail "dag roundtrip");
+  (* With pruned history. *)
+  let pruned = Dag.prune dag a.Block.hash in
+  (match Dag.of_string (Dag.to_string pruned) with
+  | Some dag' ->
+    check_b "archived preserved" true (Dag.is_archived dag' a.Block.hash);
+    check_b "height of archived preserved" true
+      (Dag.height dag' a.Block.hash = Some 1);
+    check_i "resident count" (Dag.cardinal pruned) (Dag.cardinal dag')
+  | None -> Alcotest.fail "pruned dag roundtrip");
+  check_b "garbage rejected" true (Dag.of_string "garbage" = None);
+  (* A non-parent-closed image is rejected: drop the genesis bytes by
+     encoding only the upper blocks. *)
+  let b = Buffer.create 256 in
+  Wire.put_list b Block.encode
+    (List.filter (fun blk -> not (Block.is_genesis blk)) (Dag.topo_order dag));
+  Wire.put_list b (fun _ _ -> ()) [];
+  check_b "non-closed image rejected" true (Dag.of_string (Buffer.contents b) = None)
+
+let csm_rebuild_equals_incremental () =
+  let n = fresh_node alice_signer alice_cert in
+  for i = 1 to 10 do
+    match
+      Node.prepare_transaction n ~crdt:"log" ~op:"add" [ Value.String (string_of_int i) ]
+    with
+    | Ok tx -> ignore (Node.append n ~now:(ts (i * 10)) [ tx ])
+    | Error _ -> Alcotest.fail "prepare"
+  done;
+  check_b "rebuild equals incremental" true
+    (Csm.converged (Csm.rebuild (Node.dag n)) (Node.csm n));
+  (* And across a persisted copy. *)
+  match Dag.of_string (Dag.to_string (Node.dag n)) with
+  | Some dag' -> check_b "rebuild from persisted" true (Csm.converged (Csm.rebuild dag') (Node.csm n))
+  | None -> Alcotest.fail "persist"
+
+let node_key_rotation () =
+  let n = fresh_node alice_signer alice_cert in
+  let old_id = Node.user_id n in
+  (* New key, CA-signed cert. *)
+  let signer2 = Signer.oracle ~signature_size:64 ~id:"alice-2" () in
+  let cert2 =
+    Certificate.issue ~ca:owner_cert ~ca_signer:owner_signer ~subject:signer2
+      ~role:"medic"
+  in
+  (match Node.rotate_key n ~now:(ts 100) ~signer:signer2 ~cert:cert2 with
+  | Ok b -> check_i "rotation block has 2 txs" 2 (List.length b.Block.transactions)
+  | Error e -> Alcotest.failf "rotate: %a" Node.pp_append_error e);
+  check_b "identity switched" false (Hash_id.equal (Node.user_id n) old_id);
+  (* The node can still append, now as the new identity. *)
+  (match Node.append n ~now:(ts 200) [] with
+  | Ok b -> check_b "new creator" true (Hash_id.equal b.Block.creator cert2.Certificate.user_id)
+  | Error e -> Alcotest.failf "append after rotate: %a" Node.pp_append_error e);
+  (* A second replica accepts the whole history including post-rotation
+     blocks, and sees the old identity as revoked. *)
+  let m = fresh_node bob_signer bob_cert in
+  Node.receive_all m ~now:(ts 300) (Dag.topo_order (Node.dag n));
+  check_i "replica has all blocks" (Dag.cardinal (Node.dag n)) (Dag.cardinal (Node.dag m));
+  (match Node.membership m with
+  | Some mem ->
+    check_b "old id revoked" false (Membership.is_member mem old_id);
+    check_b "new id member" true (Membership.is_member mem cert2.Certificate.user_id)
+  | None -> Alcotest.fail "no membership");
+  (* Mismatched cert/signer refused. *)
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Node.rotate_key: certificate does not match the new key")
+    (fun () ->
+      ignore (Node.rotate_key n ~now:(ts 400) ~signer:alice_signer ~cert:cert2))
+
+let decoder_fuzz () =
+  (* No decoder entry point may raise on arbitrary bytes. *)
+  let rng = Vegvisir_crypto.Rng.create 321L in
+  for _ = 1 to 500 do
+    let junk = Vegvisir_crypto.Rng.bytes rng (Vegvisir_crypto.Rng.int rng 200) in
+    ignore (Block.of_string junk);
+    ignore (Certificate.of_string junk);
+    ignore (Dag.of_string junk);
+    ignore (Wire.decode_string Reconcile.decode_message junk);
+    ignore (Vegvisir_crdt.Value.of_string junk);
+    ignore (Vegvisir_crdt.Schema.of_string junk)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                       *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"random DAG pairs reconcile to equality" ~count:30
+      (pair (list_of_size Gen.(0 -- 12) (int_range 0 2)) int64)
+      (fun (script, seed) ->
+        (* Two replicas apply random appends/syncs; at the end a mutual
+           sync must make the DAGs equal. *)
+        let rng = Vegvisir_crypto.Rng.create seed in
+        let na = fresh_node alice_signer alice_cert in
+        let nb = fresh_node bob_signer bob_cert in
+        let t = ref 100 in
+        List.iter
+          (fun cmd ->
+            incr t;
+            let target = if Vegvisir_crypto.Rng.bool rng then na else nb in
+            match cmd with
+            | 0 | 1 -> begin
+              match
+                Node.prepare_transaction target ~crdt:"log" ~op:"add"
+                  [ Value.String (Printf.sprintf "e%d" !t) ]
+              with
+              | Ok tx -> ignore (Node.append target ~now:(ts (!t * 10)) [ tx ])
+              | Error _ -> ()
+            end
+            | _ ->
+              let merged, _ = Reconcile.sync_dags `Indexed (Node.dag na) (Node.dag nb) in
+              Node.receive_all na ~now:(ts 1_000_000) (Dag.topo_order merged))
+          script;
+        let ma, _ = Reconcile.sync_dags `Indexed (Node.dag na) (Node.dag nb) in
+        let mb, _ = Reconcile.sync_dags `Indexed (Node.dag nb) (Node.dag na) in
+        Node.receive_all na ~now:(ts 2_000_000) (Dag.topo_order ma);
+        Node.receive_all nb ~now:(ts 2_000_000) (Dag.topo_order mb);
+        Hash_id.Set.equal (Dag.frontier (Node.dag na)) (Dag.frontier (Node.dag nb))
+        && Csm.converged (Node.csm na) (Node.csm nb));
+    Test.make ~name:"topo_order always lists parents first" ~count:30
+      (list_of_size Gen.(0 -- 15) (int_range 0 9))
+      (fun picks ->
+        (* Random DAG: each new block picks a random subset of current
+           frontier plus possibly older blocks as parents. *)
+        let dag = ref (dag_with_genesis ()) in
+        let all = ref [ genesis.Block.hash ] in
+        List.iteri
+          (fun i pick ->
+            let parents =
+              List.filteri (fun j _ -> (j + pick) mod 3 <> 0) !all
+              |> fun l -> if l = [] then [ genesis.Block.hash ] else l
+            in
+            let b = mk_block ~t:((i + 1) * 10) ~parents (string_of_int i) in
+            match Dag.add !dag b with
+            | Ok d ->
+              dag := d;
+              all := b.Block.hash :: !all
+            | Error _ -> ())
+          picks;
+        let order = Dag.topo_order !dag in
+        let seen = Hashtbl.create 16 in
+        List.for_all
+          (fun (b : Block.t) ->
+            let ok = List.for_all (Hashtbl.mem seen) b.Block.parents in
+            Hashtbl.replace seen b.Block.hash ();
+            ok)
+          order);
+    Test.make ~name:"level frontier is monotone in level" ~count:30
+      (list_of_size Gen.(0 -- 10) (int_range 0 5))
+      (fun picks ->
+        let dag = ref (dag_with_genesis ()) in
+        let frontier_blocks = ref [ genesis.Block.hash ] in
+        List.iteri
+          (fun i pick ->
+            let parents = [ List.nth !frontier_blocks (pick mod List.length !frontier_blocks) ] in
+            let b = mk_block ~t:((i + 1) * 10) ~parents (string_of_int i) in
+            match Dag.add !dag b with
+            | Ok d ->
+              dag := d;
+              frontier_blocks := b.Block.hash :: !frontier_blocks
+            | Error _ -> ())
+          picks;
+        let rec check n =
+          n > 8
+          || Hash_id.Set.subset
+               (Dag.level_frontier !dag n)
+               (Dag.level_frontier !dag (n + 1))
+             && check (n + 1)
+        in
+        check 1);
+  ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ("hash_id", [ Alcotest.test_case "basics" `Quick hash_id_basics ]);
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick wire_roundtrip;
+          Alcotest.test_case "malformed" `Quick wire_malformed;
+        ] );
+      ( "signer",
+        [
+          Alcotest.test_case "schemes" `Quick signer_schemes;
+          Alcotest.test_case "certificates" `Quick certificate_checks;
+        ] );
+      ( "block",
+        [
+          Alcotest.test_case "transaction roundtrip" `Quick transaction_roundtrip;
+          Alcotest.test_case "roundtrip + tamper" `Quick block_roundtrip_and_tamper;
+          Alcotest.test_case "canonical parents" `Quick block_canonical_parents;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "basics" `Quick dag_basics;
+          Alcotest.test_case "diamond queries" `Quick dag_diamond_queries;
+          Alcotest.test_case "level frontier" `Quick dag_level_frontier;
+          Alcotest.test_case "topo order" `Quick dag_topo_order;
+          Alcotest.test_case "prune" `Quick dag_prune;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "genesis" `Quick validation_genesis;
+          Alcotest.test_case "four checks" `Quick validation_four_checks;
+          Alcotest.test_case "revocation causality" `Quick validation_revocation_causality;
+        ] );
+      ("membership", [ Alcotest.test_case "2P semantics" `Quick membership_two_phase ]);
+      ( "csm",
+        [
+          Alcotest.test_case "genesis + txs" `Quick csm_applies_genesis_and_txs;
+          Alcotest.test_case "invalid txs rejected" `Quick csm_rejects_invalid_txs;
+          Alcotest.test_case "membership rules" `Quick csm_membership_rules;
+          Alcotest.test_case "order determinism" `Quick csm_deterministic_across_orders;
+        ] );
+      ("witness", [ Alcotest.test_case "counting" `Quick witness_counting ]);
+      ( "reconcile",
+        [
+          Alcotest.test_case "message roundtrip" `Quick reconcile_message_roundtrip;
+          Alcotest.test_case "modes converge" `Quick reconcile_modes_converge;
+          Alcotest.test_case "escalation depth" `Quick reconcile_escalation_depth;
+          Alcotest.test_case "respond ignores replies" `Quick reconcile_respond_ignores_replies;
+          Alcotest.test_case "block requests + bloom responder" `Quick reconcile_block_requests;
+        ] );
+      ( "support",
+        [
+          Alcotest.test_case "chain rules" `Quick support_chain_rules;
+          Alcotest.test_case "order violation" `Quick support_detects_order_violation;
+          Alcotest.test_case "superpeer" `Quick offload_superpeer;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "buffering" `Quick node_buffering_out_of_order;
+          Alcotest.test_case "frontier reining" `Quick node_append_reins_frontier;
+          Alcotest.test_case "no genesis" `Quick node_no_genesis;
+          Alcotest.test_case "signer exhaustion" `Quick node_signer_exhaustion;
+          Alcotest.test_case "prune_to" `Quick node_prune_to;
+          Alcotest.test_case "key rotation" `Quick node_key_rotation;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "dag roundtrip" `Quick dag_persistence_roundtrip;
+          Alcotest.test_case "csm rebuild" `Quick csm_rebuild_equals_incremental;
+          Alcotest.test_case "decoder fuzz" `Quick decoder_fuzz;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

@@ -1,0 +1,82 @@
+open Vegvisir_net
+module V = Vegvisir
+module Value = Vegvisir_crdt.Value
+module Schema = Vegvisir_crdt.Schema
+
+let fleet_converges () =
+  let topo = Topology.grid ~n:9 ~spacing:10. ~range:15. in
+  let fleet =
+    Scenario.build ~seed:7L ~topo
+      ~init_crdts:[ ("log", Schema.spec Schema.Gset Value.T_string) ]
+      ()
+  in
+  let g = fleet.Scenario.gossip in
+  Scenario.run fleet ~until_ms:2000.;
+  (* every peer appends one entry *)
+  for i = 0 to Gossip.size g - 1 do
+    let tx =
+      match
+        V.Node.prepare_transaction (Gossip.node g i) ~crdt:"log" ~op:"add"
+          [ Value.String (Printf.sprintf "entry-%d" i) ]
+      with
+      | Ok tx -> tx
+      | Error e -> Alcotest.failf "prepare %d: %s" i (Schema.error_to_string e)
+    in
+    match Gossip.append g i [ tx ] with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "append %d: %a" i V.Node.pp_append_error e
+  done;
+  Scenario.run fleet ~until_ms:60_000.;
+  Alcotest.(check bool) "honest peers converged" true (Gossip.honest_converged g);
+  (* all 9 entries visible everywhere *)
+  for i = 0 to Gossip.size g - 1 do
+    match
+      V.Csm.query (V.Node.csm (Gossip.node g i)) ~crdt:"log" ~op:"size" []
+    with
+    | Ok (Value.Int 9) -> ()
+    | Ok v -> Alcotest.failf "peer %d sees %a" i Value.pp v
+    | Error e -> Alcotest.failf "query: %s" (Schema.error_to_string e)
+  done
+
+let partition_heals () =
+  let topo = Topology.clique ~n:6 in
+  let fleet =
+    Scenario.build ~seed:42L ~topo
+      ~init_crdts:[ ("log", Schema.spec Schema.Gset Value.T_int) ]
+      ()
+  in
+  let g = fleet.Scenario.gossip in
+  Scenario.run fleet ~until_ms:3000.;
+  (* partition into two halves *)
+  Topology.set_partition (Simnet.topo fleet.Scenario.net) (Some [| 0; 0; 0; 1; 1; 1 |]);
+  for i = 0 to 5 do
+    let tx =
+      match
+        V.Node.prepare_transaction (Gossip.node g i) ~crdt:"log" ~op:"add" [ Value.Int i ]
+      with Ok tx -> tx | Error e -> Alcotest.failf "prep: %s" (Schema.error_to_string e)
+    in
+    ignore (Gossip.append g i [ tx ] |> Result.get_ok)
+  done;
+  Scenario.run fleet ~until_ms:30_000.;
+  (* during partition: side A does not see side B's entries *)
+  (match V.Csm.query (V.Node.csm (Gossip.node g 0)) ~crdt:"log" ~op:"mem" [ Value.Int 5 ] with
+   | Ok (Value.Bool false) -> ()
+   | Ok v -> Alcotest.failf "expected not seen, got %a" Value.pp v
+   | Error e -> Alcotest.failf "query: %s" (Schema.error_to_string e));
+  Alcotest.(check bool) "branches exist during partition" true
+    (V.Dag.branch_width (V.Node.dag (Gossip.node g 0)) >= 1);
+  (* heal *)
+  Topology.set_partition (Simnet.topo fleet.Scenario.net) None;
+  Scenario.run fleet ~until_ms:90_000.;
+  Alcotest.(check bool) "converged after heal" true (Gossip.honest_converged g);
+  (match V.Csm.query (V.Node.csm (Gossip.node g 0)) ~crdt:"log" ~op:"size" [] with
+   | Ok (Value.Int 6) -> ()
+   | Ok v -> Alcotest.failf "size after heal: %a" Value.pp v
+   | Error e -> Alcotest.failf "query: %s" (Schema.error_to_string e))
+
+let () =
+  Alcotest.run "net-smoke"
+    [ ("sim", [
+        Alcotest.test_case "grid fleet converges" `Quick fleet_converges;
+        Alcotest.test_case "partition heals" `Quick partition_heals;
+      ]) ]

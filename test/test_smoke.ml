@@ -1,0 +1,49 @@
+open Vegvisir
+module Value = Vegvisir_crdt.Value
+module Schema = Vegvisir_crdt.Schema
+
+let ts ms = Timestamp.of_ms (Int64.of_int ms)
+
+let smoke () =
+  let ca_signer = Signer.mss ~height:6 ~seed:"ca-seed" () in
+  let ca_cert = Certificate.self_signed ~signer:ca_signer ~role:"ca" in
+  let alice_signer = Signer.mss ~height:6 ~seed:"alice-seed" () in
+  let alice_cert = Certificate.issue ~ca:ca_cert ~ca_signer ~subject:alice_signer ~role:"medic" in
+  let requests_spec = Schema.spec Schema.Gset Value.T_string in
+  let genesis =
+    Node.genesis_block ~signer:ca_signer ~cert:ca_cert ~timestamp:(ts 1)
+      ~extra:[ Transaction.create_crdt ~name:"requests" requests_spec;
+               Transaction.add_user alice_cert ] ()
+  in
+  let ca_node = Node.create ~signer:ca_signer ~cert:ca_cert () in
+  let alice = Node.create ~signer:alice_signer ~cert:alice_cert () in
+  Alcotest.(check bool) "ca accepts genesis" true (Node.receive ca_node ~now:(ts 10) genesis = Node.Accepted);
+  Alcotest.(check bool) "alice accepts genesis" true (Node.receive alice ~now:(ts 10) genesis = Node.Accepted);
+  (* Alice appends a request *)
+  let tx = match Node.prepare_transaction alice ~crdt:"requests" ~op:"add" [ Value.String "record-42" ] with
+    | Ok tx -> tx | Error e -> Alcotest.failf "prepare: %s" (Schema.error_to_string e)
+  in
+  let b1 = match Node.append alice ~now:(ts 100) [ tx ] with
+    | Ok b -> b | Error e -> Alcotest.failf "append: %a" Node.pp_append_error e
+  in
+  Alcotest.(check int) "b1 has one parent" 1 (List.length b1.Block.parents);
+  (* CA node receives alice's block *)
+  Alcotest.(check bool) "ca accepts b1" true (Node.receive ca_node ~now:(ts 200) b1 = Node.Accepted);
+  Alcotest.(check bool) "converged" true (Csm.converged (Node.csm ca_node) (Node.csm alice));
+  (match Csm.query (Node.csm ca_node) ~crdt:"requests" ~op:"mem" [ Value.String "record-42" ] with
+   | Ok (Value.Bool true) -> ()
+   | Ok v -> Alcotest.failf "unexpected query result: %a" Value.pp v
+   | Error e -> Alcotest.failf "query: %s" (Schema.error_to_string e));
+  (* CA appends concurrently-ish and reconciliation merges *)
+  let b2 = match Node.append ca_node ~now:(ts 300) [] with
+    | Ok b -> b | Error e -> Alcotest.failf "append2: %a" Node.pp_append_error e
+  in
+  ignore b2;
+  let merged, stats = Reconcile.sync_dags `Naive (Node.dag alice) (Node.dag ca_node) in
+  Alcotest.(check int) "alice missing one block" 1 stats.Reconcile.blocks_received;
+  Alcotest.(check int) "merged has all blocks" 3 (Dag.cardinal merged);
+  (* witness proof: b1 has ca as witness via b2 *)
+  Alcotest.(check bool) "b1 witnessed by 1" true (Witness.has_proof (Node.dag ca_node) b1.Block.hash ~k:1)
+
+let () =
+  Alcotest.run "smoke" [ ("integration", [ Alcotest.test_case "two nodes" `Quick smoke ]) ]
