@@ -1,0 +1,14 @@
+(* vegvisir-lint: determinism & correctness lints for the vegvisir tree.
+
+   Usage: vegvisir_lint [dir-or-file]...
+   With no arguments lints lib/, bin/, examples/, and bench/ relative to
+   the current directory (the repo root, or dune's _build context when
+   run via the @lint alias). Exit 0 = clean, 1 = findings, 2 = usage. *)
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib"; "bin"; "examples"; "bench" ]
+    | roots -> roots
+  in
+  exit (Veglint.Driver.main roots)

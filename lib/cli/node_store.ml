@@ -89,7 +89,8 @@ let init ~dir ~seed ?(height = 10) ?(role = "ca") ?(init_crdts = []) () =
       let t = { dir; node; ca_cert = cert } in
       let* () = save t in
       Ok t
-    | r -> Error (Fmt.str "genesis rejected: %a" Node.pp_receive_result r)
+    | (Node.Duplicate | Node.Buffered _ | Node.Rejected _) as r ->
+      Error (Fmt.str "genesis rejected: %a" Node.pp_receive_result r)
   end
 
 let load ~dir =
@@ -213,6 +214,7 @@ let verify t =
         | (b : Block.t) :: rest ->
           if Block.is_genesis b then go rest
           else begin
+            (* lint: allow no-partial-stdlib — the genesis block replayed first always installs a membership *)
             let m = Option.get (Csm.membership !csm) in
             match
               Validation.check_block ~membership:m ~dag:!replay

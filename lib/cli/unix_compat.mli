@@ -1,0 +1,17 @@
+(** The only sanctioned wall-clock call site in the tree.
+
+    Everything under [lib/] other than this module is deterministic: the
+    simulator, experiments, and protocol core take time from the seeded
+    event queue ([Vegvisir_net.Simnet]) or from explicit
+    [Timestamp.t] arguments, so a run is a pure function of its seed.
+    The CLI is the one component that lives on a real device and must
+    stamp blocks with real time; it funnels that single impurity through
+    [now]. The [no-wall-clock] lint rule bans
+    [Unix.gettimeofday]/[Unix.time]/[Sys.time] everywhere else — add new
+    OS-time needs here, not inline. *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds since the Unix epoch, with
+    sub-second precision ([Unix.gettimeofday]). Monotonicity is NOT
+    guaranteed (NTP steps, manual clock changes); callers deriving block
+    timestamps must clamp against their own last-seen value. *)

@@ -71,7 +71,7 @@ let decode c =
   let parents =
     Wire.get_list c (fun c -> Hash_id.of_raw_exn (Wire.get_str c))
   in
-  if parents <> canonical_parents parents then
+  if not (List.equal Hash_id.equal parents (canonical_parents parents)) then
     raise (Wire.Malformed "block parents not canonical");
   let transactions = Wire.get_list c Transaction.decode in
   let signature = Wire.get_str c in

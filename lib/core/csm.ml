@@ -36,7 +36,8 @@ let rejected_tx_count t = t.rejected
 
 let query t ~crdt ~op args = Store.query t.store ~crdt ~op args
 
-let decode_cert = function
+(* Deliberate catch-all over Value.t argument shapes. *)
+let decode_cert = function [@warning "-4"]
   | [ Value.Bytes raw ] -> begin
     match Certificate.of_string raw with
     | Some c -> Ok c
@@ -104,7 +105,8 @@ let bootstrap_genesis t (b : Block.t) =
         match Membership.create ~ca:cert with
         | Ok m -> Ok { t with membership = Some m }
         | Error (Membership.Bad_certificate msg) -> Error (Genesis_bootstrap msg)
-        | Error _ -> Error (Genesis_bootstrap "invalid genesis certificate")
+        | Error (Membership.Not_ca_signed | Membership.Already_revoked) ->
+          Error (Genesis_bootstrap "invalid genesis certificate")
       end
   end
   | _ ->

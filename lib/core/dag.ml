@@ -38,7 +38,7 @@ let parents t h = match find t h with None -> [] | Some b -> b.Block.parents
 let children t h = Option.value (HMap.find_opt h t.kids) ~default:HSet.empty
 
 let height t h = HMap.find_opt h t.heights
-let max_height t = HMap.fold (fun _ h acc -> max h acc) t.heights 0
+let max_height t = HMap.fold (fun _ h acc -> Int.max h acc) t.heights 0
 
 let missing_parents t (b : Block.t) =
   List.fold_left
@@ -59,7 +59,8 @@ let add t (b : Block.t) =
         | ps ->
           1
           + List.fold_left
-              (fun acc p -> max acc (Option.value (HMap.find_opt p t.heights) ~default:0))
+              (fun acc p ->
+                Int.max acc (Option.value (HMap.find_opt p t.heights) ~default:0))
               0 ps
       in
       let kids =

@@ -1,10 +1,11 @@
 type t = string (* exactly 32 raw bytes *)
 
 let size = 32
-let of_raw s = if String.length s = size then Some s else None
+let of_raw s = if Int.equal (String.length s) size then Some s else None
 
 let of_raw_exn s =
-  if String.length s = size then s else invalid_arg "Hash_id.of_raw_exn: need 32 bytes"
+  if Int.equal (String.length s) size then s
+  else invalid_arg "Hash_id.of_raw_exn: need 32 bytes"
 
 let digest s = Vegvisir_crypto.Sha256.digest s
 let to_raw t = t

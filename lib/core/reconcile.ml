@@ -291,7 +291,8 @@ let receive_stats session dag blocks m =
 
 let handle_reply session dag m =
   match (session.mode, m) with
-  | `Naive, Frontier_reply { level; _ } when level <> session.level -> Ignored
+  | `Naive, Frontier_reply { level; _ } when not (Int.equal level session.level)
+    -> Ignored
   | `Naive, Frontier_reply { level = _; blocks } ->
     receive_stats session dag blocks m;
     let unknown =
@@ -310,7 +311,7 @@ let handle_reply session dag m =
             b.Block.parents)
         unknown
     in
-    let fixpoint = List.length blocks = session.last_reply_count in
+    let fixpoint = Int.equal (List.length blocks) session.last_reply_count in
     session.last_reply_count <- List.length blocks;
     if bridged || fixpoint then
       Finished { new_blocks = insertable_order dag unknown; stats = session.stats }

@@ -54,7 +54,7 @@ let find t h =
   | None -> None
   | Some index ->
     List.find_map
-      (fun e -> if e.index = index then Some e.payload else None)
+      (fun e -> if Int.equal e.index index then Some e.payload else None)
       t.rev_entries
 
 let entries t = List.rev t.rev_entries
@@ -65,7 +65,8 @@ let verify t =
     | [] -> true
     | [ e ] -> e.index = 0 && Hash_id.equal e.prev zero_hash && check_hash e
     | e :: (p :: _ as rest) ->
-      e.index = p.index + 1 && Hash_id.equal e.prev p.hash && check_hash e
+      Int.equal e.index (p.index + 1)
+      && Hash_id.equal e.prev p.hash && check_hash e
       && check_links rest
   and check_hash e =
     Hash_id.equal e.hash

@@ -11,7 +11,9 @@ type error =
 let default_max_skew_ms = 5000L
 
 let genesis_certificate (b : Block.t) =
-  match b.Block.transactions with
+  (* Deliberate catch-all: anything but the exact bootstrap shape is "no
+     certificate", not an error. *)
+  match[@warning "-4"] b.Block.transactions with
   | { Transaction.crdt; op = "add"; args = [ Vegvisir_crdt.Value.Bytes raw ] } :: _
     when String.equal crdt Transaction.users_crdt ->
     Certificate.of_string raw

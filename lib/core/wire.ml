@@ -3,7 +3,7 @@ exception Malformed of string
 type cursor = { data : string; mutable pos : int }
 
 let cursor data = { data; pos = 0 }
-let at_end c = c.pos = String.length c.data
+let at_end c = Int.equal c.pos (String.length c.data)
 let expect_end c = if not (at_end c) then raise (Malformed "trailing bytes")
 
 let need c n =

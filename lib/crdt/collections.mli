@@ -1,0 +1,16 @@
+(** Shared ordered collections over CRDT element values and string keys.
+
+    All CRDT state lives in these ordered sets/maps rather than hash
+    tables so that iteration order — and therefore serialized state,
+    digests, and merge results — is identical on every replica. *)
+
+module Value_ord : sig
+  type t = Value.t
+
+  val compare : t -> t -> int
+end
+
+module VSet : Set.S with type elt = Value.t
+module VMap : Map.S with type key = Value.t
+module SSet : Set.S with type elt = string
+module SMap : Map.S with type key = string

@@ -10,6 +10,6 @@ let incr ~origin n t =
 
 let value t = SMap.fold (fun _ v acc -> acc + v) t 0
 let value_of ~origin t = Option.value (SMap.find_opt origin t) ~default:0
-let merge = SMap.union (fun _ a b -> Some (max a b))
+let merge = SMap.union (fun _ a b -> Some (Int.max a b))
 let equal = SMap.equal Int.equal
 let pp ppf t = Fmt.pf ppf "%d" (value t)

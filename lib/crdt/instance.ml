@@ -37,7 +37,8 @@ let check_elem t ~op v =
 (* User-level argument shapes differ from recorded shapes only for OR-set
    remove and MV-register set, which gain a metadata list argument. *)
 let prepare t ~op args =
-  match (t.state, op, args) with
+  (* Deliberate catch-all: only OR-set remove / MV set rewrite their args. *)
+  match[@warning "-4"] (t.state, op, args) with
   | S_orset s, "remove", [ v ] ->
     let* () = check_elem t ~op v in
     let tags = List.map (fun x -> Value.String x) (Orset.observed_tags v s) in
@@ -52,15 +53,17 @@ let prepare t ~op args =
     let* () = Schema.check_args t.spec ~op args in
     Ok args
 
-let strings_of_list = function
+let strings_of_list = function [@warning "-4"]
   | Value.List vs ->
-    List.map (function Value.String s -> s | _ -> assert false) vs
+    List.map (function [@warning "-4"] Value.String s -> s | _ -> assert false) vs
   | _ -> assert false
 
 let apply t ~ctx ~op args =
   let* () = Schema.check_args t.spec ~op args in
   let ok state = Ok { t with state } in
-  match (t.state, op, args) with
+  (* Deliberate catch-all over (state, op, args): check_args already
+     validated the shape, enumerating every triple here would be noise. *)
+  match[@warning "-4"] (t.state, op, args) with
   | S_gset s, "add", [ v ] -> ok (S_gset (Gset.add v s))
   | S_two_pset s, "add", [ v ] -> ok (S_two_pset (Two_pset.add v s))
   | S_two_pset s, "remove", [ v ] -> ok (S_two_pset (Two_pset.remove v s))
@@ -177,7 +180,8 @@ let query t op args =
     | _ -> Error (Schema.Unknown_op op)
   end
   | S_rga s -> begin
-    match (op, args) with
+    (* Deliberate catch-all over Value.t argument shapes. *)
+    match[@warning "-4"] (op, args) with
     | "elements", [] -> Ok (vlist (Rga.to_list s))
     | "size", [] -> Ok (vint (Rga.length s))
     | "ids", [] ->
@@ -198,7 +202,8 @@ let merge a b =
   if not (Schema.equal a.spec b.spec) then
     invalid_arg "Instance.merge: incompatible specs";
   let state =
-    match (a.state, b.state) with
+    (* Deliberate catch-all: 9x9 state pairs; specs were checked equal. *)
+    match[@warning "-4"] (a.state, b.state) with
     | S_gset x, S_gset y -> S_gset (Gset.merge x y)
     | S_two_pset x, S_two_pset y -> S_two_pset (Two_pset.merge x y)
     | S_orset x, S_orset y -> S_orset (Orset.merge x y)
@@ -215,7 +220,7 @@ let merge a b =
 let equal a b =
   Schema.equal a.spec b.spec
   &&
-  match (a.state, b.state) with
+  match[@warning "-4"] (a.state, b.state) with
   | S_gset x, S_gset y -> Gset.equal x y
   | S_two_pset x, S_two_pset y -> Two_pset.equal x y
   | S_orset x, S_orset y -> Orset.equal x y

@@ -108,7 +108,7 @@ let merge a b =
         (fun id node t -> insert ~anchor:node.anchor ~id node.value t)
         b.nodes t
     in
-    if SMap.cardinal t.nodes = before then t else settle t
+    if Int.equal (SMap.cardinal t.nodes) before then t else settle t
   in
   let t = settle t in
   let t =

@@ -59,16 +59,22 @@ let ops s =
   | Rga -> [ "insert"; "delete" ]
 
 let permitted s ~role ~op =
-  match List.assoc_opt op s.perms with
+  let rule =
+    List.find_map
+      (fun (o, roles) -> if String.equal o op then Some roles else None)
+      s.perms
+  in
+  match rule with
   | None -> true
-  | Some roles -> List.mem "*" roles || List.mem role roles
+  | Some roles ->
+    List.exists (String.equal "*") roles || List.exists (String.equal role) roles
 
 let check_args s ~op args =
   match op_signature s op with
   | None -> Error (Unknown_op op)
   | Some sig_ ->
     let expected = List.length sig_ and got = List.length args in
-    if expected <> got then Error (Bad_arity { op; expected; got })
+    if not (Int.equal expected got) then Error (Bad_arity { op; expected; got })
     else begin
       let rec go i sig_ args =
         match (sig_, args) with
@@ -151,7 +157,8 @@ let decode s pos =
   incr pos;
   let elem = Value.decode_ty s pos in
   let perms =
-    match Value.decode s pos with
+    (* Deliberate catch-alls: any non-perms shape is a decode error. *)
+    match[@warning "-4"] Value.decode s pos with
     | Value.List entries ->
       List.map
         (function
@@ -176,7 +183,7 @@ let to_string s =
 let of_string raw =
   let pos = ref 0 in
   match decode raw pos with
-  | s when !pos = String.length raw -> Some s
+  | s when Int.equal !pos (String.length raw) -> Some s
   | _ -> None
   | exception Invalid_argument _ -> None
 

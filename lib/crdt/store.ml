@@ -19,7 +19,8 @@ let conflicts t = t.conflicts
 let ( let* ) = Result.bind
 
 let apply_create t ~ctx args =
-  match args with
+  (* Deliberate catch-all over Value.t argument shapes. *)
+  match[@warning "-4"] args with
   | [ Value.String name; Value.Bytes raw ] -> begin
     if String.length name = 0 || name.[0] = '_' then
       Error (Schema.Invalid_argument_value "CRDT names must be non-empty and not start with '_'")
@@ -78,14 +79,17 @@ let merge a b =
         if Schema.equal (Instance.spec ea.inst) (Instance.spec eb.inst) then
           Some
             {
-              creator_uid = min ea.creator_uid eb.creator_uid;
+              creator_uid =
+                (if String.compare ea.creator_uid eb.creator_uid <= 0 then
+                   ea.creator_uid
+                 else eb.creator_uid);
               inst = Instance.merge ea.inst eb.inst;
             }
         else if String.compare ea.creator_uid eb.creator_uid < 0 then Some ea
         else Some eb)
       a.entries b.entries
   in
-  { entries; conflicts = max a.conflicts b.conflicts }
+  { entries; conflicts = Int.max a.conflicts b.conflicts }
 
 let equal a b =
   SMap.equal

@@ -57,4 +57,5 @@ let shuffle t a =
 
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
+  (* lint: allow no-partial-stdlib — int t (length l) < length l, so nth is total here *)
   | l -> List.nth l (int t (List.length l))

@@ -84,6 +84,7 @@ let run_one ~quick ~partitions ~reining =
           (fun component ->
             match component with
             | [] -> ()
+            (* lint: allow no-partial-stdlib — cycle_no mod length l is in range and l <> [] in this branch *)
             | l -> append_at (List.nth l (!cycle_no mod List.length l)))
           (Topology.components topo)
       end;

@@ -34,7 +34,11 @@ let run_size ~cluster_size =
     Simnet.run_until net !t;
     if Support_cluster.leader cluster <> None then election_ms := !t
   done;
-  let l1 = Option.get (Support_cluster.leader cluster) in
+  let l1 =
+    match Support_cluster.leader cluster with
+    | Some l -> l
+    | None -> failwith "exp_cluster: no leader elected"
+  in
   (* Replication latency: archive a batch, measure until every replica
      holds all of it. *)
   let blocks = fixture_blocks archive_batch in

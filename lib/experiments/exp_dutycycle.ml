@@ -49,7 +49,11 @@ let run_duty ~scale ~awake_fraction =
   let delays = ref [] and missing = ref 0 in
   List.iter
     (fun h ->
-      let birth = Option.get (Gossip.birth_time g h) in
+      let birth =
+        match Gossip.birth_time g h with
+        | Some b -> b
+        | None -> failwith "birth_time missing for appended block"
+      in
       for i = 0 to n - 1 do
         match Gossip.arrival_time g ~peer:i h with
         | Some a -> delays := ((a -. birth) /. scale) :: !delays

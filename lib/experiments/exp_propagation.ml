@@ -39,7 +39,11 @@ let run_one ~scale ~topo_name ~topo ~loss =
   let missing = ref 0 and pairs = ref 0 in
   List.iter
     (fun h ->
-      let birth = Option.get (Gossip.birth_time g h) in
+      let birth =
+        match Gossip.birth_time g h with
+        | Some b -> b
+        | None -> failwith "birth_time missing for appended block"
+      in
       for i = 0 to n - 1 do
         incr pairs;
         match Gossip.arrival_time g ~peer:i h with

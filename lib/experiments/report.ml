@@ -17,7 +17,7 @@ let print t =
       (fun acc row ->
         List.mapi
           (fun i cell ->
-            let w = try List.nth acc i with _ -> 0 in
+            let w = Option.value (List.nth_opt acc i) ~default:0 in
             max w (String.length cell))
           row)
       (List.map String.length t.header)
@@ -25,7 +25,10 @@ let print t =
   in
   let pad cell w = cell ^ String.make (max 0 (w - String.length cell)) ' ' in
   let line row =
-    String.concat "  " (List.mapi (fun i c -> pad c (List.nth widths i)) row)
+    String.concat "  "
+      (List.mapi
+         (fun i c -> pad c (Option.value (List.nth_opt widths i) ~default:0))
+         row)
   in
   Printf.printf "\n== %s: %s ==\n" t.id t.title;
   Printf.printf "claim: %s\n" t.claim;

@@ -1,0 +1,109 @@
+let parse_structure ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let parse_error_finding ~path exn =
+  let line, col, detail =
+    match exn with
+    | Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      let p = loc.Location.loc_start in
+      (p.pos_lnum, p.pos_cnum - p.pos_bol, "syntax error")
+    | Lexer.Error (_, loc) ->
+      let p = loc.Location.loc_start in
+      (p.pos_lnum, p.pos_cnum - p.pos_bol, "lexer error")
+    | e -> (1, 0, Printexc.to_string e)
+  in
+  Finding.v ~file:path ~line ~col ~rule:"parse-error" detail
+
+let lint_source ~path source =
+  let sup = Suppress.scan ~known_rules:Rules.names source in
+  let ast_findings =
+    match parse_structure ~path source with
+    | structure ->
+      Rules.check ~path structure
+      |> List.filter (fun (f : Finding.t) ->
+             not (Suppress.allows sup ~rule:f.rule ~line:f.line))
+    | exception exn -> [ parse_error_finding ~path exn ]
+  in
+  let suppression_findings =
+    List.map
+      (fun (line, col, msg) ->
+        Finding.v ~file:path ~line ~col ~rule:"lint-suppression" msg)
+      (Suppress.errors sup)
+  in
+  List.sort Finding.compare (ast_findings @ suppression_findings)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mli_finding path source =
+  if Rules.mli_required path && not (Sys.file_exists (path ^ "i")) then begin
+    let sup = Suppress.scan ~known_rules:Rules.names source in
+    if Suppress.allows sup ~rule:"mli-coverage" ~line:1 then []
+    else
+      [
+        Finding.v ~file:path ~line:1 ~col:0 ~rule:"mli-coverage"
+          ("missing interface "
+          ^ Filename.basename path
+          ^ "i: every lib module documents its contract in a .mli");
+      ]
+  end
+  else []
+
+let lint_file path =
+  match read_file path with
+  | source ->
+    List.sort Finding.compare (lint_source ~path source @ mli_finding path source)
+  | exception Sys_error msg ->
+    [ Finding.v ~file:path ~line:1 ~col:0 ~rule:"parse-error" msg ]
+
+let collect_files roots =
+  let rec walk acc path =
+    if Sys.file_exists path && Sys.is_directory path then
+      Array.to_list (Sys.readdir path)
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc entry ->
+             if entry = "_build" || String.length entry > 0 && entry.[0] = '.'
+             then acc
+             else walk acc (Filename.concat path entry))
+           acc
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  List.sort String.compare (List.fold_left walk [] roots)
+
+let main roots =
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if roots = [] || missing <> [] then begin
+    prerr_endline
+      ("vegvisir-lint: usage: vegvisir_lint <dir-or-file>...; missing: "
+      ^ String.concat ", " missing);
+    2
+  end
+  else begin
+    let files = collect_files roots in
+    let findings =
+      List.sort Finding.compare (List.concat_map lint_file files)
+    in
+    List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+    let n = List.length findings in
+    if n = 0 then begin
+      Printf.eprintf "vegvisir-lint: OK (%d files, %d rules)\n"
+        (List.length files)
+        (List.length Rules.all);
+      0
+    end
+    else begin
+      Printf.eprintf "vegvisir-lint: %d finding(s) in %d file(s)\n" n
+        (List.length
+           (List.sort_uniq String.compare
+              (List.map (fun (f : Finding.t) -> f.Finding.file) findings)));
+      1
+    end
+  end

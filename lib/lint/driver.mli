@@ -1,0 +1,28 @@
+(** Lint driver: parse sources, run the rules, apply suppressions.
+
+    Output is one finding per line in [file:line:col rule message] form,
+    sorted by (file, line, col, rule); the exit status is non-zero as
+    soon as there is a single finding, so [dune build @lint] fails the
+    build on any violation. *)
+
+val lint_source : path:string -> string -> Finding.t list
+(** [lint_source ~path source] parses [source] as an implementation file
+    and returns the unsuppressed findings of every AST rule whose scope
+    covers [path], plus any malformed-suppression findings. Pure —
+    usable on fixture strings in tests. Does not check [mli-coverage]
+    (that needs a filesystem; see {!lint_file}). *)
+
+val lint_file : string -> Finding.t list
+(** [lint_source] on the file's contents, plus the [mli-coverage] check
+    for library modules. Unreadable files yield a [parse-error]
+    finding. *)
+
+val collect_files : string list -> string list
+(** Recursively collect [.ml] files under the given roots (files are
+    taken as-is), skipping [_build] and dot-directories, in sorted
+    order. *)
+
+val main : string list -> int
+(** Lint every file under the roots, print findings to stdout, print a
+    one-line summary to stderr, and return the exit code (0 = clean,
+    1 = findings, 2 = usage error). *)

@@ -1,0 +1,21 @@
+(** A single lint finding: a source location, the rule that fired, and a
+    human-readable message. Findings print one per line in the
+    machine-readable form [file:line:col rule message] and order
+    deterministically (file, then line, then column, then rule), so the
+    tool's output is stable across runs and platforms. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler diagnostics *)
+  rule : string;
+  message : string;
+}
+
+val v : file:string -> line:int -> col:int -> rule:string -> string -> t
+
+val of_location : file:string -> rule:string -> Location.t -> string -> t
+(** Position taken from [loc_start]. *)
+
+val compare : t -> t -> int
+val to_string : t -> string

@@ -1,0 +1,179 @@
+let all =
+  [
+    ( "no-wall-clock",
+      "OS time reads outside lib/cli/unix_compat.ml break reproducibility" );
+    ( "no-global-random",
+      "Stdlib.Random is unseeded global state; use Vegvisir_crypto.Rng" );
+    ( "no-poly-compare",
+      "structural comparison on abstract ids/hashes breaks convergence" );
+    ( "no-unordered-iteration",
+      "Hashtbl order leaks into wire bytes or experiment metrics" );
+    ( "no-partial-stdlib",
+      "partial stdlib functions raise instead of forcing a decision" );
+    ("mli-coverage", "every lib module needs an explicit interface");
+    ("parse-error", "file does not parse");
+    ("lint-suppression", "malformed suppression comment (not suppressible)");
+  ]
+
+let names = List.map fst all
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping                                                        *)
+
+let logical path =
+  let parts =
+    List.filter
+      (fun s -> s <> "" && s <> "." && s <> "..")
+      (String.split_on_char '/' path)
+  in
+  let roots = [ "lib"; "bin"; "examples"; "bench"; "test" ] in
+  let rec strip = function
+    | [] -> parts
+    | hd :: _ as l when List.exists (String.equal hd) roots -> l
+    | _ :: tl -> strip tl
+  in
+  strip parts
+
+let rec has_prefix prefix l =
+  match (prefix, l) with
+  | [], _ -> true
+  | p :: ps, x :: xs -> String.equal p x && has_prefix ps xs
+  | _ :: _, [] -> false
+
+let path_eq = List.equal String.equal
+
+let mli_required path =
+  has_prefix [ "lib" ] (logical path) && Filename.check_suffix path ".ml"
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers                                                         *)
+
+let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+(* Comparison against a literal or constant constructor is monomorphic in
+   practice (ints, strings, [], None, ...) and cannot touch an abstract
+   id, so no-poly-compare exempts it. *)
+let rec is_constant_like (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_construct (_, Some arg) -> is_constant_like arg
+  | Pexp_variant (_, None) -> true
+  | Pexp_tuple es -> List.for_all is_constant_like es
+  | _ -> false
+
+let bound_value_names structure =
+  let tbl = Hashtbl.create 32 in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.Parsetree.ppat_desc with
+          | Parsetree.Ppat_var { txt; _ } -> Hashtbl.replace tbl txt ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  iter.structure iter structure;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+
+let check ~path structure =
+  let lp = logical path in
+  let wall_clock_on = not (path_eq lp [ "lib"; "cli"; "unix_compat.ml" ]) in
+  let poly_on =
+    has_prefix [ "lib"; "core" ] lp || has_prefix [ "lib"; "crdt" ] lp
+  in
+  let unordered_on =
+    path_eq lp [ "lib"; "core"; "wire.ml" ]
+    || path_eq lp [ "lib"; "net"; "metrics.ml" ]
+    || has_prefix [ "lib"; "experiments" ] lp
+  in
+  let partial_on = has_prefix [ "lib" ] lp in
+  let bound = bound_value_names structure in
+  let findings = ref [] in
+  let add loc rule message =
+    findings := Finding.of_location ~file:path ~rule loc message :: !findings
+  in
+  (* [args] is the (unlabelled view of the) application's arguments when
+     the identifier is the head of an application, [] otherwise. *)
+  let handle_ident ~args txt loc =
+    let parts = strip_stdlib (flatten txt) in
+    let name = String.concat "." parts in
+    (if wall_clock_on then
+       match parts with
+       | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
+         add loc "no-wall-clock"
+           (name
+          ^ " reads the OS clock; the only sanctioned call site is \
+             Unix_compat.now in lib/cli/unix_compat.ml")
+       | _ -> ());
+    (match parts with
+    | "Random" :: _ ->
+      add loc "no-global-random"
+        (name
+       ^ " draws from unseeded global state; route all entropy through \
+          Vegvisir_crypto.Rng")
+    | _ -> ());
+    (if poly_on then
+       match parts with
+       | [ (("=" | "<>" | "compare" | "min" | "max") as op) ]
+         when not (Hashtbl.mem bound op) ->
+         if not (List.exists is_constant_like args) then
+           add loc "no-poly-compare"
+             ("polymorphic " ^ op
+            ^ " silently compares structurally; use a typed equal/compare \
+               (e.g. Hash_id.equal, Int.max)")
+       | [ "List"; (("mem" | "assoc" | "assoc_opt" | "mem_assoc") as fn) ] ->
+         let key_is_constant =
+           match args with key :: _ -> is_constant_like key | [] -> false
+         in
+         if not key_is_constant then
+           add loc "no-poly-compare"
+             ("List." ^ fn
+            ^ " uses polymorphic equality; use List.exists/List.find with a \
+               typed equal")
+       | _ -> ());
+    (if unordered_on then
+       match parts with
+       | [ "Hashtbl"; ("iter" | "fold" | "to_seq" | "to_seq_keys"
+                      | "to_seq_values") ] ->
+         add loc "no-unordered-iteration"
+           (name
+          ^ " iterates in nondeterministic order and this module's output \
+             is order-sensitive; sort the result or use an ordered map")
+       | _ -> ());
+    if partial_on then
+      match parts with
+      | [ "List"; ("hd" | "tl" | "nth") ] | [ "Option"; "get" ] ->
+        add loc "no-partial-stdlib"
+          (name
+         ^ " raises on empty/short input; use the _opt variant or match \
+            explicitly")
+      | [ "Filename"; ("temp_file" | "open_temp_file") ] ->
+        add loc "no-partial-stdlib"
+          (name ^ " touches global mutable temp state; thread paths explicitly")
+      | _ -> ()
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply
+              ({ pexp_desc = Parsetree.Pexp_ident { txt; loc }; _ }, args) ->
+            handle_ident ~args:(List.map snd args) txt loc;
+            List.iter (fun (_, a) -> self.expr self a) args
+          | Parsetree.Pexp_ident { txt; loc } ->
+            handle_ident ~args:[] txt loc
+          | _ -> Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter structure;
+  List.rev !findings

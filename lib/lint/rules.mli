@@ -1,0 +1,43 @@
+(** The vegvisir-lint rule set.
+
+    Six rules guard the repo's two global invariants — bit-for-bit
+    reproducibility (all entropy and time flow through seeded,
+    deterministic sources) and cross-replica convergence (no structural
+    comparison or hash-table iteration order leaking into consensus or
+    wire state):
+
+    - [no-wall-clock]: [Unix.gettimeofday]/[Unix.time]/[Sys.time] are
+      banned everywhere except [lib/cli/unix_compat.ml].
+    - [no-global-random]: [Stdlib.Random] is banned everywhere; entropy
+      must come from [Vegvisir_crypto.Rng].
+    - [no-poly-compare]: bare [=], [<>], [compare], [min], [max],
+      [List.mem], [List.assoc] (and [_opt]/[mem_assoc] variants) are
+      flagged in [lib/core] and [lib/crdt] unless an operand is a
+      literal/constant constructor or the file binds the name itself.
+    - [no-unordered-iteration]: [Hashtbl.iter]/[fold]/[to_seq] are
+      flagged in modules whose output is order-sensitive
+      ([lib/core/wire.ml], [lib/net/metrics.ml], [lib/experiments/*]).
+    - [no-partial-stdlib]: [List.hd]/[List.tl]/[List.nth]/[Option.get]/
+      [Filename.temp_file] are flagged under [lib/].
+    - [mli-coverage]: every [lib/**/*.ml] needs a matching [.mli]
+      (checked by the driver via {!mli_required}).
+
+    Two pseudo-rules report tool-level problems: [parse-error] (a file
+    that does not parse) and [lint-suppression] (a malformed or typo'd
+    suppression comment; never suppressible). *)
+
+val all : (string * string) list
+(** [(name, one-line description)] for every rule, pseudo-rules
+    included, in documentation order. *)
+
+val names : string list
+
+val check : path:string -> Parsetree.structure -> Finding.t list
+(** AST-level rules only (everything except [mli-coverage]). [path]
+    selects which rules apply; it is interpreted from the first
+    [lib]/[bin]/[examples]/[bench]/[test] segment, so absolute and
+    [_build]-relative paths both scope correctly. *)
+
+val mli_required : string -> bool
+(** Whether [path] is a library module that the [mli-coverage] rule
+    requires an interface for. *)

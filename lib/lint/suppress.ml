@@ -1,0 +1,131 @@
+type entry = {
+  line : int;
+  standalone : bool;
+  rules : string list;
+}
+
+type t = {
+  entries : entry list;
+  errs : (int * int * string) list;
+}
+
+(* Built by concatenation so that scanning this very file does not trip
+   over its own marker. *)
+let marker = "(*" ^ " lint:"
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go from
+
+let is_blank s =
+  String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+let trim = String.trim
+
+(* Earliest of the reason separators: em dash, "--", or ":". Returns
+   (index, separator length). *)
+let split_reason content =
+  let candidates = [ ("\xe2\x80\x94", 3); ("--", 2); (":", 1) ] in
+  let best =
+    List.fold_left
+      (fun acc (sep, len) ->
+        match find_sub content sep 0 with
+        | None -> acc
+        | Some i -> (
+          match acc with
+          | Some (j, _) when j <= i -> acc
+          | _ -> Some (i, len)))
+      None candidates
+  in
+  match best with
+  | None -> None
+  | Some (i, len) ->
+    Some
+      ( trim (String.sub content 0 i),
+        trim (String.sub content (i + len) (String.length content - i - len))
+      )
+
+let valid_rule_name s =
+  s <> ""
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '-') s
+
+let parse_line ~known_rules ~lineno line (entries, errs) =
+  let rec go from (entries, errs) =
+    match find_sub line marker from with
+    | None -> (entries, errs)
+    | Some start -> (
+      let after = start + String.length marker in
+      match find_sub line "*)" after with
+      | None ->
+        (entries, (lineno, start, "unterminated lint comment") :: errs)
+      | Some close ->
+        let content = trim (String.sub line after (close - after)) in
+        let standalone =
+          is_blank (String.sub line 0 start)
+          && is_blank
+               (String.sub line (close + 2) (String.length line - close - 2))
+        in
+        let acc =
+          match String.length content >= 5 && String.sub content 0 5 = "allow"
+          with
+          | false ->
+            ( entries,
+              (lineno, start, "expected \"allow <rules> \xe2\x80\x94 reason\"")
+              :: errs )
+          | true -> (
+            let rest = trim (String.sub content 5 (String.length content - 5)) in
+            match split_reason rest with
+            | None | Some (_, "") ->
+              ( entries,
+                (lineno, start, "suppression needs a reason after the rules")
+                :: errs )
+            | Some (rules_str, _reason) ->
+              let rules = List.map trim (String.split_on_char ',' rules_str) in
+              let bad =
+                List.filter
+                  (fun r ->
+                    (not (valid_rule_name r))
+                    || not (List.exists (String.equal r) known_rules))
+                  rules
+              in
+              if rules = [] || List.exists (fun r -> r = "") rules then
+                ( entries,
+                  (lineno, start, "suppression names no rules") :: errs )
+              else if bad <> [] then
+                ( entries,
+                  ( lineno,
+                    start,
+                    "unknown rule(s): " ^ String.concat ", " bad )
+                  :: errs )
+              else ({ line = lineno; standalone; rules } :: entries, errs))
+        in
+        go (close + 2) acc)
+  in
+  go 0 (entries, errs)
+
+let scan ~known_rules source =
+  let lines = String.split_on_char '\n' source in
+  let _, entries, errs =
+    List.fold_left
+      (fun (lineno, entries, errs) line ->
+        let entries, errs =
+          parse_line ~known_rules ~lineno line (entries, errs)
+        in
+        (lineno + 1, entries, errs))
+      (1, [], []) lines
+  in
+  { entries; errs = List.rev errs }
+
+let allows t ~rule ~line =
+  List.exists
+    (fun e ->
+      List.exists (String.equal rule) e.rules
+      && (e.line = line || (e.standalone && e.line = line - 1)))
+    t.entries
+
+let errors t = t.errs

@@ -1,0 +1,25 @@
+(** Per-site lint suppressions.
+
+    A suppression is a single-line comment of the form
+
+    {v (* lint: allow <rule>[, <rule>...] — reason *) v}
+
+    The separator before the reason may be an em dash [—], [--], or a
+    colon. The reason is mandatory: a suppression without one is itself
+    reported as a [lint-suppression] finding, as is one naming an unknown
+    rule. A suppression placed on the same line as the offending
+    expression covers that line; a suppression that is alone on its line
+    covers the following line as well. *)
+
+type t
+
+val scan : known_rules:string list -> string -> t
+(** [scan ~known_rules source] collects every suppression comment in
+    [source]. [known_rules] is used to diagnose typo'd rule names. *)
+
+val allows : t -> rule:string -> line:int -> bool
+(** [allows t ~rule ~line] is true when a finding for [rule] at [line]
+    is covered by a suppression. *)
+
+val errors : t -> (int * int * string) list
+(** Malformed suppressions as [(line, col, message)], in source order. *)

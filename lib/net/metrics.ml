@@ -29,7 +29,7 @@ let percentile_of l p =
     let rank =
       int_of_float (ceil (p *. float_of_int n)) |> max 1 |> min n
     in
-    List.nth sorted (rank - 1)
+    Option.value (List.nth_opt sorted (rank - 1)) ~default:0.
 
 let mean s = mean_of (values s)
 

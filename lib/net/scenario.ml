@@ -43,7 +43,9 @@ let build ?(seed = 1L) ?(link = Link.default) ?behaviors ?(mode = `Naive)
   in
   let extra =
     List.map (fun (name, spec) -> Transaction.create_crdt ~name spec) init_crdts
-    @ (Array.to_list certs |> List.tl |> List.map Transaction.add_user)
+    @ (match Array.to_list certs with
+      | [] -> []
+      | _ca :: others -> List.map Transaction.add_user others)
   in
   let genesis =
     Node.genesis_block ~signer:signers.(0) ~cert:ca_cert

@@ -173,7 +173,9 @@ let parse text =
           let parsed = List.map int_of_string_opt groups in
           if List.exists Option.is_none parsed || parsed = [] then
             fail "partition: one integer group per peer"
-          else add (Partition (Array.of_list (List.map Option.get parsed)))
+          else
+            (* lint: allow no-partial-stdlib — the Option.is_none check above rules out None *)
+            add (Partition (Array.of_list (List.map Option.get parsed)))
         end
         | [ "heal" ] -> add Heal
         | "append" :: peer :: crdt :: value_words when value_words <> [] -> begin

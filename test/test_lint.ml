@@ -1,0 +1,197 @@
+(* vegvisir-lint self-tests: every rule fires on a known-bad fixture,
+   stays silent on a known-good one, and respects suppressions. Fixtures
+   are OCaml source embedded as strings and parsed through the same
+   compiler-libs front end the real tool uses; the [~path] argument
+   drives rule scoping exactly as on disk. *)
+
+let lint path src = Veglint.Driver.lint_source ~path src
+
+let rules_of fs = List.map (fun (f : Veglint.Finding.t) -> f.rule) fs
+
+let fires rule path src =
+  List.exists (fun (f : Veglint.Finding.t) -> String.equal f.rule rule)
+    (lint path src)
+
+let check_fires rule path src =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires in %s" rule path)
+    true (fires rule path src)
+
+let check_silent ?rule path src =
+  match rule with
+  | Some r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s silent in %s" r path)
+      false (fires r path src)
+  | None ->
+    Alcotest.(check (list string))
+      (Printf.sprintf "no findings in %s" path)
+      [] (rules_of (lint path src))
+
+(* ------------------------------------------------------------------ *)
+
+let test_wall_clock () =
+  check_fires "no-wall-clock" "lib/net/simnet.ml"
+    "let t = Unix.gettimeofday ()";
+  check_fires "no-wall-clock" "lib/core/block.ml" "let t = Sys.time ()";
+  check_fires "no-wall-clock" "bench/main.ml" "let t = Unix.time ()";
+  (* The one sanctioned call site. *)
+  check_silent "lib/cli/unix_compat.ml" "let now () = Unix.gettimeofday ()";
+  (* Unrelated Unix calls stay legal. *)
+  check_silent "lib/cli/node_store.ml" "let f p = Unix.mkdir p 0o755"
+
+let test_global_random () =
+  check_fires "no-global-random" "lib/net/gossip.ml" "let x = Random.int 10";
+  check_fires "no-global-random" "examples/quickstart.ml"
+    "let () = Random.self_init ()";
+  check_fires "no-global-random" "lib/crypto/rng.ml"
+    "let s = Random.State.make [| 1 |]";
+  check_fires "no-global-random" "lib/core/node.ml"
+    "let x = Stdlib.Random.bits ()";
+  check_silent "lib/net/gossip.ml"
+    "let x rng = Vegvisir_crypto.Rng.int rng 10"
+
+let test_poly_compare () =
+  check_fires "no-poly-compare" "lib/core/dag.ml" "let f a b = a = b";
+  check_fires "no-poly-compare" "lib/crdt/gset.ml" "let f a b = a <> b";
+  check_fires "no-poly-compare" "lib/core/reconcile.ml"
+    "let s l = List.sort compare l";
+  check_fires "no-poly-compare" "lib/core/dag.ml" "let f a b = max a b";
+  check_fires "no-poly-compare" "lib/crdt/orset.ml" "let f x l = List.mem x l";
+  check_fires "no-poly-compare" "lib/crdt/schema.ml"
+    "let f k l = List.assoc k l";
+  (* Out of scope: only lib/core and lib/crdt are hash-id territory. *)
+  check_silent ~rule:"no-poly-compare" "lib/net/topology.ml"
+    "let f a b = a = b";
+  (* Comparison against a literal/constant constructor is exempt. *)
+  check_silent "lib/core/dag.ml" "let f a = a = 3";
+  check_silent "lib/core/block.ml" "let f a = a <> None";
+  check_silent "lib/core/reconcile.ml" "let f a = max a 1";
+  check_silent "lib/crdt/schema.ml" {|let f l = List.mem "x" l|};
+  (* A file-local typed definition shadows the polymorphic one. *)
+  check_silent "lib/core/hash_id.ml"
+    "let compare = String.compare\nlet sorted l = List.sort compare l";
+  (* Typed stdlib comparisons are the recommended spelling. *)
+  check_silent "lib/core/dag.ml"
+    "let f a b = Int.max a b\nlet g a b = Hash_id.equal a b"
+
+let test_unordered_iteration () =
+  check_fires "no-unordered-iteration" "lib/experiments/exp_energy.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h";
+  check_fires "no-unordered-iteration" "lib/core/wire.ml"
+    "let f h = Hashtbl.fold (fun _ v acc -> v :: acc) h []";
+  check_fires "no-unordered-iteration" "lib/net/metrics.ml"
+    "let f h = Hashtbl.to_seq h";
+  (* Order-insensitive modules may use hash tables freely. *)
+  check_silent ~rule:"no-unordered-iteration" "lib/core/dag.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h";
+  (* Ordered containers are always fine. *)
+  check_silent "lib/net/metrics.ml" "let f m = SMap.fold (fun _ v a -> v + a) m 0"
+
+let test_partial_stdlib () =
+  check_fires "no-partial-stdlib" "lib/net/link.ml" "let f l = List.hd l";
+  check_fires "no-partial-stdlib" "lib/crypto/mss.ml" "let f l = List.nth l 3";
+  check_fires "no-partial-stdlib" "lib/cli/node_store.ml"
+    "let f o = Option.get o";
+  check_fires "no-partial-stdlib" "lib/net/scenario.ml" "let f l = List.tl l";
+  (* Executables and the bench harness may fail fast. *)
+  check_silent ~rule:"no-partial-stdlib" "bin/experiments.ml"
+    "let f l = List.hd l";
+  check_silent "lib/net/link.ml"
+    "let f l = Option.value (List.nth_opt l 0) ~default:0"
+
+let test_suppression () =
+  (* Same-line suppression. *)
+  check_silent "lib/core/dag.ml"
+    "let f a b = a = b (* lint: allow no-poly-compare \xe2\x80\x94 fixture *)";
+  (* Standalone suppression covers the following line. *)
+  check_silent "lib/core/dag.ml"
+    "(* lint: allow no-poly-compare \xe2\x80\x94 fixture *)\nlet f a b = a = b";
+  (* ASCII separators work too. *)
+  check_silent "lib/core/dag.ml"
+    "let f a b = a = b (* lint: allow no-poly-compare -- fixture *)";
+  (* A suppression only covers the rules it names... *)
+  check_fires "no-global-random" "lib/core/dag.ml"
+    "let f a b = a = b && Random.bool () (* lint: allow no-poly-compare \
+     \xe2\x80\x94 fixture *)";
+  (* ...and only its own line(s). *)
+  check_fires "no-poly-compare" "lib/core/dag.ml"
+    "(* lint: allow no-poly-compare \xe2\x80\x94 fixture *)\nlet g = ()\n\
+     let f a b = a = b";
+  (* Reasons are mandatory. *)
+  check_fires "lint-suppression" "lib/core/dag.ml"
+    "let f a b = a = b (* lint: allow no-poly-compare *)";
+  (* Unknown rule names are diagnosed, not silently ignored. *)
+  check_fires "lint-suppression" "lib/core/dag.ml"
+    "let x = 1 (* lint: allow no-such-rule \xe2\x80\x94 typo *)"
+
+let test_parse_error () =
+  check_fires "parse-error" "lib/core/broken.ml" "let let = = in";
+  check_silent "lib/core/fine.ml" "let x = 1"
+
+let test_output_format () =
+  match lint "lib/core/dag.ml" "let f a b =\n  a = b" with
+  | [ f ] ->
+    let s = Veglint.Finding.to_string f in
+    let prefix = "lib/core/dag.ml:2:4 no-poly-compare " in
+    Alcotest.(check bool)
+      "file:line:col rule message shape" true
+      (String.length s > String.length prefix
+      && String.equal (String.sub s 0 (String.length prefix)) prefix)
+  | fs ->
+    Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_mli_coverage () =
+  (* lint_file needs a real filesystem; build a fake lib/ in the test's
+     sandbox cwd. *)
+  let dir = "fake_root/lib/core" in
+  let rec mkdir_p d =
+    if not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdir_p dir;
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let uncovered = Filename.concat dir "uncovered.ml" in
+  let covered = Filename.concat dir "covered.ml" in
+  write uncovered "let x = 1\n";
+  write covered "let x = 1\n";
+  write (covered ^ "i") "val x : int\n";
+  Alcotest.(check bool)
+    "mli-coverage fires without .mli" true
+    (List.exists
+       (fun (f : Veglint.Finding.t) -> String.equal f.rule "mli-coverage")
+       (Veglint.Driver.lint_file uncovered));
+  Alcotest.(check (list string))
+    "silent with .mli" []
+    (rules_of (Veglint.Driver.lint_file covered));
+  (* collect_files only picks up .ml sources, sorted. *)
+  Alcotest.(check (list string))
+    "collect_files" [ covered; uncovered ]
+    (Veglint.Driver.collect_files [ "fake_root" ])
+
+let () =
+  Alcotest.run "vegvisir-lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "no-wall-clock" `Quick test_wall_clock;
+          Alcotest.test_case "no-global-random" `Quick test_global_random;
+          Alcotest.test_case "no-poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "no-unordered-iteration" `Quick
+            test_unordered_iteration;
+          Alcotest.test_case "no-partial-stdlib" `Quick test_partial_stdlib;
+          Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
+        ] );
+      ( "machinery",
+        [
+          Alcotest.test_case "suppressions" `Quick test_suppression;
+          Alcotest.test_case "parse errors" `Quick test_parse_error;
+          Alcotest.test_case "output format" `Quick test_output_format;
+        ] );
+    ]
