@@ -83,30 +83,94 @@ let append_cmd =
     (Cmd.info "append" ~doc:"Append a transaction in a new block (parents = frontier).")
     Term.(const run $ dir_arg $ crdt $ op $ value)
 
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("naive", `Naive); ("indexed", `Indexed); ("bloom", `Bloom) ]) `Naive
+    & info [ "mode" ] ~docv:"PROTOCOL"
+        ~doc:"Reconciliation protocol: naive (Algorithm 1), indexed, or bloom.")
+
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | None -> Error (`Msg "expected HOST:PORT")
+  | Some i -> begin
+    let host = String.sub s 0 i in
+    let host = if String.equal host "" then "127.0.0.1" else host in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port when port > 0 && port < 65536 -> Ok (host, port)
+    | Some _ | None -> Error (`Msg "expected HOST:PORT")
+  end
+
+let print_stats (stats : Vegvisir.Reconcile.stats) =
+  Printf.printf "pulled %d block(s) in %d round(s), %d bytes on the wire\n"
+    stats.Vegvisir.Reconcile.blocks_received stats.Vegvisir.Reconcile.rounds
+    (stats.Vegvisir.Reconcile.bytes_sent + stats.Vegvisir.Reconcile.bytes_received)
+
 let sync_cmd =
   let from =
     Arg.(
-      required & opt (some string) None
+      value & opt (some string) None
       & info [ "from" ] ~docv:"DIR" ~doc:"Directory of the node to pull from.")
   in
-  let mode =
+  let live =
+    let endpoint = Arg.conv (parse_endpoint, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p) in
     Arg.(
-      value
-      & opt (enum [ ("naive", `Naive); ("indexed", `Indexed); ("bloom", `Bloom) ]) `Naive
-      & info [ "mode" ] ~docv:"PROTOCOL"
-          ~doc:"Reconciliation protocol: naive (Algorithm 1), indexed, or bloom.")
+      value & opt (some endpoint) None
+      & info [ "live" ] ~docv:"HOST:PORT"
+          ~doc:"Reconcile over TCP with a running $(b,vegvisir-cli serve) peer \
+                instead of reading another directory. Pulls the peer's missing \
+                blocks, then answers while the peer pulls back.")
   in
-  let run dir from mode =
+  let run dir from live mode =
     let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
-    let src = or_die (Vegvisir_cli.Node_store.load ~dir:from) in
-    let stats = Vegvisir_cli.Node_store.sync t ~from:src ~mode in
-    Printf.printf "pulled %d block(s) in %d round(s), %d bytes on the wire\n"
-      stats.Vegvisir.Reconcile.blocks_received stats.Vegvisir.Reconcile.rounds
-      (stats.Vegvisir.Reconcile.bytes_sent + stats.Vegvisir.Reconcile.bytes_received)
+    match (from, live) with
+    | Some _, Some _ -> or_die (Error "--from and --live are mutually exclusive")
+    | None, None -> or_die (Error "one of --from or --live is required")
+    | Some from, None ->
+      let src = or_die (Vegvisir_cli.Node_store.load ~dir:from) in
+      print_stats (Vegvisir_cli.Node_store.sync t ~from:src ~mode)
+    | None, Some (host, port) ->
+      let report =
+        or_die (Vegvisir_cli.Live_sync.pull ~store:t ~mode ~host ~port ())
+      in
+      print_stats report.Vegvisir_cli.Live_sync.pulled;
+      Printf.printf "answered %d request(s) for the peer's pull back\n"
+        report.Vegvisir_cli.Live_sync.served
   in
   Cmd.v
-    (Cmd.info "sync" ~doc:"Pull missing blocks from another node directory (Algorithm 1).")
-    Term.(const run $ dir_arg $ from $ mode)
+    (Cmd.info "sync"
+       ~doc:"Pull missing blocks from another node directory, or live from a \
+             serving peer (Algorithm 1).")
+    Term.(const run $ dir_arg $ from $ live $ mode_arg)
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 7845
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (loopback).")
+  in
+  let timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "accept-timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up if no peer connects within this long (default: wait forever).")
+  in
+  let run dir port timeout mode =
+    let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
+    Printf.printf "serving %s on 127.0.0.1:%d\n%!" dir port;
+    let report =
+      or_die
+        (Vegvisir_cli.Live_sync.serve ~store:t ~mode ?accept_timeout_s:timeout
+           ~port ())
+    in
+    Printf.printf "answered %d request(s)\n" report.Vegvisir_cli.Live_sync.served;
+    print_stats report.Vegvisir_cli.Live_sync.pulled
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Answer one live peer's pull over TCP, then pull back from it \
+             (see $(b,sync --live)).")
+    Term.(const run $ dir_arg $ port $ timeout $ mode_arg)
 
 let show_cmd =
   let run dir =
@@ -184,5 +248,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ init_cmd; enroll_cmd; append_cmd; sync_cmd; show_cmd; verify_cmd;
-            export_dot_cmd; simulate_cmd; rotate_cmd ]))
+          [ init_cmd; enroll_cmd; append_cmd; sync_cmd; serve_cmd; show_cmd;
+            verify_cmd; export_dot_cmd; simulate_cmd; rotate_cmd ]))

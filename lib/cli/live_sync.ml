@@ -1,0 +1,211 @@
+(* Live reconciliation between two vegvisir-cli node directories, over a
+   framed loopback TCP connection (Unix_compat). Both endpoints drive the
+   same sans-IO Vegvisir_engine.Peer_engine that powers the simulator:
+   this driver only moves frames, applies Deliver effects to the
+   file-backed node, and turns Set_timer effects into recv deadlines.
+
+   Exchange shape (client = `sync --live`, server = `serve`):
+
+     client                                server
+       |---- request ... reply ... ---------->|   client pulls (its engine
+       |<------------- ... ------------------ |   runs a Reconcile session;
+       |---- empty frame (turn-over) -------->|   the server's engine answers)
+       |<------------- ... ------------------ |   server pulls back
+       |<--- empty frame (turn-over) ---------|
+       close                                 close
+
+   After a full exchange both replicas hold the union of the two DAGs. *)
+
+open Vegvisir
+module Peer_engine = Vegvisir_engine.Peer_engine
+
+let ( let* ) = Result.bind
+
+type report = { pulled : Reconcile.stats; delivered : int; served : int }
+
+(* The engine addresses peers by small ints; over a point-to-point
+   connection there is exactly one remote. *)
+let remote_id = 0
+
+(* How often a quiet pull wakes up to run the engine's retransmit/abandon
+   housekeeping. *)
+let poll_interval_s = 0.5
+
+(* How long the serving side waits for the peer's next request before
+   declaring it gone. *)
+let serve_timeout_s = 30.
+
+type driver = {
+  conn : Unix_compat.conn;
+  node : Node.t;
+  mutable engine : Peer_engine.t;
+  mutable deadline : (Peer_engine.timer_key * float) option;
+      (* pending Session_timeout: (key, absolute ms) *)
+  mutable pulled : Reconcile.stats option;
+  mutable delivered : int;
+  mutable aborted : Peer_engine.abort_reason option;
+  mutable failed : string option;
+}
+
+let make ~(store : Node_store.t) ~mode conn =
+  let node = store.Node_store.node in
+  {
+    conn;
+    node;
+    engine =
+      Peer_engine.create ~mode ~stale_after_ms:2_000. ~session_timeout_ms:20_000.
+        ~user_id:(Node.user_id node) ~dag:(Node.dag node) ();
+    deadline = None;
+    pulled = None;
+    delivered = 0;
+    aborted = None;
+    failed = None;
+  }
+
+(* Blocks arriving now may be stamped slightly ahead of our clock; admit
+   the same skew the validation layer tolerates (as Node_store.sync). *)
+let apply_ts () =
+  Timestamp.add_ms
+    (Timestamp.of_seconds (Unix_compat.now ()))
+    Validation.default_max_skew_ms
+
+let apply d (eff : Peer_engine.effect_) =
+  match eff with
+  | Peer_engine.Send { dst = _; bytes } -> begin
+    match Unix_compat.send_frame d.conn bytes with
+    | Ok () -> ()
+    | Error e -> if Option.is_none d.failed then d.failed <- Some e
+  end
+  | Peer_engine.Set_timer { key = Peer_engine.Session_timeout _ as key; after_ms }
+    ->
+    d.deadline <- Some (key, Unix_compat.now_ms () +. after_ms)
+  | Peer_engine.Set_timer { key = Peer_engine.Gossip_round; after_ms = _ } ->
+    (* The gossip cadence is host-driven here: one pull per invocation. *)
+    ()
+  | Peer_engine.Deliver blocks ->
+    Node.receive_all d.node ~now:(apply_ts ()) blocks;
+    d.delivered <- d.delivered + List.length blocks
+  | Peer_engine.Session_done stats -> d.pulled <- Some stats
+  | Peer_engine.Trace ev -> begin
+    match ev with
+    | Peer_engine.Session_aborted { reason; _ } -> d.aborted <- Some reason
+    | Peer_engine.Session_started _ | Peer_engine.Request_resent _
+    | Peer_engine.Session_completed _ | Peer_engine.Request_suppressed _
+    | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _ ->
+      ()
+  end
+
+let step d input =
+  let now = Unix_compat.now_ms () in
+  let dag = Node.dag d.node in
+  let engine, effects = Peer_engine.handle d.engine ~now ~dag input in
+  d.engine <- engine;
+  List.iter (apply d) effects;
+  effects
+
+(* Run one full pull session against the remote: initiate, then feed
+   replies (and clock stimuli) to the engine until it reports the session
+   done or dead. *)
+let pull_phase d =
+  let (_ : Peer_engine.effect_ list) =
+    step d (Peer_engine.Tick { peer = Some remote_id })
+  in
+  let rec loop () =
+    match (d.failed, d.pulled, d.aborted) with
+    | Some e, _, _ -> Error e
+    | None, Some stats, _ -> Ok stats
+    | None, None, Some Peer_engine.Stalled ->
+      Error "sync failed: the peer stopped answering"
+    | None, None, Some Peer_engine.Timed_out ->
+      Error "sync failed: session deadline exceeded"
+    | None, None, None -> begin
+      match Unix_compat.recv_frame ~timeout_s:poll_interval_s d.conn with
+      | Error e -> Error e
+      | Ok Unix_compat.Closed -> Error "peer closed the connection mid-session"
+      | Ok (Unix_compat.Frame "") ->
+        Error "protocol error: turn-over sentinel inside a session"
+      | Ok (Unix_compat.Frame bytes) ->
+        let (_ : Peer_engine.effect_ list) =
+          step d (Peer_engine.Message_received { from = remote_id; bytes })
+        in
+        loop ()
+      | Ok Unix_compat.Timeout ->
+        (* Quiet: run retransmit/abandon housekeeping, and fire the
+           session's hard deadline if it has passed. *)
+        let (_ : Peer_engine.effect_ list) =
+          step d (Peer_engine.Tick { peer = None })
+        in
+        (match d.deadline with
+        | Some (key, at) when Unix_compat.now_ms () >= at ->
+          d.deadline <- None;
+          let (_ : Peer_engine.effect_ list) = step d (Peer_engine.Timer_fired key) in
+          ()
+        | Some _ | None -> ());
+        loop ()
+    end
+  in
+  loop ()
+
+(* Answer the remote's requests until it hands the turn over (empty
+   frame) or hangs up. Returns how many frames we answered. *)
+let serve_phase d =
+  let rec loop served =
+    match d.failed with
+    | Some e -> Error e
+    | None -> begin
+      match Unix_compat.recv_frame ~timeout_s:serve_timeout_s d.conn with
+      | Error e -> Error e
+      | Ok Unix_compat.Timeout -> Error "timed out waiting for the peer"
+      | Ok Unix_compat.Closed | Ok (Unix_compat.Frame "") -> Ok served
+      | Ok (Unix_compat.Frame bytes) ->
+        let effects =
+          step d (Peer_engine.Message_received { from = remote_id; bytes })
+        in
+        let answered =
+          List.exists
+            (function
+              | Peer_engine.Send _ -> true
+              | Peer_engine.Set_timer _ | Peer_engine.Deliver _
+              | Peer_engine.Session_done _ | Peer_engine.Trace _ ->
+                false)
+            effects
+        in
+        loop (if answered then served + 1 else served)
+    end
+  in
+  loop 0
+
+let finish ~(store : Node_store.t) ~pulled ~delivered ~served =
+  let* () = Node_store.save store in
+  Ok { pulled; delivered; served }
+
+let pull_conn ~store ?(mode = `Naive) conn =
+  let d = make ~store ~mode conn in
+  let* pulled = pull_phase d in
+  let* () = Unix_compat.send_frame conn "" in
+  let* served = serve_phase d in
+  finish ~store ~pulled ~delivered:d.delivered ~served
+
+let serve_conn ~store ?(mode = `Naive) conn =
+  let d = make ~store ~mode conn in
+  let* served = serve_phase d in
+  let* pulled = pull_phase d in
+  let* () = Unix_compat.send_frame conn "" in
+  finish ~store ~pulled ~delivered:d.delivered ~served
+
+let pull ~store ?mode ~host ~port () =
+  let* conn = Unix_compat.connect ~host ~port in
+  let result = pull_conn ~store ?mode conn in
+  Unix_compat.close_conn conn;
+  result
+
+let serve ~store ?mode ?accept_timeout_s ~port () =
+  let* listener = Unix_compat.listen ~port () in
+  let result =
+    let* conn = Unix_compat.accept ?timeout_s:accept_timeout_s listener in
+    let r = serve_conn ~store ?mode conn in
+    Unix_compat.close_conn conn;
+    r
+  in
+  Unix_compat.close_listener listener;
+  result

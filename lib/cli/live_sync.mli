@@ -1,0 +1,59 @@
+(** Live reconciliation between two running `vegvisir-cli` nodes over a
+    framed TCP connection ({!Unix_compat}).
+
+    Both endpoints drive the {e same} sans-IO
+    {!Vegvisir_engine.Peer_engine} that the simulator's gossip agent
+    runs; this module is the socket host: it moves the engine's [Send]
+    frames, applies [Deliver] effects to the file-backed node, and turns
+    [Set_timer] into receive deadlines (so retransmit and abandon
+    behaviour is the engine's, not the transport's).
+
+    One exchange is symmetric pull-then-serve: the client pulls the
+    server's missing blocks, hands the turn over with an empty frame,
+    then answers while the server pulls back. After a complete exchange
+    both replicas hold the union of the two DAGs (and both directories
+    are saved). *)
+
+type report = {
+  pulled : Vegvisir.Reconcile.stats;  (** our own pull session *)
+  delivered : int;  (** blocks applied to the local replica *)
+  served : int;  (** remote requests we answered *)
+}
+
+val serve :
+  store:Node_store.t ->
+  ?mode:Vegvisir.Reconcile.mode ->
+  ?accept_timeout_s:float ->
+  port:int ->
+  unit ->
+  (report, string) result
+(** Listen on loopback [port], accept one peer, answer its pull, pull
+    back, save, and return. Blocks until a peer connects (bounded by
+    [accept_timeout_s] when given). *)
+
+val pull :
+  store:Node_store.t ->
+  ?mode:Vegvisir.Reconcile.mode ->
+  host:string ->
+  port:int ->
+  unit ->
+  (report, string) result
+(** Connect to a serving peer, pull, hand the turn over, answer its pull
+    back, save, and return. *)
+
+(** {1 Connection-level drivers}
+
+    For hosts that manage the socket themselves (tests bind an ephemeral
+    port first, then fork). *)
+
+val serve_conn :
+  store:Node_store.t ->
+  ?mode:Vegvisir.Reconcile.mode ->
+  Unix_compat.conn ->
+  (report, string) result
+
+val pull_conn :
+  store:Node_store.t ->
+  ?mode:Vegvisir.Reconcile.mode ->
+  Unix_compat.conn ->
+  (report, string) result

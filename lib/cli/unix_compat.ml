@@ -1,3 +1,160 @@
-(* Wall-clock access isolated here so the rest of the tree stays free of
-   the unix dependency. *)
+(* Wall-clock and socket access isolated here so the rest of the tree
+   stays free of the unix dependency. *)
+
 let now () = Unix.gettimeofday ()
+let now_ms () = 1000. *. now ()
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (fn ^ ": " ^ Unix.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* Framed loopback TCP                                                 *)
+
+type listener = Unix.file_descr
+type conn = Unix.file_descr
+type recv = Frame of string | Timeout | Closed
+
+(* Frames over ~64 MiB mean a corrupt or hostile length prefix, not a
+   blockchain: refuse before allocating. *)
+let max_frame = 64 * 1024 * 1024
+
+(* Once a frame has started arriving, how long until a stall mid-frame is
+   a dead peer rather than scheduling jitter. *)
+let mid_frame_grace_s = 30.
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> begin
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      Error ("unknown host " ^ host)
+    | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
+  end
+
+let listen ?(host = "127.0.0.1") ~port () =
+  match resolve host with
+  | Error _ as e -> e
+  | Ok addr ->
+    guard (fun () ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        Unix.listen fd 8;
+        fd)
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> 0
+
+let accept ?timeout_s fd =
+  let ready =
+    match timeout_s with
+    | None -> true
+    | Some t -> begin
+      match Unix.select [ fd ] [] [] t with
+      | [], _, _ -> false
+      | _ :: _, _, _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    end
+  in
+  if not ready then Error "accept: timed out waiting for a connection"
+  else guard (fun () -> fst (Unix.accept fd))
+
+let connect ~host ~port =
+  match resolve host with
+  | Error _ as e -> e
+  | Ok addr ->
+    guard (fun () ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+        | () -> ()
+        | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e);
+        fd)
+
+let close_conn fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let close_listener fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let write_all fd buf =
+  let n = Bytes.length buf in
+  let rec go off =
+    if off >= n then Ok ()
+    else begin
+      match Unix.write fd buf off (n - off) with
+      | 0 -> Error "write: connection closed"
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, fn, _) ->
+        Error (fn ^ ": " ^ Unix.error_message e)
+    end
+  in
+  go 0
+
+let send_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then Error "send_frame: frame too large"
+  else begin
+    let buf = Bytes.create (4 + len) in
+    Bytes.set_int32_be buf 0 (Int32.of_int len);
+    Bytes.blit_string payload 0 buf 4 len;
+    write_all fd buf
+  end
+
+(* Fill [buf] entirely. [`Eof] only when the connection closed cleanly
+   before the first byte; a close or [deadline] mid-buffer is an error
+   (we would lose frame sync). [`Timeout] likewise only at the start. *)
+let read_into fd buf ~deadline =
+  let n = Bytes.length buf in
+  let rec go off =
+    if off >= n then Ok `Full
+    else begin
+      let remaining = deadline -. now () in
+      let remaining =
+        if off > 0 then Float.max remaining mid_frame_grace_s else remaining
+      in
+      if remaining <= 0. then if off = 0 then Ok `Timeout else Error "read: timed out mid-frame"
+      else begin
+        match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ ->
+          if off = 0 then Ok `Timeout else Error "read: timed out mid-frame"
+        | _ :: _, _, _ -> begin
+          match Unix.read fd buf off (n - off) with
+          | 0 -> if off = 0 then Ok `Eof else Error "read: connection closed mid-frame"
+          | k -> go (off + k)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error (e, fn, _) ->
+            Error (fn ^ ": " ^ Unix.error_message e)
+        end
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      end
+    end
+  in
+  go 0
+
+let recv_frame ?(timeout_s = 30.) fd =
+  let deadline = now () +. timeout_s in
+  let header = Bytes.create 4 in
+  match read_into fd header ~deadline with
+  | Error _ as e -> e
+  | Ok `Timeout -> Ok Timeout
+  | Ok `Eof -> Ok Closed
+  | Ok `Full ->
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len < 0 || len > max_frame then Error "recv_frame: bad frame length"
+    else if len = 0 then Ok (Frame "")
+    else begin
+      let payload = Bytes.create len in
+      match read_into fd payload ~deadline with
+      | Error _ as e -> e
+      | Ok (`Timeout | `Eof) -> Error "recv_frame: truncated frame"
+      | Ok `Full -> Ok (Frame (Bytes.unsafe_to_string payload))
+    end

@@ -1,12 +1,12 @@
-(** The only sanctioned wall-clock call site in the tree.
+(** The only sanctioned operating-system call sites in the tree.
 
     Everything under [lib/] other than this module is deterministic: the
     simulator, experiments, and protocol core take time from the seeded
     event queue ([Vegvisir_net.Simnet]) or from explicit
     [Timestamp.t] arguments, so a run is a pure function of its seed.
     The CLI is the one component that lives on a real device and must
-    stamp blocks with real time; it funnels that single impurity through
-    [now]. The [no-wall-clock] lint rule bans
+    stamp blocks with real time and move real bytes; it funnels those
+    impurities through this shim. The [no-wall-clock] lint rule bans
     [Unix.gettimeofday]/[Unix.time]/[Sys.time] everywhere else — add new
     OS-time needs here, not inline. *)
 
@@ -15,3 +15,46 @@ val now : unit -> float
     sub-second precision ([Unix.gettimeofday]). Monotonicity is NOT
     guaranteed (NTP steps, manual clock changes); callers deriving block
     timestamps must clamp against their own last-seen value. *)
+
+val now_ms : unit -> float
+(** [now], in milliseconds — the clock unit of
+    {!Vegvisir_engine.Peer_engine}. *)
+
+(** {1 Framed TCP}
+
+    A minimal blocking transport for {!Live_sync}: length-prefixed
+    frames (4-byte big-endian count, then the payload) over a TCP
+    connection. An empty frame is legal and is used by the sync protocol
+    as a turn-over sentinel. All functions return [Error] with a
+    human-readable message rather than raising [Unix.Unix_error]. *)
+
+type listener
+type conn
+
+(** Result of {!recv_frame}. [Timeout] and [Closed] can only happen at a
+    frame boundary; mid-frame stalls or closes are [Error]s, because the
+    stream would lose frame sync. *)
+type recv = Frame of string | Timeout | Closed
+
+val listen : ?host:string -> port:int -> unit -> (listener, string) result
+(** Bind and listen on [host] (default loopback, [127.0.0.1]). [port] 0
+    picks an ephemeral port; recover it with {!bound_port}. *)
+
+val bound_port : listener -> int
+
+val accept : ?timeout_s:float -> listener -> (conn, string) result
+(** Wait for one inbound connection (forever when [timeout_s] is
+    omitted). *)
+
+val connect : host:string -> port:int -> (conn, string) result
+
+val send_frame : conn -> string -> (unit, string) result
+(** Write one complete frame (blocking). *)
+
+val recv_frame : ?timeout_s:float -> conn -> (recv, string) result
+(** Read one complete frame, waiting up to [timeout_s] (default 30) for
+    it to {e begin}; an already-started frame is always read to
+    completion (with a generous stall allowance). *)
+
+val close_conn : conn -> unit
+val close_listener : listener -> unit

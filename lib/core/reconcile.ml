@@ -41,6 +41,14 @@ let add_stats a b =
     redundant_blocks = a.redundant_blocks + b.redundant_blocks;
   }
 
+let stats_equal a b =
+  Int.equal a.rounds b.rounds
+  && Int.equal a.messages b.messages
+  && Int.equal a.bytes_sent b.bytes_sent
+  && Int.equal a.bytes_received b.bytes_received
+  && Int.equal a.blocks_received b.blocks_received
+  && Int.equal a.redundant_blocks b.redundant_blocks
+
 let encode_message b = function
   | Frontier_request { level } ->
     Wire.put_u8 b 1;
@@ -148,24 +156,27 @@ let respond dag = function
 
 type session = {
   mode : mode;
-  mutable level : int;
+  level : int;
   frontier : Hash_id.t list; (* indexed mode: what we advertised *)
   recent : Hash_id.t list; (* indexed mode: deeper-level hashes advertised *)
-  mutable bloom : string; (* bloom mode: the filter we advertised *)
-  mutable collected : Block.t list; (* bloom mode: blocks received so far *)
-  mutable requested : HSet.t; (* bloom mode: hashes already asked for *)
-  mutable pending_request : message option; (* bloom mode: in-flight request *)
-  mutable last_reply_count : int; (* fixpoint detection across escalations *)
-  mutable stats : stats;
+  bloom : string; (* bloom mode: the filter we advertised *)
+  collected : Block.t list; (* bloom mode: blocks received so far *)
+  requested : HSet.t; (* bloom mode: hashes already asked for *)
+  pending_request : message option; (* bloom mode: in-flight request *)
+  last_reply_count : int; (* fixpoint detection across escalations *)
+  stats : stats;
 }
 
 let track_send session m =
-  session.stats <-
-    {
-      session.stats with
-      messages = session.stats.messages + 1;
-      bytes_sent = session.stats.bytes_sent + message_size m;
-    }
+  {
+    session with
+    stats =
+      {
+        session.stats with
+        messages = session.stats.messages + 1;
+        bytes_sent = session.stats.bytes_sent + message_size m;
+      };
+  }
 
 let recent_level = 16
 
@@ -200,7 +211,7 @@ let start mode dag =
       level = 1;
       frontier;
       recent;
-      bloom = "";
+      bloom = (match mode with `Naive | `Indexed -> "" | `Bloom -> bloom_of_dag dag);
       collected = [];
       requested = HSet.empty;
       pending_request = None;
@@ -212,12 +223,9 @@ let start mode dag =
     match mode with
     | `Naive -> Frontier_request { level = 1 }
     | `Indexed -> Sync_request { frontier = session.frontier; recent = session.recent }
-    | `Bloom ->
-      session.bloom <- bloom_of_dag dag;
-      Bloom_request { filter = session.bloom }
+    | `Bloom -> Bloom_request { filter = session.bloom }
   in
-  track_send session m;
-  (session, m)
+  (track_send session m, m)
 
 let current_request session =
   match session.mode with
@@ -279,22 +287,25 @@ let receive_stats session dag blocks m =
   let redundant =
     List.length (List.filter (fun (b : Block.t) -> Dag.mem dag b.Block.hash) blocks)
   in
-  session.stats <-
-    {
-      session.stats with
-      rounds = session.stats.rounds + 1;
-      messages = session.stats.messages + 1;
-      bytes_received = session.stats.bytes_received + message_size m;
-      blocks_received = session.stats.blocks_received + List.length blocks;
-      redundant_blocks = session.stats.redundant_blocks + redundant;
-    }
+  {
+    session with
+    stats =
+      {
+        session.stats with
+        rounds = session.stats.rounds + 1;
+        messages = session.stats.messages + 1;
+        bytes_received = session.stats.bytes_received + message_size m;
+        blocks_received = session.stats.blocks_received + List.length blocks;
+        redundant_blocks = session.stats.redundant_blocks + redundant;
+      };
+  }
 
 let handle_reply session dag m =
   match (session.mode, m) with
   | `Naive, Frontier_reply { level; _ } when not (Int.equal level session.level)
-    -> Ignored
+    -> (session, Ignored)
   | `Naive, Frontier_reply { level = _; blocks } ->
-    receive_stats session dag blocks m;
+    let session = receive_stats session dag blocks m in
     let unknown =
       List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
     in
@@ -312,26 +323,32 @@ let handle_reply session dag m =
         unknown
     in
     let fixpoint = Int.equal (List.length blocks) session.last_reply_count in
-    session.last_reply_count <- List.length blocks;
+    let session = { session with last_reply_count = List.length blocks } in
     if bridged || fixpoint then
-      Finished { new_blocks = insertable_order dag unknown; stats = session.stats }
+      ( session,
+        Finished { new_blocks = insertable_order dag unknown; stats = session.stats } )
     else begin
-      session.level <- session.level + 1;
+      let session = { session with level = session.level + 1 } in
       let req = Frontier_request { level = session.level } in
-      track_send session req;
-      Send req
+      (track_send session req, Send req)
     end
   | `Indexed, Sync_reply { blocks } ->
-    receive_stats session dag blocks m;
+    let session = receive_stats session dag blocks m in
     let unknown =
       List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
     in
-    Finished { new_blocks = insertable_order dag unknown; stats = session.stats }
+    ( session,
+      Finished { new_blocks = insertable_order dag unknown; stats = session.stats } )
   | `Bloom, (Bloom_reply { blocks } | Blocks_reply { blocks }) ->
-    receive_stats session dag blocks m;
-    session.collected <-
-      List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
-      @ session.collected;
+    let session = receive_stats session dag blocks m in
+    let session =
+      {
+        session with
+        collected =
+          List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
+          @ session.collected;
+      }
+    in
     let have =
       List.fold_left
         (fun acc (b : Block.t) -> HSet.add b.Block.hash acc)
@@ -354,30 +371,42 @@ let handle_reply session dag m =
     in
     let got_nothing_new = blocks = [] in
     if HSet.is_empty gaps || got_nothing_new then
-      Finished
-        { new_blocks = insertable_order dag session.collected; stats = session.stats }
+      ( session,
+        Finished
+          { new_blocks = insertable_order dag session.collected; stats = session.stats }
+      )
     else begin
-      session.requested <- HSet.union session.requested gaps;
       let req = Blocks_request { hashes = HSet.elements gaps } in
-      session.pending_request <- Some req;
-      track_send session req;
-      Send req
+      let session =
+        {
+          session with
+          requested = HSet.union session.requested gaps;
+          pending_request = Some req;
+        }
+      in
+      (track_send session req, Send req)
     end
-  | ( _,
-      ( Frontier_request _ | Sync_request _ | Frontier_reply _ | Sync_reply _
-      | Bloom_request _ | Bloom_reply _ | Blocks_request _ | Blocks_reply _ ) ) ->
-    invalid_arg "Reconcile.handle_reply: unexpected message for session mode"
+  | ( (`Naive | `Indexed | `Bloom),
+      (Frontier_request _ | Sync_request _ | Bloom_request _ | Blocks_request _) )
+    ->
+    invalid_arg "Reconcile.handle_reply: not a reply"
+  | ( (`Naive | `Indexed | `Bloom),
+      (Frontier_reply _ | Sync_reply _ | Bloom_reply _ | Blocks_reply _) ) ->
+    (* A reply that does not belong to this session's protocol mode: a
+       stale or foreign transport frame. Dropping it (rather than raising)
+       keeps a malicious or confused responder from crashing the driver. *)
+    (session, Ignored)
 
 let sync_dags mode dst src =
   let session, first = start mode dst in
-  let rec loop dst request =
+  let rec loop session dst request =
     match respond src request with
     | None -> assert false
     | Some reply -> begin
       match handle_reply session dst reply with
-      | Send next -> loop dst next
-      | Ignored -> assert false (* local loop never duplicates replies *)
-      | Finished { new_blocks; stats } ->
+      | session, Send next -> loop session dst next
+      | _, Ignored -> assert false (* local loop never duplicates replies *)
+      | _, Finished { new_blocks; stats } ->
         let dst =
           List.fold_left
             (fun dst b ->
@@ -387,4 +416,4 @@ let sync_dags mode dst src =
         (dst, stats)
     end
   in
-  loop dst first
+  loop session dst first

@@ -47,6 +47,7 @@ type stats = {
 
 val empty_stats : stats
 val add_stats : stats -> stats -> stats
+val stats_equal : stats -> stats -> bool
 val message_size : message -> int
 (** Encoded size in bytes (used for bandwidth/energy accounting). *)
 
@@ -58,7 +59,12 @@ val message_equal : message -> message -> bool
 val respond : Dag.t -> message -> message option
 (** [None] for messages that are not requests. *)
 
-(** Initiator side: a pull session. *)
+(** Initiator side: a pull session.
+
+    A [session] is an immutable value: {!handle_reply} returns the
+    successor state alongside the step, so drivers (the sans-IO
+    {!Vegvisir_engine.Peer_engine}, tests, the local {!sync_dags} loop)
+    can thread, snapshot, and replay sessions freely. *)
 type session
 
 val start : mode -> Dag.t -> session * message
@@ -77,8 +83,10 @@ type step =
       (** a stale duplicate (e.g. a retransmitted request produced two
           replies for the same level) — drop it and keep waiting *)
 
-val handle_reply : session -> Dag.t -> message -> step
-(** Feed the responder's reply. @raise Invalid_argument on a non-reply. *)
+val handle_reply : session -> Dag.t -> message -> session * step
+(** Feed the responder's reply. A reply that does not belong to this
+    session's protocol mode (a stale or foreign frame) is [Ignored].
+    @raise Invalid_argument on a request (not a reply). *)
 
 val current_request : session -> message
 (** The request the session is currently waiting on — what a transport

@@ -1,0 +1,314 @@
+open Vegvisir
+
+type policy = Honest | Silent | Withholding
+
+type timer_key =
+  | Gossip_round
+  | Session_timeout of { generation : int }
+
+let tag_of_timer = function
+  | Gossip_round -> "gossip"
+  | Session_timeout { generation } -> "timeout:" ^ string_of_int generation
+
+let timer_of_tag tag =
+  if String.equal tag "gossip" then Some Gossip_round
+  else
+    match String.index_opt tag ':' with
+    | Some i when String.equal (String.sub tag 0 i) "timeout" -> begin
+      match int_of_string_opt (String.sub tag (i + 1) (String.length tag - i - 1)) with
+      | Some generation -> Some (Session_timeout { generation })
+      | None -> None
+    end
+    | Some _ | None -> None
+
+type input =
+  | Message_received of { from : int; bytes : string }
+  | Timer_fired of timer_key
+  | Block_created of Block.t
+  | Tick of { peer : int option }
+
+type abort_reason = Stalled | Timed_out
+
+type event =
+  | Session_started of { dst : int; generation : int }
+  | Request_resent of { dst : int; generation : int; attempt : int }
+  | Session_completed of { dst : int; generation : int; blocks : int }
+  | Session_aborted of { dst : int; generation : int; reason : abort_reason }
+  | Request_suppressed of { src : int }
+  | Reply_ignored of { from : int }
+  | Decode_failed of { from : int }
+
+type effect_ =
+  | Send of { dst : int; bytes : string }
+  | Set_timer of { key : timer_key; after_ms : float }
+  | Deliver of Block.t list
+  | Session_done of Reconcile.stats
+  | Trace of event
+
+type session_state = {
+  dst : int;
+  generation : int;
+  recon : Reconcile.session;
+  last_activity : float;
+}
+
+type t = {
+  user_id : Hash_id.t;
+  policy_ : policy;
+  mode : Reconcile.mode;
+  stale_after_ms : float;
+  session_timeout_ms : float;
+  retry_limit : int;
+  session : session_state option;
+  retries : int;
+      (* The retransmit budget is deliberately {e peer}-level, not
+         session-level: starting a new session does not refill it — only
+         actually hearing a reply does. A peer whose pulls keep dying in a
+         lossy or sleepy network therefore abandons subsequent stale
+         sessions immediately and re-pairs with a fresh random neighbor
+         instead of burning retransmissions into the void. *)
+  generation_ : int;
+  censored : Dag.t option;
+      (* [Withholding] only: the censored serving view — own creations
+         plus genesis — maintained incrementally so answering a request
+         does not rebuild the DAG (the old per-request [topo_order] fold
+         was O(n) per message, O(n²) per sync). *)
+}
+
+(* The censored view admits a block only when its (censored) ancestry is
+   present, exactly as the old full rebuild did: an own block chained on
+   others' blocks has missing parents in the censored view and is
+   withheld along with them. *)
+let censor_add user_id dag (b : Block.t) =
+  if Block.is_genesis b || Hash_id.equal b.Block.creator user_id then
+    match Dag.add dag b with Ok dag -> dag | Error _ -> dag
+  else dag
+
+let build_censored user_id full =
+  List.fold_left (censor_add user_id) Dag.empty (Dag.topo_order full)
+
+let create ?(policy = Honest) ?(mode = `Naive) ?(stale_after_ms = 5_000.)
+    ?(session_timeout_ms = 30_000.) ?(retry_limit = 3) ~user_id ~dag () =
+  {
+    user_id;
+    policy_ = policy;
+    mode;
+    stale_after_ms;
+    session_timeout_ms;
+    retry_limit;
+    session = None;
+    retries = 0;
+    generation_ = 0;
+    censored =
+      (match policy with
+      | Honest | Silent -> None
+      | Withholding -> Some (build_censored user_id dag));
+  }
+
+let policy t = t.policy_
+let generation t = t.generation_
+let busy t = Option.is_some t.session
+
+let serving_view t ~dag =
+  match t.censored with Some censored -> censored | None -> dag
+
+let absorb t (b : Block.t) =
+  match t.censored with
+  | None -> t
+  | Some censored -> { t with censored = Some (censor_add t.user_id censored b) }
+
+let encode m =
+  let b = Buffer.create 256 in
+  Reconcile.encode_message b m;
+  Buffer.contents b
+
+let stale t (s : session_state) ~now = now -. s.last_activity > t.stale_after_ms
+
+let will_initiate t ~now =
+  match t.policy_ with
+  | Silent -> false
+  | Honest | Withholding -> begin
+    match t.session with
+    | None -> true
+    | Some s -> stale t s ~now && t.retries >= t.retry_limit
+  end
+
+(* One gossip round: first housekeep the in-flight session (retransmit a
+   quiet one a few times — the copy in flight, or its reply, may have
+   been lost or be slow — and abandon it only after repeated silence),
+   then, if idle, start pulling from the offered peer. An abandonment
+   and the next initiation share the round, as in the original agent. *)
+let tick t ~now ~dag ~peer =
+  let t, housekeeping =
+    match t.session with
+    | Some s when stale t s ~now ->
+      if t.retries < t.retry_limit then
+        let s = { s with last_activity = now } in
+        let t = { t with session = Some s; retries = t.retries + 1 } in
+        ( t,
+          [
+            Send { dst = s.dst; bytes = encode (Reconcile.current_request s.recon) };
+            Trace
+              (Request_resent
+                 { dst = s.dst; generation = s.generation; attempt = t.retries });
+          ] )
+      else
+        ( { t with session = None },
+          [
+            Trace
+              (Session_aborted
+                 { dst = s.dst; generation = s.generation; reason = Stalled });
+          ] )
+    | Some _ | None -> (t, [])
+  in
+  match (t.session, t.policy_, peer) with
+  | None, (Honest | Withholding), Some dst ->
+    let recon, first = Reconcile.start t.mode dag in
+    let generation = t.generation_ + 1 in
+    let session = Some { dst; generation; recon; last_activity = now } in
+    ( { t with session; generation_ = generation },
+      housekeeping
+      @ [
+          Trace (Session_started { dst; generation });
+          Set_timer
+            {
+              key = Session_timeout { generation };
+              after_ms = t.session_timeout_ms;
+            };
+          Send { dst; bytes = encode first };
+        ] )
+  | (Some _ | None), (Honest | Silent | Withholding), (Some _ | None) ->
+    (t, housekeeping)
+
+let on_reply t ~now ~dag ~from msg =
+  match t.session with
+  | Some s when Int.equal s.dst from ->
+    let s = { s with last_activity = now } in
+    let t = { t with retries = 0 } in
+    let recon, step = Reconcile.handle_reply s.recon dag msg in
+    let s = { s with recon } in
+    begin
+      match step with
+      | Reconcile.Send next ->
+        ({ t with session = Some s }, [ Send { dst = from; bytes = encode next } ])
+      | Reconcile.Ignored -> ({ t with session = Some s }, [])
+      | Reconcile.Finished { new_blocks; stats } ->
+        let t = { t with session = None } in
+        (* The pulled blocks may include the genesis (first sync of a
+           fresh replica); keep the censored serving view caught up. *)
+        let t = List.fold_left absorb t new_blocks in
+        ( t,
+          [
+            Session_done stats;
+            Deliver new_blocks;
+            Trace
+              (Session_completed
+                 {
+                   dst = from;
+                   generation = s.generation;
+                   blocks = List.length new_blocks;
+                 });
+          ] )
+    end
+  | Some _ | None -> (t, [ Trace (Reply_ignored { from }) ])
+
+let on_message t ~now ~dag ~from bytes =
+  match Wire.decode_string Reconcile.decode_message bytes with
+  | None -> (t, [ Trace (Decode_failed { from }) ])
+  | Some msg -> begin
+    match Reconcile.respond (serving_view t ~dag) msg with
+    | Some reply ->
+      (* It was a request. Silent peers do not answer. *)
+      if t.policy_ = Silent then (t, [ Trace (Request_suppressed { src = from }) ])
+      else (t, [ Send { dst = from; bytes = encode reply } ])
+    | None -> on_reply t ~now ~dag ~from msg
+  end
+
+let handle t ~now ~dag input =
+  match input with
+  | Message_received { from; bytes } -> on_message t ~now ~dag ~from bytes
+  | Block_created b -> (absorb t b, [])
+  | Tick { peer } -> tick t ~now ~dag ~peer
+  | Timer_fired Gossip_round -> tick t ~now ~dag ~peer:None
+  | Timer_fired (Session_timeout { generation }) -> begin
+    match t.session with
+    | Some s when Int.equal s.generation generation ->
+      ( { t with session = None },
+        [
+          Trace
+            (Session_aborted { dst = s.dst; generation; reason = Timed_out });
+        ] )
+    | Some _ | None -> (t, [])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Equality and printing                                                *)
+
+let abort_reason_equal a b =
+  match (a, b) with
+  | Stalled, Stalled | Timed_out, Timed_out -> true
+  | (Stalled | Timed_out), (Stalled | Timed_out) -> false
+
+let event_equal a b =
+  match (a, b) with
+  | Session_started a, Session_started b ->
+    Int.equal a.dst b.dst && Int.equal a.generation b.generation
+  | Request_resent a, Request_resent b ->
+    Int.equal a.dst b.dst
+    && Int.equal a.generation b.generation
+    && Int.equal a.attempt b.attempt
+  | Session_completed a, Session_completed b ->
+    Int.equal a.dst b.dst
+    && Int.equal a.generation b.generation
+    && Int.equal a.blocks b.blocks
+  | Session_aborted a, Session_aborted b ->
+    Int.equal a.dst b.dst
+    && Int.equal a.generation b.generation
+    && abort_reason_equal a.reason b.reason
+  | Request_suppressed a, Request_suppressed b -> Int.equal a.src b.src
+  | Reply_ignored a, Reply_ignored b -> Int.equal a.from b.from
+  | Decode_failed a, Decode_failed b -> Int.equal a.from b.from
+  | ( ( Session_started _ | Request_resent _ | Session_completed _
+      | Session_aborted _ | Request_suppressed _ | Reply_ignored _
+      | Decode_failed _ ),
+      _ ) ->
+    false
+
+let effect_equal a b =
+  match (a, b) with
+  | Send a, Send b -> Int.equal a.dst b.dst && String.equal a.bytes b.bytes
+  | Set_timer a, Set_timer b ->
+    String.equal (tag_of_timer a.key) (tag_of_timer b.key)
+    && Float.equal a.after_ms b.after_ms
+  | Deliver a, Deliver b -> List.equal Block.equal a b
+  | Session_done a, Session_done b -> Reconcile.stats_equal a b
+  | Trace a, Trace b -> event_equal a b
+  | (Send _ | Set_timer _ | Deliver _ | Session_done _ | Trace _), _ -> false
+
+let pp_abort_reason ppf = function
+  | Stalled -> Fmt.string ppf "stalled"
+  | Timed_out -> Fmt.string ppf "timed-out"
+
+let pp_event ppf = function
+  | Session_started { dst; generation } ->
+    Fmt.pf ppf "session-started(dst=%d gen=%d)" dst generation
+  | Request_resent { dst; generation; attempt } ->
+    Fmt.pf ppf "request-resent(dst=%d gen=%d attempt=%d)" dst generation attempt
+  | Session_completed { dst; generation; blocks } ->
+    Fmt.pf ppf "session-completed(dst=%d gen=%d blocks=%d)" dst generation blocks
+  | Session_aborted { dst; generation; reason } ->
+    Fmt.pf ppf "session-aborted(dst=%d gen=%d %a)" dst generation pp_abort_reason
+      reason
+  | Request_suppressed { src } -> Fmt.pf ppf "request-suppressed(src=%d)" src
+  | Reply_ignored { from } -> Fmt.pf ppf "reply-ignored(from=%d)" from
+  | Decode_failed { from } -> Fmt.pf ppf "decode-failed(from=%d)" from
+
+let pp_effect ppf = function
+  | Send { dst; bytes } -> Fmt.pf ppf "send(dst=%d %dB)" dst (String.length bytes)
+  | Set_timer { key; after_ms } ->
+    Fmt.pf ppf "set-timer(%s +%.0fms)" (tag_of_timer key) after_ms
+  | Deliver blocks -> Fmt.pf ppf "deliver(%d blocks)" (List.length blocks)
+  | Session_done stats ->
+    Fmt.pf ppf "session-done(rounds=%d blocks=%d)" stats.Reconcile.rounds
+      stats.Reconcile.blocks_received
+  | Trace ev -> Fmt.pf ppf "trace(%a)" pp_event ev

@@ -10,6 +10,8 @@ let all =
       "Hashtbl order leaks into wire bytes or experiment metrics" );
     ( "no-partial-stdlib",
       "partial stdlib functions raise instead of forcing a decision" );
+    ( "engine-transport-purity",
+      "lib/engine is sans-IO: no transport, OS, or console dependency" );
     ("mli-coverage", "every lib module needs an explicit interface");
     ("parse-error", "file does not parse");
     ("lint-suppression", "malformed suppression comment (not suppressible)");
@@ -93,7 +95,9 @@ let check ~path structure =
     path_eq lp [ "lib"; "core"; "wire.ml" ]
     || path_eq lp [ "lib"; "net"; "metrics.ml" ]
     || has_prefix [ "lib"; "experiments" ] lp
+    || has_prefix [ "lib"; "engine" ] lp
   in
+  let engine_on = has_prefix [ "lib"; "engine" ] lp in
   let partial_on = has_prefix [ "lib" ] lp in
   let bound = bound_value_names structure in
   let findings = ref [] in
@@ -148,6 +152,26 @@ let check ~path structure =
           ^ " iterates in nondeterministic order and this module's output \
              is order-sensitive; sort the result or use an ordered map")
        | _ -> ());
+    (if engine_on then
+       match parts with
+       | ( "Unix" | "UnixLabels" | "Unix_compat" | "Vegvisir_net" | "Simnet"
+         | "Vegvisir_cli" | "Live_sync" | "Sys" | "In_channel" | "Out_channel" )
+         :: _ ->
+         add loc "engine-transport-purity"
+           (name
+          ^ " ties the engine to a transport or the OS; lib/engine is \
+             sans-IO — hosts replay its effects instead")
+       | [ ( "print_string" | "print_endline" | "print_newline" | "print_int"
+           | "print_char" | "print_float" | "prerr_string" | "prerr_endline"
+           | "prerr_newline" | "read_line" ) ]
+       | [ "Printf"; ("printf" | "eprintf") ]
+       | [ "Format"; ("printf" | "eprintf" | "print_string") ]
+       | [ "Fmt"; ("pr" | "epr") ] ->
+         add loc "engine-transport-purity"
+           (name
+          ^ " writes to the console from the sans-IO engine; emit a Trace \
+             effect and let the host decide")
+       | _ -> ());
     if partial_on then
       match parts with
       | [ "List"; ("hd" | "tl" | "nth") ] | [ "Option"; "get" ] ->
@@ -160,9 +184,30 @@ let check ~path structure =
           (name ^ " touches global mutable temp state; thread paths explicitly")
       | _ -> ()
   in
+  (* [open Simnet], [module S = Simnet], functor arguments, ... — any
+     module-expression mention of a transport module in lib/engine, which
+     plain value-identifier scanning would miss. *)
+  let handle_module_ident txt loc =
+    if engine_on then
+      match flatten txt with
+      | ( "Unix" | "UnixLabels" | "Unix_compat" | "Vegvisir_net" | "Simnet"
+        | "Vegvisir_cli" | "Live_sync" )
+        :: _ ->
+        add loc "engine-transport-purity"
+          (String.concat "." (flatten txt)
+          ^ " ties the engine to a transport; lib/engine is sans-IO — hosts \
+             replay its effects instead")
+      | _ -> ()
+  in
   let iter =
     {
       Ast_iterator.default_iterator with
+      module_expr =
+        (fun self m ->
+          (match m.Parsetree.pmod_desc with
+          | Parsetree.Pmod_ident { txt; loc } -> handle_module_ident txt loc
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr self m);
       expr =
         (fun self e ->
           match e.Parsetree.pexp_desc with

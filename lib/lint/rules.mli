@@ -1,10 +1,10 @@
 (** The vegvisir-lint rule set.
 
-    Six rules guard the repo's two global invariants — bit-for-bit
+    Seven rules guard the repo's global invariants — bit-for-bit
     reproducibility (all entropy and time flow through seeded,
-    deterministic sources) and cross-replica convergence (no structural
+    deterministic sources), cross-replica convergence (no structural
     comparison or hash-table iteration order leaking into consensus or
-    wire state):
+    wire state), and the sans-IO layering of the protocol engine:
 
     - [no-wall-clock]: [Unix.gettimeofday]/[Unix.time]/[Sys.time] are
       banned everywhere except [lib/cli/unix_compat.ml].
@@ -16,9 +16,16 @@
       literal/constant constructor or the file binds the name itself.
     - [no-unordered-iteration]: [Hashtbl.iter]/[fold]/[to_seq] are
       flagged in modules whose output is order-sensitive
-      ([lib/core/wire.ml], [lib/net/metrics.ml], [lib/experiments/*]).
+      ([lib/core/wire.ml], [lib/net/metrics.ml], [lib/experiments/*],
+      and [lib/engine/*], whose effect lists must replay identically).
     - [no-partial-stdlib]: [List.hd]/[List.tl]/[List.nth]/[Option.get]/
       [Filename.temp_file] are flagged under [lib/].
+    - [engine-transport-purity]: [lib/engine/*] may not mention a
+      transport or the OS — [Unix], [Unix_compat], [Vegvisir_net]/
+      [Simnet], [Vegvisir_cli]/[Live_sync], [Sys], [In_channel]/
+      [Out_channel] — nor print to the console; both value identifiers
+      and module expressions ([open]/aliases/functor arguments) are
+      checked. The engine is sans-IO: hosts replay its typed effects.
     - [mli-coverage]: every [lib/**/*.ml] needs a matching [.mli]
       (checked by the driver via {!mli_required}).
 

@@ -1,39 +1,46 @@
 open Vegvisir
 module Rng = Vegvisir_crypto.Rng
+module Peer_engine = Vegvisir_engine.Peer_engine
 
 let log_src = Logs.Src.create "vegvisir.gossip" ~doc:"Opportunistic gossip agent"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type behavior = Honest | Silent | Withholding
+type behavior = Peer_engine.policy = Honest | Silent | Withholding
 
 type peer = {
   node_ : Node.t;
   behavior_ : behavior;
-  mutable session : (int * int * Reconcile.session) option;
-      (* responder, generation, session *)
-  mutable generation : int;
-  mutable last_activity : float; (* last session progress, for staleness *)
-  mutable retries : int; (* retransmissions of the current request *)
+  mutable engine : Peer_engine.t;
   mutable fed : Block.t list; (* buffered-at-node blocks awaiting arrival record *)
+  mutable fed_len : int; (* |fed|, maintained (the cap check is O(1)) *)
   arrivals : (Hash_id.t, float) Hashtbl.t;
 }
+
+type tap =
+  peer:int ->
+  now:float ->
+  dag:Dag.t ->
+  Peer_engine.input ->
+  Peer_engine.effect_ list ->
+  unit
 
 type t = {
   net : Simnet.t;
   peers : peer array;
-  mode : Vegvisir.Reconcile.mode;
   interval_ms : float;
-  stale_after_ms : float;
-  session_timeout_ms : float;
   births : (Hash_id.t, float) Hashtbl.t;
+  tap : tap option;
   mutable total_stats : Reconcile.stats;
   mutable completed : int;
   mutable aborted : int;
+  mutable dropped_blocks : int;
 }
 
+let max_fed = 4096
+
 let create ~net ~nodes ?behaviors ?(mode = `Naive) ?(interval_ms = 1000.)
-    ?(stale_after_ms = 5_000.) ?(session_timeout_ms = 30_000.) () =
+    ?(stale_after_ms = 5_000.) ?(session_timeout_ms = 30_000.) ?tap () =
   let n = Array.length nodes in
   if Topology.size (Simnet.topo net) <> n then
     invalid_arg "Gossip.create: nodes/topology size mismatch";
@@ -52,21 +59,26 @@ let create ~net ~nodes ?behaviors ?(mode = `Naive) ?(interval_ms = 1000.)
           {
             node_ = nodes.(i);
             behavior_ = behaviors.(i);
-            session = None;
-            generation = 0;
-            last_activity = 0.;
-            retries = 0;
+            engine =
+              Peer_engine.create ~policy:behaviors.(i) ~mode
+                (* A session with no recent progress retransmits before it
+                   is abandoned; "recent" scales with the gossip cadence. *)
+                ~stale_after_ms:(max stale_after_ms (2. *. interval_ms))
+                ~session_timeout_ms
+                ~user_id:(Node.user_id nodes.(i))
+                ~dag:(Node.dag nodes.(i))
+                ();
             fed = [];
+            fed_len = 0;
             arrivals = Hashtbl.create 64;
           });
-    mode;
     interval_ms;
-    stale_after_ms;
-    session_timeout_ms;
     births = Hashtbl.create 64;
+    tap;
     total_stats = Reconcile.empty_stats;
     completed = 0;
     aborted = 0;
+    dropped_blocks = 0;
   }
 
 let node t i = t.peers.(i).node_
@@ -87,6 +99,7 @@ let record_arrival t i (b : Block.t) =
 let settle_fed t i =
   let p = t.peers.(i) in
   let dag = Node.dag p.node_ in
+  let kept = ref 0 in
   let still =
     List.filter
       (fun (b : Block.t) ->
@@ -94,10 +107,14 @@ let settle_fed t i =
           record_arrival t i b;
           false
         end
-        else true)
+        else begin
+          incr kept;
+          true
+        end)
       p.fed
   in
-  p.fed <- still
+  p.fed <- still;
+  p.fed_len <- !kept
 
 let feed t i (b : Block.t) =
   let p = t.peers.(i) in
@@ -106,113 +123,80 @@ let feed t i (b : Block.t) =
   meter.Energy.hashes <- meter.Energy.hashes + 2;
   (match Node.receive p.node_ ~now:(sim_ts t) b with
   | Node.Accepted -> record_arrival t i b
-  | Node.Buffered _ -> if List.length p.fed < 4096 then p.fed <- b :: p.fed
+  | Node.Buffered _ ->
+    if p.fed_len < max_fed then begin
+      p.fed <- b :: p.fed;
+      p.fed_len <- p.fed_len + 1
+    end
+    else t.dropped_blocks <- t.dropped_blocks + 1
   | Node.Duplicate | Node.Rejected _ -> ());
   settle_fed t i
 
-(* Withholding peers serve only their own creations (plus genesis), which
-   models "choose not to propagate new blocks they receive" (§IV-B): they
-   answer from a censored view of their replica. *)
-let serving_dag (p : peer) =
-  match p.behavior_ with
-  | Honest | Silent -> Node.dag p.node_
-  | Withholding ->
-    let self = Node.user_id p.node_ in
-    let dag = Node.dag p.node_ in
-    List.fold_left
-      (fun acc (b : Block.t) ->
-        if Block.is_genesis b || Hash_id.equal b.Block.creator self then
-          match Dag.add acc b with Ok acc -> acc | Error _ -> acc
-        else acc)
-      Dag.empty (Dag.topo_order dag)
+(* Replay one engine effect into the simulator. The replay order is the
+   effect-list order, which mirrors the pre-refactor agent's direct call
+   order exactly (timer before first request, stats before feeding), so a
+   seeded run is schedule- and byte-identical to the welded-in original. *)
+let apply_effect t i (eff : Peer_engine.effect_) =
+  match eff with
+  | Peer_engine.Send { dst; bytes } -> Simnet.send t.net ~src:i ~dst bytes
+  | Peer_engine.Set_timer { key; after_ms } ->
+    Simnet.set_timer t.net ~node:i ~after:after_ms
+      ~tag:(Peer_engine.tag_of_timer key)
+  | Peer_engine.Deliver blocks -> List.iter (feed t i) blocks
+  | Peer_engine.Session_done stats ->
+    t.total_stats <- Reconcile.add_stats t.total_stats stats;
+    t.completed <- t.completed + 1
+  | Peer_engine.Trace ev -> begin
+    match ev with
+    | Peer_engine.Session_aborted { dst; reason; _ } ->
+      t.aborted <- t.aborted + 1;
+      Log.debug (fun m ->
+          m "peer %d: abandoning %s session with %d" i
+            (match reason with
+            | Peer_engine.Stalled -> "stalled"
+            | Peer_engine.Timed_out -> "timed-out")
+            dst)
+    | Peer_engine.Session_started _ | Peer_engine.Request_resent _
+    | Peer_engine.Session_completed _ | Peer_engine.Request_suppressed _
+    | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _ ->
+      ()
+  end
 
-let send_msg t ~src ~dst msg =
-  let b = Buffer.create 256 in
-  Reconcile.encode_message b msg;
-  Simnet.send t.net ~src ~dst (Buffer.contents b)
-
-let finish_session t i =
-  t.peers.(i).session <- None
+let step t i input =
+  let p = t.peers.(i) in
+  let now = Simnet.now t.net in
+  let dag = Node.dag p.node_ in
+  let engine, effects = Peer_engine.handle p.engine ~now ~dag input in
+  p.engine <- engine;
+  (match t.tap with Some f -> f ~peer:i ~now ~dag input effects | None -> ());
+  List.iter (apply_effect t i) effects
 
 let on_message t ~me ~from payload =
-  let p = t.peers.(me) in
-  match Wire.decode_string Reconcile.decode_message payload with
-  | None -> ()
-  | Some msg -> begin
-    match Reconcile.respond (serving_dag p) msg with
-    | Some reply ->
-      (* It was a request. Silent peers do not answer. *)
-      if p.behavior_ <> Silent then send_msg t ~src:me ~dst:from reply
-    | None -> begin
-      (* It is a reply: feed the active session, if it matches. *)
-      match p.session with
-      | Some (responder, _gen, session) when responder = from -> begin
-        p.last_activity <- Simnet.now t.net;
-        p.retries <- 0;
-        match Reconcile.handle_reply session (Node.dag p.node_) msg with
-        | Reconcile.Send next -> send_msg t ~src:me ~dst:from next
-        | Reconcile.Ignored -> ()
-        | Reconcile.Finished { new_blocks; stats } ->
-          finish_session t me;
-          t.total_stats <- Reconcile.add_stats t.total_stats stats;
-          t.completed <- t.completed + 1;
-          List.iter (feed t me) new_blocks
-      end
-      | Some _ | None -> ()
-    end
-  end
+  step t me (Peer_engine.Message_received { from; bytes = payload })
 
 let gossip_round t i =
   let p = t.peers.(i) in
-  (* A session with no recent progress retransmits its current request a
-     few times (the copy in flight, or its reply, may have been lost or be
-     slow); only after repeated silence is the session abandoned. *)
   let now = Simnet.now t.net in
-  (match p.session with
-  | Some (dst, _, session)
-    when now -. p.last_activity > max t.stale_after_ms (2. *. t.interval_ms) ->
-    if p.retries < 3 then begin
-      p.retries <- p.retries + 1;
-      p.last_activity <- now;
-      send_msg t ~src:i ~dst (Reconcile.current_request session)
-    end
-    else begin
-      Log.debug (fun m -> m "peer %d: abandoning stalled session with %d" i dst);
-      finish_session t i;
-      t.aborted <- t.aborted + 1
-    end
-  | Some _ | None -> ());
-  if p.behavior_ <> Silent && p.session = None && Simnet.is_awake t.net i then begin
-    match Topology.neighbors (Simnet.topo t.net) i with
-    | [] -> ()
-    | neighbors ->
-      let dst = Rng.pick (Simnet.rng t.net) neighbors in
-      let session, first = Reconcile.start t.mode (Node.dag p.node_) in
-      p.generation <- p.generation + 1;
-      p.session <- Some (dst, p.generation, session);
-      p.last_activity <- now;
-      let generation = p.generation in
-      Simnet.set_timer t.net ~node:i ~after:t.session_timeout_ms
-        ~tag:("timeout:" ^ string_of_int generation);
-      send_msg t ~src:i ~dst first
-  end
+  (* Draw a neighbor only when the engine will actually pull from one:
+     the entropy stream must match the engine's session state exactly
+     for seeded runs to replay (see Peer_engine.will_initiate). *)
+  let peer =
+    if Peer_engine.will_initiate p.engine ~now && Simnet.is_awake t.net i then
+      match Topology.neighbors (Simnet.topo t.net) i with
+      | [] -> None
+      | neighbors -> Some (Rng.pick (Simnet.rng t.net) neighbors)
+    else None
+  in
+  step t i (Peer_engine.Tick { peer })
 
 let on_timer t ~me ~tag =
-  if String.equal tag "gossip" then begin
+  match Peer_engine.timer_of_tag tag with
+  | Some Peer_engine.Gossip_round ->
     gossip_round t me;
-    Simnet.set_timer t.net ~node:me ~after:t.interval_ms ~tag:"gossip"
-  end
-  else
-    match String.index_opt tag ':' with
-    | Some i when String.sub tag 0 i = "timeout" -> begin
-      let generation = int_of_string (String.sub tag (i + 1) (String.length tag - i - 1)) in
-      match t.peers.(me).session with
-      | Some (_, g, _) when g = generation ->
-        finish_session t me;
-        t.aborted <- t.aborted + 1
-      | Some _ | None -> ()
-    end
-    | _ -> ()
+    Simnet.set_timer t.net ~node:me ~after:t.interval_ms ~tag
+  | Some (Peer_engine.Session_timeout _ as key) ->
+    step t me (Peer_engine.Timer_fired key)
+  | None -> ()
 
 let start t =
   Simnet.set_handlers t.net
@@ -224,7 +208,8 @@ let start t =
   Array.iteri
     (fun i _ ->
       let offset = Rng.float (Simnet.rng t.net) *. t.interval_ms in
-      Simnet.set_timer t.net ~node:i ~after:offset ~tag:"gossip")
+      Simnet.set_timer t.net ~node:i ~after:offset
+        ~tag:(Peer_engine.tag_of_timer Peer_engine.Gossip_round))
     t.peers
 
 let append t i ?location txs =
@@ -236,6 +221,7 @@ let append t i ?location txs =
     meter.Energy.hashes <- meter.Energy.hashes + 2;
     Hashtbl.replace t.births b.Block.hash (Simnet.now t.net);
     record_arrival t i b;
+    step t i (Peer_engine.Block_created b);
     Ok b
   | Error _ as e -> e
 
@@ -246,7 +232,11 @@ let receive t i b =
     (Option.value
        (Hashtbl.find_opt t.births b.Block.hash)
        ~default:(Simnet.now t.net));
-  feed t i b
+  feed t i b;
+  (* Externally injected blocks (genesis seeding) must also reach the
+     engine's withholding serving view. *)
+  if Dag.mem (Node.dag t.peers.(i).node_) b.Block.hash then
+    step t i (Peer_engine.Block_created b)
 
 let birth_time t h = Hashtbl.find_opt t.births h
 let arrival_time t ~peer h = Hashtbl.find_opt t.peers.(peer).arrivals h
@@ -274,3 +264,4 @@ let honest_converged t =
 let reconcile_stats t = t.total_stats
 let sessions_completed t = t.completed
 let sessions_aborted t = t.aborted
+let blocks_dropped t = t.dropped_blocks

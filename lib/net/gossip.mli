@@ -1,6 +1,19 @@
 (** The opportunistic gossip agent (§IV-G) running Vegvisir nodes over the
     {!Simnet} simulator.
 
+    This module is a {e thin transport adapter}: the whole protocol —
+    session lifecycle, retry/timeout policy, and the §IV-B adversary
+    behaviours — lives in the sans-IO
+    {!Vegvisir_engine.Peer_engine} state machine. The adapter feeds the
+    engine typed inputs (delivered frames, timer expiries, gossip ticks)
+    stamped with the simulated clock, and replays the engine's typed
+    effects onto the simulator: [Send] becomes {!Simnet.send}, [Set_timer]
+    becomes {!Simnet.set_timer} (via the typed-to-tag codec), [Deliver]
+    feeds the peer's {!Vegvisir.Node}, and [Session_done]/[Trace] feed the
+    statistics counters. Effect replay preserves the pre-refactor call
+    order, so a seeded run is byte- and schedule-identical to the old
+    welded-in agent.
+
     Each peer periodically picks a random physical neighbor and initiates a
     {!Vegvisir.Reconcile} pull session; replies stream back through the
     simulated radio and accepted blocks are validated and applied by the
@@ -9,9 +22,24 @@
     peer answers but serves only blocks it created itself (refusing to
     propagate others'); both can still be gossiped {e around}. *)
 
-type behavior = Honest | Silent | Withholding
+type behavior = Vegvisir_engine.Peer_engine.policy =
+  | Honest
+  | Silent
+  | Withholding
 
 type t
+
+type tap =
+  peer:int ->
+  now:float ->
+  dag:Vegvisir.Dag.t ->
+  Vegvisir_engine.Peer_engine.input ->
+  Vegvisir_engine.Peer_engine.effect_ list ->
+  unit
+(** Observation hook: called after every engine transition with the exact
+    (clock, DAG, input, effects) tuple. Because the engine is pure, a
+    recorded input sequence replayed into a fresh engine must reproduce
+    the recorded effects — the property the test suite asserts. *)
 
 val create :
   net:Simnet.t ->
@@ -21,6 +49,7 @@ val create :
   ?interval_ms:float ->
   ?stale_after_ms:float ->
   ?session_timeout_ms:float ->
+  ?tap:tap ->
   unit ->
   t
 (** One gossip peer per node; array sizes must match the topology. *)
@@ -62,3 +91,7 @@ val reconcile_stats : t -> Vegvisir.Reconcile.stats
 
 val sessions_completed : t -> int
 val sessions_aborted : t -> int
+
+val blocks_dropped : t -> int
+(** Received blocks discarded because a peer's transient buffer (blocks
+    awaiting missing ancestry) was full — previously a silent drop. *)

@@ -23,7 +23,7 @@ let make_signer kind i =
   | Mss h -> Signer.mss ~height:h ~seed:(Printf.sprintf "peer-seed-%d" i) ()
 
 let build ?(seed = 1L) ?(link = Link.default) ?behaviors ?(mode = `Naive)
-    ?(interval_ms = 1000.) ?stale_after_ms ?session_timeout_ms
+    ?(interval_ms = 1000.) ?stale_after_ms ?session_timeout_ms ?tap
     ?(signer = Oracle) ?role_of ?(init_crdts = []) ~topo () =
   let n = Topology.size topo in
   if n = 0 then invalid_arg "Scenario.build: empty topology";
@@ -57,7 +57,7 @@ let build ?(seed = 1L) ?(link = Link.default) ?behaviors ?(mode = `Naive)
   let net = Simnet.create ~topo ~link ~seed in
   let gossip =
     Gossip.create ~net ~nodes ?behaviors ~mode ~interval_ms ?stale_after_ms
-      ?session_timeout_ms ()
+      ?session_timeout_ms ?tap ()
   in
   Array.iteri (fun i _ -> Gossip.receive gossip i genesis) nodes;
   { net; gossip; genesis; certs; started = false }

@@ -29,6 +29,7 @@ val build :
   ?interval_ms:float ->
   ?stale_after_ms:float ->
   ?session_timeout_ms:float ->
+  ?tap:Gossip.tap ->
   ?signer:signer_kind ->
   ?role_of:(int -> string) ->
   ?init_crdts:(string * Vegvisir_crdt.Schema.spec) list ->

@@ -111,6 +111,64 @@ let corruption_detected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "double init accepted"
 
+(* Live socket sync: two divergent file-backed replicas reconcile over a
+   real loopback connection. The listener binds an ephemeral port before
+   the fork so the client cannot race it; the child serves one exchange
+   and exits without running at_exit (Alcotest must not report twice). *)
+let live_sync () =
+  let ca = init "ca5" in
+  let bob_dir = fresh_dir "bob5" in
+  let bob = Result.get_ok (Node_store.enroll ~ca_dir:ca.Node_store.dir ~dir:bob_dir
+      ~seed:"bob5-seed" ~height:4 ~role:"member" ()) in
+  let ca = Result.get_ok (Node_store.load ~dir:ca.Node_store.dir) in
+  let _ = Result.get_ok (Node_store.append ca ~crdt:"log" ~op:"add" [ Value.String "from-ca" ]) in
+  let _ = Result.get_ok (Node_store.append bob ~crdt:"log" ~op:"add" [ Value.String "from-bob" ]) in
+  let listener = Result.get_ok (Unix_compat.listen ~port:0 ()) in
+  let port = Unix_compat.bound_port listener in
+  match Unix.fork () with
+  | 0 ->
+    let ok =
+      match Unix_compat.accept ~timeout_s:10. listener with
+      | Ok conn ->
+        let r = Live_sync.serve_conn ~store:bob conn in
+        Unix_compat.close_conn conn;
+        Result.is_ok r
+      | Error _ -> false
+    in
+    Unix._exit (if ok then 0 else 1)
+  | child ->
+    let report =
+      match Unix_compat.connect ~host:"127.0.0.1" ~port with
+      | Error e -> Error e
+      | Ok conn ->
+        let r = Live_sync.pull_conn ~store:ca conn in
+        Unix_compat.close_conn conn;
+        r
+    in
+    Unix_compat.close_listener listener;
+    let _, status = Unix.waitpid [] child in
+    check_b "server exchange succeeded" true (status = Unix.WEXITED 0);
+    (match report with
+     | Error e -> Alcotest.failf "pull failed: %s" e
+     | Ok r ->
+       check_b "pulled bob's block" true (r.Live_sync.pulled.V.Reconcile.blocks_received >= 1);
+       check_b "answered the pull back" true (r.Live_sync.served >= 1));
+    (* Both directories were saved by their own endpoint; reload from disk
+       and check the replicas converged to the same frontier and state. *)
+    let ca = Result.get_ok (Node_store.load ~dir:ca.Node_store.dir) in
+    let bob = Result.get_ok (Node_store.load ~dir:bob.Node_store.dir) in
+    check_b "equal frontiers" true
+      (V.Hash_id.Set.equal
+         (V.Dag.frontier (V.Node.dag ca.Node_store.node))
+         (V.Dag.frontier (V.Node.dag bob.Node_store.node)));
+    List.iter
+      (fun (store, entry) ->
+         match V.Csm.query (V.Node.csm store.Node_store.node) ~crdt:"log"
+                 ~op:"mem" [ Value.String entry ] with
+         | Ok (Value.Bool true) -> ()
+         | _ -> Alcotest.failf "%s missing after live sync" entry)
+      [ (ca, "from-bob"); (bob, "from-ca"); (ca, "from-ca"); (bob, "from-bob") ]
+
 let () =
   Random.self_init ();
   Alcotest.run "cli"
@@ -121,5 +179,6 @@ let () =
           Alcotest.test_case "enroll and sync" `Quick enroll_and_sync;
           Alcotest.test_case "key rotation" `Quick key_rotation;
           Alcotest.test_case "corruption" `Quick corruption_detected;
+          Alcotest.test_case "live socket sync" `Quick live_sync;
         ] );
     ]

@@ -78,6 +78,9 @@ let test_poly_compare () =
 let test_unordered_iteration () =
   check_fires "no-unordered-iteration" "lib/experiments/exp_energy.ml"
     "let f h = Hashtbl.iter (fun _ _ -> ()) h";
+  (* The engine's effect lists must replay identically everywhere. *)
+  check_fires "no-unordered-iteration" "lib/engine/peer_engine.ml"
+    "let f h = Hashtbl.fold (fun _ v acc -> v :: acc) h []";
   check_fires "no-unordered-iteration" "lib/core/wire.ml"
     "let f h = Hashtbl.fold (fun _ v acc -> v :: acc) h []";
   check_fires "no-unordered-iteration" "lib/net/metrics.ml"
@@ -99,6 +102,38 @@ let test_partial_stdlib () =
     "let f l = List.hd l";
   check_silent "lib/net/link.ml"
     "let f l = Option.value (List.nth_opt l 0) ~default:0"
+
+let test_engine_purity () =
+  (* Value identifiers from transport/OS modules. *)
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    "let f net = Simnet.send net 0";
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    "let f () = Unix.sleep 1";
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    "let f net = Vegvisir_net.Simnet.now net";
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    "let t () = Unix_compat.now ()";
+  (* Module expressions: opens and aliases count as dependencies too. *)
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    "open Vegvisir_net\nlet x = 1";
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    "module S = Simnet\nlet x = 1";
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    "let f () = let open Unix_compat in now ()";
+  (* Console output must leave as a Trace effect instead. *)
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    {|let f () = print_endline "dbg"|};
+  check_fires "engine-transport-purity" "lib/engine/peer_engine.ml"
+    {|let f () = Printf.printf "%d" 1|};
+  (* The chain core and pure pretty-printing stay legal. *)
+  check_silent "lib/engine/peer_engine.ml"
+    "open Vegvisir\nlet f ppf = Fmt.pf ppf \"ok\"";
+  (* The rule scopes to lib/engine only: transports obviously may use
+     transports. *)
+  check_silent ~rule:"engine-transport-purity" "lib/net/gossip.ml"
+    "let f net = Simnet.send net 0";
+  check_silent ~rule:"engine-transport-purity" "lib/cli/live_sync.ml"
+    "let t () = Unix_compat.now ()"
 
 let test_suppression () =
   (* Same-line suppression. *)
@@ -186,6 +221,7 @@ let () =
           Alcotest.test_case "no-unordered-iteration" `Quick
             test_unordered_iteration;
           Alcotest.test_case "no-partial-stdlib" `Quick test_partial_stdlib;
+          Alcotest.test_case "engine-transport-purity" `Quick test_engine_purity;
           Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
         ] );
       ( "machinery",
