@@ -21,6 +21,7 @@ module V = Vegvisir
 module Crypto = Vegvisir_crypto
 module Value = Vegvisir_crdt.Value
 module Schema = Vegvisir_crdt.Schema
+module Obs = Vegvisir_obs
 
 (* ------------------------------------------------------------------ *)
 (* Fixtures (built once, outside the timed regions)                     *)
@@ -205,9 +206,55 @@ let tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* M8-obs: telemetry overhead (also snapshotted to BENCH_obs.json)      *)
+
+(* The emit path below is the full production pipeline: bus fan-out to
+   the trace collector, the stats deriver, and a ring sink. *)
+let obs_ctx =
+  let ctx = Obs.Context.create () in
+  let ring = Obs.Sink.Ring.create ~capacity:1024 in
+  Obs.Context.attach ctx (Obs.Sink.Ring.sink ring);
+  ctx
+
+(* A Net event: derived into counters, skipped by the trace collector —
+   so the timed loop does not grow a block span without bound. *)
+let obs_net_event = Obs.Event.Net_sent { src = "0"; dst = "1"; bytes = 512 }
+
+let obs_block_event =
+  Obs.Event.Block
+    {
+      node = "0";
+      phase = Obs.Event.Delivered;
+      block = genesis.V.Block.hash;
+      peer = Some "1";
+    }
+
+let obs_registry = Obs.Registry.create ()
+let obs_counter = Obs.Registry.counter obs_registry ~node:"0" "bench.counter"
+
+let obs_hist =
+  Obs.Registry.histogram obs_registry ~node:"0"
+    ~buckets:[ 1.; 5.; 10.; 50.; 100.; 500.; 1000. ]
+    "bench.hist"
+
+let obs_tests =
+  Test.make_grouped ~name:"M8-obs"
+    [
+      Test.make ~name:"bus-emit"
+        (stage (fun () -> Obs.Context.emit obs_ctx ~ts:1. obs_net_event));
+      Test.make ~name:"registry-counter-incr"
+        (stage (fun () -> Obs.Registry.incr obs_counter));
+      Test.make ~name:"registry-histogram-observe"
+        (stage (fun () -> Obs.Registry.observe obs_hist 42.));
+      Test.make ~name:"event-to-json"
+        (stage (fun () -> Obs.Event.to_json ~ts:12.5 obs_block_event));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner: OLS estimate of ns/run per test, plain-text table            *)
 
-let run_micro () =
+(* OLS ns/run per test in a group, as [(name, ns, r2)] rows. *)
+let estimate test =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -215,21 +262,50 @@ let run_micro () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
-  print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.map
+    (fun (name, r) ->
+      let ns =
+        match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+      in
+      let r2 = Option.value (Analyze.OLS.r_square r) ~default:nan in
+      (name, ns, r2))
+    (List.sort compare rows)
+
+let print_rows rows =
   List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-      List.iter
-        (fun (name, r) ->
-          let ns =
-            match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
-          in
-          let r2 = Option.value (Analyze.OLS.r_square r) ~default:nan in
-          Printf.printf "  %-42s %14.1f ns/run   (r2=%.3f)\n" name ns r2)
-        (List.sort compare rows))
-    tests;
+    (fun (name, ns, r2) ->
+      Printf.printf "  %-42s %14.1f ns/run   (r2=%.3f)\n" name ns r2)
+    rows
+
+(* The instrumentation-overhead snapshot tracked across PRs: ops/sec is
+   derived from the OLS ns/run estimate, so no extra clock reads. *)
+let write_bench_obs rows =
+  let oc = open_out "BENCH_obs.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"benchmark\": \"M8-obs\",\n  \"results\": [";
+      List.iteri
+        (fun i (name, ns, r2) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "\n    {\"name\": %s, \"ns_per_op\": %.1f, \"ops_per_sec\": %.0f, \
+             \"r2\": %.4f}"
+            (Obs.Event.json_string name)
+            ns (1e9 /. ns) r2)
+        rows;
+      output_string oc "\n  ]\n}\n");
+  Printf.printf "  (snapshot written to BENCH_obs.json)\n"
+
+let run_micro () =
+  print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
+  List.iter (fun test -> print_rows (estimate test)) tests;
+  let obs_rows = estimate obs_tests in
+  print_rows obs_rows;
+  write_bench_obs obs_rows;
   print_newline ()
 
 let () =

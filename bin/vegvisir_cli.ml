@@ -241,6 +241,73 @@ let export_dot_cmd =
   Cmd.v (Cmd.info "export-dot" ~doc:"Print the DAG in Graphviz format.")
     Term.(const run $ dir_arg)
 
+(* Telemetry commands: replay the node directories' trace.jsonl files
+   into a fresh observability context. Events are merged in timestamp
+   order (ties keep the --dir order), so the same directories always
+   render the same output. *)
+
+let dirs_arg =
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"Node directory; repeat to merge several nodes' telemetry.")
+
+let replay_dirs dirs =
+  let events =
+    List.concat_map (fun dir -> Vegvisir_cli.Node_store.load_trace ~dir) dirs
+    |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+  in
+  let ctx = Vegvisir_obs.Context.create () in
+  List.iter (fun (ts, ev) -> Vegvisir_obs.Context.emit ctx ~ts ev) events;
+  ctx
+
+let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Render the registry as JSON.")
+  in
+  let run dirs json =
+    let ctx = replay_dirs dirs in
+    let snap = Vegvisir_obs.Registry.snapshot (Vegvisir_obs.Context.registry ctx) in
+    if snap = [] then print_endline "(no telemetry recorded)"
+    else
+      print_string
+        (if json then Vegvisir_obs.Registry.render_json snap
+         else Vegvisir_obs.Registry.render_text snap)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Dump the metric registry rebuilt from the directories' \
+             trace.jsonl telemetry (counters per node: blocks, sessions, \
+             syncs, stores).")
+    Term.(const run $ dirs_arg $ json)
+
+let trace_cmd =
+  let block =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BLOCK" ~doc:"Block id (hex, prefix accepted).")
+  in
+  let run block dirs =
+    let ctx = replay_dirs dirs in
+    let trace = Vegvisir_obs.Context.trace ctx in
+    match Vegvisir_obs.Trace.find trace block with
+    | [] -> or_die (Error ("no trace entries for block " ^ block))
+    | [ id ] -> print_string (Vegvisir_obs.Trace.render trace id)
+    | ids ->
+      Printf.printf "prefix %s is ambiguous:\n" block;
+      List.iter
+        (fun id -> Printf.printf "  %s\n" (Vegvisir.Hash_id.to_hex id))
+        ids;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print a block's causal timeline (created/sent/received/\
+             delivered, with node ids and times) merged from the \
+             directories' trace.jsonl telemetry.")
+    Term.(const run $ block $ dirs_arg)
+
 let () =
   let info =
     Cmd.info "vegvisir-cli" ~doc:"File-backed Vegvisir blockchain nodes"
@@ -249,4 +316,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ init_cmd; enroll_cmd; append_cmd; sync_cmd; serve_cmd; show_cmd;
-            verify_cmd; export_dot_cmd; simulate_cmd; rotate_cmd ]))
+            verify_cmd; export_dot_cmd; simulate_cmd; rotate_cmd; stats_cmd;
+            trace_cmd ]))

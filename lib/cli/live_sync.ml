@@ -18,6 +18,7 @@
 
 open Vegvisir
 module Peer_engine = Vegvisir_engine.Peer_engine
+module Obs = Vegvisir_obs
 
 let ( let* ) = Result.bind
 
@@ -37,7 +38,9 @@ let serve_timeout_s = 30.
 
 type driver = {
   conn : Unix_compat.conn;
+  store : Node_store.t;
   node : Node.t;
+  me : string;  (* telemetry identity, Hash_id.short of the user id *)
   mutable engine : Peer_engine.t;
   mutable deadline : (Peer_engine.timer_key * float) option;
       (* pending Session_timeout: (key, absolute ms) *)
@@ -47,11 +50,19 @@ type driver = {
   mutable failed : string option;
 }
 
+(* The far endpoint's telemetry identity. A point-to-point frame carries
+   no node id, so traces name it "remote"; when two directories' trace
+   files are merged, the block hashes — not the peer labels — stitch the
+   timelines together. *)
+let remote_name = "remote"
+
 let make ~(store : Node_store.t) ~mode conn =
   let node = store.Node_store.node in
   {
     conn;
+    store;
     node;
+    me = Node_store.node_name store;
     engine =
       Peer_engine.create ~mode ~stale_after_ms:2_000. ~session_timeout_ms:20_000.
         ~user_id:(Node.user_id node) ~dag:(Node.dag node) ();
@@ -61,6 +72,9 @@ let make ~(store : Node_store.t) ~mode conn =
     aborted = None;
     failed = None;
   }
+
+let block_event d phase ?peer (h : Hash_id.t) =
+  Obs.Event.Block { node = d.me; phase; block = h; peer }
 
 (* Blocks arriving now may be stamped slightly ahead of our clock; admit
    the same skew the validation layer tolerates (as Node_store.sync). *)
@@ -83,15 +97,60 @@ let apply d (eff : Peer_engine.effect_) =
     (* The gossip cadence is host-driven here: one pull per invocation. *)
     ()
   | Peer_engine.Deliver blocks ->
+    Node_store.record_all d.store
+      (List.map
+         (fun (b : Block.t) ->
+           block_event d Obs.Event.Received ~peer:remote_name b.Block.hash)
+         blocks);
     Node.receive_all d.node ~now:(apply_ts ()) blocks;
+    (* Anything now resident passed validation and was applied. *)
+    let dag = Node.dag d.node in
+    Node_store.record_all d.store
+      (List.concat_map
+         (fun (b : Block.t) ->
+           if Dag.mem dag b.Block.hash then
+             [
+               block_event d Obs.Event.Validated b.Block.hash;
+               block_event d Obs.Event.Delivered b.Block.hash;
+             ]
+           else [])
+         blocks);
     d.delivered <- d.delivered + List.length blocks
   | Peer_engine.Session_done stats -> d.pulled <- Some stats
   | Peer_engine.Trace ev -> begin
     match ev with
-    | Peer_engine.Session_aborted { reason; _ } -> d.aborted <- Some reason
-    | Peer_engine.Session_started _ | Peer_engine.Request_resent _
-    | Peer_engine.Session_completed _ | Peer_engine.Request_suppressed _
-    | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _ ->
+    | Peer_engine.Session_aborted { generation; reason; _ } ->
+      d.aborted <- Some reason;
+      Node_store.record d.store
+        (Obs.Event.Session_aborted
+           {
+             node = d.me;
+             peer = remote_name;
+             generation;
+             reason =
+               (match reason with
+               | Peer_engine.Stalled -> Obs.Event.Stalled
+               | Peer_engine.Timed_out -> Obs.Event.Timed_out);
+           })
+    | Peer_engine.Session_started { generation; _ } ->
+      Node_store.record d.store
+        (Obs.Event.Session_started
+           { node = d.me; peer = remote_name; generation })
+    | Peer_engine.Request_resent { generation; attempt; _ } ->
+      Node_store.record d.store
+        (Obs.Event.Request_resent
+           { node = d.me; peer = remote_name; generation; attempt })
+    | Peer_engine.Session_completed { generation; blocks; _ } ->
+      Node_store.record d.store
+        (Obs.Event.Session_completed
+           { node = d.me; peer = remote_name; generation; blocks })
+    | Peer_engine.Blocks_served { blocks; _ } ->
+      Node_store.record_all d.store
+        (List.map
+           (fun h -> block_event d Obs.Event.Sent ~peer:remote_name h)
+           blocks)
+    | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
+    | Peer_engine.Decode_failed _ ->
       ()
   end
 
@@ -175,23 +234,30 @@ let serve_phase d =
   in
   loop 0
 
-let finish ~(store : Node_store.t) ~pulled ~delivered ~served =
+let finish d ~(store : Node_store.t) ~pulled ~delivered ~served =
+  Node_store.record store
+    (Obs.Event.Sync_completed
+       { node = d.me; peer = remote_name; pulled = delivered; served });
   let* () = Node_store.save store in
   Ok { pulled; delivered; served }
 
 let pull_conn ~store ?(mode = `Naive) conn =
   let d = make ~store ~mode conn in
+  Node_store.record store
+    (Obs.Event.Sync_started { node = d.me; peer = remote_name });
   let* pulled = pull_phase d in
   let* () = Unix_compat.send_frame conn "" in
   let* served = serve_phase d in
-  finish ~store ~pulled ~delivered:d.delivered ~served
+  finish d ~store ~pulled ~delivered:d.delivered ~served
 
 let serve_conn ~store ?(mode = `Naive) conn =
   let d = make ~store ~mode conn in
+  Node_store.record store
+    (Obs.Event.Sync_started { node = d.me; peer = remote_name });
   let* served = serve_phase d in
   let* pulled = pull_phase d in
   let* () = Unix_compat.send_frame conn "" in
-  finish ~store ~pulled ~delivered:d.delivered ~served
+  finish d ~store ~pulled ~delivered:d.delivered ~served
 
 let pull ~store ?mode ~host ~port () =
   let* conn = Unix_compat.connect ~host ~port in

@@ -1,10 +1,52 @@
 open Vegvisir
 module Schema = Vegvisir_crdt.Schema
+module Obs = Vegvisir_obs
 
 type t = { dir : string; node : Node.t; ca_cert : Certificate.t }
 
 let ( let* ) = Result.bind
 let ( // ) = Filename.concat
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: every node directory keeps an append-only trace.jsonl of
+   observability events, timestamped with the sanctioned host clock
+   (Unix_compat). `vegvisir-cli stats` and `vegvisir-cli trace` replay
+   these files; merging the files of two synced directories yields a
+   block's full cross-node causal timeline. Recording is best-effort —
+   a read-only filesystem must not break the actual operation. *)
+
+let trace_file = "trace.jsonl"
+let trace_path t = t.dir // trace_file
+let node_name t = Hash_id.short (Node.user_id t.node)
+
+let record_all t events =
+  match events with
+  | [] -> ()
+  | _ :: _ -> begin
+    let ts = Unix_compat.now_ms () in
+    match
+      Out_channel.with_open_gen
+        [ Open_wronly; Open_append; Open_creat ]
+        0o644 (trace_path t)
+        (fun oc ->
+          List.iter
+            (fun ev ->
+              Out_channel.output_string oc (Obs.Event.to_json ~ts ev);
+              Out_channel.output_string oc "\n")
+            events)
+    with
+    | () -> ()
+    | exception Sys_error _ -> ()
+  end
+
+let record t ev = record_all t [ ev ]
+
+let load_trace ~dir =
+  match In_channel.with_open_bin (dir // trace_file) In_channel.input_all with
+  | exception Sys_error _ -> []
+  | contents ->
+    String.split_on_char '\n' contents
+    |> List.filter_map Obs.Event.of_json
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -58,8 +100,15 @@ let registry : (string, Signer.t * int * string) Hashtbl.t = Hashtbl.create 8
 let save t =
   match Hashtbl.find_opt registry t.dir with
   | None -> Error "node not registered (load or init first)"
-  | Some (signer, height, seed) ->
-    save_parts ~dir:t.dir ~node:t.node ~ca_cert:t.ca_cert ~signer ~height ~seed
+  | Some (signer, height, seed) -> begin
+    match save_parts ~dir:t.dir ~node:t.node ~ca_cert:t.ca_cert ~signer ~height ~seed with
+    | Ok () ->
+      record t
+        (Obs.Event.Store_saved
+           { node = node_name t; blocks = Dag.cardinal (Node.dag t.node) });
+      Ok ()
+    | Error _ as e -> e
+  end
 
 let exists dir = Sys.file_exists (dir // "chain.dag")
 
@@ -87,6 +136,14 @@ let init ~dir ~seed ?(height = 10) ?(role = "ca") ?(init_crdts = []) () =
     | Node.Accepted ->
       Hashtbl.replace registry dir (signer, height, seed);
       let t = { dir; node; ca_cert = cert } in
+      record t
+        (Obs.Event.Block
+           {
+             node = node_name t;
+             phase = Obs.Event.Created;
+             block = genesis.Block.hash;
+             peer = None;
+           });
       let* () = save t in
       Ok t
     | (Node.Duplicate | Node.Buffered _ | Node.Rejected _) as r ->
@@ -117,7 +174,11 @@ let load ~dir =
         ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
         (Dag.topo_order dag);
       Hashtbl.replace registry dir (signer, height, seed);
-      Ok { dir; node; ca_cert }
+      let t = { dir; node; ca_cert } in
+      record t
+        (Obs.Event.Store_loaded
+           { node = node_name t; blocks = Dag.cardinal (Node.dag node) });
+      Ok t
     end
   end
 
@@ -155,6 +216,14 @@ let append t ~crdt ~op args =
     match Node.append t.node ~now:(now_ts ()) [ tx ] with
     | Error e -> Error (Fmt.str "%a" Node.pp_append_error e)
     | Ok block ->
+      record t
+        (Obs.Event.Block
+           {
+             node = node_name t;
+             phase = Obs.Event.Created;
+             block = block.Block.hash;
+             peer = None;
+           });
       let* () = save t in
       Ok block
   end
@@ -186,12 +255,35 @@ let rotate ~ca_dir ~dir ~seed ?(height = 10) () =
       Ok t)
 
 let sync t ~from ~mode =
+  let peer = node_name from in
+  record t (Obs.Event.Sync_started { node = node_name t; peer });
+  let mine = Node.dag t.node in
   let merged, stats =
     Reconcile.sync_dags mode (Node.dag t.node) (Node.dag from.node)
+  in
+  let fresh =
+    List.filter
+      (fun (b : Block.t) -> not (Dag.mem mine b.Block.hash))
+      (Dag.topo_order merged)
   in
   Node.receive_all t.node
     ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
     (Dag.topo_order merged);
+  let me = node_name t in
+  record_all t
+    (List.concat_map
+       (fun (b : Block.t) ->
+         let h = b.Block.hash in
+         [
+           Obs.Event.Block
+             { node = me; phase = Obs.Event.Received; block = h; peer = Some peer };
+           Obs.Event.Block
+             { node = me; phase = Obs.Event.Delivered; block = h; peer = None };
+         ])
+       fresh);
+  record t
+    (Obs.Event.Sync_completed
+       { node = me; peer; pulled = List.length fresh; served = 0 });
   (match save t with Ok () -> () | Error _ -> ());
   stats
 

@@ -77,3 +77,30 @@ val summary : t -> string
 (** Human-readable status: block counts, frontier, CRDT contents. *)
 
 val export_dot : t -> string
+
+(** {1 Telemetry}
+
+    Every node directory keeps an append-only [trace.jsonl] of
+    {!Vegvisir_obs.Event} records, timestamped with the host clock.
+    Store operations (init, load, save, append, sync) record themselves;
+    the live-sync driver records block and session events. The
+    [vegvisir-cli stats] and [vegvisir-cli trace] commands replay these
+    files — merging two synced directories' files reconstructs a block's
+    full cross-node causal timeline. *)
+
+val node_name : t -> string
+(** This node's telemetry identity: {!Vegvisir.Hash_id.short} of its
+    user id. *)
+
+val trace_path : t -> string
+
+val record : t -> Vegvisir_obs.Event.t -> unit
+(** Append one event to the directory's [trace.jsonl], stamped with the
+    current host time. Best-effort: write failures are swallowed so
+    telemetry can never break the underlying operation. *)
+
+val record_all : t -> Vegvisir_obs.Event.t list -> unit
+
+val load_trace : dir:string -> (float * Vegvisir_obs.Event.t) list
+(** Decode a directory's [trace.jsonl]; [[]] if absent. Malformed lines
+    are skipped. *)

@@ -254,6 +254,12 @@ let advance_commit t p =
 
 let become_leader t p =
   Log.info (fun m -> m "peer %d becomes leader of term %d" p.id p.term);
+  (match Simnet.obs t.net with
+  | Some obs ->
+    Vegvisir_obs.Context.emit obs ~ts:(Simnet.now t.net)
+      (Vegvisir_obs.Event.Leader_elected
+         { node = string_of_int p.id; term = p.term })
+  | None -> ());
   p.role <- Leader;
   p.leader_hint <- Some p.id;
   p.next_index <-

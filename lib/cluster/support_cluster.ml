@@ -9,14 +9,21 @@ type t = {
 let create ?config ~net ~ids () =
   let chains = Hashtbl.create 8 in
   List.iter (fun id -> Hashtbl.replace chains id (ref Support.empty)) ids;
-  let apply ~me ~index:_ cmd =
+  let apply ~me ~index cmd =
     match Block.of_string cmd with
     | None -> () (* unreachable with honest superpeers; ignore garbage *)
     | Some block ->
       let chain = Hashtbl.find chains me in
       if not (Support.contains !chain block.Block.hash) then begin
         match Support.append !chain block with
-        | Ok c -> chain := c
+        | Ok c ->
+          chain := c;
+          (match Vegvisir_net.Simnet.obs net with
+          | Some obs ->
+            Vegvisir_obs.Context.emit obs ~ts:(Vegvisir_net.Simnet.now net)
+              (Vegvisir_obs.Event.Block_archived
+                 { node = string_of_int me; block = block.Block.hash; index })
+          | None -> ())
         | Error _ -> ()
       end
   in

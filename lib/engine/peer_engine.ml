@@ -37,6 +37,7 @@ type event =
   | Request_suppressed of { src : int }
   | Reply_ignored of { from : int }
   | Decode_failed of { from : int }
+  | Blocks_served of { dst : int; blocks : Hash_id.t list }
 
 type effect_ =
   | Send of { dst : int; bytes : string }
@@ -212,6 +213,20 @@ let on_reply t ~now ~dag ~from msg =
     end
   | Some _ | None -> (t, [ Trace (Reply_ignored { from }) ])
 
+(* Block payloads a reply ships to the requesting peer — this is the
+   only place the engine parts with block data, so the [Blocks_served]
+   trace emitted alongside the reply is the ground truth for the "sent"
+   phase of a block's causal timeline. *)
+let served_blocks = function
+  | Reconcile.Frontier_reply { blocks; _ }
+  | Reconcile.Sync_reply { blocks }
+  | Reconcile.Bloom_reply { blocks }
+  | Reconcile.Blocks_reply { blocks } ->
+    List.map (fun (b : Block.t) -> b.Block.hash) blocks
+  | Reconcile.Frontier_request _ | Reconcile.Sync_request _
+  | Reconcile.Bloom_request _ | Reconcile.Blocks_request _ ->
+    []
+
 let on_message t ~now ~dag ~from bytes =
   match Wire.decode_string Reconcile.decode_message bytes with
   | None -> (t, [ Trace (Decode_failed { from }) ])
@@ -220,7 +235,13 @@ let on_message t ~now ~dag ~from bytes =
     | Some reply ->
       (* It was a request. Silent peers do not answer. *)
       if t.policy_ = Silent then (t, [ Trace (Request_suppressed { src = from }) ])
-      else (t, [ Send { dst = from; bytes = encode reply } ])
+      else
+        let serving =
+          match served_blocks reply with
+          | [] -> []
+          | blocks -> [ Trace (Blocks_served { dst = from; blocks }) ]
+        in
+        (t, (Send { dst = from; bytes = encode reply } :: serving))
     | None -> on_reply t ~now ~dag ~from msg
   end
 
@@ -268,9 +289,11 @@ let event_equal a b =
   | Request_suppressed a, Request_suppressed b -> Int.equal a.src b.src
   | Reply_ignored a, Reply_ignored b -> Int.equal a.from b.from
   | Decode_failed a, Decode_failed b -> Int.equal a.from b.from
+  | Blocks_served a, Blocks_served b ->
+    Int.equal a.dst b.dst && List.equal Hash_id.equal a.blocks b.blocks
   | ( ( Session_started _ | Request_resent _ | Session_completed _
       | Session_aborted _ | Request_suppressed _ | Reply_ignored _
-      | Decode_failed _ ),
+      | Decode_failed _ | Blocks_served _ ),
       _ ) ->
     false
 
@@ -302,6 +325,8 @@ let pp_event ppf = function
   | Request_suppressed { src } -> Fmt.pf ppf "request-suppressed(src=%d)" src
   | Reply_ignored { from } -> Fmt.pf ppf "reply-ignored(from=%d)" from
   | Decode_failed { from } -> Fmt.pf ppf "decode-failed(from=%d)" from
+  | Blocks_served { dst; blocks } ->
+    Fmt.pf ppf "blocks-served(dst=%d %d blocks)" dst (List.length blocks)
 
 let pp_effect ppf = function
   | Send { dst; bytes } -> Fmt.pf ppf "send(dst=%d %dB)" dst (String.length bytes)

@@ -85,6 +85,9 @@ type event =
       (** a reply with no matching session (stale, duplicated, or
           reordered past its session's end) *)
   | Decode_failed of { from : int }
+  | Blocks_served of { dst : int; blocks : Hash_id.t list }
+      (** a reply just sent to [dst] shipped these block payloads — the
+          ground truth for the "sent" phase of a block's causal trace *)
 
 type effect_ =
   | Send of { dst : int; bytes : string }  (** transmit one frame *)

@@ -76,4 +76,5 @@ let run ?(quick = false) () =
         "bidirectional sync (two pulls); redundant = re-received blocks";
         "bloom requests are ~10 bits per held block at 1% false-positive rate";
       ];
+    registry = [];
   }

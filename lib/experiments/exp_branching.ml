@@ -135,4 +135,5 @@ let run ?(quick = false) () =
         "width = frontier size of the union of all 8 replicas (the chain \
          itself, as in Fig. 1); appends every 1s per peer";
       ];
+    registry = [];
   }

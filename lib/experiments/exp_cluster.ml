@@ -99,4 +99,5 @@ let run ?(quick = false) () =
         "server-grade links (5 ms, 8 Mbit/s, 1% loss); 150 ms election timeout";
         "failover = old leader isolated until a survivor leads";
       ];
+    registry = [];
   }

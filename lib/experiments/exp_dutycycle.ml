@@ -3,12 +3,12 @@ module V = Vegvisir
 
 let n = 8
 
-let run_duty ~scale ~awake_fraction =
+let run_duty ~scale ~obs ~awake_fraction =
   let ms x = x *. scale in
   let topo = Topology.clique ~n in
   let fleet =
     Scenario.build ~seed:111L ~topo ~interval_ms:(ms 700.)
-      ~stale_after_ms:(ms 2_000.)
+      ~stale_after_ms:(ms 2_000.) ~obs
       ~init_crdts:[ ("log", Workload.log_spec) ]
       ()
   in
@@ -76,6 +76,7 @@ let run_duty ~scale ~awake_fraction =
 let run ?(quick = false) () =
   let fractions = if quick then [ 1.0; 0.25 ] else [ 1.0; 0.5; 0.25; 0.1 ] in
   let scale = if quick then 0.35 else 1.0 in
+  let obs = Vegvisir_obs.Context.create () in
   {
     Report.id = "E11";
     title = "Duty-cycled radios: energy vs staleness";
@@ -85,7 +86,7 @@ let run ?(quick = false) () =
        of propagation delay";
     header =
       [ "awake"; "mean delay (s)"; "p95 (s)"; "mJ/peer"; "coverage" ];
-    rows = List.map (fun f -> run_duty ~scale ~awake_fraction:f) fractions;
+    rows = List.map (fun f -> run_duty ~scale ~obs ~awake_fraction:f) fractions;
     notes =
       [
         "8-peer clique, 12 blocks, 4 s sleep period, randomized wake offsets \
@@ -94,4 +95,7 @@ let run ?(quick = false) () =
          peers - wake-schedule gossip would reclaim it";
         "tail runs until full dissemination (capped at 20 min simulated)";
       ];
+    registry =
+      Vegvisir_obs.Registry.aggregate
+        (Vegvisir_obs.Registry.snapshot (Vegvisir_obs.Context.registry obs));
   }

@@ -121,4 +121,5 @@ let run ?(quick = false) () =
           n (duration /. 1000.) (tx_every /. 1000.);
         "committed = blocks in every replica (Vegvisir) / txs on main chain (PoW)";
       ];
+    registry = [];
   }

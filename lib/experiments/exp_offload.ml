@@ -77,4 +77,5 @@ let run ?(quick = false) () =
         "4 peers appending ~180-byte sensor records; prune checked every 0.5 s";
         "uploads counts per-peer prunes (peers archive independently)";
       ];
+    registry = [];
   }

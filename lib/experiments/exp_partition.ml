@@ -112,4 +112,5 @@ let run ?(quick = false) () =
         "baseline txs on the losing branch are not re-mined (no mempool \
          rebroadcast), matching the paper's double-spend anecdote (§I)";
       ];
+    registry = [];
   }

@@ -1,13 +1,13 @@
 open Vegvisir_net
 module V = Vegvisir
 
-let run_one ~scale ~topo_name ~topo ~loss =
+let run_one ~scale ~obs ~topo_name ~topo ~loss =
   let ms x = x *. scale in
   let n = Topology.size topo in
   let link = Link.make ~loss () in
   let fleet =
     Scenario.build ~seed:21L ~link ~topo ~interval_ms:(ms 800.)
-      ~stale_after_ms:(ms 2_000.) ~session_timeout_ms:(ms 20_000.)
+      ~stale_after_ms:(ms 2_000.) ~session_timeout_ms:(ms 20_000.) ~obs
       ~init_crdts:[ ("log", Workload.log_spec) ]
       ()
   in
@@ -65,6 +65,9 @@ let run_one ~scale ~topo_name ~topo ~loss =
 
 let run ?(quick = false) () =
   let scale = if quick then 0.3 else 1.0 in
+  (* One shared observability context across every row's fleet: the
+     registry below aggregates the whole experiment's telemetry. *)
+  let obs = Vegvisir_obs.Context.create () in
   let losses = if quick then [ 0.0; 0.2 ] else [ 0.0; 0.05; 0.2; 0.4 ] in
   let topos =
     [
@@ -76,7 +79,9 @@ let run ?(quick = false) () =
   let rows =
     List.concat_map
       (fun (name, mk) ->
-        List.map (fun loss -> run_one ~scale ~topo_name:name ~topo:(mk ()) ~loss) losses)
+        List.map
+          (fun loss -> run_one ~scale ~obs ~topo_name:name ~topo:(mk ()) ~loss)
+          losses)
       topos
   in
   {
@@ -88,4 +93,7 @@ let run ?(quick = false) () =
     header = [ "topology"; "peers"; "loss"; "mean delay (s)"; "p95 (s)"; "coverage" ];
     rows;
     notes = [ "one block per peer, gossip every 0.8 s, measured to all peers" ];
+    registry =
+      Vegvisir_obs.Registry.aggregate
+        (Vegvisir_obs.Registry.snapshot (Vegvisir_obs.Context.registry obs));
   }

@@ -51,4 +51,5 @@ let run ?(quick = false) () =
         "divergence: responder is ahead by <depth> chained blocks";
         "naive = paper's Algorithm 1; indexed = future-work variant (§VI)";
       ];
+    registry = [];
   }

@@ -112,4 +112,5 @@ let run ?(quick = false) () =
         "fleet simulations elsewhere use the 64-byte model; E2/E8 account \
          bytes with full MSS-sized signatures";
       ];
+    registry = [];
   }

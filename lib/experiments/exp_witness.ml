@@ -85,4 +85,5 @@ let run ?(quick = false) () =
         "latency measured at the target's creator (it must learn the \
          witness blocks back through gossip)";
       ];
+    registry = [];
   }

@@ -5,13 +5,17 @@ type table = {
   header : string list;
   rows : string list list;
   notes : string list;
+  registry : Vegvisir_obs.Registry.snapshot;
+      (* fleet telemetry counters rendered under the table; [] = none *)
 }
 
 let fi = string_of_int
 let ff ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
 let fpct f = Printf.sprintf "%.1f%%" (100. *. f)
 
-let print t =
+let to_string t =
+  let b = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let widths =
     List.fold_left
       (fun acc row ->
@@ -30,11 +34,20 @@ let print t =
          (fun i c -> pad c (Option.value (List.nth_opt widths i) ~default:0))
          row)
   in
-  Printf.printf "\n== %s: %s ==\n" t.id t.title;
-  Printf.printf "claim: %s\n" t.claim;
+  out "\n== %s: %s ==\n" t.id t.title;
+  out "claim: %s\n" t.claim;
   let header = line t.header in
-  print_endline header;
-  print_endline (String.make (String.length header) '-');
-  List.iter (fun r -> print_endline (line r)) t.rows;
-  List.iter (fun n -> Printf.printf "note: %s\n" n) t.notes;
-  print_newline ()
+  out "%s\n" header;
+  out "%s\n" (String.make (String.length header) '-');
+  List.iter (fun r -> out "%s\n" (line r)) t.rows;
+  List.iter (fun n -> out "note: %s\n" n) t.notes;
+  if t.registry <> [] then begin
+    out "telemetry:\n";
+    out "%s" (Vegvisir_obs.Registry.render_text t.registry)
+  end;
+  out "\n";
+  Buffer.contents b
+
+let print t =
+  (* lint: allow no-printf-outside-obs — stdout IS this module's contract: EXPERIMENTS.md quotes these tables verbatim *)
+  print_string (to_string t)

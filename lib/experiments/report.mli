@@ -8,7 +8,13 @@ type table = {
   header : string list;
   rows : string list list;
   notes : string list;
+  registry : Vegvisir_obs.Registry.snapshot;
+      (** fleet telemetry counters ({!Vegvisir_obs.Registry.snapshot}),
+          rendered as a block under the table; [[]] renders nothing *)
 }
+
+val to_string : table -> string
+(** The rendered table, exactly as {!print} writes it. *)
 
 val print : table -> unit
 

@@ -12,6 +12,8 @@ let all =
       "partial stdlib functions raise instead of forcing a decision" );
     ( "engine-transport-purity",
       "lib/engine is sans-IO: no transport, OS, or console dependency" );
+    ( "no-printf-outside-obs",
+      "stdout writes in lib/* bypass the obs sinks; emit events instead" );
     ("mli-coverage", "every lib module needs an explicit interface");
     ("parse-error", "file does not parse");
     ("lint-suppression", "malformed suppression comment (not suppressible)");
@@ -96,8 +98,16 @@ let check ~path structure =
     || path_eq lp [ "lib"; "net"; "metrics.ml" ]
     || has_prefix [ "lib"; "experiments" ] lp
     || has_prefix [ "lib"; "engine" ] lp
+    || has_prefix [ "lib"; "obs" ] lp
   in
   let engine_on = has_prefix [ "lib"; "engine" ] lp in
+  (* lib/obs owns rendering (sinks decide where bytes go) and lib/engine
+     already forbids console writes via engine-transport-purity. *)
+  let printf_on =
+    has_prefix [ "lib" ] lp
+    && (not (has_prefix [ "lib"; "obs" ] lp))
+    && not engine_on
+  in
   let partial_on = has_prefix [ "lib" ] lp in
   let bound = bound_value_names structure in
   let findings = ref [] in
@@ -171,6 +181,19 @@ let check ~path structure =
            (name
           ^ " writes to the console from the sans-IO engine; emit a Trace \
              effect and let the host decide")
+       | _ -> ());
+    (if printf_on then
+       match parts with
+       | [ ( "print_string" | "print_endline" | "print_newline" | "print_int"
+           | "print_char" | "print_float" ) ]
+       | [ "Printf"; "printf" ]
+       | [ "Format"; ("printf" | "print_string") ]
+       | [ "Fmt"; "pr" ] ->
+         add loc "no-printf-outside-obs"
+           (name
+          ^ " writes to stdout from library code; render through a \
+             vegvisir-obs sink, or suppress where stdout is the module's \
+             documented contract")
        | _ -> ());
     if partial_on then
       match parts with

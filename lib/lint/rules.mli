@@ -1,6 +1,6 @@
 (** The vegvisir-lint rule set.
 
-    Seven rules guard the repo's global invariants — bit-for-bit
+    Eight rules guard the repo's global invariants — bit-for-bit
     reproducibility (all entropy and time flow through seeded,
     deterministic sources), cross-replica convergence (no structural
     comparison or hash-table iteration order leaking into consensus or
@@ -17,7 +17,8 @@
     - [no-unordered-iteration]: [Hashtbl.iter]/[fold]/[to_seq] are
       flagged in modules whose output is order-sensitive
       ([lib/core/wire.ml], [lib/net/metrics.ml], [lib/experiments/*],
-      and [lib/engine/*], whose effect lists must replay identically).
+      [lib/engine/*], whose effect lists must replay identically, and
+      [lib/obs/*], whose snapshots and traces must be byte-stable).
     - [no-partial-stdlib]: [List.hd]/[List.tl]/[List.nth]/[Option.get]/
       [Filename.temp_file] are flagged under [lib/].
     - [engine-transport-purity]: [lib/engine/*] may not mention a
@@ -26,6 +27,11 @@
       [Out_channel] — nor print to the console; both value identifiers
       and module expressions ([open]/aliases/functor arguments) are
       checked. The engine is sans-IO: hosts replay its typed effects.
+    - [no-printf-outside-obs]: stdout writers ([print_string] family,
+      [Printf.printf], [Format.printf], [Fmt.pr]) are flagged in [lib/*]
+      except [lib/obs] (whose sinks own rendering) and [lib/engine]
+      (already covered by [engine-transport-purity]); modules whose
+      documented contract is stdout carry a reasoned suppression.
     - [mli-coverage]: every [lib/**/*.ml] needs a matching [.mli]
       (checked by the driver via {!mli_required}).
 

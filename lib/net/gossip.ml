@@ -1,6 +1,7 @@
 open Vegvisir
 module Rng = Vegvisir_crypto.Rng
 module Peer_engine = Vegvisir_engine.Peer_engine
+module Obs = Vegvisir_obs
 
 let log_src = Logs.Src.create "vegvisir.gossip" ~doc:"Opportunistic gossip agent"
 
@@ -31,16 +32,14 @@ type t = {
   interval_ms : float;
   births : (Hash_id.t, float) Hashtbl.t;
   tap : tap option;
+  obs : Obs.Context.t;
   mutable total_stats : Reconcile.stats;
-  mutable completed : int;
-  mutable aborted : int;
-  mutable dropped_blocks : int;
 }
 
 let max_fed = 4096
 
 let create ~net ~nodes ?behaviors ?(mode = `Naive) ?(interval_ms = 1000.)
-    ?(stale_after_ms = 5_000.) ?(session_timeout_ms = 30_000.) ?tap () =
+    ?(stale_after_ms = 5_000.) ?(session_timeout_ms = 30_000.) ?tap ?obs () =
   let n = Array.length nodes in
   if Topology.size (Simnet.topo net) <> n then
     invalid_arg "Gossip.create: nodes/topology size mismatch";
@@ -75,10 +74,18 @@ let create ~net ~nodes ?behaviors ?(mode = `Naive) ?(interval_ms = 1000.)
     interval_ms;
     births = Hashtbl.create 64;
     tap;
+    obs =
+      (* Share the radio's context when it has one, so one registry and
+         one trace cover the whole fleet; otherwise keep a private one —
+         the accessors below read their counters from it either way. *)
+      (match obs with
+      | Some o -> o
+      | None -> begin
+        match Simnet.obs net with
+        | Some o -> o
+        | None -> Obs.Context.create ()
+      end);
     total_stats = Reconcile.empty_stats;
-    completed = 0;
-    aborted = 0;
-    dropped_blocks = 0;
   }
 
 let node t i = t.peers.(i).node_
@@ -86,6 +93,30 @@ let behavior t i = t.peers.(i).behavior_
 let size t = Array.length t.peers
 
 let sim_ts t = Timestamp.of_ms (Int64.of_float (Simnet.now t.net))
+
+(* Telemetry: node identities are the decimal peer index; timestamps are
+   simulated milliseconds. Emission consumes no randomness and schedules
+   nothing, so seeded runs are schedule-identical with or without sinks. *)
+let emit t ev = Obs.Context.emit t.obs ~ts:(Simnet.now t.net) ev
+let node_name i = string_of_int i
+
+let emit_block t i phase ?peer (h : Hash_id.t) =
+  emit t (Obs.Event.Block { node = node_name i; phase; block = h; peer })
+
+(* A block has entered peer [i]'s DAG: it passed validation and was
+   applied. An empty block is a witness signature over its parents
+   (§IV-E), so its delivery also advances each parent's witness count —
+   tagged with the witnessing creator for distinct-quorum queries. *)
+let emit_delivered t i (b : Block.t) =
+  emit_block t i Obs.Event.Validated b.Block.hash;
+  emit_block t i Obs.Event.Delivered b.Block.hash;
+  if b.Block.transactions = [] then
+    List.iter
+      (fun parent ->
+        emit_block t i Obs.Event.Witnessed
+          ~peer:(Hash_id.short b.Block.creator)
+          parent)
+      b.Block.parents
 
 let record_arrival t i (b : Block.t) =
   let p = t.peers.(i) in
@@ -105,6 +136,7 @@ let settle_fed t i =
       (fun (b : Block.t) ->
         if Dag.mem dag b.Block.hash then begin
           record_arrival t i b;
+          emit_delivered t i b;
           false
         end
         else begin
@@ -116,19 +148,29 @@ let settle_fed t i =
   p.fed <- still;
   p.fed_len <- !kept
 
-let feed t i (b : Block.t) =
+let feed t ?src i (b : Block.t) =
   let p = t.peers.(i) in
   let meter = Simnet.meter t.net i in
   meter.Energy.verifies <- meter.Energy.verifies + 1;
   meter.Energy.hashes <- meter.Energy.hashes + 2;
+  let received () =
+    emit_block t i Obs.Event.Received
+      ?peer:(Option.map node_name src)
+      b.Block.hash
+  in
   (match Node.receive p.node_ ~now:(sim_ts t) b with
-  | Node.Accepted -> record_arrival t i b
+  | Node.Accepted ->
+    received ();
+    record_arrival t i b;
+    emit_delivered t i b
   | Node.Buffered _ ->
+    received ();
     if p.fed_len < max_fed then begin
       p.fed <- b :: p.fed;
       p.fed_len <- p.fed_len + 1
     end
-    else t.dropped_blocks <- t.dropped_blocks + 1
+    else
+      emit t (Obs.Event.Block_dropped { node = node_name i; block = b.Block.hash })
   | Node.Duplicate | Node.Rejected _ -> ());
   settle_fed t i
 
@@ -136,29 +178,53 @@ let feed t i (b : Block.t) =
    effect-list order, which mirrors the pre-refactor agent's direct call
    order exactly (timer before first request, stats before feeding), so a
    seeded run is schedule- and byte-identical to the welded-in original. *)
-let apply_effect t i (eff : Peer_engine.effect_) =
+let apply_effect t i ~src (eff : Peer_engine.effect_) =
   match eff with
   | Peer_engine.Send { dst; bytes } -> Simnet.send t.net ~src:i ~dst bytes
   | Peer_engine.Set_timer { key; after_ms } ->
     Simnet.set_timer t.net ~node:i ~after:after_ms
       ~tag:(Peer_engine.tag_of_timer key)
-  | Peer_engine.Deliver blocks -> List.iter (feed t i) blocks
+  | Peer_engine.Deliver blocks -> List.iter (feed t ?src i) blocks
   | Peer_engine.Session_done stats ->
-    t.total_stats <- Reconcile.add_stats t.total_stats stats;
-    t.completed <- t.completed + 1
+    t.total_stats <- Reconcile.add_stats t.total_stats stats
   | Peer_engine.Trace ev -> begin
     match ev with
-    | Peer_engine.Session_aborted { dst; reason; _ } ->
-      t.aborted <- t.aborted + 1;
+    | Peer_engine.Session_started { dst; generation } ->
+      emit t
+        (Obs.Event.Session_started
+           { node = node_name i; peer = node_name dst; generation })
+    | Peer_engine.Request_resent { dst; generation; attempt } ->
+      emit t
+        (Obs.Event.Request_resent
+           { node = node_name i; peer = node_name dst; generation; attempt })
+    | Peer_engine.Session_completed { dst; generation; blocks } ->
+      emit t
+        (Obs.Event.Session_completed
+           { node = node_name i; peer = node_name dst; generation; blocks })
+    | Peer_engine.Session_aborted { dst; generation; reason } ->
+      emit t
+        (Obs.Event.Session_aborted
+           {
+             node = node_name i;
+             peer = node_name dst;
+             generation;
+             reason =
+               (match reason with
+               | Peer_engine.Stalled -> Obs.Event.Stalled
+               | Peer_engine.Timed_out -> Obs.Event.Timed_out);
+           });
       Log.debug (fun m ->
           m "peer %d: abandoning %s session with %d" i
             (match reason with
             | Peer_engine.Stalled -> "stalled"
             | Peer_engine.Timed_out -> "timed-out")
             dst)
-    | Peer_engine.Session_started _ | Peer_engine.Request_resent _
-    | Peer_engine.Session_completed _ | Peer_engine.Request_suppressed _
-    | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _ ->
+    | Peer_engine.Blocks_served { dst; blocks } ->
+      List.iter
+        (fun h -> emit_block t i Obs.Event.Sent ~peer:(node_name dst) h)
+        blocks
+    | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
+    | Peer_engine.Decode_failed _ ->
       ()
   end
 
@@ -169,7 +235,16 @@ let step t i input =
   let engine, effects = Peer_engine.handle p.engine ~now ~dag input in
   p.engine <- engine;
   (match t.tap with Some f -> f ~peer:i ~now ~dag input effects | None -> ());
-  List.iter (apply_effect t i) effects
+  (* A Deliver effect only ever follows a reply from the session peer, so
+     the message sender is the provenance of every delivered block. *)
+  let src =
+    match input with
+    | Peer_engine.Message_received { from; _ } -> Some from
+    | Peer_engine.Timer_fired _ | Peer_engine.Block_created _
+    | Peer_engine.Tick _ ->
+      None
+  in
+  List.iter (apply_effect t i ~src) effects
 
 let on_message t ~me ~from payload =
   step t me (Peer_engine.Message_received { from; bytes = payload })
@@ -221,6 +296,16 @@ let append t i ?location txs =
     meter.Energy.hashes <- meter.Energy.hashes + 2;
     Hashtbl.replace t.births b.Block.hash (Simnet.now t.net);
     record_arrival t i b;
+    emit_block t i Obs.Event.Created b.Block.hash;
+    (* Creating an empty block is itself the act of witnessing its
+       parents — the creator's own signature counts toward the quorum. *)
+    if b.Block.transactions = [] then
+      List.iter
+        (fun parent ->
+          emit_block t i Obs.Event.Witnessed
+            ~peer:(Hash_id.short b.Block.creator)
+            parent)
+        b.Block.parents;
     step t i (Peer_engine.Block_created b);
     Ok b
   | Error _ as e -> e
@@ -262,6 +347,11 @@ let honest_converged t =
       rest
 
 let reconcile_stats t = t.total_stats
-let sessions_completed t = t.completed
-let sessions_aborted t = t.aborted
-let blocks_dropped t = t.dropped_blocks
+let obs t = t.obs
+
+(* The bespoke counters of the pre-obs agent now live in the shared
+   registry; the accessors stay so callers keep reading one place. *)
+let registry t = Obs.Context.registry t.obs
+let sessions_completed t = Obs.Registry.total (registry t) "session.completed"
+let sessions_aborted t = Obs.Registry.total (registry t) "session.aborted"
+let blocks_dropped t = Obs.Registry.total (registry t) "gossip.blocks_dropped"

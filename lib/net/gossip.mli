@@ -50,9 +50,15 @@ val create :
   ?stale_after_ms:float ->
   ?session_timeout_ms:float ->
   ?tap:tap ->
+  ?obs:Vegvisir_obs.Context.t ->
   unit ->
   t
-(** One gossip peer per node; array sizes must match the topology. *)
+(** One gossip peer per node; array sizes must match the topology.
+
+    [obs] routes block-lifecycle and session telemetry into an
+    observability context. When omitted, the agent shares the radio's
+    context ({!Simnet.obs}) if set, else keeps a private one — the
+    counter accessors below always read from whichever is active. *)
 
 val start : t -> unit
 (** Install handlers and schedule the first (staggered) gossip rounds. *)
@@ -89,9 +95,17 @@ val honest_converged : t -> bool
 val reconcile_stats : t -> Vegvisir.Reconcile.stats
 (** Aggregated over all completed sessions. *)
 
+val obs : t -> Vegvisir_obs.Context.t
+(** The agent's observability context: registry counters ([session.*],
+    [block.*], [gossip.blocks_dropped], …) and the causal block trace. *)
+
 val sessions_completed : t -> int
 val sessions_aborted : t -> int
 
 val blocks_dropped : t -> int
 (** Received blocks discarded because a peer's transient buffer (blocks
-    awaiting missing ancestry) was full — previously a silent drop. *)
+    awaiting missing ancestry) was full — previously a silent drop.
+
+    These three are registry reads ([session.completed],
+    [session.aborted], [gossip.blocks_dropped] summed across nodes),
+    kept as functions so existing callers read one place. *)

@@ -26,10 +26,21 @@ let percentile_of l p =
   | [] -> 0.
   | sorted ->
     let n = List.length sorted in
+    (* Nearest-rank, with a fuzz guard: when p·n is an integer up to
+       float error (0.95 · 20 = 19.000000000000004), ceil must not bump
+       the rank — that would make p95 of 20 points read the maximum. *)
     let rank =
-      int_of_float (ceil (p *. float_of_int n)) |> max 1 |> min n
+      int_of_float (ceil ((p *. float_of_int n) -. 1e-9)) |> max 1 |> min n
     in
     Option.value (List.nth_opt sorted (rank - 1)) ~default:0.
+
+let merge a b =
+  let merged =
+    List.stable_sort
+      (fun (ta, _) (tb, _) -> Float.compare ta tb)
+      (points a @ points b)
+  in
+  { name = a.name; rev_points = List.rev merged }
 
 let mean s = mean_of (values s)
 

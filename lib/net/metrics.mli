@@ -11,6 +11,12 @@ val points : series -> (float * float) list
 
 val values : series -> float list
 val count : series -> int
+
+val merge : series -> series -> series
+(** A fresh series holding both inputs' points in time order (ties keep
+    the first argument's points first); named after the first input.
+    The inputs are untouched. *)
+
 val mean : series -> float
 (** 0 when empty. *)
 

@@ -7,6 +7,7 @@ type fleet = {
   gossip : Gossip.t;
   genesis : Block.t;
   certs : Certificate.t array;
+  obs : Vegvisir_obs.Context.t;
   mutable started : bool;
 }
 
@@ -23,7 +24,7 @@ let make_signer kind i =
   | Mss h -> Signer.mss ~height:h ~seed:(Printf.sprintf "peer-seed-%d" i) ()
 
 let build ?(seed = 1L) ?(link = Link.default) ?behaviors ?(mode = `Naive)
-    ?(interval_ms = 1000.) ?stale_after_ms ?session_timeout_ms ?tap
+    ?(interval_ms = 1000.) ?stale_after_ms ?session_timeout_ms ?tap ?obs
     ?(signer = Oracle) ?role_of ?(init_crdts = []) ~topo () =
   let n = Topology.size topo in
   if n = 0 then invalid_arg "Scenario.build: empty topology";
@@ -55,12 +56,18 @@ let build ?(seed = 1L) ?(link = Link.default) ?behaviors ?(mode = `Naive)
     Array.init n (fun i -> Node.create ~signer:signers.(i) ~cert:certs.(i) ())
   in
   let net = Simnet.create ~topo ~link ~seed in
+  (* One shared observability context for the whole fleet: the radio, the
+     gossip agents and the caller all see the same registry and trace. *)
+  let obs =
+    match obs with Some o -> o | None -> Vegvisir_obs.Context.create ()
+  in
+  Simnet.set_obs net obs;
   let gossip =
     Gossip.create ~net ~nodes ?behaviors ~mode ~interval_ms ?stale_after_ms
-      ?session_timeout_ms ?tap ()
+      ?session_timeout_ms ?tap ~obs ()
   in
   Array.iteri (fun i _ -> Gossip.receive gossip i genesis) nodes;
-  { net; gossip; genesis; certs; started = false }
+  { net; gossip; genesis; certs; obs; started = false }
 
 let run fleet ~until_ms =
   if not fleet.started then begin

@@ -18,6 +18,9 @@ type fleet = {
   gossip : Gossip.t;
   genesis : Vegvisir.Block.t;
   certs : Vegvisir.Certificate.t array;
+  obs : Vegvisir_obs.Context.t;
+      (** the fleet-wide observability context: radio, gossip agents and
+          caller share one registry and one causal block trace *)
   mutable started : bool;  (** managed by {!run} *)
 }
 
@@ -30,6 +33,7 @@ val build :
   ?stale_after_ms:float ->
   ?session_timeout_ms:float ->
   ?tap:Gossip.tap ->
+  ?obs:Vegvisir_obs.Context.t ->
   ?signer:signer_kind ->
   ?role_of:(int -> string) ->
   ?init_crdts:(string * Vegvisir_crdt.Schema.spec) list ->

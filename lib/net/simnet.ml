@@ -1,4 +1,5 @@
 module Rng = Vegvisir_crypto.Rng
+module Obs = Vegvisir_obs
 
 type event =
   | Deliver of { src : int; dst : int; payload : string }
@@ -24,6 +25,7 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable obs : Obs.Context.t option;
 }
 
 let create ~topo ~link ~seed =
@@ -40,9 +42,17 @@ let create ~topo ~link ~seed =
     sent = 0;
     delivered = 0;
     dropped = 0;
+    obs = None;
   }
 
 let set_handlers t h = t.handlers <- Some h
+let set_obs t obs = t.obs <- Some obs
+let obs t = t.obs
+
+(* Telemetry is pull-free and consumes no randomness, so emitting (or
+   not) cannot perturb a seeded schedule. *)
+let emit t ev =
+  match t.obs with Some obs -> Obs.Context.emit obs ~ts:t.now_ ev | None -> ()
 
 let set_duty_cycle t ~node ~period_ms ~awake_fraction =
   if period_ms <= 0. then invalid_arg "Simnet.set_duty_cycle: period must be positive";
@@ -100,17 +110,23 @@ let charge_idle t upto =
 
 let send t ~src ~dst payload =
   let bytes = String.length payload in
+  let srcn = string_of_int src and dstn = string_of_int dst in
   t.sent <- t.sent + 1;
+  emit t (Obs.Event.Net_sent { src = srcn; dst = dstn; bytes });
   t.meters.(src).Energy.tx_bytes <- t.meters.(src).Energy.tx_bytes + bytes;
-  if not (is_awake t src) then t.dropped <- t.dropped + 1
+  let drop reason =
+    t.dropped <- t.dropped + 1;
+    emit t (Obs.Event.Net_dropped { src = srcn; dst = dstn; bytes; reason })
+  in
+  if not (is_awake t src) then drop Obs.Event.Asleep
   else if Topology.connected t.topo_ src dst then begin
     match Link.delivery t.rng_ t.link ~bytes with
-    | None -> t.dropped <- t.dropped + 1
+    | None -> drop Obs.Event.Link_loss
     | Some latency ->
       Event_queue.push t.queue ~time:(t.now_ +. latency)
         (Deliver { src; dst; payload })
   end
-  else t.dropped <- t.dropped + 1
+  else drop Obs.Event.Disconnected
 
 let set_timer t ~node ~after ~tag =
   if after < 0. then invalid_arg "Simnet.set_timer: negative delay";
@@ -122,14 +138,28 @@ let dispatch t event =
   | Some h -> begin
     match event with
     | Deliver { src; dst; payload } ->
+      let bytes = String.length payload in
+      let srcn = string_of_int src and dstn = string_of_int dst in
       (* The radio may have gone out of range — or to sleep — mid-flight. *)
-      if Topology.connected t.topo_ src dst && is_awake t dst then begin
+      if not (Topology.connected t.topo_ src dst) then begin
+        t.dropped <- t.dropped + 1;
+        emit t
+          (Obs.Event.Net_dropped
+             { src = srcn; dst = dstn; bytes; reason = Obs.Event.Disconnected })
+      end
+      else if not (is_awake t dst) then begin
+        t.dropped <- t.dropped + 1;
+        emit t
+          (Obs.Event.Net_dropped
+             { src = srcn; dst = dstn; bytes; reason = Obs.Event.Asleep })
+      end
+      else begin
         t.delivered <- t.delivered + 1;
+        emit t (Obs.Event.Net_delivered { src = srcn; dst = dstn; bytes });
         t.meters.(dst).Energy.rx_bytes <-
           t.meters.(dst).Energy.rx_bytes + String.length payload;
         h.on_message ~me:dst ~from:src payload
       end
-      else t.dropped <- t.dropped + 1
     | Timer { node; tag } -> h.on_timer ~me:node ~tag
   end
 

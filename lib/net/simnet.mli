@@ -18,6 +18,14 @@ type handlers = {
 
 val create : topo:Topology.t -> link:Link.t -> seed:int64 -> t
 val set_handlers : t -> handlers -> unit
+
+val set_obs : t -> Vegvisir_obs.Context.t -> unit
+(** Route radio telemetry ([net.sent] / [net.delivered] / [net.dropped]
+    events with drop reasons) into an observability context. Emission is
+    timestamped with simulated time and consumes no randomness, so an
+    instrumented run is schedule-identical to an uninstrumented one. *)
+
+val obs : t -> Vegvisir_obs.Context.t option
 val topo : t -> Topology.t
 val rng : t -> Vegvisir_crypto.Rng.t
 val now : t -> float

@@ -1,0 +1,9 @@
+type t = { mutable sinks : Sink.t list (* attach order *) }
+
+let create () = { sinks = [] }
+
+(* Attach is rare and emit is hot: keep the list in fan-out order. *)
+let attach t sink = t.sinks <- t.sinks @ [ sink ]
+let emit t ~ts ev = List.iter (fun s -> Sink.emit s ~ts ev) t.sinks
+let flush t = List.iter Sink.flush t.sinks
+let sink_count t = List.length t.sinks

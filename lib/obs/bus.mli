@@ -1,0 +1,15 @@
+(** The typed event bus: emitters publish, sinks consume.
+
+    Emission is synchronous and in attach order, so a run's event
+    interleaving — and therefore every sink's output — is a pure
+    function of the emitted sequence. With no sinks attached, [emit] is
+    a cheap no-op loop, so instrumented hot paths cost almost nothing
+    when nobody is listening. *)
+
+type t
+
+val create : unit -> t
+val attach : t -> Sink.t -> unit
+val emit : t -> ts:float -> Event.t -> unit
+val flush : t -> unit
+val sink_count : t -> int

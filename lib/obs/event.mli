@@ -1,0 +1,102 @@
+(** The telemetry event taxonomy — one typed variant per subsystem — and
+    its JSONL codec.
+
+    Every event is stamped with an explicit timestamp [ts] in
+    milliseconds by its emitter (simulated time under {!Vegvisir_net},
+    the sanctioned host clock under the CLI); this module never reads a
+    clock. Node identities are strings: simulator peers use their
+    decimal index (["0"], ["1"], …), real CLI nodes use
+    {!Vegvisir.Hash_id.short} of their user id — so traces from both
+    worlds merge into one timeline. *)
+
+type node = string
+
+(** {1 Per-subsystem vocabularies} *)
+
+(** One block's causal lifecycle, in order. [Sent] and [Received] carry
+    the far peer in [peer]; [Witnessed] carries the witnessing creator,
+    so distinct-witness quorums can be counted from the trace alone. *)
+type block_phase = Created | Sent | Received | Validated | Delivered | Witnessed
+
+(** Why the simulated radio lost a frame. *)
+type drop_reason = Link_loss | Disconnected | Asleep
+
+(** Why a gossip session was abandoned (mirrors
+    {!Vegvisir_engine.Peer_engine.abort_reason}). *)
+type abort_reason = Stalled | Timed_out
+
+type t =
+  | Block of {
+      node : node;
+      phase : block_phase;
+      block : Vegvisir.Hash_id.t;
+      peer : node option;
+    }  (** one step of one block's causal lifecycle at one node *)
+  | Block_dropped of { node : node; block : Vegvisir.Hash_id.t }
+      (** a received block discarded because the node's transient buffer
+          (blocks awaiting missing ancestry) was at capacity *)
+  | Net_sent of { src : node; dst : node; bytes : int }
+  | Net_delivered of { src : node; dst : node; bytes : int }
+  | Net_dropped of { src : node; dst : node; bytes : int; reason : drop_reason }
+  | Session_started of { node : node; peer : node; generation : int }
+  | Session_completed of {
+      node : node;
+      peer : node;
+      generation : int;
+      blocks : int;
+    }
+  | Session_aborted of {
+      node : node;
+      peer : node;
+      generation : int;
+      reason : abort_reason;
+    }
+  | Request_resent of {
+      node : node;
+      peer : node;
+      generation : int;
+      attempt : int;
+    }
+  | Leader_elected of { node : node; term : int }
+      (** a Raft superpeer won an election *)
+  | Block_archived of { node : node; block : Vegvisir.Hash_id.t; index : int }
+      (** a block committed to a superpeer's support chain at [index] *)
+  | Store_loaded of { node : node; blocks : int }
+  | Store_saved of { node : node; blocks : int }
+  | Sync_started of { node : node; peer : node }
+  | Sync_completed of { node : node; peer : node; pulled : int; served : int }
+
+val subsystem : t -> string
+(** ["block"], ["gossip"], ["net"], ["session"], ["cluster"], or
+    ["store"] — the grouping key of the taxonomy. *)
+
+val kind : t -> string
+(** The event name within its subsystem (e.g. ["created"], ["aborted"]). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val phase_to_string : block_phase -> string
+val phase_of_string : string -> block_phase option
+val block_phase_equal : block_phase -> block_phase -> bool
+
+(** {1 JSONL codec}
+
+    One event per line, fields in a fixed order, floats rendered as the
+    shortest decimal that parses back exactly — so identical event
+    streams serialize to byte-identical files, and decode ∘ encode is
+    the identity. *)
+
+val to_json : ts:float -> t -> string
+(** One JSON object (no trailing newline):
+    [{"t":…,"sub":…,"ev":…,…fields…}]. *)
+
+val of_json : string -> (float * t) option
+(** Total inverse of {!to_json}; [None] on malformed input. *)
+
+val json_float : float -> string
+(** The codec's float rendering — exposed for sinks that serialize
+    numeric payloads of their own (e.g. registry JSON dumps). *)
+
+val json_string : string -> string
+(** JSON string literal with escaping, including the quotes. *)

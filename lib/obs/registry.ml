@@ -1,0 +1,256 @@
+(* Named metrics with per-node labels. The store is an ordered map keyed
+   by (name, node), so snapshots — and any text/JSON rendering of them —
+   come out in one canonical order with no hash-table iteration anywhere
+   (see the no-unordered-iteration lint rule, which covers this library). *)
+
+module Key = struct
+  type t = string * string
+
+  let compare (an, al) (bn, bl) =
+    match String.compare an bn with 0 -> String.compare al bl | c -> c
+end
+
+module KMap = Map.Make (Key)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length bounds + 1; last slot = overflow *)
+  mutable sum : float;
+  mutable observations : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type t = { mutable metrics : metric KMap.t }
+
+let create () = { metrics = KMap.empty }
+let no_node = ""
+
+let find_or_add t ~node ~name ~kind fresh project =
+  let key = (name, node) in
+  match KMap.find_opt key t.metrics with
+  | Some m -> begin
+    match project m with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Registry: %s{node=%s} already registered with another kind (wanted %s)"
+           name node kind)
+  end
+  | None ->
+    let v, m = fresh () in
+    t.metrics <- KMap.add key m t.metrics;
+    v
+
+let counter t ?(node = no_node) name =
+  find_or_add t ~node ~name ~kind:"counter"
+    (fun () ->
+      let c = { c = 0 } in
+      (c, C c))
+    (function C c -> Some c | G _ | H _ -> None)
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+
+let gauge t ?(node = no_node) name =
+  find_or_add t ~node ~name ~kind:"gauge"
+    (fun () ->
+      let g = { g = 0. } in
+      (g, G g))
+    (function G g -> Some g | C _ | H _ -> None)
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let validate_bounds bounds =
+  let ok =
+    match bounds with
+    | [] -> false
+    | first :: rest ->
+      fst
+        (List.fold_left
+           (fun (ok, prev) b -> (ok && b > prev, b))
+           (true, first) rest)
+      || rest = []
+  in
+  if not ok then
+    invalid_arg "Registry.histogram: bucket bounds must be strictly increasing"
+
+let histogram t ?(node = no_node) ~buckets name =
+  validate_bounds buckets;
+  find_or_add t ~node ~name ~kind:"histogram"
+    (fun () ->
+      let h =
+        {
+          bounds = Array.of_list buckets;
+          counts = Array.make (List.length buckets + 1) 0;
+          sum = 0.;
+          observations = 0;
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | C _ | G _ -> None)
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n then n else if v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.observations <- h.observations + 1
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                              *)
+
+let read t ?(node = no_node) name =
+  match KMap.find_opt (name, node) t.metrics with
+  | Some (C c) -> c.c
+  | Some (G _ | H _) | None -> 0
+
+let total t name =
+  KMap.fold
+    (fun (n, _) m acc ->
+      match m with
+      | C c when String.equal n name -> acc + c.c
+      | C _ | G _ | H _ -> acc)
+    t.metrics 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      buckets : (float * int) list;
+      overflow : int;
+      sum : float;
+      observations : int;
+    }
+
+type snapshot = ((string * string) * value) list
+
+let snapshot t =
+  KMap.fold
+    (fun key m acc ->
+      let v =
+        match m with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h ->
+          Histogram
+            {
+              buckets =
+                List.init (Array.length h.bounds) (fun i ->
+                    (h.bounds.(i), h.counts.(i)));
+              overflow = h.counts.(Array.length h.bounds);
+              sum = h.sum;
+              observations = h.observations;
+            }
+      in
+      ((key, v) :: acc))
+    t.metrics []
+  |> List.rev
+
+let combine a b =
+  match (a, b) with
+  | Counter x, Counter y -> Some (Counter (x + y))
+  | Histogram h1, Histogram h2 ->
+    let same_bounds =
+      List.length h1.buckets = List.length h2.buckets
+      && List.for_all2
+           (fun (x, _) (y, _) -> Float.equal x y)
+           h1.buckets h2.buckets
+    in
+    if same_bounds then
+      Some
+        (Histogram
+           {
+             buckets =
+               List.map2
+                 (fun (le, c1) (_, c2) -> (le, c1 + c2))
+                 h1.buckets h2.buckets;
+             overflow = h1.overflow + h2.overflow;
+             sum = h1.sum +. h2.sum;
+             observations = h1.observations + h2.observations;
+           })
+    else None
+  | (Counter _ | Gauge _ | Histogram _), _ -> None
+
+let aggregate snap =
+  let rec add acc name v =
+    match acc with
+    | [] -> [ (name, v) ]
+    | (n, existing) :: rest when String.equal n name -> begin
+      match combine existing v with
+      | Some merged -> (n, merged) :: rest
+      | None -> (n, existing) :: rest
+    end
+    | pair :: rest -> pair :: add rest name v
+  in
+  List.fold_left (fun acc ((name, _node), v) -> add acc name v) [] snap
+  |> List.map (fun (name, v) -> ((name, no_node), v))
+
+let label node = if String.equal node no_node then "" else "{node=" ^ node ^ "}"
+
+let render_text snap =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun ((name, node), v) ->
+      match v with
+      | Counter c -> Buffer.add_string b (Printf.sprintf "%s%s %d\n" name (label node) c)
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" name (label node) (Event.json_float g))
+      | Histogram { buckets; overflow; sum; observations } ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s count=%d sum=%s" name (label node) observations
+             (Event.json_float sum));
+        List.iter
+          (fun (le, c) ->
+            Buffer.add_string b
+              (Printf.sprintf " le%s=%d" (Event.json_float le) c))
+          buckets;
+        Buffer.add_string b (Printf.sprintf " overflow=%d\n" overflow))
+    snap;
+  Buffer.contents b
+
+let render_json snap =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i ((name, node), v) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  {\"name\":";
+      Buffer.add_string b (Event.json_string name);
+      if not (String.equal node no_node) then begin
+        Buffer.add_string b ",\"node\":";
+        Buffer.add_string b (Event.json_string node)
+      end;
+      (match v with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf ",\"type\":\"counter\",\"value\":%d" c)
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf ",\"type\":\"gauge\",\"value\":%s" (Event.json_float g))
+      | Histogram { buckets; overflow; sum; observations } ->
+        Buffer.add_string b
+          (Printf.sprintf ",\"type\":\"histogram\",\"count\":%d,\"sum\":%s"
+             observations (Event.json_float sum));
+        Buffer.add_string b ",\"buckets\":[";
+        List.iteri
+          (fun j (le, c) ->
+            if j > 0 then Buffer.add_string b ",";
+            Buffer.add_string b
+              (Printf.sprintf "{\"le\":%s,\"count\":%d}" (Event.json_float le) c))
+          buckets;
+        Buffer.add_string b (Printf.sprintf "],\"overflow\":%d" overflow));
+      Buffer.add_string b "}")
+    snap;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

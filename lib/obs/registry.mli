@@ -1,0 +1,77 @@
+(** The metric registry: named counters, gauges and fixed-bucket
+    histograms, each optionally labelled with a node identity.
+
+    Metrics live in an ordered map keyed by [(name, node)], so
+    {!snapshot} — and the text/JSON renderings of it — always come out
+    in one canonical order regardless of registration order. That is
+    what lets two same-seed runs produce byte-identical stats dumps. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> ?node:string -> string -> counter
+(** Get-or-create. [?node] defaults to the unlabelled series.
+    @raise Invalid_argument if the name is already a gauge/histogram. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> ?node:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> ?node:string -> buckets:float list -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; observations above
+    the last bound land in an overflow slot.
+    @raise Invalid_argument on an empty or non-increasing bound list. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+val read : t -> ?node:string -> string -> int
+(** Current value of a counter, or [0] if absent / not a counter. *)
+
+val total : t -> string -> int
+(** Sum of a counter across every node label. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      buckets : (float * int) list;  (** (upper bound, count) pairs *)
+      overflow : int;
+      sum : float;
+      observations : int;
+    }
+
+type snapshot = ((string * string) * value) list
+(** [((name, node), value)] rows sorted by name, then node; the
+    unlabelled series uses [node = ""]. *)
+
+val snapshot : t -> snapshot
+
+val aggregate : snapshot -> snapshot
+(** Collapse node labels: counters are summed across nodes, histograms
+    with identical bounds are merged bucket-wise. A labelled gauge (or a
+    histogram with mismatched bounds) keeps its first value — render the
+    full snapshot when per-node values matter. *)
+
+val render_text : snapshot -> string
+val render_json : snapshot -> string

@@ -1,0 +1,38 @@
+type t = { emit : ts:float -> Event.t -> unit; flush : unit -> unit }
+
+let make ?(flush = fun () -> ()) emit = { emit; flush }
+let null = { emit = (fun ~ts:_ _ -> ()); flush = (fun () -> ()) }
+let emit t ~ts ev = t.emit ~ts ev
+let flush t = t.flush ()
+
+let jsonl ?flush write =
+  make ?flush (fun ~ts ev ->
+      write (Event.to_json ~ts ev);
+      write "\n")
+
+module Ring = struct
+  type t = {
+    capacity : int;
+    slots : (float * Event.t) option array;
+    mutable next : int;  (* total events ever recorded *)
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Sink.Ring.create: capacity must be positive";
+    { capacity; slots = Array.make capacity None; next = 0 }
+
+  let record t ~ts ev =
+    t.slots.(t.next mod t.capacity) <- Some (ts, ev);
+    t.next <- t.next + 1
+
+  let sink t = make (fun ~ts ev -> record t ~ts ev)
+  let recorded t = t.next
+  let dropped t = max 0 (t.next - t.capacity)
+
+  let events t =
+    let kept = min t.next t.capacity in
+    let first = t.next - kept in
+    List.filter_map
+      (fun i -> t.slots.((first + i) mod t.capacity))
+      (List.init kept (fun i -> i))
+end

@@ -1,0 +1,52 @@
+(** Causal block traces.
+
+    A trace collector turns the stream of {!Event.Block} observations
+    into per-block spans — the [created → sent → received → validated →
+    delivered → witnessed] timeline of one block as seen across every
+    node that emitted events into the same bus. Spans are stored in an
+    ordered map and in arrival order, so for a deterministic event
+    stream every query below is deterministic too. *)
+
+open Vegvisir
+
+type entry = {
+  t : float;  (** event timestamp *)
+  node : Event.node;  (** node that observed the phase *)
+  phase : Event.block_phase;
+  peer : Event.node option;
+      (** counterpart: sender for [Received], destination for [Sent],
+          witnessing creator for [Witnessed] *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> ts:float -> Event.t -> unit
+(** Records [Event.Block] observations; all other events are ignored. *)
+
+val sink : t -> Sink.t
+(** A bus sink that feeds {!record}. *)
+
+val blocks : t -> Hash_id.t list
+(** Every traced block, in hash order. *)
+
+val span : t -> Hash_id.t -> entry list
+(** A block's timeline in arrival order; [[]] if never seen. *)
+
+val find : t -> string -> Hash_id.t list
+(** Traced blocks whose hex id starts with the given prefix. *)
+
+val propagation_latency : t -> Hash_id.t -> float option
+(** Time from [Created] to the latest [Delivered] entry. *)
+
+val witness_latency : ?quorum:int -> t -> Hash_id.t -> float option
+(** Time from [Created] until [quorum] distinct creators have witnessed
+    the block (default 1).
+    @raise Invalid_argument if [quorum <= 0]. *)
+
+val fan_in : t -> Hash_id.t -> int
+(** Distinct peers the block was [Received] from, across all nodes. *)
+
+val render : t -> Hash_id.t -> string
+(** Human-readable timeline, one line per entry plus latency summary. *)

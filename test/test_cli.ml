@@ -167,7 +167,42 @@ let live_sync () =
                  ~op:"mem" [ Value.String entry ] with
          | Ok (Value.Bool true) -> ()
          | _ -> Alcotest.failf "%s missing after live sync" entry)
-      [ (ca, "from-bob"); (bob, "from-ca"); (ca, "from-ca"); (bob, "from-bob") ]
+      [ (ca, "from-bob"); (bob, "from-ca"); (ca, "from-ca"); (bob, "from-bob") ];
+    (* Both endpoints journalled the exchange: replaying the two
+       trace.jsonl files must stitch each block's causal timeline from
+       created at its author to delivered at the other replica. *)
+    let module Obs = Vegvisir_obs in
+    let tr = Obs.Trace.create () in
+    List.iter
+      (fun dir ->
+        let events = Node_store.load_trace ~dir in
+        check_b (dir ^ " wrote trace.jsonl") true (events <> []);
+        List.iter (fun (ts, ev) -> Obs.Trace.record tr ~ts ev) events)
+      [ ca.Node_store.dir; bob.Node_store.dir ];
+    let crossed =
+      List.filter
+        (fun b ->
+          let entries = Obs.Trace.span tr b in
+          let nodes_at p =
+            List.filter_map
+              (fun (e : Obs.Trace.entry) ->
+                if Obs.Event.block_phase_equal e.Obs.Trace.phase p then
+                  Some e.Obs.Trace.node
+                else None)
+              entries
+          in
+          match nodes_at Obs.Event.Created with
+          | [ creator ] ->
+            List.exists
+              (fun n -> not (String.equal n creator))
+              (nodes_at Obs.Event.Delivered)
+            && nodes_at Obs.Event.Received <> []
+          | _ -> false)
+        (Obs.Trace.blocks tr)
+    in
+    check_b "a block traces created -> received -> delivered across replicas"
+      true
+      (List.length crossed >= 2)
 
 let () =
   Random.self_init ();

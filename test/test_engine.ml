@@ -142,7 +142,8 @@ let scripted_pull ?(mode = `Naive) ?(mangle = fun ~round:_ frames -> frames)
           | Peer_engine.Session_aborted { reason; _ } -> aborted := Some reason
           | Peer_engine.Session_started _ | Peer_engine.Request_resent _
           | Peer_engine.Session_completed _ | Peer_engine.Request_suppressed _
-          | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _ ->
+          | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
+          | Peer_engine.Blocks_served _ ->
             ())
         | Peer_engine.Send _ | Peer_engine.Set_timer _ -> ())
       effs;
@@ -215,7 +216,8 @@ let has_resent events =
       | Peer_engine.Request_resent _ -> true
       | Peer_engine.Session_started _ | Peer_engine.Session_completed _
       | Peer_engine.Session_aborted _ | Peer_engine.Request_suppressed _
-      | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _ ->
+      | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
+      | Peer_engine.Blocks_served _ ->
         false)
     events
 
@@ -243,7 +245,8 @@ let duplicated_replies_ignored () =
          | Peer_engine.Reply_ignored _ -> true
          | Peer_engine.Session_started _ | Peer_engine.Request_resent _
          | Peer_engine.Session_completed _ | Peer_engine.Session_aborted _
-         | Peer_engine.Request_suppressed _ | Peer_engine.Decode_failed _ ->
+         | Peer_engine.Request_suppressed _ | Peer_engine.Decode_failed _
+         | Peer_engine.Blocks_served _ ->
            false)
        o.events)
 
@@ -281,7 +284,8 @@ let garbage_frame_traced () =
          | Peer_engine.Decode_failed _ -> true
          | Peer_engine.Session_started _ | Peer_engine.Request_resent _
          | Peer_engine.Session_completed _ | Peer_engine.Session_aborted _
-         | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _ ->
+         | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
+         | Peer_engine.Blocks_served _ ->
            false)
        o.events)
 
@@ -302,7 +306,8 @@ let retry_exhaustion_aborts () =
            | Peer_engine.Request_resent _ -> true
            | Peer_engine.Session_started _ | Peer_engine.Session_completed _
            | Peer_engine.Session_aborted _ | Peer_engine.Request_suppressed _
-           | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _ ->
+           | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
+           | Peer_engine.Blocks_served _ ->
              false)
          o.events)
   in

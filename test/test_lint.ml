@@ -83,6 +83,8 @@ let test_unordered_iteration () =
     "let f h = Hashtbl.fold (fun _ v acc -> v :: acc) h []";
   check_fires "no-unordered-iteration" "lib/core/wire.ml"
     "let f h = Hashtbl.fold (fun _ v acc -> v :: acc) h []";
+  check_fires "no-unordered-iteration" "lib/obs/registry.ml"
+    "let f h = Hashtbl.fold (fun _ v a -> v + a) h 0";
   check_fires "no-unordered-iteration" "lib/net/metrics.ml"
     "let f h = Hashtbl.to_seq h";
   (* Order-insensitive modules may use hash tables freely. *)
@@ -134,6 +136,33 @@ let test_engine_purity () =
     "let f net = Simnet.send net 0";
   check_silent ~rule:"engine-transport-purity" "lib/cli/live_sync.ml"
     "let t () = Unix_compat.now ()"
+
+let test_printf_outside_obs () =
+  check_fires "no-printf-outside-obs" "lib/net/gossip.ml"
+    {|let f () = print_endline "dbg"|};
+  check_fires "no-printf-outside-obs" "lib/core/dag.ml"
+    {|let f () = Printf.printf "%d" 1|};
+  check_fires "no-printf-outside-obs" "lib/cli/node_store.ml"
+    {|let f () = print_string "x"|};
+  check_fires "no-printf-outside-obs" "lib/experiments/report.ml"
+    {|let f () = print_newline ()|};
+  (* lib/obs owns rendering; its sinks may write. *)
+  check_silent ~rule:"no-printf-outside-obs" "lib/obs/sink.ml"
+    {|let f () = print_string "line"|};
+  (* lib/engine console writes are engine-transport-purity's finding. *)
+  check_silent ~rule:"no-printf-outside-obs" "lib/engine/peer_engine.ml"
+    {|let f () = print_endline "dbg"|};
+  (* Executables own their stdout; the rule scopes to lib/*. *)
+  check_silent ~rule:"no-printf-outside-obs" "bin/vegvisir_cli.ml"
+    {|let f () = print_endline "ok"|};
+  check_silent ~rule:"no-printf-outside-obs" "bench/main.ml"
+    {|let f () = Printf.printf "%d" 1|};
+  (* stderr is not stdout: diagnostics stay legal. *)
+  check_silent "lib/net/gossip.ml" {|let f () = Printf.eprintf "%d" 1|};
+  (* A reasoned suppression covers a sanctioned printer. *)
+  check_silent "lib/experiments/report.ml"
+    "let f s = print_string s (* lint: allow no-printf-outside-obs \
+     \xe2\x80\x94 stdout is the contract *)"
 
 let test_suppression () =
   (* Same-line suppression. *)
@@ -222,6 +251,8 @@ let () =
             test_unordered_iteration;
           Alcotest.test_case "no-partial-stdlib" `Quick test_partial_stdlib;
           Alcotest.test_case "engine-transport-purity" `Quick test_engine_purity;
+          Alcotest.test_case "no-printf-outside-obs" `Quick
+            test_printf_outside_obs;
           Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
         ] );
       ( "machinery",

@@ -1,0 +1,343 @@
+(* Unit tests for the observability layer: event codec, sinks, registry,
+   causal traces, and the determinism guarantee (same seed => byte-
+   identical JSONL trace output from a full fleet run). *)
+
+open Vegvisir_obs
+module V = Vegvisir
+module Net = Vegvisir_net
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+let check_f = Alcotest.(check (float 1e-9))
+
+let h s = V.Hash_id.digest s
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Event codec                                                          *)
+
+(* One sample per constructor, covering every phase and reason payload. *)
+let all_events =
+  let b = h "block-a" in
+  Event.
+    [
+      Block { node = "0"; phase = Created; block = b; peer = None };
+      Block { node = "0"; phase = Sent; block = b; peer = Some "1" };
+      Block { node = "1"; phase = Received; block = b; peer = Some "0" };
+      Block { node = "1"; phase = Validated; block = b; peer = None };
+      Block { node = "1"; phase = Delivered; block = b; peer = None };
+      Block { node = "1"; phase = Witnessed; block = b; peer = Some "ab12cd34" };
+      Block_dropped { node = "2"; block = h "block-b" };
+      Net_sent { src = "0"; dst = "1"; bytes = 512 };
+      Net_delivered { src = "0"; dst = "1"; bytes = 512 };
+      Net_dropped { src = "0"; dst = "1"; bytes = 9; reason = Link_loss };
+      Net_dropped { src = "1"; dst = "0"; bytes = 9; reason = Disconnected };
+      Net_dropped { src = "1"; dst = "2"; bytes = 9; reason = Asleep };
+      Session_started { node = "0"; peer = "1"; generation = 3 };
+      Session_completed { node = "0"; peer = "1"; generation = 3; blocks = 7 };
+      Session_aborted { node = "0"; peer = "1"; generation = 4; reason = Stalled };
+      Session_aborted { node = "1"; peer = "0"; generation = 5; reason = Timed_out };
+      Request_resent { node = "0"; peer = "1"; generation = 4; attempt = 2 };
+      Leader_elected { node = "2"; term = 6 };
+      Block_archived { node = "2"; block = h "block-a"; index = 41 };
+      Store_loaded { node = "ab12cd34"; blocks = 12 };
+      Store_saved { node = "ab12cd34"; blocks = 13 };
+      Sync_started { node = "ab12cd34"; peer = "remote" };
+      Sync_completed { node = "ab12cd34"; peer = "remote"; pulled = 2; served = 1 };
+    ]
+
+let jsonl_roundtrip () =
+  List.iteri
+    (fun i ev ->
+      let ts = 0.5 +. (float_of_int i *. 13.25) in
+      let line = Event.to_json ~ts ev in
+      match Event.of_json line with
+      | None -> Alcotest.failf "event %d did not decode: %s" i line
+      | Some (ts', ev') ->
+        check_f (Printf.sprintf "ts %d" i) ts ts';
+        check_b (Printf.sprintf "event %d round-trips" i) true
+          (Event.equal ev ev'))
+    all_events
+
+let jsonl_rejects_garbage () =
+  List.iter
+    (fun line ->
+      check_b line true (Event.of_json line = None))
+    [ ""; "{}"; "not json"; {|{"t":1.0,"sub":"block","ev":"nope"}|} ]
+
+let json_float_exact () =
+  List.iter
+    (fun f ->
+      check_b
+        (Printf.sprintf "%h survives" f)
+        true
+        (Float.equal (float_of_string (Event.json_float f)) f))
+    [ 0.; 1.; -2.; 0.1; 1. /. 3.; 1e17; 1.000000000000004; 12345.6789 ]
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                                *)
+
+let ring_keeps_most_recent () =
+  let ring = Sink.Ring.create ~capacity:2 in
+  let s = Sink.Ring.sink ring in
+  List.iteri
+    (fun i ev -> Sink.emit s ~ts:(float_of_int i) ev)
+    [
+      Event.Net_sent { src = "0"; dst = "1"; bytes = 1 };
+      Event.Net_sent { src = "0"; dst = "1"; bytes = 2 };
+      Event.Net_sent { src = "0"; dst = "1"; bytes = 3 };
+    ];
+  check_i "recorded" 3 (Sink.Ring.recorded ring);
+  check_i "dropped" 1 (Sink.Ring.dropped ring);
+  match Sink.Ring.events ring with
+  | [ (t1, Event.Net_sent { bytes = b1; _ }); (t2, Event.Net_sent { bytes = b2; _ }) ]
+    ->
+    check_f "oldest first" 1. t1;
+    check_f "newest last" 2. t2;
+    check_i "payload 1" 2 b1;
+    check_i "payload 2" 3 b2
+  | _ -> Alcotest.fail "expected the two most recent events"
+
+let jsonl_sink_writes_lines () =
+  let buf = Buffer.create 64 in
+  let s = Sink.jsonl (Buffer.add_string buf) in
+  Sink.emit s ~ts:1. (Event.Net_sent { src = "0"; dst = "1"; bytes = 7 });
+  Sink.emit s ~ts:2. (Event.Leader_elected { node = "3"; term = 1 });
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  check_i "two lines + trailing" 3 (List.length lines);
+  let decoded = List.filter_map Event.of_json lines in
+  check_i "both decode" 2 (List.length decoded)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+
+let registry_counters () =
+  let r = Registry.create () in
+  let a = Registry.counter r ~node:"0" "sess" in
+  let b = Registry.counter r ~node:"1" "sess" in
+  Registry.incr a;
+  Registry.incr a;
+  Registry.add b 5;
+  check_i "read a" 2 (Registry.read r ~node:"0" "sess");
+  check_i "read b" 5 (Registry.read r ~node:"1" "sess");
+  check_i "read absent" 0 (Registry.read r "sess");
+  check_i "total" 7 (Registry.total r "sess");
+  check_b "get-or-create aliases" true
+    (Registry.counter_value (Registry.counter r ~node:"0" "sess") = 2);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument
+       "Registry: sess{node=0} already registered with another kind (wanted \
+        gauge)")
+    (fun () -> ignore (Registry.gauge r ~node:"0" "sess"))
+
+let histogram_boundaries () =
+  let r = Registry.create () in
+  let hst = Registry.histogram r ~buckets:[ 10.; 20. ] "lat" in
+  (* A bucket's bound is inclusive: v <= le. *)
+  List.iter (Registry.observe hst) [ 9.9; 10.; 10.1; 20.; 20.000001; 1000. ];
+  (match Registry.snapshot r with
+  | [ (("lat", ""), Registry.Histogram { buckets; overflow; sum = _; observations }) ]
+    ->
+    Alcotest.(check (list (pair (float 1e-9) int)))
+      "bucket counts"
+      [ (10., 2); (20., 2) ]
+      buckets;
+    check_i "overflow" 2 overflow;
+    check_i "observations" 6 observations
+  | _ -> Alcotest.fail "expected one histogram row");
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Registry.histogram: bucket bounds must be strictly increasing")
+    (fun () -> ignore (Registry.histogram r ~buckets:[ 5.; 5. ] "bad"))
+
+let snapshot_order_and_aggregate () =
+  let r = Registry.create () in
+  (* Registration order is scrambled on purpose: snapshots sort by
+     (name, node), so output order must not depend on it. *)
+  Registry.add (Registry.counter r ~node:"1" "b") 3;
+  Registry.add (Registry.counter r ~node:"0" "b") 2;
+  Registry.add (Registry.counter r "a") 1;
+  let keys = List.map fst (Registry.snapshot r) in
+  Alcotest.(check (list (pair string string)))
+    "canonical order"
+    [ ("a", ""); ("b", "0"); ("b", "1") ]
+    keys;
+  (match Registry.aggregate (Registry.snapshot r) with
+  | [ (("a", ""), Registry.Counter 1); (("b", ""), Registry.Counter 5) ] -> ()
+  | _ -> Alcotest.fail "aggregate should sum node labels");
+  let text = Registry.render_text (Registry.snapshot r) in
+  check_s "render_text" "a 1\nb{node=0} 2\nb{node=1} 3\n" text
+
+(* ------------------------------------------------------------------ *)
+(* Trace queries                                                        *)
+
+let trace_queries () =
+  let tr = Trace.create () in
+  let b = h "traced" in
+  let ev phase peer = Event.Block { node = "1"; phase; block = b; peer } in
+  Trace.record tr ~ts:0. (Event.Block { node = "0"; phase = Event.Created; block = b; peer = None });
+  Trace.record tr ~ts:1. (Event.Block { node = "0"; phase = Event.Sent; block = b; peer = Some "1" });
+  Trace.record tr ~ts:2. (ev Event.Received (Some "0"));
+  Trace.record tr ~ts:2. (ev Event.Validated None);
+  Trace.record tr ~ts:3. (ev Event.Delivered None);
+  Trace.record tr ~ts:4. (ev Event.Witnessed (Some "w1"));
+  Trace.record tr ~ts:9. (ev Event.Witnessed (Some "w2"));
+  (* Non-block events must be ignored by the collector. *)
+  Trace.record tr ~ts:5. (Event.Net_sent { src = "0"; dst = "1"; bytes = 1 });
+  check_i "one block" 1 (List.length (Trace.blocks tr));
+  check_i "span length" 7 (List.length (Trace.span tr b));
+  check_f "propagation" 3. (Option.get (Trace.propagation_latency tr b));
+  check_f "witness q1" 4. (Option.get (Trace.witness_latency tr b));
+  check_f "witness q2" 9. (Option.get (Trace.witness_latency ~quorum:2 tr b));
+  check_b "witness q3 unmet" true (Trace.witness_latency ~quorum:3 tr b = None);
+  check_i "fan-in" 1 (Trace.fan_in tr b);
+  let hex = V.Hash_id.to_hex b in
+  check_b "find by prefix" true
+    (Trace.find tr (String.sub hex 0 6) = [ b ]);
+  check_b "find miss" true (Trace.find tr "zz" = []);
+  let rendered = Trace.render tr b in
+  check_b "render mentions created" true (contains rendered "created")
+
+(* ------------------------------------------------------------------ *)
+(* Fleet integration: stitching and byte-level determinism              *)
+
+let run_fleet ?jsonl_into ~seed until_ms =
+  let obs = Context.create () in
+  (match jsonl_into with
+  | Some buf -> Context.attach obs (Sink.jsonl (Buffer.add_string buf))
+  | None -> ());
+  let fleet = Net.Scenario.build ~seed ~obs ~topo:(Net.Topology.clique ~n:2) () in
+  (* Each peer authors one (empty, witnessing) block so there is block
+     traffic to trace; [] transactions keeps the fixture self-contained. *)
+  (match (Net.Gossip.append fleet.Net.Scenario.gossip 0 [],
+          Net.Gossip.append fleet.Net.Scenario.gossip 1 []) with
+  | Ok _, Ok _ -> ()
+  | (Error _, _ | _, Error _) -> Alcotest.fail "fixture append failed");
+  Net.Scenario.run fleet ~until_ms;
+  fleet
+
+let two_node_stitching () =
+  let fleet = run_fleet ~seed:404L 30_000. in
+  let tr = Context.trace fleet.Net.Scenario.obs in
+  (* Find a block that one node created and the other delivered. *)
+  let stitched =
+    List.filter
+      (fun b ->
+        let entries = Trace.span tr b in
+        let phase_node p =
+          List.filter_map
+            (fun (e : Trace.entry) ->
+              if Event.block_phase_equal e.Trace.phase p then Some e.Trace.node
+              else None)
+            entries
+        in
+        match (phase_node Event.Created, phase_node Event.Delivered) with
+        | [ creator ], delivs ->
+          List.exists (fun n -> not (String.equal n creator)) delivs
+        | _ -> false)
+      (Trace.blocks tr)
+  in
+  check_b "some block crossed nodes" true (stitched <> []);
+  List.iter
+    (fun b ->
+      match Trace.propagation_latency tr b with
+      | None -> Alcotest.fail "stitched block has no propagation latency"
+      | Some l -> check_b "latency positive" true (l > 0.))
+    stitched;
+  (* Counters derived from the same stream agree with the trace. *)
+  let reg = Context.registry fleet.Net.Scenario.obs in
+  check_b "delivered counter populated" true
+    (Registry.total reg "block.delivered" > 0);
+  check_b "sessions completed" true (Registry.total reg "session.completed" > 0)
+
+let same_seed_identical_trace () =
+  let run () =
+    let buf = Buffer.create 4096 in
+    ignore (run_fleet ~jsonl_into:buf ~seed:77L 20_000.);
+    Buffer.contents buf
+  in
+  let a = run () and b = run () in
+  check_b "trace non-empty" true (String.length a > 0);
+  check_s "byte-identical JSONL" a b;
+  let c =
+    let buf = Buffer.create 4096 in
+    ignore (run_fleet ~jsonl_into:buf ~seed:78L 20_000.);
+    Buffer.contents buf
+  in
+  check_b "different seed differs" true (not (String.equal a c))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics satellite: nearest-rank percentile fix + merge               *)
+
+let metrics_percentile_nearest_rank () =
+  let s = Net.Metrics.series "p" in
+  for i = 1 to 20 do
+    Net.Metrics.record s ~t:(float_of_int i) (float_of_int i)
+  done;
+  (* 0.95 *. 20. = 19.000000000000004: ceil must not bump the rank. *)
+  check_f "p95 of 1..20" 19. (Net.Metrics.percentile s 0.95);
+  check_f "p100" 20. (Net.Metrics.percentile s 1.0);
+  check_f "p0 clamps to first" 1. (Net.Metrics.percentile s 0.0);
+  check_f "median" 10. (Net.Metrics.percentile s 0.5);
+  check_f "empty" 0. (Net.Metrics.percentile (Net.Metrics.series "e") 0.5)
+
+let metrics_merge () =
+  let a = Net.Metrics.series "a" and b = Net.Metrics.series "b" in
+  Net.Metrics.record a ~t:1. 10.;
+  Net.Metrics.record a ~t:3. 30.;
+  Net.Metrics.record b ~t:2. 20.;
+  Net.Metrics.record b ~t:3. 31.;
+  let m = Net.Metrics.merge a b in
+  check_s "named after first" "a" (Net.Metrics.name m);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "time order, stable on ties"
+    [ (1., 10.); (2., 20.); (3., 30.); (3., 31.) ]
+    (Net.Metrics.points m);
+  check_i "inputs untouched" 2 (Net.Metrics.count a)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "jsonl round-trip (all variants)" `Quick
+            jsonl_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick jsonl_rejects_garbage;
+          Alcotest.test_case "float codec exact" `Quick json_float_exact;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "ring keeps most recent" `Quick
+            ring_keeps_most_recent;
+          Alcotest.test_case "jsonl sink writes lines" `Quick
+            jsonl_sink_writes_lines;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters + total" `Quick registry_counters;
+          Alcotest.test_case "histogram boundaries" `Quick histogram_boundaries;
+          Alcotest.test_case "snapshot order + aggregate" `Quick
+            snapshot_order_and_aggregate;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "span queries" `Quick trace_queries ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "two-node span stitching" `Quick
+            two_node_stitching;
+          Alcotest.test_case "same seed, identical trace bytes" `Quick
+            same_seed_identical_trace;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "percentile nearest-rank" `Quick
+            metrics_percentile_nearest_rank;
+          Alcotest.test_case "merge" `Quick metrics_merge;
+        ] );
+    ]
