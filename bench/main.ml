@@ -251,6 +251,102 @@ let obs_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* M9-dag: incremental DAG indices vs full-scan oracles (snapshotted to
+   BENCH_dag.json). Fixtures are braided multi-creator DAGs at 5k and
+   20k blocks; the naive legs recompute what the indices cache — the
+   witness poll by descendant BFS, the reconcile reply by per-hash
+   ancestors unions plus a fresh Kahn order.                            *)
+
+let braided ~n =
+  let hashes = Array.make (n + 1) genesis.V.Block.hash in
+  let dag = ref dag_genesis_only in
+  let prev = ref genesis.V.Block.hash in
+  let prev2 = ref genesis.V.Block.hash in
+  for i = 1 to n do
+    let creator = V.Hash_id.digest (Printf.sprintf "m9-creator-%d" (i mod 8)) in
+    let parents =
+      if i mod 5 = 0 && not (V.Hash_id.equal !prev !prev2) then [ !prev; !prev2 ]
+      else [ !prev ]
+    in
+    let b =
+      V.Block.create ~signer ~creator
+        ~timestamp:(V.Timestamp.of_ms (Int64.of_int (i * 10)))
+        ~parents []
+    in
+    dag := Result.get_ok (V.Dag.add !dag b);
+    hashes.(i) <- b.V.Block.hash;
+    prev2 := !prev;
+    prev := b.V.Block.hash
+  done;
+  (!dag, hashes)
+
+let dag_5k, hashes_5k = braided ~n:5_000
+let dag_20k, hashes_20k = braided ~n:20_000
+
+(* The initiator's view in the respond bench: its tip is 100 blocks
+   behind, and it advertises 15 deeper hashes (the recent levels). *)
+let sync_request hashes n =
+  let frontier = [ hashes.(n - 100) ] in
+  let recent = List.init 15 (fun k -> hashes.(n - 100 - ((k + 1) * 50))) in
+  (V.Reconcile.Sync_request { frontier; recent }, frontier @ recent)
+
+let request_5k, seeds_5k = sync_request hashes_5k 5_000
+let request_20k, seeds_20k = sync_request hashes_20k 20_000
+
+(* The pre-index reply computation, verbatim: one ancestors walk per
+   advertised hash, then a filter over a freshly recomputed Kahn order. *)
+let naive_respond dag seeds =
+  let base =
+    List.fold_left
+      (fun acc h ->
+        if V.Dag.mem dag h || V.Dag.is_archived dag h then
+          V.Hash_id.Set.union (V.Hash_id.Set.add h acc) (V.Dag.ancestors dag h)
+        else acc)
+      V.Hash_id.Set.empty seeds
+  in
+  List.filter
+    (fun (b : V.Block.t) -> not (V.Hash_id.Set.mem b.V.Block.hash base))
+    (V.Dag.Oracle.topo_order dag)
+
+(* Steady state: the next block comes from a creator already braided in,
+   so the witness-credit walk cuts off after ~8 ancestors. (A creator's
+   first-ever block instead pays one full walk — by design: that is the
+   moment it starts witnessing all prior history.) *)
+let next_block hashes n =
+  V.Block.create ~signer
+    ~creator:(V.Hash_id.digest (Printf.sprintf "m9-creator-%d" ((n + 1) mod 8)))
+    ~timestamp:(V.Timestamp.of_ms (Int64.of_int ((n + 1) * 10)))
+    ~parents:[ hashes.(n) ] []
+
+let next_5k = next_block hashes_5k 5_000
+let next_20k = next_block hashes_20k 20_000
+let mid_5k = hashes_5k.(2_500)
+let mid_20k = hashes_20k.(10_000)
+
+let dag_tests =
+  Test.make_grouped ~name:"M9-dag"
+    [
+      Test.make ~name:"add-5k" (stage (fun () -> V.Dag.add dag_5k next_5k));
+      Test.make ~name:"add-20k" (stage (fun () -> V.Dag.add dag_20k next_20k));
+      Test.make ~name:"witness-poll-5k"
+        (stage (fun () -> V.Witness.witness_count dag_5k mid_5k));
+      Test.make ~name:"witness-poll-naive-5k"
+        (stage (fun () -> V.Witness.oracle_witnesses dag_5k mid_5k));
+      Test.make ~name:"witness-poll-20k"
+        (stage (fun () -> V.Witness.witness_count dag_20k mid_20k));
+      Test.make ~name:"witness-poll-naive-20k"
+        (stage (fun () -> V.Witness.oracle_witnesses dag_20k mid_20k));
+      Test.make ~name:"respond-5k"
+        (stage (fun () -> V.Reconcile.respond dag_5k request_5k));
+      Test.make ~name:"respond-naive-5k"
+        (stage (fun () -> naive_respond dag_5k seeds_5k));
+      Test.make ~name:"respond-20k"
+        (stage (fun () -> V.Reconcile.respond dag_20k request_20k));
+      Test.make ~name:"respond-naive-20k"
+        (stage (fun () -> naive_respond dag_20k seeds_20k));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner: OLS estimate of ns/run per test, plain-text table            *)
 
 (* OLS ns/run per test in a group, as [(name, ns, r2)] rows. *)
@@ -300,12 +396,78 @@ let write_bench_obs rows =
       output_string oc "\n  ]\n}\n");
   Printf.printf "  (snapshot written to BENCH_obs.json)\n"
 
+(* The index-vs-oracle snapshot tracked across PRs. Speedups pair each
+   indexed leg with its naive recomputation at the same DAG size. *)
+let write_bench_dag rows =
+  let find suffix =
+    List.find_map
+      (fun (name, ns, _) ->
+        if String.length name >= String.length suffix
+           && String.equal suffix
+                (String.sub name
+                   (String.length name - String.length suffix)
+                   (String.length suffix))
+        then Some ns
+        else None)
+      rows
+  in
+  let speedups =
+    List.filter_map
+      (fun (label, indexed, naive) ->
+        match (find indexed, find naive) with
+        | Some i, Some n -> Some (label, i, n)
+        | _ -> None)
+      [
+        ("witness-poll-5k", "witness-poll-5k", "witness-poll-naive-5k");
+        ("witness-poll-20k", "witness-poll-20k", "witness-poll-naive-20k");
+        ("respond-5k", "respond-5k", "respond-naive-5k");
+        ("respond-20k", "respond-20k", "respond-naive-20k");
+      ]
+  in
+  let oc = open_out "BENCH_dag.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"benchmark\": \"M9-dag\",\n  \"results\": [";
+      List.iteri
+        (fun i (name, ns, r2) ->
+          if i > 0 then output_string oc ",";
+          (* r2 is nan when the quota allowed only one sample (the naive
+             legs at 20k take most of a second each); keep the JSON valid. *)
+          let r2 = if Float.is_nan r2 then 0.0 else r2 in
+          Printf.fprintf oc
+            "\n    {\"name\": %s, \"ns_per_op\": %.1f, \"ops_per_sec\": %.0f, \
+             \"r2\": %.4f}"
+            (Obs.Event.json_string name)
+            ns (1e9 /. ns) r2)
+        rows;
+      output_string oc "\n  ],\n  \"speedups\": [";
+      List.iteri
+        (fun i (label, indexed_ns, naive_ns) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "\n    {\"name\": %s, \"indexed_ns\": %.1f, \"naive_ns\": %.1f, \
+             \"speedup\": %.1f}"
+            (Obs.Event.json_string label)
+            indexed_ns naive_ns (naive_ns /. indexed_ns))
+        speedups;
+      output_string oc "\n  ]\n}\n");
+  List.iter
+    (fun (label, indexed_ns, naive_ns) ->
+      Printf.printf "  %-42s %14.1fx speedup vs naive\n" label
+        (naive_ns /. indexed_ns))
+    speedups;
+  Printf.printf "  (snapshot written to BENCH_dag.json)\n"
+
 let run_micro () =
   print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
   List.iter (fun test -> print_rows (estimate test)) tests;
   let obs_rows = estimate obs_tests in
   print_rows obs_rows;
   write_bench_obs obs_rows;
+  let dag_rows = estimate dag_tests in
+  print_rows dag_rows;
+  write_bench_dag dag_rows;
   print_newline ()
 
 let () =

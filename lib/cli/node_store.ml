@@ -170,9 +170,9 @@ let load ~dir =
       Error "key file does not match certificate"
     else begin
       let node = Node.create ~signer ~cert () in
-      Node.receive_all node
+      Node.receive_seq node
         ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
-        (Dag.topo_order dag);
+        (Dag.topo_seq dag);
       Hashtbl.replace registry dir (signer, height, seed);
       let t = { dir; node; ca_cert } in
       record t
@@ -200,9 +200,9 @@ let enroll ~ca_dir ~dir ~seed ?(height = 10) ?(role = "member") () =
       in
       let* () = save ca in
       let node = Node.create ~signer:subject ~cert () in
-      Node.receive_all node
+      Node.receive_seq node
         ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
-        (Dag.topo_order (Node.dag ca.node));
+        (Dag.topo_seq (Node.dag ca.node));
       Hashtbl.replace registry dir (subject, height, seed);
       let t = { dir; node; ca_cert = ca.ca_cert } in
       let* () = save t in
@@ -248,9 +248,9 @@ let rotate ~ca_dir ~dir ~seed ?(height = 10) () =
       Hashtbl.replace registry dir (fresh, height, seed);
       let* () = save t in
       (* The CA should learn the rotation block too. *)
-      Node.receive_all ca.node
+      Node.receive_seq ca.node
         ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
-        (Dag.topo_order (Node.dag t.node));
+        (Dag.topo_seq (Node.dag t.node));
       let* () = save ca in
       Ok t)
 
@@ -262,13 +262,13 @@ let sync t ~from ~mode =
     Reconcile.sync_dags mode (Node.dag t.node) (Node.dag from.node)
   in
   let fresh =
-    List.filter
-      (fun (b : Block.t) -> not (Dag.mem mine b.Block.hash))
-      (Dag.topo_order merged)
+    Dag.topo_seq merged
+    |> Seq.filter (fun (b : Block.t) -> not (Dag.mem mine b.Block.hash))
+    |> List.of_seq
   in
-  Node.receive_all t.node
+  Node.receive_seq t.node
     ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
-    (Dag.topo_order merged);
+    (Dag.topo_seq merged);
   let me = node_name t in
   record_all t
     (List.concat_map

@@ -181,7 +181,7 @@ let apply_block t (b : Block.t) =
   end
 
 let rebuild dag =
-  List.fold_left (fun t b -> fst (apply_block t b)) empty (Dag.topo_order dag)
+  Seq.fold_left (fun t b -> fst (apply_block t b)) empty (Dag.topo_seq dag)
 
 let converged a b =
   Store.equal a.store b.store

@@ -1,6 +1,28 @@
 module HSet = Hash_id.Set
 module HMap = Hash_id.Map
 
+(* Canonical-order key: blocks are emitted parents-first, ties broken by
+   (timestamp, hash). *)
+let key_compare (t1, h1) (t2, h2) =
+  match Timestamp.compare t1 t2 with 0 -> Hash_id.compare h1 h2 | c -> c
+
+(* The canonical topological order is an index maintained by [add], not a
+   traversal recomputed per call.
+
+   [Rev] holds the order newest-emitted first, so the monotone fast path
+   in [add] — a block whose (timestamp, hash) key exceeds every resident
+   key is always emitted last — is an O(1) cons. [Both] additionally
+   memoizes the forward list handed out by {!topo_order}/{!topo_seq}.
+   [Dirty] marks an invalidated cache (a mid-order insertion or a prune);
+   the next query re-runs Kahn once and re-memoizes.
+
+   The field is mutable purely as a memo: every state recomputes to the
+   same canonical order, so aliased snapshots sharing a cell always agree. *)
+type order_cache =
+  | Dirty
+  | Rev of Block.t list
+  | Both of Block.t list * Block.t list  (** (reversed, forward) *)
+
 type t = {
   blocks : Block.t HMap.t; (* resident blocks *)
   kids : HSet.t HMap.t; (* hash -> children (resident or not-yet-known) *)
@@ -9,6 +31,21 @@ type t = {
   archived : HSet.t; (* pruned: hash+height retained, body dropped *)
   genesis : Block.t option;
   bytes : int;
+  max_height_ : int; (* cached: max over [heights], 0 when empty *)
+  by_creator_ : int HMap.t; (* resident block count per creator *)
+  witnessed : HSet.t HMap.t;
+      (* hash -> creators of proper descendants, accumulated on [add].
+         Monotone: entries are never weakened by later pruning of the
+         descendants that contributed them (a witness signal, once seen,
+         is evidence of storage — §IV-H); only pruning the block itself
+         drops its entry. *)
+  max_key : (Timestamp.t * Hash_id.t) option;
+      (* upper bound on every key ever resident; gates the O(1) append
+         fast path of the order cache *)
+  mutable order : order_cache;
+  mutable below_memo : (Hash_id.t list * HSet.t) option;
+      (* last {!below} query and its closure — reconciliation sessions
+         poll the same frontier repeatedly; cleared by [add]/[prune] *)
 }
 
 type add_error =
@@ -25,6 +62,12 @@ let empty =
     archived = HSet.empty;
     genesis = None;
     bytes = 0;
+    max_height_ = 0;
+    by_creator_ = HMap.empty;
+    witnessed = HMap.empty;
+    max_key = None;
+    order = Both ([], []);
+    below_memo = None;
   }
 
 let mem t h = HMap.mem h t.blocks
@@ -38,12 +81,37 @@ let parents t h = match find t h with None -> [] | Some b -> b.Block.parents
 let children t h = Option.value (HMap.find_opt h t.kids) ~default:HSet.empty
 
 let height t h = HMap.find_opt h t.heights
-let max_height t = HMap.fold (fun _ h acc -> Int.max h acc) t.heights 0
+let max_height t = t.max_height_
 
 let missing_parents t (b : Block.t) =
   List.fold_left
     (fun acc p -> if known t p then acc else HSet.add p acc)
     HSet.empty b.Block.parents
+
+(* Credit [b]'s creator as a witness to every resident ancestor. The walk
+   cuts off where the creator is already recorded — the invariant "if c
+   is recorded at x, c is recorded at every resident ancestor of x" makes
+   the cutoff sound and each (block, creator) pair is inserted at most
+   once over the DAG's lifetime, so maintenance is amortized O(1) per
+   (ancestor, new creator). *)
+let credit_witness witnessed blocks (b : Block.t) =
+  let c = b.Block.creator in
+  let rec up acc stack =
+    match stack with
+    | [] -> acc
+    | x :: rest -> begin
+      match HMap.find_opt x blocks with
+      | None -> up acc rest (* archived or unknown: knowledge ends here *)
+      | Some (xb : Block.t) ->
+        let cur = Option.value (HMap.find_opt x acc) ~default:HSet.empty in
+        if HSet.mem c cur then up acc rest
+        else
+          up
+            (HMap.add x (HSet.add c cur) acc)
+            (List.rev_append xb.Block.parents rest)
+    end
+  in
+  up witnessed b.Block.parents
 
 let add t (b : Block.t) =
   let h = b.Block.hash in
@@ -75,6 +143,25 @@ let add t (b : Block.t) =
         HSet.add h
           (List.fold_left (fun f p -> HSet.remove p f) t.frontier b.Block.parents)
       in
+      let key = (b.Block.timestamp, h) in
+      (* A key above every resident key is emitted last by Kahn (it is
+         never the minimum of the ready set while another block remains),
+         so the cached order extends by a cons. Anything else lands
+         mid-order: invalidate and let the next query re-run Kahn once. *)
+      let order =
+        match t.order with
+        | Dirty -> Dirty
+        | Rev rev | Both (rev, _) -> begin
+          match t.max_key with
+          | Some mk when key_compare key mk < 0 -> Dirty
+          | Some _ | None -> Rev (b :: rev)
+        end
+      in
+      let max_key =
+        match t.max_key with
+        | Some mk when key_compare mk key > 0 -> Some mk
+        | Some _ | None -> Some key
+      in
       Ok
         {
           blocks = HMap.add h b t.blocks;
@@ -84,6 +171,15 @@ let add t (b : Block.t) =
           archived = t.archived;
           genesis = (if b.Block.parents = [] then Some b else t.genesis);
           bytes = t.bytes + Block.byte_size b;
+          max_height_ = Int.max t.max_height_ height;
+          by_creator_ =
+            HMap.update b.Block.creator
+              (fun n -> Some (1 + Option.value n ~default:0))
+              t.by_creator_;
+          witnessed = credit_witness t.witnessed t.blocks b;
+          max_key;
+          order;
+          below_memo = None;
         }
     end
   end
@@ -146,13 +242,14 @@ let is_ancestor t ~ancestor ~descendant =
 module Ready = Set.Make (struct
   type t = Timestamp.t * Hash_id.t
 
-  let compare (t1, h1) (t2, h2) =
-    match Timestamp.compare t1 t2 with 0 -> Hash_id.compare h1 h2 | c -> c
+  let compare = key_compare
 end)
 
 (* Kahn's algorithm with a deterministic ready set: parents first, ties by
-   (timestamp, hash). Pruned parents count as already emitted. *)
-let topo_order t =
+   (timestamp, hash). Pruned parents count as already emitted. This is the
+   definition of the canonical order; the cache above must reproduce it
+   byte-identically (pinned by a qcheck equivalence suite). *)
+let kahn t =
   let indegree =
     HMap.map
       (fun (b : Block.t) ->
@@ -192,8 +289,66 @@ let topo_order t =
   in
   go ready indegree []
 
+let force_order t =
+  match t.order with
+  | Both (_, fwd) -> fwd
+  | Rev rev ->
+    let fwd = List.rev rev in
+    t.order <- Both (rev, fwd);
+    fwd
+  | Dirty ->
+    let fwd = kahn t in
+    t.order <- Both (List.rev fwd, fwd);
+    fwd
+
+let topo_order = force_order
+let topo_seq t = List.to_seq (force_order t)
+
 let blocks t = List.map snd (HMap.bindings t.blocks)
+let blocks_seq t = Seq.map snd (HMap.to_seq t.blocks)
 let branch_width t = HSet.cardinal t.frontier
+
+let creator_count t c = Option.value (HMap.find_opt c t.by_creator_) ~default:0
+let by_creator t = t.by_creator_
+
+let witness_set t h =
+  match HMap.find_opt h t.blocks with
+  | None -> HSet.empty
+  | Some b ->
+    HSet.remove b.Block.creator
+      (Option.value (HMap.find_opt h t.witnessed) ~default:HSet.empty)
+
+let witness_count t h = HSet.cardinal (witness_set t h)
+
+let below t hs =
+  let hit =
+    match t.below_memo with
+    | Some (key, res) when List.equal Hash_id.equal key hs -> Some res
+    | Some _ | None -> None
+  in
+  match hit with
+  | Some res -> res
+  | None ->
+    (* Multi-source BFS toward genesis through resident blocks; archived
+       hashes are included where reached (knowledge ends there), exactly
+       like {!ancestors}. One traversal regardless of how many query
+       hashes the closure is seeded with. *)
+    let rec go stack acc =
+      match stack with
+      | [] -> acc
+      | x :: rest ->
+        if HSet.mem x acc then go rest acc
+        else begin
+          let acc = HSet.add x acc in
+          match HMap.find_opt x t.blocks with
+          | None -> go rest acc
+          | Some (xb : Block.t) -> go (List.rev_append xb.Block.parents rest) acc
+        end
+    in
+    let seeds = List.filter (fun h -> known t h) hs in
+    let res = go seeds HSet.empty in
+    t.below_memo <- Some (hs, res);
+    res
 
 let prune t h =
   match HMap.find_opt h t.blocks with
@@ -206,12 +361,35 @@ let prune t h =
       blocks = HMap.remove h t.blocks;
       archived = HSet.add h t.archived;
       bytes = t.bytes - Block.byte_size b;
+      by_creator_ =
+        HMap.update b.Block.creator
+          (function
+            | None -> None | Some n -> if n <= 1 then None else Some (n - 1))
+          t.by_creator_;
+      witnessed = HMap.remove h t.witnessed;
+      (* Removing a vertex relaxes its children's ordering constraint, so
+         they may legitimately move earlier in the canonical order:
+         invalidate rather than patch. [max_key] stays a (possibly stale)
+         upper bound, which only costs fast-path opportunities, never
+         correctness. *)
+      order = Dirty;
+      below_memo = None;
     }
 
 let is_archived t h = HSet.mem h t.archived
 let archived_hashes t = t.archived
 let archived_count t = HSet.cardinal t.archived
 let byte_size t = t.bytes
+
+module Oracle = struct
+  let topo_order = kahn
+
+  let below t hs =
+    List.fold_left
+      (fun acc h ->
+        if known t h then HSet.union (HSet.add h acc) (ancestors t h) else acc)
+      HSet.empty hs
+end
 
 (* Persistence: resident blocks in canonical topological order, then the
    archived (hash, height) pairs. Decoding re-inserts through [add], so a
@@ -241,6 +419,8 @@ let decode c =
           t with
           archived = HSet.add h t.archived;
           heights = HMap.add h height t.heights;
+          max_height_ = Int.max t.max_height_ height;
+          below_memo = None;
         })
       empty archived
   in

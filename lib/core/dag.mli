@@ -1,4 +1,4 @@
-(** The block DAG (§IV-C, Fig. 1).
+(** The block DAG (§IV-C, Fig. 1), with incrementally maintained indices.
 
     Blocks point to their parents; the genesis block is the unique sink.
     The {e frontier} (level-1 frontier set) is the set of blocks with no
@@ -7,6 +7,26 @@
 
     The structure is immutable: [add] returns a new DAG sharing almost all
     state, so nodes can snapshot cheaply.
+
+    {b Indices.} Every query a gossip reply, witness poll, or persistence
+    pass needs on its hot path is served from an index maintained by
+    {!add}/{!prune} rather than a traversal recomputed per call:
+
+    - the {e canonical topological order} ({!topo_order}, {!topo_seq}) is
+      cached and extended in O(1) by the monotone-timestamp fast path; an
+      out-of-order insertion or a prune invalidates it and the next query
+      re-runs Kahn once (amortized O(1) per block over any add sequence);
+    - {!max_height} and per-creator block counts ({!creator_count},
+      {!by_creator}) are O(1) reads;
+    - the {e witness index} ({!witness_set}, {!witness_count}) accrues
+      distinct-creator descendant sets on [add] — amortized O(1) per
+      (ancestor, new creator) — replacing the per-query descendant BFS;
+    - {!below} answers multi-hash ancestry closures with one traversal
+      and memoizes the last query across a reconciliation session.
+
+    {!ancestors}, {!descendants} and {!Oracle} remain full traversals:
+    fine for cold paths and tests, banned from hot paths by the
+    [no-full-scan-hot-path] lint rule (DESIGN.md §7).
 
     Storage offloading (§IV-I) is supported by {!prune}: a pruned block's
     body is dropped but its hash and height are remembered as {e archived},
@@ -40,33 +60,86 @@ val height : t -> Hash_id.t -> int option
     archived hashes too. *)
 
 val max_height : t -> int
+(** Highest height among resident and archived blocks — O(1), cached. *)
+
 val missing_parents : t -> Block.t -> Hash_id.Set.t
 (** Parents neither resident nor archived. *)
 
+(** {1 Reachability} *)
+
 val ancestors : t -> Hash_id.t -> Hash_id.Set.t
 (** Proper ancestors reachable through resident blocks (archived ancestry
-    is cut off at the archived hash, which is included). *)
+    is cut off at the archived hash, which is included). Full traversal —
+    use {!below} on hot paths. *)
 
 val descendants : t -> Hash_id.t -> Hash_id.Set.t
-(** Proper descendants. *)
+(** Proper descendants. Full traversal — witness polling reads
+    {!witness_set} instead. *)
 
 val is_ancestor : t -> ancestor:Hash_id.t -> descendant:Hash_id.t -> bool
+
+val below : t -> Hash_id.t list -> Hash_id.Set.t
+(** [below t hs] is the union over the known (resident or archived)
+    hashes in [hs] of the hash itself plus its ancestors — the
+    "everything the initiator already has" closure of a reconciliation
+    reply (Algorithm 1). One multi-source traversal regardless of
+    [List.length hs]; the last query's closure is memoized until the next
+    [add]/[prune], so a session polling a stable frontier pays once. *)
+
+(** {1 Canonical order} *)
 
 val topo_order : t -> Block.t list
 (** Canonical topological order: parents before children; ties broken by
     (timestamp, hash), so every replica with the same blocks lists them
-    identically. Pruned blocks are absent. *)
+    identically. Pruned blocks are absent. Served from the incremental
+    index — amortized O(1) after the first query on a given state. *)
+
+val topo_seq : t -> Block.t Seq.t
+(** {!topo_order} as an allocation-light sequence over the cached order —
+    for callers that filter or early-exit instead of keeping the list. *)
 
 val blocks : t -> Block.t list
 (** All resident blocks, unordered guarantees beyond determinism. *)
 
+val blocks_seq : t -> Block.t Seq.t
+(** {!blocks} without materializing the list (deterministic hash order). *)
+
 val branch_width : t -> int
 (** [|frontier|] — 1 when the chain is effectively linear (Fig. 1). *)
+
+(** {1 Creator and witness indices} *)
+
+val creator_count : t -> Hash_id.t -> int
+(** Resident blocks created by the given user — O(1), cached. *)
+
+val by_creator : t -> int Hash_id.Map.t
+(** All per-creator resident block counts (absent creator = 0). *)
+
+val witness_set : t -> Hash_id.t -> Hash_id.Set.t
+(** Distinct creators of proper descendants of the block, excluding the
+    block's own creator; empty if the hash is not resident. O(result)
+    from the incremental index.
+
+    The index is {e monotone}: a creator stays recorded even if the
+    descendant blocks that witnessed it are later pruned — a §IV-H
+    storage proof is evidence, not a live property of the resident
+    graph. On a prune-free DAG this equals the descendant-BFS oracle
+    ({!Witness.oracle_witnesses}); after pruning it is a superset. *)
+
+val witness_count : t -> Hash_id.t -> int
+
+(** {1 Pruning} *)
 
 val prune : t -> Hash_id.t -> t
 (** Drop the block body, remember hash+height as archived. No-op if the
     hash is not resident. Pruning the genesis or a frontier block is
-    refused (they anchor validation); @raise Invalid_argument then. *)
+    refused (they anchor validation); @raise Invalid_argument then.
+
+    Index soundness: heights and [max_height] are retained, creator
+    counts are decremented, the block's own witness entry is dropped
+    (its ancestors keep theirs — see {!witness_set}), and the cached
+    canonical order is invalidated (removing a vertex can legitimately
+    reorder its children), to be rebuilt once on the next query. *)
 
 val is_archived : t -> Hash_id.t -> bool
 val archived_hashes : t -> Hash_id.Set.t
@@ -75,11 +148,27 @@ val byte_size : t -> int
 (** Total encoded size of resident blocks — the storage metric for §IV-I
     experiments. *)
 
+(** {1 Oracles}
+
+    Reference recomputations of the incrementally maintained indices.
+    Test/bench use only: qcheck equivalence suites pin the indices to
+    these, and the [no-full-scan-hot-path] lint rule keeps them (and the
+    raw traversals above) out of the gossip and reconciliation layers. *)
+
+module Oracle : sig
+  val topo_order : t -> Block.t list
+  (** Fresh Kahn recomputation of the canonical order. *)
+
+  val below : t -> Hash_id.t list -> Hash_id.Set.t
+  (** Per-hash [ancestors] unions — the pre-index reply closure. *)
+end
+
 (** {1 Persistence}
 
     A replica can be flushed to stable storage and reloaded: resident
     blocks travel in topological order (so reload needs no buffering)
-    and archived hashes travel with their heights. *)
+    and archived hashes travel with their heights. Decoding re-inserts
+    through {!add}, which rebuilds every index. *)
 
 val encode : Buffer.t -> t -> unit
 val decode : Wire.cursor -> t

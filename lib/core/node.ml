@@ -29,9 +29,8 @@ type t = {
   mutable cert : Certificate.t;
   mutable dag : Dag.t;
   mutable csm : Csm.t;
-  mutable pending : Block.t list; (* newest first; drained on progress *)
+  mutable pending : Pending_pool.t; (* capacity-bounded; drained on progress *)
   max_skew_ms : int64;
-  max_pending : int;
   stats : stats;
 }
 
@@ -42,9 +41,8 @@ let create ?(max_skew_ms = Validation.default_max_skew_ms) ?(max_pending = 4096)
     cert;
     dag = Dag.empty;
     csm = Csm.empty;
-    pending = [];
+    pending = Pending_pool.create ~capacity:max_pending ();
     max_skew_ms;
-    max_pending;
     stats = { created = 0; accepted = 0; rejected = 0; duplicates = 0 };
   }
 
@@ -59,7 +57,7 @@ let dag t = t.dag
 let csm t = t.csm
 let membership t = Csm.membership t.csm
 let stats t = t.stats
-let pending_count t = List.length t.pending
+let pending_count t = Pending_pool.cardinal t.pending
 
 (* Accept a block that passed validation: store and apply. *)
 let commit t (b : Block.t) =
@@ -102,33 +100,25 @@ let try_accept t ~now (b : Block.t) : receive_result =
     end
   end
 
-let buffer t (b : Block.t) =
-  if
-    not
-      (List.exists (fun p -> Hash_id.equal p.Block.hash b.Block.hash) t.pending)
-  then begin
-    let pending = b :: t.pending in
-    t.pending <-
-      (if List.length pending > t.max_pending then
-         List.filteri (fun i _ -> i < t.max_pending) pending
-       else pending)
-  end
+let buffer t (b : Block.t) = t.pending <- Pending_pool.add t.pending b
 
-(* Retry buffered blocks until a pass makes no progress. *)
+(* Retry buffered blocks, oldest first, until a pass makes no progress. *)
 let drain t ~now =
   let progress = ref true in
   while !progress do
     progress := false;
-    let still = ref [] in
     List.iter
-      (fun b ->
+      (fun (b : Block.t) ->
         match try_accept t ~now b with
-        | Accepted -> progress := true
-        | Duplicate -> ()
-        | Buffered _ -> still := b :: !still
-        | Rejected _ -> t.stats.rejected <- t.stats.rejected + 1)
-      (List.rev t.pending);
-    t.pending <- !still
+        | Accepted ->
+          t.pending <- Pending_pool.remove t.pending b.Block.hash;
+          progress := true
+        | Duplicate -> t.pending <- Pending_pool.remove t.pending b.Block.hash
+        | Buffered _ -> ()
+        | Rejected _ ->
+          t.pending <- Pending_pool.remove t.pending b.Block.hash;
+          t.stats.rejected <- t.stats.rejected + 1)
+      (Pending_pool.blocks t.pending)
   done
 
 let receive t ~now b =
@@ -149,11 +139,12 @@ let receive t ~now b =
   r
 
 let receive_all t ~now blocks = List.iter (fun b -> ignore (receive t ~now b)) blocks
+let receive_seq t ~now blocks = Seq.iter (fun b -> ignore (receive t ~now b)) blocks
 
 let missing_dependencies t =
-  List.fold_left
-    (fun acc b -> Hash_id.Set.union acc (Dag.missing_parents t.dag b))
-    Hash_id.Set.empty t.pending
+  Pending_pool.fold
+    (fun b acc -> Hash_id.Set.union acc (Dag.missing_parents t.dag b))
+    t.pending Hash_id.Set.empty
 
 let prepare_transaction t ~crdt ~op args =
   match Store.prepare (Csm.store t.csm) ~crdt ~op args with
@@ -214,18 +205,25 @@ let prune_to t ~max_bytes ~archived =
   let pruned = ref 0 in
   if Dag.byte_size t.dag > max_bytes then begin
     let frontier = Dag.frontier t.dag in
-    List.iter
-      (fun (b : Block.t) ->
-        if
-          Dag.byte_size t.dag > max_bytes
-          && (not (Block.is_genesis b))
-          && not (Hash_id.Set.mem b.Block.hash frontier)
-        then begin
-          archived b;
-          t.dag <- Dag.prune t.dag b.Block.hash;
-          incr pruned
-        end)
-      (Dag.topo_order t.dag)
+    (* Walk the cached order and stop as soon as the budget is met:
+       byte_size only decreases during the loop, so the guard is
+       monotone and the early exit is sound. *)
+    let rec go seq =
+      if Dag.byte_size t.dag > max_bytes then
+        match seq () with
+        | Seq.Nil -> ()
+        | Seq.Cons ((b : Block.t), rest) ->
+          if
+            (not (Block.is_genesis b))
+            && not (Hash_id.Set.mem b.Block.hash frontier)
+          then begin
+            archived b;
+            t.dag <- Dag.prune t.dag b.Block.hash;
+            incr pruned
+          end;
+          go rest
+    in
+    go (Dag.topo_seq t.dag)
   end;
   !pruned
 

@@ -64,6 +64,10 @@ val receive : t -> now:Timestamp.t -> Block.t -> receive_result
 
 val receive_all : t -> now:Timestamp.t -> Block.t list -> unit
 
+val receive_seq : t -> now:Timestamp.t -> Block.t Seq.t -> unit
+(** {!receive_all} over a sequence (e.g. {!Dag.topo_seq} of a loaded
+    replica) without materializing the list. *)
+
 val missing_dependencies : t -> Hash_id.Set.t
 (** Parent hashes that block the transient buffer — what a device should
     request from a superpeer's support blockchain (§IV-I) when its peers

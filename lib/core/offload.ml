@@ -1,10 +1,11 @@
 type t = {
   mutable dag_ : Dag.t;
   mutable chain_ : Support.t;
-  mutable buffer : Block.t list;
+  mutable buffer : Pending_pool.t; (* unbounded: superpeers are storage-rich *)
 }
 
-let create () = { dag_ = Dag.empty; chain_ = Support.empty; buffer = [] }
+let create () =
+  { dag_ = Dag.empty; chain_ = Support.empty; buffer = Pending_pool.create () }
 
 let try_add t b =
   match Dag.add t.dag_ b with
@@ -17,32 +18,27 @@ let drain t =
   let progress = ref true in
   while !progress do
     progress := false;
-    let still = ref [] in
     List.iter
-      (fun b ->
-        if try_add t b then progress := true
-        else if not (Dag.mem t.dag_ b.Block.hash) then still := b :: !still)
-      (List.rev t.buffer);
-    t.buffer <- !still
+      (fun (b : Block.t) ->
+        if try_add t b then begin
+          t.buffer <- Pending_pool.remove t.buffer b.Block.hash;
+          progress := true
+        end
+        else if Dag.mem t.dag_ b.Block.hash then
+          t.buffer <- Pending_pool.remove t.buffer b.Block.hash)
+      (Pending_pool.blocks t.buffer)
   done
 
 let absorb t b =
   if not (Dag.mem t.dag_ b.Block.hash) then
-    if not (try_add t b) then begin
-      if
-        not
-          (List.exists
-             (fun p -> Hash_id.equal p.Block.hash b.Block.hash)
-             t.buffer)
-      then t.buffer <- b :: t.buffer
-    end
+    if not (try_add t b) then t.buffer <- Pending_pool.add t.buffer b
     else drain t
 
 let absorb_all t blocks = List.iter (absorb t) blocks
 
 let flush t =
   let archived = ref 0 in
-  List.iter
+  Seq.iter
     (fun (b : Block.t) ->
       if not (Support.contains t.chain_ b.Block.hash) then begin
         match Support.append t.chain_ b with
@@ -51,7 +47,7 @@ let flush t =
           incr archived
         | Error _ -> ()
       end)
-    (Dag.topo_order t.dag_);
+    (Dag.topo_seq t.dag_);
   !archived
 
 let chain t = t.chain_
@@ -61,5 +57,11 @@ let fetch t h =
   | Some b -> Some b
   | None -> Support.find t.chain_ h
 
+let serve_below t hashes =
+  let closure = Dag.below t.dag_ hashes in
+  Dag.topo_seq t.dag_
+  |> Seq.filter (fun (b : Block.t) -> Hash_id.Set.mem b.Block.hash closure)
+  |> List.of_seq
+
 let dag t = t.dag_
-let buffered_count t = List.length t.buffer
+let buffered_count t = Pending_pool.cardinal t.buffer

@@ -25,6 +25,13 @@ val chain : t -> Support.t
 val fetch : t -> Hash_id.t -> Block.t option
 (** Recover a block from the superpeer (DAG or support chain). *)
 
+val serve_below : t -> Hash_id.t list -> Block.t list
+(** Batch recovery (§IV-I): every absorbed block in the ancestry closure
+    of the given hashes ({!Dag.below} — each hash itself plus everything
+    below it), in canonical topological order, so a device can replay the
+    reply with no reorder buffering. Hashes the superpeer has never seen
+    are skipped. *)
+
 val dag : t -> Dag.t
 val buffered_count : t -> int
 (** Blocks waiting for missing parents. *)

@@ -1,0 +1,63 @@
+module IMap = Map.Make (Int)
+module HMap = Hash_id.Map
+
+type t = {
+  capacity : int option;
+  by_hash : int HMap.t; (* hash -> insertion seq *)
+  by_seq : Block.t IMap.t; (* insertion seq -> block; ordered oldest-first *)
+  next : int;
+  count : int; (* = IMap.cardinal by_seq, but O(1) *)
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Pending_pool.create: capacity < 1"
+  | Some _ | None -> ());
+  { capacity; by_hash = HMap.empty; by_seq = IMap.empty; next = 0; count = 0 }
+
+let cardinal t = t.count
+let is_empty t = t.count = 0
+let mem t h = HMap.mem h t.by_hash
+
+let evict_oldest t =
+  match IMap.min_binding_opt t.by_seq with
+  | None -> t
+  | Some (seq, b) ->
+    {
+      t with
+      by_hash = HMap.remove b.Block.hash t.by_hash;
+      by_seq = IMap.remove seq t.by_seq;
+      count = t.count - 1;
+    }
+
+let add t (b : Block.t) =
+  if HMap.mem b.Block.hash t.by_hash then t
+  else begin
+    let t =
+      {
+        t with
+        by_hash = HMap.add b.Block.hash t.next t.by_hash;
+        by_seq = IMap.add t.next b t.by_seq;
+        next = t.next + 1;
+        count = t.count + 1;
+      }
+    in
+    match t.capacity with
+    | Some cap when t.count > cap -> evict_oldest t
+    | Some _ | None -> t
+  end
+
+let remove t h =
+  match HMap.find_opt h t.by_hash with
+  | None -> t
+  | Some seq ->
+    {
+      t with
+      by_hash = HMap.remove h t.by_hash;
+      by_seq = IMap.remove seq t.by_seq;
+      count = t.count - 1;
+    }
+
+let blocks t = List.map snd (IMap.bindings t.by_seq)
+let to_seq t = Seq.map snd (IMap.to_seq t.by_seq)
+let fold f t acc = IMap.fold (fun _ b acc -> f b acc) t.by_seq acc

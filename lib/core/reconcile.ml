@@ -120,19 +120,15 @@ let respond dag = function
        initiator claims to have. The [recent] hashes (the initiator's
        deeper frontier levels) matter under mutual divergence: when the
        responder does not know the initiator's frontier tips, it can still
-       subtract the shared history below them. *)
-    let base =
-      List.fold_left
-        (fun acc h ->
-          if Dag.mem dag h || Dag.is_archived dag h then
-            HSet.union (HSet.add h acc) (Dag.ancestors dag h)
-          else acc)
-        HSet.empty (frontier @ recent)
-    in
+       subtract the shared history below them. [Dag.below] computes the
+       closure in one multi-source traversal (memoized across the
+       session), and the reply filter streams the cached canonical order
+       instead of materializing it. *)
+    let base = Dag.below dag (frontier @ recent) in
     let blocks =
-      List.filter
-        (fun (b : Block.t) -> not (HSet.mem b.Block.hash base))
-        (Dag.topo_order dag)
+      Dag.topo_seq dag
+      |> Seq.filter (fun (b : Block.t) -> not (HSet.mem b.Block.hash base))
+      |> List.of_seq
     in
     Some (Sync_reply { blocks })
   end
@@ -143,10 +139,10 @@ let respond dag = function
       (* Everything resident the initiator does not (appear to) have; the
          filter's false positives are recovered by explicit requests. *)
       let blocks =
-        List.filter
-          (fun (b : Block.t) ->
-            not (Vegvisir_crypto.Bloom.mem bloom (Hash_id.to_raw b.Block.hash)))
-          (Dag.topo_order dag)
+        Dag.topo_seq dag
+        |> Seq.filter (fun (b : Block.t) ->
+               not (Vegvisir_crypto.Bloom.mem bloom (Hash_id.to_raw b.Block.hash)))
+        |> List.of_seq
       in
       Some (Bloom_reply { blocks })
   end
@@ -183,10 +179,10 @@ let recent_level = 16
 let bloom_of_dag dag =
   let count = max 1 (Dag.cardinal dag + Dag.archived_count dag) in
   let bloom = Vegvisir_crypto.Bloom.create ~expected:count ~fp_rate:0.01 in
-  List.iter
+  Seq.iter
     (fun (b : Block.t) ->
       Vegvisir_crypto.Bloom.add bloom (Hash_id.to_raw b.Block.hash))
-    (Dag.blocks dag);
+    (Dag.blocks_seq dag);
   Hash_id.Set.iter
     (fun h -> Vegvisir_crypto.Bloom.add bloom (Hash_id.to_raw h))
     (Dag.archived_hashes dag);

@@ -1,4 +1,15 @@
-let witnesses dag h =
+let witnesses = Dag.witness_set
+let witness_count = Dag.witness_count
+let has_proof dag h ~k = witness_count dag h >= k
+
+let proven_ancestors dag h ~k =
+  if has_proof dag h ~k then Hash_id.Set.add h (Dag.below dag [ h ])
+  else Hash_id.Set.empty
+
+(* Reference recomputation: full descendant BFS per query. Kept as the
+   test oracle for the incremental index; on a prune-free DAG the two
+   agree exactly (see Dag.witness_set on prune). *)
+let oracle_witnesses dag h =
   match Dag.find dag h with
   | None -> Hash_id.Set.empty
   | Some b ->
@@ -10,10 +21,3 @@ let witnesses dag h =
           if Hash_id.equal db.Block.creator b.Block.creator then acc
           else Hash_id.Set.add db.Block.creator acc)
       (Dag.descendants dag h) Hash_id.Set.empty
-
-let witness_count dag h = Hash_id.Set.cardinal (witnesses dag h)
-let has_proof dag h ~k = witness_count dag h >= k
-
-let proven_ancestors dag h ~k =
-  if has_proof dag h ~k then Hash_id.Set.add h (Dag.ancestors dag h)
-  else Hash_id.Set.empty

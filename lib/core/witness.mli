@@ -4,7 +4,12 @@
     (possibly empty) to the chain. Once a block has descendants signed by
     at least [k] distinct other users, the block — and, transitively, all
     its ancestors — is considered persistent by the application. Quorums
-    need not overlap because the chain is a DAG. *)
+    need not overlap because the chain is a DAG.
+
+    Queries are served from the DAG's incremental witness index
+    ({!Dag.witness_set}) — O(result) per poll instead of a descendant
+    BFS. Recorded witnesses survive pruning of the witnessing blocks
+    (a storage proof is evidence, not a live graph property). *)
 
 val witnesses : Dag.t -> Hash_id.t -> Hash_id.Set.t
 (** Distinct creators of proper descendants of the block, excluding the
@@ -19,3 +24,9 @@ val proven_ancestors : Dag.t -> Hash_id.t -> k:int -> Hash_id.Set.t
 (** All blocks whose proof-of-witness follows from descendants of [h]
     having one: every ancestor of a proven block is proven (§IV-H). This
     returns the ancestors of [h] (including [h]) if [h] has a proof. *)
+
+val oracle_witnesses : Dag.t -> Hash_id.t -> Hash_id.Set.t
+(** Test oracle: recompute {!witnesses} by a full descendant BFS over the
+    resident graph. Equal to {!witnesses} on a prune-free DAG; after
+    pruning, {!witnesses} may be a superset (the index is monotone). Not
+    for hot paths. *)

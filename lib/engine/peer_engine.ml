@@ -86,7 +86,7 @@ let censor_add user_id dag (b : Block.t) =
   else dag
 
 let build_censored user_id full =
-  List.fold_left (censor_add user_id) Dag.empty (Dag.topo_order full)
+  Seq.fold_left (censor_add user_id) Dag.empty (Dag.topo_seq full)
 
 let create ?(policy = Honest) ?(mode = `Naive) ?(stale_after_ms = 5_000.)
     ?(session_timeout_ms = 30_000.) ?(retry_limit = 3) ~user_id ~dag () =

@@ -3,7 +3,7 @@ module V = Vegvisir
 let kb bytes = float_of_int bytes /. 1024.
 
 let full_dag_bytes dag =
-  List.fold_left (fun acc b -> acc + V.Block.byte_size b) 0 (V.Dag.blocks dag)
+  Seq.fold_left (fun acc b -> acc + V.Block.byte_size b) 0 (V.Dag.blocks_seq dag)
 
 let run_depth d =
   let a, b, _genesis = Workload.offline_pair () in

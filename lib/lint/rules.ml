@@ -14,6 +14,9 @@ let all =
       "lib/engine is sans-IO: no transport, OS, or console dependency" );
     ( "no-printf-outside-obs",
       "stdout writes in lib/* bypass the obs sinks; emit events instead" );
+    ( "no-full-scan-hot-path",
+      "whole-DAG traversals on gossip hot paths; use the incremental \
+       indices" );
     ("mli-coverage", "every lib module needs an explicit interface");
     ("parse-error", "file does not parse");
     ("lint-suppression", "malformed suppression comment (not suppressible)");
@@ -55,6 +58,19 @@ let mli_required path =
 let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
 
 let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+(* Matches Dag.f, Vegvisir.Dag.f, V.Dag.f, Dag.Oracle.f, ... — any
+   qualified mention of [f] inside a [Dag] module (aliases included). *)
+let rec dag_qualified fns parts =
+  match parts with
+  | "Dag" :: rest -> begin
+    match rest with
+    | [ fn ] -> List.exists (String.equal fn) fns
+    | [ "Oracle"; fn ] -> List.exists (String.equal fn) fns
+    | _ -> false
+  end
+  | _ :: rest -> dag_qualified fns rest
+  | [] -> false
 
 (* Comparison against a literal or constant constructor is monomorphic in
    practice (ints, strings, [], None, ...) and cannot touch an abstract
@@ -109,6 +125,10 @@ let check ~path structure =
     && not engine_on
   in
   let partial_on = has_prefix [ "lib" ] lp in
+  let full_scan_on =
+    has_prefix [ "lib"; "engine" ] lp
+    || path_eq lp [ "lib"; "core"; "reconcile.ml" ]
+  in
   let bound = bound_value_names structure in
   let findings = ref [] in
   let add loc rule message =
@@ -195,17 +215,24 @@ let check ~path structure =
              vegvisir-obs sink, or suppress where stdout is the module's \
              documented contract")
        | _ -> ());
-    if partial_on then
-      match parts with
-      | [ "List"; ("hd" | "tl" | "nth") ] | [ "Option"; "get" ] ->
-        add loc "no-partial-stdlib"
-          (name
-         ^ " raises on empty/short input; use the _opt variant or match \
-            explicitly")
-      | [ "Filename"; ("temp_file" | "open_temp_file") ] ->
-        add loc "no-partial-stdlib"
-          (name ^ " touches global mutable temp state; thread paths explicitly")
-      | _ -> ()
+    (if partial_on then
+       match parts with
+       | [ "List"; ("hd" | "tl" | "nth") ] | [ "Option"; "get" ] ->
+         add loc "no-partial-stdlib"
+           (name
+          ^ " raises on empty/short input; use the _opt variant or match \
+             explicitly")
+       | [ "Filename"; ("temp_file" | "open_temp_file") ] ->
+         add loc "no-partial-stdlib"
+           (name ^ " touches global mutable temp state; thread paths explicitly")
+       | _ -> ());
+    if full_scan_on && dag_qualified [ "topo_order"; "ancestors"; "descendants" ] parts
+    then
+      add loc "no-full-scan-hot-path"
+        (name
+       ^ " recomputes a whole-DAG view on a gossip hot path; use the \
+          incremental indices (Dag.topo_seq, Dag.below, Dag.witness_set) \
+          or suppress with a reason for oracle/test-only sites")
   in
   (* [open Simnet], [module S = Simnet], functor arguments, ... — any
      module-expression mention of a transport module in lib/engine, which

@@ -707,6 +707,24 @@ let offload_superpeer () =
   check_b "fetch" true (Offload.fetch sp c.Block.hash = Some c);
   check_i "reflush archives nothing" 0 (Offload.flush sp)
 
+let offload_serve_below () =
+  let _dag, a, b, c, d = diamond () in
+  let sp = Offload.create () in
+  Offload.absorb_all sp [ genesis; a; b; c; d ];
+  check_b "closure of b, topo order" true
+    (List.equal Block.equal [ genesis; a; b ]
+       (Offload.serve_below sp [ b.Block.hash ]));
+  check_b "closure of b+c shares ancestry" true
+    (List.equal Block.equal [ genesis; a; b; c ]
+       (Offload.serve_below sp [ b.Block.hash; c.Block.hash ]));
+  check_b "unknown hash serves nothing" true
+    ([] = Offload.serve_below sp [ Hash_id.digest "nowhere" ]);
+  (* A device can replay the reply in order with no buffering. *)
+  let n = fresh_node bob_signer bob_cert in
+  Node.receive_all n ~now:(ts 1_000) (Offload.serve_below sp [ d.Block.hash ]);
+  check_i "full closure replays cleanly" 5 (Dag.cardinal (Node.dag n));
+  check_i "nothing left pending" 0 (Node.pending_count n)
+
 (* ------------------------------------------------------------------ *)
 (* Node                                                                 *)
 
@@ -877,7 +895,186 @@ let decoder_fuzz () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Incremental DAG indices                                              *)
+
+let dag_incremental_indices () =
+  let dag, _a, b, _c, d = diamond () in
+  check_i "max_height cached" 3 (Dag.max_height dag);
+  check_i "alice creator count" 4
+    (Dag.creator_count dag alice_cert.Certificate.user_id);
+  check_i "owner creator count" 1
+    (Dag.creator_count dag owner_cert.Certificate.user_id);
+  check_i "unknown creator count" 0 (Dag.creator_count dag (Hash_id.digest "x"));
+  check_i "by_creator agrees" 4
+    (Option.value ~default:0
+       (Hash_id.Map.find_opt alice_cert.Certificate.user_id (Dag.by_creator dag)));
+  check_b "below = self + ancestors" true
+    (Hash_id.Set.equal
+       (Dag.below dag [ b.Block.hash ])
+       (Hash_id.Set.add b.Block.hash (Dag.ancestors dag b.Block.hash)));
+  check_b "below of frontier covers everything" true
+    (Hash_id.Set.equal (Dag.below dag [ d.Block.hash ]) (Hash_id.Set.of_list
+       (List.map (fun (b : Block.t) -> b.Block.hash) (Dag.blocks dag))));
+  check_b "below unknown empty" true
+    (Hash_id.Set.is_empty (Dag.below dag [ Hash_id.digest "x" ]));
+  (* Memoized repeat answers the same. *)
+  check_b "below memo stable" true
+    (Hash_id.Set.equal (Dag.below dag [ b.Block.hash ])
+       (Dag.below dag [ b.Block.hash ]));
+  check_b "topo_seq mirrors topo_order" true
+    (List.equal Block.equal (Dag.topo_order dag)
+       (List.of_seq (Dag.topo_seq dag)));
+  check_i "blocks_seq covers all" 5 (Seq.length (Dag.blocks_seq dag))
+
+let witness_index_monotone_under_prune () =
+  let d0 = dag_with_genesis () in
+  let a = mk_block ~t:10 ~parents:[ genesis.Block.hash ] "a" in
+  let w =
+    mk_block ~signer:bob_signer ~creator:bob_cert.Certificate.user_id ~t:20
+      ~parents:[ a.Block.hash ] "w"
+  in
+  let x = mk_block ~t:30 ~parents:[ w.Block.hash ] "x" in
+  let dag =
+    List.fold_left (fun acc b -> Result.get_ok (Dag.add acc b)) d0 [ a; w; x ]
+  in
+  let bob = bob_cert.Certificate.user_id in
+  check_b "index matches oracle pre-prune" true
+    (Hash_id.Set.equal
+       (Dag.witness_set dag a.Block.hash)
+       (Witness.oracle_witnesses dag a.Block.hash));
+  check_b "bob witnesses a" true
+    (Hash_id.Set.mem bob (Dag.witness_set dag a.Block.hash));
+  let dag = Dag.prune dag w.Block.hash in
+  (* The witnessing block is gone: the oracle forgets, the index (a §IV-H
+     storage proof is evidence) deliberately does not. *)
+  check_b "oracle forgets pruned witness" false
+    (Hash_id.Set.mem bob (Witness.oracle_witnesses dag a.Block.hash));
+  check_b "index retains pruned witness" true
+    (Hash_id.Set.mem bob (Dag.witness_set dag a.Block.hash));
+  check_i "pruned creator count drops" 0 (Dag.creator_count dag bob);
+  check_b "pruned block has no witness entry" true
+    (Hash_id.Set.is_empty (Dag.witness_set dag w.Block.hash))
+
+let pending_pool_basics () =
+  let a = mk_block ~t:10 ~parents:[ genesis.Block.hash ] "a" in
+  let b = mk_block ~t:20 ~parents:[ a.Block.hash ] "b" in
+  let c = mk_block ~t:30 ~parents:[ b.Block.hash ] "c" in
+  let hashes p = List.map (fun (x : Block.t) -> x.Block.hash) (Pending_pool.blocks p) in
+  let p = Pending_pool.create ~capacity:2 () in
+  check_b "empty" true (Pending_pool.is_empty p);
+  let p = Pending_pool.add (Pending_pool.add p a) a in
+  check_i "dedup by hash" 1 (Pending_pool.cardinal p);
+  let p = Pending_pool.add p b in
+  check_b "oldest first" true
+    (List.equal Hash_id.equal [ a.Block.hash; b.Block.hash ] (hashes p));
+  let p = Pending_pool.add p c in
+  check_i "capacity bound" 2 (Pending_pool.cardinal p);
+  check_b "oldest evicted" true
+    (List.equal Hash_id.equal [ b.Block.hash; c.Block.hash ] (hashes p));
+  check_b "evicted not member" false (Pending_pool.mem p a.Block.hash);
+  let p = Pending_pool.remove p b.Block.hash in
+  check_b "remove" true (List.equal Hash_id.equal [ c.Block.hash ] (hashes p));
+  let p = Pending_pool.remove p (Hash_id.digest "x") in
+  check_i "remove unknown is a no-op" 1 (Pending_pool.cardinal p);
+  check_b "to_seq mirrors blocks" true
+    (List.equal Block.equal (Pending_pool.blocks p)
+       (List.of_seq (Pending_pool.to_seq p)))
+
+let node_pending_eviction () =
+  let n = Node.create ~max_pending:2 ~signer:bob_signer ~cert:bob_cert () in
+  (match Node.receive n ~now:(ts 1) genesis with
+  | Node.Accepted -> ()
+  | r -> Alcotest.failf "genesis not accepted: %a" Node.pp_receive_result r);
+  let mk_pair i =
+    let p =
+      mk_block ~t:(10 * i) ~parents:[ genesis.Block.hash ] (Printf.sprintf "p%d" i)
+    in
+    let o =
+      mk_block ~t:((10 * i) + 5) ~parents:[ p.Block.hash ] (Printf.sprintf "o%d" i)
+    in
+    (p, o)
+  in
+  let p1, o1 = mk_pair 1 and p2, o2 = mk_pair 2 and p3, o3 = mk_pair 3 in
+  (* Orphans first: all buffered, the oldest evicted at capacity. *)
+  Node.receive_all n ~now:(ts 1_000) [ o1; o2; o3 ];
+  check_i "pending capped" 2 (Node.pending_count n);
+  check_b "dependencies tracked" true
+    (Hash_id.Set.mem p2.Block.hash (Node.missing_dependencies n));
+  check_b "evicted dependency forgotten" false
+    (Hash_id.Set.mem p1.Block.hash (Node.missing_dependencies n));
+  Node.receive_all n ~now:(ts 1_000) [ p1; p2; p3 ];
+  check_i "survivors drained" 0 (Node.pending_count n);
+  (* o1 was evicted; everything else landed. *)
+  check_i "all but evicted accepted" 6 (Dag.cardinal (Node.dag n));
+  check_b "evicted orphan lost" false (Dag.mem (Node.dag n) o1.Block.hash);
+  (* Redelivery recovers it — eviction is back-pressure, not rejection. *)
+  ignore (Node.receive n ~now:(ts 1_000) o1);
+  check_i "redelivered" 7 (Dag.cardinal (Node.dag n))
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                       *)
+
+(* Random DAG with interleaved adds (3 creators, occasional out-of-order
+   timestamps), prunes, and index queries — exercising every cache state
+   of the incremental indices. Returns the DAG and whether any prune
+   happened (witness-index equality only holds prune-free). *)
+let random_indexed_dag script =
+  let creators =
+    [|
+      (alice_signer, alice_cert); (bob_signer, bob_cert); (owner_signer, owner_cert);
+    |]
+  in
+  let dag = ref (dag_with_genesis ()) in
+  let resident = ref [ genesis.Block.hash ] in
+  let pruned = ref false in
+  List.iteri
+    (fun i pick ->
+      match pick mod 6 with
+      | 5 ->
+        (* Query between mutations: populate the memoized caches so the
+           next add/prune starts from a non-Dirty state. *)
+        ignore (Dag.topo_order !dag);
+        ignore (Dag.below !dag [ genesis.Block.hash ])
+      | 4 -> begin
+        let frontier = Dag.frontier !dag in
+        let candidates =
+          List.filter
+            (fun (b : Block.t) ->
+              (not (Block.is_genesis b))
+              && not (Hash_id.Set.mem b.Block.hash frontier))
+            (Dag.topo_order !dag)
+        in
+        match candidates with
+        | [] -> ()
+        | _ :: _ ->
+          let b = List.nth candidates (pick mod List.length candidates) in
+          dag := Dag.prune !dag b.Block.hash;
+          pruned := true;
+          resident :=
+            List.filter
+              (fun h -> not (Hash_id.equal h b.Block.hash))
+              !resident
+      end
+      | r ->
+        let signer, cert = creators.(r mod 3) in
+        let parents =
+          List.filteri (fun j _ -> (j + pick) mod 3 <> 0) !resident
+          |> fun l -> if l = [] then [ genesis.Block.hash ] else l
+        in
+        (* Every 7th insertion back-dates its timestamp, forcing the
+           out-of-order slow path of the topo cache. *)
+        let t = if pick mod 7 = 0 then i + 2 else (i + 2) * 10 in
+        let b =
+          mk_block ~signer ~creator:cert.Certificate.user_id ~t ~parents
+            (Printf.sprintf "r%d" i)
+        in
+        (match Dag.add !dag b with
+        | Ok d ->
+          dag := d;
+          resident := b.Block.hash :: !resident
+        | Error _ -> ()))
+    script;
+  (!dag, !pruned)
 
 let qcheck_tests =
   let open QCheck in
@@ -965,6 +1162,58 @@ let qcheck_tests =
              && check (n + 1)
         in
         check 1);
+    Test.make ~name:"incremental topo order == fresh Kahn (byte-identical)"
+      ~count:50
+      (list_of_size Gen.(0 -- 25) (int_range 0 30))
+      (fun script ->
+        let dag, _ = random_indexed_dag script in
+        List.equal Block.equal (Dag.topo_order dag) (Dag.Oracle.topo_order dag)
+        &&
+        (* The persisted image (encode walks the cached order) survives a
+           decode/re-encode round trip byte-identically. *)
+        let img = Dag.to_string dag in
+        match Dag.of_string img with
+        | None -> false
+        | Some dag' -> String.equal img (Dag.to_string dag'));
+    Test.make ~name:"incremental witness index vs descendant-BFS oracle"
+      ~count:50
+      (list_of_size Gen.(0 -- 25) (int_range 0 30))
+      (fun script ->
+        let dag, pruned = random_indexed_dag script in
+        List.for_all
+          (fun (b : Block.t) ->
+            let h = b.Block.hash in
+            let index = Dag.witness_set dag h in
+            let oracle = Witness.oracle_witnesses dag h in
+            (* Equal prune-free; the index is a monotone superset after
+               pruning (witness facts survive their witnessing blocks). *)
+            if pruned then Hash_id.Set.subset oracle index
+            else Hash_id.Set.equal oracle index)
+          (Dag.blocks dag));
+    Test.make ~name:"below vs per-hash ancestors-union oracle" ~count:50
+      (pair
+         (list_of_size Gen.(0 -- 25) (int_range 0 30))
+         (list_of_size Gen.(0 -- 4) (int_range 0 30)))
+      (fun (script, seed_picks) ->
+        let dag, _ = random_indexed_dag script in
+        let order = Dag.topo_order dag in
+        let seeds =
+          Hash_id.digest "unknown-seed"
+          :: List.filter_map
+               (fun p ->
+                 match List.nth_opt order (p mod max 1 (List.length order)) with
+                 | Some b -> Some b.Block.hash
+                 | None -> None)
+               seed_picks
+        in
+        let expected = Dag.Oracle.below dag seeds in
+        Hash_id.Set.equal (Dag.below dag seeds) expected
+        (* Second query returns the memo: still equal, still fresh. *)
+        && Hash_id.Set.equal (Dag.below dag seeds) expected
+        (* A different seed list must not be served the stale memo. *)
+        && Hash_id.Set.equal
+             (Dag.below dag [ genesis.Block.hash ])
+             (Dag.Oracle.below dag [ genesis.Block.hash ]));
   ]
 
 let () =
@@ -994,6 +1243,7 @@ let () =
           Alcotest.test_case "level frontier" `Quick dag_level_frontier;
           Alcotest.test_case "topo order" `Quick dag_topo_order;
           Alcotest.test_case "prune" `Quick dag_prune;
+          Alcotest.test_case "incremental indices" `Quick dag_incremental_indices;
         ] );
       ( "validation",
         [
@@ -1009,7 +1259,12 @@ let () =
           Alcotest.test_case "membership rules" `Quick csm_membership_rules;
           Alcotest.test_case "order determinism" `Quick csm_deterministic_across_orders;
         ] );
-      ("witness", [ Alcotest.test_case "counting" `Quick witness_counting ]);
+      ( "witness",
+        [
+          Alcotest.test_case "counting" `Quick witness_counting;
+          Alcotest.test_case "index monotone under prune" `Quick
+            witness_index_monotone_under_prune;
+        ] );
       ( "reconcile",
         [
           Alcotest.test_case "message roundtrip" `Quick reconcile_message_roundtrip;
@@ -1023,10 +1278,13 @@ let () =
           Alcotest.test_case "chain rules" `Quick support_chain_rules;
           Alcotest.test_case "order violation" `Quick support_detects_order_violation;
           Alcotest.test_case "superpeer" `Quick offload_superpeer;
+          Alcotest.test_case "serve_below" `Quick offload_serve_below;
         ] );
       ( "node",
         [
           Alcotest.test_case "buffering" `Quick node_buffering_out_of_order;
+          Alcotest.test_case "pending pool" `Quick pending_pool_basics;
+          Alcotest.test_case "pending eviction" `Quick node_pending_eviction;
           Alcotest.test_case "frontier reining" `Quick node_append_reins_frontier;
           Alcotest.test_case "no genesis" `Quick node_no_genesis;
           Alcotest.test_case "signer exhaustion" `Quick node_signer_exhaustion;

@@ -164,6 +164,34 @@ let test_printf_outside_obs () =
     "let f s = print_string s (* lint: allow no-printf-outside-obs \
      \xe2\x80\x94 stdout is the contract *)"
 
+let test_full_scan_hot_path () =
+  check_fires "no-full-scan-hot-path" "lib/engine/peer_engine.ml"
+    "let f dag = Dag.topo_order dag";
+  check_fires "no-full-scan-hot-path" "lib/engine/peer_engine.ml"
+    "let f dag h = Dag.ancestors dag h";
+  check_fires "no-full-scan-hot-path" "lib/core/reconcile.ml"
+    "let f dag h = Dag.descendants dag h";
+  (* Module aliases and full qualification are caught too. *)
+  check_fires "no-full-scan-hot-path" "lib/engine/peer_engine.ml"
+    "let f dag = Vegvisir.Dag.topo_order dag";
+  check_fires "no-full-scan-hot-path" "lib/engine/peer_engine.ml"
+    "let f dag = Dag.Oracle.topo_order dag";
+  (* The incremental accessors are the sanctioned replacements. *)
+  check_silent ~rule:"no-full-scan-hot-path" "lib/engine/peer_engine.ml"
+    "let f dag = Dag.topo_seq dag";
+  check_silent ~rule:"no-full-scan-hot-path" "lib/core/reconcile.ml"
+    "let f dag hs = Dag.below dag hs";
+  (* Cold paths (witness oracle, persistence, experiments) are out of
+     scope. *)
+  check_silent ~rule:"no-full-scan-hot-path" "lib/core/witness.ml"
+    "let f dag h = Dag.descendants dag h";
+  check_silent ~rule:"no-full-scan-hot-path" "lib/experiments/exp_cluster.ml"
+    "let f dag = Dag.topo_order dag";
+  (* A reasoned suppression covers an oracle-only site. *)
+  check_silent ~rule:"no-full-scan-hot-path" "lib/core/reconcile.ml"
+    "let f dag = Dag.topo_order dag (* lint: allow no-full-scan-hot-path \
+     \xe2\x80\x94 oracle for the reply filter *)"
+
 let test_suppression () =
   (* Same-line suppression. *)
   check_silent "lib/core/dag.ml"
@@ -253,6 +281,8 @@ let () =
           Alcotest.test_case "engine-transport-purity" `Quick test_engine_purity;
           Alcotest.test_case "no-printf-outside-obs" `Quick
             test_printf_outside_obs;
+          Alcotest.test_case "no-full-scan-hot-path" `Quick
+            test_full_scan_hot_path;
           Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
         ] );
       ( "machinery",
