@@ -251,6 +251,49 @@ let obs_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* M10-health: the monitor fold vs a null sink on the same bus — the
+   marginal per-event cost of the derived health metrics.               *)
+
+let health_null_bus =
+  let bus = Obs.Bus.create () in
+  Obs.Bus.attach bus Obs.Sink.null;
+  bus
+
+let health_monitor_bus =
+  let bus = Obs.Bus.create () in
+  let monitor =
+    Obs.Monitor.create ~nodes:(List.init 8 string_of_int) ()
+  in
+  Obs.Bus.attach bus (Obs.Monitor.sink monitor);
+  bus
+
+(* Monotone timestamps without a clock read in the loop: the monitor's
+   sampling path only compares against the last seen value. *)
+let health_ts = ref 0.
+
+let health_tick () =
+  health_ts := !health_ts +. 1.;
+  !health_ts
+
+let health_tests =
+  Test.make_grouped ~name:"M10-health"
+    [
+      Test.make ~name:"emit-net-null"
+        (stage (fun () ->
+             Obs.Bus.emit health_null_bus ~ts:(health_tick ()) obs_net_event));
+      Test.make ~name:"emit-net-monitor"
+        (stage (fun () ->
+             Obs.Bus.emit health_monitor_bus ~ts:(health_tick ()) obs_net_event));
+      Test.make ~name:"emit-block-null"
+        (stage (fun () ->
+             Obs.Bus.emit health_null_bus ~ts:(health_tick ()) obs_block_event));
+      Test.make ~name:"emit-block-monitor"
+        (stage (fun () ->
+             Obs.Bus.emit health_monitor_bus ~ts:(health_tick ())
+               obs_block_event));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* M9-dag: incremental DAG indices vs full-scan oracles (snapshotted to
    BENCH_dag.json). Fixtures are braided multi-creator DAGs at 5k and
    20k blocks; the naive legs recompute what the indices cache — the
@@ -383,7 +426,7 @@ let write_bench_obs rows =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc "{\n  \"benchmark\": \"M8-obs\",\n  \"results\": [";
+      output_string oc "{\n  \"benchmark\": \"M8-obs+M10-health\",\n  \"results\": [";
       List.iteri
         (fun i (name, ns, r2) ->
           if i > 0 then output_string oc ",";
@@ -462,7 +505,7 @@ let write_bench_dag rows =
 let run_micro () =
   print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
   List.iter (fun test -> print_rows (estimate test)) tests;
-  let obs_rows = estimate obs_tests in
+  let obs_rows = estimate obs_tests @ estimate health_tests in
   print_rows obs_rows;
   write_bench_obs obs_rows;
   let dag_rows = estimate dag_tests in

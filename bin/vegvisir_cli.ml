@@ -143,6 +143,53 @@ let sync_cmd =
              serving peer (Algorithm 1).")
     Term.(const run $ dir_arg $ from $ live $ mode_arg)
 
+(* Telemetry replay: rebuild a fresh observability context from the node
+   directories' trace.jsonl files. Events are merged in timestamp order
+   (ties keep the --dir order), so the same directories always render
+   the same output. *)
+
+let dirs_arg =
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"Node directory; repeat to merge several nodes' telemetry.")
+
+let load_events dirs =
+  List.concat_map (fun dir -> Vegvisir_cli.Node_store.load_trace ~dir) dirs
+  |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+
+let replay_events events =
+  let ctx = Vegvisir_obs.Context.create () in
+  List.iter (fun (ts, ev) -> Vegvisir_obs.Context.emit ctx ~ts ev) events;
+  ctx
+
+let replay_dirs dirs = replay_events (load_events dirs)
+
+(* The replica fleet implied by a set of journals: every distinct
+   primary node identity, sorted. Each CLI directory journals its own
+   events under one name, so merging N directories yields N nodes. *)
+let fleet_nodes events =
+  List.filter_map (fun (_, ev) -> Vegvisir_obs.Event.primary_node ev) events
+  |> List.sort_uniq String.compare
+
+let replay_health ?every dirs =
+  let events = load_events dirs in
+  let monitor =
+    Vegvisir_obs.Monitor.create ?every ~nodes:(fleet_nodes events) ()
+  in
+  let ctx = Vegvisir_obs.Context.create () in
+  Vegvisir_obs.Context.attach ctx (Vegvisir_obs.Monitor.sink monitor);
+  List.iter (fun (ts, ev) -> Vegvisir_obs.Context.emit ctx ~ts ev) events;
+  (ctx, monitor)
+
+(* The Prometheus scrape body: the replayed registry plus the health
+   gauges, rendered fresh per call so every scrape sees current files. *)
+let render_prometheus ?every dirs () =
+  let ctx, monitor = replay_health ?every dirs in
+  let reg = Vegvisir_obs.Context.registry ctx in
+  Vegvisir_obs.Health.export monitor reg;
+  Vegvisir_obs.Registry.to_prometheus (Vegvisir_obs.Registry.snapshot reg)
+
 let serve_cmd =
   let port =
     Arg.(
@@ -155,7 +202,21 @@ let serve_cmd =
       & info [ "accept-timeout" ] ~docv:"SECONDS"
           ~doc:"Give up if no peer connects within this long (default: wait forever).")
   in
-  let run dir port timeout mode =
+  let metrics =
+    Arg.(
+      value & opt (some int) None
+      & info [ "metrics" ] ~docv:"PORT"
+          ~doc:"After the sync exchange, serve Prometheus text metrics \
+                ($(b,GET /metrics)) on this loopback port, rendered from \
+                the directory's telemetry journal.")
+  in
+  let metrics_requests =
+    Arg.(
+      value & opt int 1
+      & info [ "metrics-requests" ] ~docv:"N"
+          ~doc:"How many scrapes to answer before exiting (with --metrics).")
+  in
+  let run dir port timeout mode metrics metrics_requests =
     let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
     Printf.printf "serving %s on 127.0.0.1:%d\n%!" dir port;
     let report =
@@ -164,13 +225,27 @@ let serve_cmd =
            ~port ())
     in
     Printf.printf "answered %d request(s)\n" report.Vegvisir_cli.Live_sync.served;
-    print_stats report.Vegvisir_cli.Live_sync.pulled
+    print_stats report.Vegvisir_cli.Live_sync.pulled;
+    match metrics with
+    | None -> ()
+    | Some mport ->
+      Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!" mport;
+      let answered =
+        or_die
+          (Vegvisir_cli.Metrics_server.serve ~port:mport
+             ~requests:metrics_requests ?timeout_s:timeout
+             ~render:(render_prometheus [ dir ]) ())
+      in
+      Printf.printf "answered %d scrape(s)\n" answered
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Answer one live peer's pull over TCP, then pull back from it \
-             (see $(b,sync --live)).")
-    Term.(const run $ dir_arg $ port $ timeout $ mode_arg)
+             (see $(b,sync --live)). With $(b,--metrics), follow up with a \
+             Prometheus scrape endpoint.")
+    Term.(
+      const run $ dir_arg $ port $ timeout $ mode_arg $ metrics
+      $ metrics_requests)
 
 let show_cmd =
   let run dir =
@@ -241,26 +316,6 @@ let export_dot_cmd =
   Cmd.v (Cmd.info "export-dot" ~doc:"Print the DAG in Graphviz format.")
     Term.(const run $ dir_arg)
 
-(* Telemetry commands: replay the node directories' trace.jsonl files
-   into a fresh observability context. Events are merged in timestamp
-   order (ties keep the --dir order), so the same directories always
-   render the same output. *)
-
-let dirs_arg =
-  Arg.(
-    non_empty & opt_all string []
-    & info [ "dir" ] ~docv:"DIR"
-        ~doc:"Node directory; repeat to merge several nodes' telemetry.")
-
-let replay_dirs dirs =
-  let events =
-    List.concat_map (fun dir -> Vegvisir_cli.Node_store.load_trace ~dir) dirs
-    |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
-  in
-  let ctx = Vegvisir_obs.Context.create () in
-  List.iter (fun (ts, ev) -> Vegvisir_obs.Context.emit ctx ~ts ev) events;
-  ctx
-
 let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Render the registry as JSON.")
@@ -308,6 +363,75 @@ let trace_cmd =
              directories' trace.jsonl telemetry.")
     Term.(const run $ block $ dirs_arg)
 
+let health_cmd =
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Render the Prometheus text exposition instead of the \
+                human-readable report.")
+  in
+  let every =
+    Arg.(
+      value & opt (some float) None
+      & info [ "every" ] ~docv:"MS"
+          ~doc:"Frontier-divergence sampling tick in trace milliseconds \
+                (default 1000).")
+  in
+  let run dirs prometheus every =
+    if prometheus then print_string (render_prometheus ?every dirs ())
+    else begin
+      let _ctx, monitor = replay_health ?every dirs in
+      print_string (Vegvisir_obs.Health.report monitor)
+    end
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Replay the directories' trace.jsonl telemetry through the \
+             health monitor and print the derived metrics: frontier \
+             divergence, convergence lag, gossip efficiency, witness \
+             quorum latency.")
+    Term.(const run $ dirs_arg $ prometheus $ every)
+
+let recover_cmd =
+  let from =
+    Arg.(
+      required & opt (some string) None
+      & info [ "from" ] ~docv:"DIR" ~doc:"Directory of the node to recover from.")
+  in
+  let blocks =
+    let hash =
+      Arg.conv
+        ( (fun s ->
+            match Vegvisir.Hash_id.of_hex s with
+            | Some h -> Ok h
+            | None -> Error (`Msg "expected a full block hash in hex")),
+          fun ppf h -> Fmt.string ppf (Vegvisir.Hash_id.to_hex h) )
+    in
+    Arg.(
+      value & opt_all hash []
+      & info [ "block" ] ~docv:"HASH"
+          ~doc:"Recover the ancestry closure below this block (full hex \
+                hash; repeatable). Default: the source's whole frontier.")
+  in
+  let run dir from blocks =
+    let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
+    let src = or_die (Vegvisir_cli.Node_store.load ~dir:from) in
+    let below = match blocks with [] -> None | hs -> Some hs in
+    let served, restored =
+      or_die (Vegvisir_cli.Node_store.recover t ~from:src ?below ())
+    in
+    Printf.printf "recovered %d block(s) from a %d-block closure\n" restored
+      served
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Batch ancestry recovery (§IV-I): re-admit every locally \
+             missing block in the ancestry closure of the given blocks \
+             (default: the source's frontier), served from another node \
+             directory's replica.")
+    Term.(const run $ dir_arg $ from $ blocks)
+
 let () =
   let info =
     Cmd.info "vegvisir-cli" ~doc:"File-backed Vegvisir blockchain nodes"
@@ -317,4 +441,4 @@ let () =
        (Cmd.group info
           [ init_cmd; enroll_cmd; append_cmd; sync_cmd; serve_cmd; show_cmd;
             verify_cmd; export_dot_cmd; simulate_cmd; rotate_cmd; stats_cmd;
-            trace_cmd ]))
+            trace_cmd; health_cmd; recover_cmd ]))

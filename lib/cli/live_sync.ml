@@ -149,6 +149,13 @@ let apply d (eff : Peer_engine.effect_) =
         (List.map
            (fun h -> block_event d Obs.Event.Sent ~peer:remote_name h)
            blocks)
+    | Peer_engine.Redundant_received { blocks; _ } ->
+      Node_store.record_all d.store
+        (List.map
+           (fun h ->
+             Obs.Event.Block_redundant
+               { node = d.me; block = h; peer = Some remote_name })
+           blocks)
     | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
     | Peer_engine.Decode_failed _ ->
       ()

@@ -1,0 +1,83 @@
+(* A deliberately minimal HTTP/1.1 responder for the Prometheus text
+   exposition: one blocking GET /metrics at a time over Unix_compat's
+   loopback TCP. No routing, no keep-alive, no chunking — a scraper
+   connects, sends one request, gets one response, and the connection
+   closes. Anything fancier belongs in a real HTTP stack; this exists so
+   a live vegvisir-cli node has a standard scrape surface with zero new
+   dependencies. *)
+
+type t = { listener : Unix_compat.listener }
+
+let ( let* ) = Result.bind
+
+let start ?host ~port () =
+  let* listener = Unix_compat.listen ?host ~port () in
+  Ok { listener }
+
+let port t = Unix_compat.bound_port t.listener
+let stop t = Unix_compat.close_listener t.listener
+
+(* Longest plausible scrape request head; anything bigger is not a
+   Prometheus scraper. *)
+let max_request_bytes = 16 * 1024
+
+let response ~status ~body =
+  String.concat "\r\n"
+    [
+      "HTTP/1.1 " ^ status;
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8";
+      "Content-Length: " ^ string_of_int (String.length body);
+      "Connection: close";
+      "";
+      body;
+    ]
+
+let parse_target head =
+  match String.index_opt head '\r' with
+  | None -> None
+  | Some eol -> begin
+    match String.split_on_char ' ' (String.sub head 0 eol) with
+    | [ meth; target; _version ] -> Some (meth, target)
+    | _ -> None
+  end
+
+let is_metrics target =
+  String.equal target "/metrics"
+  || String.length target > 8
+     && String.equal (String.sub target 0 9) "/metrics?"
+
+let handle_one ?timeout_s t ~render =
+  let* conn = Unix_compat.accept ?timeout_s t.listener in
+  let result =
+    let* head =
+      Unix_compat.recv_until ?timeout_s conn ~delim:"\r\n\r\n"
+        ~max_bytes:max_request_bytes
+    in
+    match head with
+    | None -> Ok () (* peer connected and left; nothing to answer *)
+    | Some head ->
+      let body =
+        match parse_target head with
+        | Some ("GET", target) when is_metrics target ->
+          response ~status:"200 OK" ~body:(render ())
+        | Some _ -> response ~status:"404 Not Found" ~body:"not found\n"
+        | None -> response ~status:"400 Bad Request" ~body:"bad request\n"
+      in
+      Unix_compat.send_raw conn body
+  in
+  Unix_compat.close_conn conn;
+  result
+
+let serve ?host ~port ?(requests = 1) ?timeout_s ~render () =
+  let* t = start ?host ~port () in
+  let rec go served =
+    if served >= requests then Ok served
+    else begin
+      match handle_one ?timeout_s t ~render with
+      | Ok () -> go (served + 1)
+      | Error msg -> Error msg
+    end
+  in
+  let r = go 0 in
+  stop t;
+  r

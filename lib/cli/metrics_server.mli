@@ -1,0 +1,35 @@
+(** A minimal HTTP GET /metrics responder over {!Unix_compat}.
+
+    Serves the Prometheus text exposition
+    ({!Vegvisir_obs.Registry.to_prometheus}) to one blocking scrape at a
+    time: accept, read one request head, answer, close. [GET /metrics]
+    (query strings allowed) gets a 200 with
+    [text/plain; version=0.0.4]; other targets get a 404, unparsable
+    requests a 400. No keep-alive, no TLS — a loopback scrape surface,
+    not a web server. *)
+
+type t
+
+val start : ?host:string -> port:int -> unit -> (t, string) result
+(** Bind and listen (default host 127.0.0.1; port 0 picks an ephemeral
+    port). *)
+
+val port : t -> int
+val stop : t -> unit
+
+val handle_one :
+  ?timeout_s:float -> t -> render:(unit -> string) -> (unit, string) result
+(** Accept and answer one connection. [render] is called per 200
+    response, so every scrape sees current values. [Error] on accept
+    timeout, oversize/stalled requests, or socket failure. *)
+
+val serve :
+  ?host:string ->
+  port:int ->
+  ?requests:int ->
+  ?timeout_s:float ->
+  render:(unit -> string) ->
+  unit ->
+  (int, string) result
+(** [start], answer [requests] (default 1) connections, [stop]. Returns
+    how many were answered; the listener is closed even on error. *)

@@ -287,6 +287,54 @@ let sync t ~from ~mode =
   (match save t with Ok () -> () | Error _ -> ());
   stats
 
+(* §IV-I batch ancestry recovery: treat [from]'s replica as a superpeer
+   archive and pull the ancestry closure of [below] (default: the
+   source's whole frontier) through Offload.serve_below. The reply is
+   topologically ordered, so the fresh blocks replay with no reorder
+   buffering; blocks we already hold (resident or archived — Dag.add
+   reports archived hashes as duplicates) are skipped. *)
+let recover t ~from ?below () =
+  let src_dag = Node.dag from.node in
+  let offload = Offload.create () in
+  Seq.iter (fun b -> Offload.absorb offload b) (Dag.topo_seq src_dag);
+  let seeds =
+    match below with
+    | Some (_ :: _ as hs) -> hs
+    | Some [] | None -> Hash_id.Set.elements (Dag.frontier src_dag)
+  in
+  let served = Offload.serve_below offload seeds in
+  let mine = Node.dag t.node in
+  let fresh =
+    List.filter
+      (fun (b : Block.t) ->
+        not (Dag.mem mine b.Block.hash || Dag.is_archived mine b.Block.hash))
+      served
+  in
+  Node.receive_seq t.node
+    ~now:(Timestamp.add_ms (now_ts ()) Validation.default_max_skew_ms)
+    (List.to_seq fresh);
+  let dag = Node.dag t.node in
+  let restored =
+    List.filter (fun (b : Block.t) -> Dag.mem dag b.Block.hash) fresh
+  in
+  let me = node_name t and peer = node_name from in
+  record_all t
+    (List.concat_map
+       (fun (b : Block.t) ->
+         let h = b.Block.hash in
+         [
+           Obs.Event.Block
+             { node = me; phase = Obs.Event.Received; block = h; peer = Some peer };
+           Obs.Event.Block
+             { node = me; phase = Obs.Event.Delivered; block = h; peer = None };
+         ])
+       restored);
+  record t
+    (Obs.Event.Recovery_completed
+       { node = me; peer; blocks = List.length restored });
+  let* () = save t in
+  Ok (List.length served, List.length restored)
+
 let verify t =
   let dag = Node.dag t.node in
   match Dag.genesis dag with
@@ -301,9 +349,10 @@ let verify t =
       let csm = ref (fst (Csm.apply_block Csm.empty g)) in
       ignore membership;
       let checked = ref 1 in
-      let rec go = function
-        | [] -> Ok !checked
-        | (b : Block.t) :: rest ->
+      let rec go seq =
+        match Seq.uncons seq with
+        | None -> Ok !checked
+        | Some ((b : Block.t), rest) ->
           if Block.is_genesis b then go rest
           else begin
             (* lint: allow no-partial-stdlib — the genesis block replayed first always installs a membership *)
@@ -323,7 +372,7 @@ let verify t =
               go rest
           end
       in
-      go (Dag.topo_order dag)
+      go (Dag.topo_seq dag)
   end
 
 let summary t =

@@ -57,6 +57,20 @@ val append :
 val sync : t -> from:t -> mode:Vegvisir.Reconcile.mode -> Vegvisir.Reconcile.stats
 (** Pull missing blocks from another node directory; saves the target. *)
 
+val recover :
+  t ->
+  from:t ->
+  ?below:Vegvisir.Hash_id.t list ->
+  unit ->
+  (int * int, string) result
+(** §IV-I batch ancestry recovery: fetch from [from]'s replica (via
+    {!Vegvisir.Offload.serve_below}) every block in the ancestry closure
+    of [below] — default: [from]'s whole frontier — and re-admit the
+    ones missing locally, in topological order. Records
+    [Received]/[Delivered] block events plus a [Recovery_completed]
+    event in the trace journal, then saves. Returns
+    [(served, restored)]: closure size vs. blocks actually added. *)
+
 val rotate :
   ca_dir:string -> dir:string -> seed:string -> ?height:int -> unit ->
   (t, string) result

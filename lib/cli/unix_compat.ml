@@ -140,6 +140,58 @@ let read_into fd buf ~deadline =
   in
   go 0
 
+(* ------------------------------------------------------------------ *)
+(* Raw (unframed) byte streams — the HTTP /metrics responder speaks
+   plain text over the same conn type. *)
+
+let send_raw fd payload =
+  write_all fd (Bytes.unsafe_of_string payload)
+
+(* Read until [delim] appears (returning everything up to and including
+   it) or the peer closes ([Ok None] if nothing arrived at all).
+   Refuses to buffer more than [max_bytes]. *)
+let recv_until ?(timeout_s = 30.) fd ~delim ~max_bytes =
+  if String.length delim = 0 then invalid_arg "recv_until: empty delimiter";
+  let deadline = now () +. timeout_s in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec has_delim () =
+    let s = Buffer.contents buf in
+    let dl = String.length delim in
+    let n = String.length s in
+    let rec scan i =
+      if i + dl > n then None
+      else if String.equal (String.sub s i dl) delim then Some (i + dl)
+      else scan (i + 1)
+    in
+    scan (Int.max 0 (n - 1024 - dl))
+  and go () =
+    match has_delim () with
+    | Some stop -> Ok (Some (String.sub (Buffer.contents buf) 0 stop))
+    | None ->
+      if Buffer.length buf > max_bytes then Error "recv_until: request too large"
+      else begin
+        let remaining = deadline -. now () in
+        if remaining <= 0. then Error "recv_until: timed out"
+        else begin
+          match Unix.select [ fd ] [] [] remaining with
+          | [], _, _ -> Error "recv_until: timed out"
+          | _ :: _, _, _ -> begin
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> if Buffer.length buf = 0 then Ok None else Error "recv_until: connection closed mid-request"
+            | k ->
+              Buffer.add_subbytes buf chunk 0 k;
+              go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception Unix.Unix_error (e, fn, _) ->
+              Error (fn ^ ": " ^ Unix.error_message e)
+          end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        end
+      end
+  in
+  go ()
+
 let recv_frame ?(timeout_s = 30.) fd =
   let deadline = now () +. timeout_s in
   let header = Bytes.create 4 in

@@ -56,5 +56,25 @@ val recv_frame : ?timeout_s:float -> conn -> (recv, string) result
     it to {e begin}; an already-started frame is always read to
     completion (with a generous stall allowance). *)
 
+(** {1 Raw byte streams}
+
+    The minimal HTTP responder behind [vegvisir-cli serve --metrics]
+    speaks unframed text over the same connection type. *)
+
+val send_raw : conn -> string -> (unit, string) result
+(** Write the string verbatim (blocking, no length prefix). *)
+
+val recv_until :
+  ?timeout_s:float ->
+  conn ->
+  delim:string ->
+  max_bytes:int ->
+  (string option, string) result
+(** Read until [delim] appears; returns everything up to and including
+    it. [Ok None] when the peer closed before sending anything;
+    [Error] on timeout (default 30 s), oversize input, or a close
+    mid-request.
+    @raise Invalid_argument on an empty delimiter. *)
+
 val close_conn : conn -> unit
 val close_listener : listener -> unit

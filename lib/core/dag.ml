@@ -43,10 +43,18 @@ type t = {
       (* upper bound on every key ever resident; gates the O(1) append
          fast path of the order cache *)
   mutable order : order_cache;
-  mutable below_memo : (Hash_id.t list * HSet.t) option;
-      (* last {!below} query and its closure — reconciliation sessions
-         poll the same frontier repeatedly; cleared by [add]/[prune] *)
+  mutable below_memo : (Hash_id.t list * HSet.t) list;
+      (* small MRU-first LRU of (sorted seed list, closure) pairs —
+         reconciliation sessions poll the same few frontiers
+         repeatedly, and one node serving concurrent sessions with
+         different frontiers would thrash a single-entry memo;
+         cleared by [add]/[prune] *)
 }
+
+(* LRU depth: enough for a node serving several concurrent sessions
+   (each contributes one or two distinct seed lists between mutations)
+   while keeping lookup a trivial scan. *)
+let below_memo_cap = 8
 
 type add_error =
   | Duplicate
@@ -67,7 +75,7 @@ let empty =
     witnessed = HMap.empty;
     max_key = None;
     order = Both ([], []);
-    below_memo = None;
+    below_memo = [];
   }
 
 let mem t h = HMap.mem h t.blocks
@@ -179,7 +187,7 @@ let add t (b : Block.t) =
           witnessed = credit_witness t.witnessed t.blocks b;
           max_key;
           order;
-          below_memo = None;
+          below_memo = [];
         }
     end
   end
@@ -321,13 +329,19 @@ let witness_set t h =
 let witness_count t h = HSet.cardinal (witness_set t h)
 
 let below t hs =
+  (* Key on the sorted, deduplicated seed list so permutations of the
+     same frontier hit the same entry. *)
+  let key = List.sort_uniq Hash_id.compare hs in
   let hit =
-    match t.below_memo with
-    | Some (key, res) when List.equal Hash_id.equal key hs -> Some res
-    | Some _ | None -> None
+    List.find_opt (fun (k, _) -> List.equal Hash_id.equal k key) t.below_memo
   in
   match hit with
-  | Some res -> res
+  | Some ((_, res) as entry) ->
+    (* Move-to-front so the cap evicts the least recently used key. *)
+    t.below_memo <-
+      entry :: List.filter (fun (k, _) -> not (List.equal Hash_id.equal k key))
+                 t.below_memo;
+    res
   | None ->
     (* Multi-source BFS toward genesis through resident blocks; archived
        hashes are included where reached (knowledge ends there), exactly
@@ -347,7 +361,12 @@ let below t hs =
     in
     let seeds = List.filter (fun h -> known t h) hs in
     let res = go seeds HSet.empty in
-    t.below_memo <- Some (hs, res);
+    let keep =
+      if List.length t.below_memo >= below_memo_cap then
+        List.filteri (fun i _ -> i < below_memo_cap - 1) t.below_memo
+      else t.below_memo
+    in
+    t.below_memo <- (key, res) :: keep;
     res
 
 let prune t h =
@@ -373,7 +392,7 @@ let prune t h =
          upper bound, which only costs fast-path opportunities, never
          correctness. *)
       order = Dirty;
-      below_memo = None;
+      below_memo = [];
     }
 
 let is_archived t h = HSet.mem h t.archived
@@ -420,7 +439,7 @@ let decode c =
           archived = HSet.add h t.archived;
           heights = HMap.add h height t.heights;
           max_height_ = Int.max t.max_height_ height;
-          below_memo = None;
+          below_memo = [];
         })
       empty archived
   in

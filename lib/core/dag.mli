@@ -22,7 +22,8 @@
       distinct-creator descendant sets on [add] — amortized O(1) per
       (ancestor, new creator) — replacing the per-query descendant BFS;
     - {!below} answers multi-hash ancestry closures with one traversal
-      and memoizes the last query across a reconciliation session.
+      and keeps a small LRU of recent queries across reconciliation
+      sessions.
 
     {!ancestors}, {!descendants} and {!Oracle} remain full traversals:
     fine for cold paths and tests, banned from hot paths by the
@@ -83,8 +84,10 @@ val below : t -> Hash_id.t list -> Hash_id.Set.t
     hashes in [hs] of the hash itself plus its ancestors — the
     "everything the initiator already has" closure of a reconciliation
     reply (Algorithm 1). One multi-source traversal regardless of
-    [List.length hs]; the last query's closure is memoized until the next
-    [add]/[prune], so a session polling a stable frontier pays once. *)
+    [List.length hs]; recent closures are kept in a small LRU keyed on
+    the sorted seed list until the next [add]/[prune], so several
+    concurrent sessions polling stable (even permuted) frontiers each
+    pay once. *)
 
 (** {1 Canonical order} *)
 

@@ -38,6 +38,7 @@ type event =
   | Reply_ignored of { from : int }
   | Decode_failed of { from : int }
   | Blocks_served of { dst : int; blocks : Hash_id.t list }
+  | Redundant_received of { from : int; blocks : Hash_id.t list }
 
 type effect_ =
   | Send of { dst : int; bytes : string }
@@ -181,38 +182,6 @@ let tick t ~now ~dag ~peer =
   | (Some _ | None), (Honest | Silent | Withholding), (Some _ | None) ->
     (t, housekeeping)
 
-let on_reply t ~now ~dag ~from msg =
-  match t.session with
-  | Some s when Int.equal s.dst from ->
-    let s = { s with last_activity = now } in
-    let t = { t with retries = 0 } in
-    let recon, step = Reconcile.handle_reply s.recon dag msg in
-    let s = { s with recon } in
-    begin
-      match step with
-      | Reconcile.Send next ->
-        ({ t with session = Some s }, [ Send { dst = from; bytes = encode next } ])
-      | Reconcile.Ignored -> ({ t with session = Some s }, [])
-      | Reconcile.Finished { new_blocks; stats } ->
-        let t = { t with session = None } in
-        (* The pulled blocks may include the genesis (first sync of a
-           fresh replica); keep the censored serving view caught up. *)
-        let t = List.fold_left absorb t new_blocks in
-        ( t,
-          [
-            Session_done stats;
-            Deliver new_blocks;
-            Trace
-              (Session_completed
-                 {
-                   dst = from;
-                   generation = s.generation;
-                   blocks = List.length new_blocks;
-                 });
-          ] )
-    end
-  | Some _ | None -> (t, [ Trace (Reply_ignored { from }) ])
-
 (* Block payloads a reply ships to the requesting peer — this is the
    only place the engine parts with block data, so the [Blocks_served]
    trace emitted alongside the reply is the ground truth for the "sent"
@@ -226,6 +195,49 @@ let served_blocks = function
   | Reconcile.Frontier_request _ | Reconcile.Sync_request _
   | Reconcile.Bloom_request _ | Reconcile.Blocks_request _ ->
     []
+
+let on_reply t ~now ~dag ~from msg =
+  match t.session with
+  | Some s when Int.equal s.dst from ->
+    let s = { s with last_activity = now } in
+    let t = { t with retries = 0 } in
+    (* Blocks this reply carried that we already hold: the waste term of
+       gossip efficiency, matching [Reconcile.stats.redundant_blocks]
+       but with the hashes attached. Emitted only for accepted replies,
+       like the stats. *)
+    let redundant =
+      match List.filter (Dag.mem dag) (served_blocks msg) with
+      | [] -> []
+      | blocks -> [ Trace (Redundant_received { from; blocks }) ]
+    in
+    let recon, step = Reconcile.handle_reply s.recon dag msg in
+    let s = { s with recon } in
+    begin
+      match step with
+      | Reconcile.Send next ->
+        ( { t with session = Some s },
+          redundant @ [ Send { dst = from; bytes = encode next } ] )
+      | Reconcile.Ignored -> ({ t with session = Some s }, [])
+      | Reconcile.Finished { new_blocks; stats } ->
+        let t = { t with session = None } in
+        (* The pulled blocks may include the genesis (first sync of a
+           fresh replica); keep the censored serving view caught up. *)
+        let t = List.fold_left absorb t new_blocks in
+        ( t,
+          redundant
+          @ [
+              Session_done stats;
+              Deliver new_blocks;
+              Trace
+                (Session_completed
+                   {
+                     dst = from;
+                     generation = s.generation;
+                     blocks = List.length new_blocks;
+                   });
+            ] )
+    end
+  | Some _ | None -> (t, [ Trace (Reply_ignored { from }) ])
 
 let on_message t ~now ~dag ~from bytes =
   match Wire.decode_string Reconcile.decode_message bytes with
@@ -291,9 +303,11 @@ let event_equal a b =
   | Decode_failed a, Decode_failed b -> Int.equal a.from b.from
   | Blocks_served a, Blocks_served b ->
     Int.equal a.dst b.dst && List.equal Hash_id.equal a.blocks b.blocks
+  | Redundant_received a, Redundant_received b ->
+    Int.equal a.from b.from && List.equal Hash_id.equal a.blocks b.blocks
   | ( ( Session_started _ | Request_resent _ | Session_completed _
       | Session_aborted _ | Request_suppressed _ | Reply_ignored _
-      | Decode_failed _ | Blocks_served _ ),
+      | Decode_failed _ | Blocks_served _ | Redundant_received _ ),
       _ ) ->
     false
 
@@ -327,6 +341,8 @@ let pp_event ppf = function
   | Decode_failed { from } -> Fmt.pf ppf "decode-failed(from=%d)" from
   | Blocks_served { dst; blocks } ->
     Fmt.pf ppf "blocks-served(dst=%d %d blocks)" dst (List.length blocks)
+  | Redundant_received { from; blocks } ->
+    Fmt.pf ppf "redundant-received(from=%d %d blocks)" from (List.length blocks)
 
 let pp_effect ppf = function
   | Send { dst; bytes } -> Fmt.pf ppf "send(dst=%d %dB)" dst (String.length bytes)

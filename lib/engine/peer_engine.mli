@@ -88,6 +88,11 @@ type event =
   | Blocks_served of { dst : int; blocks : Hash_id.t list }
       (** a reply just sent to [dst] shipped these block payloads — the
           ground truth for the "sent" phase of a block's causal trace *)
+  | Redundant_received of { from : int; blocks : Hash_id.t list }
+      (** an accepted reply carried blocks the local DAG already held —
+          wasted transfer work; the hash-level counterpart of
+          [Reconcile.stats.redundant_blocks] and the waste term of the
+          health monitor's gossip-efficiency metric *)
 
 type effect_ =
   | Send of { dst : int; bytes : string }  (** transmit one frame *)

@@ -69,12 +69,12 @@ let run_one ~quick ~partitions ~reining =
   let appends_end = 15. *. cycle and run_end = 17. *. cycle in
   let cycle_no = ref 0 in
   let step t =
-      let topo = Simnet.topo fleet.Scenario.net in
+      let net = fleet.Scenario.net in
       if t >= partition_start && t < partition_start +. ms 1_000. then
-        Topology.set_partition topo
+        Simnet.set_partition net
           (if partitions > 1 then Some groups else None);
       if t >= partition_end && t < partition_end +. ms 1_000. then
-        Topology.set_partition topo None;
+        Simnet.set_partition net None;
       let phase = Float.rem t cycle in
       if phase < ms 1_000. && t <= appends_end then begin
         incr cycle_no;

@@ -14,7 +14,7 @@ let fixture_blocks n =
   for i = 1 to n - 1 do
     ignore (V.Node.append node ~now:(V.Timestamp.of_ms (Int64.of_int (i * 10))) [])
   done;
-  V.Dag.topo_order (V.Node.dag node)
+  V.Dag.topo_seq (V.Node.dag node)
 
 let run_size ~cluster_size =
   let topo = Topology.clique ~n:cluster_size in
@@ -43,7 +43,7 @@ let run_size ~cluster_size =
      holds all of it. *)
   let blocks = fixture_blocks archive_batch in
   let t0 = Simnet.now net in
-  List.iter (fun b -> ignore (Support_cluster.archive cluster l1 b)) blocks;
+  Seq.iter (fun b -> ignore (Support_cluster.archive cluster l1 b)) blocks;
   let all_done () =
     List.for_all (fun id -> Support_cluster.archived_count cluster id = archive_batch) ids
   in
@@ -56,7 +56,7 @@ let run_size ~cluster_size =
   done;
   (* Failover: isolate the leader, measure until a new leader emerges in
      the majority. *)
-  Topology.set_partition topo
+  Simnet.set_partition net
     (Some (Array.init cluster_size (fun i -> if i = l1 then 1 else 0)));
   let t1 = Simnet.now net in
   let survivors = List.filter (fun id -> id <> l1) ids in

@@ -18,6 +18,13 @@ let run_duty ~scale ~obs ~awake_fraction =
     for i = 0 to n - 1 do
       Simnet.set_duty_cycle net ~node:i ~period_ms:(ms 4_000.) ~awake_fraction
     done;
+  (* Per-row health monitor: how long after the last append the fleet
+     converges, and the redundant share of deliveries. *)
+  let monitor =
+    Vegvisir_obs.Monitor.create ~nodes:(List.init n string_of_int) ()
+  in
+  let monitor_sink = Vegvisir_obs.Monitor.sink monitor in
+  Vegvisir_obs.Context.attach obs monitor_sink;
   let hashes = ref [] in
   let appended = ref 0 in
   Workload.drive fleet ~until_ms:(ms 100_000.) ~step_ms:(ms 5_000.) (fun t ->
@@ -34,7 +41,8 @@ let run_duty ~scale ~obs ~awake_fraction =
           match Gossip.append g i [ tx ] with
           | Ok b ->
             incr appended;
-            hashes := b.V.Block.hash :: !hashes
+            hashes := b.V.Block.hash :: !hashes;
+            if !appended = 12 then Vegvisir_obs.Monitor.mark monitor ~ts:t
           | Error _ -> ()
         end
       end);
@@ -65,12 +73,23 @@ let run_duty ~scale ~obs ~awake_fraction =
     energy := !energy +. Energy.total Energy.default_costs (Simnet.meter net i)
   done;
   let pairs = List.length !delays + !missing in
+  Vegvisir_obs.Context.detach obs monitor_sink;
+  let conv_lag =
+    match Vegvisir_obs.Monitor.last_lag monitor with
+    | Some lag -> Report.ff ~decimals:1 (lag /. scale /. 1000.)
+    | None -> "-"
+  in
+  let useful = Vegvisir_obs.Monitor.gossip_useful monitor in
+  let redundant = Vegvisir_obs.Monitor.gossip_redundant monitor in
   [
     Report.fpct awake_fraction;
     Report.ff ~decimals:1 (Metrics.mean_of !delays /. 1000.);
     Report.ff ~decimals:1 (Metrics.percentile_of !delays 0.95 /. 1000.);
     Report.ff ~decimals:0 (!energy /. 1000. /. float_of_int n);
     Report.fpct (float_of_int (pairs - !missing) /. float_of_int (max 1 pairs));
+    conv_lag;
+    Report.fpct
+      (float_of_int redundant /. float_of_int (max 1 (useful + redundant)));
   ]
 
 let run ?(quick = false) () =
@@ -85,7 +104,10 @@ let run ?(quick = false) () =
        opportunistic reconciliation still reaches everyone, at the cost \
        of propagation delay";
     header =
-      [ "awake"; "mean delay (s)"; "p95 (s)"; "mJ/peer"; "coverage" ];
+      [
+        "awake"; "mean delay (s)"; "p95 (s)"; "mJ/peer"; "coverage";
+        "conv lag (s)"; "redundancy";
+      ];
     rows = List.map (fun f -> run_duty ~scale ~obs ~awake_fraction:f) fractions;
     notes =
       [
@@ -94,6 +116,8 @@ let run ?(quick = false) () =
         "the energy floor below 25% is transmissions wasted on sleeping \
          peers - wake-schedule gossip would reclaim it";
         "tail runs until full dissemination (capped at 20 min simulated)";
+        "conv lag: last append until every replica holds every block; \
+         redundancy: share of gossip deliveries the receiver already held";
       ];
     registry =
       Vegvisir_obs.Registry.aggregate

@@ -8,18 +8,28 @@ let groups = Array.init n (fun i -> if i < n / 2 then 0 else 1)
 let vegvisir_run ~scale =
   let ms x = x *. scale in
   let topo = Topology.clique ~n in
+  let obs = Vegvisir_obs.Context.create () in
   let fleet =
-    Scenario.build ~seed:11L ~topo ~init_crdts:[ ("log", Workload.log_spec) ] ()
+    Scenario.build ~seed:11L ~topo ~obs
+      ~init_crdts:[ ("log", Workload.log_spec) ]
+      ()
   in
+  (* The heal below goes through Simnet.set_partition, whose
+     Partition_changed {groups = None} event auto-marks the monitor —
+     the resolved lag is the paper's heal-to-convergence time. *)
+  let monitor =
+    Vegvisir_obs.Monitor.create ~nodes:(List.init n string_of_int) ()
+  in
+  Vegvisir_obs.Context.attach obs (Vegvisir_obs.Monitor.sink monitor);
   let g = fleet.Scenario.gossip in
   let created = ref 0 and append_ok = ref 0 and append_all = ref 0 in
   let p_start = ms 10_000. and p_end = ms 70_000. in
   let appends_end = ms 80_000. and run_end = ms 200_000. in
   Workload.drive fleet ~until_ms:run_end ~step_ms:(ms 5_000.) (fun t ->
-      let topo = Simnet.topo fleet.Scenario.net in
+      let net = fleet.Scenario.net in
       if t >= p_start && t < p_start +. ms 5_000. then
-        Topology.set_partition topo (Some groups);
-      if t >= p_end && t < p_end +. ms 5_000. then Topology.set_partition topo None;
+        Simnet.set_partition net (Some groups);
+      if t >= p_end && t < p_end +. ms 5_000. then Simnet.set_partition net None;
       if t <= appends_end then
         for i = 0 to n - 1 do
           incr append_all;
@@ -42,7 +52,10 @@ let vegvisir_run ~scale =
   done;
   let lost = !created + 1 - !min_present in
   let availability = float_of_int !append_ok /. float_of_int (max 1 !append_all) in
-  (!created, lost, availability, Gossip.honest_converged g)
+  let heal_lag =
+    Option.map (fun l -> l /. scale /. 1000.) (Vegvisir_obs.Monitor.last_lag monitor)
+  in
+  (!created, lost, availability, Gossip.honest_converged g, heal_lag)
 
 let baseline_run ~scale =
   let ms x = x *. scale in
@@ -59,10 +72,9 @@ let baseline_run ~scale =
   let rec go t =
     if t <= run_end then begin
       Simnet.run_until net t;
-      let topo = Simnet.topo net in
       if t >= p_start && t < p_start +. ms 3_000. then
-        Topology.set_partition topo (Some groups);
-      if t >= p_end && t < p_end +. ms 3_000. then Topology.set_partition topo None;
+        Simnet.set_partition net (Some groups);
+      if t >= p_end && t < p_end +. ms 3_000. then Simnet.set_partition net None;
       if t <= appends_end then
         for i = 0 to n - 1 do
           Baseline.Miner.submit_tx miner i (Printf.sprintf "p-%d-%.0f" i t);
@@ -80,7 +92,7 @@ let baseline_run ~scale =
 
 let run ?(quick = false) () =
   let scale = if quick then 0.35 else 1.0 in
-  let created, lost, avail, converged = vegvisir_run ~scale in
+  let created, lost, avail, converged, heal_lag = vegvisir_run ~scale in
   let submitted, canonical, discarded, reorgs = baseline_run ~scale in
   {
     Report.id = "E4";
@@ -96,7 +108,11 @@ let run ?(quick = false) () =
           Report.fi created;
           Report.fi (created - lost);
           Report.fi lost;
-          Printf.sprintf "availability %s, converged %b" (Report.fpct avail) converged;
+          Printf.sprintf "availability %s, converged %b, heal lag %s s"
+            (Report.fpct avail) converged
+            (match heal_lag with
+            | Some l -> Report.ff ~decimals:1 l
+            | None -> "-");
         ];
         [
           "PoW baseline";

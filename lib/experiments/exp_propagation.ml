@@ -12,29 +12,41 @@ let run_one ~scale ~obs ~topo_name ~topo ~loss =
       ()
   in
   let g = fleet.Scenario.gossip in
+  (* Per-row health monitor: convergence lag from the last append, and
+     the useful/redundant split of the row's gossip deliveries. *)
+  let monitor =
+    Vegvisir_obs.Monitor.create ~nodes:(List.init n string_of_int) ()
+  in
+  let monitor_sink = Vegvisir_obs.Monitor.sink monitor in
+  Vegvisir_obs.Context.attach obs monitor_sink;
   let rng = Vegvisir_crypto.Rng.create 77L in
   let birth_due =
     Array.init n (fun _ -> ms 5_000. +. Vegvisir_crypto.Rng.float rng *. ms 20_000.)
   in
   let born = Array.make n false in
+  let unborn = ref n in
   let hashes = ref [] in
   Workload.drive fleet ~until_ms:(ms 240_000.) ~step_ms:(ms 1_000.) (fun t ->
       Array.iteri
         (fun i due ->
           if (not born.(i)) && t >= due then begin
             born.(i) <- true;
-            match
-              V.Node.prepare_transaction (Gossip.node g i) ~crdt:"log" ~op:"add"
-                [ Vegvisir_crdt.Value.String (Printf.sprintf "prop-%d" i) ]
-            with
+            decr unborn;
+            (match
+               V.Node.prepare_transaction (Gossip.node g i) ~crdt:"log"
+                 ~op:"add"
+                 [ Vegvisir_crdt.Value.String (Printf.sprintf "prop-%d" i) ]
+             with
             | Error _ -> ()
             | Ok tx -> begin
               match Gossip.append g i [ tx ] with
               | Ok b -> hashes := b.V.Block.hash :: !hashes
               | Error _ -> ()
-            end
+            end);
+            if !unborn = 0 then Vegvisir_obs.Monitor.mark monitor ~ts:t
           end)
         birth_due);
+  Vegvisir_obs.Context.detach obs monitor_sink;
   let delays = ref [] in
   let missing = ref 0 and pairs = ref 0 in
   List.iter
@@ -54,6 +66,16 @@ let run_one ~scale ~obs ~topo_name ~topo ~loss =
   let coverage =
     float_of_int (!pairs - !missing) /. float_of_int (max 1 !pairs)
   in
+  let conv_lag =
+    match Vegvisir_obs.Monitor.last_lag monitor with
+    | Some lag -> Report.ff ~decimals:1 (lag /. scale /. 1000.)
+    | None -> "-"
+  in
+  let useful = Vegvisir_obs.Monitor.gossip_useful monitor in
+  let redundant = Vegvisir_obs.Monitor.gossip_redundant monitor in
+  let redundancy =
+    Report.fpct (float_of_int redundant /. float_of_int (max 1 (useful + redundant)))
+  in
   [
     topo_name;
     Report.fi n;
@@ -61,6 +83,8 @@ let run_one ~scale ~obs ~topo_name ~topo ~loss =
     Report.ff ~decimals:1 (Metrics.mean_of !delays /. 1000.);
     Report.ff ~decimals:1 (Metrics.percentile_of !delays 0.95 /. 1000.);
     Report.fpct coverage;
+    conv_lag;
+    redundancy;
   ]
 
 let run ?(quick = false) () =
@@ -90,9 +114,18 @@ let run ?(quick = false) () =
     claim =
       "every block eventually reaches every correct peer; delay grows with \
        diameter and loss but coverage stays 100%";
-    header = [ "topology"; "peers"; "loss"; "mean delay (s)"; "p95 (s)"; "coverage" ];
+    header =
+      [
+        "topology"; "peers"; "loss"; "mean delay (s)"; "p95 (s)"; "coverage";
+        "conv lag (s)"; "redundancy";
+      ];
     rows;
-    notes = [ "one block per peer, gossip every 0.8 s, measured to all peers" ];
+    notes =
+      [
+        "one block per peer, gossip every 0.8 s, measured to all peers";
+        "conv lag: last append until every replica holds every block; \
+         redundancy: share of gossip deliveries the receiver already held";
+      ];
     registry =
       Vegvisir_obs.Registry.aggregate
         (Vegvisir_obs.Registry.snapshot (Vegvisir_obs.Context.registry obs));

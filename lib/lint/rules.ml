@@ -115,14 +115,19 @@ let check ~path structure =
     || has_prefix [ "lib"; "experiments" ] lp
     || has_prefix [ "lib"; "engine" ] lp
     || has_prefix [ "lib"; "obs" ] lp
+    || has_prefix [ "lib"; "cli" ] lp
   in
   let engine_on = has_prefix [ "lib"; "engine" ] lp in
   (* lib/obs owns rendering (sinks decide where bytes go) and lib/engine
-     already forbids console writes via engine-transport-purity. *)
+     already forbids console writes via engine-transport-purity — but the
+     obs health fold and its renderer return strings, never print, so
+     they re-enter the printf scope. *)
   let printf_on =
     has_prefix [ "lib" ] lp
     && (not (has_prefix [ "lib"; "obs" ] lp))
     && not engine_on
+    || path_eq lp [ "lib"; "obs"; "monitor.ml" ]
+    || path_eq lp [ "lib"; "obs"; "health.ml" ]
   in
   let partial_on = has_prefix [ "lib" ] lp in
   let full_scan_on =

@@ -223,6 +223,13 @@ let apply_effect t i ~src (eff : Peer_engine.effect_) =
       List.iter
         (fun h -> emit_block t i Obs.Event.Sent ~peer:(node_name dst) h)
         blocks
+    | Peer_engine.Redundant_received { from; blocks } ->
+      List.iter
+        (fun h ->
+          emit t
+            (Obs.Event.Block_redundant
+               { node = node_name i; block = h; peer = Some (node_name from) }))
+        blocks
     | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
     | Peer_engine.Decode_failed _ ->
       ()

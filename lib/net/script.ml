@@ -257,9 +257,8 @@ let run t =
   in
   let failure = ref None in
   let do_event now = function
-    | Partition groups ->
-      Topology.set_partition (Simnet.topo fleet.Scenario.net) (Some groups)
-    | Heal -> Topology.set_partition (Simnet.topo fleet.Scenario.net) None
+    | Partition groups -> Simnet.set_partition fleet.Scenario.net (Some groups)
+    | Heal -> Simnet.set_partition fleet.Scenario.net None
     | Append (peer, crdt, value) -> begin
       match
         V.Node.prepare_transaction (Gossip.node g peer) ~crdt ~op:"add"

@@ -90,6 +90,22 @@ let awake_at duty time =
 
 let is_awake t node = awake_at t.duty.(node) t.now_
 let topo t = t.topo_
+
+let groups_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y ->
+    Array.length x = Array.length y && Array.for_all2 Int.equal x y
+  | (None | Some _), (None | Some _) -> false
+
+(* Scenario scripts repeatedly re-impose the same partition over a time
+   window; only genuine transitions reach the bus. *)
+let set_partition t groups =
+  let changed = not (groups_equal (Topology.partition t.topo_) groups) in
+  Topology.set_partition t.topo_ groups;
+  if changed then
+    emit t
+      (Obs.Event.Partition_changed { groups = Option.map Array.to_list groups })
 let rng t = t.rng_
 let now t = t.now_
 

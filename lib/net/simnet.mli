@@ -31,6 +31,13 @@ val rng : t -> Vegvisir_crypto.Rng.t
 val now : t -> float
 (** Simulated milliseconds. *)
 
+val set_partition : t -> int array option -> unit
+(** {!Topology.set_partition} plus telemetry: when the group map
+    actually changes, a [Partition_changed] event (stamped with
+    simulated time) is emitted — the signal the health monitor stitches
+    convergence lag from. Re-imposing the current map is a silent
+    no-op, so scripts may call this every tick. *)
+
 val send : t -> src:int -> dst:int -> string -> unit
 (** Transmit energy is charged to [src] regardless; the message is
     delivered only if [src] and [dst] are currently connected and the link

@@ -44,6 +44,8 @@ let set_partition t groups =
   | _ -> ());
   t.partition <- groups
 
+let partition t = t.partition
+
 let partition_of t i =
   match t.partition with None -> None | Some g -> Some g.(i)
 

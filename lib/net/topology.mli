@@ -30,6 +30,9 @@ val set_partition : t -> int array option -> unit
 (** [Some groups] restricts connectivity to same-group pairs; [None]
     lifts the restriction. [groups] must have one entry per node. *)
 
+val partition : t -> int array option
+(** The current group map, as last given to {!set_partition}. *)
+
 val partition_of : t -> int -> int option
 
 val connected : t -> int -> int -> bool

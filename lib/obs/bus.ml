@@ -4,6 +4,7 @@ let create () = { sinks = [] }
 
 (* Attach is rare and emit is hot: keep the list in fan-out order. *)
 let attach t sink = t.sinks <- t.sinks @ [ sink ]
+let detach t sink = t.sinks <- List.filter (fun s -> s != sink) t.sinks
 let emit t ~ts ev = List.iter (fun s -> Sink.emit s ~ts ev) t.sinks
 let flush t = List.iter Sink.flush t.sinks
 let sink_count t = List.length t.sinks

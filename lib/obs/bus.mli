@@ -10,6 +10,10 @@ type t
 
 val create : unit -> t
 val attach : t -> Sink.t -> unit
+
+(** Remove a previously attached sink (matched by physical equality);
+    later sinks keep their relative order. No-op if absent. *)
+val detach : t -> Sink.t -> unit
 val emit : t -> ts:float -> Event.t -> unit
 val flush : t -> unit
 val sink_count : t -> int

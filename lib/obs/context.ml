@@ -14,9 +14,13 @@ let derive reg ev =
   | Event.Block { node; phase; _ } ->
     count reg ~node ("block." ^ Event.phase_to_string phase)
   | Event.Block_dropped { node; _ } -> count reg ~node "gossip.blocks_dropped"
+  | Event.Block_redundant { node; _ } ->
+    count reg ~node "gossip.blocks_redundant"
   | Event.Net_sent { src; _ } -> count reg ~node:src "net.sent"
   | Event.Net_delivered { dst; _ } -> count reg ~node:dst "net.delivered"
   | Event.Net_dropped { src; _ } -> count reg ~node:src "net.dropped"
+  | Event.Partition_changed _ ->
+    Registry.incr (Registry.counter reg "net.partition_changes")
   | Event.Session_started { node; _ } -> count reg ~node "session.started"
   | Event.Session_completed { node; blocks; _ } ->
     count reg ~node "session.completed";
@@ -32,6 +36,9 @@ let derive reg ev =
     count reg ~node "sync.completed";
     count_n reg ~node "sync.pulled" pulled;
     count_n reg ~node "sync.served" served
+  | Event.Recovery_completed { node; blocks; _ } ->
+    count reg ~node "store.recovered";
+    count_n reg ~node "store.recovered_blocks" blocks
 
 let create () =
   let bus = Bus.create () in
@@ -46,4 +53,5 @@ let registry t = t.registry
 let trace t = t.trace
 let emit t ~ts ev = Bus.emit t.bus ~ts ev
 let attach t sink = Bus.attach t.bus sink
+let detach t sink = Bus.detach t.bus sink
 let flush t = Bus.flush t.bus

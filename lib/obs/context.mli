@@ -16,4 +16,10 @@ val registry : t -> Registry.t
 val trace : t -> Trace.t
 val emit : t -> ts:float -> Event.t -> unit
 val attach : t -> Sink.t -> unit
+
+val detach : t -> Sink.t -> unit
+(** Remove a sink previously passed to {!attach} (physical equality) —
+    lets a caller scope a listener (e.g. a health monitor) to one
+    experiment row on a shared context. *)
+
 val flush : t -> unit

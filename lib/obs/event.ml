@@ -16,9 +16,11 @@ type t =
       peer : node option;
     }
   | Block_dropped of { node : node; block : Hash_id.t }
+  | Block_redundant of { node : node; block : Hash_id.t; peer : node option }
   | Net_sent of { src : node; dst : node; bytes : int }
   | Net_delivered of { src : node; dst : node; bytes : int }
   | Net_dropped of { src : node; dst : node; bytes : int; reason : drop_reason }
+  | Partition_changed of { groups : int list option }
   | Session_started of { node : node; peer : node; generation : int }
   | Session_completed of {
       node : node;
@@ -44,6 +46,7 @@ type t =
   | Store_saved of { node : node; blocks : int }
   | Sync_started of { node : node; peer : node }
   | Sync_completed of { node : node; peer : node; pulled : int; served : int }
+  | Recovery_completed of { node : node; peer : node; blocks : int }
 
 (* ------------------------------------------------------------------ *)
 (* String forms                                                         *)
@@ -85,23 +88,67 @@ let abort_reason_of_string = function
   | "timed-out" -> Some Timed_out
   | _ -> None
 
+(* Partition groups ride in one flat string field ("0,0,1,1"; "-" when the
+   partition is lifted) — the JSONL codec only carries flat objects of
+   strings and numbers, and one group id per node index is tiny. *)
+let groups_to_string = function
+  | None -> "-"
+  | Some gs -> String.concat "," (List.map string_of_int gs)
+
+let groups_of_string = function
+  | "-" -> Some None
+  | s ->
+    let parts = String.split_on_char ',' s in
+    let ids = List.filter_map int_of_string_opt parts in
+    if List.length ids = List.length parts && ids <> [] then Some (Some ids)
+    else None
+
+let groups_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> List.equal Int.equal x y
+  | (None | Some _), (None | Some _) -> false
+
 let subsystem = function
   | Block _ -> "block"
-  | Block_dropped _ -> "gossip"
-  | Net_sent _ | Net_delivered _ | Net_dropped _ -> "net"
+  | Block_dropped _ | Block_redundant _ -> "gossip"
+  | Net_sent _ | Net_delivered _ | Net_dropped _ | Partition_changed _ -> "net"
   | Session_started _ | Session_completed _ | Session_aborted _
   | Request_resent _ ->
     "session"
   | Leader_elected _ | Block_archived _ -> "cluster"
-  | Store_loaded _ | Store_saved _ | Sync_started _ | Sync_completed _ ->
+  | Store_loaded _ | Store_saved _ | Sync_started _ | Sync_completed _
+  | Recovery_completed _ ->
     "store"
+
+let primary_node = function
+  | Block { node; _ }
+  | Block_dropped { node; _ }
+  | Block_redundant { node; _ }
+  | Session_started { node; _ }
+  | Session_completed { node; _ }
+  | Session_aborted { node; _ }
+  | Request_resent { node; _ }
+  | Leader_elected { node; _ }
+  | Block_archived { node; _ }
+  | Store_loaded { node; _ }
+  | Store_saved { node; _ }
+  | Sync_started { node; _ }
+  | Sync_completed { node; _ }
+  | Recovery_completed { node; _ } ->
+    Some node
+  | Net_sent { src; _ } | Net_dropped { src; _ } -> Some src
+  | Net_delivered { dst; _ } -> Some dst
+  | Partition_changed _ -> None
 
 let kind = function
   | Block { phase; _ } -> phase_to_string phase
   | Block_dropped _ -> "block-dropped"
+  | Block_redundant _ -> "block-redundant"
   | Net_sent _ -> "sent"
   | Net_delivered _ -> "delivered"
   | Net_dropped _ -> "dropped"
+  | Partition_changed _ -> "partition"
   | Session_started _ -> "started"
   | Session_completed _ -> "completed"
   | Session_aborted _ -> "aborted"
@@ -112,6 +159,7 @@ let kind = function
   | Store_saved _ -> "saved"
   | Sync_started _ -> "sync-started"
   | Sync_completed _ -> "sync-completed"
+  | Recovery_completed _ -> "recovered"
 
 (* ------------------------------------------------------------------ *)
 (* Equality                                                             *)
@@ -134,6 +182,11 @@ let equal a b =
     && opt_node_equal a.peer b.peer
   | Block_dropped a, Block_dropped b ->
     String.equal a.node b.node && Hash_id.equal a.block b.block
+  | Block_redundant a, Block_redundant b ->
+    String.equal a.node b.node
+    && Hash_id.equal a.block b.block
+    && opt_node_equal a.peer b.peer
+  | Partition_changed a, Partition_changed b -> groups_equal a.groups b.groups
   | Net_sent a, Net_sent b ->
     String.equal a.src b.src && String.equal a.dst b.dst
     && Int.equal a.bytes b.bytes
@@ -177,11 +230,15 @@ let equal a b =
     String.equal a.node b.node && String.equal a.peer b.peer
     && Int.equal a.pulled b.pulled
     && Int.equal a.served b.served
-  | ( ( Block _ | Block_dropped _ | Net_sent _ | Net_delivered _
-      | Net_dropped _ | Session_started _ | Session_completed _
-      | Session_aborted _ | Request_resent _ | Leader_elected _
-      | Block_archived _ | Store_loaded _ | Store_saved _ | Sync_started _
-      | Sync_completed _ ),
+  | Recovery_completed a, Recovery_completed b ->
+    String.equal a.node b.node && String.equal a.peer b.peer
+    && Int.equal a.blocks b.blocks
+  | ( ( Block _ | Block_dropped _ | Block_redundant _ | Net_sent _
+      | Net_delivered _ | Net_dropped _ | Partition_changed _
+      | Session_started _ | Session_completed _ | Session_aborted _
+      | Request_resent _ | Leader_elected _ | Block_archived _
+      | Store_loaded _ | Store_saved _ | Sync_started _ | Sync_completed _
+      | Recovery_completed _ ),
       _ ) ->
     false
 
@@ -223,8 +280,12 @@ let fields = function
     @ (match peer with None -> [] | Some p -> [ ("peer", S p) ])
   | Block_dropped { node; block } ->
     [ ("node", S node); ("block", S (Hash_id.to_hex block)) ]
+  | Block_redundant { node; block; peer } ->
+    [ ("node", S node); ("block", S (Hash_id.to_hex block)) ]
+    @ (match peer with None -> [] | Some p -> [ ("peer", S p) ])
   | Net_sent { src; dst; bytes } | Net_delivered { src; dst; bytes } ->
     [ ("src", S src); ("dst", S dst); ("bytes", I bytes) ]
+  | Partition_changed { groups } -> [ ("groups", S (groups_to_string groups)) ]
   | Net_dropped { src; dst; bytes; reason } ->
     [
       ("src", S src);
@@ -272,6 +333,8 @@ let fields = function
       ("pulled", I pulled);
       ("served", I served);
     ]
+  | Recovery_completed { node; peer; blocks } ->
+    [ ("node", S node); ("peer", S peer); ("blocks", I blocks) ]
 
 let to_json ~ts ev =
   let b = Buffer.create 128 in
@@ -444,6 +507,18 @@ let decode assoc =
     end
     | "gossip", "block-dropped" ->
       Block_dropped { node = node (); block = hash_field "block" assoc }
+    | "gossip", "block-redundant" ->
+      Block_redundant
+        {
+          node = node ();
+          block = hash_field "block" assoc;
+          peer = List.assoc_opt "peer" assoc;
+        }
+    | "net", "partition" -> begin
+      match groups_of_string (field "groups" assoc) with
+      | Some groups -> Partition_changed { groups }
+      | None -> raise (Bad "malformed partition groups")
+    end
     | "net", "sent" ->
       Net_sent
         {
@@ -526,6 +601,9 @@ let decode assoc =
           pulled = int_field "pulled" assoc;
           served = int_field "served" assoc;
         }
+    | "store", "recovered" ->
+      Recovery_completed
+        { node = node (); peer = peer (); blocks = int_field "blocks" assoc }
     | sub, ev -> raise (Bad (Printf.sprintf "unknown event %s/%s" sub ev))
   in
   (ts, ev)

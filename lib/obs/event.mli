@@ -35,9 +35,23 @@ type t =
   | Block_dropped of { node : node; block : Vegvisir.Hash_id.t }
       (** a received block discarded because the node's transient buffer
           (blocks awaiting missing ancestry) was at capacity *)
+  | Block_redundant of {
+      node : node;
+      block : Vegvisir.Hash_id.t;
+      peer : node option;
+    }
+      (** a block delivered by a gossip session that the node already
+          held — redundant transfer work, the waste term of gossip
+          efficiency *)
   | Net_sent of { src : node; dst : node; bytes : int }
   | Net_delivered of { src : node; dst : node; bytes : int }
   | Net_dropped of { src : node; dst : node; bytes : int; reason : drop_reason }
+  | Partition_changed of { groups : int list option }
+      (** the simulated network's partition map changed: [Some gs] gives
+          one group id per node index; [None] means the partition was
+          lifted (all nodes reachable again). Encoded on the wire as a
+          single comma-joined string field (["0,0,1,1"]; ["-"] when
+          lifted). *)
   | Session_started of { node : node; peer : node; generation : int }
   | Session_completed of {
       node : node;
@@ -65,6 +79,9 @@ type t =
   | Store_saved of { node : node; blocks : int }
   | Sync_started of { node : node; peer : node }
   | Sync_completed of { node : node; peer : node; pulled : int; served : int }
+  | Recovery_completed of { node : node; peer : node; blocks : int }
+      (** a batch ancestry recovery ([vegvisir-cli recover]) restored
+          [blocks] missing blocks from [peer]'s store *)
 
 val subsystem : t -> string
 (** ["block"], ["gossip"], ["net"], ["session"], ["cluster"], or
@@ -72,6 +89,12 @@ val subsystem : t -> string
 
 val kind : t -> string
 (** The event name within its subsystem (e.g. ["created"], ["aborted"]). *)
+
+val primary_node : t -> node option
+(** The node whose state the event describes: the acting node for block,
+    session, cluster, and store events; the sender (receiver for
+    deliveries) of a radio event; [None] for fleet-wide events. Used to
+    derive a replica fleet from merged journals. *)
 
 val equal : t -> t -> bool
 val pp : t Fmt.t

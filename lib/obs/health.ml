@@ -1,0 +1,139 @@
+(* Canonical renderings of a monitor's derived state.
+
+   [report] is the byte-stable text form: fixed line order, fixed field
+   order within each line, floats rendered through the JSONL codec's
+   shortest-roundtrip printer — so two same-seed runs (or two replays of
+   copied journals) produce byte-identical reports. [export] projects
+   the same state into a Registry as health.* gauges/histograms for the
+   Prometheus exposition. *)
+
+let default_buckets = [ 1.; 10.; 100.; 1000.; 10000.; 100000. ]
+
+let fms v = Event.json_float v
+let opt_fms = function None -> "-" | Some v -> fms v
+
+let mean = function
+  | [] -> None
+  | l -> Some (List.fold_left ( +. ) 0. l /. float_of_int (List.length l))
+
+let maximum = function
+  | [] -> None
+  | l -> Some (List.fold_left Float.max neg_infinity l)
+
+let efficiency m =
+  let useful = Monitor.gossip_useful m in
+  let redundant = Monitor.gossip_redundant m in
+  if useful + redundant = 0 then None
+  else Some (float_of_int useful /. float_of_int (useful + redundant))
+
+let groups_str = function
+  | None -> "-"
+  | Some gs -> String.concat "," (List.map string_of_int gs)
+
+(* Non-cumulative counts per default bucket, plus the overflow slot. *)
+let bucketize lats =
+  let n = List.length default_buckets in
+  let counts = Array.make (n + 1) 0 in
+  List.iter
+    (fun v ->
+      let rec slot i = function
+        | [] -> n
+        | b :: rest -> if v <= b then i else slot (i + 1) rest
+      in
+      let i = slot 0 default_buckets in
+      counts.(i) <- counts.(i) + 1)
+    lats;
+  counts
+
+let report m =
+  let b = Buffer.create 512 in
+  let line fmt_parts = Buffer.add_string b (String.concat " " fmt_parts);
+    Buffer.add_char b '\n'
+  in
+  let lags = Monitor.lags m in
+  let qlats = Monitor.quorum_latencies m in
+  line [ "nodes"; string_of_int (List.length (Monitor.nodes m)) ];
+  line [ "partition"; groups_str (Monitor.partition m) ];
+  line [ "partition_changes"; string_of_int (Monitor.partition_changes m) ];
+  line
+    [
+      "converged";
+      (if Monitor.converged m then "yes" else "no");
+      "lagging=" ^ string_of_int (Monitor.lagging m);
+      "at=" ^ opt_fms (Monitor.converged_at m);
+    ];
+  line
+    [
+      "lag_ms";
+      "count=" ^ string_of_int (List.length lags);
+      "last=" ^ opt_fms (Monitor.last_lag m);
+      "mean=" ^ opt_fms (mean lags);
+      "max=" ^ opt_fms (maximum lags);
+      "pending=" ^ string_of_int (Monitor.pending_marks m);
+    ];
+  line
+    [
+      "gossip";
+      "useful=" ^ string_of_int (Monitor.gossip_useful m);
+      "redundant=" ^ string_of_int (Monitor.gossip_redundant m);
+      "efficiency=" ^ opt_fms (efficiency m);
+    ];
+  line
+    [
+      "witness";
+      "quorum=" ^ string_of_int (Monitor.quorum m);
+      "count=" ^ string_of_int (List.length qlats);
+      "mean_ms=" ^ opt_fms (mean qlats);
+      "max_ms=" ^ opt_fms (maximum qlats);
+    ];
+  let counts = bucketize qlats in
+  line
+    ("witness_hist"
+    :: List.mapi
+         (fun i bound -> "le" ^ fms bound ^ "=" ^ string_of_int counts.(i))
+         default_buckets
+    @ [ "inf=" ^ string_of_int counts.(List.length default_buckets) ]);
+  let div_fields ds =
+    List.map (fun (g, d) -> string_of_int g ^ "=" ^ string_of_int d) ds
+  in
+  line ("divergence" :: div_fields (Monitor.divergence m));
+  let samples = Monitor.samples m in
+  line [ "samples"; string_of_int (List.length samples) ];
+  List.iter
+    (fun (s : Monitor.sample) ->
+      line (("sample " ^ fms s.ts) :: div_fields s.groups))
+    samples;
+  Buffer.contents b
+
+let export m reg =
+  let set name v = Registry.set (Registry.gauge reg name) v in
+  set "health.converged" (if Monitor.converged m then 1. else 0.);
+  set "health.lagging_blocks" (float_of_int (Monitor.lagging m));
+  set "health.marks_pending" (float_of_int (Monitor.pending_marks m));
+  set "health.partition_changes" (float_of_int (Monitor.partition_changes m));
+  set "health.partition_groups"
+    (float_of_int
+       (match Monitor.partition m with
+       | None -> 1
+       | Some gs -> List.length (List.sort_uniq Int.compare gs)));
+  set "health.gossip_useful" (float_of_int (Monitor.gossip_useful m));
+  set "health.gossip_redundant" (float_of_int (Monitor.gossip_redundant m));
+  (match efficiency m with
+  | Some e -> set "health.gossip_efficiency" e
+  | None -> ());
+  (match Monitor.last_lag m with
+  | Some lag -> set "health.convergence_lag_ms" lag
+  | None -> ());
+  (match mean (Monitor.lags m) with
+  | Some v -> set "health.convergence_lag_ms_mean" v
+  | None -> ());
+  List.iter
+    (fun (g, d) ->
+      Registry.set
+        (Registry.gauge reg ~node:(string_of_int g) "health.divergence")
+        (float_of_int d))
+    (Monitor.divergence m);
+  let hist =
+    Registry.histogram reg ~buckets:default_buckets "health.witness_quorum_ms"
+  in
+  List.iter (Registry.observe hist) (Monitor.quorum_latencies m)

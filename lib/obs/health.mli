@@ -1,0 +1,20 @@
+(** Canonical renderings of {!Monitor} state.
+
+    Both functions are pure projections: same monitor state, same
+    bytes. *)
+
+val default_buckets : float list
+(** Decade bounds (ms) used for the witness-quorum latency histogram in
+    both {!report} and {!export}. *)
+
+val report : Monitor.t -> string
+(** Byte-stable text report: fixed line and field order, floats via
+    {!Event.json_float}. Two same-seed runs — or two replays of copied
+    journals — render identically. *)
+
+val export : Monitor.t -> Registry.t -> unit
+(** Project the monitor into [health.*] gauges (convergence, lag,
+    gossip efficiency, per-group divergence labelled by group id) and
+    the [health.witness_quorum_ms] histogram. Observes every recorded
+    latency, so export into a registry once (e.g. a fresh registry per
+    scrape). *)

@@ -1,0 +1,89 @@
+(** Streaming derived health metrics — the vegvisir-health fold.
+
+    A monitor consumes the raw event stream (attach {!sink} to a
+    {!Bus.t}, or feed {!observe} directly) and maintains the
+    partition-tolerance signals of the paper's §V evaluation:
+
+    - {b convergence}: the set of blocks each tracked node holds, grown
+      on [Created]/[Delivered] events. Block sets are parent-closed, so
+      all replicas hold the same set exactly when all frontiers are
+      equal; the monitor is {e converged} when no block is held by some
+      but not all nodes.
+    - {b convergence lag}: {!mark} registers an instant (a partition
+      heal — marked automatically on [Partition_changed {groups = None}]
+      — or e.g. a workload's last append); when the fleet next
+      transitions to converged, the elapsed sim-time is recorded in
+      {!lags}.
+    - {b frontier divergence}: per partition group, the cardinality of
+      the symmetric difference of member holdings (union minus
+      intersection) — sampled once per crossed tick boundary when
+      [every] is set.
+    - {b gossip efficiency}: useful ([Delivered]) vs. redundant
+      ([Block_redundant]) block transfers.
+    - {b witness-quorum latency}: sim-time from a block's [Created] to
+      the [quorum]-th distinct witnessing creator seen in [Witnessed]
+      events.
+
+    The monitor is a pure fold over [(ts, event)] pairs — no clock, no
+    randomness, no I/O — so deterministic streams yield deterministic
+    state and byte-stable {!Health.report} renderings. *)
+
+type t
+
+type sample = {
+  ts : float;  (** the tick boundary this sample is labelled with *)
+  groups : (int * int) list;
+      (** [(group id, divergence)] sorted by group id; group [0] is the
+          whole fleet when no partition is active *)
+}
+
+val create :
+  ?every:float -> ?quorum:int -> nodes:string list -> unit -> t
+(** [create ~nodes ()] tracks exactly [nodes] (events about other nodes
+    only count toward gossip/witness totals). [?every] enables
+    divergence sampling on ticks of that many milliseconds. [?quorum]
+    is the witness-quorum size (default: a majority of [nodes]).
+    @raise Invalid_argument if [every <= 0] or [quorum <= 0]. *)
+
+val sink : t -> Sink.t
+val observe : t -> ts:float -> Event.t -> unit
+
+val mark : t -> ts:float -> unit
+(** Register a convergence measurement starting at [ts]. If the fleet
+    is already converged the lag resolves immediately to [0.];
+    otherwise it resolves when the next converged transition happens. *)
+
+(** {1 Readers} *)
+
+val nodes : t -> string list
+val tick_every : t -> float option
+val quorum : t -> int
+
+val converged : t -> bool
+val lagging : t -> int
+(** Number of blocks held by some but not all tracked nodes. *)
+
+val converged_at : t -> float option
+(** Timestamp of the most recent lagging [> 0 → 0] transition. *)
+
+val partition : t -> int list option
+(** Current group map as last announced by [Partition_changed]. *)
+
+val partition_changes : t -> int
+
+val lags : t -> float list
+(** Resolved convergence lags (ms), oldest first. *)
+
+val last_lag : t -> float option
+val pending_marks : t -> int
+val gossip_useful : t -> int
+val gossip_redundant : t -> int
+
+val quorum_latencies : t -> float list
+(** Witness-quorum latencies (ms), in quorum-completion order. *)
+
+val divergence : t -> (int * int) list
+(** Current per-group divergence, sorted by group id. *)
+
+val samples : t -> sample list
+(** Tick samples, oldest first. Empty unless [every] was set. *)

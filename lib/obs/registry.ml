@@ -219,6 +219,89 @@ let render_text snap =
     snap;
   Buffer.contents b
 
+(* Prometheus text exposition (version 0.0.4). Metric names are
+   sanitized ('.' and anything else non-alphanumeric becomes '_') and
+   prefixed with the namespace; the node label becomes a {node="..."}
+   label pair; histograms render the standard cumulative _bucket series
+   with le="+Inf", plus _sum and _count. Snapshot order is already
+   canonical (sorted by name then node), so consecutive rows of one
+   name share a single # TYPE header and the output is byte-stable. *)
+let prom_name namespace name =
+  let b = Buffer.create (String.length namespace + String.length name + 1) in
+  Buffer.add_string b namespace;
+  if String.length namespace > 0 then Buffer.add_char b '_';
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_labels node extra =
+  let pairs =
+    (if String.equal node no_node then [] else [ ("node", node) ]) @ extra
+  in
+  match pairs with
+  | [] -> ""
+  | pairs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> k ^ "=" ^ Event.json_string v) pairs)
+    ^ "}"
+
+(* Prometheus floats: json_float renders shortest-roundtrip decimals,
+   which the exposition format accepts. *)
+let prom_float = Event.json_float
+
+let to_prometheus ?(namespace = "vegvisir") snap =
+  let b = Buffer.create 512 in
+  let last_typed = ref "" in
+  let type_line pname kind =
+    if not (String.equal !last_typed pname) then begin
+      Buffer.add_string b ("# TYPE " ^ pname ^ " " ^ kind ^ "\n");
+      last_typed := pname
+    end
+  in
+  List.iter
+    (fun ((name, node), v) ->
+      let pname = prom_name namespace name in
+      match v with
+      | Counter c ->
+        type_line pname "counter";
+        Buffer.add_string b
+          (pname ^ prom_labels node [] ^ " " ^ string_of_int c ^ "\n")
+      | Gauge g ->
+        type_line pname "gauge";
+        Buffer.add_string b
+          (pname ^ prom_labels node [] ^ " " ^ prom_float g ^ "\n")
+      | Histogram { buckets; overflow; sum; observations } ->
+        type_line pname "histogram";
+        let cumulative = ref 0 in
+        List.iter
+          (fun (le, c) ->
+            cumulative := !cumulative + c;
+            Buffer.add_string b
+              (pname ^ "_bucket"
+              ^ prom_labels node [ ("le", prom_float le) ]
+              ^ " "
+              ^ string_of_int !cumulative
+              ^ "\n"))
+          buckets;
+        Buffer.add_string b
+          (pname ^ "_bucket"
+          ^ prom_labels node [ ("le", "+Inf") ]
+          ^ " "
+          ^ string_of_int (!cumulative + overflow)
+          ^ "\n");
+        Buffer.add_string b (pname ^ "_sum" ^ prom_labels node [] ^ " "
+                            ^ prom_float sum ^ "\n");
+        Buffer.add_string b
+          (pname ^ "_count" ^ prom_labels node [] ^ " "
+          ^ string_of_int observations ^ "\n"))
+    snap;
+  Buffer.contents b
+
 let render_json snap =
   let b = Buffer.create 256 in
   Buffer.add_string b "[";

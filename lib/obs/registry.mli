@@ -75,3 +75,11 @@ val aggregate : snapshot -> snapshot
 
 val render_text : snapshot -> string
 val render_json : snapshot -> string
+
+val to_prometheus : ?namespace:string -> snapshot -> string
+(** Prometheus text exposition (format version 0.0.4). Metric names are
+    sanitized (non-alphanumerics become ['_']) and prefixed with
+    [namespace] (default ["vegvisir"]); node labels render as
+    [{node="..."}]; histograms render the standard cumulative
+    [_bucket]/[_sum]/[_count] series including [le="+Inf"]. Byte-stable
+    for equal snapshots. *)

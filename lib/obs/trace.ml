@@ -24,11 +24,13 @@ let record t ~ts ev =
       Hash_id.Map.update block
         (function None -> Some [ e ] | Some es -> Some (e :: es))
         t.spans
-  | Event.Block_dropped _ | Event.Net_sent _ | Event.Net_delivered _
-  | Event.Net_dropped _ | Event.Session_started _ | Event.Session_completed _
+  | Event.Block_dropped _ | Event.Block_redundant _ | Event.Net_sent _
+  | Event.Net_delivered _ | Event.Net_dropped _ | Event.Partition_changed _
+  | Event.Session_started _ | Event.Session_completed _
   | Event.Session_aborted _ | Event.Request_resent _ | Event.Leader_elected _
   | Event.Block_archived _ | Event.Store_loaded _ | Event.Store_saved _
-  | Event.Sync_started _ | Event.Sync_completed _ ->
+  | Event.Sync_started _ | Event.Sync_completed _ | Event.Recovery_completed _
+    ->
     ()
 
 let sink t = Sink.make (fun ~ts ev -> record t ~ts ev)

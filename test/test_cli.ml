@@ -204,6 +204,95 @@ let live_sync () =
       true
       (List.length crossed >= 2)
 
+(* Batch ancestry recovery: a stale replica re-admits everything missing
+   below the source's frontier, journals it, and still verifies. *)
+let recover_ancestry () =
+  let module Obs = Vegvisir_obs in
+  let ca = init "ca6" in
+  let bob_dir = fresh_dir "bob6" in
+  let bob = Result.get_ok (Node_store.enroll ~ca_dir:ca.Node_store.dir ~dir:bob_dir
+      ~seed:"bob6-seed" ~height:4 ~role:"member" ()) in
+  let ca = Result.get_ok (Node_store.load ~dir:ca.Node_store.dir) in
+  let _ = Result.get_ok (Node_store.append ca ~crdt:"log" ~op:"add" [ Value.String "r-one" ]) in
+  let _ = Result.get_ok (Node_store.append ca ~crdt:"log" ~op:"add" [ Value.String "r-two" ]) in
+  let before = V.Dag.cardinal (V.Node.dag bob.Node_store.node) in
+  let served, restored = Result.get_ok (Node_store.recover bob ~from:ca ()) in
+  check_i "closure covers the whole chain" 4 served;
+  check_i "both missing blocks restored" 2 restored;
+  check_i "replica grew" (before + 2)
+    (V.Dag.cardinal (V.Node.dag bob.Node_store.node));
+  check_b "verifies after recovery" true (Result.is_ok (Node_store.verify bob));
+  (* Recovery persisted: a reload sees the blocks and the state. *)
+  let bob = Result.get_ok (Node_store.load ~dir:bob.Node_store.dir) in
+  (match V.Csm.query (V.Node.csm bob.Node_store.node) ~crdt:"log" ~op:"mem"
+           [ Value.String "r-two" ] with
+   | Ok (Value.Bool true) -> ()
+   | _ -> Alcotest.fail "recovered state missing after reload");
+  (* The journal records the recovery with the restored count. *)
+  let recovered_events =
+    List.filter_map
+      (fun (_, ev) ->
+        match ev with
+        | Obs.Event.Recovery_completed { blocks; _ } -> Some blocks
+        | _ -> None)
+      (Node_store.load_trace ~dir:bob.Node_store.dir)
+  in
+  check_b "journalled Recovery_completed" true (recovered_events = [ 2 ]);
+  (* Recovering again is a no-op: everything is already present. *)
+  let _, restored2 = Result.get_ok (Node_store.recover bob ~from:ca ()) in
+  check_i "idempotent" 0 restored2
+
+(* The /metrics endpoint end-to-end over a real loopback socket: the
+   child plays Prometheus with raw HTTP; the parent answers one scrape
+   and one bad target. *)
+let metrics_endpoint () =
+  let module Obs = Vegvisir_obs in
+  let reg = Obs.Registry.create () in
+  Obs.Registry.add (Obs.Registry.counter reg ~node:"0" "gossip.blocks") 7;
+  let render () = Obs.Registry.to_prometheus (Obs.Registry.snapshot reg) in
+  let server = Result.get_ok (Metrics_server.start ~port:0 ()) in
+  let port = Metrics_server.port server in
+  let http_get target =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let req =
+      Printf.sprintf "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n" target
+    in
+    ignore (Unix.write_substring fd req 0 (String.length req));
+    let buf = Buffer.create 1024 and chunk = Bytes.create 1024 in
+    let rec drain () =
+      match Unix.read fd chunk 0 1024 with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    in
+    drain ();
+    Unix.close fd;
+    Buffer.contents buf
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match Unix.fork () with
+  | 0 ->
+    let ok =
+      contains (http_get "/metrics") "vegvisir_gossip_blocks{node=\"0\"} 7"
+      && contains (http_get "/nope") "404 Not Found"
+    in
+    Unix._exit (if ok then 0 else 1)
+  | child ->
+    let r1 = Metrics_server.handle_one ~timeout_s:10. server ~render in
+    let r2 = Metrics_server.handle_one ~timeout_s:10. server ~render in
+    Metrics_server.stop server;
+    let _, status = Unix.waitpid [] child in
+    check_b "scrape answered" true (Result.is_ok r1);
+    check_b "bad target answered" true (Result.is_ok r2);
+    check_b "client saw the exposition and the 404" true
+      (status = Unix.WEXITED 0)
+
 let () =
   Random.self_init ();
   Alcotest.run "cli"
@@ -215,5 +304,8 @@ let () =
           Alcotest.test_case "key rotation" `Quick key_rotation;
           Alcotest.test_case "corruption" `Quick corruption_detected;
           Alcotest.test_case "live socket sync" `Quick live_sync;
+          Alcotest.test_case "batch ancestry recovery" `Quick recover_ancestry;
         ] );
+      ( "metrics-server",
+        [ Alcotest.test_case "GET /metrics over loopback" `Quick metrics_endpoint ] );
     ]

@@ -143,7 +143,7 @@ let scripted_pull ?(mode = `Naive) ?(mangle = fun ~round:_ frames -> frames)
           | Peer_engine.Session_started _ | Peer_engine.Request_resent _
           | Peer_engine.Session_completed _ | Peer_engine.Request_suppressed _
           | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
-          | Peer_engine.Blocks_served _ ->
+          | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
             ())
         | Peer_engine.Send _ | Peer_engine.Set_timer _ -> ())
       effs;
@@ -217,7 +217,7 @@ let has_resent events =
       | Peer_engine.Session_started _ | Peer_engine.Session_completed _
       | Peer_engine.Session_aborted _ | Peer_engine.Request_suppressed _
       | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
-      | Peer_engine.Blocks_served _ ->
+      | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
         false)
     events
 
@@ -246,7 +246,7 @@ let duplicated_replies_ignored () =
          | Peer_engine.Session_started _ | Peer_engine.Request_resent _
          | Peer_engine.Session_completed _ | Peer_engine.Session_aborted _
          | Peer_engine.Request_suppressed _ | Peer_engine.Decode_failed _
-         | Peer_engine.Blocks_served _ ->
+         | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
            false)
        o.events)
 
@@ -285,7 +285,7 @@ let garbage_frame_traced () =
          | Peer_engine.Session_started _ | Peer_engine.Request_resent _
          | Peer_engine.Session_completed _ | Peer_engine.Session_aborted _
          | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
-         | Peer_engine.Blocks_served _ ->
+         | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
            false)
        o.events)
 
@@ -307,7 +307,7 @@ let retry_exhaustion_aborts () =
            | Peer_engine.Session_started _ | Peer_engine.Session_completed _
            | Peer_engine.Session_aborted _ | Peer_engine.Request_suppressed _
            | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
-           | Peer_engine.Blocks_served _ ->
+           | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
              false)
          o.events)
   in

@@ -87,9 +87,21 @@ let test_unordered_iteration () =
     "let f h = Hashtbl.fold (fun _ v a -> v + a) h 0";
   check_fires "no-unordered-iteration" "lib/net/metrics.ml"
     "let f h = Hashtbl.to_seq h";
+  (* The CLI renders journals and summaries: order-sensitive output. *)
+  check_fires "no-unordered-iteration" "lib/cli/node_store.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h";
+  check_fires "no-unordered-iteration" "lib/cli/metrics_server.ml"
+    "let f h = Hashtbl.to_seq_keys h";
   (* Order-insensitive modules may use hash tables freely. *)
   check_silent ~rule:"no-unordered-iteration" "lib/core/dag.ml"
     "let f h = Hashtbl.iter (fun _ _ -> ()) h";
+  (* Point lookups don't iterate; only traversals are flagged. *)
+  check_silent ~rule:"no-unordered-iteration" "lib/cli/node_store.ml"
+    "let f h k = Hashtbl.find_opt h k";
+  (* A reasoned suppression covers a sanctioned traversal. *)
+  check_silent ~rule:"no-unordered-iteration" "lib/cli/node_store.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h (* lint: allow \
+     no-unordered-iteration \xe2\x80\x94 fixture *)";
   (* Ordered containers are always fine. *)
   check_silent "lib/net/metrics.ml" "let f m = SMap.fold (fun _ v a -> v + a) m 0"
 
@@ -149,6 +161,14 @@ let test_printf_outside_obs () =
   (* lib/obs owns rendering; its sinks may write. *)
   check_silent ~rule:"no-printf-outside-obs" "lib/obs/sink.ml"
     {|let f () = print_string "line"|};
+  (* ...but the health fold and renderer return strings, never print. *)
+  check_fires "no-printf-outside-obs" "lib/obs/monitor.ml"
+    {|let f () = print_endline "dbg"|};
+  check_fires "no-printf-outside-obs" "lib/obs/health.ml"
+    {|let f () = Printf.printf "%d" 1|};
+  check_silent ~rule:"no-printf-outside-obs" "lib/obs/health.ml"
+    "let f s = print_string s (* lint: allow no-printf-outside-obs \
+     \xe2\x80\x94 fixture *)";
   (* lib/engine console writes are engine-transport-purity's finding. *)
   check_silent ~rule:"no-printf-outside-obs" "lib/engine/peer_engine.ml"
     {|let f () = print_endline "dbg"|};

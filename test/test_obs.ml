@@ -49,6 +49,11 @@ let all_events =
       Store_saved { node = "ab12cd34"; blocks = 13 };
       Sync_started { node = "ab12cd34"; peer = "remote" };
       Sync_completed { node = "ab12cd34"; peer = "remote"; pulled = 2; served = 1 };
+      Block_redundant { node = "1"; block = b; peer = Some "0" };
+      Block_redundant { node = "2"; block = b; peer = None };
+      Partition_changed { groups = Some [ 0; 0; 1; 1 ] };
+      Partition_changed { groups = None };
+      Recovery_completed { node = "ab12cd34"; peer = "remote"; blocks = 4 };
     ]
 
 let jsonl_roundtrip () =
@@ -205,11 +210,12 @@ let trace_queries () =
 (* ------------------------------------------------------------------ *)
 (* Fleet integration: stitching and byte-level determinism              *)
 
-let run_fleet ?jsonl_into ~seed until_ms =
+let run_fleet ?jsonl_into ?attach ~seed until_ms =
   let obs = Context.create () in
   (match jsonl_into with
   | Some buf -> Context.attach obs (Sink.jsonl (Buffer.add_string buf))
   | None -> ());
+  (match attach with Some s -> Context.attach obs s | None -> ());
   let fleet = Net.Scenario.build ~seed ~obs ~topo:(Net.Topology.clique ~n:2) () in
   (* Each peer authors one (empty, witnessing) block so there is block
      traffic to trace; [] transactions keeps the fixture self-contained. *)
@@ -269,6 +275,196 @@ let same_seed_identical_trace () =
     Buffer.contents buf
   in
   check_b "different seed differs" true (not (String.equal a c))
+
+(* ------------------------------------------------------------------ *)
+(* Monitor: streaming derived health metrics                            *)
+
+let deliver ~node b = Event.Block { node; phase = Event.Delivered; block = b; peer = None }
+let create_ev ~node b = Event.Block { node; phase = Event.Created; block = b; peer = None }
+
+let monitor_convergence_and_lag () =
+  let m = Monitor.create ~nodes:[ "0"; "1" ] () in
+  let b = h "conv-a" in
+  check_b "empty fleet is converged" true (Monitor.converged m);
+  Monitor.observe m ~ts:10. (create_ev ~node:"0" b);
+  check_b "one holder of two" false (Monitor.converged m);
+  check_i "lagging" 1 (Monitor.lagging m);
+  Monitor.mark m ~ts:10.;
+  check_i "mark pending" 1 (Monitor.pending_marks m);
+  Monitor.observe m ~ts:250. (deliver ~node:"1" b);
+  check_b "all hold" true (Monitor.converged m);
+  check_f "lag resolved" 240. (Option.get (Monitor.last_lag m));
+  check_i "no pending" 0 (Monitor.pending_marks m);
+  check_f "converged_at" 250. (Option.get (Monitor.converged_at m));
+  (* A mark on an already-converged fleet resolves immediately to 0. *)
+  Monitor.mark m ~ts:300.;
+  check_f "converged mark is zero lag" 0. (Option.get (Monitor.last_lag m));
+  check_i "two lags total" 2 (List.length (Monitor.lags m))
+
+let monitor_partition_heal_automark () =
+  let m = Monitor.create ~nodes:[ "0"; "1" ] () in
+  let b = h "heal-a" in
+  Monitor.observe m ~ts:5. (create_ev ~node:"0" b);
+  Monitor.observe m ~ts:10. (Event.Partition_changed { groups = Some [ 0; 1 ] });
+  check_b "partition live" true (Monitor.partition m = Some [ 0; 1 ]);
+  check_i "one change" 1 (Monitor.partition_changes m);
+  (* Split fleet: each node is its own group, so divergence is per side. *)
+  Alcotest.(check (list (pair int int)))
+    "split divergence" [ (0, 0); (1, 0) ] (Monitor.divergence m);
+  Monitor.observe m ~ts:100. (Event.Partition_changed { groups = None });
+  check_b "healed" true (Monitor.partition m = None);
+  check_i "heal auto-marks" 1 (Monitor.pending_marks m);
+  Alcotest.(check (list (pair int int)))
+    "whole-fleet divergence" [ (0, 1) ] (Monitor.divergence m);
+  Monitor.observe m ~ts:150. (deliver ~node:"1" b);
+  check_f "heal-to-convergence lag" 50. (Option.get (Monitor.last_lag m))
+
+let monitor_gossip_and_witness () =
+  let m = Monitor.create ~nodes:[ "0"; "1"; "2" ] () in
+  check_i "majority quorum" 2 (Monitor.quorum m);
+  let b = h "wit-a" in
+  Monitor.observe m ~ts:0. (create_ev ~node:"0" b);
+  Monitor.observe m ~ts:20. (deliver ~node:"1" b);
+  Monitor.observe m ~ts:25.
+    (Event.Block_redundant { node = "1"; block = b; peer = Some "0" });
+  Monitor.observe m ~ts:30. (deliver ~node:"2" b);
+  check_i "useful" 2 (Monitor.gossip_useful m);
+  check_i "redundant" 1 (Monitor.gossip_redundant m);
+  let witness ~ts creator =
+    Monitor.observe m ~ts
+      (Event.Block { node = "0"; phase = Event.Witnessed; block = b; peer = Some creator })
+  in
+  witness ~ts:40. "w1";
+  witness ~ts:50. "w1";
+  (* same witness twice: not a second distinct witness *)
+  check_b "quorum unmet" true (Monitor.quorum_latencies m = []);
+  witness ~ts:70. "w2";
+  Alcotest.(check (list (float 1e-9)))
+    "quorum latency" [ 70. ] (Monitor.quorum_latencies m)
+
+let monitor_divergence_sampling () =
+  let m = Monitor.create ~every:100. ~nodes:[ "0"; "1" ] () in
+  let b0 = h "s-0" and b1 = h "s-1" in
+  Monitor.observe m ~ts:10. (create_ev ~node:"0" b0);
+  check_b "no boundary crossed yet" true (Monitor.samples m = []);
+  Monitor.observe m ~ts:150. (create_ev ~node:"0" b1);
+  Monitor.observe m ~ts:250. (deliver ~node:"1" b0);
+  Monitor.observe m ~ts:460. (deliver ~node:"1" b1);
+  match Monitor.samples m with
+  | [ s1; s2; s3 ] ->
+    (* Each sample is stamped with the last crossed tick boundary and
+       carries the divergence *before* the event that crossed it. *)
+    check_f "tick 100" 100. s1.Monitor.ts;
+    Alcotest.(check (list (pair int int))) "one lagging" [ (0, 1) ] s1.Monitor.groups;
+    check_f "tick 200" 200. s2.Monitor.ts;
+    Alcotest.(check (list (pair int int))) "two lagging" [ (0, 2) ] s2.Monitor.groups;
+    check_f "tick 400 (skips empty gaps)" 400. s3.Monitor.ts;
+    Alcotest.(check (list (pair int int))) "one left" [ (0, 1) ] s3.Monitor.groups
+  | l -> Alcotest.failf "expected 3 samples, got %d" (List.length l)
+
+(* Property: the monitor's streaming convergence lag equals an oracle
+   that recomputes holdings sets from scratch at every step. *)
+let monitor_lag_matches_oracle =
+  QCheck.Test.make ~count:200 ~name:"monitor lag = oracle recomputation"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 40) (pair (int_bound 4) (int_bound 1)))
+        small_nat)
+    (fun (ops, mark_at) ->
+      QCheck.assume (ops <> []);
+      let blocks = Array.init 5 (fun i -> h (Printf.sprintf "q-%d" i)) in
+      let ts_of i = float_of_int (i + 1) *. 10. in
+      let mark_at = mark_at mod List.length ops in
+      let mark_ts = ts_of mark_at in
+      (* Oracle: replay prefixes with plain per-node block sets. *)
+      let module S = Set.Make (String) in
+      let held = [| S.empty; S.empty |] in
+      let converged_after = Array.make (List.length ops) true in
+      List.iteri
+        (fun i (b, node) ->
+          held.(node) <- S.add (V.Hash_id.to_hex blocks.(b)) held.(node);
+          converged_after.(i) <- S.equal held.(0) held.(1))
+        ops;
+      let oracle =
+        if converged_after.(mark_at) then Some 0.
+        else begin
+          let rec find j =
+            if j >= Array.length converged_after then None
+            else if converged_after.(j) then Some (ts_of j -. mark_ts)
+            else find (j + 1)
+          in
+          find (mark_at + 1)
+        end
+      in
+      let m = Monitor.create ~nodes:[ "0"; "1" ] () in
+      List.iteri
+        (fun i (b, node) ->
+          Monitor.observe m ~ts:(ts_of i)
+            (deliver ~node:(string_of_int node) blocks.(b));
+          if i = mark_at then Monitor.mark m ~ts:mark_ts)
+        ops;
+      match (oracle, Monitor.last_lag m) with
+      | None, None -> Monitor.pending_marks m = 1
+      | Some a, Some b -> Float.equal a b && Monitor.pending_marks m = 0
+      | None, Some _ | Some _, None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Health report + Prometheus exposition                                *)
+
+let run_health ~seed =
+  let monitor = Monitor.create ~every:1_000. ~nodes:[ "0"; "1" ] () in
+  let fleet = run_fleet ~attach:(Monitor.sink monitor) ~seed 30_000. in
+  (fleet, monitor)
+
+let health_report_byte_stable () =
+  let render seed =
+    let _fleet, monitor = run_health ~seed in
+    Health.report monitor
+  in
+  let a = render 909L and b = render 909L in
+  check_b "report non-empty" true (String.length a > 0);
+  check_s "same seed, identical report" a b;
+  check_b "mentions gossip" true (contains a "gossip ");
+  check_b "mentions witness" true (contains a "witness ");
+  check_b "different seed differs" true (not (String.equal a (render 910L)))
+
+let prometheus_byte_stable () =
+  let render seed =
+    let fleet, monitor = run_health ~seed in
+    let reg = Context.registry fleet.Net.Scenario.obs in
+    Health.export monitor reg;
+    Registry.to_prometheus (Registry.snapshot reg)
+  in
+  let a = render 909L and b = render 909L in
+  check_s "same seed, identical exposition" a b;
+  check_b "health gauges exported" true
+    (contains a "vegvisir_health_converged");
+  check_b "type lines present" true (contains a "# TYPE vegvisir_")
+
+let prometheus_rendering () =
+  let r = Registry.create () in
+  Registry.add (Registry.counter r ~node:"0" "gossip.blocks") 3;
+  Registry.add (Registry.counter r ~node:"1" "gossip.blocks") 1;
+  Registry.set (Registry.gauge r "health.converged") 1.;
+  let hst = Registry.histogram r ~buckets:[ 10.; 20. ] "lat.ms" in
+  List.iter (Registry.observe hst) [ 5.; 15.; 100. ];
+  check_s "prometheus text"
+    (String.concat "\n"
+       [
+         "# TYPE vegvisir_gossip_blocks counter";
+         "vegvisir_gossip_blocks{node=\"0\"} 3";
+         "vegvisir_gossip_blocks{node=\"1\"} 1";
+         "# TYPE vegvisir_health_converged gauge";
+         "vegvisir_health_converged 1.0";
+         "# TYPE vegvisir_lat_ms histogram";
+         "vegvisir_lat_ms_bucket{le=\"10.0\"} 1";
+         "vegvisir_lat_ms_bucket{le=\"20.0\"} 2";
+         "vegvisir_lat_ms_bucket{le=\"+Inf\"} 3";
+         "vegvisir_lat_ms_sum 120.0";
+         "vegvisir_lat_ms_count 3";
+         "";
+       ])
+    (Registry.to_prometheus (Registry.snapshot r))
 
 (* ------------------------------------------------------------------ *)
 (* Metrics satellite: nearest-rank percentile fix + merge               *)
@@ -333,6 +529,26 @@ let () =
             two_node_stitching;
           Alcotest.test_case "same seed, identical trace bytes" `Quick
             same_seed_identical_trace;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "convergence + lag" `Quick
+            monitor_convergence_and_lag;
+          Alcotest.test_case "partition heal auto-mark" `Quick
+            monitor_partition_heal_automark;
+          Alcotest.test_case "gossip + witness quorum" `Quick
+            monitor_gossip_and_witness;
+          Alcotest.test_case "divergence sampling" `Quick
+            monitor_divergence_sampling;
+          QCheck_alcotest.to_alcotest monitor_lag_matches_oracle;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "report byte-stable" `Quick
+            health_report_byte_stable;
+          Alcotest.test_case "prometheus byte-stable" `Quick
+            prometheus_byte_stable;
+          Alcotest.test_case "prometheus rendering" `Quick prometheus_rendering;
         ] );
       ( "metrics",
         [
