@@ -390,6 +390,54 @@ let dag_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* M12-lint: full-repo interprocedural lint wall time (snapshotted to
+   BENCH_lint.json). Sources are read once outside the timed region;
+   the timed leg is the whole Driver.lint_project pipeline — parse,
+   per-file rules, call-graph construction, SCC effect fixpoint,
+   boundary and parallel-safety checks. The acceptance budget is 10 s
+   per full-repo analysis; current cost is milliseconds.                *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_fixture =
+  (* Only meaningful when run from the repo root (the usual `dune exec
+     bench/main.exe`); from elsewhere the group is skipped. *)
+  if Sys.file_exists "lib" && Sys.is_directory "lib" then begin
+    let roots =
+      List.filter Sys.file_exists [ "lib"; "bin"; "examples"; "bench" ]
+    in
+    let files = Veglint.Driver.collect_files roots in
+    let side name = if Sys.file_exists name then Some (name, read_file name) else None in
+    Some
+      ( List.map (fun p -> (p, read_file p)) files,
+        side "lint-boundaries.sexp",
+        side "lint-baseline.txt" )
+  end
+  else None
+
+let lint_tests =
+  Option.map
+    (fun (inputs, manifest, baseline) ->
+      let findings =
+        Veglint.Driver.lint_project ?manifest ?baseline inputs
+      in
+      Test.make_grouped ~name:"M12-lint"
+        [
+          Test.make ~name:"full-repo"
+            (stage (fun () ->
+                 Veglint.Driver.lint_project ?manifest ?baseline inputs));
+          Test.make ~name:"render-json"
+            (stage (fun () ->
+                 Veglint.Driver.render_json ~files:(List.length inputs)
+                   findings));
+        ])
+    lint_fixture
+
+(* ------------------------------------------------------------------ *)
 (* Runner: OLS estimate of ns/run per test, plain-text table            *)
 
 (* OLS ns/run per test in a group, as [(name, ns, r2)] rows. *)
@@ -502,6 +550,29 @@ let write_bench_dag rows =
     speedups;
   Printf.printf "  (snapshot written to BENCH_dag.json)\n"
 
+(* The full-repo lint cost tracked across PRs: seconds per analysis is
+   the number the 10-second acceptance budget is written against. *)
+let write_bench_lint ~files rows =
+  let oc = open_out "BENCH_lint.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"M12-lint\",\n  \"files\": %d,\n  \"results\": ["
+        files;
+      List.iteri
+        (fun i (name, ns, r2) ->
+          if i > 0 then output_string oc ",";
+          let r2 = if Float.is_nan r2 then 0.0 else r2 in
+          Printf.fprintf oc
+            "\n    {\"name\": %s, \"ns_per_op\": %.1f, \"seconds_per_op\": \
+             %.6f, \"r2\": %.4f}"
+            (Obs.Event.json_string name)
+            ns (ns /. 1e9) r2)
+        rows;
+      output_string oc "\n  ]\n}\n");
+  Printf.printf "  (snapshot written to BENCH_lint.json)\n"
+
 let run_micro () =
   print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
   List.iter (fun test -> print_rows (estimate test)) tests;
@@ -511,6 +582,12 @@ let run_micro () =
   let dag_rows = estimate dag_tests in
   print_rows dag_rows;
   write_bench_dag dag_rows;
+  (match (lint_tests, lint_fixture) with
+  | Some group, Some (inputs, _, _) ->
+    let lint_rows = estimate group in
+    print_rows lint_rows;
+    write_bench_lint ~files:(List.length inputs) lint_rows
+  | _ -> print_endline "  (M12-lint skipped: not at the repo root)");
   print_newline ()
 
 let () =

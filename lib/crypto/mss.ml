@@ -47,6 +47,7 @@ let sign sk msg =
   let ots_sk, leaf_pk = Wots.derive sk.p ~seed:(leaf_seed sk.seed i) in
   { index = i; leaf_pk; ots = Wots.sign ots_sk msg; path = Merkle.path sk.tree i }
 
+(* lint: parallel-safe *)
 let verify ?(chunk_bits = 4) pk msg s =
   let p = Wots.params ~chunk_bits () in
   Wots.verify p s.leaf_pk msg s.ots

@@ -67,6 +67,7 @@ let sign sk msg =
   let cs = chunks_of_digest p (Sha256.digest msg) in
   { chains = Array.mapi (fun i c -> chain sk.keys.(i) c) cs }
 
+(* lint: parallel-safe *)
 let verify p pk msg s =
   Array.length s.chains = p.len
   &&

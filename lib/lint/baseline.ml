@@ -1,0 +1,64 @@
+(* The reviewed baseline of grandfathered interprocedural findings.
+
+   Format, one entry per line:
+
+     <rule> <key>
+
+   where <key> is the finding's stable identity (e.g.
+   "engine clock Vegvisir_engine.Peer_engine.step"). '#' starts a
+   comment; blank lines are ignored. Entries are matched against keyed
+   findings only — per-file AST findings use source suppressions, not
+   the baseline — and entries that match nothing are themselves
+   reported as stale, so the baseline can only shrink. *)
+
+type entry = { e_line : int; rule : string; key : string }
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse src =
+  let entries = ref [] in
+  let errs = ref [] in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match split_ws line with
+      | [] -> ()
+      | [ only ] ->
+        errs :=
+          (lineno, "baseline entry \"" ^ only ^ "\" has no key") :: !errs
+      | rule :: key_toks ->
+        if not (List.mem rule Rules.names) then
+          errs := (lineno, "unknown rule \"" ^ rule ^ "\"") :: !errs
+        else
+          entries :=
+            { e_line = lineno; rule; key = String.concat " " key_toks }
+            :: !entries)
+    (String.split_on_char '\n' src);
+  (List.rev !entries, List.rev !errs)
+
+let apply entries findings =
+  let used = Hashtbl.create 16 in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        if f.key = "" then true
+        else
+          match
+            List.find_opt (fun e -> e.rule = f.rule && e.key = f.key) entries
+          with
+          | Some e ->
+            Hashtbl.replace used e.e_line ();
+            false
+          | None -> true)
+      findings
+  in
+  let stale = List.filter (fun e -> not (Hashtbl.mem used e.e_line)) entries in
+  (kept, stale)

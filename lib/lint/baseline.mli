@@ -1,0 +1,22 @@
+(** The reviewed baseline of grandfathered interprocedural findings
+    ([lint-baseline.txt]).
+
+    One entry per line, [<rule> <key>], where [<key>] is the finding's
+    stable identity ({!Finding.t.key}); [#] comments and blank lines are
+    ignored. The baseline only applies to keyed (interprocedural)
+    findings — per-file findings are suppressed in source. Entries that
+    match no current finding are stale and reported as [lint-baseline]
+    findings, so the file ratchets monotonically toward empty. *)
+
+type entry = {
+  e_line : int;  (** 1-based line in the baseline file *)
+  rule : string;
+  key : string;
+}
+
+val parse : string -> entry list * (int * string) list
+(** Entries plus [(line, message)] parse errors, both in file order. *)
+
+val apply : entry list -> Finding.t list -> Finding.t list * entry list
+(** [apply entries findings] removes baselined findings; returns the
+    kept findings and the stale entries. *)

@@ -1,0 +1,185 @@
+(* The purity-boundary manifest: a hand-rolled s-expression reader kept
+   free of external dependencies, with line tracking so parse errors
+   surface as regular findings.
+
+   Grammar (one form per boundary):
+
+     (boundary engine
+       (scope lib/engine)
+       (forbid clock random io))
+
+   [scope] paths are compared against finding paths segment-wise, so
+   "lib/engine" covers every unit in that directory while
+   "lib/obs/event.ml" pins a single file. *)
+
+type boundary = {
+  name : string;
+  scopes : string list;
+  forbid : Effect_sig.name list;
+  decl_line : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer / reader                                                  *)
+
+type sexp = Atom of string * int | List of sexp list * int
+
+type token = Lp of int | Rp of int | Tok of string * int
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let atom_char c =
+    c <> '(' && c <> ')' && c <> ';' && c <> ' ' && c <> '\t' && c <> '\n'
+    && c <> '\r'
+  in
+  while !i < n do
+    (match src.[!i] with
+    | '\n' ->
+      incr line;
+      incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | ';' ->
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    | '(' ->
+      toks := Lp !line :: !toks;
+      incr i
+    | ')' ->
+      toks := Rp !line :: !toks;
+      incr i
+    | _ ->
+      let start = !i in
+      while !i < n && atom_char src.[!i] do
+        incr i
+      done;
+      toks := Tok (String.sub src start (!i - start), !line) :: !toks);
+    ()
+  done;
+  List.rev !toks
+
+let read_sexps src =
+  let toks = tokenize src in
+  let rec read toks =
+    match toks with
+    | [] -> (None, [])
+    | Tok (s, l) :: rest -> (Some (Ok (Atom (s, l))), rest)
+    | Lp l :: rest ->
+      let rec read_list acc toks =
+        match toks with
+        | [] -> (Some (Error (l, "unclosed parenthesis")), [])
+        | Rp _ :: rest -> (Some (Ok (List (List.rev acc, l))), rest)
+        | toks -> begin
+          match read toks with
+          | Some (Ok s), rest -> read_list (s :: acc) rest
+          | Some (Error _ as e), rest -> (Some e, rest)
+          | None, rest -> (Some (Error (l, "unclosed parenthesis")), rest)
+        end
+      in
+      read_list [] rest
+    | Rp l :: rest -> (Some (Error (l, "unexpected ')'")), rest)
+  in
+  let rec top acc toks =
+    match read toks with
+    | None, _ -> (List.rev acc, None)
+    | Some (Ok s), rest -> top (s :: acc) rest
+    | Some (Error e), _ -> (List.rev acc, Some e)
+  in
+  top [] toks
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation                                                      *)
+
+let interpret_boundary items line =
+  match items with
+  | Atom ("boundary", _) :: Atom (name, _) :: clauses ->
+    let scopes = ref [] in
+    let forbid = ref [] in
+    let errs = ref [] in
+    List.iter
+      (fun clause ->
+        match clause with
+        | List (Atom ("scope", _) :: paths, cl) ->
+          if paths = [] then
+            errs := (cl, "empty (scope ...) clause") :: !errs
+          else
+            List.iter
+              (function
+                | Atom (p, _) -> scopes := p :: !scopes
+                | List (_, il) ->
+                  errs := (il, "expected a path in (scope ...)") :: !errs)
+              paths
+        | List (Atom ("forbid", _) :: effs, cl) ->
+          if effs = [] then
+            errs := (cl, "empty (forbid ...) clause") :: !errs
+          else
+            List.iter
+              (function
+                | Atom (e, el) -> begin
+                  match Effect_sig.name_of_string e with
+                  | Some eff -> forbid := eff :: !forbid
+                  | None ->
+                    errs :=
+                      ( el,
+                        "unknown effect \"" ^ e ^ "\" (expected one of "
+                        ^ String.concat ", "
+                            (List.map Effect_sig.name_to_string
+                               Effect_sig.all_names)
+                        ^ ")" )
+                      :: !errs
+                end
+                | List (_, il) ->
+                  errs := (il, "expected an effect name in (forbid ...)") :: !errs)
+              effs
+        | List (Atom (other, cl) :: _, _) ->
+          errs :=
+            (cl, "unknown clause \"" ^ other ^ "\" in boundary \"" ^ name ^ "\"")
+            :: !errs
+        | List (_, cl) -> errs := (cl, "malformed clause") :: !errs
+        | Atom (a, al) ->
+          errs := (al, "stray atom \"" ^ a ^ "\" in boundary \"" ^ name ^ "\"") :: !errs)
+      clauses;
+    if !scopes = [] && !errs = [] then
+      errs := (line, "boundary \"" ^ name ^ "\" has no (scope ...)") :: !errs;
+    if !forbid = [] && !errs = [] then
+      errs := (line, "boundary \"" ^ name ^ "\" has no (forbid ...)") :: !errs;
+    if !errs <> [] then Error (List.rev !errs)
+    else
+      Ok
+        {
+          name;
+          scopes = List.rev !scopes;
+          forbid = List.rev !forbid;
+          decl_line = line;
+        }
+  | _ ->
+    Error [ (line, "expected (boundary <name> (scope ...) (forbid ...))") ]
+
+let parse src =
+  let sexps, fatal = read_sexps src in
+  let boundaries = ref [] in
+  let errs = ref [] in
+  List.iter
+    (fun sexp ->
+      match sexp with
+      | List (items, line) -> begin
+        match interpret_boundary items line with
+        | Ok b ->
+          if List.exists (fun b' -> b'.name = b.name) !boundaries then
+            errs := (line, "duplicate boundary \"" ^ b.name ^ "\"") :: !errs
+          else boundaries := b :: !boundaries
+        | Error es -> errs := List.rev_append es !errs
+      end
+      | Atom (a, line) ->
+        errs := (line, "expected a (boundary ...) form, got \"" ^ a ^ "\"") :: !errs)
+    sexps;
+  (match fatal with Some e -> errs := e :: !errs | None -> ());
+  ( List.rev !boundaries,
+    List.sort
+      (fun (l1, m1) (l2, m2) ->
+        match Int.compare l1 l2 with 0 -> String.compare m1 m2 | c -> c)
+      !errs )

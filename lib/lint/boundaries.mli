@@ -1,0 +1,30 @@
+(** The purity-boundary manifest ([lint-boundaries.sexp]).
+
+    One form per boundary:
+
+    {v
+(boundary engine
+  (scope lib/engine)
+  (forbid clock random io))
+    v}
+
+    Effect names are those of {!Effect_sig.name_of_string} (underscore
+    or kebab spelling). [; comments] run to end of line. Parse errors
+    carry the source line and are reported by the driver as
+    [boundary-manifest] findings rather than aborting the run. *)
+
+type boundary = {
+  name : string;
+  scopes : string list;
+      (** path prefixes ("lib/engine") or exact files
+          ("lib/obs/event.ml") the boundary's entry points live in *)
+  forbid : Effect_sig.name list;
+      (** effects no entry point may reach transitively *)
+  decl_line : int;
+}
+
+val parse : string -> boundary list * (int * string) list
+(** [parse source] returns the well-formed boundaries and the parse
+    errors as [(line, message)], sorted by line. A malformed boundary
+    contributes errors and no boundary; the rest of the manifest still
+    applies. *)

@@ -17,23 +17,157 @@ let parse_error_finding ~path exn =
   in
   Finding.v ~file:path ~line ~col ~rule:"parse-error" detail
 
-let lint_source ~path source =
-  let sup = Suppress.scan ~known_rules:Rules.names source in
+(* ------------------------------------------------------------------ *)
+(* The project-level pipeline                                          *)
+
+(* Ordering matters twice in here. Suppression coverage ([allows]) must
+   be consulted by every pass — per-file rules, mli-coverage, and the
+   interprocedural findings — before dead suppressions are computed,
+   because "dead" means "matched by no pass". And the baseline applies
+   strictly after suppressions: a finding both suppressed in source and
+   baselined leaves its baseline entry unmatched, so the entry is
+   reported stale and the file shrinks. *)
+let lint_project ?manifest ?baseline ?(mli_missing = []) inputs =
+  let units =
+    List.map
+      (fun (path, source) ->
+        let sup = Suppress.scan ~known_rules:Rules.names source in
+        let parsed =
+          match parse_structure ~path source with
+          | structure -> Ok structure
+          | exception exn -> Error (parse_error_finding ~path exn)
+        in
+        (path, sup, parsed))
+      inputs
+  in
+  let parse_findings =
+    List.filter_map
+      (fun (_, _, parsed) ->
+        match parsed with Error f -> Some f | Ok _ -> None)
+      units
+  in
   let ast_findings =
-    match parse_structure ~path source with
-    | structure ->
-      Rules.check ~path structure
-      |> List.filter (fun (f : Finding.t) ->
-             not (Suppress.allows sup ~rule:f.rule ~line:f.line))
-    | exception exn -> [ parse_error_finding ~path exn ]
+    List.concat_map
+      (fun (path, sup, parsed) ->
+        match parsed with
+        | Error _ -> []
+        | Ok structure ->
+          Rules.check ~path structure
+          |> List.filter (fun (f : Finding.t) ->
+                 not
+                   (Suppress.allows sup ~rule:f.rule ~end_line:f.end_line
+                      ~line:f.line ())))
+      units
+  in
+  let mli_findings =
+    List.filter_map
+      (fun path ->
+        let suppressed =
+          match List.find_opt (fun (p, _, _) -> String.equal p path) units with
+          | Some (_, sup, _) ->
+            Suppress.allows sup ~rule:"mli-coverage" ~line:1 ()
+          | None -> false
+        in
+        if suppressed then None
+        else
+          Some
+            (Finding.v ~file:path ~line:1 ~col:0 ~rule:"mli-coverage"
+               ("missing interface "
+               ^ Filename.basename path
+               ^ "i: every lib module documents its contract in a .mli")))
+      mli_missing
+  in
+  let graph =
+    Callgraph.build
+      (List.filter_map
+         (fun (path, sup, parsed) ->
+           match parsed with
+           | Ok structure -> Some (path, structure, sup)
+           | Error _ -> None)
+         units)
+  in
+  let manifest_findings, boundaries =
+    match manifest with
+    | None -> ([], [])
+    | Some (mpath, msrc) ->
+      let bs, errs = Boundaries.parse msrc in
+      ( List.map
+          (fun (line, msg) ->
+            Finding.v ~file:mpath ~line ~col:0 ~rule:"boundary-manifest" msg)
+          errs,
+        bs )
+  in
+  let interproc =
+    Interproc.check_boundaries graph boundaries
+    @ Interproc.check_parallel_safety graph
+  in
+  let sup_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (path, sup, _) -> Hashtbl.replace tbl path sup) units;
+    tbl
+  in
+  let interproc =
+    List.filter
+      (fun (f : Finding.t) ->
+        match Hashtbl.find_opt sup_of f.file with
+        | Some sup ->
+          not
+            (Suppress.allows sup ~rule:f.rule ~end_line:f.end_line
+               ~line:f.line ())
+        | None -> true)
+      interproc
+  in
+  let baseline_findings, interproc =
+    match baseline with
+    | None -> ([], interproc)
+    | Some (bpath, bsrc) ->
+      let entries, errs = Baseline.parse bsrc in
+      let kept, stale = Baseline.apply entries interproc in
+      ( List.map
+          (fun (line, msg) ->
+            Finding.v ~file:bpath ~line ~col:0 ~rule:"lint-baseline" msg)
+          errs
+        @ List.map
+            (fun (e : Baseline.entry) ->
+              Finding.v ~file:bpath ~line:e.e_line ~col:0
+                ~rule:"lint-baseline"
+                ("stale baseline entry \"" ^ e.rule ^ " " ^ e.key
+               ^ "\" matches no finding; delete it"))
+            stale,
+        kept )
   in
   let suppression_findings =
-    List.map
-      (fun (line, col, msg) ->
-        Finding.v ~file:path ~line ~col ~rule:"lint-suppression" msg)
-      (Suppress.errors sup)
+    List.concat_map
+      (fun (path, sup, parsed) ->
+        let errs =
+          List.map
+            (fun (line, col, msg) ->
+              Finding.v ~file:path ~line ~col ~rule:"lint-suppression" msg)
+            (Suppress.errors sup)
+        in
+        let dead =
+          match parsed with
+          | Error _ -> []  (* no AST, so coverage cannot be judged *)
+          | Ok _ ->
+            List.map
+              (fun (line, col, rules) ->
+                Finding.v ~file:path ~line ~col ~rule:"lint-suppression"
+                  ("suppression ("
+                  ^ String.concat ", " rules
+                  ^ ") matches no finding; delete it"))
+              (Suppress.dead sup)
+        in
+        errs @ dead)
+      units
   in
-  List.sort Finding.compare (ast_findings @ suppression_findings)
+  List.sort Finding.compare
+    (parse_findings @ ast_findings @ mli_findings @ manifest_findings
+   @ baseline_findings @ interproc @ suppression_findings)
+
+let lint_source ~path source = lint_project [ (path, source) ]
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem                                                          *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -41,26 +175,25 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let mli_finding path source =
-  if Rules.mli_required path && not (Sys.file_exists (path ^ "i")) then begin
-    let sup = Suppress.scan ~known_rules:Rules.names source in
-    if Suppress.allows sup ~rule:"mli-coverage" ~line:1 then []
-    else
-      [
-        Finding.v ~file:path ~line:1 ~col:0 ~rule:"mli-coverage"
-          ("missing interface "
-          ^ Filename.basename path
-          ^ "i: every lib module documents its contract in a .mli");
-      ]
-  end
-  else []
-
 let lint_file path =
   match read_file path with
   | source ->
-    List.sort Finding.compare (lint_source ~path source @ mli_finding path source)
+    let mli_missing =
+      if Rules.mli_required path && not (Sys.file_exists (path ^ "i")) then
+        [ path ]
+      else []
+    in
+    lint_project ~mli_missing [ (path, source) ]
   | exception Sys_error msg ->
     [ Finding.v ~file:path ~line:1 ~col:0 ~rule:"parse-error" msg ]
+
+let in_build path =
+  List.exists (String.equal "_build") (String.split_on_char '/' path)
+
+let normalize path =
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
 
 let collect_files roots =
   let rec walk acc path =
@@ -73,38 +206,181 @@ let collect_files roots =
              then acc
              else walk acc (Filename.concat path entry))
            acc
-    else if Filename.check_suffix path ".ml" then path :: acc
+    else if Filename.check_suffix path ".ml" && not (in_build path) then
+      path :: acc
     else acc
   in
-  List.sort String.compare (List.fold_left walk [] roots)
+  List.sort_uniq String.compare
+    (List.map normalize (List.fold_left walk [] roots))
 
-let main roots =
+(* ------------------------------------------------------------------ *)
+(* JSON document                                                       *)
+
+let render_json ~files findings =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"tool\": \"vegvisir-lint\", \"version\": 1, ";
+  Buffer.add_string buf "\"files\": ";
+  Buffer.add_string buf (string_of_int files);
+  Buffer.add_string buf ", \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Finding.to_json f))
+    findings;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+
+let usage =
+  "usage: vegvisir_lint [--json] [--list-rules] [--explain RULE] \
+   [--boundaries FILE] [--baseline FILE] <dir-or-file>..."
+
+type mode =
+  | List_rules
+  | Explain of string
+  | Lint of {
+      json : bool;
+      boundaries : string option;
+      baseline : string option;
+      roots : string list;
+    }
+
+let parse_args args =
+  let json = ref false in
+  let boundaries = ref None in
+  let baseline = ref None in
+  let roots = ref [] in
+  let special = ref None in
+  let rec go = function
+    | [] -> Ok ()
+    | "--json" :: rest ->
+      json := true;
+      go rest
+    | "--list-rules" :: rest ->
+      special := Some List_rules;
+      go rest
+    | "--explain" :: rule :: rest ->
+      special := Some (Explain rule);
+      go rest
+    | [ "--explain" ] -> Error "--explain needs a rule name"
+    | "--boundaries" :: path :: rest ->
+      boundaries := Some path;
+      go rest
+    | [ "--boundaries" ] -> Error "--boundaries needs a file"
+    | "--baseline" :: path :: rest ->
+      baseline := Some path;
+      go rest
+    | [ "--baseline" ] -> Error "--baseline needs a file"
+    | flag :: _
+      when String.length flag >= 2 && String.sub flag 0 2 = "--" ->
+      Error ("unknown flag " ^ flag)
+    | root :: rest ->
+      roots := root :: !roots;
+      go rest
+  in
+  match go args with
+  | Error e -> Error e
+  | Ok () -> begin
+    match !special with
+    | Some m -> Ok m
+    | None ->
+      Ok
+        (Lint
+           {
+             json = !json;
+             boundaries = !boundaries;
+             baseline = !baseline;
+             roots = List.rev !roots;
+           })
+  end
+
+(* A side file (manifest or baseline) participates when explicitly
+   requested — then it must exist — or implicitly when its default name
+   is present in the working directory. *)
+let side_file ~flag ~default = function
+  | Some path ->
+    if Sys.file_exists path then Ok (Some (path, read_file path))
+    else Error (flag ^ " file not found: " ^ path)
+  | None ->
+    if Sys.file_exists default then Ok (Some (default, read_file default))
+    else Ok None
+
+let run_lint ~json ~boundaries ~baseline ~roots =
   let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
   if roots = [] || missing <> [] then begin
     prerr_endline
-      ("vegvisir-lint: usage: vegvisir_lint <dir-or-file>...; missing: "
-      ^ String.concat ", " missing);
+      ("vegvisir-lint: " ^ usage ^ "; missing: " ^ String.concat ", " missing);
     2
   end
   else begin
-    let files = collect_files roots in
-    let findings =
-      List.sort Finding.compare (List.concat_map lint_file files)
-    in
-    (* lint: allow no-printf-outside-obs — findings on stdout are the lint CLI's whole interface *)
-    List.iter (fun f -> print_endline (Finding.to_string f)) findings;
-    let n = List.length findings in
-    if n = 0 then begin
-      Printf.eprintf "vegvisir-lint: OK (%d files, %d rules)\n"
-        (List.length files)
-        (List.length Rules.all);
-      0
-    end
-    else begin
-      Printf.eprintf "vegvisir-lint: %d finding(s) in %d file(s)\n" n
-        (List.length
-           (List.sort_uniq String.compare
-              (List.map (fun (f : Finding.t) -> f.Finding.file) findings)));
-      1
-    end
+    match
+      ( side_file ~flag:"--boundaries" ~default:"lint-boundaries.sexp"
+          boundaries,
+        side_file ~flag:"--baseline" ~default:"lint-baseline.txt" baseline )
+    with
+    | Error e, _ | _, Error e ->
+      prerr_endline ("vegvisir-lint: " ^ e);
+      2
+    | Ok manifest, Ok base ->
+      let files = collect_files roots in
+      let inputs = List.map (fun path -> (path, read_file path)) files in
+      let mli_missing =
+        List.filter
+          (fun path ->
+            Rules.mli_required path && not (Sys.file_exists (path ^ "i")))
+          files
+      in
+      let findings =
+        lint_project ?manifest ?baseline:base ~mli_missing inputs
+      in
+      (if json then
+         (* lint: allow no-printf-outside-obs — the JSON document on stdout is the lint CLI's whole interface *)
+         print_string (render_json ~files:(List.length files) findings)
+       else
+         (* lint: allow no-printf-outside-obs — findings on stdout are the lint CLI's whole interface *)
+         List.iter (fun f -> print_endline (Finding.to_string f)) findings);
+      let n = List.length findings in
+      if n = 0 then begin
+        Printf.eprintf "vegvisir-lint: OK (%d files, %d rules)\n"
+          (List.length files)
+          (List.length Rules.all);
+        0
+      end
+      else begin
+        Printf.eprintf "vegvisir-lint: %d finding(s) in %d file(s)\n" n
+          (List.length
+             (List.sort_uniq String.compare
+                (List.map (fun (f : Finding.t) -> f.Finding.file) findings)));
+        1
+      end
   end
+
+let main args =
+  match parse_args args with
+  | Error e ->
+    prerr_endline ("vegvisir-lint: " ^ e);
+    prerr_endline ("vegvisir-lint: " ^ usage);
+    2
+  | Ok List_rules ->
+    List.iter
+      (fun (name, desc) ->
+        (* lint: allow no-printf-outside-obs — rule listing on stdout is the lint CLI's whole interface *)
+        print_endline (Printf.sprintf "%-26s %s" name desc))
+      Rules.all;
+    0
+  | Ok (Explain rule) -> begin
+    match Rules.explain rule with
+    | Some text ->
+      (* lint: allow no-printf-outside-obs — rule explanation on stdout is the lint CLI's whole interface *)
+      print_endline (rule ^ ": " ^ text);
+      0
+    | None ->
+      prerr_endline
+        ("vegvisir-lint: unknown rule \"" ^ rule
+       ^ "\" (try --list-rules for the full set)");
+      2
+  end
+  | Ok (Lint { json; boundaries; baseline; roots }) ->
+    run_lint ~json ~boundaries ~baseline ~roots

@@ -1,16 +1,30 @@
-(** Lint driver: parse sources, run the rules, apply suppressions.
+(** Lint driver: parse sources, run the per-file rules and the
+    interprocedural analysis, apply suppressions and the baseline.
 
-    Output is one finding per line in [file:line:col rule message] form,
-    sorted by (file, line, col, rule); the exit status is non-zero as
-    soon as there is a single finding, so [dune build @lint] fails the
-    build on any violation. *)
+    Text output is one finding per line in [file:line:col rule message]
+    form, sorted by (file, line, col, rule, message); [--json] emits a
+    single deterministic JSON document instead. The exit status is
+    non-zero as soon as there is a single finding, so
+    [dune build @lint] fails the build on any violation. *)
+
+val lint_project :
+  ?manifest:string * string ->
+  ?baseline:string * string ->
+  ?mli_missing:string list ->
+  (string * string) list ->
+  Finding.t list
+(** [lint_project inputs] runs the whole pipeline over [(path, source)]
+    pairs: per-file AST rules, then the cross-module {!Callgraph} with
+    {!Interproc} boundary-purity and parallel-safety checks, then dead
+    suppression detection. Pure with respect to the filesystem — the
+    manifest ([?manifest] as [(path, contents)]) and baseline are passed
+    in, and [?mli_missing] lists the paths whose [.mli] the caller
+    found absent. Deterministic: same inputs, byte-identical findings. *)
 
 val lint_source : path:string -> string -> Finding.t list
-(** [lint_source ~path source] parses [source] as an implementation file
-    and returns the unsuppressed findings of every AST rule whose scope
-    covers [path], plus any malformed-suppression findings. Pure —
-    usable on fixture strings in tests. Does not check [mli-coverage]
-    (that needs a filesystem; see {!lint_file}). *)
+(** [lint_project] over a single in-memory file — no manifest, baseline,
+    or mli check. Usable on fixture strings in tests; interprocedural
+    rules still run within the file (e.g. [parallel-safety]). *)
 
 val lint_file : string -> Finding.t list
 (** [lint_source] on the file's contents, plus the [mli-coverage] check
@@ -19,10 +33,19 @@ val lint_file : string -> Finding.t list
 
 val collect_files : string list -> string list
 (** Recursively collect [.ml] files under the given roots (files are
-    taken as-is), skipping [_build] and dot-directories, in sorted
+    taken as-is), skipping [_build] and dot-directories wherever they
+    appear, normalizing away leading [./], deduplicating, in sorted
     order. *)
 
+val render_json : files:int -> Finding.t list -> string
+(** The [--json] document:
+    [{"tool": "vegvisir-lint", "version": 1, "files": N,
+    "findings": [...]}] with a trailing newline. Byte-identical for
+    identical findings. *)
+
 val main : string list -> int
-(** Lint every file under the roots, print findings to stdout, print a
-    one-line summary to stderr, and return the exit code (0 = clean,
-    1 = findings, 2 = usage error). *)
+(** The CLI: [--list-rules], [--explain RULE], [--json],
+    [--boundaries FILE], [--baseline FILE], then roots. Without
+    explicit flags, [lint-boundaries.sexp] and [lint-baseline.txt] are
+    picked up from the working directory when present. Returns the
+    exit code (0 = clean, 1 = findings, 2 = usage error). *)

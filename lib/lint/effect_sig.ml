@@ -1,0 +1,86 @@
+type name =
+  | Clock
+  | Random
+  | Io
+  | Poly_compare
+  | Unordered_iter
+  | Mutates_global
+
+let all_names =
+  [ Clock; Random; Io; Poly_compare; Unordered_iter; Mutates_global ]
+
+let name_to_string = function
+  | Clock -> "clock"
+  | Random -> "random"
+  | Io -> "io"
+  | Poly_compare -> "poly_compare"
+  | Unordered_iter -> "unordered_iter"
+  | Mutates_global -> "mutates_global"
+
+let name_of_string = function
+  | "clock" -> Some Clock
+  | "random" -> Some Random
+  | "io" -> Some Io
+  | "poly_compare" | "poly-compare" -> Some Poly_compare
+  | "unordered_iter" | "unordered-iter" -> Some Unordered_iter
+  | "mutates_global" | "mutates-global" -> Some Mutates_global
+  | _ -> None
+
+type t = {
+  clock : bool;
+  random : bool;
+  io : bool;
+  poly_compare : bool;
+  unordered_iter : bool;
+  mutates_global : bool;
+}
+
+let empty =
+  {
+    clock = false;
+    random = false;
+    io = false;
+    poly_compare = false;
+    unordered_iter = false;
+    mutates_global = false;
+  }
+
+let has t = function
+  | Clock -> t.clock
+  | Random -> t.random
+  | Io -> t.io
+  | Poly_compare -> t.poly_compare
+  | Unordered_iter -> t.unordered_iter
+  | Mutates_global -> t.mutates_global
+
+let add t = function
+  | Clock -> { t with clock = true }
+  | Random -> { t with random = true }
+  | Io -> { t with io = true }
+  | Poly_compare -> { t with poly_compare = true }
+  | Unordered_iter -> { t with unordered_iter = true }
+  | Mutates_global -> { t with mutates_global = true }
+
+let union a b =
+  {
+    clock = a.clock || b.clock;
+    random = a.random || b.random;
+    io = a.io || b.io;
+    poly_compare = a.poly_compare || b.poly_compare;
+    unordered_iter = a.unordered_iter || b.unordered_iter;
+    mutates_global = a.mutates_global || b.mutates_global;
+  }
+
+let equal a b =
+  a.clock = b.clock && a.random = b.random && a.io = b.io
+  && a.poly_compare = b.poly_compare
+  && a.unordered_iter = b.unordered_iter
+  && a.mutates_global = b.mutates_global
+
+let is_empty t = equal t empty
+let to_names t = List.filter (has t) all_names
+
+let to_string t =
+  match to_names t with
+  | [] -> "pure"
+  | names -> String.concat "+" (List.map name_to_string names)

@@ -1,0 +1,55 @@
+(** The effect lattice of the interprocedural analysis.
+
+    Every function in the call graph gets a signature drawn from six
+    independent boolean effects; the lattice is their powerset ordered by
+    inclusion, so the bottom-up SCC fixpoint in {!Callgraph} converges in
+    at most six rounds per component:
+
+    - [Clock]: reads the OS clock ([Unix.gettimeofday]/[time],
+      [Sys.time]) — directly or through any chain of calls.
+    - [Random]: draws from the unseeded global [Stdlib.Random].
+    - [Io]: touches the outside world — console/file/socket reads or
+      writes, [Unix.*], [Sys] filesystem or environment access, [Logs].
+    - [Poly_compare]: applies polymorphic structural comparison ([=],
+      [compare], [List.mem], ...) to non-constant operands.
+    - [Unordered_iter]: iterates a [Hashtbl] in unspecified order.
+    - [Mutates_global]: touches top-level mutable state (a module-level
+      [ref], [Hashtbl.t], [Buffer.t], mutable record or written array). *)
+
+type name =
+  | Clock
+  | Random
+  | Io
+  | Poly_compare
+  | Unordered_iter
+  | Mutates_global
+
+val all_names : name list
+(** In canonical (display and iteration) order. *)
+
+val name_to_string : name -> string
+(** The manifest spelling: [clock], [random], [io], [poly_compare],
+    [unordered_iter], [mutates_global]. *)
+
+val name_of_string : string -> name option
+(** Accepts both underscore and kebab spellings. *)
+
+type t = {
+  clock : bool;
+  random : bool;
+  io : bool;
+  poly_compare : bool;
+  unordered_iter : bool;
+  mutates_global : bool;
+}
+
+val empty : t
+val has : t -> name -> bool
+val add : t -> name -> t
+val union : t -> t -> t
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val to_names : t -> name list
+
+val to_string : t -> string
+(** ["pure"] or a [+]-joined effect list, e.g. ["clock+io"]. *)

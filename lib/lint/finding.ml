@@ -1,16 +1,26 @@
 type t = {
   file : string;
   line : int;
+  end_line : int;
   col : int;
   rule : string;
   message : string;
+  key : string;
 }
 
-let v ~file ~line ~col ~rule message = { file; line; col; rule; message }
+let v ?end_line ?(key = "") ~file ~line ~col ~rule message =
+  let end_line = match end_line with Some e -> max e line | None -> line in
+  { file; line; end_line; col; rule; message; key }
 
-let of_location ~file ~rule (loc : Location.t) message =
+let of_location ?span ?key ~file ~rule (loc : Location.t) message =
   let p = loc.loc_start in
-  { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; message }
+  let end_line =
+    match span with
+    | Some (s : Location.t) -> s.loc_end.pos_lnum
+    | None -> loc.loc_end.pos_lnum
+  in
+  v ~end_line ?key ~file ~line:p.pos_lnum
+    ~col:(p.pos_cnum - p.pos_bol) ~rule message
 
 let compare a b =
   let c = String.compare a.file b.file in
@@ -20,7 +30,36 @@ let compare a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
 
 let to_string t =
   Printf.sprintf "%s:%d:%d %s %s" t.file t.line t.col t.rule t.message
+
+(* Minimal JSON string escaping: the control range, quotes, and
+   backslashes. Messages are ASCII apart from the em dashes the rules
+   embed, which pass through as UTF-8 bytes. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+     \"message\": \"%s\"}"
+    (json_escape t.file) t.line t.col (json_escape t.rule)
+    (json_escape t.message)

@@ -1,0 +1,69 @@
+(* The two interprocedural rules, evaluated over the call graph's
+   effect fixpoint. Both attach a witness chain — the shortest call
+   path from the flagged entry point down to the primitive (or mutable
+   binding) that seeded the effect — so every finding is a checkable
+   claim, not an oracle verdict. *)
+
+let in_scope scopes file =
+  let lf = Rules.logical file in
+  List.exists
+    (fun scope ->
+      let ls = Rules.logical scope in
+      ls <> [] && Rules.has_prefix ls lf)
+    scopes
+
+let chain_string ids prim = String.concat " -> " ids ^ " -> " ^ prim
+
+let boundary_finding (b : Boundaries.boundary) (n : Callgraph.info) graph eff =
+  let eff_name = Effect_sig.name_to_string eff in
+  let chain =
+    match Callgraph.witness_chain graph ~from:n.id eff with
+    | Some (ids, prim) -> chain_string ids prim
+    | None -> n.id ^ " -> ?"
+  in
+  Finding.v
+    ~end_line:n.end_line
+    ~key:(b.name ^ " " ^ eff_name ^ " " ^ n.id)
+    ~file:n.file ~line:n.line ~col:0 ~rule:"boundary-purity"
+    ("boundary \"" ^ b.name ^ "\" forbids " ^ eff_name ^ " but " ^ n.id
+   ^ " reaches it: " ^ chain)
+
+let check_boundaries graph boundaries =
+  List.concat_map
+    (fun (b : Boundaries.boundary) ->
+      List.concat_map
+        (fun (n : Callgraph.info) ->
+          if not (in_scope b.scopes n.file) then []
+          else
+            List.filter_map
+              (fun eff ->
+                if Effect_sig.has n.effects eff then
+                  Some (boundary_finding b n graph eff)
+                else None)
+              b.forbid)
+        (Callgraph.nodes graph))
+    boundaries
+
+let check_parallel_safety graph =
+  List.filter_map
+    (fun (n : Callgraph.info) ->
+      if
+        n.parallel_safe
+        && Effect_sig.has n.effects Effect_sig.Mutates_global
+      then
+        let chain =
+          match
+            Callgraph.witness_chain graph ~from:n.id Effect_sig.Mutates_global
+          with
+          | Some (ids, prim) -> chain_string ids prim
+          | None -> n.id ^ " -> ?"
+        in
+        Some
+          (Finding.v ~end_line:n.end_line
+             ~key:("parallel-safe " ^ n.id)
+             ~file:n.file ~line:n.line ~col:0 ~rule:"parallel-safety"
+             (n.id
+            ^ " is annotated parallel-safe but reaches top-level mutable \
+               state: " ^ chain))
+      else None)
+    (Callgraph.nodes graph)

@@ -17,12 +17,112 @@ let all =
     ( "no-full-scan-hot-path",
       "whole-DAG traversals on gossip hot paths; use the incremental \
        indices" );
+    ( "boundary-purity",
+      "a purity-boundary entry point transitively reaches a forbidden effect" );
+    ( "parallel-safety",
+      "parallel-safe code transitively reaches top-level mutable state" );
     ("mli-coverage", "every lib module needs an explicit interface");
     ("parse-error", "file does not parse");
-    ("lint-suppression", "malformed suppression comment (not suppressible)");
+    ( "lint-suppression",
+      "malformed or dead suppression comment (not suppressible)" );
+    ( "boundary-manifest",
+      "lint-boundaries.sexp does not parse (not suppressible)" );
+    ( "lint-baseline",
+      "malformed or stale lint-baseline.txt entry (not suppressible)" );
   ]
 
 let names = List.map fst all
+
+let explanations =
+  [
+    ( "no-wall-clock",
+      "Vegvisir replays must be bit-for-bit reproducible: the engine, \
+       experiments, and traces all assume time is an input, not an ambient. \
+       Unix.gettimeofday, Unix.time, and Sys.time read the OS clock, so any \
+       call site outside lib/cli/unix_compat.ml (the single sanctioned \
+       adapter, injected at the host edge) makes a run unrepeatable. Thread \
+       a timestamp or a now:unit->float parameter instead." );
+    ( "no-global-random",
+      "Stdlib.Random draws from process-global, unseeded state, which \
+       breaks replay and makes cross-replica experiments incomparable. All \
+       entropy must flow through Vegvisir_crypto.Rng, a splittable, \
+       explicitly seeded generator that is passed by value." );
+    ( "no-poly-compare",
+      "Polymorphic =, <>, compare, min, max (and List.mem/assoc, which use \
+       them) compare structurally. On abstract ids, hashes, or anything \
+       containing a closure or functorized map they are wrong or raise, and \
+       two replicas can disagree. In lib/core and lib/crdt use the typed \
+       equal/compare for the type (Hash_id.equal, Int.max, ...). Comparison \
+       against a literal or constant constructor is exempt." );
+    ( "no-unordered-iteration",
+      "Hashtbl.iter/fold/to_seq visit bindings in hash-bucket order, which \
+       varies with insertion history. In modules whose output is \
+       order-sensitive (wire encoding, metrics, experiments, the engine's \
+       effect lists, obs snapshots) that order leaks into bytes that must \
+       be identical across replicas and runs. Sort the bindings or use an \
+       ordered map." );
+    ( "no-partial-stdlib",
+      "List.hd/tl/nth and Option.get raise on empty or short input; \
+       Filename.temp_file mutates global temp state. Library code must \
+       force the decision at the call site: match explicitly or use the \
+       _opt variant." );
+    ( "engine-transport-purity",
+      "lib/engine is sans-IO: it consumes typed inputs and returns typed \
+       effects, and hosts (cli, simnet, tests) replay those effects against \
+       a real transport. Any mention of Unix, a transport module, Sys, \
+       channels, or the console inside the engine collapses that boundary \
+       and makes the protocol logic untestable in isolation." );
+    ( "no-printf-outside-obs",
+      "Library code that prints to stdout bypasses the obs event bus, so \
+       the output cannot be captured, filtered, or made deterministic by \
+       the host. Emit an event through a vegvisir-obs sink; modules whose \
+       documented contract is stdout carry a reasoned suppression." );
+    ( "no-full-scan-hot-path",
+      "Dag.topo_order/ancestors/descendants recompute a whole-DAG view. On \
+       gossip hot paths (lib/engine, reconcile) that turns every message \
+       into an O(n) walk; the incremental indices (Dag.topo_seq, Dag.below, \
+       Dag.witness_set) exist precisely so hot paths stay O(delta). \
+       Oracle and test-only call sites suppress with a reason." );
+    ( "boundary-purity",
+      "lint-boundaries.sexp declares purity boundaries: module scopes \
+       whose entry points must not reach a forbidden effect (clock, \
+       random, io, poly_compare, unordered_iter, mutates_global) through \
+       ANY call chain, however many modules deep. The interprocedural \
+       analysis builds the repo call graph, runs a bottom-up effect \
+       fixpoint over its strongly connected components, and reports each \
+       violating entry point with a shortest witness chain down to the \
+       primitive. Fix the leak, suppress at the entry point with a reason, \
+       or grandfather the finding in lint-baseline.txt." );
+    ( "parallel-safety",
+      "A definition annotated (* lint: parallel-safe *) is declared safe \
+       to call from multiple domains. The analysis flags any such \
+       definition that transitively reaches top-level mutable state (a ref, \
+       Hashtbl, Buffer, queue, or written array at module level), with the \
+       call chain ending at the state itself. Pass state explicitly, or \
+       drop the annotation." );
+    ( "mli-coverage",
+      "Every lib/**/*.ml needs a matching .mli: interfaces are where \
+       invariants are documented and accidental exports are caught." );
+    ( "parse-error",
+      "The file does not parse with the compiler's own parser, so no rule \
+       can run on it. The finding carries the parser's message." );
+    ( "lint-suppression",
+      "A suppression comment is itself wrong: malformed (missing reason, \
+       unknown rule, bad syntax) or dead (it matches no finding, so it \
+       would silently mask a future regression). Fix or delete it. This \
+       rule cannot be suppressed." );
+    ( "boundary-manifest",
+      "lint-boundaries.sexp is unreadable at the reported line. The \
+       expected form is (boundary <name> (scope <path>...) (forbid \
+       <effect>...)); see DESIGN.md section 7. This rule cannot be \
+       suppressed." );
+    ( "lint-baseline",
+      "lint-baseline.txt has a malformed entry, or an entry that matches \
+       no current finding (stale). Stale entries must be deleted so the \
+       baseline only ever shrinks. This rule cannot be suppressed." );
+  ]
+
+let explain rule = List.assoc_opt rule explanations
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping                                                        *)
@@ -136,8 +236,11 @@ let check ~path structure =
   in
   let bound = bound_value_names structure in
   let findings = ref [] in
+  let span = ref None in
   let add loc rule message =
-    findings := Finding.of_location ~file:path ~rule loc message :: !findings
+    findings :=
+      Finding.of_location ?span:!span ~file:path ~rule loc message
+      :: !findings
   in
   (* [args] is the (unlabelled view of the) application's arguments when
      the identifier is the head of an application, [] otherwise. *)
@@ -268,7 +371,11 @@ let check ~path structure =
           match e.Parsetree.pexp_desc with
           | Parsetree.Pexp_apply
               ({ pexp_desc = Parsetree.Pexp_ident { txt; loc }; _ }, args) ->
+            (* The whole application is the offending span, so a trailing
+               suppression on any of its lines covers the finding. *)
+            span := Some e.Parsetree.pexp_loc;
             handle_ident ~args:(List.map snd args) txt loc;
+            span := None;
             List.iter (fun (_, a) -> self.expr self a) args
           | Parsetree.Pexp_ident { txt; loc } ->
             handle_ident ~args:[] txt loc

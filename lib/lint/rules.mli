@@ -35,15 +35,32 @@
     - [mli-coverage]: every [lib/**/*.ml] needs a matching [.mli]
       (checked by the driver via {!mli_required}).
 
-    Two pseudo-rules report tool-level problems: [parse-error] (a file
-    that does not parse) and [lint-suppression] (a malformed or typo'd
-    suppression comment; never suppressible). *)
+    Two interprocedural rules run over the whole-repo call graph rather
+    than a single file (see {!Callgraph} and {!Interproc}):
+
+    - [boundary-purity]: an entry point of a purity boundary declared in
+      [lint-boundaries.sexp] transitively reaches a forbidden effect;
+      the finding carries a witness call chain.
+    - [parallel-safety]: a definition annotated
+      [(* lint: parallel-safe *)] transitively reaches top-level mutable
+      state.
+
+    Four pseudo-rules report tool-level problems: [parse-error] (a file
+    that does not parse), [lint-suppression] (a malformed, typo'd, or
+    dead suppression comment), [boundary-manifest] (an unreadable
+    boundary manifest), and [lint-baseline] (a malformed or stale
+    baseline entry). None of the four is suppressible. *)
 
 val all : (string * string) list
 (** [(name, one-line description)] for every rule, pseudo-rules
     included, in documentation order. *)
 
 val names : string list
+
+val explain : string -> string option
+(** A paragraph-length explanation of a rule — its rationale and the
+    sanctioned fix — for [vegvisir-lint --explain RULE]. [None] for
+    unknown rules. *)
 
 val check : path:string -> Parsetree.structure -> Finding.t list
 (** AST-level rules only (everything except [mli-coverage]). [path]
@@ -54,3 +71,11 @@ val check : path:string -> Parsetree.structure -> Finding.t list
 val mli_required : string -> bool
 (** Whether [path] is a library module that the [mli-coverage] rule
     requires an interface for. *)
+
+val logical : string -> string list
+(** [path] reduced to segments starting at the first
+    [lib]/[bin]/[examples]/[bench]/[test] component, so absolute and
+    [_build]-relative spellings of the same file compare equal. *)
+
+val has_prefix : string list -> string list -> bool
+(** Segment-wise prefix test on {!logical} paths. *)

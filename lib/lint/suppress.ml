@@ -1,11 +1,14 @@
 type entry = {
   line : int;
+  col : int;
   standalone : bool;
   rules : string list;
+  mutable used : bool;
 }
 
 type t = {
   entries : entry list;
+  safe_lines : int list;  (* lines covered by a parallel-safe annotation *)
   errs : (int * int * string) list;
 }
 
@@ -54,15 +57,21 @@ let valid_rule_name s =
   s <> ""
   && String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '-') s
 
-let parse_line ~known_rules ~lineno line (entries, errs) =
-  let rec go from (entries, errs) =
+type acc = {
+  mutable a_entries : entry list;
+  mutable a_safe : int list;
+  mutable a_errs : (int * int * string) list;
+}
+
+let parse_line ~known_rules ~lineno line acc =
+  let rec go from =
     match find_sub line marker from with
-    | None -> (entries, errs)
+    | None -> ()
     | Some start -> (
       let after = start + String.length marker in
       match find_sub line "*)" after with
       | None ->
-        (entries, (lineno, start, "unterminated lint comment") :: errs)
+        acc.a_errs <- (lineno, start, "unterminated lint comment") :: acc.a_errs
       | Some close ->
         let content = trim (String.sub line after (close - after)) in
         let standalone =
@@ -70,62 +79,100 @@ let parse_line ~known_rules ~lineno line (entries, errs) =
           && is_blank
                (String.sub line (close + 2) (String.length line - close - 2))
         in
-        let acc =
-          match String.length content >= 5 && String.sub content 0 5 = "allow"
-          with
-          | false ->
-            ( entries,
-              (lineno, start, "expected \"allow <rules> \xe2\x80\x94 reason\"")
-              :: errs )
-          | true -> (
-            let rest = trim (String.sub content 5 (String.length content - 5)) in
-            match split_reason rest with
-            | None | Some (_, "") ->
-              ( entries,
-                (lineno, start, "suppression needs a reason after the rules")
-                :: errs )
-            | Some (rules_str, _reason) ->
-              let rules = List.map trim (String.split_on_char ',' rules_str) in
-              let bad =
-                List.filter
-                  (fun r ->
-                    (not (valid_rule_name r))
-                    || not (List.exists (String.equal r) known_rules))
-                  rules
-              in
-              if rules = [] || List.exists (fun r -> r = "") rules then
-                ( entries,
-                  (lineno, start, "suppression names no rules") :: errs )
-              else if bad <> [] then
-                ( entries,
-                  ( lineno,
-                    start,
-                    "unknown rule(s): " ^ String.concat ", " bad )
-                  :: errs )
-              else ({ line = lineno; standalone; rules } :: entries, errs))
-        in
-        go (close + 2) acc)
+        (if String.equal content "parallel-safe" then
+           (* An annotation, not a suppression: marks the definition on
+              the covered line as a domain-safety entry point. *)
+           let covered = if standalone then lineno + 1 else lineno in
+           acc.a_safe <- covered :: acc.a_safe
+         else
+           match
+             String.length content >= 5 && String.sub content 0 5 = "allow"
+           with
+           | false ->
+             acc.a_errs <-
+               ( lineno,
+                 start,
+                 "expected \"allow <rules> \xe2\x80\x94 reason\" or \
+                  \"parallel-safe\"" )
+               :: acc.a_errs
+           | true -> (
+             let rest =
+               trim (String.sub content 5 (String.length content - 5))
+             in
+             match split_reason rest with
+             | None | Some (_, "") ->
+               acc.a_errs <-
+                 (lineno, start, "suppression needs a reason after the rules")
+                 :: acc.a_errs
+             | Some (rules_str, _reason) ->
+               let rules =
+                 List.map trim (String.split_on_char ',' rules_str)
+               in
+               let bad =
+                 List.filter
+                   (fun r ->
+                     (not (valid_rule_name r))
+                     || not (List.exists (String.equal r) known_rules))
+                   rules
+               in
+               if rules = [] || List.exists (fun r -> r = "") rules then
+                 acc.a_errs <-
+                   (lineno, start, "suppression names no rules") :: acc.a_errs
+               else if bad <> [] then
+                 acc.a_errs <-
+                   ( lineno,
+                     start,
+                     "unknown rule(s): " ^ String.concat ", " bad )
+                   :: acc.a_errs
+               else
+                 acc.a_entries <-
+                   { line = lineno; col = start; standalone; rules;
+                     used = false }
+                   :: acc.a_entries));
+        go (close + 2))
   in
-  go 0 (entries, errs)
+  go 0
 
 let scan ~known_rules source =
   let lines = String.split_on_char '\n' source in
-  let _, entries, errs =
-    List.fold_left
-      (fun (lineno, entries, errs) line ->
-        let entries, errs =
-          parse_line ~known_rules ~lineno line (entries, errs)
-        in
-        (lineno + 1, entries, errs))
-      (1, [], []) lines
-  in
-  { entries; errs = List.rev errs }
+  let acc = { a_entries = []; a_safe = []; a_errs = [] } in
+  List.iteri
+    (fun i line -> parse_line ~known_rules ~lineno:(i + 1) line acc)
+    lines;
+  {
+    entries = List.rev acc.a_entries;
+    safe_lines = List.rev acc.a_safe;
+    errs = List.rev acc.a_errs;
+  }
 
-let allows t ~rule ~line =
-  List.exists
-    (fun e ->
-      List.exists (String.equal rule) e.rules
-      && (e.line = line || (e.standalone && e.line = line - 1)))
-    t.entries
+(* A trailing suppression covers its own line; a standalone one covers
+   the following line. When the offending expression spans several lines
+   ([end_line > line]) the net widens: a trailing suppression on the
+   line just above the expression, or on any line the expression spans,
+   also covers it — so multi-line applications can carry their
+   suppression wherever it reads best. *)
+let covers e ~line ~end_line =
+  e.line = line
+  || (e.standalone && e.line = line - 1)
+  || (end_line > line && e.line >= line - 1 && e.line <= end_line)
+
+let allows t ~rule ?(end_line = 0) ~line () =
+  let end_line = max line end_line in
+  match
+    List.find_opt
+      (fun e ->
+        List.exists (String.equal rule) e.rules && covers e ~line ~end_line)
+      t.entries
+  with
+  | Some e ->
+    e.used <- true;
+    true
+  | None -> false
 
 let errors t = t.errs
+let parallel_safe_covers t ~line = List.mem line t.safe_lines
+
+let dead t =
+  List.filter_map
+    (fun e -> if e.used then None else Some (e.line, e.col, e.rules))
+    t.entries

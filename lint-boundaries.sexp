@@ -1,0 +1,50 @@
+; Purity boundaries checked by vegvisir-lint's interprocedural effect
+; analysis (rule: boundary-purity; see DESIGN.md section 7).
+;
+; Each boundary names a scope (directory or single file) whose entry
+; points — every top-level definition in scope — must not reach the
+; forbidden effects through any call chain, however many modules deep.
+; Violations report a witness chain down to the offending primitive and
+; are fixed, suppressed at the entry point with a reason, or
+; grandfathered in lint-baseline.txt.
+;
+; Effects: clock random io poly_compare unordered_iter mutates_global
+
+; The sans-IO protocol engine: replays must be bit-for-bit identical,
+; so no ambient time, entropy, or IO anywhere beneath it.
+(boundary engine
+  (scope lib/engine)
+  (forbid clock random io))
+
+; Core DAG/wire/block layer: deterministic by construction. (Printing
+; is separately policed per-file by no-printf-outside-obs.)
+(boundary core
+  (scope lib/core)
+  (forbid clock random))
+
+; CRDT merge logic must be a pure function of its inputs.
+(boundary crdt
+  (scope lib/crdt)
+  (forbid clock random io))
+
+; Crypto: hashing and signatures are pure; entropy comes in through
+; the caller-supplied Rng, never ambient.
+(boundary crypto
+  (scope lib/crypto)
+  (forbid clock random io))
+
+; Simulated network: virtual time and seeded randomness only.
+(boundary net
+  (scope lib/net)
+  (forbid clock random))
+
+; Experiment harness: runs must replay identically from their config.
+(boundary experiments
+  (scope lib/experiments)
+  (forbid clock random))
+
+; The obs event codec is the byte-stability anchor for traces and
+; snapshots: fully pure, down to iteration order and global state.
+(boundary obs-codec
+  (scope lib/obs/event.ml)
+  (forbid clock random io unordered_iter mutates_global))

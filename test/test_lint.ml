@@ -253,6 +253,260 @@ let test_output_format () =
   | fs ->
     Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural analysis                                            *)
+
+let project = Veglint.Driver.lint_project
+
+let find_rule rule fs =
+  List.filter (fun (f : Veglint.Finding.t) -> String.equal f.rule rule) fs
+
+let msg_contains needle (f : Veglint.Finding.t) =
+  let n = String.length needle and m = String.length f.message in
+  let rec go i = i + n <= m && (String.sub f.message i n = needle || go (i + 1)) in
+  go 0
+
+(* The acceptance fixture: a wall-clock read laundered through two
+   intermediate modules, none of which trips any per-file rule — the
+   engine only mentions lib/core, the core hop only mentions lib/cli,
+   and the clock itself sits at the one sanctioned per-file call site
+   (Unix_compat.now). Only the cross-module effect fixpoint can see
+   that the engine entry point reaches the clock. *)
+let laundering_files =
+  [
+    ("lib/cli/unix_compat.ml", "let now () = Unix.gettimeofday ()\n");
+    ("lib/cli/wrap_one.ml", "let stamp () = Unix_compat.now ()\n");
+    ( "lib/core/timeutil.ml",
+      "module W1 = Vegvisir_cli.Wrap_one\nlet tick () = W1.stamp ()\n" );
+    ( "lib/engine/entry.ml",
+      "open Vegvisir\nlet step () = Timeutil.tick ()\n" );
+  ]
+
+let engine_manifest =
+  ( "lint-boundaries.sexp",
+    "(boundary engine (scope lib/engine) (forbid clock random io))\n" )
+
+let test_effect_laundering () =
+  (* Per-file rules alone are blind to the chain. *)
+  Alcotest.(check (list string))
+    "per-file rules see nothing" []
+    (rules_of (project laundering_files));
+  (* The boundary analysis reports the entry point with the full witness
+     chain down to the primitive. *)
+  let fs = project ~manifest:engine_manifest laundering_files in
+  match find_rule "boundary-purity" fs with
+  | [ f ] ->
+    Alcotest.(check string) "at the engine entry" "lib/engine/entry.ml" f.file;
+    Alcotest.(check string) "stable key" "engine clock Vegvisir_engine.Entry.step" f.key;
+    Alcotest.(check bool) "full witness chain" true
+      (msg_contains
+         "Vegvisir_engine.Entry.step -> Vegvisir.Timeutil.tick -> \
+          Vegvisir_cli.Wrap_one.stamp -> Vegvisir_cli.Unix_compat.now -> \
+          Unix.gettimeofday"
+         f)
+  | fs -> Alcotest.failf "expected one boundary-purity finding, got %d" (List.length fs)
+
+let test_fixpoint_mutual_recursion () =
+  (* A clock read inside a mutually recursive pair: the SCC fixpoint
+     must assign the effect to every member of the cycle and to callers
+     of the cycle, and must terminate. *)
+  let files =
+    [
+      ( "lib/net/loopy.ml",
+        "let rec ping n = if n = 0 then 0 else pong (n - 1)\n\
+         and pong n = ping (n - 1) + int_of_float (Unix.gettimeofday ())\n\
+         let outsider () = ping 3\n" );
+    ]
+  in
+  let manifest =
+    ("m.sexp", "(boundary net (scope lib/net) (forbid clock))\n")
+  in
+  let fs = find_rule "boundary-purity" (project ~manifest files) in
+  let flagged =
+    List.sort String.compare
+      (List.map (fun (f : Veglint.Finding.t) -> f.key) fs)
+  in
+  Alcotest.(check (list string))
+    "every cycle member and caller is flagged"
+    [
+      "net clock Vegvisir_net.Loopy.outsider";
+      "net clock Vegvisir_net.Loopy.ping";
+      "net clock Vegvisir_net.Loopy.pong";
+    ]
+    flagged;
+  (* The chain from outside the cycle passes through it to the prim. *)
+  match
+    List.find_opt
+      (fun (f : Veglint.Finding.t) ->
+        f.key = "net clock Vegvisir_net.Loopy.outsider")
+      fs
+  with
+  | Some f ->
+    Alcotest.(check bool) "witness chain through the cycle" true
+      (msg_contains "Vegvisir_net.Loopy.outsider -> " f
+      && msg_contains "Unix.gettimeofday" f)
+  | None -> Alcotest.fail "outsider finding missing"
+
+let test_manifest_errors () =
+  let files = [ ("lib/net/a.ml", "let x = 1\n") ] in
+  let check_error manifest_src expected =
+    let fs =
+      find_rule "boundary-manifest"
+        (project ~manifest:("m.sexp", manifest_src) files)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "manifest error %S" expected)
+      true
+      (List.exists (msg_contains expected) fs)
+  in
+  check_error "(boundary x (scope lib/net))" "no (forbid ...)";
+  check_error "(boundary x (forbid clock))" "no (scope ...)";
+  check_error "(boundary x (scope lib/net) (forbid entropy))"
+    "unknown effect \"entropy\"";
+  check_error "(boundary x (scope lib/net) (forbid clock)"
+    "unclosed parenthesis";
+  check_error "stray" "expected a (boundary ...) form";
+  (* A malformed boundary doesn't disable a well-formed one. *)
+  let fs =
+    project
+      ~manifest:
+        ( "m.sexp",
+          "(boundary bad (scope lib/net))\n\
+           (boundary good (scope lib/net) (forbid clock))\n" )
+      [ ("lib/net/a.ml", "let t () = Unix.gettimeofday ()\n") ]
+  in
+  Alcotest.(check bool) "good boundary still applies" true
+    (find_rule "boundary-purity" fs <> [])
+
+let test_parallel_safety () =
+  (* An annotated function reaching a top-level Hashtbl through a
+     helper is flagged, with the chain ending at the state itself. *)
+  let bad =
+    "let table : (string, int) Hashtbl.t = Hashtbl.create 8\n\
+     let lookup k = Hashtbl.find_opt table k\n\n\
+     (* lint: parallel-safe *)\n\
+     let hash k = lookup k\n"
+  in
+  (match find_rule "parallel-safety" (lint "lib/crypto/cachey.ml" bad) with
+  | [ f ] ->
+    Alcotest.(check int) "at the annotated definition" 5 f.line;
+    Alcotest.(check bool) "chain ends at the state" true
+      (msg_contains
+         "Vegvisir_crypto.Cachey.hash -> Vegvisir_crypto.Cachey.lookup -> \
+          Vegvisir_crypto.Cachey.table -> top-level Hashtbl.t"
+         f)
+  | fs ->
+    Alcotest.failf "expected one parallel-safety finding, got %d"
+      (List.length fs));
+  (* A top-level array that is never written is a constant table, not
+     shared mutable state (e.g. Sha256.k). *)
+  check_silent ~rule:"parallel-safety" "lib/crypto/consty.ml"
+    "let k = [| 1; 2; 3 |]\n\n(* lint: parallel-safe *)\nlet f i = k.(i)\n";
+  (* One write anywhere in the tree promotes it back. *)
+  check_fires "parallel-safety" "lib/crypto/consty.ml"
+    "let k = [| 1; 2; 3 |]\nlet poke i v = k.(i) <- v\n\n\
+     (* lint: parallel-safe *)\nlet f i = k.(i)\n";
+  (* Unannotated functions may touch whatever they like. *)
+  check_silent ~rule:"parallel-safety" "lib/crypto/cachey.ml"
+    "let table : (string, int) Hashtbl.t = Hashtbl.create 8\n\
+     let lookup k = Hashtbl.find_opt table k\n"
+
+let test_baseline () =
+  (* A baselined finding disappears; the baseline's own diagnostics
+     surface as lint-baseline findings. *)
+  let baseline_ok =
+    ( "lint-baseline.txt",
+      "# reviewed 2026-08\n\
+       boundary-purity engine clock Vegvisir_engine.Entry.step\n" )
+  in
+  Alcotest.(check (list string))
+    "baselined finding filtered" []
+    (rules_of
+       (project ~manifest:engine_manifest ~baseline:baseline_ok
+          laundering_files));
+  (* A stale entry is reported at its own line. *)
+  let baseline_stale =
+    ( "lint-baseline.txt",
+      "boundary-purity engine clock Vegvisir_engine.Entry.step\n\
+       boundary-purity engine io Vegvisir_engine.Entry.gone\n" )
+  in
+  (match
+     find_rule "lint-baseline"
+       (project ~manifest:engine_manifest ~baseline:baseline_stale
+          laundering_files)
+   with
+  | [ f ] ->
+    Alcotest.(check int) "stale entry line" 2 f.line;
+    Alcotest.(check bool) "stale message" true (msg_contains "stale" f)
+  | fs ->
+    Alcotest.failf "expected one lint-baseline finding, got %d"
+      (List.length fs));
+  (* Malformed entries are diagnosed. *)
+  let fs =
+    find_rule "lint-baseline"
+      (project
+         ~baseline:("lint-baseline.txt", "no-such-rule some key\n")
+         [ ("lib/net/a.ml", "let x = 1\n") ])
+  in
+  Alcotest.(check bool) "unknown rule diagnosed" true
+    (List.exists (msg_contains "unknown rule") fs)
+
+let test_multiline_suppression () =
+  (* A trailing suppression on any line a multi-line application spans
+     covers the finding... *)
+  check_silent ~rule:"no-unordered-iteration" "lib/core/wire.ml"
+    "let f h =\n  Hashtbl.iter\n    (fun _ _ -> ())\n    h (* lint: allow \
+     no-unordered-iteration \xe2\x80\x94 fixture *)\n";
+  (* ...as does one trailing on the line just above the expression. *)
+  check_silent ~rule:"no-unordered-iteration" "lib/core/wire.ml"
+    "let f h = (* lint: allow no-unordered-iteration \xe2\x80\x94 fixture \
+     *)\n  Hashtbl.iter\n    (fun _ _ -> ())\n    h\n";
+  (* Single-line findings keep the strict same-line/line-above rule. *)
+  check_fires "no-unordered-iteration" "lib/core/wire.ml"
+    "let g h = Hashtbl.iter (fun _ _ -> ()) h (* lint: allow \
+     no-unordered-iteration \xe2\x80\x94 wrong line *)\nlet i = 1\n\
+     let f h = Hashtbl.iter (fun _ _ -> ()) h\n"
+
+let test_dead_suppression () =
+  (* A suppression matching no finding is itself a finding. *)
+  (match
+     find_rule "lint-suppression"
+       (lint "lib/core/dag.ml"
+          "let x = 1 (* lint: allow no-poly-compare \xe2\x80\x94 stale *)\n")
+   with
+  | [ f ] ->
+    Alcotest.(check bool) "dead suppression reported" true
+      (msg_contains "matches no finding" f)
+  | fs ->
+    Alcotest.failf "expected one lint-suppression finding, got %d"
+      (List.length fs));
+  (* A live suppression is not dead. *)
+  check_silent "lib/core/dag.ml"
+    "let f a b = a = b (* lint: allow no-poly-compare \xe2\x80\x94 fixture *)"
+
+let test_json_determinism () =
+  (* Byte-identical output across two full runs on the same inputs. *)
+  let render () =
+    Veglint.Driver.render_json
+      ~files:(List.length laundering_files)
+      (project ~manifest:engine_manifest laundering_files)
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "byte-identical across runs" a b;
+  Alcotest.(check bool) "document shape" true
+    (String.length a > 2
+    && String.sub a 0 1 = "{"
+    && String.sub a (String.length a - 1) 1 = "\n");
+  (* Escaping keeps the document well-formed. *)
+  let f =
+    Veglint.Finding.v ~file:"a \"b\".ml" ~line:1 ~col:0 ~rule:"parse-error"
+      "tab\there"
+  in
+  Alcotest.(check string) "escaped"
+    "{\"file\": \"a \\\"b\\\".ml\", \"line\": 1, \"col\": 0, \"rule\": \
+     \"parse-error\", \"message\": \"tab\\there\"}"
+    (Veglint.Finding.to_json f)
+
 let test_mli_coverage () =
   (* lint_file needs a real filesystem; build a fake lib/ in the test's
      sandbox cwd. *)
@@ -308,7 +562,20 @@ let () =
       ( "machinery",
         [
           Alcotest.test_case "suppressions" `Quick test_suppression;
+          Alcotest.test_case "multiline suppressions" `Quick
+            test_multiline_suppression;
+          Alcotest.test_case "dead suppressions" `Quick test_dead_suppression;
           Alcotest.test_case "parse errors" `Quick test_parse_error;
           Alcotest.test_case "output format" `Quick test_output_format;
+          Alcotest.test_case "json determinism" `Quick test_json_determinism;
+        ] );
+      ( "interproc",
+        [
+          Alcotest.test_case "effect laundering" `Quick test_effect_laundering;
+          Alcotest.test_case "fixpoint on mutual recursion" `Quick
+            test_fixpoint_mutual_recursion;
+          Alcotest.test_case "manifest errors" `Quick test_manifest_errors;
+          Alcotest.test_case "parallel safety" `Quick test_parallel_safety;
+          Alcotest.test_case "baseline" `Quick test_baseline;
         ] );
     ]
