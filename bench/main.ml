@@ -573,6 +573,152 @@ let write_bench_lint ~files rows =
       output_string oc "\n  ]\n}\n");
   Printf.printf "  (snapshot written to BENCH_lint.json)\n"
 
+(* ------------------------------------------------------------------ *)
+(* M13-daemon: end-to-end exchange throughput against a live forked
+   daemon over loopback (snapshotted to BENCH_net.json). One child
+   process hosts the daemon event loop; this process runs a client
+   event loop dialing C concurrent exchange sessions and times the
+   wall clock from first dial to last session outcome. Unlike the
+   Bechamel groups this is a macro measurement: real sockets, framing,
+   signature verification, and store saves on both ends — the
+   per-session overhead number the daemon's session budget is sized
+   against.                                                            *)
+
+module Cli = Vegvisir_cli
+
+let daemon_concurrency = [ 8; 32; 64 ]
+
+let write_bench_net rows =
+  let oc = open_out "BENCH_net.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"benchmark\": \"M13-daemon\",\n  \"results\": [";
+      List.iteri
+        (fun i (c, secs, failed) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "\n    {\"concurrency\": %d, \"sessions\": %d, \"failed\": %d, \
+             \"seconds\": %.4f, \"sessions_per_sec\": %.1f, \
+             \"ms_per_session\": %.3f}"
+            c c failed secs
+            (float_of_int c /. secs)
+            (secs *. 1000. /. float_of_int c))
+        rows;
+      output_string oc "\n  ]\n}\n");
+  Printf.printf "  (snapshot written to BENCH_net.json)\n"
+
+let run_daemon_bench () =
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vegvisir-bench-daemon-%d" (Unix.getpid ()))
+  in
+  let ca_dir = Filename.concat tmp "daemon" in
+  let client_dir = Filename.concat tmp "client" in
+  (try Unix.mkdir tmp 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let ( let* ) = Result.bind in
+  let setup () =
+    let* _ca =
+      Cli.Node_store.init ~dir:ca_dir ~seed:"bench-daemon-seed" ~height:6
+        ~init_crdts:[ ("log", Schema.spec Schema.Gset Value.T_string) ]
+        ()
+    in
+    let* client =
+      Cli.Node_store.enroll ~ca_dir ~dir:client_dir ~seed:"bench-client-seed"
+        ~height:6 ~role:"member" ()
+    in
+    let* _ =
+      Cli.Node_store.append client ~crdt:"log" ~op:"add"
+        [ Value.String "bench-block" ]
+    in
+    Ok client
+  in
+  match setup () with
+  | Error e -> Printf.printf "  (M13-daemon skipped: %s)\n" e
+  | Ok client -> begin
+    let pr, pw = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.close pr;
+      let rc =
+        match Cli.Node_store.load ~dir:ca_dir with
+        | Error _ -> 1
+        | Ok store ->
+          Cli.Node_store.buffer_telemetry store true;
+          let loop = Cli.Event_loop.create ~store () in
+          (match Cli.Event_loop.listen_peers loop ~port:0 () with
+          | Error _ -> 1
+          | Ok port ->
+            Cli.Unix_compat.install_stop_handler (fun () ->
+                Cli.Event_loop.request_stop loop);
+            let msg = Printf.sprintf "%d\n" port in
+            ignore (Unix.write_substring pw msg 0 (String.length msg));
+            Unix.close pw;
+            (match Cli.Event_loop.run loop with
+            | Ok () ->
+              Cli.Node_store.buffer_telemetry store false;
+              0
+            | Error _ -> 1))
+      in
+      Unix._exit rc
+    | daemon ->
+      Unix.close pw;
+      let port =
+        let buf = Buffer.create 8 and b = Bytes.create 1 in
+        let rec go () =
+          match Unix.read pr b 0 1 with
+          | 0 -> ()
+          | _ -> if Bytes.get b 0 = '\n' then () else begin
+              Buffer.add_bytes buf b;
+              go ()
+            end
+        in
+        go ();
+        Unix.close pr;
+        int_of_string (Buffer.contents buf)
+      in
+      let leg concurrency =
+        let loop = Cli.Event_loop.create ~store:client () in
+        let t0 = Cli.Unix_compat.mono_ms () in
+        let dial_failures = ref 0 in
+        for _ = 1 to concurrency do
+          match
+            Cli.Event_loop.connect_exchange ~timeout_s:10. loop
+              ~host:"127.0.0.1" ~port ()
+          with
+          | Ok _ -> ()
+          | Error _ -> incr dial_failures
+        done;
+        let wanted = concurrency - !dial_failures in
+        let r =
+          Cli.Event_loop.run loop ~until:(fun st ->
+              st.Cli.Event_loop.completed + st.Cli.Event_loop.failed >= wanted)
+        in
+        let t1 = Cli.Unix_compat.mono_ms () in
+        let failed =
+          !dial_failures
+          + (Cli.Event_loop.stats loop).Cli.Event_loop.failed
+          + (match r with Ok () -> 0 | Error _ -> wanted)
+        in
+        Cli.Event_loop.shutdown loop;
+        (concurrency, (t1 -. t0) /. 1000., failed)
+      in
+      let rows = List.map leg daemon_concurrency in
+      Unix.kill daemon Sys.sigint;
+      ignore (Unix.waitpid [] daemon);
+      List.iter
+        (fun (c, secs, failed) ->
+          Printf.printf
+            "  %-42s %14.1f sessions/s   (%.2f ms/session%s)\n"
+            (Printf.sprintf "exchange-x%d" c)
+            (float_of_int c /. secs)
+            (secs *. 1000. /. float_of_int c)
+            (if failed > 0 then Printf.sprintf ", %d FAILED" failed else ""))
+        rows;
+      write_bench_net rows
+  end
+
 let run_micro () =
   print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
   List.iter (fun test -> print_rows (estimate test)) tests;
@@ -588,6 +734,8 @@ let run_micro () =
     print_rows lint_rows;
     write_bench_lint ~files:(List.length inputs) lint_rows
   | _ -> print_endline "  (M12-lint skipped: not at the repo root)");
+  print_endline "== M13-daemon (loopback exchange sessions vs a forked daemon) ==";
+  run_daemon_bench ();
   print_newline ()
 
 let () =

@@ -121,7 +121,14 @@ let sync_cmd =
                 instead of reading another directory. Pulls the peer's missing \
                 blocks, then answers while the peer pulls back.")
   in
-  let run dir from live mode =
+  let connect_timeout =
+    Arg.(
+      value & opt float 10.
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Abandon the TCP connect to a dead or unreachable --live peer \
+                after this long instead of hanging on the OS default.")
+  in
+  let run dir from live mode connect_timeout =
     let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
     match (from, live) with
     | Some _, Some _ -> or_die (Error "--from and --live are mutually exclusive")
@@ -131,7 +138,9 @@ let sync_cmd =
       print_stats (Vegvisir_cli.Node_store.sync t ~from:src ~mode)
     | None, Some (host, port) ->
       let report =
-        or_die (Vegvisir_cli.Live_sync.pull ~store:t ~mode ~host ~port ())
+        or_die
+          (Vegvisir_cli.Live_sync.pull ~store:t ~mode ~timeout_s:connect_timeout
+             ~host ~port ())
       in
       print_stats report.Vegvisir_cli.Live_sync.pulled;
       Printf.printf "answered %d request(s) for the peer's pull back\n"
@@ -141,7 +150,7 @@ let sync_cmd =
     (Cmd.info "sync"
        ~doc:"Pull missing blocks from another node directory, or live from a \
              serving peer (Algorithm 1).")
-    Term.(const run $ dir_arg $ from $ live $ mode_arg)
+    Term.(const run $ dir_arg $ from $ live $ mode_arg $ connect_timeout)
 
 (* Telemetry replay: rebuild a fresh observability context from the node
    directories' trace.jsonl files. Events are merged in timestamp order
@@ -212,9 +221,11 @@ let serve_cmd =
   in
   let metrics_requests =
     Arg.(
-      value & opt int 1
+      value & opt int 0
       & info [ "metrics-requests" ] ~docv:"N"
-          ~doc:"How many scrapes to answer before exiting (with --metrics).")
+          ~doc:"DEPRECATED test-only escape hatch: answer exactly N scrapes \
+                and exit. The default (0) serves scrapes unbounded until \
+                SIGINT/SIGTERM.")
   in
   let run dir port timeout mode metrics metrics_requests =
     let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
@@ -229,12 +240,20 @@ let serve_cmd =
     match metrics with
     | None -> ()
     | Some mport ->
+      let server =
+        or_die (Vegvisir_cli.Metrics_server.start ~port:mport ())
+      in
+      Vegvisir_cli.Unix_compat.install_stop_handler (fun () ->
+          Vegvisir_cli.Metrics_server.request_stop server);
       Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!" mport;
       let answered =
-        or_die
-          (Vegvisir_cli.Metrics_server.serve ~port:mport
-             ~requests:metrics_requests ?timeout_s:timeout
-             ~render:(render_prometheus [ dir ]) ())
+        let r =
+          Vegvisir_cli.Metrics_server.drive ~requests:metrics_requests
+            ?timeout_s:timeout server
+            ~render:(render_prometheus [ dir ])
+        in
+        Vegvisir_cli.Metrics_server.stop server;
+        or_die r
       in
       Printf.printf "answered %d scrape(s)\n" answered
   in
@@ -242,10 +261,103 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Answer one live peer's pull over TCP, then pull back from it \
              (see $(b,sync --live)). With $(b,--metrics), follow up with a \
-             Prometheus scrape endpoint.")
+             Prometheus scrape endpoint (unbounded; SIGINT to stop). For a \
+             long-lived multi-peer node, see $(b,daemon).")
     Term.(
       const run $ dir_arg $ port $ timeout $ mode_arg $ metrics
       $ metrics_requests)
+
+let daemon_cmd =
+  let listen =
+    Arg.(
+      value & opt int 7845
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:"TCP port for peer exchanges (loopback).")
+  in
+  let metrics =
+    Arg.(
+      value & opt (some int) None
+      & info [ "metrics" ] ~docv:"PORT"
+          ~doc:"Serve Prometheus text metrics ($(b,GET /metrics)) on this \
+                loopback port, live from the running daemon's registry: \
+                session counters, block deliveries, active-session gauge.")
+  in
+  let anti_entropy_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "anti-entropy-ms" ] ~docv:"MS"
+          ~doc:"Dial the configured $(b,--peer)s round-robin every MS \
+                milliseconds and run a full exchange (requires at least one \
+                $(b,--peer)).")
+  in
+  let peers =
+    let endpoint =
+      Arg.conv (parse_endpoint, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p)
+    in
+    Arg.(
+      value & opt_all endpoint []
+      & info [ "peer" ] ~docv:"HOST:PORT"
+          ~doc:"Anti-entropy partner; repeatable.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 128
+      & info [ "session-budget" ] ~docv:"N"
+          ~doc:"Stop accepting new peer connections while this many sessions \
+                are active (backpressure lives in the kernel accept queue).")
+  in
+  let run dir listen metrics mode anti_entropy_ms peers budget =
+    let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
+    (* One journal write per flush, not per event: the daemon multiplexes
+       many sessions and saves (= flushes) on every completed exchange. *)
+    Vegvisir_cli.Node_store.buffer_telemetry t true;
+    let config =
+      {
+        Vegvisir_cli.Event_loop.default_config with
+        Vegvisir_cli.Event_loop.mode;
+        session_budget = budget;
+      }
+    in
+    let loop = Vegvisir_cli.Event_loop.create ~store:t ~config () in
+    let pport = or_die (Vegvisir_cli.Event_loop.listen_peers loop ~port:listen ()) in
+    let mport =
+      match metrics with
+      | None -> None
+      | Some p -> Some (or_die (Vegvisir_cli.Event_loop.listen_metrics loop ~port:p ()))
+    in
+    (match (anti_entropy_ms, peers) with
+    | Some ms, (_ :: _ as peers) ->
+      Vegvisir_cli.Event_loop.set_anti_entropy loop ~every_ms:(float_of_int ms)
+        ~peers
+    | Some _, [] -> or_die (Error "--anti-entropy-ms requires at least one --peer")
+    | None, _ -> ());
+    Vegvisir_cli.Unix_compat.install_stop_handler (fun () ->
+        Vegvisir_cli.Event_loop.request_stop loop);
+    Printf.printf "daemon: %s on 127.0.0.1:%d%s\n%!" dir pport
+      (match mport with
+      | Some m -> Printf.sprintf ", metrics on http://127.0.0.1:%d/metrics" m
+      | None -> "");
+    let result = Vegvisir_cli.Event_loop.run loop in
+    Vegvisir_cli.Node_store.buffer_telemetry t false;
+    or_die result;
+    let st = Vegvisir_cli.Event_loop.stats loop in
+    Printf.printf
+      "daemon: drained; %d session(s) completed, %d failed, %d block(s) \
+       delivered, %d scrape(s) answered\n"
+      st.Vegvisir_cli.Event_loop.completed st.Vegvisir_cli.Event_loop.failed
+      st.Vegvisir_cli.Event_loop.delivered st.Vegvisir_cli.Event_loop.scrapes
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:"Run a long-lived node: accept any number of concurrent peer \
+             exchanges on $(b,--listen), serve $(b,/metrics) scrapes, and \
+             optionally dial peers for periodic anti-entropy — all in one \
+             poll-based event loop. SIGINT/SIGTERM drains open sessions, \
+             saves the replica, and flushes the telemetry journal before \
+             exiting.")
+    Term.(
+      const run $ dir_arg $ listen $ metrics $ mode_arg $ anti_entropy_ms
+      $ peers $ budget)
 
 let show_cmd =
   let run dir =
@@ -439,6 +551,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ init_cmd; enroll_cmd; append_cmd; sync_cmd; serve_cmd; show_cmd;
+          [ init_cmd; enroll_cmd; append_cmd; sync_cmd; serve_cmd; daemon_cmd;
+            show_cmd;
             verify_cmd; export_dot_cmd; simulate_cmd; rotate_cmd; stats_cmd;
             trace_cmd; health_cmd; recover_cmd ]))

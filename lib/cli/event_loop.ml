@@ -1,0 +1,1179 @@
+(* The poll-based event-loop host: one process multiplexing N concurrent
+   Peer_engine exchange sessions, the /metrics HTTP endpoint, and
+   periodic anti-entropy timers over non-blocking sockets.
+
+   This replaces the three ad-hoc socket hosts the CLI used to carry
+   (Live_sync's blocking two-endpoint driver, Metrics_server's
+   one-request-at-a-time responder, and the serve command's
+   accept-then-exchange plumbing): all of them are now thin adapters
+   over this loop. The protocol brain stays the sans-IO Peer_engine —
+   the loop only moves bytes, applies Deliver effects to the store's
+   node, and turns Set_timer effects into timer-wheel deadlines, so a
+   daemon session and a `sync --live` session run byte-for-byte the
+   same exchange.
+
+   Structure of one loop iteration (run):
+     1. fire due timers (engine deadlines, housekeeping wakeups,
+        anti-entropy dials, idle sweeps, host closures);
+     2. reap sessions that finished or failed;
+     3. one wait_ready (select) over: the peer listener (only while
+        under the session budget — backpressure at accept), the metrics
+        listener, every session conn (reads gated while its outbound
+        queue is over budget), and every conn with queued output;
+     4. pump readiness: accept, incremental frame reads, incremental
+        HTTP reads, queued writes; reap again.
+
+   Time: the engine and the timer wheel run on Unix_compat.mono_ms (a
+   wall clock step backwards cannot un-expire a deadline); block
+   admission timestamps use the wall clock plus the validation layer's
+   skew allowance, exactly as Live_sync did. *)
+
+open Vegvisir
+module Peer_engine = Vegvisir_engine.Peer_engine
+module Obs = Vegvisir_obs
+module IntMap = Map.Make (Int)
+
+(* The engine addresses peers by small ints; each session is its own
+   engine over a point-to-point conn, so there is exactly one remote. *)
+let remote_id = 0
+
+(* How long an HTTP conn may sit without progress before the idle sweep
+   drops it — scrapers are fast; anything slower is not a scraper. *)
+let http_idle_ms = 10_000.
+
+(* Longest plausible scrape request head (as Metrics_server). *)
+let max_request_bytes = 16 * 1024
+
+type config = {
+  mode : Reconcile.mode;
+  session_budget : int;
+      (* stop accepting new peer conns while this many are active *)
+  max_outbound_bytes : int;
+      (* per-session backpressure: stop reading (and so stop generating
+         replies) while this much output is queued *)
+  stale_after_ms : float;
+  session_timeout_ms : float;
+  idle_timeout_ms : float;  (* no bytes either way -> session failed *)
+  drain_grace_ms : float;  (* shutdown: force-close stragglers after this *)
+}
+
+let default_config =
+  {
+    mode = `Naive;
+    session_budget = 128;
+    max_outbound_bytes = 8 * 1024 * 1024;
+    stale_after_ms = 2_000.;
+    session_timeout_ms = 20_000.;
+    idle_timeout_ms = 30_000.;
+    drain_grace_ms = 5_000.;
+  }
+
+(* Where a session is in the symmetric pull-then-serve exchange. The
+   drain-to-close tail is [closing], not a phase: a finished session
+   only flushes its queue. *)
+type phase = Pulling | Serving
+
+type closing = Complete | Failed of string
+
+type session = {
+  sid : int;
+  conn : Unix_compat.conn;
+  origin : [ `Inbound | `Outbound ];
+  label : string;  (* telemetry identity of the far end *)
+  mutable engine : Peer_engine.t;
+  (* incremental frame reader *)
+  header : Bytes.t;
+  mutable header_got : int;
+  mutable payload : Bytes.t;  (* grown on demand, reused across frames *)
+  mutable payload_len : int;  (* -1 while reading the header *)
+  mutable payload_got : int;
+  (* outbound queue of already-framed strings *)
+  outq : string Queue.t;
+  mutable out_head : int;  (* bytes of the front string already written *)
+  mutable out_bytes : int;
+  mutable phase : phase;
+  mutable closing : closing option;
+  mutable timeout_timer : Timer_wheel.id option;
+  mutable wakeup_timer : Timer_wheel.id option;
+  mutable pulled : Reconcile.stats option;
+  mutable turned : bool;  (* pull-completion transition already ran *)
+  mutable delivered : int;
+  mutable served : int;
+  mutable last_io : float;
+}
+
+type http = {
+  hid : int;
+  hconn : Unix_compat.conn;
+  req : Buffer.t;
+  mutable resp : string option;
+  mutable resp_off : int;
+  mutable is_scrape : bool;
+  mutable h_last_io : float;
+}
+
+(* What a timer-wheel entry does when it fires. *)
+type tev =
+  | Engine_timer of int * Peer_engine.timer_key
+  | Housekeep of int  (* Peer_engine.next_wakeup: Tick {peer = None} *)
+  | Anti_entropy
+  | Idle_sweep
+  | Host of (unit -> unit)
+
+type fd_owner = Session_fd of int | Http_fd of int
+
+type outcome = {
+  pulled : Reconcile.stats option;
+  delivered : int;
+  served : int;
+  error : string option;
+}
+
+type stats = {
+  accepted : int;
+  dialed : int;
+  completed : int;
+  failed : int;
+  active : int;
+  scrapes : int;
+  http_closed : int;
+  delivered : int;
+  served : int;
+}
+
+type anti_entropy = {
+  every_ms : float;
+  peers : (string * int) array;
+  mutable next : int;
+  dial_timeout_s : float;
+}
+
+type t = {
+  store : Node_store.t option;
+  config : config;
+  ctx : Obs.Context.t;
+  me : string;
+  rdbuf : Bytes.t;  (* shared scratch for HTTP reads *)
+  mutable wheel : tev Timer_wheel.t;
+  mutable sessions : session IntMap.t;
+  mutable https : http IntMap.t;
+  mutable by_fd : fd_owner IntMap.t;
+  mutable peer_listener : Unix_compat.listener option;
+  mutable metrics_listener : Unix_compat.listener option;
+  mutable render : unit -> string;
+  mutable next_id : int;
+  mutable outcomes : outcome IntMap.t;
+  mutable ae : anti_entropy option;
+  mutable stop_requested : bool;
+  mutable stop_initiated : bool;
+  mutable stop_deadline : float;
+  mutable dirty : bool;  (* Deliver happened since the last save *)
+  mutable fatal : string option;
+  mutable idle_armed : bool;
+  mutable n_accepted : int;
+  mutable n_dialed : int;
+  mutable n_completed : int;
+  mutable n_failed : int;
+  mutable n_scrapes : int;
+  mutable n_http_closed : int;
+  mutable n_delivered : int;
+  mutable n_served : int;
+  c_accepted : Obs.Registry.counter;
+  c_scrapes : Obs.Registry.counter;
+  c_completed : Obs.Registry.counter;
+  c_failed : Obs.Registry.counter;
+  g_active : Obs.Registry.gauge;
+}
+
+let context t = t.ctx
+
+let create ?store ?(config = default_config) () =
+  let ctx = Obs.Context.create () in
+  let reg = Obs.Context.registry ctx in
+  let me =
+    match store with Some st -> Node_store.node_name st | None -> "daemon"
+  in
+  let t =
+    {
+      store;
+      config;
+      ctx;
+      me;
+      rdbuf = Bytes.create 65536;
+      wheel = Timer_wheel.empty;
+      sessions = IntMap.empty;
+      https = IntMap.empty;
+      by_fd = IntMap.empty;
+      peer_listener = None;
+      metrics_listener = None;
+      render = (fun () -> "");
+      next_id = 1;
+      outcomes = IntMap.empty;
+      ae = None;
+      stop_requested = false;
+      stop_initiated = false;
+      stop_deadline = 0.;
+      dirty = false;
+      fatal = None;
+      idle_armed = false;
+      n_accepted = 0;
+      n_dialed = 0;
+      n_completed = 0;
+      n_failed = 0;
+      n_scrapes = 0;
+      n_http_closed = 0;
+      n_delivered = 0;
+      n_served = 0;
+      c_accepted = Obs.Registry.counter reg "daemon.accepted";
+      c_scrapes = Obs.Registry.counter reg "daemon.scrapes";
+      c_completed = Obs.Registry.counter reg "daemon.sessions_completed";
+      c_failed = Obs.Registry.counter reg "daemon.sessions_failed";
+      g_active = Obs.Registry.gauge reg "daemon.sessions_active";
+    }
+  in
+  t.render <-
+    (fun () ->
+      Obs.Registry.to_prometheus (Obs.Registry.snapshot (Obs.Context.registry ctx)));
+  t
+
+let set_render t render = t.render <- render
+
+let stats t : stats =
+  {
+    accepted = t.n_accepted;
+    dialed = t.n_dialed;
+    completed = t.n_completed;
+    failed = t.n_failed;
+    active = IntMap.cardinal t.sessions;
+    scrapes = t.n_scrapes;
+    http_closed = t.n_http_closed;
+    delivered = t.n_delivered;
+    served = t.n_served;
+  }
+
+let outcome t sid = IntMap.find_opt sid t.outcomes
+let outcomes t = IntMap.bindings t.outcomes
+
+(* Every journaled event also feeds the live obs context, so /metrics
+   reflects the loop's sessions as they run, not on the next replay. *)
+let journal t evs =
+  (match t.store with
+  | Some st -> Node_store.record_all st evs
+  | None -> ());
+  let ts = Unix_compat.now_ms () in
+  List.iter (fun ev -> Obs.Context.emit t.ctx ~ts ev) evs
+
+let set_active t =
+  Obs.Registry.set t.g_active (float_of_int (IntMap.cardinal t.sessions))
+
+let arm_idle_sweep t =
+  if not t.idle_armed then begin
+    t.idle_armed <- true;
+    let period = Float.max 1_000. (t.config.idle_timeout_ms /. 4.) in
+    let w, _id =
+      Timer_wheel.schedule t.wheel ~at_ms:(Unix_compat.mono_ms () +. period)
+        Idle_sweep
+    in
+    t.wheel <- w
+  end
+
+let block_event t s phase (h : Hash_id.t) =
+  Obs.Event.Block { node = t.me; phase; block = h; peer = Some s.label }
+
+(* Blocks arriving now may be stamped slightly ahead of our clock; admit
+   the same skew the validation layer tolerates (as Live_sync did). *)
+let apply_ts () =
+  Timestamp.add_ms
+    (Timestamp.of_seconds (Unix_compat.now ()))
+    Validation.default_max_skew_ms
+
+let enqueue_out s payload =
+  let framed = Unix_compat.encode_frame payload in
+  Queue.add framed s.outq;
+  s.out_bytes <- s.out_bytes + String.length framed
+
+(* Mark a session dead. Its queue is dropped (the conn is either broken
+   or mid-protocol-error; flushing would only confuse the peer) and the
+   reap pass finalizes it. Idempotent: first cause wins. *)
+let fail_session _t s msg =
+  match s.closing with
+  | Some _ -> ()
+  | None ->
+    s.closing <- Some (Failed msg);
+    Queue.clear s.outq;
+    s.out_head <- 0;
+    s.out_bytes <- 0
+
+let save_if_dirty t =
+  if not t.dirty then Ok ()
+  else begin
+    t.dirty <- false;
+    match t.store with None -> Ok () | Some store -> Node_store.save store
+  end
+
+let apply_effect t s (eff : Peer_engine.effect_) =
+  match eff with
+  | Peer_engine.Send { dst = _; bytes } -> enqueue_out s bytes
+  | Peer_engine.Set_timer { key; after_ms } -> begin
+    match key with
+    | Peer_engine.Session_timeout _ ->
+      (match s.timeout_timer with
+      | Some id -> t.wheel <- Timer_wheel.cancel t.wheel id
+      | None -> ());
+      let w, id =
+        Timer_wheel.schedule t.wheel
+          ~at_ms:(Unix_compat.mono_ms () +. after_ms)
+          (Engine_timer (s.sid, key))
+      in
+      t.wheel <- w;
+      s.timeout_timer <- Some id
+    | Peer_engine.Gossip_round ->
+      (* The gossip cadence is host-driven (anti-entropy timer). *)
+      ()
+  end
+  | Peer_engine.Deliver blocks -> begin
+    match t.store with
+    | None -> ()
+    | Some store ->
+      journal t
+        (List.map
+           (fun (b : Block.t) -> block_event t s Obs.Event.Received b.Block.hash)
+           blocks);
+      Node.receive_all store.Node_store.node ~now:(apply_ts ()) blocks;
+      (* Anything now resident passed validation and was applied. *)
+      let dag = Node.dag store.Node_store.node in
+      journal t
+        (List.concat_map
+           (fun (b : Block.t) ->
+             if Dag.mem dag b.Block.hash then
+               [
+                 block_event t s Obs.Event.Validated b.Block.hash;
+                 block_event t s Obs.Event.Delivered b.Block.hash;
+               ]
+             else [])
+           blocks);
+      let n = List.length blocks in
+      s.delivered <- s.delivered + n;
+      t.n_delivered <- t.n_delivered + n;
+      t.dirty <- true
+  end
+  | Peer_engine.Session_done pull_stats -> s.pulled <- Some pull_stats
+  | Peer_engine.Trace ev -> begin
+    match ev with
+    | Peer_engine.Session_aborted { generation; reason; _ } ->
+      journal t
+        [
+          Obs.Event.Session_aborted
+            {
+              node = t.me;
+              peer = s.label;
+              generation;
+              reason =
+                (match reason with
+                | Peer_engine.Stalled -> Obs.Event.Stalled
+                | Peer_engine.Timed_out -> Obs.Event.Timed_out);
+            };
+        ];
+      fail_session t s
+        (match reason with
+        | Peer_engine.Stalled -> "sync failed: the peer stopped answering"
+        | Peer_engine.Timed_out -> "sync failed: session deadline exceeded")
+    | Peer_engine.Session_started { generation; _ } ->
+      journal t
+        [ Obs.Event.Session_started { node = t.me; peer = s.label; generation } ]
+    | Peer_engine.Request_resent { generation; attempt; _ } ->
+      journal t
+        [
+          Obs.Event.Request_resent
+            { node = t.me; peer = s.label; generation; attempt };
+        ]
+    | Peer_engine.Session_completed { generation; blocks; _ } ->
+      journal t
+        [
+          Obs.Event.Session_completed
+            { node = t.me; peer = s.label; generation; blocks };
+        ]
+    | Peer_engine.Blocks_served { blocks; _ } ->
+      journal t (List.map (fun h -> block_event t s Obs.Event.Sent h) blocks)
+    | Peer_engine.Redundant_received { blocks; _ } ->
+      journal t
+        (List.map
+           (fun h ->
+             Obs.Event.Block_redundant
+               { node = t.me; block = h; peer = Some s.label })
+           blocks)
+    | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
+    | Peer_engine.Decode_failed _ ->
+      ()
+  end
+
+(* Feed one input to the session's engine, replay its effects, re-arm
+   its housekeeping wakeup, and run the pull-completion transition. *)
+let step t s input =
+  match t.store with
+  | None -> []
+  | Some store ->
+    let now = Unix_compat.mono_ms () in
+    let dag = Node.dag store.Node_store.node in
+    let engine, effects = Peer_engine.handle s.engine ~now ~dag input in
+    s.engine <- engine;
+    List.iter (apply_effect t s) effects;
+    (match s.wakeup_timer with
+    | Some id ->
+      t.wheel <- Timer_wheel.cancel t.wheel id;
+      s.wakeup_timer <- None
+    | None -> ());
+    (match s.closing with
+    | Some _ -> ()
+    | None -> begin
+      match Peer_engine.next_wakeup s.engine with
+      | Some at ->
+        let w, id = Timer_wheel.schedule t.wheel ~at_ms:at (Housekeep s.sid) in
+        t.wheel <- w;
+        s.wakeup_timer <- Some id
+      | None -> ()
+    end);
+    (match s.pulled with
+    | Some _ when not s.turned -> begin
+      s.turned <- true;
+      (* Our pull is done: hand the turn over (empty frame). For an
+         outbound session that opens the serve phase; for an inbound one
+         the pull-back was the exchange's tail, so the sentinel is the
+         final frame and the session drains to close. *)
+      enqueue_out s "";
+      match s.origin with
+      | `Outbound -> s.phase <- Serving
+      | `Inbound -> (
+        match s.closing with
+        | None -> s.closing <- Some Complete
+        | Some _ -> ())
+    end
+    | Some _ | None -> ());
+    effects
+
+let dispatch_frame t s frame =
+  if String.length frame = 0 then begin
+    match s.phase with
+    | Pulling ->
+      fail_session t s "protocol error: turn-over sentinel inside a session"
+    | Serving -> begin
+      match s.origin with
+      | `Inbound ->
+        (* The remote's pull is over; pull back. *)
+        s.phase <- Pulling;
+        let (_ : Peer_engine.effect_ list) =
+          step t s (Peer_engine.Tick { peer = Some remote_id })
+        in
+        ()
+      | `Outbound -> (
+        (* The remote finished serving our pull-back: exchange done. *)
+        match s.closing with
+        | None -> s.closing <- Some Complete
+        | Some _ -> ())
+    end
+  end
+  else begin
+    let in_serving = match s.phase with Serving -> true | Pulling -> false in
+    let effects =
+      step t s (Peer_engine.Message_received { from = remote_id; bytes = frame })
+    in
+    if in_serving then begin
+      let answered =
+        List.exists
+          (function
+            | Peer_engine.Send _ -> true
+            | Peer_engine.Set_timer _ | Peer_engine.Deliver _
+            | Peer_engine.Session_done _ | Peer_engine.Trace _ ->
+              false)
+          effects
+      in
+      if answered then begin
+        s.served <- s.served + 1;
+        t.n_served <- t.n_served + 1
+      end
+    end
+  end
+
+let on_eof t s =
+  let mid_frame = s.header_got > 0 || s.payload_len >= 0 in
+  if mid_frame then fail_session t s "peer closed the connection mid-frame"
+  else begin
+    match (s.phase, s.origin) with
+    | Serving, `Outbound -> (
+      (* The remote finished its pull-back and hung up instead of
+         sending the final sentinel — complete either way. *)
+      match s.closing with
+      | None -> s.closing <- Some Complete
+      | Some _ -> ())
+    | Serving, `Inbound ->
+      fail_session t s "peer closed the connection before turn-over"
+    | Pulling, (`Inbound | `Outbound) ->
+      fail_session t s "peer closed the connection mid-session"
+  end
+
+(* Drain whatever the kernel has for this session: incremental header
+   and payload reads, dispatching every completed frame. Stops at
+   `Would_block, on session death, or when the outbound queue is over
+   budget (backpressure: un-read requests stay in the kernel buffer
+   until we have flushed the replies they would generate). *)
+let rec pump_read t s =
+  match s.closing with
+  | Some _ -> ()
+  | None ->
+    if s.out_bytes > t.config.max_outbound_bytes then ()
+    else if s.payload_len < 0 then begin
+      match
+        Unix_compat.read_nb s.conn s.header ~pos:s.header_got
+          ~len:(Unix_compat.frame_header_bytes - s.header_got)
+      with
+      | Error e -> fail_session t s e
+      | Ok `Would_block -> ()
+      | Ok `Eof -> on_eof t s
+      | Ok (`Read n) -> begin
+        s.last_io <- Unix_compat.mono_ms ();
+        s.header_got <- s.header_got + n;
+        if s.header_got = Unix_compat.frame_header_bytes then begin
+          match Unix_compat.decode_frame_header s.header with
+          | Error e -> fail_session t s e
+          | Ok len ->
+            s.header_got <- 0;
+            if len = 0 then begin
+              dispatch_frame t s "";
+              pump_read t s
+            end
+            else begin
+              s.payload_len <- len;
+              s.payload_got <- 0;
+              if Bytes.length s.payload < len then s.payload <- Bytes.create len;
+              pump_read t s
+            end
+        end
+        else pump_read t s
+      end
+    end
+    else begin
+      match
+        Unix_compat.read_nb s.conn s.payload ~pos:s.payload_got
+          ~len:(s.payload_len - s.payload_got)
+      with
+      | Error e -> fail_session t s e
+      | Ok `Would_block -> ()
+      | Ok `Eof -> on_eof t s
+      | Ok (`Read n) ->
+        s.last_io <- Unix_compat.mono_ms ();
+        s.payload_got <- s.payload_got + n;
+        if s.payload_got = s.payload_len then begin
+          let frame = Bytes.sub_string s.payload 0 s.payload_len in
+          s.payload_len <- -1;
+          s.payload_got <- 0;
+          dispatch_frame t s frame;
+          pump_read t s
+        end
+        else pump_read t s
+    end
+
+let pump_write t s =
+  let rec go () =
+    match Queue.peek_opt s.outq with
+    | None -> ()
+    | Some front ->
+      let flen = String.length front in
+      if s.out_head >= flen then begin
+        let (_ : string) = Queue.pop s.outq in
+        s.out_head <- 0;
+        go ()
+      end
+      else begin
+        match
+          Unix_compat.write_nb s.conn
+            (Bytes.unsafe_of_string front)
+            ~pos:s.out_head ~len:(flen - s.out_head)
+        with
+        | Error e -> fail_session t s e
+        | Ok `Would_block -> ()
+        | Ok (`Wrote n) ->
+          s.last_io <- Unix_compat.mono_ms ();
+          s.out_head <- s.out_head + n;
+          s.out_bytes <- s.out_bytes - n;
+          go ()
+      end
+  in
+  go ()
+
+(* Retire a finished session: record the completion (or the failure),
+   persist the store if this loop delivered anything, close the conn.
+   Outcomes stay queryable by session id. *)
+let finalize t s =
+  (match s.timeout_timer with
+  | Some id -> t.wheel <- Timer_wheel.cancel t.wheel id
+  | None -> ());
+  (match s.wakeup_timer with
+  | Some id -> t.wheel <- Timer_wheel.cancel t.wheel id
+  | None -> ());
+  s.timeout_timer <- None;
+  s.wakeup_timer <- None;
+  let error =
+    match s.closing with
+    | Some (Failed msg) -> Some msg
+    | Some Complete | None -> begin
+      journal t
+        [
+          Obs.Event.Sync_completed
+            { node = t.me; peer = s.label; pulled = s.delivered; served = s.served };
+        ];
+      match save_if_dirty t with Ok () -> None | Error e -> Some e
+    end
+  in
+  (match error with
+  | None ->
+    t.n_completed <- t.n_completed + 1;
+    Obs.Registry.incr t.c_completed
+  | Some _ ->
+    t.n_failed <- t.n_failed + 1;
+    Obs.Registry.incr t.c_failed);
+  t.outcomes <-
+    IntMap.add s.sid
+      { pulled = s.pulled; delivered = s.delivered; served = s.served; error }
+      t.outcomes;
+  t.by_fd <- IntMap.remove (Unix_compat.conn_id s.conn) t.by_fd;
+  Unix_compat.close_conn s.conn;
+  t.sessions <- IntMap.remove s.sid t.sessions;
+  set_active t
+
+let reap t =
+  let finished =
+    IntMap.fold
+      (fun _ s acc ->
+        match s.closing with
+        | Some (Failed _) -> s :: acc
+        | Some Complete when Queue.is_empty s.outq -> s :: acc
+        | Some Complete | None -> acc)
+      t.sessions []
+  in
+  List.iter (finalize t) (List.rev finished)
+
+let new_session t ~origin ?label conn =
+  match t.store with
+  | None -> Error "event loop has no node store; cannot host peer sessions"
+  | Some store ->
+    let sid = t.next_id in
+    t.next_id <- sid + 1;
+    let label =
+      match label with Some l -> l | None -> "peer-" ^ string_of_int sid
+    in
+    Unix_compat.set_nonblocking conn;
+    let node = store.Node_store.node in
+    let engine =
+      Peer_engine.create ~mode:t.config.mode
+        ~stale_after_ms:t.config.stale_after_ms
+        ~session_timeout_ms:t.config.session_timeout_ms
+        ~user_id:(Node.user_id node) ~dag:(Node.dag node) ()
+    in
+    let s =
+      {
+        sid;
+        conn;
+        origin;
+        label;
+        engine;
+        header = Bytes.create Unix_compat.frame_header_bytes;
+        header_got = 0;
+        payload = Bytes.empty;
+        payload_len = -1;
+        payload_got = 0;
+        outq = Queue.create ();
+        out_head = 0;
+        out_bytes = 0;
+        phase = Serving;
+        closing = None;
+        timeout_timer = None;
+        wakeup_timer = None;
+        pulled = None;
+        turned = false;
+        delivered = 0;
+        served = 0;
+        last_io = Unix_compat.mono_ms ();
+      }
+    in
+    t.sessions <- IntMap.add sid s t.sessions;
+    t.by_fd <- IntMap.add (Unix_compat.conn_id conn) (Session_fd sid) t.by_fd;
+    set_active t;
+    arm_idle_sweep t;
+    journal t [ Obs.Event.Sync_started { node = t.me; peer = label } ];
+    Ok s
+
+let adopt_inbound ?label t conn =
+  match new_session t ~origin:`Inbound ?label conn with
+  | Error _ as e -> e
+  | Ok s -> Ok s.sid
+
+let adopt_outbound ?label t conn =
+  match new_session t ~origin:`Outbound ?label conn with
+  | Error _ as e -> e
+  | Ok s ->
+    s.phase <- Pulling;
+    let (_ : Peer_engine.effect_ list) =
+      step t s (Peer_engine.Tick { peer = Some remote_id })
+    in
+    Ok s.sid
+
+let connect_exchange ?label ?timeout_s t ~host ~port () =
+  match t.store with
+  | None -> Error "event loop has no node store; cannot dial peers"
+  | Some _ -> begin
+    match Unix_compat.connect ?timeout_s ~host ~port () with
+    | Error e -> Error e
+    | Ok conn ->
+      t.n_dialed <- t.n_dialed + 1;
+      adopt_outbound ?label t conn
+  end
+
+(* {2 The /metrics HTTP side} *)
+
+let http_response ~status ~body =
+  String.concat "\r\n"
+    [
+      "HTTP/1.1 " ^ status;
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8";
+      "Content-Length: " ^ string_of_int (String.length body);
+      "Connection: close";
+      "";
+      body;
+    ]
+
+let parse_target head =
+  match String.index_opt head '\r' with
+  | None -> None
+  | Some eol -> begin
+    match String.split_on_char ' ' (String.sub head 0 eol) with
+    | [ meth; target; _version ] -> Some (meth, target)
+    | _ -> None
+  end
+
+let is_metrics target =
+  String.equal target "/metrics"
+  || String.length target > 8
+     && String.equal (String.sub target 0 9) "/metrics?"
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i =
+    if i + m > n then false
+    else if String.equal (String.sub s i m) sub then true
+    else at (i + 1)
+  in
+  at 0
+
+let close_http t h =
+  t.by_fd <- IntMap.remove (Unix_compat.conn_id h.hconn) t.by_fd;
+  Unix_compat.close_conn h.hconn;
+  t.https <- IntMap.remove h.hid t.https;
+  t.n_http_closed <- t.n_http_closed + 1
+
+(* Accumulate the request head across however many reads it takes (a
+   scraper dribbling its request one byte at a time never blocks the
+   loop), answer once the blank line arrives. *)
+let pump_http_read t h =
+  let rec go () =
+    match h.resp with
+    | Some _ -> ()  (* head complete; now only writing *)
+    | None -> begin
+      match
+        Unix_compat.read_nb h.hconn t.rdbuf ~pos:0 ~len:(Bytes.length t.rdbuf)
+      with
+      | Error _ | Ok `Eof -> close_http t h
+      | Ok `Would_block -> ()
+      | Ok (`Read n) ->
+        h.h_last_io <- Unix_compat.mono_ms ();
+        Buffer.add_subbytes h.req t.rdbuf 0 n;
+        let data = Buffer.contents h.req in
+        if contains_sub data "\r\n\r\n" then begin
+          let resp =
+            match parse_target data with
+            | Some ("GET", target) when is_metrics target ->
+              h.is_scrape <- true;
+              http_response ~status:"200 OK" ~body:(t.render ())
+            | Some _ -> http_response ~status:"404 Not Found" ~body:"not found\n"
+            | None ->
+              http_response ~status:"400 Bad Request" ~body:"bad request\n"
+          in
+          h.resp <- Some resp
+        end
+        else if Buffer.length h.req > max_request_bytes then
+          h.resp <-
+            Some (http_response ~status:"400 Bad Request" ~body:"bad request\n")
+        else go ()
+    end
+  in
+  go ()
+
+let pump_http_write t h =
+  match h.resp with
+  | None -> ()
+  | Some resp ->
+    let rec go () =
+      let len = String.length resp - h.resp_off in
+      if len = 0 then begin
+        if h.is_scrape then begin
+          t.n_scrapes <- t.n_scrapes + 1;
+          Obs.Registry.incr t.c_scrapes
+        end;
+        close_http t h
+      end
+      else begin
+        match
+          Unix_compat.write_nb h.hconn
+            (Bytes.unsafe_of_string resp)
+            ~pos:h.resp_off ~len
+        with
+        | Error _ -> close_http t h
+        | Ok `Would_block -> ()
+        | Ok (`Wrote n) ->
+          h.h_last_io <- Unix_compat.mono_ms ();
+          h.resp_off <- h.resp_off + n;
+          go ()
+      end
+    in
+    go ()
+
+(* {2 Listeners and accepts} *)
+
+let listen_peers ?host ?(backlog = 128) t ~port () =
+  match t.peer_listener with
+  | Some _ -> Error "peer listener already installed"
+  | None -> begin
+    match Unix_compat.listen ?host ~backlog ~port () with
+    | Error e -> Error e
+    | Ok l ->
+      t.peer_listener <- Some l;
+      Ok (Unix_compat.bound_port l)
+  end
+
+let listen_metrics ?host t ~port () =
+  match t.metrics_listener with
+  | Some _ -> Error "metrics listener already installed"
+  | None -> begin
+    match Unix_compat.listen ?host ~port () with
+    | Error e -> Error e
+    | Ok l ->
+      t.metrics_listener <- Some l;
+      Ok (Unix_compat.bound_port l)
+  end
+
+let peer_port t =
+  match t.peer_listener with
+  | Some l -> Some (Unix_compat.bound_port l)
+  | None -> None
+
+let metrics_port t =
+  match t.metrics_listener with
+  | Some l -> Some (Unix_compat.bound_port l)
+  | None -> None
+
+let accept_peers t =
+  match t.peer_listener with
+  | None -> ()
+  | Some l ->
+    let rec go () =
+      if IntMap.cardinal t.sessions >= t.config.session_budget then ()
+      else begin
+        match Unix_compat.accept_nb l with
+        | Error _ -> ()  (* transient (fd pressure); retry next round *)
+        | Ok `Would_block -> ()
+        | Ok (`Conn conn) ->
+          t.n_accepted <- t.n_accepted + 1;
+          Obs.Registry.incr t.c_accepted;
+          (match adopt_inbound t conn with
+          | Ok (_ : int) -> ()
+          | Error (_ : string) -> Unix_compat.close_conn conn);
+          go ()
+      end
+    in
+    go ()
+
+let accept_metrics t =
+  match t.metrics_listener with
+  | None -> ()
+  | Some l ->
+    let rec go () =
+      match Unix_compat.accept_nb l with
+      | Error _ -> ()
+      | Ok `Would_block -> ()
+      | Ok (`Conn conn) ->
+        let hid = t.next_id in
+        t.next_id <- hid + 1;
+        let h =
+          {
+            hid;
+            hconn = conn;
+            req = Buffer.create 256;
+            resp = None;
+            resp_off = 0;
+            is_scrape = false;
+            h_last_io = Unix_compat.mono_ms ();
+          }
+        in
+        t.https <- IntMap.add hid h t.https;
+        t.by_fd <- IntMap.add (Unix_compat.conn_id conn) (Http_fd hid) t.by_fd;
+        arm_idle_sweep t;
+        go ()
+    in
+    go ()
+
+(* {2 Timers} *)
+
+let set_anti_entropy ?(dial_timeout_s = 5.) t ~every_ms ~peers =
+  t.ae <-
+    Some { every_ms; peers = Array.of_list peers; next = 0; dial_timeout_s };
+  let w, _id =
+    Timer_wheel.schedule t.wheel
+      ~at_ms:(Unix_compat.mono_ms () +. every_ms)
+      Anti_entropy
+  in
+  t.wheel <- w
+
+let after t ~ms f =
+  let w, _id =
+    Timer_wheel.schedule t.wheel ~at_ms:(Unix_compat.mono_ms () +. ms) (Host f)
+  in
+  t.wheel <- w
+
+let idle_sweep t =
+  t.idle_armed <- false;
+  let now = Unix_compat.mono_ms () in
+  IntMap.iter
+    (fun _ s ->
+      match s.closing with
+      | Some _ -> ()
+      | None ->
+        if now -. s.last_io > t.config.idle_timeout_ms then
+          fail_session t s "timed out waiting for the peer")
+    t.sessions;
+  let stale =
+    IntMap.fold
+      (fun _ h acc -> if now -. h.h_last_io > http_idle_ms then h :: acc else acc)
+      t.https []
+  in
+  List.iter (fun h -> close_http t h) (List.rev stale);
+  if not (IntMap.is_empty t.sessions && IntMap.is_empty t.https) then
+    arm_idle_sweep t
+
+let fire t ev =
+  match ev with
+  | Engine_timer (sid, key) -> begin
+    match IntMap.find_opt sid t.sessions with
+    | None -> ()
+    | Some s -> begin
+      match s.closing with
+      | Some _ -> ()
+      | None ->
+        let (_ : Peer_engine.effect_ list) =
+          step t s (Peer_engine.Timer_fired key)
+        in
+        ()
+    end
+  end
+  | Housekeep sid -> begin
+    match IntMap.find_opt sid t.sessions with
+    | None -> ()
+    | Some s -> begin
+      match s.closing with
+      | Some _ -> ()
+      | None ->
+        s.wakeup_timer <- None;
+        let (_ : Peer_engine.effect_ list) =
+          step t s (Peer_engine.Tick { peer = None })
+        in
+        ()
+    end
+  end
+  | Anti_entropy -> begin
+    match t.ae with
+    | None -> ()
+    | Some ae ->
+      if not t.stop_requested then begin
+        (if
+           Array.length ae.peers > 0
+           && IntMap.cardinal t.sessions < t.config.session_budget
+         then begin
+           let host, port = ae.peers.(ae.next) in
+           ae.next <- (ae.next + 1) mod Array.length ae.peers;
+           match
+             connect_exchange ~timeout_s:ae.dial_timeout_s t ~host ~port ()
+           with
+           | Ok (_ : int) -> ()
+           | Error (_ : string) -> ()  (* dead peer; next round, next peer *)
+         end);
+        let w, _id =
+          Timer_wheel.schedule t.wheel
+            ~at_ms:(Unix_compat.mono_ms () +. ae.every_ms)
+            Anti_entropy
+        in
+        t.wheel <- w
+      end
+  end
+  | Idle_sweep -> idle_sweep t
+  | Host f -> f ()
+
+(* {2 The loop} *)
+
+let build_interest t =
+  let listeners =
+    let peers =
+      match t.peer_listener with
+      | Some l
+        when (not t.stop_requested)
+             && IntMap.cardinal t.sessions < t.config.session_budget ->
+        [ l ]
+      | Some _ | None -> []
+    in
+    let metrics =
+      match t.metrics_listener with Some l -> [ l ] | None -> []
+    in
+    peers @ metrics
+  in
+  let read, write =
+    IntMap.fold
+      (fun _ s (r, w) ->
+        let r =
+          match s.closing with
+          | Some _ -> r
+          | None ->
+            if s.out_bytes > t.config.max_outbound_bytes then r
+            else s.conn :: r
+        in
+        let w = if Queue.is_empty s.outq then w else s.conn :: w in
+        (r, w))
+      t.sessions ([], [])
+  in
+  let read, write =
+    IntMap.fold
+      (fun _ h (r, w) ->
+        match h.resp with
+        | None -> (h.hconn :: r, w)
+        | Some _ -> (r, h.hconn :: w))
+      t.https (read, write)
+  in
+  (listeners, read, write)
+
+let iterate t =
+  if t.stop_requested && not t.stop_initiated then begin
+    t.stop_initiated <- true;
+    t.stop_deadline <- Unix_compat.mono_ms () +. t.config.drain_grace_ms;
+    match t.peer_listener with
+    | Some l ->
+      t.peer_listener <- None;
+      Unix_compat.close_listener l
+    | None -> ()
+  end;
+  if t.stop_initiated && Unix_compat.mono_ms () > t.stop_deadline then
+    IntMap.iter (fun _ s -> fail_session t s "shutdown") t.sessions;
+  let now = Unix_compat.mono_ms () in
+  let due, wheel = Timer_wheel.expired t.wheel ~now_ms:now in
+  t.wheel <- wheel;
+  List.iter (fun ((_ : Timer_wheel.id), ev) -> fire t ev) due;
+  reap t;
+  let listeners, read, write = build_interest t in
+  let timeout_s =
+    let cap = 0.25 in
+    match Timer_wheel.next_deadline t.wheel with
+    | None -> cap
+    | Some at ->
+      Float.min cap (Float.max 0. ((at -. Unix_compat.mono_ms ()) /. 1000.))
+  in
+  match Unix_compat.wait_ready ~listeners ~read ~write ~timeout_s with
+  | Error e -> t.fatal <- Some e
+  | Ok ready ->
+    List.iter
+      (fun l ->
+        let lid = Unix_compat.listener_id l in
+        (match t.peer_listener with
+        | Some pl when Unix_compat.listener_id pl = lid -> accept_peers t
+        | Some _ | None -> ());
+        match t.metrics_listener with
+        | Some ml when Unix_compat.listener_id ml = lid -> accept_metrics t
+        | Some _ | None -> ())
+      ready.Unix_compat.accept_ready;
+    List.iter
+      (fun c ->
+        match IntMap.find_opt (Unix_compat.conn_id c) t.by_fd with
+        | Some (Session_fd sid) -> begin
+          match IntMap.find_opt sid t.sessions with
+          | Some s -> pump_read t s
+          | None -> ()
+        end
+        | Some (Http_fd hid) -> begin
+          match IntMap.find_opt hid t.https with
+          | Some h -> pump_http_read t h
+          | None -> ()
+        end
+        | None -> ())
+      ready.Unix_compat.read_ready;
+    List.iter
+      (fun c ->
+        match IntMap.find_opt (Unix_compat.conn_id c) t.by_fd with
+        | Some (Session_fd sid) -> begin
+          match IntMap.find_opt sid t.sessions with
+          | Some s -> pump_write t s
+          | None -> ()
+        end
+        | Some (Http_fd hid) -> begin
+          match IntMap.find_opt hid t.https with
+          | Some h -> pump_http_write t h
+          | None -> ()
+        end
+        | None -> ())
+      ready.Unix_compat.write_ready;
+    reap t
+
+let request_stop t = t.stop_requested <- true
+
+let finish_shutdown t =
+  let https = IntMap.fold (fun _ h acc -> h :: acc) t.https [] in
+  List.iter (fun h -> close_http t h) (List.rev https);
+  (match t.metrics_listener with
+  | Some l ->
+    t.metrics_listener <- None;
+    Unix_compat.close_listener l
+  | None -> ());
+  (match t.peer_listener with
+  | Some l ->
+    t.peer_listener <- None;
+    Unix_compat.close_listener l
+  | None -> ());
+  (match save_if_dirty t with
+  | Ok () -> ()
+  | Error (_ : string) -> ());
+  match t.store with Some st -> Node_store.flush_trace st | None -> ()
+
+let shutdown t =
+  t.stop_requested <- true;
+  t.stop_initiated <- true;
+  let stragglers = IntMap.fold (fun _ s acc -> s :: acc) t.sessions [] in
+  List.iter (fun s -> fail_session t s "shutdown") (List.rev stragglers);
+  reap t;
+  finish_shutdown t
+
+let nothing_pending t =
+  (match t.peer_listener with None -> true | Some _ -> false)
+  && (match t.metrics_listener with None -> true | Some _ -> false)
+  && IntMap.is_empty t.sessions && IntMap.is_empty t.https
+  && Timer_wheel.is_empty t.wheel
+
+let run ?(until = fun (_ : stats) -> false) t =
+  let rec go () =
+    match t.fatal with
+    | Some e -> Error e
+    | None ->
+      if until (stats t) then Ok ()
+      else if t.stop_initiated && IntMap.is_empty t.sessions then begin
+        finish_shutdown t;
+        match t.fatal with Some e -> Error e | None -> Ok ()
+      end
+      else if nothing_pending t then Ok ()
+      else begin
+        iterate t;
+        go ()
+      end
+  in
+  go ()

@@ -1,0 +1,158 @@
+(** The poll-based event-loop host: one process multiplexing N
+    concurrent {!Vegvisir_engine.Peer_engine} exchange sessions, the
+    [/metrics] HTTP endpoint, and periodic anti-entropy dials over
+    non-blocking sockets ({!Unix_compat.wait_ready}) and a deterministic
+    {!Timer_wheel}.
+
+    This is the single socket host of the CLI: {!Live_sync},
+    {!Metrics_server}, and the [serve] / [sync --live] / [daemon]
+    commands are thin adapters over it. The protocol brain stays the
+    sans-IO engine; the loop only moves bytes, applies [Deliver] effects
+    to the store's node, and turns [Set_timer] effects into wheel
+    deadlines — a daemon session and a one-shot [sync --live] run
+    byte-for-byte the same exchange.
+
+    A loop without a store can still serve [/metrics]; adopting or
+    dialing peer sessions requires one. *)
+
+type t
+
+(** {1 Configuration} *)
+
+type config = {
+  mode : Vegvisir.Reconcile.mode;  (** reconciliation mode for every session *)
+  session_budget : int;
+      (** stop accepting new peer conns while this many sessions are
+          active — backpressure at the accept queue, not in memory *)
+  max_outbound_bytes : int;
+      (** per-session backpressure: stop reading requests (leaving them
+          in the kernel buffer) while this much output is queued *)
+  stale_after_ms : float;  (** engine retransmit threshold *)
+  session_timeout_ms : float;  (** engine per-session hard deadline *)
+  idle_timeout_ms : float;
+      (** no bytes moved either way for this long — session failed *)
+  drain_grace_ms : float;
+      (** graceful shutdown: sessions still open this long after
+          {!request_stop} are force-closed *)
+}
+
+val default_config : config
+(** [`Naive] mode, 128-session budget, 8 MiB outbound budget, 2 s stale
+    / 20 s session timeouts (as {!Live_sync}), 30 s idle timeout, 5 s
+    drain grace. *)
+
+val create : ?store:Node_store.t -> ?config:config -> unit -> t
+
+val context : t -> Vegvisir_obs.Context.t
+(** The loop's live observability context: every journaled session or
+    block event is also emitted here, and the loop maintains
+    [daemon.accepted] / [daemon.scrapes] / [daemon.sessions_completed] /
+    [daemon.sessions_failed] counters and a [daemon.sessions_active]
+    gauge in its registry. The default [/metrics] rendering is the
+    Prometheus exposition of this registry. *)
+
+(** {1 Wiring} *)
+
+val listen_peers :
+  ?host:string -> ?backlog:int -> t -> port:int -> unit -> (int, string) result
+(** Install the peer listener (at most one); inbound conns become
+    exchange sessions. Returns the bound port ([port] 0 = ephemeral). *)
+
+val listen_metrics : ?host:string -> t -> port:int -> unit -> (int, string) result
+(** Install the [/metrics] listener (at most one). Unbounded: every
+    conn gets one HTTP/1.1 response ([GET /metrics] → 200 with the
+    rendering, anything else 404/400) and is closed. Partial reads and
+    writes are handled incrementally — a slow scraper never blocks the
+    sessions. *)
+
+val set_render : t -> (unit -> string) -> unit
+(** Replace the [/metrics] body renderer (default: {!context}'s registry
+    as Prometheus text). Called once per successful scrape. *)
+
+val peer_port : t -> int option
+val metrics_port : t -> int option
+
+val adopt_inbound :
+  ?label:string -> t -> Unix_compat.conn -> (int, string) result
+(** Hand an accepted connection to the loop as a serving-side exchange
+    session (the far end pulls first, then we pull back); the conn is
+    switched to non-blocking and owned by the loop from here on. Returns
+    the session id. [label] is the peer's telemetry identity (default
+    ["peer-<id>"]). *)
+
+val adopt_outbound :
+  ?label:string -> t -> Unix_compat.conn -> (int, string) result
+(** Same, as the initiating side: the session pulls immediately, hands
+    the turn over, then serves the remote's pull-back. *)
+
+val connect_exchange :
+  ?label:string ->
+  ?timeout_s:float ->
+  t ->
+  host:string ->
+  port:int ->
+  unit ->
+  (int, string) result
+(** Dial (blocking, bounded by [timeout_s]) and {!adopt_outbound}. *)
+
+val set_anti_entropy :
+  ?dial_timeout_s:float -> t -> every_ms:float -> peers:(string * int) list -> unit
+(** Every [every_ms], dial the next configured peer round-robin and run
+    a full exchange with it (skipped while at the session budget or
+    stopping; dial failures move on to the next peer). *)
+
+val after : t -> ms:float -> (unit -> unit) -> unit
+(** Run [f] on the loop after [ms] milliseconds — the host-closure hook
+    adapters use for accept deadlines and test harnesses for fault
+    injection. *)
+
+(** {1 Observation} *)
+
+type stats = {
+  accepted : int;  (** peer conns accepted *)
+  dialed : int;  (** outbound exchanges attempted *)
+  completed : int;  (** sessions finished cleanly *)
+  failed : int;  (** sessions aborted, timed out, or errored *)
+  active : int;  (** sessions currently open *)
+  scrapes : int;  (** successful [/metrics] responses *)
+  http_closed : int;  (** HTTP conns closed (any reason) *)
+  delivered : int;  (** blocks applied to the store across all sessions *)
+  served : int;  (** request frames answered across all sessions *)
+}
+
+val stats : t -> stats
+
+type outcome = {
+  pulled : Vegvisir.Reconcile.stats option;
+      (** the pull session's transfer stats; [None] if it never
+          completed *)
+  delivered : int;
+  served : int;
+  error : string option;  (** [None] iff the exchange completed cleanly *)
+}
+
+val outcome : t -> int -> outcome option
+(** The result of a finished session, by the id the adopt/dial call
+    returned; [None] while it is still running (or for unknown ids). *)
+
+val outcomes : t -> (int * outcome) list
+(** Every finished session's outcome, in session-id order. *)
+
+(** {1 Running} *)
+
+val run : ?until:(stats -> bool) -> t -> (unit, string) result
+(** Drive the loop. Returns [Ok ()] when [until] first holds (checked
+    between iterations; the loop stays intact, so a caller can run it
+    again), when a requested stop has drained, or when there is nothing
+    left to wait on; [Error] only on a fatal poll failure. *)
+
+val request_stop : t -> unit
+(** Begin graceful shutdown: sets a flag only, so it is safe from a
+    signal handler ({!Unix_compat.install_stop_handler}). The loop then
+    closes the peer listener, drains open sessions (force-closing them
+    after [drain_grace_ms]), saves the store if any session delivered
+    blocks, flushes buffered telemetry, and returns from {!run}. *)
+
+val shutdown : t -> unit
+(** Immediate teardown for adapters: fail any open sessions, close every
+    conn and listener, save-if-dirty and flush telemetry. *)

@@ -1,8 +1,11 @@
-(* Live reconciliation between two vegvisir-cli node directories, over a
-   framed loopback TCP connection (Unix_compat). Both endpoints drive the
-   same sans-IO Vegvisir_engine.Peer_engine that powers the simulator:
-   this driver only moves frames, applies Deliver effects to the
-   file-backed node, and turns Set_timer effects into recv deadlines.
+(* Live reconciliation between two vegvisir-cli node directories — now a
+   thin adapter over the Event_loop host. One exchange is one loop
+   carrying one session: pull_conn adopts the conn as the initiating
+   side, serve_conn as the serving side, and both drive the loop until
+   that session's outcome lands, then tear the loop down. The engine,
+   the frame protocol, the telemetry events, and the report shape are
+   exactly what the daemon's concurrent sessions use — this module only
+   restores the old "one exchange, one call" surface.
 
    Exchange shape (client = `sync --live`, server = `serve`):
 
@@ -17,38 +20,10 @@
    After a full exchange both replicas hold the union of the two DAGs. *)
 
 open Vegvisir
-module Peer_engine = Vegvisir_engine.Peer_engine
-module Obs = Vegvisir_obs
 
 let ( let* ) = Result.bind
 
 type report = { pulled : Reconcile.stats; delivered : int; served : int }
-
-(* The engine addresses peers by small ints; over a point-to-point
-   connection there is exactly one remote. *)
-let remote_id = 0
-
-(* How often a quiet pull wakes up to run the engine's retransmit/abandon
-   housekeeping. *)
-let poll_interval_s = 0.5
-
-(* How long the serving side waits for the peer's next request before
-   declaring it gone. *)
-let serve_timeout_s = 30.
-
-type driver = {
-  conn : Unix_compat.conn;
-  store : Node_store.t;
-  node : Node.t;
-  me : string;  (* telemetry identity, Hash_id.short of the user id *)
-  mutable engine : Peer_engine.t;
-  mutable deadline : (Peer_engine.timer_key * float) option;
-      (* pending Session_timeout: (key, absolute ms) *)
-  mutable pulled : Reconcile.stats option;
-  mutable delivered : int;
-  mutable aborted : Peer_engine.abort_reason option;
-  mutable failed : string option;
-}
 
 (* The far endpoint's telemetry identity. A point-to-point frame carries
    no node id, so traces name it "remote"; when two directories' trace
@@ -56,229 +31,83 @@ type driver = {
    timelines together. *)
 let remote_name = "remote"
 
-let make ~(store : Node_store.t) ~mode conn =
-  let node = store.Node_store.node in
-  {
-    conn;
-    store;
-    node;
-    me = Node_store.node_name store;
-    engine =
-      Peer_engine.create ~mode ~stale_after_ms:2_000. ~session_timeout_ms:20_000.
-        ~user_id:(Node.user_id node) ~dag:(Node.dag node) ();
-    deadline = None;
-    pulled = None;
-    delivered = 0;
-    aborted = None;
-    failed = None;
-  }
-
-let block_event d phase ?peer (h : Hash_id.t) =
-  Obs.Event.Block { node = d.me; phase; block = h; peer }
-
-(* Blocks arriving now may be stamped slightly ahead of our clock; admit
-   the same skew the validation layer tolerates (as Node_store.sync). *)
-let apply_ts () =
-  Timestamp.add_ms
-    (Timestamp.of_seconds (Unix_compat.now ()))
-    Validation.default_max_skew_ms
-
-let apply d (eff : Peer_engine.effect_) =
-  match eff with
-  | Peer_engine.Send { dst = _; bytes } -> begin
-    match Unix_compat.send_frame d.conn bytes with
-    | Ok () -> ()
-    | Error e -> if Option.is_none d.failed then d.failed <- Some e
-  end
-  | Peer_engine.Set_timer { key = Peer_engine.Session_timeout _ as key; after_ms }
-    ->
-    d.deadline <- Some (key, Unix_compat.now_ms () +. after_ms)
-  | Peer_engine.Set_timer { key = Peer_engine.Gossip_round; after_ms = _ } ->
-    (* The gossip cadence is host-driven here: one pull per invocation. *)
+let loop_for ~store mode =
+  Event_loop.create ~store
+    ~config:{ Event_loop.default_config with Event_loop.mode }
     ()
-  | Peer_engine.Deliver blocks ->
-    Node_store.record_all d.store
-      (List.map
-         (fun (b : Block.t) ->
-           block_event d Obs.Event.Received ~peer:remote_name b.Block.hash)
-         blocks);
-    Node.receive_all d.node ~now:(apply_ts ()) blocks;
-    (* Anything now resident passed validation and was applied. *)
-    let dag = Node.dag d.node in
-    Node_store.record_all d.store
-      (List.concat_map
-         (fun (b : Block.t) ->
-           if Dag.mem dag b.Block.hash then
-             [
-               block_event d Obs.Event.Validated b.Block.hash;
-               block_event d Obs.Event.Delivered b.Block.hash;
-             ]
-           else [])
-         blocks);
-    d.delivered <- d.delivered + List.length blocks
-  | Peer_engine.Session_done stats -> d.pulled <- Some stats
-  | Peer_engine.Trace ev -> begin
-    match ev with
-    | Peer_engine.Session_aborted { generation; reason; _ } ->
-      d.aborted <- Some reason;
-      Node_store.record d.store
-        (Obs.Event.Session_aborted
-           {
-             node = d.me;
-             peer = remote_name;
-             generation;
-             reason =
-               (match reason with
-               | Peer_engine.Stalled -> Obs.Event.Stalled
-               | Peer_engine.Timed_out -> Obs.Event.Timed_out);
-           })
-    | Peer_engine.Session_started { generation; _ } ->
-      Node_store.record d.store
-        (Obs.Event.Session_started
-           { node = d.me; peer = remote_name; generation })
-    | Peer_engine.Request_resent { generation; attempt; _ } ->
-      Node_store.record d.store
-        (Obs.Event.Request_resent
-           { node = d.me; peer = remote_name; generation; attempt })
-    | Peer_engine.Session_completed { generation; blocks; _ } ->
-      Node_store.record d.store
-        (Obs.Event.Session_completed
-           { node = d.me; peer = remote_name; generation; blocks })
-    | Peer_engine.Blocks_served { blocks; _ } ->
-      Node_store.record_all d.store
-        (List.map
-           (fun h -> block_event d Obs.Event.Sent ~peer:remote_name h)
-           blocks)
-    | Peer_engine.Redundant_received { blocks; _ } ->
-      Node_store.record_all d.store
-        (List.map
-           (fun h ->
-             Obs.Event.Block_redundant
-               { node = d.me; block = h; peer = Some remote_name })
-           blocks)
-    | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
-    | Peer_engine.Decode_failed _ ->
-      ()
-  end
 
-let step d input =
-  let now = Unix_compat.now_ms () in
-  let dag = Node.dag d.node in
-  let engine, effects = Peer_engine.handle d.engine ~now ~dag input in
-  d.engine <- engine;
-  List.iter (apply d) effects;
-  effects
+let report_of_outcome (o : Event_loop.outcome) =
+  match o.Event_loop.error with
+  | Some e -> Error e
+  | None ->
+    let pulled =
+      match o.Event_loop.pulled with
+      | Some stats -> stats
+      | None -> Reconcile.empty_stats
+    in
+    Ok
+      {
+        pulled;
+        delivered = o.Event_loop.delivered;
+        served = o.Event_loop.served;
+      }
 
-(* Run one full pull session against the remote: initiate, then feed
-   replies (and clock stimuli) to the engine until it reports the session
-   done or dead. *)
-let pull_phase d =
-  let (_ : Peer_engine.effect_ list) =
-    step d (Peer_engine.Tick { peer = Some remote_id })
+(* Drive the loop until session [sid] has an outcome, then dismantle the
+   loop (the store is saved and its telemetry flushed by the session's
+   completion; shutdown is belt-and-braces for the failure paths). *)
+let run_session t sid =
+  let result =
+    Event_loop.run t ~until:(fun (_ : Event_loop.stats) ->
+        match Event_loop.outcome t sid with
+        | Some (_ : Event_loop.outcome) -> true
+        | None -> false)
   in
-  let rec loop () =
-    match (d.failed, d.pulled, d.aborted) with
-    | Some e, _, _ -> Error e
-    | None, Some stats, _ -> Ok stats
-    | None, None, Some Peer_engine.Stalled ->
-      Error "sync failed: the peer stopped answering"
-    | None, None, Some Peer_engine.Timed_out ->
-      Error "sync failed: session deadline exceeded"
-    | None, None, None -> begin
-      match Unix_compat.recv_frame ~timeout_s:poll_interval_s d.conn with
-      | Error e -> Error e
-      | Ok Unix_compat.Closed -> Error "peer closed the connection mid-session"
-      | Ok (Unix_compat.Frame "") ->
-        Error "protocol error: turn-over sentinel inside a session"
-      | Ok (Unix_compat.Frame bytes) ->
-        let (_ : Peer_engine.effect_ list) =
-          step d (Peer_engine.Message_received { from = remote_id; bytes })
-        in
-        loop ()
-      | Ok Unix_compat.Timeout ->
-        (* Quiet: run retransmit/abandon housekeeping, and fire the
-           session's hard deadline if it has passed. *)
-        let (_ : Peer_engine.effect_ list) =
-          step d (Peer_engine.Tick { peer = None })
-        in
-        (match d.deadline with
-        | Some (key, at) when Unix_compat.now_ms () >= at ->
-          d.deadline <- None;
-          let (_ : Peer_engine.effect_ list) = step d (Peer_engine.Timer_fired key) in
-          ()
-        | Some _ | None -> ());
-        loop ()
+  let report =
+    match result with
+    | Error e -> Error e
+    | Ok () -> begin
+      match Event_loop.outcome t sid with
+      | Some o -> report_of_outcome o
+      | None -> Error "sync session did not complete"
     end
   in
-  loop ()
-
-(* Answer the remote's requests until it hands the turn over (empty
-   frame) or hangs up. Returns how many frames we answered. *)
-let serve_phase d =
-  let rec loop served =
-    match d.failed with
-    | Some e -> Error e
-    | None -> begin
-      match Unix_compat.recv_frame ~timeout_s:serve_timeout_s d.conn with
-      | Error e -> Error e
-      | Ok Unix_compat.Timeout -> Error "timed out waiting for the peer"
-      | Ok Unix_compat.Closed | Ok (Unix_compat.Frame "") -> Ok served
-      | Ok (Unix_compat.Frame bytes) ->
-        let effects =
-          step d (Peer_engine.Message_received { from = remote_id; bytes })
-        in
-        let answered =
-          List.exists
-            (function
-              | Peer_engine.Send _ -> true
-              | Peer_engine.Set_timer _ | Peer_engine.Deliver _
-              | Peer_engine.Session_done _ | Peer_engine.Trace _ ->
-                false)
-            effects
-        in
-        loop (if answered then served + 1 else served)
-    end
-  in
-  loop 0
-
-let finish d ~(store : Node_store.t) ~pulled ~delivered ~served =
-  Node_store.record store
-    (Obs.Event.Sync_completed
-       { node = d.me; peer = remote_name; pulled = delivered; served });
-  let* () = Node_store.save store in
-  Ok { pulled; delivered; served }
+  Event_loop.shutdown t;
+  report
 
 let pull_conn ~store ?(mode = `Naive) conn =
-  let d = make ~store ~mode conn in
-  Node_store.record store
-    (Obs.Event.Sync_started { node = d.me; peer = remote_name });
-  let* pulled = pull_phase d in
-  let* () = Unix_compat.send_frame conn "" in
-  let* served = serve_phase d in
-  finish d ~store ~pulled ~delivered:d.delivered ~served
+  let t = loop_for ~store mode in
+  let* sid = Event_loop.adopt_outbound ~label:remote_name t conn in
+  run_session t sid
 
 let serve_conn ~store ?(mode = `Naive) conn =
-  let d = make ~store ~mode conn in
-  Node_store.record store
-    (Obs.Event.Sync_started { node = d.me; peer = remote_name });
-  let* served = serve_phase d in
-  let* pulled = pull_phase d in
-  let* () = Unix_compat.send_frame conn "" in
-  finish d ~store ~pulled ~delivered:d.delivered ~served
+  let t = loop_for ~store mode in
+  let* sid = Event_loop.adopt_inbound ~label:remote_name t conn in
+  run_session t sid
 
-let pull ~store ?mode ~host ~port () =
-  let* conn = Unix_compat.connect ~host ~port in
-  let result = pull_conn ~store ?mode conn in
-  Unix_compat.close_conn conn;
-  result
+let pull ~store ?mode ?timeout_s ~host ~port () =
+  let* conn = Unix_compat.connect ?timeout_s ~host ~port () in
+  pull_conn ~store ?mode conn
 
-let serve ~store ?mode ?accept_timeout_s ~port () =
-  let* listener = Unix_compat.listen ~port () in
+let serve ~store ?(mode = `Naive) ?accept_timeout_s ~port () =
+  let t = loop_for ~store mode in
+  let* (_ : int) = Event_loop.listen_peers t ~port () in
+  let timed_out = ref false in
+  (match accept_timeout_s with
+  | Some s -> Event_loop.after t ~ms:(s *. 1000.) (fun () -> timed_out := true)
+  | None -> ());
   let result =
-    let* conn = Unix_compat.accept ?timeout_s:accept_timeout_s listener in
-    let r = serve_conn ~store ?mode conn in
-    Unix_compat.close_conn conn;
-    r
+    Event_loop.run t ~until:(fun (st : Event_loop.stats) ->
+        st.Event_loop.completed + st.Event_loop.failed > 0
+        || (!timed_out && st.Event_loop.accepted = 0))
   in
-  Unix_compat.close_listener listener;
-  result
+  let report =
+    match result with
+    | Error e -> Error e
+    | Ok () -> begin
+      match Event_loop.outcomes t with
+      | (_, o) :: _ -> report_of_outcome o
+      | [] -> Error "timed out waiting for a peer to connect"
+    end
+  in
+  Event_loop.shutdown t;
+  report

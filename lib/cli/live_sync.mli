@@ -34,12 +34,14 @@ val serve :
 val pull :
   store:Node_store.t ->
   ?mode:Vegvisir.Reconcile.mode ->
+  ?timeout_s:float ->
   host:string ->
   port:int ->
   unit ->
   (report, string) result
 (** Connect to a serving peer, pull, hand the turn over, answer its pull
-    back, save, and return. *)
+    back, save, and return. [timeout_s] bounds the TCP connect, so a
+    dead or blackholed peer fails fast instead of wedging the caller. *)
 
 (** {1 Connection-level drivers}
 

@@ -1,83 +1,66 @@
-(* A deliberately minimal HTTP/1.1 responder for the Prometheus text
-   exposition: one blocking GET /metrics at a time over Unix_compat's
-   loopback TCP. No routing, no keep-alive, no chunking — a scraper
-   connects, sends one request, gets one response, and the connection
-   closes. Anything fancier belongs in a real HTTP stack; this exists so
-   a live vegvisir-cli node has a standard scrape surface with zero new
-   dependencies. *)
+(* The Prometheus scrape surface — now a thin adapter over Event_loop.
+   A Metrics_server.t is a store-less loop with only the /metrics
+   listener installed; the loop does the HTTP work (incremental reads
+   and writes, so a slow or dribbling scraper cannot wedge anything) and
+   this module restores the old accept-answer-close call surface.
+   The daemon does not use this wrapper: it installs a metrics listener
+   on its own loop, where scrapes interleave with live sessions. *)
 
-type t = { listener : Unix_compat.listener }
+type t = { loop : Event_loop.t }
 
 let ( let* ) = Result.bind
 
 let start ?host ~port () =
-  let* listener = Unix_compat.listen ?host ~port () in
-  Ok { listener }
+  let loop = Event_loop.create () in
+  let* (_ : int) = Event_loop.listen_metrics ?host loop ~port () in
+  Ok { loop }
 
-let port t = Unix_compat.bound_port t.listener
-let stop t = Unix_compat.close_listener t.listener
+let port t =
+  match Event_loop.metrics_port t.loop with Some p -> p | None -> 0
 
-(* Longest plausible scrape request head; anything bigger is not a
-   Prometheus scraper. *)
-let max_request_bytes = 16 * 1024
-
-let response ~status ~body =
-  String.concat "\r\n"
-    [
-      "HTTP/1.1 " ^ status;
-      "Content-Type: text/plain; version=0.0.4; charset=utf-8";
-      "Content-Length: " ^ string_of_int (String.length body);
-      "Connection: close";
-      "";
-      body;
-    ]
-
-let parse_target head =
-  match String.index_opt head '\r' with
-  | None -> None
-  | Some eol -> begin
-    match String.split_on_char ' ' (String.sub head 0 eol) with
-    | [ meth; target; _version ] -> Some (meth, target)
-    | _ -> None
-  end
-
-let is_metrics target =
-  String.equal target "/metrics"
-  || String.length target > 8
-     && String.equal (String.sub target 0 9) "/metrics?"
+let stop t = Event_loop.shutdown t.loop
 
 let handle_one ?timeout_s t ~render =
-  let* conn = Unix_compat.accept ?timeout_s t.listener in
-  let result =
-    let* head =
-      Unix_compat.recv_until ?timeout_s conn ~delim:"\r\n\r\n"
-        ~max_bytes:max_request_bytes
-    in
-    match head with
-    | None -> Ok () (* peer connected and left; nothing to answer *)
-    | Some head ->
-      let body =
-        match parse_target head with
-        | Some ("GET", target) when is_metrics target ->
-          response ~status:"200 OK" ~body:(render ())
-        | Some _ -> response ~status:"404 Not Found" ~body:"not found\n"
-        | None -> response ~status:"400 Bad Request" ~body:"bad request\n"
-      in
-      Unix_compat.send_raw conn body
+  Event_loop.set_render t.loop render;
+  let base = (Event_loop.stats t.loop).Event_loop.http_closed in
+  let timed_out = ref false in
+  (match timeout_s with
+  | Some s ->
+    Event_loop.after t.loop ~ms:(s *. 1000.) (fun () -> timed_out := true)
+  | None -> ());
+  let* () =
+    Event_loop.run t.loop ~until:(fun (st : Event_loop.stats) ->
+        st.Event_loop.http_closed > base || !timed_out)
   in
-  Unix_compat.close_conn conn;
-  result
+  if (Event_loop.stats t.loop).Event_loop.http_closed > base then Ok ()
+  else Error "timed out waiting for a scrape"
 
-let serve ?host ~port ?(requests = 1) ?timeout_s ~render () =
+let request_stop t = Event_loop.request_stop t.loop
+
+let drive ?timeout_s ?(requests = 1) t ~render =
+  Event_loop.set_render t.loop render;
+  if requests = 0 then begin
+    (* Unbounded: answer every scrape until {!request_stop} (the CLI
+       routes SIGINT/SIGTERM there) — the daemon-era default; a fixed
+       request count survives only as a test harness escape hatch. *)
+    match Event_loop.run t.loop with
+    | Error e -> Error e
+    | Ok () -> Ok (Event_loop.stats t.loop).Event_loop.http_closed
+  end
+  else begin
+    let rec go served =
+      if served >= requests then Ok served
+      else begin
+        match handle_one ?timeout_s t ~render with
+        | Ok () -> go (served + 1)
+        | Error msg -> Error msg
+      end
+    in
+    go 0
+  end
+
+let serve ?host ~port ?requests ?timeout_s ~render () =
   let* t = start ?host ~port () in
-  let rec go served =
-    if served >= requests then Ok served
-    else begin
-      match handle_one ?timeout_s t ~render with
-      | Ok () -> go (served + 1)
-      | Error msg -> Error msg
-    end
-  in
-  let r = go 0 in
+  let r = drive ?timeout_s ?requests t ~render in
   stop t;
   r

@@ -1,8 +1,9 @@
-(** A minimal HTTP GET /metrics responder over {!Unix_compat}.
+(** A minimal HTTP GET /metrics responder — an adapter over
+    {!Event_loop} (a store-less loop with only the metrics listener).
 
     Serves the Prometheus text exposition
-    ({!Vegvisir_obs.Registry.to_prometheus}) to one blocking scrape at a
-    time: accept, read one request head, answer, close. [GET /metrics]
+    ({!Vegvisir_obs.Registry.to_prometheus}): accept, read one request
+    head (however many reads it takes), answer, close. [GET /metrics]
     (query strings allowed) gets a 200 with
     [text/plain; version=0.0.4]; other targets get a 404, unparsable
     requests a 400. No keep-alive, no TLS — a loopback scrape surface,
@@ -20,8 +21,21 @@ val stop : t -> unit
 val handle_one :
   ?timeout_s:float -> t -> render:(unit -> string) -> (unit, string) result
 (** Accept and answer one connection. [render] is called per 200
-    response, so every scrape sees current values. [Error] on accept
-    timeout, oversize/stalled requests, or socket failure. *)
+    response, so every scrape sees current values. [Error] on timeout or
+    socket failure; a peer that connects and leaves without a request
+    still counts as handled. *)
+
+val drive :
+  ?timeout_s:float ->
+  ?requests:int ->
+  t ->
+  render:(unit -> string) ->
+  (int, string) result
+(** Answer scrapes on a started server. [requests = 0] serves
+    {e unbounded} — until {!request_stop} (the CLI routes SIGINT/SIGTERM
+    there); a positive count answers exactly that many connections (a
+    test-harness escape hatch; default 1). Returns how many were
+    answered. The listener stays open; callers {!stop} it. *)
 
 val serve :
   ?host:string ->
@@ -31,5 +45,8 @@ val serve :
   render:(unit -> string) ->
   unit ->
   (int, string) result
-(** [start], answer [requests] (default 1) connections, [stop]. Returns
-    how many were answered; the listener is closed even on error. *)
+(** [start], {!drive}, [stop]; the listener is closed even on error. *)
+
+val request_stop : t -> unit
+(** Make an unbounded {!drive} return after draining — safe from a
+    signal handler. *)

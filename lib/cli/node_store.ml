@@ -19,24 +19,63 @@ let trace_file = "trace.jsonl"
 let trace_path t = t.dir // trace_file
 let node_name t = Hash_id.short (Node.user_id t.node)
 
+(* Buffered journaling: a long-lived daemon multiplexing dozens of
+   sessions would otherwise open/append/close trace.jsonl once per
+   event. When a directory opts in, encoded lines accumulate here and
+   reach disk on [flush_trace] (and on every [save]). Keyed by dir, like
+   the signer registry: process-lifetime cache only. *)
+let trace_buffers : (string, Buffer.t) Hashtbl.t = Hashtbl.create 4
+
+let append_lines t lines =
+  match
+    Out_channel.with_open_gen
+      [ Open_wronly; Open_append; Open_creat ]
+      0o644 (trace_path t)
+      (fun oc -> Out_channel.output_string oc lines)
+  with
+  | () -> ()
+  | exception Sys_error _ -> ()
+
+let flush_trace t =
+  match Hashtbl.find_opt trace_buffers t.dir with
+  | None -> ()
+  | Some buf ->
+    if Buffer.length buf > 0 then begin
+      let lines = Buffer.contents buf in
+      Buffer.clear buf;
+      append_lines t lines
+    end
+
+let buffer_telemetry t on =
+  if on then begin
+    if not (Hashtbl.mem trace_buffers t.dir) then
+      Hashtbl.replace trace_buffers t.dir (Buffer.create 4096)
+  end
+  else begin
+    flush_trace t;
+    Hashtbl.remove trace_buffers t.dir
+  end
+
 let record_all t events =
   match events with
   | [] -> ()
   | _ :: _ -> begin
     let ts = Unix_compat.now_ms () in
-    match
-      Out_channel.with_open_gen
-        [ Open_wronly; Open_append; Open_creat ]
-        0o644 (trace_path t)
-        (fun oc ->
-          List.iter
-            (fun ev ->
-              Out_channel.output_string oc (Obs.Event.to_json ~ts ev);
-              Out_channel.output_string oc "\n")
-            events)
-    with
-    | () -> ()
-    | exception Sys_error _ -> ()
+    match Hashtbl.find_opt trace_buffers t.dir with
+    | Some buf ->
+      List.iter
+        (fun ev ->
+          Buffer.add_string buf (Obs.Event.to_json ~ts ev);
+          Buffer.add_char buf '\n')
+        events
+    | None ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun ev ->
+          Buffer.add_string buf (Obs.Event.to_json ~ts ev);
+          Buffer.add_char buf '\n')
+        events;
+      append_lines t (Buffer.contents buf)
   end
 
 let record t ev = record_all t [ ev ]
@@ -106,6 +145,9 @@ let save t =
       record t
         (Obs.Event.Store_saved
            { node = node_name t; blocks = Dag.cardinal (Node.dag t.node) });
+      (* A save is a durability point: buffered telemetry reaches disk
+         with the data it describes. *)
+      flush_trace t;
       Ok ()
     | Error _ as e -> e
   end

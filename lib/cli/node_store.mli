@@ -115,6 +115,18 @@ val record : t -> Vegvisir_obs.Event.t -> unit
 
 val record_all : t -> Vegvisir_obs.Event.t list -> unit
 
+val buffer_telemetry : t -> bool -> unit
+(** [buffer_telemetry t true] switches the directory's journal to
+    buffered mode: {!record} accumulates encoded lines in memory instead
+    of opening [trace.jsonl] once per event — what a long-lived daemon
+    multiplexing dozens of sessions wants. Buffered lines reach disk on
+    {!flush_trace} and on every {!save}. [buffer_telemetry t false]
+    flushes and returns to write-through. *)
+
+val flush_trace : t -> unit
+(** Write any buffered journal lines to [trace.jsonl] now. No-op in
+    write-through mode. *)
+
 val load_trace : dir:string -> (float * Vegvisir_obs.Event.t) list
 (** Decode a directory's [trace.jsonl]; [[]] if absent. Malformed lines
     are skipped. *)

@@ -1,0 +1,65 @@
+(* A deterministic deadline wheel for the event-loop host.
+
+   Purely functional: timers live in a map keyed by (deadline, sequence
+   number), so two timers due at the same instant fire in the order they
+   were scheduled — the host's behaviour is a function of the times it
+   feeds in, never of allocation order or hashing. The wheel knows
+   nothing about clocks; the host reads Unix_compat.mono_ms and passes
+   [now_ms] in. *)
+
+module Key = struct
+  type t = float * int
+
+  let compare (a_at, a_seq) (b_at, b_seq) =
+    match Float.compare a_at b_at with
+    | 0 -> Int.compare a_seq b_seq
+    | c -> c
+end
+
+module M = Map.Make (Key)
+module Ids = Map.Make (Int)
+
+type 'a t = {
+  timers : 'a M.t;
+  by_id : Key.t Ids.t;  (* timer id -> its key, for cancellation *)
+  next_seq : int;
+}
+
+type id = int
+
+let empty = { timers = M.empty; by_id = Ids.empty; next_seq = 0 }
+let is_empty t = M.is_empty t.timers
+let cardinal t = M.cardinal t.timers
+
+let schedule t ~at_ms v =
+  let id = t.next_seq in
+  let key = (at_ms, id) in
+  ( {
+      timers = M.add key v t.timers;
+      by_id = Ids.add id key t.by_id;
+      next_seq = id + 1;
+    },
+    id )
+
+let cancel t id =
+  match Ids.find_opt id t.by_id with
+  | None -> t
+  | Some key ->
+    { t with timers = M.remove key t.timers; by_id = Ids.remove id t.by_id }
+
+let next_deadline t =
+  match M.min_binding_opt t.timers with
+  | None -> None
+  | Some ((at, _), _) -> Some at
+
+(* Everything due at or before [now_ms], in (deadline, schedule-order)
+   order; the remaining wheel keeps the rest. *)
+let expired t ~now_ms =
+  let rec go acc t =
+    match M.min_binding_opt t.timers with
+    | Some (((at, id) as key), v) when at <= now_ms ->
+      go ((id, v) :: acc)
+        { t with timers = M.remove key t.timers; by_id = Ids.remove id t.by_id }
+    | Some _ | None -> (List.rev acc, t)
+  in
+  go [] t

@@ -1,0 +1,32 @@
+(** A deterministic deadline wheel: the timer substrate of the
+    event-loop host ({!Event_loop}).
+
+    Purely functional and clock-free — deadlines are absolute
+    milliseconds on whatever clock the host reads (the loop uses
+    {!Unix_compat.mono_ms}). Timers due at the same instant fire in
+    schedule order, so the host's timer behaviour is a deterministic
+    function of the times fed in (checked by the [timer-wheel] purity
+    boundary in [lint-boundaries.sexp]). *)
+
+type 'a t
+
+type id = int
+(** Handle for cancellation; unique within one wheel's lifetime. *)
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+
+val schedule : 'a t -> at_ms:float -> 'a -> 'a t * id
+(** Arm [v] to fire at absolute time [at_ms] (a time already past fires
+    on the next {!expired} sweep). *)
+
+val cancel : 'a t -> id -> 'a t
+(** Disarm; unknown or already-fired ids are a no-op. *)
+
+val next_deadline : 'a t -> float option
+(** Earliest armed deadline — what bounds the host's poll timeout. *)
+
+val expired : 'a t -> now_ms:float -> (id * 'a) list * 'a t
+(** All timers due at or before [now_ms], earliest first (ties in
+    schedule order), and the wheel without them. *)

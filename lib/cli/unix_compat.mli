@@ -20,6 +20,11 @@ val now_ms : unit -> float
 (** [now], in milliseconds — the clock unit of
     {!Vegvisir_engine.Peer_engine}. *)
 
+val mono_ms : unit -> float
+(** [now_ms] clamped monotone (process-local): never decreases even if
+    the wall clock steps backwards. The {!Event_loop} timer wheel runs
+    on this clock so deadlines that were due stay due. *)
+
 (** {1 Framed TCP}
 
     A minimal blocking transport for {!Live_sync}: length-prefixed
@@ -36,9 +41,13 @@ type conn
     stream would lose frame sync. *)
 type recv = Frame of string | Timeout | Closed
 
-val listen : ?host:string -> port:int -> unit -> (listener, string) result
-(** Bind and listen on [host] (default loopback, [127.0.0.1]). [port] 0
-    picks an ephemeral port; recover it with {!bound_port}. *)
+val listen :
+  ?host:string -> ?backlog:int -> port:int -> unit -> (listener, string) result
+(** Bind (with [SO_REUSEADDR]) and listen on [host] (default loopback,
+    [127.0.0.1]). [port] 0 picks an ephemeral port; recover it with
+    {!bound_port}. [backlog] (default 64) bounds the kernel's pending
+    accept queue — the daemon's listener raises it so a burst of peers
+    queues instead of being refused. *)
 
 val bound_port : listener -> int
 
@@ -46,7 +55,13 @@ val accept : ?timeout_s:float -> listener -> (conn, string) result
 (** Wait for one inbound connection (forever when [timeout_s] is
     omitted). *)
 
-val connect : host:string -> port:int -> (conn, string) result
+val connect :
+  ?timeout_s:float -> host:string -> port:int -> unit -> (conn, string) result
+(** Open a TCP connection. With [timeout_s] the connect is attempted
+    non-blocking and abandoned (with an [ETIMEDOUT] error) if the
+    three-way handshake has not resolved in time, so a dead or
+    blackholed peer cannot wedge the caller; without it the OS default
+    applies. The returned conn is in blocking mode either way. *)
 
 val send_frame : conn -> string -> (unit, string) result
 (** Write one complete frame (blocking). *)
@@ -78,3 +93,84 @@ val recv_until :
 
 val close_conn : conn -> unit
 val close_listener : listener -> unit
+
+(** {1 Non-blocking primitives}
+
+    The substrate of {!Event_loop}: one process multiplexes many
+    connections by switching each to non-blocking mode and pumping it
+    only when {!wait_ready} reports the kernel has work for it. The
+    [_nb] calls never park the process — they move whatever bytes are
+    available and report [`Would_block] otherwise. [EINTR] is absorbed
+    everywhere (reported as [`Would_block] / empty readiness), so a
+    signal can only delay a loop iteration, never fail it. *)
+
+val set_nonblocking : conn -> unit
+
+val conn_id : conn -> int
+(** The underlying descriptor number — a stable, deterministic map key
+    for per-connection state (no polymorphic comparison on the abstract
+    type). Valid while the conn is open; the kernel may recycle it after
+    {!close_conn}. *)
+
+val listener_id : listener -> int
+
+val accept_nb :
+  listener -> ([ `Conn of conn | `Would_block ], string) result
+(** Accept one pending connection, already switched to non-blocking
+    mode; [`Would_block] when the queue is empty (or the peer aborted
+    between readiness and accept). *)
+
+val read_nb :
+  conn ->
+  Bytes.t ->
+  pos:int ->
+  len:int ->
+  ([ `Read of int | `Eof | `Would_block ], string) result
+(** One [read]: [`Read n] for [n > 0] bytes, [`Eof] on orderly close
+    (or [ECONNRESET]/[EPIPE] — the peer is gone either way). *)
+
+val write_nb :
+  conn ->
+  Bytes.t ->
+  pos:int ->
+  len:int ->
+  ([ `Wrote of int | `Would_block ], string) result
+
+type ready = {
+  accept_ready : listener list;
+  read_ready : conn list;
+  write_ready : conn list;
+}
+
+val no_ready : ready
+
+val wait_ready :
+  listeners:listener list ->
+  read:conn list ->
+  write:conn list ->
+  timeout_s:float ->
+  (ready, string) result
+(** Block until some registered descriptor is ready or [timeout_s]
+    elapses (0 polls, negative waits forever). A signal during the wait
+    returns {!no_ready} rather than an error. *)
+
+(** {1 Frame codec helpers}
+
+    The length-prefix format of {!send_frame}/{!recv_frame}, exposed so
+    the event loop can frame into its own outbound buffers. *)
+
+val max_frame : int
+val frame_header_bytes : int
+
+val encode_frame : string -> string
+(** The payload with its 4-byte big-endian length prefix prepended. *)
+
+val decode_frame_header : Bytes.t -> (int, string) result
+(** Payload length from the first {!frame_header_bytes} bytes; [Error]
+    when negative or over {!max_frame}. *)
+
+(** {1 Signals} *)
+
+val install_stop_handler : (unit -> unit) -> unit
+(** Route [SIGINT] and [SIGTERM] to [f] (called once per delivery). [f]
+    runs from a signal handler: set a flag, do no IO. *)

@@ -111,6 +111,11 @@ let policy t = t.policy_
 let generation t = t.generation_
 let busy t = Option.is_some t.session
 
+let next_wakeup t =
+  match t.session with
+  | None -> None
+  | Some s -> Some (s.last_activity +. t.stale_after_ms)
+
 let serving_view t ~dag =
   match t.censored with Some censored -> censored | None -> dag
 

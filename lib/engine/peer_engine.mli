@@ -144,6 +144,14 @@ val will_initiate : t -> now:float -> bool
 val busy : t -> bool
 (** A session is currently in flight. *)
 
+val next_wakeup : t -> float option
+(** Host keepalive hook: the absolute engine-clock time (ms) at which
+    the in-flight session next wants a [Tick {peer = None}] so its
+    retransmit/abandon housekeeping runs on schedule —
+    [last_activity + stale_after_ms]. [None] when idle. Event-driven
+    hosts (the {!Vegvisir_cli} event loop) arm a timer here instead of
+    polling; re-read after every {!handle}, since any reply moves it. *)
+
 val policy : t -> policy
 val generation : t -> int
 (** Number of sessions ever initiated; the current session's identity. *)

@@ -48,3 +48,23 @@
 (boundary obs-codec
   (scope lib/obs/event.ml)
   (forbid clock random io unordered_iter mutates_global))
+
+; The deadline wheel beneath the event loop: a pure data structure.
+; The host reads the monotonic clock and passes now_ms in, so replaying
+; a recorded schedule of (now, event) pairs is bit-for-bit identical.
+(boundary timer-wheel
+  (scope lib/cli/timer_wheel.ml)
+  (forbid clock random io poly_compare unordered_iter mutates_global))
+
+; The event-loop host and its adapters: IO and clock reads are their
+; job (confined here and in unix_compat, with the engine staying pure
+; under the engine boundary above), but the host must never introduce
+; ambient entropy — session ordering, timer firing, and backpressure
+; decisions are a function of the readiness sequence the kernel hands
+; us, never of a random draw. (Iteration-order and comparison
+; determinism are policed at the layers that own them: the host itself
+; uses only ordered maps, and the engine beneath it sits inside the
+; engine boundary.)
+(boundary event-loop-host
+  (scope lib/cli/event_loop.ml lib/cli/live_sync.ml lib/cli/metrics_server.ml)
+  (forbid random))

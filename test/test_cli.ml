@@ -138,7 +138,7 @@ let live_sync () =
     Unix._exit (if ok then 0 else 1)
   | child ->
     let report =
-      match Unix_compat.connect ~host:"127.0.0.1" ~port with
+      match Unix_compat.connect ~host:"127.0.0.1" ~port () with
       | Error e -> Error e
       | Ok conn ->
         let r = Live_sync.pull_conn ~store:ca conn in
@@ -242,6 +242,229 @@ let recover_ancestry () =
   let _, restored2 = Result.get_ok (Node_store.recover bob ~from:ca ()) in
   check_i "idempotent" 0 restored2
 
+(* Daemon soak: one forked daemon, 8 forked clients, each client running
+   8 concurrent outbound exchanges on its own event loop — 64 sessions
+   hitting the daemon — while the parent scrapes /metrics mid-run
+   (including a dribbled two-part request). Afterwards a sequential
+   catch-up round makes every replica byte-identical, a final scrape
+   must reflect all accepted sessions, and SIGINT must drain the daemon
+   cleanly with a flushed journal. *)
+let daemon_soak () =
+  let n_clients = 8 and per_client = 8 in
+  (* Eight enrolments burn two CA signatures each; height 6 = 64 leaves. *)
+  let ca =
+    Result.get_ok
+      (Node_store.init ~dir:(fresh_dir "ca7") ~seed:"ca7-seed" ~height:6
+         ~init_crdts:
+           [ ("log", Vegvisir_crdt.Schema.spec Vegvisir_crdt.Schema.Gset
+                Value.T_string) ]
+         ())
+  in
+  let ca_dir = ca.Node_store.dir in
+  let client_dirs =
+    List.init n_clients (fun i ->
+        let dir = fresh_dir (Printf.sprintf "soak%d" i) in
+        let store = Result.get_ok (Node_store.enroll ~ca_dir ~dir
+            ~seed:(Printf.sprintf "soak%d-seed" i) ~height:4 ~role:"member" ()) in
+        let _ = Result.get_ok (Node_store.append store ~crdt:"log" ~op:"add"
+            [ Value.String (Printf.sprintf "from-soak-%d" i) ]) in
+        dir)
+  in
+  (* Every enrolment grew the CA chain: genesis + 8 admissions, and each
+     client additionally holds its own appended block. Fully converged,
+     every replica has all of it. *)
+  let expect_blocks = 1 + n_clients + n_clients in
+  let pr, pw = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    (* Daemon: load the CA directory, buffer telemetry, report the bound
+       ports up the pipe, and serve until SIGINT. *)
+    Unix.close pr;
+    let rc =
+      match Node_store.load ~dir:ca_dir with
+      | Error _ -> 1
+      | Ok store ->
+        Node_store.buffer_telemetry store true;
+        let loop = Event_loop.create ~store () in
+        (match
+           ( Event_loop.listen_peers loop ~port:0 (),
+             Event_loop.listen_metrics loop ~port:0 () )
+         with
+        | Ok pport, Ok mport ->
+          Unix_compat.install_stop_handler (fun () ->
+              Event_loop.request_stop loop);
+          let msg = Printf.sprintf "%d %d\n" pport mport in
+          ignore (Unix.write_substring pw msg 0 (String.length msg));
+          Unix.close pw;
+          (match Event_loop.run loop with
+          | Ok () ->
+            Node_store.buffer_telemetry store false;
+            0
+          | Error _ -> 1)
+        | _ -> 1)
+    in
+    Unix._exit rc
+  | daemon ->
+    Unix.close pw;
+    let ports =
+      let buf = Buffer.create 16 and b = Bytes.create 1 in
+      let rec go () =
+        match Unix.read pr b 0 1 with
+        | 0 -> ()
+        | _ -> if Bytes.get b 0 = '\n' then () else begin
+            Buffer.add_bytes buf b; go ()
+          end
+      in
+      go ();
+      Unix.close pr;
+      Scanf.sscanf (Buffer.contents buf) "%d %d" (fun p m -> (p, m))
+    in
+    let pport, mport = ports in
+    (* 8 clients, each dialing [per_client] concurrent exchanges. *)
+    let client_pids =
+      List.map
+        (fun dir ->
+          match Unix.fork () with
+          | 0 ->
+            let rc =
+              match Node_store.load ~dir with
+              | Error _ -> 1
+              | Ok store ->
+                let loop = Event_loop.create ~store () in
+                let dials =
+                  List.init per_client (fun _ ->
+                      Event_loop.connect_exchange ~timeout_s:10. loop
+                        ~host:"127.0.0.1" ~port:pport ())
+                in
+                if List.exists Result.is_error dials then 1
+                else begin
+                  match
+                    Event_loop.run loop ~until:(fun st ->
+                        st.Event_loop.completed + st.Event_loop.failed
+                        >= per_client)
+                  with
+                  | Error _ -> 1
+                  | Ok () ->
+                    let outcomes = Event_loop.outcomes loop in
+                    let ok =
+                      List.length outcomes = per_client
+                      && List.for_all
+                           (fun (_, (o : Event_loop.outcome)) ->
+                             o.Event_loop.error = None)
+                           outcomes
+                    in
+                    Event_loop.shutdown loop;
+                    if ok then 0 else 1
+                end
+            in
+            Unix._exit rc
+          | pid -> pid)
+        client_dirs
+    in
+    (* Scrape mid-run: once whole, once dribbled in two writes with a
+       pause between — the daemon must reassemble the request head. *)
+    let scrape ?(dribble = false) () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, mport));
+      let req = "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n" in
+      (if dribble then begin
+         ignore (Unix.write_substring fd req 0 9);
+         Unix.sleepf 0.05;
+         ignore (Unix.write_substring fd req 9 (String.length req - 9))
+       end
+       else ignore (Unix.write_substring fd req 0 (String.length req)));
+      let buf = Buffer.create 4096 and chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      Unix.close fd;
+      Buffer.contents buf
+    in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    let mid1 = scrape () in
+    let mid2 = scrape ~dribble:true () in
+    check_b "mid-run scrape exposes the live session gauge" true
+      (contains mid1 "vegvisir_daemon_sessions_active");
+    check_b "dribbled scrape answered" true
+      (contains mid2 "HTTP/1.1 200" && contains mid2 "vegvisir_daemon_accepted");
+    List.iter
+      (fun pid ->
+        let _, status = Unix.waitpid [] pid in
+        check_b "client exchanges all succeeded" true
+          (status = Unix.WEXITED 0))
+      client_pids;
+    (* Catch-up round: by now the daemon holds every replica's blocks;
+       one more pull each makes all nine directories identical. *)
+    List.iter
+      (fun dir ->
+        let store = Result.get_ok (Node_store.load ~dir) in
+        match
+          Live_sync.pull ~store ~timeout_s:10. ~host:"127.0.0.1" ~port:pport ()
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "catch-up pull from %s failed: %s" dir e)
+      client_dirs;
+    (* The final scrape must account for every session the soak opened. *)
+    let final = scrape () in
+    let accepted =
+      let key = "\nvegvisir_daemon_accepted " in
+      let rec find i =
+        if i + String.length key > String.length final then None
+        else if String.sub final i (String.length key) = key then begin
+          let j = i + String.length key in
+          let k = ref j in
+          while
+            !k < String.length final
+            && final.[!k] >= '0'
+            && final.[!k] <= '9'
+          do
+            incr k
+          done;
+          Some (int_of_string (String.sub final j (!k - j)))
+        end
+        else find (i + 1)
+      in
+      find 0
+    in
+    (match accepted with
+    | Some n ->
+      check_b "daemon accepted all soak sessions" true
+        (n >= n_clients * per_client)
+    | None -> Alcotest.fail "no vegvisir_daemon_accepted in final scrape");
+    check_b "final scrape shows completed sessions" true
+      (contains final "vegvisir_daemon_sessions_completed");
+    (* Graceful shutdown: SIGINT drains and flushes the journal. *)
+    Unix.kill daemon Sys.sigint;
+    let _, status = Unix.waitpid [] daemon in
+    check_b "daemon drained cleanly on SIGINT" true (status = Unix.WEXITED 0);
+    (* Byte-identical convergence, checked on the persisted state. *)
+    let canon dir =
+      let store = Result.get_ok (Node_store.load ~dir) in
+      V.Dag.to_string (V.Node.dag store.Node_store.node)
+    in
+    let daemon_dag = canon ca_dir in
+    check_i "daemon holds the full soak DAG" expect_blocks
+      (V.Dag.cardinal
+         (V.Node.dag
+            (Result.get_ok (Node_store.load ~dir:ca_dir)).Node_store.node));
+    List.iter
+      (fun dir ->
+        check_b (dir ^ " converged byte-identically") true
+          (String.equal daemon_dag (canon dir)))
+      client_dirs;
+    (* The SIGINT path flushed the daemon's buffered telemetry. *)
+    check_b "daemon journal flushed on shutdown" true
+      (Node_store.load_trace ~dir:ca_dir <> [])
+
 (* The /metrics endpoint end-to-end over a real loopback socket: the
    child plays Prometheus with raw HTTP; the parent answers one scrape
    and one bad target. *)
@@ -308,4 +531,6 @@ let () =
         ] );
       ( "metrics-server",
         [ Alcotest.test_case "GET /metrics over loopback" `Quick metrics_endpoint ] );
+      ( "daemon",
+        [ Alcotest.test_case "64-session soak" `Slow daemon_soak ] );
     ]

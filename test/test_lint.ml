@@ -102,6 +102,19 @@ let test_unordered_iteration () =
   check_silent ~rule:"no-unordered-iteration" "lib/cli/node_store.ml"
     "let f h = Hashtbl.iter (fun _ _ -> ()) h (* lint: allow \
      no-unordered-iteration \xe2\x80\x94 fixture *)";
+  (* The event-loop host schedules sessions and timers: a hash-order
+     traversal there would make the wire schedule nondeterministic. *)
+  check_fires "no-unordered-iteration" "lib/cli/event_loop.ml"
+    "let f h = Hashtbl.fold (fun _ v acc -> v :: acc) h []";
+  check_fires "no-unordered-iteration" "lib/cli/timer_wheel.ml"
+    "let f h = Hashtbl.to_seq h";
+  (* ...which is why the host iterates ordered maps instead. *)
+  check_silent ~rule:"no-unordered-iteration" "lib/cli/event_loop.ml"
+    "module M = Map.Make (Int)\n\
+     let f m = M.fold (fun _ v acc -> v :: acc) m []";
+  check_silent ~rule:"no-unordered-iteration" "lib/cli/event_loop.ml"
+    "let f h = Hashtbl.fold (fun _ v acc -> v :: acc) h [] (* lint: \
+     allow no-unordered-iteration \xe2\x80\x94 fixture *)";
   (* Ordered containers are always fine. *)
   check_silent "lib/net/metrics.ml" "let f m = SMap.fold (fun _ v a -> v + a) m 0"
 
@@ -172,6 +185,17 @@ let test_printf_outside_obs () =
   (* lib/engine console writes are engine-transport-purity's finding. *)
   check_silent ~rule:"no-printf-outside-obs" "lib/engine/peer_engine.ml"
     {|let f () = print_endline "dbg"|};
+  (* The event-loop host multiplexes sockets, not the console: session
+     telemetry goes through obs events, never stray prints. *)
+  check_fires "no-printf-outside-obs" "lib/cli/event_loop.ml"
+    {|let f () = print_endline "session done"|};
+  check_fires "no-printf-outside-obs" "lib/cli/event_loop.ml"
+    {|let f n = Printf.printf "%d active" n|};
+  check_silent ~rule:"no-printf-outside-obs" "lib/cli/event_loop.ml"
+    {|let f e = prerr_endline e|};
+  check_silent ~rule:"no-printf-outside-obs" "lib/cli/event_loop.ml"
+    "let f () = print_endline \"drained\" (* lint: allow \
+     no-printf-outside-obs \xe2\x80\x94 fixture *)";
   (* Executables own their stdout; the rule scopes to lib/*. *)
   check_silent ~rule:"no-printf-outside-obs" "bin/vegvisir_cli.ml"
     {|let f () = print_endline "ok"|};
