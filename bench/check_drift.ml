@@ -1,0 +1,115 @@
+(* Instrumentation-drift gate for @bench-check.
+
+   Usage: check_drift.exe SNAPSHOT.json FRESH.json
+
+   Both files are BENCH_obs.json-shaped (written by bench/main.exe).
+   For every guarded row present in BOTH files — the bus-emit cost and
+   each monitor/live-bus overhead leg — the fresh ns/op must not exceed
+   3x the tracked snapshot. Exceeding the gate exits 1 so the alias
+   fails; rows present on only one side are reported but never fatal
+   (new benchmarks land before their snapshot does). The 3x bound is
+   deliberately loose: it catches accidental O(n) regressions on the
+   hot emit path, not machine-to-machine noise. *)
+
+let tolerance = 3.0
+
+(* A row is guarded when a regression in it means the daemon's
+   always-on telemetry got slower: the raw bus fan-out and every
+   monitor/scoreboard-attached emit leg. *)
+let guarded name =
+  let has_suffix s suf =
+    let n = String.length s and m = String.length suf in
+    n >= m && String.equal (String.sub s (n - m) m) suf
+  in
+  has_suffix name "/bus-emit"
+  || has_suffix name "-monitor"
+  || has_suffix name "-live"
+  || has_suffix name "/scoreboard-observe"
+
+(* Minimal extraction of [("name", ns_per_op)] pairs from the snapshot
+   JSON: every result row is written on its own line as
+   [{"name": "...", "ns_per_op": N, ...}], so a line scan is enough —
+   no JSON parser dependency. *)
+let rows_of_file path =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         let find_sub needle =
+           let nh = String.length line and nn = String.length needle in
+           let rec scan i =
+             if i + nn > nh then None
+             else if String.equal (String.sub line i nn) needle then
+               Some (i + nn)
+             else scan (i + 1)
+           in
+           scan 0
+         in
+         match (find_sub "\"name\": \"", find_sub "\"ns_per_op\": ") with
+         | Some n0, Some v0 ->
+           let n1 = ref n0 in
+           while !n1 < String.length line && line.[!n1] <> '"' do incr n1 done;
+           let v1 = ref v0 in
+           while
+             !v1 < String.length line
+             && (match line.[!v1] with
+                | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+                | _ -> false)
+           do
+             incr v1
+           done;
+           Option.map
+             (fun ns -> (String.sub line n0 (!n1 - n0), ns))
+             (float_of_string_opt (String.sub line v0 (!v1 - v0)))
+         | _ -> None)
+
+let () =
+  (match Sys.argv with
+  | [| _; _; _ |] -> ()
+  | _ ->
+    prerr_endline "usage: check_drift.exe SNAPSHOT.json FRESH.json";
+    exit 2);
+  let snapshot = rows_of_file Sys.argv.(1) in
+  let fresh = rows_of_file Sys.argv.(2) in
+  if fresh = [] then begin
+    Printf.eprintf "check_drift: no rows in %s\n" Sys.argv.(2);
+    exit 2
+  end;
+  let failures = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (name, fresh_ns) ->
+      if guarded name then begin
+        match List.assoc_opt name snapshot with
+        | None ->
+          Printf.printf "  %-42s NEW (%.1f ns/op, no snapshot row)\n" name
+            fresh_ns
+        | Some snap_ns ->
+          incr checked;
+          let ratio = fresh_ns /. snap_ns in
+          let verdict =
+            if ratio > tolerance then begin
+              incr failures;
+              "REGRESSED"
+            end
+            else "ok"
+          in
+          Printf.printf "  %-42s %8.1f -> %8.1f ns/op  (%.2fx) %s\n" name
+            snap_ns fresh_ns ratio verdict
+      end)
+    fresh;
+  List.iter
+    (fun (name, _) ->
+      if guarded name && not (List.mem_assoc name fresh) then
+        Printf.printf "  %-42s MISSING from fresh run\n" name)
+    snapshot;
+  if !checked = 0 then begin
+    Printf.eprintf "check_drift: no guarded rows in common — wrong files?\n";
+    exit 2
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "check_drift: %d row(s) regressed beyond %.1fx the tracked snapshot\n"
+      !failures tolerance;
+    exit 1
+  end;
+  Printf.printf "check_drift: %d guarded row(s) within %.1fx of snapshot\n"
+    !checked tolerance

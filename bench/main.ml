@@ -13,7 +13,10 @@
    Usage:
      dune exec bench/main.exe                micro + quick experiments
      dune exec bench/main.exe -- micro       micro benchmarks only
-     dune exec bench/main.exe -- experiments quick experiment tables only *)
+     dune exec bench/main.exe -- experiments quick experiment tables only
+     dune exec bench/main.exe -- obs-micro   instrumentation rows only, to
+                                             BENCH_obs.fresh.json (the
+                                             @bench-check drift gate) *)
 
 open Bechamel
 open Toolkit
@@ -294,6 +297,68 @@ let health_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* M14-live-health: the daemon's live bus — monitor AND scoreboard
+   attached, as Event_loop.create wires it — vs the same null sink
+   baseline. The marginal cost of streaming health on every journaled
+   event, plus the direct scoreboard fold and the /health render.       *)
+
+let live_bus =
+  let bus = Obs.Bus.create () in
+  let monitor = Obs.Monitor.create ~nodes:[ "0" ] () in
+  let scoreboard = Obs.Scoreboard.create ~me:"0" () in
+  Obs.Bus.attach bus (Obs.Monitor.sink monitor);
+  Obs.Bus.attach bus (Obs.Scoreboard.sink scoreboard);
+  bus
+
+let obs_session_event =
+  Obs.Event.Session_completed
+    { node = "0"; peer = "1"; generation = 1; blocks = 4; duration_ms = 12.5 }
+
+let live_scoreboard = Obs.Scoreboard.create ~me:"0" ()
+
+(* Render fixtures: a monitor+scoreboard pair with a little state, so
+   the /health JSON legs measure formatting, not empty-struct printing. *)
+let render_monitor, render_scoreboard =
+  let m = Obs.Monitor.create ~nodes:[ "0"; "1" ] () in
+  let s = Obs.Scoreboard.create ~me:"0" () in
+  List.iteri
+    (fun i ev ->
+      let ts = float_of_int (i + 1) in
+      Obs.Monitor.observe m ~ts ev;
+      Obs.Scoreboard.observe s ~ts ev)
+    [
+      obs_block_event;
+      obs_session_event;
+      Obs.Event.Sync_completed { node = "0"; peer = "1"; pulled = 3; served = 1 };
+    ];
+  (m, s)
+
+let live_tests =
+  Test.make_grouped ~name:"M14-live-health"
+    [
+      Test.make ~name:"emit-net-live"
+        (stage (fun () ->
+             Obs.Bus.emit live_bus ~ts:(health_tick ()) obs_net_event));
+      Test.make ~name:"emit-session-null"
+        (stage (fun () ->
+             Obs.Bus.emit health_null_bus ~ts:(health_tick ()) obs_session_event));
+      Test.make ~name:"emit-session-live"
+        (stage (fun () ->
+             Obs.Bus.emit live_bus ~ts:(health_tick ()) obs_session_event));
+      Test.make ~name:"emit-block-live"
+        (stage (fun () ->
+             Obs.Bus.emit live_bus ~ts:(health_tick ()) obs_block_event));
+      Test.make ~name:"scoreboard-observe"
+        (stage (fun () ->
+             Obs.Scoreboard.observe live_scoreboard ~ts:(health_tick ())
+               obs_session_event));
+      Test.make ~name:"render-health-json"
+        (stage (fun () ->
+             ignore (Obs.Health.to_json render_monitor);
+             Obs.Scoreboard.to_json render_scoreboard));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* M9-dag: incremental DAG indices vs full-scan oracles (snapshotted to
    BENCH_dag.json). Fixtures are braided multi-creator DAGs at 5k and
    20k blocks; the naive legs recompute what the indices cache — the
@@ -469,12 +534,13 @@ let print_rows rows =
 
 (* The instrumentation-overhead snapshot tracked across PRs: ops/sec is
    derived from the OLS ns/run estimate, so no extra clock reads. *)
-let write_bench_obs rows =
-  let oc = open_out "BENCH_obs.json" in
+let write_bench_obs ?(file = "BENCH_obs.json") rows =
+  let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc "{\n  \"benchmark\": \"M8-obs+M10-health\",\n  \"results\": [";
+      output_string oc
+        "{\n  \"benchmark\": \"M8-obs+M10-health+M14-live-health\",\n  \"results\": [";
       List.iteri
         (fun i (name, ns, r2) ->
           if i > 0 then output_string oc ",";
@@ -485,7 +551,7 @@ let write_bench_obs rows =
             ns (1e9 /. ns) r2)
         rows;
       output_string oc "\n  ]\n}\n");
-  Printf.printf "  (snapshot written to BENCH_obs.json)\n"
+  Printf.printf "  (snapshot written to %s)\n" file
 
 (* The index-vs-oracle snapshot tracked across PRs. Speedups pair each
    indexed leg with its naive recomputation at the same DAG size. *)
@@ -719,10 +785,21 @@ let run_daemon_bench () =
       write_bench_net rows
   end
 
+(* The instrumentation rows alone, for the @bench-check drift gate: a
+   fresh measurement written next to (never over) the tracked snapshot,
+   which bench/check_drift.exe then diffs. *)
+let run_obs_micro () =
+  print_endline "== obs micro (ns per call, OLS estimate) ==";
+  let rows = estimate obs_tests @ estimate health_tests @ estimate live_tests in
+  print_rows rows;
+  write_bench_obs ~file:"BENCH_obs.fresh.json" rows
+
 let run_micro () =
   print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
   List.iter (fun test -> print_rows (estimate test)) tests;
-  let obs_rows = estimate obs_tests @ estimate health_tests in
+  let obs_rows =
+    estimate obs_tests @ estimate health_tests @ estimate live_tests
+  in
   print_rows obs_rows;
   write_bench_obs obs_rows;
   let dag_rows = estimate dag_tests in
@@ -740,6 +817,10 @@ let run_micro () =
 
 let () =
   let args = Array.to_list Sys.argv in
+  if List.mem "obs-micro" args then begin
+    run_obs_micro ();
+    exit 0
+  end;
   let micro_only = List.mem "micro" args in
   let experiments_only = List.mem "experiments" args in
   if not experiments_only then run_micro ();

@@ -286,9 +286,10 @@ let daemon_cmd =
     Arg.(
       value & opt (some int) None
       & info [ "anti-entropy-ms" ] ~docv:"MS"
-          ~doc:"Dial the configured $(b,--peer)s round-robin every MS \
-                milliseconds and run a full exchange (requires at least one \
-                $(b,--peer)).")
+          ~doc:"Every MS milliseconds, dial the configured $(b,--peer) the \
+                live scoreboard ranks most in need — most diverged, then \
+                longest unseen — and run a full exchange; unreachable peers \
+                back off exponentially (requires at least one $(b,--peer)).")
   in
   let peers =
     let endpoint =
@@ -306,7 +307,15 @@ let daemon_cmd =
           ~doc:"Stop accepting new peer connections while this many sessions \
                 are active (backpressure lives in the kernel accept queue).")
   in
-  let run dir listen metrics mode anti_entropy_ms peers budget =
+  let slow_ms =
+    Arg.(
+      value & opt float 100.
+      & info [ "slow-iteration-ms" ] ~docv:"MS"
+          ~doc:"Self-profiling threshold: loop iterations busier than this \
+                (poll wait excluded) bump the \
+                $(b,vegvisir_loop_slow_iterations) counter.")
+  in
+  let run dir listen metrics mode anti_entropy_ms peers budget slow_ms =
     let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
     (* One journal write per flush, not per event: the daemon multiplexes
        many sessions and saves (= flushes) on every completed exchange. *)
@@ -316,6 +325,7 @@ let daemon_cmd =
         Vegvisir_cli.Event_loop.default_config with
         Vegvisir_cli.Event_loop.mode;
         session_budget = budget;
+        slow_iteration_ms = slow_ms;
       }
     in
     let loop = Vegvisir_cli.Event_loop.create ~store:t ~config () in
@@ -335,16 +345,18 @@ let daemon_cmd =
         Vegvisir_cli.Event_loop.request_stop loop);
     Printf.printf "daemon: %s on 127.0.0.1:%d%s\n%!" dir pport
       (match mport with
-      | Some m -> Printf.sprintf ", metrics on http://127.0.0.1:%d/metrics" m
+      | Some m ->
+        Printf.sprintf ", metrics on http://127.0.0.1:%d/metrics, health on /health" m
       | None -> "");
     let result = Vegvisir_cli.Event_loop.run loop in
     Vegvisir_cli.Node_store.buffer_telemetry t false;
     or_die result;
     let st = Vegvisir_cli.Event_loop.stats loop in
     Printf.printf
-      "daemon: drained; %d session(s) completed, %d failed, %d block(s) \
-       delivered, %d scrape(s) answered\n"
+      "daemon: drained; %d session(s) completed, %d failed, %d dial \
+       failure(s), %d block(s) delivered, %d scrape(s) answered\n"
       st.Vegvisir_cli.Event_loop.completed st.Vegvisir_cli.Event_loop.failed
+      st.Vegvisir_cli.Event_loop.dial_failures
       st.Vegvisir_cli.Event_loop.delivered st.Vegvisir_cli.Event_loop.scrapes
   in
   Cmd.v
@@ -357,7 +369,7 @@ let daemon_cmd =
              exiting.")
     Term.(
       const run $ dir_arg $ listen $ metrics $ mode_arg $ anti_entropy_ms
-      $ peers $ budget)
+      $ peers $ budget $ slow_ms)
 
 let show_cmd =
   let run dir =
@@ -490,11 +502,64 @@ let health_cmd =
           ~doc:"Frontier-divergence sampling tick in trace milliseconds \
                 (default 1000).")
   in
-  let run dirs prometheus every =
-    if prometheus then print_string (render_prometheus ?every dirs ())
-    else begin
-      let _ctx, monitor = replay_health ?every dirs in
-      print_string (Vegvisir_obs.Health.report monitor)
+  let dirs_opt =
+    Arg.(
+      value & opt_all string []
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Node directory to replay; repeat to merge several nodes' \
+                telemetry. Required unless $(b,--connect) is given.")
+  in
+  let connect =
+    let endpoint =
+      Arg.conv (parse_endpoint, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p)
+    in
+    Arg.(
+      value & opt (some endpoint) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Poll a running daemon's metrics listener instead of replaying \
+                journals: fetch $(b,GET /health) — live scoreboard, streaming \
+                health fold, loop self-profile — or $(b,GET /metrics) with \
+                $(b,--prometheus), and print the body.")
+  in
+  let poll_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "poll-ms" ] ~docv:"MS"
+          ~doc:"Interval between polls in $(b,--connect) mode.")
+  in
+  let polls =
+    Arg.(
+      value & opt int 1
+      & info [ "polls" ] ~docv:"N"
+          ~doc:"How many times to poll in $(b,--connect) mode (0 = forever).")
+  in
+  let run dirs prometheus every connect poll_ms polls =
+    match connect with
+    | Some (host, port) ->
+      let path = if prometheus then "/metrics" else "/health" in
+      let rec go i =
+        let body = or_die (Vegvisir_cli.Http_probe.get ~host ~port ~path ()) in
+        print_string body;
+        if
+          String.length body = 0
+          || not (Char.equal body.[String.length body - 1] '\n')
+        then print_newline ();
+        flush stdout;
+        if polls = 0 || i < polls then begin
+          Unix.sleepf (float_of_int poll_ms /. 1000.);
+          go (i + 1)
+        end
+      in
+      go 1
+    | None -> begin
+      match dirs with
+      | [] -> or_die (Error "at least one --dir (or --connect) is required")
+      | _ :: _ ->
+        if prometheus then print_string (render_prometheus ?every dirs ())
+        else begin
+          let _ctx, monitor = replay_health ?every dirs in
+          print_string (Vegvisir_obs.Health.report monitor)
+        end
     end
   in
   Cmd.v
@@ -502,8 +567,10 @@ let health_cmd =
        ~doc:"Replay the directories' trace.jsonl telemetry through the \
              health monitor and print the derived metrics: frontier \
              divergence, convergence lag, gossip efficiency, witness \
-             quorum latency.")
-    Term.(const run $ dirs_arg $ prometheus $ every)
+             quorum latency. With $(b,--connect), poll a running daemon's \
+             $(b,/health) endpoint instead — per-peer scoreboard, streaming \
+             health fold, and event-loop self-profile, live.")
+    Term.(const run $ dirs_opt $ prometheus $ every $ connect $ poll_ms $ polls)
 
 let recover_cmd =
   let from =

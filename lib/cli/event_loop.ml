@@ -55,6 +55,9 @@ type config = {
   session_timeout_ms : float;
   idle_timeout_ms : float;  (* no bytes either way -> session failed *)
   drain_grace_ms : float;  (* shutdown: force-close stragglers after this *)
+  slow_iteration_ms : float;
+      (* self-profiling: iterations whose busy time (select wait
+         excluded) exceeds this bump loop.slow_iterations *)
 }
 
 let default_config =
@@ -66,7 +69,13 @@ let default_config =
     session_timeout_ms = 20_000.;
     idle_timeout_ms = 30_000.;
     drain_grace_ms = 5_000.;
+    slow_iteration_ms = 100.;
   }
+
+(* Sub-millisecond-to-half-second bounds for the per-phase loop
+   profiling histograms: most phases run in tens of microseconds; a
+   phase in the overflow slot is a stall worth investigating. *)
+let profile_buckets = [ 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500. ]
 
 (* Where a session is in the symmetric pull-then-serve exchange. The
    drain-to-close tail is [closing], not a phase: a finished session
@@ -132,6 +141,7 @@ type outcome = {
 type stats = {
   accepted : int;
   dialed : int;
+  dial_failures : int;
   completed : int;
   failed : int;
   active : int;
@@ -141,18 +151,35 @@ type stats = {
   served : int;
 }
 
+(* One configured anti-entropy peer, with its capped-exponential dial
+   backoff state. [ae_blocked_until] is a mono_ms deadline (0. = always
+   eligible); consecutive connect failures double the wait up to
+   2^6 = 64 anti-entropy periods, and one successful dial resets it. *)
+type ae_peer = {
+  ae_host : string;
+  ae_port : int;
+  ae_label : string;  (* "host:port" — the scoreboard row key *)
+  mutable ae_fails : int;
+  mutable ae_blocked_until : float;
+  ae_g_fails : Obs.Registry.gauge;
+}
+
 type anti_entropy = {
   every_ms : float;
-  peers : (string * int) array;
-  mutable next : int;
+  ae_peers : ae_peer array;
   dial_timeout_s : float;
 }
+
+let backoff_cap_doublings = 6
 
 type t = {
   store : Node_store.t option;
   config : config;
   ctx : Obs.Context.t;
   me : string;
+  monitor : Obs.Monitor.t;  (* live health fold over the journal bus *)
+  scoreboard : Obs.Scoreboard.t;  (* per-peer fold over the same bus *)
+  started_ms : float;  (* mono_ms at create, for the uptime gauge *)
   rdbuf : Bytes.t;  (* shared scratch for HTTP reads *)
   mutable wheel : tev Timer_wheel.t;
   mutable sessions : session IntMap.t;
@@ -172,20 +199,55 @@ type t = {
   mutable idle_armed : bool;
   mutable n_accepted : int;
   mutable n_dialed : int;
+  mutable n_dial_failures : int;
   mutable n_completed : int;
   mutable n_failed : int;
   mutable n_scrapes : int;
   mutable n_http_closed : int;
   mutable n_delivered : int;
   mutable n_served : int;
+  mutable dials_rev : string list;  (* last dialed labels, newest first *)
   c_accepted : Obs.Registry.counter;
   c_scrapes : Obs.Registry.counter;
   c_completed : Obs.Registry.counter;
   c_failed : Obs.Registry.counter;
+  c_dial_failures : Obs.Registry.counter;
   g_active : Obs.Registry.gauge;
+  g_uptime : Obs.Registry.gauge;
+  (* event-loop self-profiling: per-phase duration histograms and the
+     slow-iteration counter, all in the live registry *)
+  h_timer : Obs.Registry.histogram;
+  h_accept : Obs.Registry.histogram;
+  h_read : Obs.Registry.histogram;
+  h_engine : Obs.Registry.histogram;
+  h_write : Obs.Registry.histogram;
+  h_sweep : Obs.Registry.histogram;
+  c_slow : Obs.Registry.counter;
 }
 
+(* How many recent anti-entropy dial labels /health reports. *)
+let max_dial_log = 64
+
 let context t = t.ctx
+let monitor t = t.monitor
+let scoreboard t = t.scoreboard
+
+(* The live registry (daemon / loop / derived session counters) merged
+   with a per-call projection of the monitor and scoreboard folds
+   (health / peer metrics). The projection goes into a fresh registry
+   each time — Health.export and Scoreboard.export re-observe their
+   histograms wholesale, which must not accumulate into live metrics —
+   and the two sorted snapshots zip back into one canonical order. *)
+let reg_key_compare (((na, la), _) : (string * string) * Obs.Registry.value)
+    (((nb, lb), _) : (string * string) * Obs.Registry.value) =
+  match String.compare na nb with 0 -> String.compare la lb | c -> c
+
+let merged_snapshot t =
+  let live = Obs.Registry.snapshot (Obs.Context.registry t.ctx) in
+  let derived = Obs.Registry.create () in
+  Obs.Health.export t.monitor derived;
+  Obs.Scoreboard.export t.scoreboard derived;
+  List.merge reg_key_compare live (Obs.Registry.snapshot derived)
 
 let create ?store ?(config = default_config) () =
   let ctx = Obs.Context.create () in
@@ -193,12 +255,26 @@ let create ?store ?(config = default_config) () =
   let me =
     match store with Some st -> Node_store.node_name st | None -> "daemon"
   in
+  let monitor = Obs.Monitor.create ~nodes:[ me ] () in
+  let scoreboard = Obs.Scoreboard.create ~me () in
+  Obs.Context.attach ctx (Obs.Monitor.sink monitor);
+  Obs.Context.attach ctx (Obs.Scoreboard.sink scoreboard);
+  (* Constant-1 gauge whose node label carries the build string, so a
+     scrape can detect restarts-with-upgrade:
+     vegvisir_build_info{node="vegvisir/x.y.z"} 1 *)
+  Obs.Registry.set (Obs.Registry.gauge reg ~node:Version.string "build.info") 1.;
+  let hist name =
+    Obs.Registry.histogram reg ~buckets:profile_buckets name
+  in
   let t =
     {
       store;
       config;
       ctx;
       me;
+      monitor;
+      scoreboard;
+      started_ms = Unix_compat.mono_ms ();
       rdbuf = Bytes.create 65536;
       wheel = Timer_wheel.empty;
       sessions = IntMap.empty;
@@ -218,22 +294,31 @@ let create ?store ?(config = default_config) () =
       idle_armed = false;
       n_accepted = 0;
       n_dialed = 0;
+      n_dial_failures = 0;
       n_completed = 0;
       n_failed = 0;
       n_scrapes = 0;
       n_http_closed = 0;
       n_delivered = 0;
       n_served = 0;
+      dials_rev = [];
       c_accepted = Obs.Registry.counter reg "daemon.accepted";
       c_scrapes = Obs.Registry.counter reg "daemon.scrapes";
       c_completed = Obs.Registry.counter reg "daemon.sessions_completed";
       c_failed = Obs.Registry.counter reg "daemon.sessions_failed";
+      c_dial_failures = Obs.Registry.counter reg "daemon.dial_failures";
       g_active = Obs.Registry.gauge reg "daemon.sessions_active";
+      g_uptime = Obs.Registry.gauge reg "daemon.uptime_seconds";
+      h_timer = hist "loop.timer_ms";
+      h_accept = hist "loop.accept_ms";
+      h_read = hist "loop.read_ms";
+      h_engine = hist "loop.engine_step_ms";
+      h_write = hist "loop.write_ms";
+      h_sweep = hist "loop.sweep_ms";
+      c_slow = Obs.Registry.counter reg "loop.slow_iterations";
     }
   in
-  t.render <-
-    (fun () ->
-      Obs.Registry.to_prometheus (Obs.Registry.snapshot (Obs.Context.registry ctx)));
+  t.render <- (fun () -> Obs.Registry.to_prometheus (merged_snapshot t));
   t
 
 let set_render t render = t.render <- render
@@ -242,6 +327,7 @@ let stats t : stats =
   {
     accepted = t.n_accepted;
     dialed = t.n_dialed;
+    dial_failures = t.n_dial_failures;
     completed = t.n_completed;
     failed = t.n_failed;
     active = IntMap.cardinal t.sessions;
@@ -387,11 +473,11 @@ let apply_effect t s (eff : Peer_engine.effect_) =
           Obs.Event.Request_resent
             { node = t.me; peer = s.label; generation; attempt };
         ]
-    | Peer_engine.Session_completed { generation; blocks; _ } ->
+    | Peer_engine.Session_completed { generation; blocks; duration_ms; _ } ->
       journal t
         [
           Obs.Event.Session_completed
-            { node = t.me; peer = s.label; generation; blocks };
+            { node = t.me; peer = s.label; generation; blocks; duration_ms };
         ]
     | Peer_engine.Blocks_served { blocks; _ } ->
       journal t (List.map (fun h -> block_event t s Obs.Event.Sent h) blocks)
@@ -416,6 +502,7 @@ let step t s input =
     let now = Unix_compat.mono_ms () in
     let dag = Node.dag store.Node_store.node in
     let engine, effects = Peer_engine.handle s.engine ~now ~dag input in
+    Obs.Registry.observe t.h_engine (Unix_compat.mono_ms () -. now);
     s.engine <- engine;
     List.iter (apply_effect t s) effects;
     (match s.wakeup_timer with
@@ -728,18 +815,71 @@ let connect_exchange ?label ?timeout_s t ~host ~port () =
       adopt_outbound ?label t conn
   end
 
-(* {2 The /metrics HTTP side} *)
+(* {2 The /metrics and /health HTTP side} *)
 
-let http_response ~status ~body =
+let http_response ?(content_type = "text/plain; version=0.0.4; charset=utf-8")
+    ~status ~body () =
   String.concat "\r\n"
     [
       "HTTP/1.1 " ^ status;
-      "Content-Type: text/plain; version=0.0.4; charset=utf-8";
+      "Content-Type: " ^ content_type;
       "Content-Length: " ^ string_of_int (String.length body);
       "Connection: close";
       "";
       body;
     ]
+
+let dials t = List.rev t.dials_rev
+
+(* The GET /health body: node identity and uptime, the daemon counters
+   (with the recent anti-entropy dial order), the monitor's derived
+   health, the per-peer scoreboard, and the loop's self-profiling
+   section (every loop.* metric of the live registry). One JSON object,
+   composed from the byte-stable obs renderers. *)
+let health_body t =
+  let b = Buffer.create 2048 in
+  let add = Buffer.add_string b in
+  let int_field k v =
+    add ",\"" ; add k; add "\":"; add (string_of_int v)
+  in
+  add "{\"node\":";
+  add (Obs.Event.json_string t.me);
+  add ",\"build\":";
+  add (Obs.Event.json_string Version.string);
+  add ",\"uptime_s\":";
+  add (Obs.Event.json_float ((Unix_compat.mono_ms () -. t.started_ms) /. 1000.));
+  add ",\"daemon\":{\"accepted\":";
+  add (string_of_int t.n_accepted);
+  int_field "dialed" t.n_dialed;
+  int_field "dial_failures" t.n_dial_failures;
+  int_field "completed" t.n_completed;
+  int_field "failed" t.n_failed;
+  int_field "active" (IntMap.cardinal t.sessions);
+  int_field "scrapes" t.n_scrapes;
+  int_field "delivered" t.n_delivered;
+  int_field "served" t.n_served;
+  add ",\"dials\":[";
+  List.iteri
+    (fun i l ->
+      if i > 0 then add ",";
+      add (Obs.Event.json_string l))
+    (dials t);
+  add "]},\"health\":";
+  add (Obs.Health.to_json t.monitor);
+  add ",\"peers\":";
+  add (Obs.Scoreboard.to_json t.scoreboard);
+  add ",\"loop\":{\"slow_iterations\":";
+  add (string_of_int (Obs.Registry.counter_value t.c_slow));
+  add ",\"phases\":";
+  let loop_metrics =
+    List.filter
+      (fun (((name, _), _) : (string * string) * Obs.Registry.value) ->
+        String.length name > 5 && String.equal (String.sub name 0 5) "loop.")
+      (Obs.Registry.snapshot (Obs.Context.registry t.ctx))
+  in
+  add (Obs.Registry.render_json loop_metrics);
+  add "}}";
+  Buffer.contents b
 
 let parse_target head =
   match String.index_opt head '\r' with
@@ -754,6 +894,10 @@ let is_metrics target =
   String.equal target "/metrics"
   || String.length target > 8
      && String.equal (String.sub target 0 9) "/metrics?"
+
+let is_health target =
+  String.equal target "/health"
+  || String.length target > 7 && String.equal (String.sub target 0 8) "/health?"
 
 let contains_sub s sub =
   let n = String.length s and m = String.length sub in
@@ -792,16 +936,21 @@ let pump_http_read t h =
             match parse_target data with
             | Some ("GET", target) when is_metrics target ->
               h.is_scrape <- true;
-              http_response ~status:"200 OK" ~body:(t.render ())
-            | Some _ -> http_response ~status:"404 Not Found" ~body:"not found\n"
+              http_response ~status:"200 OK" ~body:(t.render ()) ()
+            | Some ("GET", target) when is_health target ->
+              h.is_scrape <- true;
+              http_response ~content_type:"application/json" ~status:"200 OK"
+                ~body:(health_body t) ()
+            | Some _ ->
+              http_response ~status:"404 Not Found" ~body:"not found\n" ()
             | None ->
-              http_response ~status:"400 Bad Request" ~body:"bad request\n"
+              http_response ~status:"400 Bad Request" ~body:"bad request\n" ()
           in
           h.resp <- Some resp
         end
         else if Buffer.length h.req > max_request_bytes then
           h.resp <-
-            Some (http_response ~status:"400 Bad Request" ~body:"bad request\n")
+            Some (http_response ~status:"400 Bad Request" ~body:"bad request\n" ())
         else go ()
     end
   in
@@ -923,14 +1072,81 @@ let accept_metrics t =
 (* {2 Timers} *)
 
 let set_anti_entropy ?(dial_timeout_s = 5.) t ~every_ms ~peers =
+  let reg = Obs.Context.registry t.ctx in
+  let mk (host, port) =
+    let label = host ^ ":" ^ string_of_int port in
+    {
+      ae_host = host;
+      ae_port = port;
+      ae_label = label;
+      ae_fails = 0;
+      ae_blocked_until = 0.;
+      ae_g_fails =
+        Obs.Registry.gauge reg ~node:label "daemon.dial_consecutive_failures";
+    }
+  in
   t.ae <-
-    Some { every_ms; peers = Array.of_list peers; next = 0; dial_timeout_s };
+    Some
+      { every_ms; ae_peers = Array.of_list (List.map mk peers); dial_timeout_s };
   let w, _id =
     Timer_wheel.schedule t.wheel
       ~at_ms:(Unix_compat.mono_ms () +. every_ms)
       Anti_entropy
   in
   t.wheel <- w
+
+let has_session_with t label =
+  IntMap.exists (fun _ s -> String.equal s.label label) t.sessions
+
+(* One anti-entropy round: order the configured peers by scoreboard
+   priority (most diverged, then longest unseen, label tie-break — see
+   Scoreboard.priority) and dial the first one that is neither inside
+   its failure-backoff window nor already mid-exchange with us. The
+   wheel stays clock-free: the host reads mono_ms and passes deadlines
+   in. *)
+let dial_next t ae =
+  if Array.length ae.ae_peers = 0 then ()
+  else begin
+    let now = Unix_compat.mono_ms () in
+    let peers = Array.to_list ae.ae_peers in
+    let order =
+      Obs.Scoreboard.priority t.scoreboard
+        (List.map (fun p -> p.ae_label) peers)
+    in
+    let eligible label =
+      match
+        List.find_opt (fun p -> String.equal p.ae_label label) peers
+      with
+      | None -> None
+      | Some p ->
+        if p.ae_blocked_until > now || has_session_with t p.ae_label then None
+        else Some p
+    in
+    match List.find_map eligible order with
+    | None -> ()  (* everyone backed off or mid-exchange; next round *)
+    | Some p ->
+      let log = p.ae_label :: t.dials_rev in
+      t.dials_rev <-
+        (if List.length log > max_dial_log then
+           List.filteri (fun i (_ : string) -> i < max_dial_log) log
+         else log);
+      (match
+         connect_exchange ~label:p.ae_label ~timeout_s:ae.dial_timeout_s t
+           ~host:p.ae_host ~port:p.ae_port ()
+       with
+      | Ok (_ : int) ->
+        p.ae_fails <- 0;
+        p.ae_blocked_until <- 0.;
+        Obs.Registry.set p.ae_g_fails 0.
+      | Error (_ : string) ->
+        p.ae_fails <- p.ae_fails + 1;
+        t.n_dial_failures <- t.n_dial_failures + 1;
+        Obs.Registry.incr t.c_dial_failures;
+        Obs.Registry.set p.ae_g_fails (float_of_int p.ae_fails);
+        let doublings = Int.min p.ae_fails backoff_cap_doublings in
+        p.ae_blocked_until <-
+          now +. (ae.every_ms *. Float.of_int (Int.shift_left 1 doublings)))
+  end
 
 let after t ~ms f =
   let w, _id =
@@ -992,18 +1208,8 @@ let fire t ev =
     | None -> ()
     | Some ae ->
       if not t.stop_requested then begin
-        (if
-           Array.length ae.peers > 0
-           && IntMap.cardinal t.sessions < t.config.session_budget
-         then begin
-           let host, port = ae.peers.(ae.next) in
-           ae.next <- (ae.next + 1) mod Array.length ae.peers;
-           match
-             connect_exchange ~timeout_s:ae.dial_timeout_s t ~host ~port ()
-           with
-           | Ok (_ : int) -> ()
-           | Error (_ : string) -> ()  (* dead peer; next round, next peer *)
-         end);
+        if IntMap.cardinal t.sessions < t.config.session_budget then
+          dial_next t ae;
         let w, _id =
           Timer_wheel.schedule t.wheel
             ~at_ms:(Unix_compat.mono_ms () +. ae.every_ms)
@@ -1012,7 +1218,10 @@ let fire t ev =
         t.wheel <- w
       end
   end
-  | Idle_sweep -> idle_sweep t
+  | Idle_sweep ->
+    let t0 = Unix_compat.mono_ms () in
+    idle_sweep t;
+    Obs.Registry.observe t.h_sweep (Unix_compat.mono_ms () -. t0)
   | Host f -> f ()
 
 (* {2 The loop} *)
@@ -1056,10 +1265,16 @@ let build_interest t =
   in
   (listeners, read, write)
 
+(* Each phase that did any work this iteration records its duration;
+   iterations whose total busy time (the select wait excluded) exceeds
+   config.slow_iteration_ms bump loop.slow_iterations. One extra
+   mono_ms read per active phase — noise next to the syscalls the
+   phases themselves make. *)
 let iterate t =
+  let iter_start = Unix_compat.mono_ms () in
   if t.stop_requested && not t.stop_initiated then begin
     t.stop_initiated <- true;
-    t.stop_deadline <- Unix_compat.mono_ms () +. t.config.drain_grace_ms;
+    t.stop_deadline <- iter_start +. t.config.drain_grace_ms;
     match t.peer_listener with
     | Some l ->
       t.peer_listener <- None;
@@ -1069,9 +1284,15 @@ let iterate t =
   if t.stop_initiated && Unix_compat.mono_ms () > t.stop_deadline then
     IntMap.iter (fun _ s -> fail_session t s "shutdown") t.sessions;
   let now = Unix_compat.mono_ms () in
+  Obs.Registry.set t.g_uptime ((now -. t.started_ms) /. 1000.);
   let due, wheel = Timer_wheel.expired t.wheel ~now_ms:now in
   t.wheel <- wheel;
-  List.iter (fun ((_ : Timer_wheel.id), ev) -> fire t ev) due;
+  (match due with
+  | [] -> ()
+  | due ->
+    let t0 = Unix_compat.mono_ms () in
+    List.iter (fun ((_ : Timer_wheel.id), ev) -> fire t ev) due;
+    Obs.Registry.observe t.h_timer (Unix_compat.mono_ms () -. t0));
   reap t;
   let listeners, read, write = build_interest t in
   let timeout_s =
@@ -1081,50 +1302,69 @@ let iterate t =
     | Some at ->
       Float.min cap (Float.max 0. ((at -. Unix_compat.mono_ms ()) /. 1000.))
   in
+  let select_start = Unix_compat.mono_ms () in
   match Unix_compat.wait_ready ~listeners ~read ~write ~timeout_s with
   | Error e -> t.fatal <- Some e
   | Ok ready ->
-    List.iter
-      (fun l ->
-        let lid = Unix_compat.listener_id l in
-        (match t.peer_listener with
-        | Some pl when Unix_compat.listener_id pl = lid -> accept_peers t
-        | Some _ | None -> ());
-        match t.metrics_listener with
-        | Some ml when Unix_compat.listener_id ml = lid -> accept_metrics t
-        | Some _ | None -> ())
-      ready.Unix_compat.accept_ready;
-    List.iter
-      (fun c ->
-        match IntMap.find_opt (Unix_compat.conn_id c) t.by_fd with
-        | Some (Session_fd sid) -> begin
-          match IntMap.find_opt sid t.sessions with
-          | Some s -> pump_read t s
-          | None -> ()
-        end
-        | Some (Http_fd hid) -> begin
-          match IntMap.find_opt hid t.https with
-          | Some h -> pump_http_read t h
-          | None -> ()
-        end
-        | None -> ())
-      ready.Unix_compat.read_ready;
-    List.iter
-      (fun c ->
-        match IntMap.find_opt (Unix_compat.conn_id c) t.by_fd with
-        | Some (Session_fd sid) -> begin
-          match IntMap.find_opt sid t.sessions with
-          | Some s -> pump_write t s
-          | None -> ()
-        end
-        | Some (Http_fd hid) -> begin
-          match IntMap.find_opt hid t.https with
-          | Some h -> pump_http_write t h
-          | None -> ()
-        end
-        | None -> ())
-      ready.Unix_compat.write_ready;
-    reap t
+    let select_ms = Unix_compat.mono_ms () -. select_start in
+    (match ready.Unix_compat.accept_ready with
+    | [] -> ()
+    | accepts ->
+      let t0 = Unix_compat.mono_ms () in
+      List.iter
+        (fun l ->
+          let lid = Unix_compat.listener_id l in
+          (match t.peer_listener with
+          | Some pl when Unix_compat.listener_id pl = lid -> accept_peers t
+          | Some _ | None -> ());
+          match t.metrics_listener with
+          | Some ml when Unix_compat.listener_id ml = lid -> accept_metrics t
+          | Some _ | None -> ())
+        accepts;
+      Obs.Registry.observe t.h_accept (Unix_compat.mono_ms () -. t0));
+    (match ready.Unix_compat.read_ready with
+    | [] -> ()
+    | reads ->
+      let t0 = Unix_compat.mono_ms () in
+      List.iter
+        (fun c ->
+          match IntMap.find_opt (Unix_compat.conn_id c) t.by_fd with
+          | Some (Session_fd sid) -> begin
+            match IntMap.find_opt sid t.sessions with
+            | Some s -> pump_read t s
+            | None -> ()
+          end
+          | Some (Http_fd hid) -> begin
+            match IntMap.find_opt hid t.https with
+            | Some h -> pump_http_read t h
+            | None -> ()
+          end
+          | None -> ())
+        reads;
+      Obs.Registry.observe t.h_read (Unix_compat.mono_ms () -. t0));
+    (match ready.Unix_compat.write_ready with
+    | [] -> ()
+    | writes ->
+      let t0 = Unix_compat.mono_ms () in
+      List.iter
+        (fun c ->
+          match IntMap.find_opt (Unix_compat.conn_id c) t.by_fd with
+          | Some (Session_fd sid) -> begin
+            match IntMap.find_opt sid t.sessions with
+            | Some s -> pump_write t s
+            | None -> ()
+          end
+          | Some (Http_fd hid) -> begin
+            match IntMap.find_opt hid t.https with
+            | Some h -> pump_http_write t h
+            | None -> ()
+          end
+          | None -> ())
+        writes;
+      Obs.Registry.observe t.h_write (Unix_compat.mono_ms () -. t0));
+    reap t;
+    let busy_ms = Unix_compat.mono_ms () -. iter_start -. select_ms in
+    if busy_ms > t.config.slow_iteration_ms then Obs.Registry.incr t.c_slow
 
 let request_stop t = t.stop_requested <- true
 

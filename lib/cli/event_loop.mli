@@ -34,12 +34,16 @@ type config = {
   drain_grace_ms : float;
       (** graceful shutdown: sessions still open this long after
           {!request_stop} are force-closed *)
+  slow_iteration_ms : float;
+      (** self-profiling threshold: iterations whose busy time (the
+          select wait excluded) exceeds this bump the
+          [loop.slow_iterations] counter *)
 }
 
 val default_config : config
 (** [`Naive] mode, 128-session budget, 8 MiB outbound budget, 2 s stale
     / 20 s session timeouts (as {!Live_sync}), 30 s idle timeout, 5 s
-    drain grace. *)
+    drain grace, 100 ms slow-iteration threshold. *)
 
 val create : ?store:Node_store.t -> ?config:config -> unit -> t
 
@@ -47,9 +51,26 @@ val context : t -> Vegvisir_obs.Context.t
 (** The loop's live observability context: every journaled session or
     block event is also emitted here, and the loop maintains
     [daemon.accepted] / [daemon.scrapes] / [daemon.sessions_completed] /
-    [daemon.sessions_failed] counters and a [daemon.sessions_active]
-    gauge in its registry. The default [/metrics] rendering is the
-    Prometheus exposition of this registry. *)
+    [daemon.sessions_failed] / [daemon.dial_failures] counters, the
+    [daemon.sessions_active] / [daemon.uptime_seconds] gauges, a
+    constant [build.info] gauge whose node label is {!Version.string},
+    and the [loop.*] self-profiling metrics (per-phase
+    accept/read/engine-step/write/timer/sweep duration histograms and
+    the [loop.slow_iterations] counter, threshold
+    [config.slow_iteration_ms]). The default [/metrics] rendering is
+    the Prometheus exposition of this registry merged with a live
+    projection of {!monitor} ([health.*]) and {!scoreboard}
+    ([peer.*]). *)
+
+val monitor : t -> Vegvisir_obs.Monitor.t
+(** The streaming health fold attached to the loop's bus: every
+    journaled event updates it as it happens, so [/health] and
+    [/metrics] reflect sessions mid-run, not on the next replay. *)
+
+val scoreboard : t -> Vegvisir_obs.Scoreboard.t
+(** The per-peer scoreboard fold attached to the same bus. Anti-entropy
+    sessions are labelled ["host:port"], so configured peers' rows are
+    keyed by their dial address. *)
 
 (** {1 Wiring} *)
 
@@ -97,9 +118,28 @@ val connect_exchange :
 
 val set_anti_entropy :
   ?dial_timeout_s:float -> t -> every_ms:float -> peers:(string * int) list -> unit
-(** Every [every_ms], dial the next configured peer round-robin and run
-    a full exchange with it (skipped while at the session budget or
-    stopping; dial failures move on to the next peer). *)
+(** Every [every_ms], dial one configured peer and run a full exchange
+    with it (skipped entirely while at the session budget or stopping).
+    The peer is chosen by {!Vegvisir_obs.Scoreboard.priority} over the
+    live {!scoreboard}: most diverged first, then longest unseen,
+    deterministic label tie-break — skipping peers that are already
+    mid-exchange with us or inside their dial-failure backoff window.
+    Consecutive connect failures back a peer off exponentially (2, 4,
+    … up to 64 periods), tracked per peer in the
+    [daemon.dial_consecutive_failures] gauge and globally in the
+    [daemon.dial_failures] counter; one successful dial resets it. *)
+
+val dials : t -> string list
+(** The labels of the most recent anti-entropy dial attempts (successful
+    or not), oldest first, capped at the last 64 — also reported in the
+    [/health] body's ["dials"] array so tests and operators can audit
+    the scheduler's priority order. *)
+
+val health_body : t -> string
+(** The [GET /health] JSON body: node identity, build, uptime, daemon
+    counters (including {!dials}), {!Vegvisir_obs.Health.to_json} of
+    {!monitor}, {!Vegvisir_obs.Scoreboard.to_json} of {!scoreboard},
+    and the [loop.*] self-profiling metrics. *)
 
 val after : t -> ms:float -> (unit -> unit) -> unit
 (** Run [f] on the loop after [ms] milliseconds — the host-closure hook
@@ -111,6 +151,7 @@ val after : t -> ms:float -> (unit -> unit) -> unit
 type stats = {
   accepted : int;  (** peer conns accepted *)
   dialed : int;  (** outbound exchanges attempted *)
+  dial_failures : int;  (** anti-entropy connects that failed *)
   completed : int;  (** sessions finished cleanly *)
   failed : int;  (** sessions aborted, timed out, or errored *)
   active : int;  (** sessions currently open *)

@@ -276,6 +276,37 @@ let recv_until ?(timeout_s = 30.) fd ~delim ~max_bytes =
   in
   go ()
 
+let recv_all ?(timeout_s = 30.) fd ~max_bytes =
+  let deadline = now () +. timeout_s in
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    if Buffer.length buf > max_bytes then Error "recv_all: response too large"
+    else begin
+      let remaining = deadline -. now () in
+      if remaining <= 0. then Error "recv_all: timed out"
+      else begin
+        match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> Error "recv_all: timed out"
+        | _ :: _, _, _ -> begin
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Ok (Buffer.contents buf)
+          | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            go ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            go ()
+          | exception Unix.Unix_error (e, fn, _) ->
+            Error (fn ^ ": " ^ Unix.error_message e)
+        end
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      end
+    end
+  in
+  go ()
+
 (* ------------------------------------------------------------------ *)
 (* Non-blocking primitives — the event-loop host's substrate. A conn is
    switched to non-blocking once ([set_nonblocking]) and then pumped by

@@ -91,6 +91,13 @@ val recv_until :
     mid-request.
     @raise Invalid_argument on an empty delimiter. *)
 
+val recv_all :
+  ?timeout_s:float -> conn -> max_bytes:int -> (string, string) result
+(** Read until the peer closes the connection and return everything
+    received — the shape of a [Connection: close] HTTP response, which
+    is what {!Http_probe} consumes. [Error] on timeout (default 30 s,
+    covering the whole read, not each chunk) or oversize input. *)
+
 val close_conn : conn -> unit
 val close_listener : listener -> unit
 

@@ -1,0 +1,5 @@
+(* Single source of truth for the build identity the daemon reports
+   (the vegvisir_build_info gauge and the /health "build" field), so a
+   scrape can tell a restart-with-upgrade from a plain restart. *)
+
+let string = "vegvisir/0.8.0"

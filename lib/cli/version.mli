@@ -1,0 +1,4 @@
+(** Build identity reported by the daemon ([vegvisir_build_info],
+    [/health]'s ["build"] field). *)
+
+val string : string

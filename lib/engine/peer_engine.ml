@@ -32,7 +32,12 @@ type abort_reason = Stalled | Timed_out
 type event =
   | Session_started of { dst : int; generation : int }
   | Request_resent of { dst : int; generation : int; attempt : int }
-  | Session_completed of { dst : int; generation : int; blocks : int }
+  | Session_completed of {
+      dst : int;
+      generation : int;
+      blocks : int;
+      duration_ms : float;
+    }
   | Session_aborted of { dst : int; generation : int; reason : abort_reason }
   | Request_suppressed of { src : int }
   | Reply_ignored of { from : int }
@@ -52,6 +57,7 @@ type session_state = {
   generation : int;
   recon : Reconcile.session;
   last_activity : float;
+  started_at : float;
 }
 
 type t = {
@@ -172,7 +178,9 @@ let tick t ~now ~dag ~peer =
   | None, (Honest | Withholding), Some dst ->
     let recon, first = Reconcile.start t.mode dag in
     let generation = t.generation_ + 1 in
-    let session = Some { dst; generation; recon; last_activity = now } in
+    let session =
+      Some { dst; generation; recon; last_activity = now; started_at = now }
+    in
     ( { t with session; generation_ = generation },
       housekeeping
       @ [
@@ -239,6 +247,7 @@ let on_reply t ~now ~dag ~from msg =
                      dst = from;
                      generation = s.generation;
                      blocks = List.length new_blocks;
+                     duration_ms = Float.max 0. (now -. s.started_at);
                    });
             ] )
     end
@@ -299,6 +308,7 @@ let event_equal a b =
     Int.equal a.dst b.dst
     && Int.equal a.generation b.generation
     && Int.equal a.blocks b.blocks
+    && Float.equal a.duration_ms b.duration_ms
   | Session_aborted a, Session_aborted b ->
     Int.equal a.dst b.dst
     && Int.equal a.generation b.generation
@@ -336,8 +346,9 @@ let pp_event ppf = function
     Fmt.pf ppf "session-started(dst=%d gen=%d)" dst generation
   | Request_resent { dst; generation; attempt } ->
     Fmt.pf ppf "request-resent(dst=%d gen=%d attempt=%d)" dst generation attempt
-  | Session_completed { dst; generation; blocks } ->
-    Fmt.pf ppf "session-completed(dst=%d gen=%d blocks=%d)" dst generation blocks
+  | Session_completed { dst; generation; blocks; duration_ms } ->
+    Fmt.pf ppf "session-completed(dst=%d gen=%d blocks=%d dur=%.0fms)" dst
+      generation blocks duration_ms
   | Session_aborted { dst; generation; reason } ->
     Fmt.pf ppf "session-aborted(dst=%d gen=%d %a)" dst generation pp_abort_reason
       reason

@@ -77,7 +77,15 @@ type abort_reason =
 type event =
   | Session_started of { dst : int; generation : int }
   | Request_resent of { dst : int; generation : int; attempt : int }
-  | Session_completed of { dst : int; generation : int; blocks : int }
+  | Session_completed of {
+      dst : int;
+      generation : int;
+      blocks : int;
+      duration_ms : float;
+    }
+      (** [duration_ms] is the elapsed engine-clock time since this
+          session's [Session_started] — the per-peer exchange-latency
+          attribution the health scoreboard feeds on *)
   | Session_aborted of { dst : int; generation : int; reason : abort_reason }
   | Request_suppressed of { src : int }
       (** a [Silent] peer swallowed a request it could have answered *)

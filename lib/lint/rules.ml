@@ -228,6 +228,7 @@ let check ~path structure =
     && not engine_on
     || path_eq lp [ "lib"; "obs"; "monitor.ml" ]
     || path_eq lp [ "lib"; "obs"; "health.ml" ]
+    || path_eq lp [ "lib"; "obs"; "scoreboard.ml" ]
   in
   let partial_on = has_prefix [ "lib" ] lp in
   let full_scan_on =

@@ -197,10 +197,16 @@ let apply_effect t i ~src (eff : Peer_engine.effect_) =
       emit t
         (Obs.Event.Request_resent
            { node = node_name i; peer = node_name dst; generation; attempt })
-    | Peer_engine.Session_completed { dst; generation; blocks } ->
+    | Peer_engine.Session_completed { dst; generation; blocks; duration_ms } ->
       emit t
         (Obs.Event.Session_completed
-           { node = node_name i; peer = node_name dst; generation; blocks })
+           {
+             node = node_name i;
+             peer = node_name dst;
+             generation;
+             blocks;
+             duration_ms;
+           })
     | Peer_engine.Session_aborted { dst; generation; reason } ->
       emit t
         (Obs.Event.Session_aborted

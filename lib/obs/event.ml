@@ -27,6 +27,7 @@ type t =
       peer : node;
       generation : int;
       blocks : int;
+      duration_ms : float;
     }
   | Session_aborted of {
       node : node;
@@ -205,6 +206,7 @@ let equal a b =
     String.equal a.node b.node && String.equal a.peer b.peer
     && Int.equal a.generation b.generation
     && Int.equal a.blocks b.blocks
+    && Float.equal a.duration_ms b.duration_ms
   | Session_aborted a, Session_aborted b ->
     String.equal a.node b.node && String.equal a.peer b.peer
     && Int.equal a.generation b.generation
@@ -272,7 +274,7 @@ let json_string s =
   Buffer.add_char b '"';
   Buffer.contents b
 
-type field = S of string | I of int
+type field = S of string | I of int | F of float
 
 let fields = function
   | Block { node; phase = _; block; peer } ->
@@ -295,12 +297,13 @@ let fields = function
     ]
   | Session_started { node; peer; generation } ->
     [ ("node", S node); ("peer", S peer); ("gen", I generation) ]
-  | Session_completed { node; peer; generation; blocks } ->
+  | Session_completed { node; peer; generation; blocks; duration_ms } ->
     [
       ("node", S node);
       ("peer", S peer);
       ("gen", I generation);
       ("blocks", I blocks);
+      ("dur_ms", F duration_ms);
     ]
   | Session_aborted { node; peer; generation; reason } ->
     [
@@ -350,7 +353,10 @@ let to_json ~ts ev =
       Buffer.add_string b (json_string k);
       Buffer.add_char b ':';
       Buffer.add_string b
-        (match v with S s -> json_string s | I i -> string_of_int i))
+        (match v with
+        | S s -> json_string s
+        | I i -> string_of_int i
+        | F f -> json_float f))
     (fields ev);
   Buffer.add_char b '}';
   Buffer.contents b
@@ -478,6 +484,11 @@ let int_field k assoc =
   | Some i -> i
   | None -> raise (Bad ("non-integer field " ^ k))
 
+let float_field k assoc =
+  match float_of_string_opt (field k assoc) with
+  | Some f -> f
+  | None -> raise (Bad ("non-numeric field " ^ k))
+
 let hash_field k assoc =
   match Hash_id.of_hex (field k assoc) with
   | Some h -> h
@@ -556,6 +567,7 @@ let decode assoc =
           peer = peer ();
           generation = int_field "gen" assoc;
           blocks = int_field "blocks" assoc;
+          duration_ms = float_field "dur_ms" assoc;
         }
     | "session", "aborted" ->
       let reason =
@@ -622,5 +634,6 @@ let pp ppf ev =
     (fun (k, v) ->
       match v with
       | S s -> Fmt.pf ppf " %s=%s" k s
-      | I i -> Fmt.pf ppf " %s=%d" k i)
+      | I i -> Fmt.pf ppf " %s=%d" k i
+      | F f -> Fmt.pf ppf " %s=%s" k (json_float f))
     (fields ev)

@@ -58,6 +58,9 @@ type t =
       peer : node;
       generation : int;
       blocks : int;
+      duration_ms : float;
+          (** elapsed driver-clock time from this session's
+              [Session_started] — per-peer exchange-latency attribution *)
     }
   | Session_aborted of {
       node : node;

@@ -105,6 +105,44 @@ let report m =
     samples;
   Buffer.contents b
 
+(* JSON object form of the same state, for the daemon's /health endpoint.
+   Same byte-stability contract as [report]. *)
+let to_json m =
+  let b = Buffer.create 256 in
+  let opt = function None -> "null" | Some v -> fms v in
+  let lags = Monitor.lags m in
+  let qlats = Monitor.quorum_latencies m in
+  Buffer.add_string b "{\"converged\":";
+  Buffer.add_string b (if Monitor.converged m then "true" else "false");
+  Buffer.add_string b ",\"lagging\":";
+  Buffer.add_string b (string_of_int (Monitor.lagging m));
+  Buffer.add_string b ",\"partition_changes\":";
+  Buffer.add_string b (string_of_int (Monitor.partition_changes m));
+  Buffer.add_string b ",\"gossip\":{\"useful\":";
+  Buffer.add_string b (string_of_int (Monitor.gossip_useful m));
+  Buffer.add_string b ",\"redundant\":";
+  Buffer.add_string b (string_of_int (Monitor.gossip_redundant m));
+  Buffer.add_string b ",\"efficiency\":";
+  Buffer.add_string b (opt (efficiency m));
+  Buffer.add_string b "},\"lag_ms\":{\"count\":";
+  Buffer.add_string b (string_of_int (List.length lags));
+  Buffer.add_string b ",\"last\":";
+  Buffer.add_string b (opt (Monitor.last_lag m));
+  Buffer.add_string b ",\"mean\":";
+  Buffer.add_string b (opt (mean lags));
+  Buffer.add_string b ",\"max\":";
+  Buffer.add_string b (opt (maximum lags));
+  Buffer.add_string b "},\"witness\":{\"quorum\":";
+  Buffer.add_string b (string_of_int (Monitor.quorum m));
+  Buffer.add_string b ",\"count\":";
+  Buffer.add_string b (string_of_int (List.length qlats));
+  Buffer.add_string b ",\"mean_ms\":";
+  Buffer.add_string b (opt (mean qlats));
+  Buffer.add_string b ",\"max_ms\":";
+  Buffer.add_string b (opt (maximum qlats));
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
 let export m reg =
   let set name v = Registry.set (Registry.gauge reg name) v in
   set "health.converged" (if Monitor.converged m then 1. else 0.);

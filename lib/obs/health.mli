@@ -12,6 +12,11 @@ val report : Monitor.t -> string
     {!Event.json_float}. Two same-seed runs — or two replays of copied
     journals — render identically. *)
 
+val to_json : Monitor.t -> string
+(** The same state as a byte-stable JSON object
+    ([{"converged":…,"gossip":…,"lag_ms":…,"witness":…}]) — the
+    [health] section of the daemon's [GET /health] body. *)
+
 val export : Monitor.t -> Registry.t -> unit
 (** Project the monitor into [health.*] gauges (convergence, lag,
     gossip efficiency, per-group divergence labelled by group id) and

@@ -66,5 +66,6 @@
 ; uses only ordered maps, and the engine beneath it sits inside the
 ; engine boundary.)
 (boundary event-loop-host
-  (scope lib/cli/event_loop.ml lib/cli/live_sync.ml lib/cli/metrics_server.ml)
+  (scope lib/cli/event_loop.ml lib/cli/live_sync.ml lib/cli/metrics_server.ml
+         lib/cli/http_probe.ml)
   (forbid random))

@@ -465,6 +465,310 @@ let daemon_soak () =
     check_b "daemon journal flushed on shutdown" true
       (Node_store.load_trace ~dir:ca_dir <> [])
 
+(* Live in-daemon health: a three-daemon fleet where A runs anti-entropy
+   against B and C, while the parent polls A's /health endpoint mid-run.
+   Asserts the streaming scoreboard end-to-end: per-peer rows appear for
+   every configured peer, divergence falls back to 0 once the fleet has
+   converged, the loop self-profile and build/uptime gauges are exposed,
+   and the scoreboard-driven dial order is reproducible across two
+   identically-seeded runs (modulo ephemeral ports, normalised away by
+   mapping dial labels to their rank in sorted-label order). *)
+
+let read_line_fd fd =
+  let buf = Buffer.create 16 and b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> ()
+    | _ -> if Bytes.get b 0 = '\n' then () else begin
+        Buffer.add_bytes buf b; go ()
+      end
+  in
+  go ();
+  Buffer.contents buf
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* The ["dials"] array of a /health body, as label strings. *)
+let dials_of_health body =
+  let key = "\"dials\":[" in
+  let n = String.length body and m = String.length key in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub body i m = key then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some start ->
+    let stop = ref start in
+    while !stop < n && body.[!stop] <> ']' do incr stop done;
+    let inner = String.sub body start (!stop - start) in
+    if String.equal inner "" then []
+    else
+      String.split_on_char ',' inner
+      |> List.map (fun s ->
+             match String.split_on_char '"' s with
+             | [ _; label; _ ] -> label
+             | _ -> Alcotest.failf "unparseable dial entry %S" s)
+
+(* One fleet run: fork B and C as plain serving daemons, fork A with
+   anti-entropy pointed at both plus a metrics listener, then poll
+   /health until both peer rows report divergence 0 and at least
+   [want_dials] dials are on record. Returns (peer labels of B and C,
+   the final health body, the /metrics exposition, the dial log). *)
+let run_live_fleet ~tag ~want_dials =
+  let ca =
+    Result.get_ok
+      (Node_store.init ~dir:(fresh_dir (tag ^ "-ca")) ~seed:"live-ca-seed"
+         ~height:6
+         ~init_crdts:
+           [ ("log", Vegvisir_crdt.Schema.spec Vegvisir_crdt.Schema.Gset
+                Value.T_string) ]
+         ())
+  in
+  let ca_dir = ca.Node_store.dir in
+  (* B and C each hold a block A lacks, so A's scoreboard sees real
+     divergence close during the run. *)
+  let peer_dirs =
+    List.map
+      (fun name ->
+        let dir = fresh_dir (tag ^ "-" ^ name) in
+        let store = Result.get_ok (Node_store.enroll ~ca_dir ~dir
+            ~seed:("live-" ^ name ^ "-seed") ~height:4 ~role:"member" ()) in
+        let _ = Result.get_ok (Node_store.append store ~crdt:"log" ~op:"add"
+            [ Value.String ("from-" ^ name) ]) in
+        dir)
+      [ "b"; "c" ]
+  in
+  let spawn_peer dir =
+    let pr, pw = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.close pr;
+      let rc =
+        match Node_store.load ~dir with
+        | Error _ -> 1
+        | Ok store ->
+          Node_store.buffer_telemetry store true;
+          let loop = Event_loop.create ~store () in
+          (match Event_loop.listen_peers loop ~port:0 () with
+          | Ok port ->
+            Unix_compat.install_stop_handler (fun () ->
+                Event_loop.request_stop loop);
+            let msg = Printf.sprintf "%d\n" port in
+            ignore (Unix.write_substring pw msg 0 (String.length msg));
+            Unix.close pw;
+            (match Event_loop.run loop with Ok () -> 0 | Error _ -> 1)
+          | Error _ -> 1)
+      in
+      Unix._exit rc
+    | pid ->
+      Unix.close pw;
+      let port = int_of_string (read_line_fd pr) in
+      Unix.close pr;
+      (pid, port)
+  in
+  let peers = List.map spawn_peer peer_dirs in
+  let labels =
+    List.map (fun (_, port) -> Printf.sprintf "127.0.0.1:%d" port) peers
+  in
+  let pr, pw = Unix.pipe () in
+  let a_pid =
+    match Unix.fork () with
+    | 0 ->
+      Unix.close pr;
+      let rc =
+        match Node_store.load ~dir:ca_dir with
+        | Error _ -> 1
+        | Ok store ->
+          Node_store.buffer_telemetry store true;
+          let loop = Event_loop.create ~store () in
+          (match
+             ( Event_loop.listen_peers loop ~port:0 (),
+               Event_loop.listen_metrics loop ~port:0 () )
+           with
+          | Ok _, Ok mport ->
+            Event_loop.set_anti_entropy loop ~every_ms:50.
+              ~peers:(List.map (fun (_, p) -> ("127.0.0.1", p)) peers);
+            Unix_compat.install_stop_handler (fun () ->
+                Event_loop.request_stop loop);
+            let msg = Printf.sprintf "%d\n" mport in
+            ignore (Unix.write_substring pw msg 0 (String.length msg));
+            Unix.close pw;
+            (match Event_loop.run loop with Ok () -> 0 | Error _ -> 1)
+          | _ -> 1)
+      in
+      Unix._exit rc
+    | pid -> pid
+  in
+  Unix.close pw;
+  let mport = int_of_string (read_line_fd pr) in
+  Unix.close pr;
+  let get path =
+    match
+      Http_probe.get ~timeout_s:5. ~host:"127.0.0.1" ~port:mport ~path ()
+    with
+    | Ok body -> body
+    | Error e -> Alcotest.failf "GET %s failed: %s" path e
+  in
+  let settled body =
+    List.for_all
+      (fun l ->
+        contains body (Printf.sprintf {|{"peer":"%s","divergence":0|} l))
+      labels
+    && List.length (dials_of_health body) >= want_dials
+  in
+  let deadline = Unix_compat.now () +. 30. in
+  let rec poll () =
+    let body = get "/health" in
+    if settled body then body
+    else if Unix_compat.now () > deadline then
+      Alcotest.failf "fleet never settled; last /health: %s" body
+    else begin
+      Unix.sleepf 0.05;
+      poll ()
+    end
+  in
+  let health = poll () in
+  let metrics = get "/metrics" in
+  List.iter (fun pid -> Unix.kill pid Sys.sigint) (a_pid :: List.map fst peers);
+  List.iter
+    (fun pid ->
+      let _, status = Unix.waitpid [] pid in
+      check_b "daemon drained cleanly" true (status = Unix.WEXITED 0))
+    (a_pid :: List.map fst peers);
+  (labels, health, metrics, dials_of_health health)
+
+let live_health_soak () =
+  let n_dials = 5 in
+  let labels, health, metrics, dials =
+    run_live_fleet ~tag:"live1" ~want_dials:n_dials
+  in
+  (* Every configured peer has a live scoreboard row (already divergence
+     0 by the poll condition); the body carries the health fold, the
+     loop self-profile, and the daemon identity. *)
+  List.iter
+    (fun l ->
+      check_b (l ^ " row present") true
+        (contains health (Printf.sprintf {|"peer":"%s"|} l)))
+    labels;
+  check_b "health fold inlined" true (contains health {|"converged":|});
+  check_b "loop self-profile inlined" true
+    (contains health {|"slow_iterations":|});
+  check_b "build identity" true (contains health {|"build":"vegvisir/|});
+  check_b "uptime reported" true (contains health {|"uptime_s":|});
+  (* The Prometheus exposition of the same loop: satellite gauges and
+     the merged monitor/scoreboard projection. *)
+  check_b "uptime gauge" true (contains metrics "vegvisir_daemon_uptime_seconds");
+  check_b "build info gauge" true
+    (contains metrics "vegvisir_build_info{node=\"vegvisir/");
+  check_b "profiling histograms" true
+    (contains metrics "vegvisir_loop_engine_step_ms_bucket");
+  check_b "scoreboard exported" true (contains metrics "vegvisir_peer_divergence");
+  check_b "health fold exported" true (contains metrics "vegvisir_health_converged");
+  (* Dial-order determinism: a second identically-shaped fleet must make
+     the same scheduling decisions. Ephemeral ports differ between runs,
+     so compare label ranks (position in sorted-label order), not raw
+     labels. *)
+  let normalise labels dials =
+    let sorted = List.sort String.compare labels in
+    List.map
+      (fun d ->
+        match List.find_index (String.equal d) sorted with
+        | Some i -> i
+        | None -> Alcotest.failf "dial %s is not a configured peer" d)
+      dials
+  in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let labels2, _, _, dials2 =
+    run_live_fleet ~tag:"live2" ~want_dials:n_dials
+  in
+  Alcotest.(check (list int))
+    "same-seed runs dial in the same scoreboard order"
+    (take n_dials (normalise labels dials))
+    (take n_dials (normalise labels2 dials2))
+
+(* Timer wheel edge cases: the determinism contract the event loop's
+   anti-entropy scheduler leans on (same deadline feed, same firing
+   order) exercised at its boundaries. *)
+
+let wheel_duplicate_deadlines () =
+  let w = Timer_wheel.empty in
+  let w, ia = Timer_wheel.schedule w ~at_ms:10. "a" in
+  let w, ib = Timer_wheel.schedule w ~at_ms:10. "b" in
+  let w, ic = Timer_wheel.schedule w ~at_ms:5. "c" in
+  check_b "ids distinct" true (ia <> ib && ib <> ic && ia <> ic);
+  check_i "all armed" 3 (Timer_wheel.cardinal w);
+  let fired, w = Timer_wheel.expired w ~now_ms:10. in
+  Alcotest.(check (list string))
+    "earliest first, ties in schedule order" [ "c"; "a"; "b" ]
+    (List.map snd fired);
+  check_b "wheel drained" true (Timer_wheel.is_empty w)
+
+let wheel_fires_exactly_at_now () =
+  let w = Timer_wheel.empty in
+  let w, _ = Timer_wheel.schedule w ~at_ms:10. "edge" in
+  let before, w = Timer_wheel.expired w ~now_ms:(Float.pred 10.) in
+  check_i "not due just before" 0 (List.length before);
+  (match Timer_wheel.next_deadline w with
+  | Some d -> Alcotest.(check (float 0.)) "deadline intact" 10. d
+  | None -> Alcotest.fail "deadline lost by an early sweep");
+  let at, w = Timer_wheel.expired w ~now_ms:10. in
+  Alcotest.(check (list string)) "due exactly at now" [ "edge" ]
+    (List.map snd at);
+  (* A deadline already in the past arms and fires on the next sweep. *)
+  let w, _ = Timer_wheel.schedule w ~at_ms:3. "late" in
+  let past, w = Timer_wheel.expired w ~now_ms:10. in
+  Alcotest.(check (list string)) "past deadline fires" [ "late" ]
+    (List.map snd past);
+  check_b "empty again" true (Timer_wheel.is_empty w)
+
+(* Interleaved schedule/sweep against a naive oracle: whatever the
+   interleaving, every sweep returns exactly the armed timers due at or
+   before now, earliest deadline first, ties in schedule order. *)
+let wheel_interleaved_qcheck =
+  QCheck.Test.make ~count:300 ~name:"interleaved add/fire matches oracle"
+    QCheck.(list (pair bool (int_bound 20)))
+    (fun ops ->
+      let w = ref Timer_wheel.empty in
+      let pending = ref [] (* (at, seq) of armed, unfired timers *)
+      and now = ref 0.
+      and seq = ref 0
+      and ok = ref true in
+      List.iter
+        (fun (is_schedule, d) ->
+          if is_schedule then begin
+            let at = !now +. float_of_int d in
+            let w', _ = Timer_wheel.schedule !w ~at_ms:at !seq in
+            w := w';
+            pending := (at, !seq) :: !pending;
+            incr seq
+          end
+          else begin
+            now := !now +. float_of_int d;
+            let fired, w' = Timer_wheel.expired !w ~now_ms:!now in
+            w := w';
+            let due, rest =
+              List.partition (fun (at, _) -> at <= !now) !pending
+            in
+            pending := rest;
+            let expect =
+              List.stable_sort
+                (fun (aa, sa) (ab, sb) ->
+                  match Float.compare aa ab with
+                  | 0 -> Int.compare sa sb
+                  | c -> c)
+                (List.rev due)
+              |> List.map snd
+            in
+            if List.map snd fired <> expect then ok := false
+          end)
+        ops;
+      !ok && Timer_wheel.cardinal !w = List.length !pending)
+
 (* The /metrics endpoint end-to-end over a real loopback socket: the
    child plays Prometheus with raw HTTP; the parent answers one scrape
    and one bad target. *)
@@ -529,8 +833,20 @@ let () =
           Alcotest.test_case "live socket sync" `Quick live_sync;
           Alcotest.test_case "batch ancestry recovery" `Quick recover_ancestry;
         ] );
+      ( "timer-wheel",
+        [
+          Alcotest.test_case "duplicate deadlines keep schedule order" `Quick
+            wheel_duplicate_deadlines;
+          Alcotest.test_case "fires exactly at now" `Quick
+            wheel_fires_exactly_at_now;
+          QCheck_alcotest.to_alcotest wheel_interleaved_qcheck;
+        ] );
       ( "metrics-server",
         [ Alcotest.test_case "GET /metrics over loopback" `Quick metrics_endpoint ] );
       ( "daemon",
-        [ Alcotest.test_case "64-session soak" `Slow daemon_soak ] );
+        [
+          Alcotest.test_case "64-session soak" `Slow daemon_soak;
+          Alcotest.test_case "live health + scoreboard dialing" `Slow
+            live_health_soak;
+        ] );
     ]

@@ -39,7 +39,8 @@ let all_events =
       Net_dropped { src = "1"; dst = "0"; bytes = 9; reason = Disconnected };
       Net_dropped { src = "1"; dst = "2"; bytes = 9; reason = Asleep };
       Session_started { node = "0"; peer = "1"; generation = 3 };
-      Session_completed { node = "0"; peer = "1"; generation = 3; blocks = 7 };
+      Session_completed
+        { node = "0"; peer = "1"; generation = 3; blocks = 7; duration_ms = 12.5 };
       Session_aborted { node = "0"; peer = "1"; generation = 4; reason = Stalled };
       Session_aborted { node = "1"; peer = "0"; generation = 5; reason = Timed_out };
       Request_resent { node = "0"; peer = "1"; generation = 4; attempt = 2 };
@@ -467,6 +468,116 @@ let prometheus_rendering () =
     (Registry.to_prometheus (Registry.snapshot r))
 
 (* ------------------------------------------------------------------ *)
+(* Per-peer scoreboard                                                  *)
+
+let sb_deliver ?peer t ~ts name =
+  Scoreboard.observe t ~ts
+    (Event.Block { node = Scoreboard.me t; phase = Event.Delivered; block = h name; peer })
+
+let scoreboard_divergence_lifecycle () =
+  let t = Scoreboard.create ~me:"0" () in
+  (* Two local blocks before peer a is ever heard from: a row-less peer
+     is maximally diverged. *)
+  sb_deliver t ~ts:1. "b1";
+  sb_deliver t ~ts:2. "b2";
+  check_i "local blocks counted" 2 (Scoreboard.local_blocks t);
+  check_b "no row before contact" true (Scoreboard.row t "a" = None);
+  (* A clean exchange acks everything held so far. *)
+  Scoreboard.observe t ~ts:3.
+    (Event.Sync_completed { node = "0"; peer = "a"; pulled = 2; served = 0 });
+  let r = Option.get (Scoreboard.row t "a") in
+  check_i "acked down to zero" 0 r.Scoreboard.divergence;
+  check_i "exchange counted" 1 r.Scoreboard.exchanges;
+  (* New blocks reopen the gap; re-delivering b1 does not (held is a set). *)
+  sb_deliver t ~ts:4. "b3";
+  sb_deliver t ~ts:5. "b1";
+  check_i "divergence = new blocks only" 1
+    (Option.get (Scoreboard.row t "a")).Scoreboard.divergence;
+  (* Attribution: delivered-from-peer is useful, redundant is redundant. *)
+  sb_deliver t ~ts:6. ~peer:"a" "b4";
+  Scoreboard.observe t ~ts:7.
+    (Event.Block_redundant { node = "0"; block = h "b1"; peer = Some "a" });
+  Scoreboard.observe t ~ts:8.
+    (Event.Session_completed
+       { node = "0"; peer = "a"; generation = 1; blocks = 1; duration_ms = 12.5 });
+  Scoreboard.observe t ~ts:9.
+    (Event.Session_aborted
+       { node = "0"; peer = "a"; generation = 2; reason = Event.Stalled });
+  (* Another node's events never touch my scoreboard. *)
+  Scoreboard.observe t ~ts:10.
+    (Event.Sync_completed { node = "9"; peer = "a"; pulled = 5; served = 5 });
+  let r = Option.get (Scoreboard.row t "a") in
+  check_i "useful" 1 r.Scoreboard.useful;
+  check_i "redundant" 1 r.Scoreboard.redundant;
+  check_i "failures" 1 r.Scoreboard.failures;
+  check_i "foreign events ignored" 1 r.Scoreboard.exchanges;
+  Alcotest.(check (list (float 1e-9))) "latencies" [ 12.5 ] r.Scoreboard.latencies;
+  check_f "last contact advances" 9. (Option.get r.Scoreboard.last_contact)
+
+let scoreboard_priority_order () =
+  let t = Scoreboard.create ~me:"0" () in
+  sb_deliver t ~ts:1. "b1";
+  sb_deliver t ~ts:2. "b2";
+  (* a: fully acked at ts 3 (divergence 2 after b3/b4 land).
+     b: fully acked at ts 6 (divergence 0). never-seen c and d stay
+     maximally diverged (3). *)
+  Scoreboard.observe t ~ts:3.
+    (Event.Sync_completed { node = "0"; peer = "a"; pulled = 0; served = 0 });
+  sb_deliver t ~ts:4. "b3";
+  Scoreboard.observe t ~ts:6.
+    (Event.Sync_completed { node = "0"; peer = "b"; pulled = 0; served = 0 });
+  Alcotest.(check (list string))
+    "diverged first, then label ties"
+    [ "c"; "d"; "a"; "b" ]
+    (Scoreboard.priority t [ "b"; "d"; "a"; "c" ]);
+  (* Contact breaks divergence ties: a touched later than b after both
+     fully acked. *)
+  Scoreboard.observe t ~ts:7.
+    (Event.Sync_completed { node = "0"; peer = "a"; pulled = 0; served = 0 });
+  Alcotest.(check (list string))
+    "longest-unseen first on equal divergence"
+    [ "b"; "a" ]
+    (Scoreboard.priority t [ "a"; "b" ]);
+  check_b "pure: reordering candidates only permutes" true
+    (Scoreboard.priority t [ "b"; "a" ] = Scoreboard.priority t [ "a"; "b" ])
+
+let scoreboard_renderings_stable () =
+  let build () =
+    let t = Scoreboard.create ~me:"0" () in
+    sb_deliver t ~ts:1. "b1";
+    Scoreboard.observe t ~ts:2.
+      (Event.Sync_completed { node = "0"; peer = "p"; pulled = 1; served = 0 });
+    Scoreboard.observe t ~ts:3.
+      (Event.Session_completed
+         { node = "0"; peer = "p"; generation = 1; blocks = 1; duration_ms = 4.25 });
+    sb_deliver t ~ts:4. "b2";
+    t
+  in
+  let a = build () and b = build () in
+  check_s "report byte-stable" (Scoreboard.report a) (Scoreboard.report b);
+  check_s "json byte-stable" (Scoreboard.to_json a) (Scoreboard.to_json b);
+  check_b "report shows divergence" true
+    (contains (Scoreboard.report a) "peer p divergence=1");
+  check_b "json rows grep-able" true
+    (contains (Scoreboard.to_json a) {|{"peer":"p","divergence":1|});
+  check_b "json carries latency" true
+    (contains (Scoreboard.to_json a) {|"latency_ms":{"count":1,"mean":4.25|})
+
+let scoreboard_export_prometheus () =
+  let t = Scoreboard.create ~me:"0" () in
+  sb_deliver t ~ts:1. "b1";
+  Scoreboard.observe t ~ts:2.
+    (Event.Session_completed
+       { node = "0"; peer = "p"; generation = 1; blocks = 1; duration_ms = 3. });
+  let reg = Registry.create () in
+  Scoreboard.export t reg;
+  let text = Registry.to_prometheus (Registry.snapshot reg) in
+  check_b "divergence gauge" true
+    (contains text "vegvisir_peer_divergence{node=\"p\"} 1.0");
+  check_b "latency histogram" true
+    (contains text "vegvisir_peer_exchange_ms_count{node=\"p\"} 1")
+
+(* ------------------------------------------------------------------ *)
 (* Metrics satellite: nearest-rank percentile fix + merge               *)
 
 let metrics_percentile_nearest_rank () =
@@ -549,6 +660,16 @@ let () =
           Alcotest.test_case "prometheus byte-stable" `Quick
             prometheus_byte_stable;
           Alcotest.test_case "prometheus rendering" `Quick prometheus_rendering;
+        ] );
+      ( "scoreboard",
+        [
+          Alcotest.test_case "divergence lifecycle" `Quick
+            scoreboard_divergence_lifecycle;
+          Alcotest.test_case "priority order" `Quick scoreboard_priority_order;
+          Alcotest.test_case "renderings byte-stable" `Quick
+            scoreboard_renderings_stable;
+          Alcotest.test_case "prometheus export" `Quick
+            scoreboard_export_prometheus;
         ] );
       ( "metrics",
         [
