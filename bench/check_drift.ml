@@ -21,10 +21,17 @@ let guarded name =
     let n = String.length s and m = String.length suf in
     n >= m && String.equal (String.sub s (n - m) m) suf
   in
+  let has_prefix s pre =
+    let n = String.length s and m = String.length pre in
+    n >= m && String.equal (String.sub s 0 m) pre
+  in
   has_suffix name "/bus-emit"
   || has_suffix name "-monitor"
   || has_suffix name "-live"
   || has_suffix name "/scoreboard-observe"
+  (* Every sync-strategy micro row: a regression here means anti-entropy
+     itself got slower, the cost the whole redesign exists to shrink. *)
+  || has_prefix name "M15-sync/"
 
 (* Minimal extraction of [("name", ns_per_op)] pairs from the snapshot
    JSON: every result row is written on its own line as

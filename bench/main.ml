@@ -197,16 +197,48 @@ let tests =
     Test.make_grouped ~name:"M7-reconcile"
       [
         Test.make ~name:"naive-depth16"
-          (stage (fun () -> V.Reconcile.sync_dags `Naive dag_genesis_only dag_16));
+          (stage (fun () -> V.Reconcile.sync_dags V.Reconcile.Naive dag_genesis_only dag_16));
         Test.make ~name:"indexed-depth16"
-          (stage (fun () -> V.Reconcile.sync_dags `Indexed dag_genesis_only dag_16));
+          (stage (fun () -> V.Reconcile.sync_dags V.Reconcile.Indexed dag_genesis_only dag_16));
         Test.make ~name:"bloom-depth16"
-          (stage (fun () -> V.Reconcile.sync_dags `Bloom dag_genesis_only dag_16));
+          (stage (fun () -> V.Reconcile.sync_dags V.Reconcile.Bloom dag_genesis_only dag_16));
+        Test.make ~name:"digest-depth16"
+          (stage (fun () -> V.Reconcile.sync_dags V.Reconcile.Digest dag_genesis_only dag_16));
         Test.make ~name:"respond-frontier-1k"
           (stage (fun () ->
                V.Reconcile.respond dag_1k (V.Reconcile.Frontier_request { level = 4 })));
       ];
   ]
+
+(* ------------------------------------------------------------------ *)
+(* M15-sync: sync-strategy hot paths (snapshotted to BENCH_net.json
+   and re-measured by the @bench-check drift gate via sync-micro).
+   The converged leg is the steady-state cost the daemon pays on every
+   anti-entropy round against an in-sync peer: one digest request over
+   a 1k-block replica, one empty reply, no blocks.                     *)
+
+let sync_tests =
+  Test.make_grouped ~name:"M15-sync"
+    [
+      Test.make ~name:"digest-depth16"
+        (stage (fun () ->
+             V.Reconcile.sync_dags V.Reconcile.Digest dag_genesis_only dag_16));
+      Test.make ~name:"digest-converged-1k"
+        (stage (fun () -> V.Reconcile.sync_dags V.Reconcile.Digest dag_1k dag_1k));
+      Test.make ~name:"respond-digest-1k"
+        (stage (fun () ->
+             V.Reconcile.respond dag_1k
+               (V.Reconcile.Digest_request { upto = 0; intervals = [] })));
+      Test.make ~name:"respond-blocks-16"
+        (stage
+           (let hashes =
+              List.filter_map
+                (fun (b : V.Block.t) ->
+                  if V.Block.is_genesis b then None else Some b.V.Block.hash)
+                (V.Dag.topo_order dag_16)
+            in
+            fun () -> V.Reconcile.respond dag_16 (V.Reconcile.Blocks_request { hashes })));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* M8-obs: telemetry overhead (also snapshotted to BENCH_obs.json)      *)
@@ -654,15 +686,23 @@ module Cli = Vegvisir_cli
 
 let daemon_concurrency = [ 8; 32; 64 ]
 
-let write_bench_net rows =
-  let oc = open_out "BENCH_net.json" in
+(* One results array holds both sections: M13 macro rows keep their
+   concurrency keys; M15 micro rows carry name/ns_per_op — the shape
+   check_drift.exe scans for, so only the micro rows are drift-gated. *)
+let write_bench_net ?(file = "BENCH_net.json") ?(daemon_rows = []) sync_rows =
+  let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc "{\n  \"benchmark\": \"M13-daemon\",\n  \"results\": [";
-      List.iteri
-        (fun i (c, secs, failed) ->
-          if i > 0 then output_string oc ",";
+      output_string oc
+        "{\n  \"benchmark\": \"M13-daemon+M15-sync\",\n  \"results\": [";
+      let first = ref true in
+      let sep () =
+        if !first then first := false else output_string oc ","
+      in
+      List.iter
+        (fun (c, secs, failed) ->
+          sep ();
           Printf.fprintf oc
             "\n    {\"concurrency\": %d, \"sessions\": %d, \"failed\": %d, \
              \"seconds\": %.4f, \"sessions_per_sec\": %.1f, \
@@ -670,11 +710,20 @@ let write_bench_net rows =
             c c failed secs
             (float_of_int c /. secs)
             (secs *. 1000. /. float_of_int c))
-        rows;
+        daemon_rows;
+      List.iter
+        (fun (name, ns, r2) ->
+          sep ();
+          Printf.fprintf oc
+            "\n    {\"name\": %s, \"ns_per_op\": %.1f, \"ops_per_sec\": %.0f, \
+             \"r2\": %.4f}"
+            (Obs.Event.json_string name)
+            ns (1e9 /. ns) r2)
+        sync_rows;
       output_string oc "\n  ]\n}\n");
-  Printf.printf "  (snapshot written to BENCH_net.json)\n"
+  Printf.printf "  (snapshot written to %s)\n" file
 
-let run_daemon_bench () =
+let run_daemon_bench ~sync_rows () =
   let tmp =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -701,7 +750,10 @@ let run_daemon_bench () =
     Ok client
   in
   match setup () with
-  | Error e -> Printf.printf "  (M13-daemon skipped: %s)\n" e
+  | Error e ->
+    Printf.printf "  (M13-daemon skipped: %s)\n" e;
+    (* Still snapshot the micro rows so the drift gate has a baseline. *)
+    write_bench_net sync_rows
   | Ok client -> begin
     let pr, pw = Unix.pipe () in
     match Unix.fork () with
@@ -782,7 +834,7 @@ let run_daemon_bench () =
             (secs *. 1000. /. float_of_int c)
             (if failed > 0 then Printf.sprintf ", %d FAILED" failed else ""))
         rows;
-      write_bench_net rows
+      write_bench_net ~daemon_rows:rows sync_rows
   end
 
 (* The instrumentation rows alone, for the @bench-check drift gate: a
@@ -793,6 +845,14 @@ let run_obs_micro () =
   let rows = estimate obs_tests @ estimate health_tests @ estimate live_tests in
   print_rows rows;
   write_bench_obs ~file:"BENCH_obs.fresh.json" rows
+
+(* The M15 rows alone, for the @bench-check drift gate: a fresh
+   measurement written next to (never over) the tracked snapshot. *)
+let run_sync_micro () =
+  print_endline "== sync micro (ns per call, OLS estimate) ==";
+  let rows = estimate sync_tests in
+  print_rows rows;
+  write_bench_net ~file:"BENCH_net.fresh.json" rows
 
 let run_micro () =
   print_endline "== Micro-benchmarks (ns per call, OLS estimate) ==";
@@ -811,14 +871,20 @@ let run_micro () =
     print_rows lint_rows;
     write_bench_lint ~files:(List.length inputs) lint_rows
   | _ -> print_endline "  (M12-lint skipped: not at the repo root)");
+  let sync_rows = estimate sync_tests in
+  print_rows sync_rows;
   print_endline "== M13-daemon (loopback exchange sessions vs a forked daemon) ==";
-  run_daemon_bench ();
+  run_daemon_bench ~sync_rows ();
   print_newline ()
 
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "obs-micro" args then begin
     run_obs_micro ();
+    exit 0
+  end;
+  if List.mem "sync-micro" args then begin
+    run_sync_micro ();
     exit 0
   end;
   let micro_only = List.mem "micro" args in

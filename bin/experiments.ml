@@ -28,11 +28,11 @@ let quick =
   Arg.(value & flag & info [ "quick" ] ~doc)
 
 let ids =
-  let doc = "Experiment ids to run (e1..e8). Default: all." in
+  let doc = "Experiment ids to run (e1..e12). Default: all." in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
 let cmd =
-  let doc = "Vegvisir evaluation experiments (E1-E8)" in
+  let doc = "Vegvisir evaluation experiments (E1-E12)" in
   let info = Cmd.info "experiments" ~doc in
   Cmd.v info Term.(ret (const run $ quick $ ids))
 

@@ -84,11 +84,16 @@ let append_cmd =
     Term.(const run $ dir_arg $ crdt $ op $ value)
 
 let mode_arg =
+  let module Mode = Vegvisir.Reconcile.Mode in
   Arg.(
     value
-    & opt (enum [ ("naive", `Naive); ("indexed", `Indexed); ("bloom", `Bloom) ]) `Naive
+    & opt
+        (enum (List.map (fun m -> (Mode.to_string m, m)) Mode.all))
+        Vegvisir.Reconcile.Naive
     & info [ "mode" ] ~docv:"PROTOCOL"
-        ~doc:"Reconciliation protocol: naive (Algorithm 1), indexed, or bloom.")
+        ~doc:
+          "Reconciliation protocol: naive (Algorithm 1), indexed, bloom, or \
+           digest (height-interval digests; near-zero redundant transfer).")
 
 let parse_endpoint s =
   match String.rindex_opt s ':' with

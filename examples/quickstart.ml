@@ -61,7 +61,7 @@ let () =
 
   step "4. Reconcile (paper's Algorithm 1) and converge";
   let pull who dst src =
-    let merged, stats = Reconcile.sync_dags `Naive (Node.dag dst) (Node.dag src) in
+    let merged, stats = Reconcile.sync_dags Reconcile.Naive (Node.dag dst) (Node.dag src) in
     Node.receive_all dst ~now:(ts 200) (Dag.topo_order merged);
     Printf.printf "%s pulled %d block(s) in %d round(s), %d bytes\n" who
       stats.Reconcile.blocks_received stats.Reconcile.rounds

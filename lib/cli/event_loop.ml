@@ -46,6 +46,8 @@ let max_request_bytes = 16 * 1024
 
 type config = {
   mode : Reconcile.mode;
+  knowledge_cache : int;
+      (* per-peer knowledge-cache capacity for hosted engines; 0 = off *)
   session_budget : int;
       (* stop accepting new peer conns while this many are active *)
   max_outbound_bytes : int;
@@ -62,7 +64,8 @@ type config = {
 
 let default_config =
   {
-    mode = `Naive;
+    mode = Reconcile.Naive;
+    knowledge_cache = 0;
     session_budget = 128;
     max_outbound_bytes = 8 * 1024 * 1024;
     stale_after_ms = 2_000.;
@@ -488,6 +491,24 @@ let apply_effect t s (eff : Peer_engine.effect_) =
              Obs.Event.Block_redundant
                { node = t.me; block = h; peer = Some s.label })
            blocks)
+    | Peer_engine.Blocks_suppressed { blocks; _ } ->
+      journal t
+        [
+          Obs.Event.Blocks_suppressed
+            { node = t.me; peer = s.label; blocks = List.length blocks };
+        ]
+    | Peer_engine.Peer_advertised { hashes; _ } ->
+      (* Feed advertisement evidence to the pending pool so eviction
+         spares buffered orphans a live peer still vouches for. *)
+      (match t.store with
+      | Some store ->
+        List.iter (Node.note_advertised store.Node_store.node) hashes
+      | None -> ());
+      journal t
+        [
+          Obs.Event.Blocks_advertised
+            { node = t.me; peer = s.label; hashes = List.length hashes };
+        ]
     | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
     | Peer_engine.Decode_failed _ ->
       ()
@@ -751,9 +772,15 @@ let new_session t ~origin ?label conn =
     Unix_compat.set_nonblocking conn;
     let node = store.Node_store.node in
     let engine =
-      Peer_engine.create ~mode:t.config.mode
-        ~stale_after_ms:t.config.stale_after_ms
-        ~session_timeout_ms:t.config.session_timeout_ms
+      Peer_engine.create
+        ~config:
+          {
+            Peer_engine.Config.default with
+            Peer_engine.Config.mode = t.config.mode;
+            stale_after_ms = t.config.stale_after_ms;
+            session_timeout_ms = t.config.session_timeout_ms;
+            knowledge_cache = t.config.knowledge_cache;
+          }
         ~user_id:(Node.user_id node) ~dag:(Node.dag node) ()
     in
     let s =

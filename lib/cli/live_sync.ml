@@ -74,12 +74,12 @@ let run_session t sid =
   Event_loop.shutdown t;
   report
 
-let pull_conn ~store ?(mode = `Naive) conn =
+let pull_conn ~store ?(mode = Reconcile.Naive) conn =
   let t = loop_for ~store mode in
   let* sid = Event_loop.adopt_outbound ~label:remote_name t conn in
   run_session t sid
 
-let serve_conn ~store ?(mode = `Naive) conn =
+let serve_conn ~store ?(mode = Reconcile.Naive) conn =
   let t = loop_for ~store mode in
   let* sid = Event_loop.adopt_inbound ~label:remote_name t conn in
   run_session t sid
@@ -88,7 +88,7 @@ let pull ~store ?mode ?timeout_s ~host ~port () =
   let* conn = Unix_compat.connect ?timeout_s ~host ~port () in
   pull_conn ~store ?mode conn
 
-let serve ~store ?(mode = `Naive) ?accept_timeout_s ~port () =
+let serve ~store ?(mode = Reconcile.Naive) ?accept_timeout_s ~port () =
   let t = loop_for ~store mode in
   let* (_ : int) = Event_loop.listen_peers t ~port () in
   let timed_out = ref false in

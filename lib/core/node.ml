@@ -102,6 +102,8 @@ let try_accept t ~now (b : Block.t) : receive_result =
 
 let buffer t (b : Block.t) = t.pending <- Pending_pool.add t.pending b
 
+let note_advertised t h = t.pending <- Pending_pool.advertise t.pending h
+
 (* Retry buffered blocks, oldest first, until a pass makes no progress. *)
 let drain t ~now =
   let progress = ref true in

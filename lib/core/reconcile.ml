@@ -1,8 +1,11 @@
-module HSet = Hash_id.Set
+type mode = Sync_strategy.mode = Naive | Indexed | Bloom | Digest
 
-type mode = [ `Naive | `Indexed | `Bloom ]
+module Mode = Sync_strategy.Mode
 
-type message =
+type interval = Sync_strategy.interval = { lo : int; hi : int; digest : string }
+type leaf = Sync_strategy.leaf = { lo : int; hi : int; hashes : Hash_id.t list }
+
+type message = Sync_strategy.message =
   | Frontier_request of { level : int }
   | Frontier_reply of { level : int; blocks : Block.t list }
   | Sync_request of { frontier : Hash_id.t list; recent : Hash_id.t list }
@@ -11,6 +14,8 @@ type message =
   | Bloom_reply of { blocks : Block.t list }
   | Blocks_request of { hashes : Hash_id.t list }
   | Blocks_reply of { blocks : Block.t list }
+  | Digest_request of { upto : int; intervals : interval list }
+  | Digest_reply of { splits : interval list; leaves : leaf list }
 
 type stats = {
   rounds : int;
@@ -49,119 +54,16 @@ let stats_equal a b =
   && Int.equal a.blocks_received b.blocks_received
   && Int.equal a.redundant_blocks b.redundant_blocks
 
-let encode_message b = function
-  | Frontier_request { level } ->
-    Wire.put_u8 b 1;
-    Wire.put_u32 b level
-  | Frontier_reply { level; blocks } ->
-    Wire.put_u8 b 2;
-    Wire.put_u32 b level;
-    Wire.put_list b Block.encode blocks
-  | Sync_request { frontier; recent } ->
-    Wire.put_u8 b 3;
-    Wire.put_list b (fun b h -> Wire.put_str b (Hash_id.to_raw h)) frontier;
-    Wire.put_list b (fun b h -> Wire.put_str b (Hash_id.to_raw h)) recent
-  | Sync_reply { blocks } ->
-    Wire.put_u8 b 4;
-    Wire.put_list b Block.encode blocks
-  | Bloom_request { filter } ->
-    Wire.put_u8 b 5;
-    Wire.put_str b filter
-  | Bloom_reply { blocks } ->
-    Wire.put_u8 b 6;
-    Wire.put_list b Block.encode blocks
-  | Blocks_request { hashes } ->
-    Wire.put_u8 b 7;
-    Wire.put_list b (fun b h -> Wire.put_str b (Hash_id.to_raw h)) hashes
-  | Blocks_reply { blocks } ->
-    Wire.put_u8 b 8;
-    Wire.put_list b Block.encode blocks
+let encode_message = Sync_strategy.encode_message
+let decode_message = Sync_strategy.decode_message
+let message_size = Sync_strategy.message_size
+let message_equal = Sync_strategy.message_equal
+let is_request = Sync_strategy.is_request
+let reply_blocks = Sync_strategy.reply_blocks
+let advertised_hashes = Sync_strategy.advertised_hashes
+let respond = Sync_strategy.respond
 
-let decode_message c =
-  match Wire.get_u8 c with
-  | 1 -> Frontier_request { level = Wire.get_u32 c }
-  | 2 ->
-    let level = Wire.get_u32 c in
-    let blocks = Wire.get_list c Block.decode in
-    Frontier_reply { level; blocks }
-  | 3 ->
-    let frontier = Wire.get_list c (fun c -> Hash_id.of_raw_exn (Wire.get_str c)) in
-    let recent = Wire.get_list c (fun c -> Hash_id.of_raw_exn (Wire.get_str c)) in
-    Sync_request { frontier; recent }
-  | 4 -> Sync_reply { blocks = Wire.get_list c Block.decode }
-  | 5 -> Bloom_request { filter = Wire.get_str c }
-  | 6 -> Bloom_reply { blocks = Wire.get_list c Block.decode }
-  | 7 ->
-    Blocks_request
-      { hashes = Wire.get_list c (fun c -> Hash_id.of_raw_exn (Wire.get_str c)) }
-  | 8 -> Blocks_reply { blocks = Wire.get_list c Block.decode }
-  | _ -> raise (Wire.Malformed "bad reconcile message tag")
-
-let message_size m =
-  let b = Buffer.create 256 in
-  encode_message b m;
-  Buffer.length b
-
-let message_equal a b =
-  let enc m =
-    let buf = Buffer.create 256 in
-    encode_message buf m;
-    Buffer.contents buf
-  in
-  String.equal (enc a) (enc b)
-
-let respond dag = function
-  | Frontier_request { level } ->
-    let hashes = Dag.level_frontier dag (max 1 level) in
-    let blocks = List.filter_map (Dag.find dag) (HSet.elements hashes) in
-    Some (Frontier_reply { level; blocks })
-  | Sync_request { frontier; recent } -> begin
-    (* Everything resident that is not in the ancestry of the hashes the
-       initiator claims to have. The [recent] hashes (the initiator's
-       deeper frontier levels) matter under mutual divergence: when the
-       responder does not know the initiator's frontier tips, it can still
-       subtract the shared history below them. [Dag.below] computes the
-       closure in one multi-source traversal (memoized across the
-       session), and the reply filter streams the cached canonical order
-       instead of materializing it. *)
-    let base = Dag.below dag (frontier @ recent) in
-    let blocks =
-      Dag.topo_seq dag
-      |> Seq.filter (fun (b : Block.t) -> not (HSet.mem b.Block.hash base))
-      |> List.of_seq
-    in
-    Some (Sync_reply { blocks })
-  end
-  | Bloom_request { filter } -> begin
-    match Vegvisir_crypto.Bloom.of_string filter with
-    | None -> Some (Bloom_reply { blocks = [] })
-    | Some bloom ->
-      (* Everything resident the initiator does not (appear to) have; the
-         filter's false positives are recovered by explicit requests. *)
-      let blocks =
-        Dag.topo_seq dag
-        |> Seq.filter (fun (b : Block.t) ->
-               not (Vegvisir_crypto.Bloom.mem bloom (Hash_id.to_raw b.Block.hash)))
-        |> List.of_seq
-      in
-      Some (Bloom_reply { blocks })
-  end
-  | Blocks_request { hashes } ->
-    Some (Blocks_reply { blocks = List.filter_map (Dag.find dag) hashes })
-  | Frontier_reply _ | Sync_reply _ | Bloom_reply _ | Blocks_reply _ -> None
-
-type session = {
-  mode : mode;
-  level : int;
-  frontier : Hash_id.t list; (* indexed mode: what we advertised *)
-  recent : Hash_id.t list; (* indexed mode: deeper-level hashes advertised *)
-  bloom : string; (* bloom mode: the filter we advertised *)
-  collected : Block.t list; (* bloom mode: blocks received so far *)
-  requested : HSet.t; (* bloom mode: hashes already asked for *)
-  pending_request : message option; (* bloom mode: in-flight request *)
-  last_reply_count : int; (* fixpoint detection across escalations *)
-  stats : stats;
-}
+type session = { strategy : Sync_strategy.packed; stats : stats }
 
 let track_send session m =
   {
@@ -174,62 +76,13 @@ let track_send session m =
       };
   }
 
-let recent_level = 16
-
-let bloom_of_dag dag =
-  let count = max 1 (Dag.cardinal dag + Dag.archived_count dag) in
-  let bloom = Vegvisir_crypto.Bloom.create ~expected:count ~fp_rate:0.01 in
-  Seq.iter
-    (fun (b : Block.t) ->
-      Vegvisir_crypto.Bloom.add bloom (Hash_id.to_raw b.Block.hash))
-    (Dag.blocks_seq dag);
-  Hash_id.Set.iter
-    (fun h -> Vegvisir_crypto.Bloom.add bloom (Hash_id.to_raw h))
-    (Dag.archived_hashes dag);
-  Vegvisir_crypto.Bloom.to_string bloom
-
 let start mode dag =
-  let frontier = HSet.elements (Dag.frontier dag) in
-  let recent =
-    match mode with
-    | `Naive | `Bloom -> []
-    | `Indexed ->
-      (* Deeper frontier levels, minus the frontier itself: cheap (32 B per
-         hash) insurance against mutual divergence. *)
-      if Dag.cardinal dag = 0 then []
-      else
-        HSet.elements
-          (HSet.diff (Dag.level_frontier dag recent_level) (Dag.frontier dag))
-  in
-  let session =
-    {
-      mode;
-      level = 1;
-      frontier;
-      recent;
-      bloom = (match mode with `Naive | `Indexed -> "" | `Bloom -> bloom_of_dag dag);
-      collected = [];
-      requested = HSet.empty;
-      pending_request = None;
-      last_reply_count = -1;
-      stats = empty_stats;
-    }
-  in
-  let m =
-    match mode with
-    | `Naive -> Frontier_request { level = 1 }
-    | `Indexed -> Sync_request { frontier = session.frontier; recent = session.recent }
-    | `Bloom -> Bloom_request { filter = session.bloom }
-  in
+  let strategy, m = Sync_strategy.start_session mode dag in
+  let session = { strategy; stats = empty_stats } in
   (track_send session m, m)
 
-let current_request session =
-  match session.mode with
-  | `Naive -> Frontier_request { level = session.level }
-  | `Indexed -> Sync_request { frontier = session.frontier; recent = session.recent }
-  | `Bloom ->
-    Option.value session.pending_request
-      ~default:(Bloom_request { filter = session.bloom })
+let session_mode session = Sync_strategy.session_mode session.strategy
+let current_request session = Sync_strategy.session_request session.strategy
 
 type step =
   | Send of message
@@ -297,101 +150,21 @@ let receive_stats session dag blocks m =
   }
 
 let handle_reply session dag m =
-  match (session.mode, m) with
-  | `Naive, Frontier_reply { level; _ } when not (Int.equal level session.level)
-    -> (session, Ignored)
-  | `Naive, Frontier_reply { level = _; blocks } ->
-    let session = receive_stats session dag blocks m in
-    let unknown =
-      List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
-    in
-    let in_reply =
-      List.fold_left
-        (fun acc (b : Block.t) -> HSet.add b.Block.hash acc)
-        HSet.empty blocks
-    in
-    let bridged =
-      List.for_all
-        (fun (b : Block.t) ->
-          List.for_all
-            (fun p -> Dag.mem dag p || Dag.is_archived dag p || HSet.mem p in_reply)
-            b.Block.parents)
-        unknown
-    in
-    let fixpoint = Int.equal (List.length blocks) session.last_reply_count in
-    let session = { session with last_reply_count = List.length blocks } in
-    if bridged || fixpoint then
-      ( session,
-        Finished { new_blocks = insertable_order dag unknown; stats = session.stats } )
-    else begin
-      let session = { session with level = session.level + 1 } in
-      let req = Frontier_request { level = session.level } in
-      (track_send session req, Send req)
-    end
-  | `Indexed, Sync_reply { blocks } ->
-    let session = receive_stats session dag blocks m in
-    let unknown =
-      List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
-    in
+  if is_request m then invalid_arg "Reconcile.handle_reply: not a reply";
+  match Sync_strategy.session_step session.strategy dag m with
+  | strategy, Sync_strategy.Foreign ->
+    (* A reply that does not belong to this session's strategy: a stale
+       or foreign transport frame. Dropping it (rather than raising)
+       keeps a malicious or confused responder from crashing the
+       driver. *)
+    ({ session with strategy }, Ignored)
+  | strategy, Sync_strategy.Continue next ->
+    let session = receive_stats { session with strategy } dag (reply_blocks m) m in
+    (track_send session next, Send next)
+  | strategy, Sync_strategy.Done blocks ->
+    let session = receive_stats { session with strategy } dag (reply_blocks m) m in
     ( session,
-      Finished { new_blocks = insertable_order dag unknown; stats = session.stats } )
-  | `Bloom, (Bloom_reply { blocks } | Blocks_reply { blocks }) ->
-    let session = receive_stats session dag blocks m in
-    let session =
-      {
-        session with
-        collected =
-          List.filter (fun (b : Block.t) -> not (Dag.mem dag b.Block.hash)) blocks
-          @ session.collected;
-      }
-    in
-    let have =
-      List.fold_left
-        (fun acc (b : Block.t) -> HSet.add b.Block.hash acc)
-        HSet.empty session.collected
-    in
-    (* Parents neither local nor collected: the filter's false positives
-       (or genuinely absent ancestry). Ask for them explicitly, once. *)
-    let gaps =
-      List.fold_left
-        (fun acc (b : Block.t) ->
-          List.fold_left
-            (fun acc p ->
-              if
-                Dag.mem dag p || Dag.is_archived dag p || HSet.mem p have
-                || HSet.mem p session.requested
-              then acc
-              else HSet.add p acc)
-            acc b.Block.parents)
-        HSet.empty session.collected
-    in
-    let got_nothing_new = blocks = [] in
-    if HSet.is_empty gaps || got_nothing_new then
-      ( session,
-        Finished
-          { new_blocks = insertable_order dag session.collected; stats = session.stats }
-      )
-    else begin
-      let req = Blocks_request { hashes = HSet.elements gaps } in
-      let session =
-        {
-          session with
-          requested = HSet.union session.requested gaps;
-          pending_request = Some req;
-        }
-      in
-      (track_send session req, Send req)
-    end
-  | ( (`Naive | `Indexed | `Bloom),
-      (Frontier_request _ | Sync_request _ | Bloom_request _ | Blocks_request _) )
-    ->
-    invalid_arg "Reconcile.handle_reply: not a reply"
-  | ( (`Naive | `Indexed | `Bloom),
-      (Frontier_reply _ | Sync_reply _ | Bloom_reply _ | Blocks_reply _) ) ->
-    (* A reply that does not belong to this session's protocol mode: a
-       stale or foreign transport frame. Dropping it (rather than raising)
-       keeps a malicious or confused responder from crashing the driver. *)
-    (session, Ignored)
+      Finished { new_blocks = insertable_order dag blocks; stats = session.stats } )
 
 let sync_dags mode dst src =
   let session, first = start mode dst in

@@ -1,29 +1,36 @@
 (** Opportunistic DAG reconciliation (§IV-G, Algorithm 1, Fig. 3).
 
-    The {e naive} (paper) protocol: the initiator repeatedly requests the
-    responder's level-N frontier set, N = 1, 2, 3, …, until the received
-    blocks' parents are all locally known, then merges. Each escalation is
-    one round trip and re-transfers the previous level's blocks.
+    The protocol logic itself lives in {!Sync_strategy} — each mode is a
+    first-class strategy module owning its message constructors,
+    responder logic and session step. This module is the session
+    {e driver}: it threads the packed strategy state, accounts transfer
+    statistics, orders merged blocks parents-first, and keeps the
+    pre-strategy API shape so hosts (the sans-IO
+    {!Vegvisir_engine.Peer_engine}, the simnet adapter, the daemon)
+    are strategy-agnostic.
 
-    The {e indexed} protocol (the §VI future-work improvement, evaluated
-    as ablation E8): the initiator sends its own frontier hashes; the
-    responder computes exactly the blocks the initiator is missing (the
-    difference between its DAG and the ancestry of the received frontier)
-    and ships them, topologically ordered, in a single round trip.
+    Available modes:
+    - [Naive] — the paper's Algorithm 1 (level escalation; re-ships
+      every level each round).
+    - [Indexed] — single round: the request advertises frontier +
+      recent ancestry hashes, the responder computes the difference.
+    - [Bloom] — the request is a Bloom filter over {e all} held hashes
+      (~10 bits/block instead of 32 bytes/hash); false positives are
+      recovered with explicit block requests.
+    - [Digest] — Merkle-style height-interval digests with recursive
+      narrowing; at convergence a session costs one tiny request and
+      one empty reply, and no block is ever shipped twice. *)
 
-    Both are expressed as pure message handlers so they run over the
-    discrete-event simulator or any other transport. *)
+type mode = Sync_strategy.mode = Naive | Indexed | Bloom | Digest
 
-type mode = [ `Naive | `Indexed | `Bloom ]
-(** [`Naive] — the paper's Algorithm 1 (level escalation).
-    [`Indexed] — single round: the request advertises frontier + recent
-    ancestry hashes, the responder computes the difference.
-    [`Bloom] — the request is a Bloom filter over {e all} held hashes
-    (~10 bits/block instead of 32 bytes/hash), so request size stays
-    sub-linear on big DAGs; the filter's false positives are recovered
-    with explicit block requests. *)
+module Mode = Sync_strategy.Mode
+(** [Mode.of_string] / [Mode.to_string] / [Mode.all] for CLI flags,
+    experiment drivers and bench groups. *)
 
-type message =
+type interval = Sync_strategy.interval = { lo : int; hi : int; digest : string }
+type leaf = Sync_strategy.leaf = { lo : int; hi : int; hashes : Hash_id.t list }
+
+type message = Sync_strategy.message =
   | Frontier_request of { level : int }
   | Frontier_reply of { level : int; blocks : Block.t list }
   | Sync_request of { frontier : Hash_id.t list; recent : Hash_id.t list }
@@ -35,6 +42,8 @@ type message =
   | Bloom_reply of { blocks : Block.t list }
   | Blocks_request of { hashes : Hash_id.t list }
   | Blocks_reply of { blocks : Block.t list }
+  | Digest_request of { upto : int; intervals : interval list }
+  | Digest_reply of { splits : interval list; leaves : leaf list }
 
 type stats = {
   rounds : int;  (** request/reply round trips *)
@@ -55,6 +64,15 @@ val encode_message : Buffer.t -> message -> unit
 val decode_message : Wire.cursor -> message
 val message_equal : message -> message -> bool
 
+val is_request : message -> bool
+val reply_blocks : message -> Block.t list
+(** Block payload of a reply ([[]] for requests and digest messages). *)
+
+val advertised_hashes : message -> Hash_id.t list
+(** Hashes the sender claims to hold without shipping the blocks
+    (digest leaves) — knowledge-cache / {!Pending_pool} advertisement
+    fodder. *)
+
 (** Responder side: answer any request from the local DAG. *)
 val respond : Dag.t -> message -> message option
 (** [None] for messages that are not requests. *)
@@ -69,6 +87,8 @@ type session
 
 val start : mode -> Dag.t -> session * message
 (** The session and the first request to send. *)
+
+val session_mode : session -> mode
 
 type step =
   | Send of message  (** escalate: send this next request *)
@@ -85,7 +105,7 @@ type step =
 
 val handle_reply : session -> Dag.t -> message -> session * step
 (** Feed the responder's reply. A reply that does not belong to this
-    session's protocol mode (a stale or foreign frame) is [Ignored].
+    session's strategy (a stale or foreign frame) is [Ignored].
     @raise Invalid_argument on a request (not a reply). *)
 
 val current_request : session -> message

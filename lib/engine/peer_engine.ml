@@ -1,6 +1,29 @@
 open Vegvisir
+module HSet = Hash_id.Set
+module IMap = Map.Make (Int)
 
 type policy = Honest | Silent | Withholding
+
+module Config = struct
+  type t = {
+    policy : policy;
+    mode : Reconcile.mode;
+    stale_after_ms : float;
+    session_timeout_ms : float;
+    retry_limit : int;
+    knowledge_cache : int;
+  }
+
+  let default =
+    {
+      policy = Honest;
+      mode = Reconcile.Naive;
+      stale_after_ms = 5_000.;
+      session_timeout_ms = 30_000.;
+      retry_limit = 3;
+      knowledge_cache = 0;
+    }
+end
 
 type timer_key =
   | Gossip_round
@@ -44,6 +67,8 @@ type event =
   | Decode_failed of { from : int }
   | Blocks_served of { dst : int; blocks : Hash_id.t list }
   | Redundant_received of { from : int; blocks : Hash_id.t list }
+  | Blocks_suppressed of { dst : int; blocks : Hash_id.t list }
+  | Peer_advertised of { from : int; hashes : Hash_id.t list }
 
 type effect_ =
   | Send of { dst : int; bytes : string }
@@ -62,11 +87,7 @@ type session_state = {
 
 type t = {
   user_id : Hash_id.t;
-  policy_ : policy;
-  mode : Reconcile.mode;
-  stale_after_ms : float;
-  session_timeout_ms : float;
-  retry_limit : int;
+  config : Config.t;
   session : session_state option;
   retries : int;
       (* The retransmit budget is deliberately {e peer}-level, not
@@ -81,6 +102,14 @@ type t = {
          plus genesis — maintained incrementally so answering a request
          does not rebuild the DAG (the old per-request [topo_order] fold
          was O(n) per message, O(n²) per sync). *)
+  knowledge : HSet.t IMap.t;
+      (* Per-peer knowledge cache (enabled when
+         [config.knowledge_cache > 0]): hashes this peer is known to
+         hold — blocks we shipped it, blocks it shipped us, hashes it
+         advertised in requests or digest leaves. Consulted before every
+         reply [Send] so repeat exchanges ship only the true
+         difference. Ordered containers only: iteration order feeds
+         deterministic effect lists. *)
 }
 
 (* The censored view admits a block only when its (censored) ancestry is
@@ -95,32 +124,29 @@ let censor_add user_id dag (b : Block.t) =
 let build_censored user_id full =
   Seq.fold_left (censor_add user_id) Dag.empty (Dag.topo_seq full)
 
-let create ?(policy = Honest) ?(mode = `Naive) ?(stale_after_ms = 5_000.)
-    ?(session_timeout_ms = 30_000.) ?(retry_limit = 3) ~user_id ~dag () =
+let create ?(config = Config.default) ~user_id ~dag () =
   {
     user_id;
-    policy_ = policy;
-    mode;
-    stale_after_ms;
-    session_timeout_ms;
-    retry_limit;
+    config;
     session = None;
     retries = 0;
     generation_ = 0;
     censored =
-      (match policy with
+      (match config.Config.policy with
       | Honest | Silent -> None
       | Withholding -> Some (build_censored user_id dag));
+    knowledge = IMap.empty;
   }
 
-let policy t = t.policy_
+let config t = t.config
+let policy t = t.config.Config.policy
 let generation t = t.generation_
 let busy t = Option.is_some t.session
 
 let next_wakeup t =
   match t.session with
   | None -> None
-  | Some s -> Some (s.last_activity +. t.stale_after_ms)
+  | Some s -> Some (s.last_activity +. t.config.Config.stale_after_ms)
 
 let serving_view t ~dag =
   match t.censored with Some censored -> censored | None -> dag
@@ -130,20 +156,88 @@ let absorb t (b : Block.t) =
   | None -> t
   | Some censored -> { t with censored = Some (censor_add t.user_id censored b) }
 
+(* ------------------------------------------------------------------ *)
+(* Per-peer knowledge cache                                             *)
+
+let cache_enabled t = t.config.Config.knowledge_cache > 0
+
+let known_set t peer =
+  match IMap.find_opt peer t.knowledge with Some s -> s | None -> HSet.empty
+
+let known_to t ~peer = HSet.elements (known_set t peer)
+
+(* Record that [peer] holds [hashes]. Bounded per peer by
+   [config.knowledge_cache]; on overflow the peer's cache resets to
+   empty (a deterministic epoch clear — no insertion-order tracking, so
+   no unordered iteration sneaks into the effect stream). A cold cache
+   only costs redundant transfers, never correctness. *)
+let cache_note t peer hashes =
+  match hashes with
+  | [] -> t
+  | _ :: _ when not (cache_enabled t) -> t
+  | _ :: _ ->
+    let known = List.fold_left (fun s h -> HSet.add h s) (known_set t peer) hashes in
+    let known =
+      if HSet.cardinal known > t.config.Config.knowledge_cache then HSet.empty
+      else known
+    in
+    { t with knowledge = IMap.add peer known t.knowledge }
+
+(* Hashes a request proves its sender holds: an indexed request carries
+   the sender's frontier and recent ancestry; an explicit block request
+   names hashes the sender *lacks*, and bloom/digest requests are not
+   enumerable — nothing to learn from those. *)
+let request_evidence = function
+  | Reconcile.Sync_request { frontier; recent } -> frontier @ recent
+  | Reconcile.Frontier_request _ | Reconcile.Bloom_request _
+  | Reconcile.Blocks_request _ | Reconcile.Digest_request _
+  | Reconcile.Frontier_reply _ | Reconcile.Sync_reply _
+  | Reconcile.Bloom_reply _ | Reconcile.Blocks_reply _
+  | Reconcile.Digest_reply _ ->
+    []
+
+(* Drop blocks [known] already attributes to the peer from a reply's
+   payload. Only payload-bearing replies change; the protocol control
+   fields (levels, digests, hash lists) pass through untouched, so the
+   initiator's narrowing logic still sees a structurally honest reply —
+   just without re-shipped block bodies. *)
+let suppress_known known reply =
+  let split blocks =
+    List.partition (fun (b : Block.t) -> not (HSet.mem b.Block.hash known)) blocks
+  in
+  match reply with
+  | Reconcile.Frontier_reply { level; blocks } ->
+    let keep, dropped = split blocks in
+    (Reconcile.Frontier_reply { level; blocks = keep }, dropped)
+  | Reconcile.Sync_reply { blocks } ->
+    let keep, dropped = split blocks in
+    (Reconcile.Sync_reply { blocks = keep }, dropped)
+  | Reconcile.Bloom_reply { blocks } ->
+    let keep, dropped = split blocks in
+    (Reconcile.Bloom_reply { blocks = keep }, dropped)
+  | Reconcile.Blocks_reply { blocks } ->
+    let keep, dropped = split blocks in
+    (Reconcile.Blocks_reply { blocks = keep }, dropped)
+  | Reconcile.Frontier_request _ | Reconcile.Sync_request _
+  | Reconcile.Bloom_request _ | Reconcile.Blocks_request _
+  | Reconcile.Digest_request _ | Reconcile.Digest_reply _ ->
+    (reply, [])
+
 let encode m =
   let b = Buffer.create 256 in
   Reconcile.encode_message b m;
   Buffer.contents b
 
-let stale t (s : session_state) ~now = now -. s.last_activity > t.stale_after_ms
+let stale t (s : session_state) ~now =
+  now -. s.last_activity > t.config.Config.stale_after_ms
 
 let will_initiate t ~now =
-  match t.policy_ with
+  match t.config.Config.policy with
   | Silent -> false
   | Honest | Withholding -> begin
     match t.session with
     | None -> true
-    | Some s -> stale t s ~now && t.retries >= t.retry_limit
+    | Some s -> stale t s ~now && t.retries >= t.config.Config.retry_limit
   end
 
 (* One gossip round: first housekeep the in-flight session (retransmit a
@@ -155,7 +249,7 @@ let tick t ~now ~dag ~peer =
   let t, housekeeping =
     match t.session with
     | Some s when stale t s ~now ->
-      if t.retries < t.retry_limit then
+      if t.retries < t.config.Config.retry_limit then
         let s = { s with last_activity = now } in
         let t = { t with session = Some s; retries = t.retries + 1 } in
         ( t,
@@ -174,9 +268,9 @@ let tick t ~now ~dag ~peer =
           ] )
     | Some _ | None -> (t, [])
   in
-  match (t.session, t.policy_, peer) with
+  match (t.session, t.config.Config.policy, peer) with
   | None, (Honest | Withholding), Some dst ->
-    let recon, first = Reconcile.start t.mode dag in
+    let recon, first = Reconcile.start t.config.Config.mode dag in
     let generation = t.generation_ + 1 in
     let session =
       Some { dst; generation; recon; last_activity = now; started_at = now }
@@ -188,7 +282,7 @@ let tick t ~now ~dag ~peer =
           Set_timer
             {
               key = Session_timeout { generation };
-              after_ms = t.session_timeout_ms;
+              after_ms = t.config.Config.session_timeout_ms;
             };
           Send { dst; bytes = encode first };
         ] )
@@ -206,7 +300,8 @@ let served_blocks = function
   | Reconcile.Blocks_reply { blocks } ->
     List.map (fun (b : Block.t) -> b.Block.hash) blocks
   | Reconcile.Frontier_request _ | Reconcile.Sync_request _
-  | Reconcile.Bloom_request _ | Reconcile.Blocks_request _ ->
+  | Reconcile.Bloom_request _ | Reconcile.Blocks_request _
+  | Reconcile.Digest_request _ | Reconcile.Digest_reply _ ->
     []
 
 let on_reply t ~now ~dag ~from msg =
@@ -214,6 +309,17 @@ let on_reply t ~now ~dag ~from msg =
   | Some s when Int.equal s.dst from ->
     let s = { s with last_activity = now } in
     let t = { t with retries = 0 } in
+    (* Everything a reply carries is evidence of the responder's
+       holdings: block payloads it shipped and hashes it advertised in
+       digest leaves both enter the peer's knowledge cache. *)
+    let t = cache_note t from (served_blocks msg) in
+    let advertised = Reconcile.advertised_hashes msg in
+    let t = cache_note t from advertised in
+    let advert_trace =
+      match advertised with
+      | [] -> []
+      | hashes -> [ Trace (Peer_advertised { from; hashes }) ]
+    in
     (* Blocks this reply carried that we already hold: the waste term of
        gossip efficiency, matching [Reconcile.stats.redundant_blocks]
        but with the hashes attached. Emitted only for accepted replies,
@@ -229,7 +335,7 @@ let on_reply t ~now ~dag ~from msg =
       match step with
       | Reconcile.Send next ->
         ( { t with session = Some s },
-          redundant @ [ Send { dst = from; bytes = encode next } ] )
+          advert_trace @ redundant @ [ Send { dst = from; bytes = encode next } ] )
       | Reconcile.Ignored -> ({ t with session = Some s }, [])
       | Reconcile.Finished { new_blocks; stats } ->
         let t = { t with session = None } in
@@ -237,7 +343,7 @@ let on_reply t ~now ~dag ~from msg =
            fresh replica); keep the censored serving view caught up. *)
         let t = List.fold_left absorb t new_blocks in
         ( t,
-          redundant
+          advert_trace @ redundant
           @ [
               Session_done stats;
               Deliver new_blocks;
@@ -260,14 +366,40 @@ let on_message t ~now ~dag ~from bytes =
     match Reconcile.respond (serving_view t ~dag) msg with
     | Some reply ->
       (* It was a request. Silent peers do not answer. *)
-      if t.policy_ = Silent then (t, [ Trace (Request_suppressed { src = from }) ])
+      if (match t.config.Config.policy with
+         | Silent -> true
+         | Honest | Withholding -> false)
+      then (t, [ Trace (Request_suppressed { src = from }) ])
       else
+        (* What the request itself proves the peer holds, then the cache
+           filter: blocks the cache already attributes to the peer are
+           withheld from the payload, and what actually ships is
+           recorded so the next exchange starts from there. *)
+        let t = cache_note t from (request_evidence msg) in
+        let reply, dropped =
+          if cache_enabled t then suppress_known (known_set t from) reply
+          else (reply, [])
+        in
+        let suppressed =
+          match dropped with
+          | [] -> []
+          | blocks ->
+            [
+              Trace
+                (Blocks_suppressed
+                   {
+                     dst = from;
+                     blocks = List.map (fun (b : Block.t) -> b.Block.hash) blocks;
+                   });
+            ]
+        in
+        let t = cache_note t from (served_blocks reply) in
         let serving =
           match served_blocks reply with
           | [] -> []
           | blocks -> [ Trace (Blocks_served { dst = from; blocks }) ]
         in
-        (t, (Send { dst = from; bytes = encode reply } :: serving))
+        (t, (Send { dst = from; bytes = encode reply } :: serving) @ suppressed)
     | None -> on_reply t ~now ~dag ~from msg
   end
 
@@ -320,9 +452,14 @@ let event_equal a b =
     Int.equal a.dst b.dst && List.equal Hash_id.equal a.blocks b.blocks
   | Redundant_received a, Redundant_received b ->
     Int.equal a.from b.from && List.equal Hash_id.equal a.blocks b.blocks
+  | Blocks_suppressed a, Blocks_suppressed b ->
+    Int.equal a.dst b.dst && List.equal Hash_id.equal a.blocks b.blocks
+  | Peer_advertised a, Peer_advertised b ->
+    Int.equal a.from b.from && List.equal Hash_id.equal a.hashes b.hashes
   | ( ( Session_started _ | Request_resent _ | Session_completed _
       | Session_aborted _ | Request_suppressed _ | Reply_ignored _
-      | Decode_failed _ | Blocks_served _ | Redundant_received _ ),
+      | Decode_failed _ | Blocks_served _ | Redundant_received _
+      | Blocks_suppressed _ | Peer_advertised _ ),
       _ ) ->
     false
 
@@ -359,6 +496,10 @@ let pp_event ppf = function
     Fmt.pf ppf "blocks-served(dst=%d %d blocks)" dst (List.length blocks)
   | Redundant_received { from; blocks } ->
     Fmt.pf ppf "redundant-received(from=%d %d blocks)" from (List.length blocks)
+  | Blocks_suppressed { dst; blocks } ->
+    Fmt.pf ppf "blocks-suppressed(dst=%d %d blocks)" dst (List.length blocks)
+  | Peer_advertised { from; hashes } ->
+    Fmt.pf ppf "peer-advertised(from=%d %d hashes)" from (List.length hashes)
 
 let pp_effect ppf = function
   | Send { dst; bytes } -> Fmt.pf ppf "send(dst=%d %dB)" dst (String.length bytes)

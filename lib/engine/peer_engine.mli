@@ -28,6 +28,40 @@ open Vegvisir
     blocks, answering from a censored view of its replica. *)
 type policy = Honest | Silent | Withholding
 
+(** {1 Configuration}
+
+    What used to be five optional positional arguments on [create] —
+    adding a knob no longer ripples through every host. *)
+module Config : sig
+  type t = {
+    policy : policy;
+    mode : Reconcile.mode;
+    stale_after_ms : float;
+        (** a session with no progress for this long retransmits its
+            current request (then abandons once the budget is spent) *)
+    session_timeout_ms : float;  (** per-session hard deadline *)
+    retry_limit : int;
+        (** peer-level retransmit budget — see {!create} *)
+    knowledge_cache : int;
+        (** per-peer knowledge-cache capacity in hashes; [0] (the
+            default) disables caching entirely, keeping the engine's
+            effect stream byte-identical to the pre-cache protocol.
+            When enabled, the engine remembers per peer every hash it
+            shipped them, every hash they shipped or advertised, and
+            filters reply payloads down to the true difference
+            ([Blocks_suppressed] traces account the savings). On
+            overflow a peer's cache resets to empty — a deterministic
+            epoch clear; a cold cache costs only redundant transfer,
+            never correctness. Sent-to-peer records assume frames are
+            delivered: enable over reliable transports (the simnet,
+            TCP), not raw lossy links. *)
+  }
+
+  val default : t
+  (** [Honest], [Naive] mode, 5 s stale, 30 s timeout, 3 retries,
+      caching disabled. *)
+end
+
 (** {1 Timers} *)
 
 (** Typed timer identity — what used to be stringly "gossip" /
@@ -101,6 +135,17 @@ type event =
           wasted transfer work; the hash-level counterpart of
           [Reconcile.stats.redundant_blocks] and the waste term of the
           health monitor's gossip-efficiency metric *)
+  | Blocks_suppressed of { dst : int; blocks : Hash_id.t list }
+      (** the knowledge cache withheld these block payloads from a reply
+          to [dst] because the cache already attributes them to it — the
+          savings term of the per-peer cache, journaled so the
+          scoreboard can report cache effectiveness *)
+  | Peer_advertised of { from : int; hashes : Hash_id.t list }
+      (** a reply from [from] advertised these hashes without shipping
+          the blocks (digest leaves): [from] provably holds them. Hosts
+          feed this to {!Vegvisir.Pending_pool.advertise} so eviction
+          prefers blocks no peer ever advertised, and to the knowledge
+          cache when enabled *)
 
 type effect_ =
   | Send of { dst : int; bytes : string }  (** transmit one frame *)
@@ -115,27 +160,17 @@ type effect_ =
 
 type t
 
-val create :
-  ?policy:policy ->
-  ?mode:Reconcile.mode ->
-  ?stale_after_ms:float ->
-  ?session_timeout_ms:float ->
-  ?retry_limit:int ->
-  user_id:Hash_id.t ->
-  dag:Dag.t ->
-  unit ->
-  t
-(** A fresh idle engine. [dag] is the replica's state {e now} — used only
-    to seed the withholding censored view; later transitions read the
-    replica through {!handle}'s [dag] argument. A session with no
-    progress for [stale_after_ms] (default 5000) retransmits its current
-    request until the retransmit budget of [retry_limit] (default 3) is
-    spent, then is abandoned. The budget is {e peer}-level: starting a new
-    session does not refill it — only actually hearing a reply does — so a
-    peer in a lossy or sleepy neighbourhood quickly abandons stale
-    sessions and re-pairs with fresh neighbors rather than burning
-    retransmissions. [session_timeout_ms] (default 30000) is the
-    per-session hard deadline. *)
+val create : ?config:Config.t -> user_id:Hash_id.t -> dag:Dag.t -> unit -> t
+(** A fresh idle engine (config defaults to {!Config.default}). [dag] is
+    the replica's state {e now} — used only to seed the withholding
+    censored view; later transitions read the replica through
+    {!handle}'s [dag] argument. A session with no progress for
+    [stale_after_ms] retransmits its current request until the
+    retransmit budget of [retry_limit] is spent, then is abandoned. The
+    budget is {e peer}-level: starting a new session does not refill it
+    — only actually hearing a reply does — so a peer in a lossy or
+    sleepy neighbourhood quickly abandons stale sessions and re-pairs
+    with fresh neighbors rather than burning retransmissions. *)
 
 val handle : t -> now:float -> dag:Dag.t -> input -> t * effect_ list
 (** The transition function. [now] is the driver's clock in milliseconds
@@ -161,8 +196,14 @@ val next_wakeup : t -> float option
     polling; re-read after every {!handle}, since any reply moves it. *)
 
 val policy : t -> policy
+val config : t -> Config.t
 val generation : t -> int
 (** Number of sessions ever initiated; the current session's identity. *)
+
+val known_to : t -> peer:int -> Hash_id.t list
+(** The knowledge cache's current view of [peer]'s holdings, in
+    {!Hash_id.compare} order. Empty when caching is disabled or the
+    peer is unknown. *)
 
 (** {1 Equality and printing (test/driver support)} *)
 

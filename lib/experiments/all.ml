@@ -11,6 +11,7 @@ let experiments =
     ("e9", Exp_sigsize.run);
     ("e10", Exp_cluster.run);
     ("e11", Exp_dutycycle.run);
+    ("e12", Exp_sync.run);
   ]
 
 let run_one ?quick id =

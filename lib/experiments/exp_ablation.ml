@@ -10,8 +10,8 @@ let diverged_pair ~shared ~each =
   for i = 1 to shared do
     let node = if i mod 2 = 0 then a else b in
     Workload.append_chain node ~label:(Printf.sprintf "s%d" i) ~n:1;
-    let da, _ = V.Reconcile.sync_dags `Indexed (V.Node.dag a) (V.Node.dag b) in
-    let db, _ = V.Reconcile.sync_dags `Indexed (V.Node.dag b) (V.Node.dag a) in
+    let da, _ = V.Reconcile.sync_dags V.Reconcile.Indexed (V.Node.dag a) (V.Node.dag b) in
+    let db, _ = V.Reconcile.sync_dags V.Reconcile.Indexed (V.Node.dag b) (V.Node.dag a) in
     (* Re-inject the merged DAGs through the node receive path. *)
     V.Node.receive_seq a ~now:(V.Timestamp.of_ms 100_000L) (V.Dag.topo_seq da);
     V.Node.receive_seq b ~now:(V.Timestamp.of_ms 100_000L) (V.Dag.topo_seq db)
@@ -27,7 +27,12 @@ let bidirectional mode a b =
   V.Reconcile.add_stats s1 s2
 
 let protocols : (string * V.Reconcile.mode) list =
-  [ ("naive (Alg. 1)", `Naive); ("indexed", `Indexed); ("bloom", `Bloom) ]
+  [
+    ("naive (Alg. 1)", V.Reconcile.Naive);
+    ("indexed", V.Reconcile.Indexed);
+    ("bloom", V.Reconcile.Bloom);
+    ("digest", V.Reconcile.Digest);
+  ]
 
 let rows_for ~shared ~each =
   let naive_tx = ref 1 in
@@ -36,7 +41,7 @@ let rows_for ~shared ~each =
       let a, b = diverged_pair ~shared ~each in
       let s = bidirectional mode a b in
       let tx = s.V.Reconcile.bytes_sent + s.V.Reconcile.bytes_received in
-      if mode = `Naive then naive_tx := tx;
+      if V.Reconcile.Mode.equal mode V.Reconcile.Naive then naive_tx := tx;
       [
         Report.fi shared;
         Report.fi each;

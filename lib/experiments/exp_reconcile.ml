@@ -9,8 +9,8 @@ let run_depth d =
   let a, b, _genesis = Workload.offline_pair () in
   Workload.append_chain b ~label:"b" ~n:d;
   let dag_a = V.Node.dag a and dag_b = V.Node.dag b in
-  let _, naive = V.Reconcile.sync_dags `Naive dag_a dag_b in
-  let merged, indexed = V.Reconcile.sync_dags `Indexed dag_a dag_b in
+  let _, naive = V.Reconcile.sync_dags V.Reconcile.Naive dag_a dag_b in
+  let merged, indexed = V.Reconcile.sync_dags V.Reconcile.Indexed dag_a dag_b in
   assert (V.Dag.cardinal merged = V.Dag.cardinal dag_b);
   (naive, indexed, full_dag_bytes dag_b)
 

@@ -216,6 +216,7 @@ let check ~path structure =
     || has_prefix [ "lib"; "engine" ] lp
     || has_prefix [ "lib"; "obs" ] lp
     || has_prefix [ "lib"; "cli" ] lp
+    || path_eq lp [ "lib"; "core"; "sync_strategy.ml" ]
   in
   let engine_on = has_prefix [ "lib"; "engine" ] lp in
   (* lib/obs owns rendering (sinks decide where bytes go) and lib/engine
@@ -234,6 +235,7 @@ let check ~path structure =
   let full_scan_on =
     has_prefix [ "lib"; "engine" ] lp
     || path_eq lp [ "lib"; "core"; "reconcile.ml" ]
+    || path_eq lp [ "lib"; "core"; "sync_strategy.ml" ]
   in
   let bound = bound_value_names structure in
   let findings = ref [] in

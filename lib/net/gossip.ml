@@ -38,8 +38,9 @@ type t = {
 
 let max_fed = 4096
 
-let create ~net ~nodes ?behaviors ?(mode = `Naive) ?(interval_ms = 1000.)
-    ?(stale_after_ms = 5_000.) ?(session_timeout_ms = 30_000.) ?tap ?obs () =
+let create ~net ~nodes ?behaviors ?(mode = Reconcile.Naive)
+    ?(knowledge_cache = 0) ?(interval_ms = 1000.) ?(stale_after_ms = 5_000.)
+    ?(session_timeout_ms = 30_000.) ?tap ?obs () =
   let n = Array.length nodes in
   if Topology.size (Simnet.topo net) <> n then
     invalid_arg "Gossip.create: nodes/topology size mismatch";
@@ -59,11 +60,18 @@ let create ~net ~nodes ?behaviors ?(mode = `Naive) ?(interval_ms = 1000.)
             node_ = nodes.(i);
             behavior_ = behaviors.(i);
             engine =
-              Peer_engine.create ~policy:behaviors.(i) ~mode
-                (* A session with no recent progress retransmits before it
-                   is abandoned; "recent" scales with the gossip cadence. *)
-                ~stale_after_ms:(max stale_after_ms (2. *. interval_ms))
-                ~session_timeout_ms
+              Peer_engine.create
+                ~config:
+                  {
+                    Peer_engine.Config.default with
+                    Peer_engine.Config.policy = behaviors.(i);
+                    mode;
+                    (* A session with no recent progress retransmits before
+                       it is abandoned; "recent" scales with the cadence. *)
+                    stale_after_ms = max stale_after_ms (2. *. interval_ms);
+                    session_timeout_ms;
+                    knowledge_cache;
+                  }
                 ~user_id:(Node.user_id nodes.(i))
                 ~dag:(Node.dag nodes.(i))
                 ();
@@ -236,6 +244,26 @@ let apply_effect t i ~src (eff : Peer_engine.effect_) =
             (Obs.Event.Block_redundant
                { node = node_name i; block = h; peer = Some (node_name from) }))
         blocks
+    | Peer_engine.Blocks_suppressed { dst; blocks } ->
+      emit t
+        (Obs.Event.Blocks_suppressed
+           {
+             node = node_name i;
+             peer = node_name dst;
+             blocks = List.length blocks;
+           })
+    | Peer_engine.Peer_advertised { from; hashes } ->
+      (* Advertisement evidence flows two ways: the pending pool learns
+         which buffered orphans some peer vouches for (eviction spares
+         them), and the trace counts the hashes. *)
+      List.iter (Node.note_advertised t.peers.(i).node_) hashes;
+      emit t
+        (Obs.Event.Blocks_advertised
+           {
+             node = node_name i;
+             peer = node_name from;
+             hashes = List.length hashes;
+           })
     | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
     | Peer_engine.Decode_failed _ ->
       ()

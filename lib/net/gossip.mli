@@ -46,6 +46,7 @@ val create :
   nodes:Vegvisir.Node.t array ->
   ?behaviors:behavior array ->
   ?mode:Vegvisir.Reconcile.mode ->
+  ?knowledge_cache:int ->
   ?interval_ms:float ->
   ?stale_after_ms:float ->
   ?session_timeout_ms:float ->
@@ -54,6 +55,10 @@ val create :
   unit ->
   t
 (** One gossip peer per node; array sizes must match the topology.
+
+    [knowledge_cache] sets every engine's
+    {!Vegvisir_engine.Peer_engine.Config} per-peer knowledge-cache
+    capacity (default [0]: disabled, byte-identical legacy behavior).
 
     [obs] routes block-lifecycle and session telemetry into an
     observability context. When omitted, the agent shares the radio's

@@ -23,8 +23,9 @@ let make_signer kind i =
     Signer.oracle ~signature_size:bytes ~id:(Printf.sprintf "peer-%d" i) ()
   | Mss h -> Signer.mss ~height:h ~seed:(Printf.sprintf "peer-seed-%d" i) ()
 
-let build ?(seed = 1L) ?(link = Link.default) ?behaviors ?(mode = `Naive)
-    ?(interval_ms = 1000.) ?stale_after_ms ?session_timeout_ms ?tap ?obs
+let build ?(seed = 1L) ?(link = Link.default) ?behaviors
+    ?(mode = Reconcile.Naive) ?knowledge_cache ?(interval_ms = 1000.)
+    ?stale_after_ms ?session_timeout_ms ?tap ?obs
     ?(signer = Oracle) ?role_of ?(init_crdts = []) ~topo () =
   let n = Topology.size topo in
   if n = 0 then invalid_arg "Scenario.build: empty topology";
@@ -63,8 +64,8 @@ let build ?(seed = 1L) ?(link = Link.default) ?behaviors ?(mode = `Naive)
   in
   Simnet.set_obs net obs;
   let gossip =
-    Gossip.create ~net ~nodes ?behaviors ~mode ~interval_ms ?stale_after_ms
-      ?session_timeout_ms ?tap ~obs ()
+    Gossip.create ~net ~nodes ?behaviors ~mode ?knowledge_cache ~interval_ms
+      ?stale_after_ms ?session_timeout_ms ?tap ~obs ()
   in
   Array.iteri (fun i _ -> Gossip.receive gossip i genesis) nodes;
   { net; gossip; genesis; certs; obs; started = false }

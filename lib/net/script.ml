@@ -44,11 +44,8 @@ let parse_elem = function
   | "bytes" -> Ok Value.T_bytes
   | e -> Error ("unknown element type: " ^ e)
 
-let parse_mode = function
-  | "naive" -> Ok `Naive
-  | "indexed" -> Ok `Indexed
-  | "bloom" -> Ok `Bloom
-  | m -> Error ("unknown mode: " ^ m)
+let parse_mode m =
+  Option.to_result ~none:("unknown mode: " ^ m) (V.Reconcile.Mode.of_string m)
 
 let int_field name s =
   Option.to_result ~none:(name ^ " is not an integer: " ^ s) (int_of_string_opt s)
@@ -73,7 +70,7 @@ let parse text =
         topo = Clique;
         seed = 1L;
         interval_ms = 800.;
-        mode = `Naive;
+        mode = V.Reconcile.Naive;
         duty = None;
         crdts = [];
         events = [];

@@ -16,6 +16,10 @@ let derive reg ev =
   | Event.Block_dropped { node; _ } -> count reg ~node "gossip.blocks_dropped"
   | Event.Block_redundant { node; _ } ->
     count reg ~node "gossip.blocks_redundant"
+  | Event.Blocks_suppressed { node; blocks; _ } ->
+    count_n reg ~node "gossip.blocks_suppressed" blocks
+  | Event.Blocks_advertised { node; hashes; _ } ->
+    count_n reg ~node "gossip.blocks_advertised" hashes
   | Event.Net_sent { src; _ } -> count reg ~node:src "net.sent"
   | Event.Net_delivered { dst; _ } -> count reg ~node:dst "net.delivered"
   | Event.Net_dropped { src; _ } -> count reg ~node:src "net.dropped"

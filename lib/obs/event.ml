@@ -17,6 +17,8 @@ type t =
     }
   | Block_dropped of { node : node; block : Hash_id.t }
   | Block_redundant of { node : node; block : Hash_id.t; peer : node option }
+  | Blocks_suppressed of { node : node; peer : node; blocks : int }
+  | Blocks_advertised of { node : node; peer : node; hashes : int }
   | Net_sent of { src : node; dst : node; bytes : int }
   | Net_delivered of { src : node; dst : node; bytes : int }
   | Net_dropped of { src : node; dst : node; bytes : int; reason : drop_reason }
@@ -112,7 +114,9 @@ let groups_equal a b =
 
 let subsystem = function
   | Block _ -> "block"
-  | Block_dropped _ | Block_redundant _ -> "gossip"
+  | Block_dropped _ | Block_redundant _ | Blocks_suppressed _
+  | Blocks_advertised _ ->
+    "gossip"
   | Net_sent _ | Net_delivered _ | Net_dropped _ | Partition_changed _ -> "net"
   | Session_started _ | Session_completed _ | Session_aborted _
   | Request_resent _ ->
@@ -126,6 +130,8 @@ let primary_node = function
   | Block { node; _ }
   | Block_dropped { node; _ }
   | Block_redundant { node; _ }
+  | Blocks_suppressed { node; _ }
+  | Blocks_advertised { node; _ }
   | Session_started { node; _ }
   | Session_completed { node; _ }
   | Session_aborted { node; _ }
@@ -146,6 +152,8 @@ let kind = function
   | Block { phase; _ } -> phase_to_string phase
   | Block_dropped _ -> "block-dropped"
   | Block_redundant _ -> "block-redundant"
+  | Blocks_suppressed _ -> "blocks-suppressed"
+  | Blocks_advertised _ -> "blocks-advertised"
   | Net_sent _ -> "sent"
   | Net_delivered _ -> "delivered"
   | Net_dropped _ -> "dropped"
@@ -187,6 +195,12 @@ let equal a b =
     String.equal a.node b.node
     && Hash_id.equal a.block b.block
     && opt_node_equal a.peer b.peer
+  | Blocks_suppressed a, Blocks_suppressed b ->
+    String.equal a.node b.node && String.equal a.peer b.peer
+    && Int.equal a.blocks b.blocks
+  | Blocks_advertised a, Blocks_advertised b ->
+    String.equal a.node b.node && String.equal a.peer b.peer
+    && Int.equal a.hashes b.hashes
   | Partition_changed a, Partition_changed b -> groups_equal a.groups b.groups
   | Net_sent a, Net_sent b ->
     String.equal a.src b.src && String.equal a.dst b.dst
@@ -235,7 +249,8 @@ let equal a b =
   | Recovery_completed a, Recovery_completed b ->
     String.equal a.node b.node && String.equal a.peer b.peer
     && Int.equal a.blocks b.blocks
-  | ( ( Block _ | Block_dropped _ | Block_redundant _ | Net_sent _
+  | ( ( Block _ | Block_dropped _ | Block_redundant _ | Blocks_suppressed _
+      | Blocks_advertised _ | Net_sent _
       | Net_delivered _ | Net_dropped _ | Partition_changed _
       | Session_started _ | Session_completed _ | Session_aborted _
       | Request_resent _ | Leader_elected _ | Block_archived _
@@ -285,6 +300,10 @@ let fields = function
   | Block_redundant { node; block; peer } ->
     [ ("node", S node); ("block", S (Hash_id.to_hex block)) ]
     @ (match peer with None -> [] | Some p -> [ ("peer", S p) ])
+  | Blocks_suppressed { node; peer; blocks } ->
+    [ ("node", S node); ("peer", S peer); ("blocks", I blocks) ]
+  | Blocks_advertised { node; peer; hashes } ->
+    [ ("node", S node); ("peer", S peer); ("hashes", I hashes) ]
   | Net_sent { src; dst; bytes } | Net_delivered { src; dst; bytes } ->
     [ ("src", S src); ("dst", S dst); ("bytes", I bytes) ]
   | Partition_changed { groups } -> [ ("groups", S (groups_to_string groups)) ]
@@ -525,6 +544,12 @@ let decode assoc =
           block = hash_field "block" assoc;
           peer = List.assoc_opt "peer" assoc;
         }
+    | "gossip", "blocks-suppressed" ->
+      Blocks_suppressed
+        { node = node (); peer = peer (); blocks = int_field "blocks" assoc }
+    | "gossip", "blocks-advertised" ->
+      Blocks_advertised
+        { node = node (); peer = peer (); hashes = int_field "hashes" assoc }
     | "net", "partition" -> begin
       match groups_of_string (field "groups" assoc) with
       | Some groups -> Partition_changed { groups }

@@ -230,7 +230,8 @@ let observe t ~ts ev =
     t.partition <- groups;
     match groups with None -> mark t ~ts (* heal *) | Some _ -> ()
   end
-  | Event.Block_dropped _ | Event.Net_sent _ | Event.Net_delivered _
+  | Event.Block_dropped _ | Event.Blocks_suppressed _ | Event.Blocks_advertised _
+  | Event.Net_sent _ | Event.Net_delivered _
   | Event.Net_dropped _ | Event.Session_started _ | Event.Session_completed _
   | Event.Session_aborted _ | Event.Request_resent _ | Event.Leader_elected _
   | Event.Block_archived _ | Event.Store_loaded _ | Event.Store_saved _

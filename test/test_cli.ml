@@ -50,7 +50,7 @@ let enroll_and_sync () =
   let _ = Result.get_ok (Node_store.append bob ~crdt:"log" ~op:"add" [ Value.String "from-bob" ]) in
   (* CA pulls from bob's directory. *)
   let ca = Result.get_ok (Node_store.load ~dir:ca.Node_store.dir) in
-  let stats = Node_store.sync ca ~from:bob ~mode:`Indexed in
+  let stats = Node_store.sync ca ~from:bob ~mode:V.Reconcile.Indexed in
   check_b "got bob's block" true (stats.V.Reconcile.blocks_received >= 1);
   (match V.Csm.query (V.Node.csm ca.Node_store.node) ~crdt:"log" ~op:"mem" [ Value.String "from-bob" ] with
    | Ok (Value.Bool true) -> ()

@@ -594,6 +594,32 @@ let reconcile_message_roundtrip () =
       Reconcile.Sync_request
         { frontier = [ genesis.Block.hash ]; recent = [ Hash_id.digest "r" ] };
       Reconcile.Sync_reply { blocks = [ genesis ] };
+      Reconcile.Bloom_request { filter = "\x01\x02\xff" };
+      Reconcile.Bloom_reply { blocks = [ genesis ] };
+      Reconcile.Blocks_request
+        { hashes = [ genesis.Block.hash; Hash_id.digest "q" ] };
+      Reconcile.Blocks_reply { blocks = [ genesis ] };
+      Reconcile.Digest_request
+        {
+          upto = 7;
+          intervals =
+            [
+              { Reconcile.lo = 0; hi = 3; digest = "\x00abc" };
+              { Reconcile.lo = 4; hi = 7; digest = "" };
+            ];
+        };
+      Reconcile.Digest_reply
+        {
+          splits = [ { Reconcile.lo = 0; hi = 1; digest = "dd" } ];
+          leaves =
+            [
+              {
+                Reconcile.lo = 2;
+                hi = 3;
+                hashes = [ genesis.Block.hash; Hash_id.digest "leaf" ];
+              };
+            ];
+        };
     ]
   in
   List.iter
@@ -618,7 +644,7 @@ let reconcile_modes_converge () =
       let merged2, stats2 = Reconcile.sync_dags mode merged dag in
       check_i "idempotent" (Dag.cardinal merged) (Dag.cardinal merged2);
       check_i "single round when identical" 1 stats2.Reconcile.rounds)
-    [ `Naive; `Indexed; `Bloom ]
+    [ Reconcile.Naive; Reconcile.Indexed; Reconcile.Bloom; Reconcile.Digest ]
 
 let reconcile_escalation_depth () =
   let a, b, _ = (fun () ->
@@ -638,9 +664,9 @@ let reconcile_escalation_depth () =
     | Ok tx -> ignore (Node.append b ~now:(ts (i * 10)) [ tx ])
     | Error _ -> Alcotest.fail "prepare"
   done;
-  let _, stats = Reconcile.sync_dags `Naive (Node.dag a) (Node.dag b) in
+  let _, stats = Reconcile.sync_dags Reconcile.Naive (Node.dag a) (Node.dag b) in
   check_i "naive rounds = divergence depth" 5 stats.Reconcile.rounds;
-  let _, istats = Reconcile.sync_dags `Indexed (Node.dag a) (Node.dag b) in
+  let _, istats = Reconcile.sync_dags Reconcile.Indexed (Node.dag a) (Node.dag b) in
   check_i "indexed single round" 1 istats.Reconcile.rounds;
   check_b "indexed fewer bytes" true
     (istats.Reconcile.bytes_received < stats.Reconcile.bytes_received)
@@ -800,6 +826,60 @@ let node_prune_to () =
   match Node.append n ~now:(ts 1000) [] with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "append after prune: %a" Node.pp_append_error e
+
+let reconcile_digest_extension () =
+  let dag, _, _, _, _ = diamond () in
+  (* An initiator that believes history stops below our max height gets
+     the uncovered span back as an extension interval to narrow next. *)
+  match
+    Reconcile.respond dag (Reconcile.Digest_request { upto = 0; intervals = [] })
+  with
+  | Some (Reconcile.Digest_reply { splits; leaves }) ->
+    check_b "extension interval present" true (splits <> [] || leaves <> []);
+    List.iter
+      (fun (iv : Reconcile.interval) ->
+        check_b "extension starts above upto" true (iv.lo >= 1 && iv.hi >= iv.lo))
+      splits;
+    List.iter
+      (fun (l : Reconcile.leaf) ->
+        check_b "leaf starts above upto" true (l.lo >= 1 && l.hi >= l.lo))
+      leaves
+  | _ -> Alcotest.fail "digest request must elicit a digest reply"
+
+let reconcile_foreign_reply_ignored () =
+  let dag, _, _, _, _ = diamond () in
+  let base = dag_with_genesis () in
+  let is_native mode (r : Reconcile.message) =
+    match (mode, r) with
+    | Reconcile.Naive, Reconcile.Frontier_reply _
+    | Reconcile.Indexed, Reconcile.Sync_reply _
+    | Reconcile.Bloom, (Reconcile.Bloom_reply _ | Reconcile.Blocks_reply _)
+    | Reconcile.Digest, (Reconcile.Digest_reply _ | Reconcile.Blocks_reply _) ->
+      true
+    | _, _ -> false
+  in
+  List.iter
+    (fun mode ->
+      let session, _req = Reconcile.start mode base in
+      (* Replies belonging to every other strategy must be Ignored:
+         cross-mode frames carry no session progress. *)
+      List.iter
+        (fun foreign ->
+          match Reconcile.handle_reply session dag foreign with
+          | _, Reconcile.Ignored -> ()
+          | _, (Reconcile.Send _ | Reconcile.Finished _) ->
+            Alcotest.failf "mode %s accepted a foreign reply"
+              (Reconcile.Mode.to_string mode))
+        (List.filter
+           (fun r -> not (is_native mode r))
+           [
+             Reconcile.Frontier_reply { level = 1; blocks = [] };
+             Reconcile.Sync_reply { blocks = [] };
+             Reconcile.Bloom_reply { blocks = [] };
+             Reconcile.Blocks_reply { blocks = [] };
+             Reconcile.Digest_reply { splits = []; leaves = [] };
+           ]))
+    Reconcile.Mode.all
 
 (* ------------------------------------------------------------------ *)
 (* Persistence and replay                                               *)
@@ -980,6 +1060,37 @@ let pending_pool_basics () =
     (List.equal Block.equal (Pending_pool.blocks p)
        (List.of_seq (Pending_pool.to_seq p)))
 
+let pending_pool_advertised_eviction () =
+  let a = mk_block ~t:10 ~parents:[ genesis.Block.hash ] "a" in
+  let b = mk_block ~t:20 ~parents:[ a.Block.hash ] "b" in
+  let c = mk_block ~t:30 ~parents:[ b.Block.hash ] "c" in
+  let d = mk_block ~t:40 ~parents:[ c.Block.hash ] "d" in
+  let hashes p =
+    List.map (fun (x : Block.t) -> x.Block.hash) (Pending_pool.blocks p)
+  in
+  let p = Pending_pool.create ~capacity:2 () in
+  let p = Pending_pool.add (Pending_pool.add p a) b in
+  (* Advertising the oldest entry shields it: eviction takes the oldest
+     never-advertised block instead. *)
+  let p = Pending_pool.advertise p a.Block.hash in
+  check_b "advertised recorded" true (Pending_pool.advertised p a.Block.hash);
+  check_b "unadvertised stays false" false (Pending_pool.advertised p b.Block.hash);
+  let p = Pending_pool.add p c in
+  check_b "cold block evicted before advertised elder" true
+    (List.equal Hash_id.equal [ a.Block.hash; c.Block.hash ] (hashes p));
+  (* All advertised: falls back to plain oldest-first. *)
+  let p = Pending_pool.advertise p c.Block.hash in
+  let p = Pending_pool.add p d in
+  check_b "all-advertised falls back to oldest" true
+    (List.equal Hash_id.equal [ c.Block.hash; d.Block.hash ] (hashes p));
+  (* Advertising an absent hash is a no-op. *)
+  let p = Pending_pool.advertise p (Hash_id.digest "ghost") in
+  check_i "ghost advertise no-op" 2 (Pending_pool.cardinal p);
+  (* Drain order ignores advertisement state entirely. *)
+  check_b "to_seq still insertion-ordered" true
+    (List.equal Block.equal (Pending_pool.blocks p)
+       (List.of_seq (Pending_pool.to_seq p)))
+
 let node_pending_eviction () =
   let n = Node.create ~max_pending:2 ~signer:bob_signer ~cert:bob_cert () in
   (match Node.receive n ~now:(ts 1) genesis with
@@ -1102,11 +1213,11 @@ let qcheck_tests =
               | Error _ -> ()
             end
             | _ ->
-              let merged, _ = Reconcile.sync_dags `Indexed (Node.dag na) (Node.dag nb) in
+              let merged, _ = Reconcile.sync_dags Reconcile.Indexed (Node.dag na) (Node.dag nb) in
               Node.receive_all na ~now:(ts 1_000_000) (Dag.topo_order merged))
           script;
-        let ma, _ = Reconcile.sync_dags `Indexed (Node.dag na) (Node.dag nb) in
-        let mb, _ = Reconcile.sync_dags `Indexed (Node.dag nb) (Node.dag na) in
+        let ma, _ = Reconcile.sync_dags Reconcile.Indexed (Node.dag na) (Node.dag nb) in
+        let mb, _ = Reconcile.sync_dags Reconcile.Indexed (Node.dag nb) (Node.dag na) in
         Node.receive_all na ~now:(ts 2_000_000) (Dag.topo_order ma);
         Node.receive_all nb ~now:(ts 2_000_000) (Dag.topo_order mb);
         Hash_id.Set.equal (Dag.frontier (Node.dag na)) (Dag.frontier (Node.dag nb))
@@ -1214,6 +1325,83 @@ let qcheck_tests =
         && Hash_id.Set.equal
              (Dag.below dag [ genesis.Block.hash ])
              (Dag.Oracle.below dag [ genesis.Block.hash ]));
+    Test.make ~name:"reconcile messages survive the wire" ~count:200 int64
+      (fun seed ->
+        (* Every constructor: decode (encode m) = m, re-encoding is
+           byte-identical, message_size agrees with the framed length,
+           and no truncation or tag mutation of the frame can raise out
+           of the decoder (Wire.decode_string is total). *)
+        let rng = Vegvisir_crypto.Rng.create seed in
+        let rint n = Vegvisir_crypto.Rng.int rng n in
+        let rhash () = Hash_id.digest (Vegvisir_crypto.Rng.bytes rng 8) in
+        let rhashes () = List.init (rint 4) (fun _ -> rhash ()) in
+        let rblocks () = if rint 2 = 0 then [] else [ genesis ] in
+        let rinterval () : Reconcile.interval =
+          {
+            lo = rint 100;
+            hi = rint 100;
+            digest = Vegvisir_crypto.Rng.bytes rng (rint 40);
+          }
+        in
+        let rleaf () : Reconcile.leaf =
+          { lo = rint 100; hi = rint 100; hashes = rhashes () }
+        in
+        let msg =
+          match rint 10 with
+          | 0 -> Reconcile.Frontier_request { level = rint 1000 }
+          | 1 ->
+            Reconcile.Frontier_reply { level = rint 1000; blocks = rblocks () }
+          | 2 ->
+            Reconcile.Sync_request { frontier = rhashes (); recent = rhashes () }
+          | 3 -> Reconcile.Sync_reply { blocks = rblocks () }
+          | 4 ->
+            Reconcile.Bloom_request
+              { filter = Vegvisir_crypto.Rng.bytes rng (rint 64) }
+          | 5 -> Reconcile.Bloom_reply { blocks = rblocks () }
+          | 6 -> Reconcile.Blocks_request { hashes = rhashes () }
+          | 7 -> Reconcile.Blocks_reply { blocks = rblocks () }
+          | 8 ->
+            Reconcile.Digest_request
+              {
+                upto = rint 1000;
+                intervals = List.init (rint 4) (fun _ -> rinterval ());
+              }
+          | _ ->
+            Reconcile.Digest_reply
+              {
+                splits = List.init (rint 3) (fun _ -> rinterval ());
+                leaves = List.init (rint 3) (fun _ -> rleaf ());
+              }
+        in
+        let b = Buffer.create 64 in
+        Reconcile.encode_message b msg;
+        let bytes = Buffer.contents b in
+        let ok_roundtrip =
+          match Wire.decode_string Reconcile.decode_message bytes with
+          | None -> false
+          | Some m' ->
+            let b2 = Buffer.create 64 in
+            Reconcile.encode_message b2 m';
+            Reconcile.message_equal msg m'
+            && String.equal bytes (Buffer.contents b2)
+            && Reconcile.message_size msg = String.length bytes
+        in
+        let ok_trunc = ref true in
+        for i = 0 to String.length bytes - 1 do
+          match Wire.decode_string Reconcile.decode_message (String.sub bytes 0 i) with
+          | None | Some _ -> ()
+          | exception _ -> ok_trunc := false
+        done;
+        let garbled = Bytes.of_string bytes in
+        if Bytes.length garbled > 0 then Bytes.set garbled 0 (Char.chr (rint 256));
+        let ok_garble =
+          match
+            Wire.decode_string Reconcile.decode_message (Bytes.to_string garbled)
+          with
+          | None | Some _ -> true
+          | exception _ -> false
+        in
+        ok_roundtrip && !ok_trunc && ok_garble);
   ]
 
 let () =
@@ -1272,6 +1460,8 @@ let () =
           Alcotest.test_case "escalation depth" `Quick reconcile_escalation_depth;
           Alcotest.test_case "respond ignores replies" `Quick reconcile_respond_ignores_replies;
           Alcotest.test_case "block requests + bloom responder" `Quick reconcile_block_requests;
+          Alcotest.test_case "digest extension responder" `Quick reconcile_digest_extension;
+          Alcotest.test_case "foreign replies ignored" `Quick reconcile_foreign_reply_ignored;
         ] );
       ( "support",
         [
@@ -1284,6 +1474,8 @@ let () =
         [
           Alcotest.test_case "buffering" `Quick node_buffering_out_of_order;
           Alcotest.test_case "pending pool" `Quick pending_pool_basics;
+          Alcotest.test_case "pending advertised eviction" `Quick
+            pending_pool_advertised_eviction;
           Alcotest.test_case "pending eviction" `Quick node_pending_eviction;
           Alcotest.test_case "frontier reining" `Quick node_append_reins_frontier;
           Alcotest.test_case "no genesis" `Quick node_no_genesis;

@@ -107,17 +107,25 @@ let sends effs =
    advances the clock past the staleness threshold and runs the engine's
    retransmit/abandon housekeeping, so lost frames exercise the real
    retry machinery. *)
-let scripted_pull ?(mode = `Naive) ?(mangle = fun ~round:_ frames -> frames)
+let scripted_pull ?(mode = Reconcile.Naive) ?(mangle = fun ~round:_ frames -> frames)
     ?(b_policy = Peer_engine.Honest) ~a_node ~b_node () =
   let a_dag = ref (Node.dag a_node) in
   let b_dag = Node.dag b_node in
   let a =
     ref
-      (Peer_engine.create ~mode ~user_id:(Node.user_id a_node) ~dag:!a_dag ())
+      (Peer_engine.create
+         ~config:{ Peer_engine.Config.default with Peer_engine.Config.mode }
+         ~user_id:(Node.user_id a_node) ~dag:!a_dag ())
   in
   let b =
     ref
-      (Peer_engine.create ~mode ~policy:b_policy
+      (Peer_engine.create
+         ~config:
+           {
+             Peer_engine.Config.default with
+             Peer_engine.Config.mode;
+             policy = b_policy;
+           }
          ~user_id:(Node.user_id b_node) ~dag:b_dag ())
   in
   let now = ref 0. in
@@ -143,7 +151,8 @@ let scripted_pull ?(mode = `Naive) ?(mangle = fun ~round:_ frames -> frames)
           | Peer_engine.Session_started _ | Peer_engine.Request_resent _
           | Peer_engine.Session_completed _ | Peer_engine.Request_suppressed _
           | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
-          | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
+          | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
             ())
         | Peer_engine.Send _ | Peer_engine.Set_timer _ -> ())
       effs;
@@ -205,7 +214,7 @@ let scripted_matches_sync_dags () =
       | Some s -> check_b "stats agree" true (Reconcile.stats_equal s ref_stats)
       | None -> ());
       check_b "no spurious abort" true (Option.is_none o.aborted))
-    [ `Naive; `Indexed; `Bloom ]
+    [ Reconcile.Naive; Reconcile.Indexed; Reconcile.Bloom; Reconcile.Digest ]
 
 (* ------------------------------------------------------------------ *)
 (* Adversarial transports                                               *)
@@ -217,7 +226,8 @@ let has_resent events =
       | Peer_engine.Session_started _ | Peer_engine.Session_completed _
       | Peer_engine.Session_aborted _ | Peer_engine.Request_suppressed _
       | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
-      | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
+      | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
         false)
     events
 
@@ -228,7 +238,7 @@ let lost_reply_recovers () =
   in
   check_b "completed after loss" true (Option.is_some o.stats);
   check_b "retransmitted" true (has_resent o.events);
-  check_b "still converges" true (frontier_eq o.dag (reference_merge `Naive))
+  check_b "still converges" true (frontier_eq o.dag (reference_merge Reconcile.Naive))
 
 let duplicated_replies_ignored () =
   let mangle ~round:_ frames = List.concat_map (fun f -> [ f; f ]) frames in
@@ -237,7 +247,7 @@ let duplicated_replies_ignored () =
   in
   check_b "completed" true (Option.is_some o.stats);
   check_b "converged despite duplicates" true
-    (frontier_eq o.dag (reference_merge `Naive));
+    (frontier_eq o.dag (reference_merge Reconcile.Naive));
   (* The duplicate of the final reply lands after the session closed. *)
   check_b "post-session duplicate traced" true
     (List.exists
@@ -246,7 +256,8 @@ let duplicated_replies_ignored () =
          | Peer_engine.Session_started _ | Peer_engine.Request_resent _
          | Peer_engine.Session_completed _ | Peer_engine.Session_aborted _
          | Peer_engine.Request_suppressed _ | Peer_engine.Decode_failed _
-         | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
+         | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
            false)
        o.events)
 
@@ -270,7 +281,7 @@ let reordered_replies_recover () =
   in
   check_b "completed" true (Option.is_some o.stats);
   check_b "converged despite reordering" true
-    (frontier_eq o.dag (reference_merge `Naive))
+    (frontier_eq o.dag (reference_merge Reconcile.Naive))
 
 let garbage_frame_traced () =
   let mangle ~round:_ frames = "\xff\xfenot-a-message" :: frames in
@@ -285,7 +296,8 @@ let garbage_frame_traced () =
          | Peer_engine.Session_started _ | Peer_engine.Request_resent _
          | Peer_engine.Session_completed _ | Peer_engine.Session_aborted _
          | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
-         | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
+         | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
            false)
        o.events)
 
@@ -307,7 +319,8 @@ let retry_exhaustion_aborts () =
            | Peer_engine.Session_started _ | Peer_engine.Session_completed _
            | Peer_engine.Session_aborted _ | Peer_engine.Request_suppressed _
            | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
-           | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _ ->
+           | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
              false)
          o.events)
   in
@@ -333,7 +346,7 @@ let qcheck_random_transport =
       in
       let o = scripted_pull ~mangle ~a_node:behind_node ~b_node:ahead_node () in
       match (o.stats, o.aborted) with
-      | Some _, _ -> frontier_eq o.dag (reference_merge `Naive)
+      | Some _, _ -> frontier_eq o.dag (reference_merge Reconcile.Naive)
       | None, Some Peer_engine.Stalled ->
         frontier_eq o.dag (Node.dag behind_node)
       | None, (Some Peer_engine.Timed_out | None) -> false)
@@ -400,9 +413,122 @@ let stale_generation_timer_ignored () =
 let a_request () =
   encode_msg (Reconcile.Frontier_request { level = 1 })
 
+(* The per-peer knowledge cache: after serving a pull, the responder
+   remembers what it shipped and strips those blocks from a repeated
+   identical request, tracing the savings as Blocks_suppressed. *)
+let knowledge_cache_suppresses_repeats () =
+  let behind = Node.dag behind_node in
+  let ahead = Node.dag ahead_node in
+  let responder =
+    ref
+      (Peer_engine.create
+         ~config:
+           {
+             Peer_engine.Config.default with
+             Peer_engine.Config.mode = Reconcile.Indexed;
+             knowledge_cache = 1024;
+           }
+         ~user_id:(Node.user_id ahead_node) ~dag:ahead ())
+  in
+  let request =
+    let _s, m = Reconcile.start Reconcile.Indexed behind in
+    encode_msg m
+  in
+  let serve bytes =
+    let r', effs =
+      Peer_engine.handle !responder ~now:0. ~dag:ahead
+        (Peer_engine.Message_received { from = 0; bytes })
+    in
+    responder := r';
+    effs
+  in
+  let served_of effs =
+    List.concat_map
+      (fun (e : Peer_engine.effect_) ->
+        match e with
+        | Peer_engine.Trace (Peer_engine.Blocks_served { blocks; _ }) -> blocks
+        | _ -> [])
+      effs
+  in
+  let suppressed_of effs =
+    List.concat_map
+      (fun (e : Peer_engine.effect_) ->
+        match e with
+        | Peer_engine.Trace (Peer_engine.Blocks_suppressed { blocks; _ }) ->
+          blocks
+        | _ -> [])
+      effs
+  in
+  let effs1 = serve request in
+  let served = served_of effs1 in
+  check_b "first reply ships blocks" true (served <> []);
+  check_b "nothing suppressed on first contact" true (suppressed_of effs1 = []);
+  let known = Peer_engine.known_to !responder ~peer:0 in
+  check_b "cache learned every served block" true
+    (List.for_all (fun h -> List.exists (Hash_id.equal h) known) served);
+  (* Same request again (a fresh initiator on an unchanged replica):
+     everything it would ship is already known to peer 0. *)
+  let effs2 = serve request in
+  check_b "repeat ships nothing" true (served_of effs2 = []);
+  let again = suppressed_of effs2 in
+  check_i "repeat suppresses exactly the served set" (List.length served)
+    (List.length again);
+  check_b "suppressed set = served set" true
+    (List.for_all (fun h -> List.exists (Hash_id.equal h) served) again)
+
+(* With the cache off (the default), a repeated pull re-ships everything
+   and no suppression trace ever appears â the legacy behavior. *)
+let knowledge_cache_off_is_legacy () =
+  let behind = Node.dag behind_node in
+  let ahead = Node.dag ahead_node in
+  let responder =
+    ref
+      (Peer_engine.create
+         ~config:
+           {
+             Peer_engine.Config.default with
+             Peer_engine.Config.mode = Reconcile.Indexed;
+           }
+         ~user_id:(Node.user_id ahead_node) ~dag:ahead ())
+  in
+  let request =
+    let _s, m = Reconcile.start Reconcile.Indexed behind in
+    encode_msg m
+  in
+  let serve bytes =
+    let r', effs =
+      Peer_engine.handle !responder ~now:0. ~dag:ahead
+        (Peer_engine.Message_received { from = 0; bytes })
+    in
+    responder := r';
+    effs
+  in
+  let count_served effs =
+    List.fold_left
+      (fun acc (e : Peer_engine.effect_) ->
+        match e with
+        | Peer_engine.Trace (Peer_engine.Blocks_served { blocks; _ }) ->
+          acc + List.length blocks
+        | Peer_engine.Trace (Peer_engine.Blocks_suppressed _) ->
+          Alcotest.fail "suppression with the cache off"
+        | _ -> acc)
+      0 effs
+  in
+  let first = count_served (serve request) in
+  let second = count_served (serve request) in
+  check_b "served blocks both times" true (first > 0);
+  check_i "identical re-serve" first second;
+  check_b "no knowledge recorded" true
+    (Peer_engine.known_to !responder ~peer:0 = [])
+
 let silent_policy () =
   let e =
-    Peer_engine.create ~policy:Peer_engine.Silent
+    Peer_engine.create
+      ~config:
+        {
+          Peer_engine.Config.default with
+          Peer_engine.Config.policy = Peer_engine.Silent;
+        }
       ~user_id:(Node.user_id ahead_node) ~dag:(Node.dag ahead_node) ()
   in
   check_b "never initiates" false (Peer_engine.will_initiate e ~now:0.);
@@ -441,7 +567,12 @@ let withholding_serves_only_own () =
    time — the cache the withholding hot-path optimisation relies on. *)
 let withholding_cache_matches_rebuild () =
   let seeded =
-    Peer_engine.create ~policy:Peer_engine.Withholding
+    Peer_engine.create
+      ~config:
+        {
+          Peer_engine.Config.default with
+          Peer_engine.Config.policy = Peer_engine.Withholding;
+        }
       ~user_id:(Node.user_id ahead_node) ~dag:(Node.dag ahead_node) ()
   in
   let genesis_only =
@@ -454,7 +585,12 @@ let withholding_cache_matches_rebuild () =
       (Dag.topo_order (Node.dag ahead_node))
   in
   let incremental =
-    Peer_engine.create ~policy:Peer_engine.Withholding
+    Peer_engine.create
+      ~config:
+        {
+          Peer_engine.Config.default with
+          Peer_engine.Config.policy = Peer_engine.Withholding;
+        }
       ~user_id:(Node.user_id ahead_node) ~dag:genesis_only ()
   in
   let incremental =
@@ -557,7 +693,13 @@ let adapter_trace_replays () =
   let engines =
     Array.init 3 (fun i ->
         ref
-          (Peer_engine.create ~policy:behaviors.(i) ~stale_after_ms:5_000.
+          (Peer_engine.create
+             ~config:
+               {
+                 Peer_engine.Config.default with
+                 Peer_engine.Config.policy = behaviors.(i);
+                 stale_after_ms = 5_000.;
+               }
              ~user_id:(Node.user_id (Net.Gossip.node g i)) ~dag:Dag.empty ()))
   in
   let mismatches =
@@ -602,6 +744,10 @@ let () =
         ] );
       ( "policies",
         [
+          Alcotest.test_case "knowledge cache suppresses repeats" `Quick
+            knowledge_cache_suppresses_repeats;
+          Alcotest.test_case "knowledge cache off is legacy" `Quick
+            knowledge_cache_off_is_legacy;
           Alcotest.test_case "silent" `Quick silent_policy;
           Alcotest.test_case "withholding serves only own" `Quick
             withholding_serves_only_own;

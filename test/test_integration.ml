@@ -55,7 +55,7 @@ let indexed_mode_fleet () =
   (* The whole gossip layer also runs on the indexed protocol. *)
   let topo = Topology.clique ~n:6 in
   let fleet =
-    Scenario.build ~seed:62L ~topo ~mode:`Indexed ~init_crdts:[ ("log", spec_log) ] ()
+    Scenario.build ~seed:62L ~topo ~mode:Vegvisir.Reconcile.Indexed ~init_crdts:[ ("log", spec_log) ] ()
   in
   let g = fleet.Scenario.gossip in
   advance fleet 2_000.;

@@ -92,6 +92,13 @@ let test_unordered_iteration () =
     "let f h = Hashtbl.iter (fun _ _ -> ()) h";
   check_fires "no-unordered-iteration" "lib/cli/metrics_server.ml"
     "let f h = Hashtbl.to_seq_keys h";
+  (* Sync strategies encode wire messages: hash-order iteration there
+     would break byte-identical seeded runs. *)
+  check_fires "no-unordered-iteration" "lib/core/sync_strategy.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h";
+  check_silent ~rule:"no-unordered-iteration" "lib/core/sync_strategy.ml"
+    "let f h = Hashtbl.to_seq h (* lint: allow no-unordered-iteration \
+     \xe2\x80\x94 fixture *)";
   (* Order-insensitive modules may use hash tables freely. *)
   check_silent ~rule:"no-unordered-iteration" "lib/core/dag.ml"
     "let f h = Hashtbl.iter (fun _ _ -> ()) h";
@@ -225,6 +232,12 @@ let test_full_scan_hot_path () =
     "let f dag = Dag.topo_seq dag";
   check_silent ~rule:"no-full-scan-hot-path" "lib/core/reconcile.ml"
     "let f dag hs = Dag.below dag hs";
+  (* Strategy responders run on every request: full-replica scans are
+     the hot-path mistake the redesign exists to kill. *)
+  check_fires "no-full-scan-hot-path" "lib/core/sync_strategy.ml"
+    "let f dag = Dag.topo_order dag";
+  check_silent ~rule:"no-full-scan-hot-path" "lib/core/sync_strategy.ml"
+    "let f dag = Dag.topo_seq dag";
   (* Cold paths (witness oracle, persistence, experiments) are out of
      scope. *)
   check_silent ~rule:"no-full-scan-hot-path" "lib/core/witness.ml"

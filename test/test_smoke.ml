@@ -39,7 +39,7 @@ let smoke () =
     | Ok b -> b | Error e -> Alcotest.failf "append2: %a" Node.pp_append_error e
   in
   ignore b2;
-  let merged, stats = Reconcile.sync_dags `Naive (Node.dag alice) (Node.dag ca_node) in
+  let merged, stats = Reconcile.sync_dags Reconcile.Naive (Node.dag alice) (Node.dag ca_node) in
   Alcotest.(check int) "alice missing one block" 1 stats.Reconcile.blocks_received;
   Alcotest.(check int) "merged has all blocks" 3 (Dag.cardinal merged);
   (* witness proof: b1 has ca as witness via b2 *)
