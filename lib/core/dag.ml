@@ -1,5 +1,6 @@
 module HSet = Hash_id.Set
 module HMap = Hash_id.Map
+module Int_map = Map.Make (Int)
 
 (* Canonical-order key: blocks are emitted parents-first, ties broken by
    (timestamp, hash). *)
@@ -49,6 +50,12 @@ type t = {
          repeatedly, and one node serving concurrent sessions with
          different frontiers would thrash a single-entry memo;
          cleared by [add]/[prune] *)
+  mutable by_height_memo : Hash_id.t list Int_map.t option;
+      (* all known hashes bucketed by height, each bucket in Hash_id
+         order — the digest strategy's interval table. A responder
+         answers every narrowing round of a session from the same
+         snapshot, so memoizing here turns its per-message cost from a
+         full rebuild into a lookup; cleared by [add]/[prune] *)
 }
 
 (* LRU depth: enough for a node serving several concurrent sessions
@@ -76,6 +83,7 @@ let empty =
     max_key = None;
     order = Both ([], []);
     below_memo = [];
+    by_height_memo = None;
   }
 
 let mem t h = HMap.mem h t.blocks
@@ -188,6 +196,7 @@ let add t (b : Block.t) =
           max_key;
           order;
           below_memo = [];
+          by_height_memo = None;
         }
     end
   end
@@ -369,6 +378,26 @@ let below t hs =
     t.below_memo <- (key, res) :: keep;
     res
 
+let by_height t =
+  match t.by_height_memo with
+  | Some m -> m
+  | None ->
+    (* [heights] spans resident and archived hashes, exactly the digest
+       strategy's universe. HMap.fold visits hashes in ascending
+       Hash_id order, so each cons-built bucket comes out descending
+       and one reverse restores the canonical ascending order. *)
+    let m =
+      HMap.fold
+        (fun h ht acc ->
+          Int_map.update ht
+            (function None -> Some [ h ] | Some hs -> Some (h :: hs))
+            acc)
+        t.heights Int_map.empty
+    in
+    let m = Int_map.map List.rev m in
+    t.by_height_memo <- Some m;
+    m
+
 let prune t h =
   match HMap.find_opt h t.blocks with
   | None -> t
@@ -393,6 +422,7 @@ let prune t h =
          correctness. *)
       order = Dirty;
       below_memo = [];
+      by_height_memo = None;
     }
 
 let is_archived t h = HSet.mem h t.archived
@@ -440,6 +470,7 @@ let decode c =
           heights = HMap.add h height t.heights;
           max_height_ = Int.max t.max_height_ height;
           below_memo = [];
+          by_height_memo = None;
         })
       empty archived
   in

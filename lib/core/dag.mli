@@ -89,6 +89,16 @@ val below : t -> Hash_id.t list -> Hash_id.Set.t
     concurrent sessions polling stable (even permuted) frontiers each
     pay once. *)
 
+module Int_map : Map.S with type key = int
+
+val by_height : t -> Hash_id.t list Int_map.t
+(** All known (resident and archived) hashes bucketed by height, each
+    bucket in {!Hash_id.compare} order — the index behind the digest
+    strategy's height-interval table. Memoized on the snapshot and
+    invalidated by {!add}/{!prune}, so a reconciliation responder pays
+    the build once per DAG state rather than once per narrowing
+    message. *)
+
 (** {1 Canonical order} *)
 
 val topo_order : t -> Block.t list

@@ -1,5 +1,5 @@
 module HSet = Hash_id.Set
-module IMap = Map.Make (Int)
+module IMap = Dag.Int_map
 
 type mode = Naive | Indexed | Bloom | Digest
 
@@ -400,31 +400,18 @@ module Bloom_impl = struct
       None
 end
 
-(* Height-bucketed hash table backing the digest strategy: one scan of
-   the resident blocks (plus archived hashes, which keep their height),
+(* Height-bucketed hash table backing the digest strategy: every known
+   hash (resident blocks plus archived hashes, which keep their height)
    bucketed by DAG height with each bucket in Hash_id order, so the
    digest of any height interval is deterministic across replicas that
-   hold the same logical set. *)
+   hold the same logical set. Served from [Dag.by_height], which
+   memoizes the buckets on the snapshot — a responder answering several
+   narrowing rounds of one session pays the build once, not once per
+   [Digest_request]. *)
 module Height_table = struct
   type t = { buckets : Hash_id.t list IMap.t; max_h : int }
 
-  let of_dag dag =
-    let add h acc =
-      match Dag.height dag h with
-      | None -> acc
-      | Some ht ->
-        IMap.update ht
-          (function None -> Some [ h ] | Some hs -> Some (h :: hs))
-          acc
-    in
-    let buckets =
-      Seq.fold_left
-        (fun acc (b : Block.t) -> add b.Block.hash acc)
-        IMap.empty (Dag.blocks_seq dag)
-    in
-    let buckets = HSet.fold add (Dag.archived_hashes dag) buckets in
-    let buckets = IMap.map (List.sort Hash_id.compare) buckets in
-    { buckets; max_h = Dag.max_height dag }
+  let of_dag dag = { buckets = Dag.by_height dag; max_h = Dag.max_height dag }
 
   let fold_range t ~lo ~hi f acc =
     let acc = ref acc in

@@ -104,12 +104,18 @@ type t = {
          was O(n) per message, O(n²) per sync). *)
   knowledge : HSet.t IMap.t;
       (* Per-peer knowledge cache (enabled when
-         [config.knowledge_cache > 0]): hashes this peer is known to
-         hold — blocks we shipped it, blocks it shipped us, hashes it
-         advertised in requests or digest leaves. Consulted before every
-         reply [Send] so repeat exchanges ship only the true
-         difference. Ordered containers only: iteration order feeds
-         deterministic effect lists. *)
+         [config.knowledge_cache > 0]): hashes this peer has {e proven}
+         to hold — blocks it shipped us, hashes it advertised in
+         request frontiers or digest leaves. Receive-side evidence
+         only: blocks we ship are never recorded at send time (the
+         frame may be lost; a wrong entry here means withholding a
+         block the peer genuinely lacks, and several strategies
+         terminate on an empty reply — permanent divergence). What we
+         shipped enters the cache only once the peer's own later
+         traffic acknowledges it (its next frontier or digest leaves).
+         Consulted before every reply [Send] so repeat exchanges ship
+         only the true difference. Ordered containers only: iteration
+         order feeds deterministic effect lists. *)
 }
 
 (* The censored view admits a block only when its (censored) ancestry is
@@ -183,10 +189,21 @@ let cache_note t peer hashes =
     in
     { t with knowledge = IMap.add peer known t.knowledge }
 
+(* Forget [hashes] for [peer] — the inverse of [cache_note], for
+   evidence that the peer *lacks* something the cache attributes to it. *)
+let cache_forget t peer hashes =
+  match hashes with
+  | [] -> t
+  | _ :: _ when not (cache_enabled t) -> t
+  | _ :: _ ->
+    let known =
+      List.fold_left (fun s h -> HSet.remove h s) (known_set t peer) hashes
+    in
+    { t with knowledge = IMap.add peer known t.knowledge }
+
 (* Hashes a request proves its sender holds: an indexed request carries
-   the sender's frontier and recent ancestry; an explicit block request
-   names hashes the sender *lacks*, and bloom/digest requests are not
-   enumerable — nothing to learn from those. *)
+   the sender's frontier and recent ancestry; bloom/digest requests are
+   not enumerable — nothing to learn from those. *)
 let request_evidence = function
   | Reconcile.Sync_request { frontier; recent } -> frontier @ recent
   | Reconcile.Frontier_request _ | Reconcile.Bloom_request _
@@ -196,11 +213,29 @@ let request_evidence = function
   | Reconcile.Digest_reply _ ->
     []
 
+(* Hashes a request proves its sender {e lacks}: an explicit block fetch
+   names exactly the bodies the sender could not get any other way —
+   positive proof that overrides whatever the cache believed (the peer
+   may legitimately re-request a block it once advertised: pending-pool
+   eviction of a buffered block, or an earlier reply lost in flight). *)
+let request_retraction = function
+  | Reconcile.Blocks_request { hashes } -> hashes
+  | Reconcile.Frontier_request _ | Reconcile.Sync_request _
+  | Reconcile.Bloom_request _ | Reconcile.Digest_request _
+  | Reconcile.Frontier_reply _ | Reconcile.Sync_reply _
+  | Reconcile.Bloom_reply _ | Reconcile.Blocks_reply _
+  | Reconcile.Digest_reply _ ->
+    []
+
 (* Drop blocks [known] already attributes to the peer from a reply's
-   payload. Only payload-bearing replies change; the protocol control
+   payload. Only sweep-style replies change; the protocol control
    fields (levels, digests, hash lists) pass through untouched, so the
    initiator's narrowing logic still sees a structurally honest reply —
-   just without re-shipped block bodies. *)
+   just without re-shipped block bodies. [Blocks_reply] is exempt: it
+   answers an explicit [Blocks_request], and a request by hash is
+   positive proof the sender lacks those blocks — suppressing there
+   would starve bloom gap-recovery and digest leaf-fetch, both of which
+   terminate on an empty reply. *)
 let suppress_known known reply =
   let split blocks =
     List.partition (fun (b : Block.t) -> not (HSet.mem b.Block.hash known)) blocks
@@ -215,12 +250,10 @@ let suppress_known known reply =
   | Reconcile.Bloom_reply { blocks } ->
     let keep, dropped = split blocks in
     (Reconcile.Bloom_reply { blocks = keep }, dropped)
-  | Reconcile.Blocks_reply { blocks } ->
-    let keep, dropped = split blocks in
-    (Reconcile.Blocks_reply { blocks = keep }, dropped)
   | Reconcile.Frontier_request _ | Reconcile.Sync_request _
   | Reconcile.Bloom_request _ | Reconcile.Blocks_request _
-  | Reconcile.Digest_request _ | Reconcile.Digest_reply _ ->
+  | Reconcile.Blocks_reply _ | Reconcile.Digest_request _
+  | Reconcile.Digest_reply _ ->
     (reply, [])
 
 let encode m =
@@ -336,7 +369,12 @@ let on_reply t ~now ~dag ~from msg =
       | Reconcile.Send next ->
         ( { t with session = Some s },
           advert_trace @ redundant @ [ Send { dst = from; bytes = encode next } ] )
-      | Reconcile.Ignored -> ({ t with session = Some s }, [])
+      | Reconcile.Ignored ->
+        (* Even a stale or foreign reply is evidence — the peer held
+           whatever it carried or advertised — so the cache ingested it
+           above; emit the advertisement trace too, keeping the pending
+           pool and obs counters consistent with the cache. *)
+        ({ t with session = Some s }, advert_trace)
       | Reconcile.Finished { new_blocks; stats } ->
         let t = { t with session = None } in
         (* The pulled blocks may include the genesis (first sync of a
@@ -371,11 +409,15 @@ let on_message t ~now ~dag ~from bytes =
          | Honest | Withholding -> false)
       then (t, [ Trace (Request_suppressed { src = from }) ])
       else
-        (* What the request itself proves the peer holds, then the cache
-           filter: blocks the cache already attributes to the peer are
-           withheld from the payload, and what actually ships is
-           recorded so the next exchange starts from there. *)
+        (* What the request itself proves the peer holds — and proves it
+           lacks (an explicit block fetch retracts any cached
+           attribution) — then the cache filter: blocks the cache still
+           attributes to the peer are withheld from the payload. What
+           ships is deliberately *not* recorded: delivery is
+           unconfirmed until the peer's own later traffic (its next
+           frontier or digest leaves) acknowledges the blocks. *)
         let t = cache_note t from (request_evidence msg) in
+        let t = cache_forget t from (request_retraction msg) in
         let reply, dropped =
           if cache_enabled t then suppress_known (known_set t from) reply
           else (reply, [])
@@ -393,7 +435,6 @@ let on_message t ~now ~dag ~from bytes =
                    });
             ]
         in
-        let t = cache_note t from (served_blocks reply) in
         let serving =
           match served_blocks reply with
           | [] -> []

@@ -46,15 +46,21 @@ module Config : sig
         (** per-peer knowledge-cache capacity in hashes; [0] (the
             default) disables caching entirely, keeping the engine's
             effect stream byte-identical to the pre-cache protocol.
-            When enabled, the engine remembers per peer every hash it
-            shipped them, every hash they shipped or advertised, and
-            filters reply payloads down to the true difference
-            ([Blocks_suppressed] traces account the savings). On
-            overflow a peer's cache resets to empty — a deterministic
-            epoch clear; a cold cache costs only redundant transfer,
-            never correctness. Sent-to-peer records assume frames are
-            delivered: enable over reliable transports (the simnet,
-            TCP), not raw lossy links. *)
+            When enabled, the engine remembers per peer every hash that
+            peer has {e proven} to hold — blocks it shipped us, hashes
+            it advertised in request frontiers or digest leaves — and
+            filters sweep-reply payloads down to the true difference
+            ([Blocks_suppressed] traces account the savings). Only
+            receive-side evidence is cached: blocks we ship are never
+            recorded at send time (the frame may be lost), entering
+            the cache only once the peer's later traffic acknowledges
+            them; and an explicit [Blocks_request] both bypasses the
+            filter and retracts its hashes from the cache (a fetch by
+            hash is proof the sender lacks those blocks). Safe under
+            loss, duplication and reordering. On overflow a peer's
+            cache resets to empty — a deterministic epoch clear; a
+            cold cache costs only redundant transfer, never
+            correctness. *)
   }
 
   val default : t

@@ -82,8 +82,8 @@ let run ?(quick = false) () =
     claim =
       "set reconciliation (digest narrowing) converges as fast as naive \
        frontier-escalation while driving redundant block transfer from \
-       ~95% to single digits; the per-peer knowledge cache removes repeat \
-       shipments in every mode";
+       ~95% to single digits; the per-peer knowledge cache strips \
+       re-shipments of blocks a peer has proven to hold";
     header =
       [
         "mode"; "cache"; "converged"; "useful"; "redundant"; "redundancy";

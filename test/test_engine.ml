@@ -413,11 +413,9 @@ let stale_generation_timer_ignored () =
 let a_request () =
   encode_msg (Reconcile.Frontier_request { level = 1 })
 
-(* The per-peer knowledge cache: after serving a pull, the responder
-   remembers what it shipped and strips those blocks from a repeated
-   identical request, tracing the savings as Blocks_suppressed. *)
-let knowledge_cache_suppresses_repeats () =
-  let behind = Node.dag behind_node in
+(* Shared driver for the knowledge-cache tests: a responder engine on
+   [ahead]'s replica with the cache enabled, fed raw frames from peer 0. *)
+let cache_responder () =
   let ahead = Node.dag ahead_node in
   let responder =
     ref
@@ -430,10 +428,6 @@ let knowledge_cache_suppresses_repeats () =
            }
          ~user_id:(Node.user_id ahead_node) ~dag:ahead ())
   in
-  let request =
-    let _s, m = Reconcile.start Reconcile.Indexed behind in
-    encode_msg m
-  in
   let serve bytes =
     let r', effs =
       Peer_engine.handle !responder ~now:0. ~dag:ahead
@@ -442,39 +436,91 @@ let knowledge_cache_suppresses_repeats () =
     responder := r';
     effs
   in
-  let served_of effs =
-    List.concat_map
-      (fun (e : Peer_engine.effect_) ->
-        match e with
-        | Peer_engine.Trace (Peer_engine.Blocks_served { blocks; _ }) -> blocks
-        | _ -> [])
-      effs
+  (responder, serve)
+
+let served_of effs =
+  List.concat_map
+    (fun (e : Peer_engine.effect_) ->
+      match e with
+      | Peer_engine.Trace (Peer_engine.Blocks_served { blocks; _ }) -> blocks
+      | _ -> [])
+    effs
+
+let suppressed_of effs =
+  List.concat_map
+    (fun (e : Peer_engine.effect_) ->
+      match e with
+      | Peer_engine.Trace (Peer_engine.Blocks_suppressed { blocks; _ }) -> blocks
+      | _ -> [])
+    effs
+
+(* The per-peer knowledge cache is fed by receive-side evidence: hashes
+   a peer's own requests prove it holds are stripped from later sweep
+   replies, traced as Blocks_suppressed. *)
+let knowledge_cache_suppresses_proven () =
+  let responder, serve = cache_responder () in
+  let frontier = Hash_id.Set.elements (Dag.frontier (Node.dag ahead_node)) in
+  check_b "fixture has frontier blocks" true (frontier <> []);
+  (* Peer 0's indexed request advertises that it already holds our whole
+     frontier; the reply ships nothing, and the cache learns the claim. *)
+  let effs1 =
+    serve (encode_msg (Reconcile.Sync_request { frontier; recent = [] }))
   in
-  let suppressed_of effs =
-    List.concat_map
-      (fun (e : Peer_engine.effect_) ->
-        match e with
-        | Peer_engine.Trace (Peer_engine.Blocks_suppressed { blocks; _ }) ->
-          blocks
-        | _ -> [])
-      effs
+  check_b "in-sync indexed pull ships nothing" true (served_of effs1 = []);
+  let known = Peer_engine.known_to !responder ~peer:0 in
+  check_b "cache learned the advertised hashes" true
+    (List.for_all (fun h -> List.exists (Hash_id.equal h) known) frontier);
+  (* A naive pull from the same peer would re-ship exactly those
+     frontier blocks; the cache strips them all. *)
+  let effs2 = serve (encode_msg (Reconcile.Frontier_request { level = 1 })) in
+  check_b "proven blocks not re-shipped" true (served_of effs2 = []);
+  let dropped = suppressed_of effs2 in
+  check_i "suppressed exactly the proven set" (List.length frontier)
+    (List.length dropped);
+  check_b "suppressed set = proven set" true
+    (List.for_all (fun h -> List.exists (Hash_id.equal h) frontier) dropped)
+
+(* An explicit Blocks_request is positive proof the sender lacks those
+   blocks: it bypasses the suppression filter AND retracts the hashes
+   from the cache — a peer re-requesting a block the cache attributes
+   to it (pending-pool eviction, a lost earlier reply) must get it. *)
+let explicit_fetch_overrides_cache () =
+  let responder, serve = cache_responder () in
+  let frontier = Hash_id.Set.elements (Dag.frontier (Node.dag ahead_node)) in
+  let _ = serve (encode_msg (Reconcile.Sync_request { frontier; recent = [] })) in
+  let h = ahead_own_block.Block.hash in
+  check_b "fetched hash is cached as held" true
+    (List.exists (Hash_id.equal h) (Peer_engine.known_to !responder ~peer:0));
+  let effs = serve (encode_msg (Reconcile.Blocks_request { hashes = [ h ] })) in
+  check_b "explicit fetch served despite the cache" true
+    (List.exists (Hash_id.equal h) (served_of effs));
+  check_b "nothing suppressed on an explicit fetch" true
+    (suppressed_of effs = []);
+  check_b "fetch retracted the cached attribution" true
+    (not (List.exists (Hash_id.equal h) (Peer_engine.known_to !responder ~peer:0)))
+
+(* Shipping a reply is NOT evidence of delivery: served blocks stay out
+   of the cache, so a retransmitted request after a lost reply gets the
+   full payload again instead of a fully-suppressed empty reply. *)
+let serving_leaves_cache_unconfirmed () =
+  let responder, serve = cache_responder () in
+  let request =
+    let _s, m = Reconcile.start Reconcile.Indexed (Node.dag behind_node) in
+    encode_msg m
   in
   let effs1 = serve request in
   let served = served_of effs1 in
   check_b "first reply ships blocks" true (served <> []);
   check_b "nothing suppressed on first contact" true (suppressed_of effs1 = []);
   let known = Peer_engine.known_to !responder ~peer:0 in
-  check_b "cache learned every served block" true
-    (List.for_all (fun h -> List.exists (Hash_id.equal h) known) served);
-  (* Same request again (a fresh initiator on an unchanged replica):
-     everything it would ship is already known to peer 0. *)
+  check_b "served blocks not attributed at send time" true
+    (not (List.exists (fun h -> List.exists (Hash_id.equal h) known) served));
+  (* The identical request again — the initiator's retransmission after
+     a lost reply — must be answered in full. *)
   let effs2 = serve request in
-  check_b "repeat ships nothing" true (served_of effs2 = []);
-  let again = suppressed_of effs2 in
-  check_i "repeat suppresses exactly the served set" (List.length served)
-    (List.length again);
-  check_b "suppressed set = served set" true
-    (List.for_all (fun h -> List.exists (Hash_id.equal h) served) again)
+  check_i "retransmission re-served in full" (List.length served)
+    (List.length (served_of effs2));
+  check_b "retransmission suppresses nothing" true (suppressed_of effs2 = [])
 
 (* With the cache off (the default), a repeated pull re-ships everything
    and no suppression trace ever appears â the legacy behavior. *)
@@ -744,8 +790,12 @@ let () =
         ] );
       ( "policies",
         [
-          Alcotest.test_case "knowledge cache suppresses repeats" `Quick
-            knowledge_cache_suppresses_repeats;
+          Alcotest.test_case "knowledge cache suppresses proven holdings"
+            `Quick knowledge_cache_suppresses_proven;
+          Alcotest.test_case "explicit fetch overrides the cache" `Quick
+            explicit_fetch_overrides_cache;
+          Alcotest.test_case "serving leaves the cache unconfirmed" `Quick
+            serving_leaves_cache_unconfirmed;
           Alcotest.test_case "knowledge cache off is legacy" `Quick
             knowledge_cache_off_is_legacy;
           Alcotest.test_case "silent" `Quick silent_policy;
