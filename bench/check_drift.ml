@@ -32,6 +32,11 @@ let guarded name =
   (* Every sync-strategy micro row: a regression here means anti-entropy
      itself got slower, the cost the whole redesign exists to shrink. *)
   || has_prefix name "M15-sync/"
+  (* The span/flight emit rows: the collector and ring ride the daemon's
+     always-on bus, and the null-baseline leg anchors their overhead.
+     chrome-export is offline (vv trace --chrome) and too GC-noisy to
+     gate, so only the emit-* legs are guarded. *)
+  || has_prefix name "M16-trace/emit-"
 
 (* Minimal extraction of [("name", ns_per_op)] pairs from the snapshot
    JSON: every result row is written on its own line as

@@ -391,6 +391,60 @@ let live_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* M16-trace: the span layer's marginal cost — a span collector on the
+   bus vs the same null-sink baseline, the always-on flight ring, and
+   the offline Chrome export. The emit legs are the always-on daemon
+   path; the export leg is the offline `vv trace --chrome` cost.        *)
+
+let trace_bus =
+  let bus = Obs.Bus.create () in
+  let coll = Obs.Span.Collector.create ~capacity:1024 in
+  Obs.Bus.attach bus (Obs.Span.Collector.sink coll);
+  bus
+
+let flight_bus =
+  let bus = Obs.Bus.create () in
+  let ring = Obs.Flight.create ~capacity:4096 () in
+  Obs.Bus.attach bus (Obs.Flight.sink ring);
+  bus
+
+let obs_span_event =
+  Obs.Event.Span
+    {
+      node = "0";
+      trace = "aabbccddeeff0011";
+      span = "1122334455667788";
+      parent = Some "8877665544332211";
+      name = "session.exchange";
+      dur_ms = 12.5;
+    }
+
+let chrome_spans =
+  Obs.Span.of_events
+    (List.init 256 (fun i ->
+         ( float_of_int i,
+           if i mod 2 = 0 then obs_block_event else obs_span_event )))
+
+let trace_tests =
+  Test.make_grouped ~name:"M16-trace"
+    [
+      Test.make ~name:"emit-span-null"
+        (stage (fun () ->
+             Obs.Bus.emit health_null_bus ~ts:(health_tick ()) obs_span_event));
+      Test.make ~name:"emit-span-collector"
+        (stage (fun () ->
+             Obs.Bus.emit trace_bus ~ts:(health_tick ()) obs_span_event));
+      Test.make ~name:"emit-block-collector"
+        (stage (fun () ->
+             Obs.Bus.emit trace_bus ~ts:(health_tick ()) obs_block_event));
+      Test.make ~name:"emit-flight-ring"
+        (stage (fun () ->
+             Obs.Bus.emit flight_bus ~ts:(health_tick ()) obs_net_event));
+      Test.make ~name:"chrome-export-256"
+        (stage (fun () -> Obs.Span.chrome_trace chrome_spans));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* M9-dag: incremental DAG indices vs full-scan oracles (snapshotted to
    BENCH_dag.json). Fixtures are braided multi-creator DAGs at 5k and
    20k blocks; the naive legs recompute what the indices cache — the
@@ -572,7 +626,8 @@ let write_bench_obs ?(file = "BENCH_obs.json") rows =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc
-        "{\n  \"benchmark\": \"M8-obs+M10-health+M14-live-health\",\n  \"results\": [";
+        "{\n  \"benchmark\": \"M8-obs+M10-health+M14-live-health+M16-trace\",\n\
+        \  \"results\": [";
       List.iteri
         (fun i (name, ns, r2) ->
           if i > 0 then output_string oc ",";
@@ -842,7 +897,10 @@ let run_daemon_bench ~sync_rows () =
    which bench/check_drift.exe then diffs. *)
 let run_obs_micro () =
   print_endline "== obs micro (ns per call, OLS estimate) ==";
-  let rows = estimate obs_tests @ estimate health_tests @ estimate live_tests in
+  let rows =
+    estimate obs_tests @ estimate health_tests @ estimate live_tests
+    @ estimate trace_tests
+  in
   print_rows rows;
   write_bench_obs ~file:"BENCH_obs.fresh.json" rows
 
@@ -859,6 +917,7 @@ let run_micro () =
   List.iter (fun test -> print_rows (estimate test)) tests;
   let obs_rows =
     estimate obs_tests @ estimate health_tests @ estimate live_tests
+    @ estimate trace_tests
   in
   print_rows obs_rows;
   write_bench_obs obs_rows;

@@ -318,9 +318,32 @@ let daemon_cmd =
       & info [ "slow-iteration-ms" ] ~docv:"MS"
           ~doc:"Self-profiling threshold: loop iterations busier than this \
                 (poll wait excluded) bump the \
-                $(b,vegvisir_loop_slow_iterations) counter.")
+                $(b,vegvisir_loop_slow_iterations) counter and, rate-limited, \
+                dump the flight recorder.")
   in
-  let run dir listen metrics mode anti_entropy_ms peers budget slow_ms =
+  let trace_sample =
+    Arg.(
+      value & opt float 0.
+      & info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:"Cross-daemon span tracing: announce this fraction of \
+                initiated exchange sessions to the responder so both sides' \
+                spans stitch into one trace (0 = off, 1 = every session). \
+                The sampling decision is a deterministic hash, never a \
+                random draw. Spans are journaled, shown on \
+                $(b,GET /debug/spans), and exportable with \
+                $(b,trace --chrome).")
+  in
+  let flight_capacity =
+    Arg.(
+      value & opt int Vegvisir_obs.Flight.default_capacity
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Flight-recorder ring size: the daemon always keeps the last \
+                N events in memory and dumps them (with a registry snapshot) \
+                to $(i,DIR)/flight.jsonl on SIGQUIT or on slow-iteration \
+                anomalies, and on $(b,GET /debug/flight).")
+  in
+  let run dir listen metrics mode anti_entropy_ms peers budget slow_ms
+      trace_sample flight_capacity =
     let t = or_die (Vegvisir_cli.Node_store.load ~dir) in
     (* One journal write per flush, not per event: the daemon multiplexes
        many sessions and saves (= flushes) on every completed exchange. *)
@@ -331,6 +354,8 @@ let daemon_cmd =
         Vegvisir_cli.Event_loop.mode;
         session_budget = budget;
         slow_iteration_ms = slow_ms;
+        trace_sample;
+        flight_capacity;
       }
     in
     let loop = Vegvisir_cli.Event_loop.create ~store:t ~config () in
@@ -348,6 +373,8 @@ let daemon_cmd =
     | None, _ -> ());
     Vegvisir_cli.Unix_compat.install_stop_handler (fun () ->
         Vegvisir_cli.Event_loop.request_stop loop);
+    Vegvisir_cli.Unix_compat.install_quit_handler (fun () ->
+        Vegvisir_cli.Event_loop.request_flight_dump loop);
     Printf.printf "daemon: %s on 127.0.0.1:%d%s\n%!" dir pport
       (match mport with
       | Some m ->
@@ -371,10 +398,11 @@ let daemon_cmd =
              optionally dial peers for periodic anti-entropy — all in one \
              poll-based event loop. SIGINT/SIGTERM drains open sessions, \
              saves the replica, and flushes the telemetry journal before \
-             exiting.")
+             exiting; SIGQUIT dumps the in-memory flight recorder to \
+             $(i,DIR)/flight.jsonl without stopping.")
     Term.(
       const run $ dir_arg $ listen $ metrics $ mode_arg $ anti_entropy_ms
-      $ peers $ budget $ slow_ms)
+      $ peers $ budget $ slow_ms $ trace_sample $ flight_capacity)
 
 let show_cmd =
   let run dir =
@@ -449,48 +477,126 @@ let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Render the registry as JSON.")
   in
-  let run dirs json =
-    let ctx = replay_dirs dirs in
-    let snap = Vegvisir_obs.Registry.snapshot (Vegvisir_obs.Context.registry ctx) in
-    if snap = [] then print_endline "(no telemetry recorded)"
-    else
-      print_string
-        (if json then Vegvisir_obs.Registry.render_json snap
-         else Vegvisir_obs.Registry.render_text snap)
+  let dirs_opt =
+    Arg.(
+      value & opt_all string []
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Node directory to replay; repeat to merge several nodes' \
+                telemetry. Required unless $(b,--connect) is given.")
+  in
+  let connect =
+    let endpoint =
+      Arg.conv (parse_endpoint, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p)
+    in
+    Arg.(
+      value & opt (some endpoint) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Fetch a running daemon's live merged registry instead of \
+                replaying journals ($(b,GET /debug/registry), always JSON) \
+                and print the body.")
+  in
+  let run dirs json connect =
+    match connect with
+    | Some (host, port) ->
+      let body =
+        or_die
+          (Vegvisir_cli.Http_probe.get ~host ~port ~path:"/debug/registry" ())
+      in
+      print_string body;
+      if
+        String.length body = 0
+        || not (Char.equal body.[String.length body - 1] '\n')
+      then print_newline ()
+    | None -> begin
+      match dirs with
+      | [] -> or_die (Error "at least one --dir (or --connect) is required")
+      | _ :: _ ->
+        let ctx = replay_dirs dirs in
+        let snap =
+          Vegvisir_obs.Registry.snapshot (Vegvisir_obs.Context.registry ctx)
+        in
+        if snap = [] then print_endline "(no telemetry recorded)"
+        else
+          print_string
+            (if json then Vegvisir_obs.Registry.render_json snap
+             else Vegvisir_obs.Registry.render_text snap)
+    end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Dump the metric registry rebuilt from the directories' \
              trace.jsonl telemetry (counters per node: blocks, sessions, \
-             syncs, stores).")
-    Term.(const run $ dirs_arg $ json)
+             syncs, stores). With $(b,--connect), fetch a running daemon's \
+             live registry over its metrics listener instead.")
+    Term.(const run $ dirs_opt $ json $ connect)
 
 let trace_cmd =
   let block =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
-      & info [] ~docv:"BLOCK" ~doc:"Block id (hex, prefix accepted).")
+      & info [] ~docv:"BLOCK"
+          ~doc:"Block id (hex, prefix accepted). Required unless \
+                $(b,--chrome) is given; with $(b,--chrome) it restricts \
+                the export to that block's trace.")
   in
-  let run block dirs =
-    let ctx = replay_dirs dirs in
+  let chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Export the directories' spans as Chrome trace-event JSON \
+                to $(i,FILE) ($(b,-) = stdout), loadable in Perfetto or \
+                chrome://tracing: one process row per node, one thread \
+                per trace.")
+  in
+  let run block chrome dirs =
+    let events = load_events dirs in
+    let ctx = replay_events events in
     let trace = Vegvisir_obs.Context.trace ctx in
-    match Vegvisir_obs.Trace.find trace block with
-    | [] -> or_die (Error ("no trace entries for block " ^ block))
-    | [ id ] -> print_string (Vegvisir_obs.Trace.render trace id)
-    | ids ->
-      Printf.printf "prefix %s is ambiguous:\n" block;
-      List.iter
-        (fun id -> Printf.printf "  %s\n" (Vegvisir.Hash_id.to_hex id))
-        ids;
-      exit 1
+    let resolve prefix =
+      match Vegvisir_obs.Trace.find trace prefix with
+      | [] -> or_die (Error ("no trace entries for block " ^ prefix))
+      | [ id ] -> id
+      | ids ->
+        Printf.printf "prefix %s is ambiguous:\n" prefix;
+        List.iter
+          (fun id -> Printf.printf "  %s\n" (Vegvisir.Hash_id.to_hex id))
+          ids;
+        exit 1
+    in
+    match chrome with
+    | Some file ->
+      let spans = Vegvisir_obs.Span.of_events events in
+      let spans =
+        match block with
+        | None -> spans
+        | Some prefix ->
+          let tr = Vegvisir_obs.Span.trace_of_block (resolve prefix) in
+          List.filter
+            (fun (s : Vegvisir_obs.Span.t) -> String.equal s.trace tr)
+            spans
+      in
+      let body = Vegvisir_obs.Span.chrome_trace spans in
+      if String.equal file "-" then print_string body
+      else begin
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc body);
+        Printf.printf "wrote %d span(s) to %s\n" (List.length spans) file
+      end
+    | None -> begin
+      match block with
+      | None -> or_die (Error "BLOCK is required unless --chrome is given")
+      | Some prefix -> print_string (Vegvisir_obs.Trace.render trace (resolve prefix))
+    end
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Print a block's causal timeline (created/sent/received/\
              delivered, with node ids and times) merged from the \
-             directories' trace.jsonl telemetry.")
-    Term.(const run $ block $ dirs_arg)
+             directories' trace.jsonl telemetry — or, with $(b,--chrome), \
+             export the spans folded from the same journals as Chrome \
+             trace-event JSON.")
+    Term.(const run $ block $ chrome $ dirs_arg)
 
 let health_cmd =
   let prometheus =

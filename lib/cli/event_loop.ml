@@ -60,6 +60,14 @@ type config = {
   slow_iteration_ms : float;
       (* self-profiling: iterations whose busy time (select wait
          excluded) exceeds this bump loop.slow_iterations *)
+  trace_sample : float;
+      (* head-sampling rate for cross-daemon span tracing, handed to
+         every hosted engine; 0. = off (no Trace_context frames) *)
+  flight_capacity : int;
+      (* flight-recorder ring size in events *)
+  flight_path : string option;
+      (* where SIGQUIT / slow-iteration flight dumps land; None falls
+         back to <store dir>/flight.jsonl (no dump without a store) *)
 }
 
 let default_config =
@@ -73,7 +81,22 @@ let default_config =
     idle_timeout_ms = 30_000.;
     drain_grace_ms = 5_000.;
     slow_iteration_ms = 100.;
+    trace_sample = 0.;
+    flight_capacity = Obs.Flight.default_capacity;
+    flight_path = None;
   }
+
+(* How many recent spans /debug/spans retains. *)
+let span_ring_capacity = 1024
+
+(* Runtime gauges (GC, open fds, timer depth) refresh at most this often
+   — /proc reads and Gc.quick_stat are cheap but not free per iteration. *)
+let gauge_refresh_ms = 1_000.
+
+(* Anomaly-triggered flight dumps are rate-limited to one per this
+   window, so a persistently slow loop does not spend its time
+   serializing its own black box. *)
+let flight_dump_min_interval_ms = 5_000.
 
 (* Sub-millisecond-to-half-second bounds for the per-phase loop
    profiling histograms: most phases run in tens of microseconds; a
@@ -112,6 +135,9 @@ type session = {
   mutable delivered : int;
   mutable served : int;
   mutable last_io : float;
+  mutable trace_ctx : (string * string) option;
+      (* the session's (trace, root span) once announced — sent by us on
+         a sampled outbound exchange, or received from the initiator *)
 }
 
 type http = {
@@ -182,6 +208,8 @@ type t = {
   me : string;
   monitor : Obs.Monitor.t;  (* live health fold over the journal bus *)
   scoreboard : Obs.Scoreboard.t;  (* per-peer fold over the same bus *)
+  flight : Obs.Flight.t;  (* always-on ring of the last N events *)
+  span_ring : Obs.Span.Collector.t;  (* live span view for /debug/spans *)
   started_ms : float;  (* mono_ms at create, for the uptime gauge *)
   rdbuf : Bytes.t;  (* shared scratch for HTTP reads *)
   mutable wheel : tev Timer_wheel.t;
@@ -226,6 +254,15 @@ type t = {
   h_write : Obs.Registry.histogram;
   h_sweep : Obs.Registry.histogram;
   c_slow : Obs.Registry.counter;
+  (* runtime gauges: GC pressure, fd usage, timer-wheel depth *)
+  g_gc_minor : Obs.Registry.gauge;
+  g_gc_major : Obs.Registry.gauge;
+  g_gc_heap : Obs.Registry.gauge;
+  g_fds : Obs.Registry.gauge;
+  g_timer_depth : Obs.Registry.gauge;
+  mutable next_gauge_refresh : float;
+  mutable flight_dump_requested : bool;  (* set by the SIGQUIT handler *)
+  mutable last_flight_dump : float;  (* mono_ms; 0. = never dumped *)
 }
 
 (* How many recent anti-entropy dial labels /health reports. *)
@@ -260,8 +297,12 @@ let create ?store ?(config = default_config) () =
   in
   let monitor = Obs.Monitor.create ~nodes:[ me ] () in
   let scoreboard = Obs.Scoreboard.create ~me () in
+  let flight = Obs.Flight.create ~capacity:config.flight_capacity () in
+  let span_ring = Obs.Span.Collector.create ~capacity:span_ring_capacity in
   Obs.Context.attach ctx (Obs.Monitor.sink monitor);
   Obs.Context.attach ctx (Obs.Scoreboard.sink scoreboard);
+  Obs.Context.attach ctx (Obs.Flight.sink flight);
+  Obs.Context.attach ctx (Obs.Span.Collector.sink span_ring);
   (* Constant-1 gauge whose node label carries the build string, so a
      scrape can detect restarts-with-upgrade:
      vegvisir_build_info{node="vegvisir/x.y.z"} 1 *)
@@ -277,6 +318,8 @@ let create ?store ?(config = default_config) () =
       me;
       monitor;
       scoreboard;
+      flight;
+      span_ring;
       started_ms = Unix_compat.mono_ms ();
       rdbuf = Bytes.create 65536;
       wheel = Timer_wheel.empty;
@@ -319,12 +362,62 @@ let create ?store ?(config = default_config) () =
       h_write = hist "loop.write_ms";
       h_sweep = hist "loop.sweep_ms";
       c_slow = Obs.Registry.counter reg "loop.slow_iterations";
+      g_gc_minor = Obs.Registry.gauge reg "gc.minor_collections";
+      g_gc_major = Obs.Registry.gauge reg "gc.major_collections";
+      g_gc_heap = Obs.Registry.gauge reg "gc.heap_words";
+      g_fds = Obs.Registry.gauge reg "fds.open";
+      g_timer_depth = Obs.Registry.gauge reg "loop.timer_depth";
+      next_gauge_refresh = 0.;
+      flight_dump_requested = false;
+      last_flight_dump = 0.;
     }
   in
   t.render <- (fun () -> Obs.Registry.to_prometheus (merged_snapshot t));
   t
 
 let set_render t render = t.render <- render
+
+(* {2 Flight recorder and spans} *)
+
+let flight_dump t = Obs.Flight.dump t.flight ~snapshot:(merged_snapshot t)
+let spans t = Obs.Span.Collector.spans t.span_ring
+
+(* Safe to call from a signal handler: only flips a flag; the loop
+   writes the dump at its next iteration. *)
+let request_flight_dump t = t.flight_dump_requested <- true
+
+let flight_target t =
+  match t.config.flight_path with
+  | Some _ as p -> p
+  | None -> (
+    match t.store with
+    | Some st -> Some (Filename.concat st.Node_store.dir "flight.jsonl")
+    | None -> None)
+
+(* Write the dump where configured. Failures are swallowed: the flight
+   recorder is a diagnostic of last resort and must never take the
+   daemon down with it. *)
+let write_flight_dump t =
+  match flight_target t with
+  | None -> ()
+  | Some path -> (
+    t.last_flight_dump <- Unix_compat.mono_ms ();
+    match open_out path with
+    | oc ->
+      (try output_string oc (flight_dump t) with Sys_error _ -> ());
+      close_out_noerr oc
+    | exception Sys_error _ -> ())
+
+(* One GC/fd/timer-depth gauge refresh, rate-limited by the caller. *)
+let refresh_runtime_gauges t =
+  let gc = Gc.quick_stat () in
+  Obs.Registry.set t.g_gc_minor (float_of_int gc.Gc.minor_collections);
+  Obs.Registry.set t.g_gc_major (float_of_int gc.Gc.major_collections);
+  Obs.Registry.set t.g_gc_heap (float_of_int gc.Gc.heap_words);
+  (match Sys.readdir "/proc/self/fd" with
+  | entries -> Obs.Registry.set t.g_fds (float_of_int (Array.length entries))
+  | exception Sys_error _ -> ());
+  Obs.Registry.set t.g_timer_depth (float_of_int (Timer_wheel.cardinal t.wheel))
 
 let stats t : stats =
   {
@@ -481,7 +574,24 @@ let apply_effect t s (eff : Peer_engine.effect_) =
         [
           Obs.Event.Session_completed
             { node = t.me; peer = s.label; generation; blocks; duration_ms };
-        ]
+        ];
+      (* A traced session closes with a timed exchange span under the
+         announced root — same trace id on both daemons. *)
+      (match s.trace_ctx with
+      | None -> ()
+      | Some (trace, root) ->
+        journal t
+          [
+            Obs.Event.Span
+              {
+                node = t.me;
+                trace;
+                span = Obs.Span.derive ~trace ~node:t.me ~name:"session.exchange";
+                parent = Some root;
+                name = "session.exchange";
+                dur_ms = duration_ms;
+              };
+          ])
     | Peer_engine.Blocks_served { blocks; _ } ->
       journal t (List.map (fun h -> block_event t s Obs.Event.Sent h) blocks)
     | Peer_engine.Redundant_received { blocks; _ } ->
@@ -508,6 +618,39 @@ let apply_effect t s (eff : Peer_engine.effect_) =
         [
           Obs.Event.Blocks_advertised
             { node = t.me; peer = s.label; hashes = List.length hashes };
+        ]
+    (* Span stitching: a sampled outbound session announces its trace
+       (the announcement is the trace's root span); the responder, on
+       hearing it, opens a serve span under the announced root. Either
+       way the ids ride the session so the completion span below joins
+       the same tree — across both processes. *)
+    | Peer_engine.Trace_context_sent { trace; span; _ } ->
+      s.trace_ctx <- Some (trace, span);
+      journal t
+        [
+          Obs.Event.Span
+            {
+              node = t.me;
+              trace;
+              span;
+              parent = None;
+              name = "session.announce";
+              dur_ms = 0.;
+            };
+        ]
+    | Peer_engine.Trace_context_received { trace; span; _ } ->
+      s.trace_ctx <- Some (trace, span);
+      journal t
+        [
+          Obs.Event.Span
+            {
+              node = t.me;
+              trace;
+              span = Obs.Span.derive ~trace ~node:t.me ~name:"session.serve";
+              parent = Some span;
+              name = "session.serve";
+              dur_ms = 0.;
+            };
         ]
     | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
     | Peer_engine.Decode_failed _ ->
@@ -780,6 +923,7 @@ let new_session t ~origin ?label conn =
             stale_after_ms = t.config.stale_after_ms;
             session_timeout_ms = t.config.session_timeout_ms;
             knowledge_cache = t.config.knowledge_cache;
+            trace_sample = t.config.trace_sample;
           }
         ~user_id:(Node.user_id node) ~dag:(Node.dag node) ()
     in
@@ -807,6 +951,7 @@ let new_session t ~origin ?label conn =
         delivered = 0;
         served = 0;
         last_io = Unix_compat.mono_ms ();
+        trace_ctx = None;
       }
     in
     t.sessions <- IntMap.add sid s t.sessions;
@@ -968,6 +1113,18 @@ let pump_http_read t h =
               h.is_scrape <- true;
               http_response ~content_type:"application/json" ~status:"200 OK"
                 ~body:(health_body t) ()
+            | Some ("GET", "/debug/spans") ->
+              h.is_scrape <- true;
+              http_response ~content_type:"application/json" ~status:"200 OK"
+                ~body:(Obs.Span.render_json (spans t)) ()
+            | Some ("GET", "/debug/flight") ->
+              h.is_scrape <- true;
+              http_response ~content_type:"application/x-ndjson"
+                ~status:"200 OK" ~body:(flight_dump t) ()
+            | Some ("GET", "/debug/registry") ->
+              h.is_scrape <- true;
+              http_response ~content_type:"application/json" ~status:"200 OK"
+                ~body:(Obs.Registry.render_json (merged_snapshot t)) ()
             | Some _ ->
               http_response ~status:"404 Not Found" ~body:"not found\n" ()
             | None ->
@@ -1312,6 +1469,16 @@ let iterate t =
     IntMap.iter (fun _ s -> fail_session t s "shutdown") t.sessions;
   let now = Unix_compat.mono_ms () in
   Obs.Registry.set t.g_uptime ((now -. t.started_ms) /. 1000.);
+  (* SIGQUIT handler only flips the flag; the dump's IO happens here,
+     on the loop's own thread of control. *)
+  if t.flight_dump_requested then begin
+    t.flight_dump_requested <- false;
+    write_flight_dump t
+  end;
+  if now >= t.next_gauge_refresh then begin
+    t.next_gauge_refresh <- now +. gauge_refresh_ms;
+    refresh_runtime_gauges t
+  end;
   let due, wheel = Timer_wheel.expired t.wheel ~now_ms:now in
   t.wheel <- wheel;
   (match due with
@@ -1391,7 +1558,15 @@ let iterate t =
       Obs.Registry.observe t.h_write (Unix_compat.mono_ms () -. t0));
     reap t;
     let busy_ms = Unix_compat.mono_ms () -. iter_start -. select_ms in
-    if busy_ms > t.config.slow_iteration_ms then Obs.Registry.incr t.c_slow
+    if busy_ms > t.config.slow_iteration_ms then begin
+      Obs.Registry.incr t.c_slow;
+      (* A slow iteration is exactly when the recent-history ring is
+         most valuable — dump it, rate-limited so a persistently slow
+         loop does not spend its time serializing its own black box. *)
+      let after = Unix_compat.mono_ms () in
+      if after -. t.last_flight_dump >= flight_dump_min_interval_ms then
+        write_flight_dump t
+    end
 
 let request_stop t = t.stop_requested <- true
 

@@ -41,13 +41,28 @@ type config = {
   slow_iteration_ms : float;
       (** self-profiling threshold: iterations whose busy time (the
           select wait excluded) exceeds this bump the
-          [loop.slow_iterations] counter *)
+          [loop.slow_iterations] counter — and, rate-limited to one per
+          5 s, write a flight dump *)
+  trace_sample : float;
+      (** head-sampling rate for cross-daemon span tracing, handed to
+          every hosted engine
+          ({!Vegvisir_engine.Peer_engine.Config.trace_sample}); [0.]
+          (the default) sends no [Trace_context] frames and emits no
+          session spans *)
+  flight_capacity : int;
+      (** flight-recorder ring size in events
+          (default {!Vegvisir_obs.Flight.default_capacity}) *)
+  flight_path : string option;
+      (** where SIGQUIT- and anomaly-triggered flight dumps are written;
+          [None] (the default) falls back to [<store dir>/flight.jsonl],
+          and a store-less loop never writes one *)
 }
 
 val default_config : config
 (** [Naive] mode, knowledge cache off, 128-session budget, 8 MiB outbound budget, 2 s stale
     / 20 s session timeouts (as {!Live_sync}), 30 s idle timeout, 5 s
-    drain grace, 100 ms slow-iteration threshold. *)
+    drain grace, 100 ms slow-iteration threshold, tracing off, 4096-event
+    flight ring. *)
 
 val create : ?store:Node_store.t -> ?config:config -> unit -> t
 
@@ -75,6 +90,33 @@ val scoreboard : t -> Vegvisir_obs.Scoreboard.t
 (** The per-peer scoreboard fold attached to the same bus. Anti-entropy
     sessions are labelled ["host:port"], so configured peers' rows are
     keyed by their dial address. *)
+
+(** {1 Flight recorder and spans}
+
+    Two more sinks ride the same bus: an always-on
+    {!Vegvisir_obs.Flight} ring of the last [flight_capacity] events,
+    and a {!Vegvisir_obs.Span.Collector} folding the event stream into
+    distributed spans. Besides [/metrics] and [/health], the metrics
+    listener answers [GET /debug/spans] (the span ring as JSON),
+    [GET /debug/flight] (the flight dump as JSONL), and
+    [GET /debug/registry] (the merged registry snapshot as JSON). The
+    registry also carries runtime gauges refreshed about once a second:
+    [gc.minor_collections] / [gc.major_collections] / [gc.heap_words]
+    ({!Gc.quick_stat}), [fds.open] (via [/proc/self/fd], absent
+    elsewhere), and [loop.timer_depth] (timer-wheel cardinality). *)
+
+val flight_dump : t -> string
+(** {!Vegvisir_obs.Flight.dump} of the loop's ring against the merged
+    registry snapshot — the [GET /debug/flight] body. *)
+
+val spans : t -> Vegvisir_obs.Span.t list
+(** The span ring's retained spans, oldest first. *)
+
+val request_flight_dump : t -> unit
+(** Ask the loop to write a flight dump at its next iteration (to
+    [flight_path], or [<store dir>/flight.jsonl]). Sets a flag only —
+    safe from a signal handler; the daemon routes [SIGQUIT] here via
+    {!Unix_compat.install_quit_handler}. *)
 
 (** {1 Wiring} *)
 

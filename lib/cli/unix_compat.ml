@@ -405,6 +405,12 @@ let install_stop_handler f =
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ | Sys_error _ -> ());
   try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ()
 
+(* SIGQUIT -> flight-recorder dump request. Same flag-only discipline. *)
+let install_quit_handler f =
+  let handler = Sys.Signal_handle (fun _ -> f ()) in
+  try Sys.set_signal Sys.sigquit handler
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let recv_frame ?(timeout_s = 30.) fd =
   let deadline = now () +. timeout_s in
   let header = Bytes.create 4 in

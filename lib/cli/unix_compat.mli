@@ -181,3 +181,9 @@ val decode_frame_header : Bytes.t -> (int, string) result
 val install_stop_handler : (unit -> unit) -> unit
 (** Route [SIGINT] and [SIGTERM] to [f] (called once per delivery). [f]
     runs from a signal handler: set a flag, do no IO. *)
+
+val install_quit_handler : (unit -> unit) -> unit
+(** Route [SIGQUIT] to [f] — the daemon's flight-recorder dump trigger.
+    Same discipline as {!install_stop_handler}: [f] only sets a flag;
+    the event loop writes the dump at its next iteration. No-op on
+    platforms without [SIGQUIT]. *)

@@ -16,6 +16,7 @@ type message = Sync_strategy.message =
   | Blocks_reply of { blocks : Block.t list }
   | Digest_request of { upto : int; intervals : interval list }
   | Digest_reply of { splits : interval list; leaves : leaf list }
+  | Trace_context of { trace : string; span : string }
 
 type stats = {
   rounds : int;
@@ -62,6 +63,8 @@ let is_request = Sync_strategy.is_request
 let reply_blocks = Sync_strategy.reply_blocks
 let advertised_hashes = Sync_strategy.advertised_hashes
 let respond = Sync_strategy.respond
+let session_trace_ids = Sync_strategy.session_trace_ids
+let trace_sampled = Sync_strategy.trace_sampled
 
 type session = { strategy : Sync_strategy.packed; stats : stats }
 

@@ -44,6 +44,7 @@ type message = Sync_strategy.message =
   | Blocks_reply of { blocks : Block.t list }
   | Digest_request of { upto : int; intervals : interval list }
   | Digest_reply of { splits : interval list; leaves : leaf list }
+  | Trace_context of { trace : string; span : string }
 
 type stats = {
   rounds : int;  (** request/reply round trips *)
@@ -72,6 +73,14 @@ val advertised_hashes : message -> Hash_id.t list
 (** Hashes the sender claims to hold without shipping the blocks
     (digest leaves) — knowledge-cache / {!Pending_pool} advertisement
     fodder. *)
+
+val session_trace_ids : initiator:Hash_id.t -> generation:int -> string * string
+(** Deterministic [(trace_id, span_id)] for a session — see
+    {!Sync_strategy.session_trace_ids}. *)
+
+val trace_sampled : initiator:Hash_id.t -> generation:int -> rate:float -> bool
+(** Deterministic head-sampling decision — see
+    {!Sync_strategy.trace_sampled}. *)
 
 (** Responder side: answer any request from the local DAG. *)
 val respond : Dag.t -> message -> message option

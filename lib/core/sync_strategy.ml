@@ -43,10 +43,14 @@ type message =
   | Blocks_reply of { blocks : Block.t list }
   | Digest_request of { upto : int; intervals : interval list }
   | Digest_reply of { splits : interval list; leaves : leaf list }
+  | Trace_context of { trace : string; span : string }
 
 (* Wire tags 1-8 predate the strategy interface and must stay
    byte-identical (same-seed experiment journals are replayed across
-   versions); digest messages extend the namespace at 9/10. *)
+   versions); digest messages extend the namespace at 9/10, and the
+   optional span-tracing context frame at 11. Peers predating tag 11
+   fail to decode the frame and drop it (Wire.decode_string returns
+   None), which is exactly the intended old-peer behaviour. *)
 let encode_message b = function
   | Frontier_request { level } ->
     Wire.put_u8 b 1;
@@ -97,6 +101,10 @@ let encode_message b = function
         Wire.put_u32 b hi;
         Wire.put_list b (fun b h -> Wire.put_str b (Hash_id.to_raw h)) hashes)
       leaves
+  | Trace_context { trace; span } ->
+    Wire.put_u8 b 11;
+    Wire.put_str b trace;
+    Wire.put_str b span
 
 let get_interval c =
   let lo = Wire.get_u32 c in
@@ -138,6 +146,10 @@ let decode_message c =
           { lo; hi; hashes })
     in
     Digest_reply { splits; leaves }
+  | 11 ->
+    let trace = Wire.get_str c in
+    let span = Wire.get_str c in
+    Trace_context { trace; span }
   | _ -> raise (Wire.Malformed "bad reconcile message tag")
 
 let message_size m =
@@ -158,7 +170,7 @@ let is_request = function
   | Digest_request _ ->
     true
   | Frontier_reply _ | Sync_reply _ | Bloom_reply _ | Blocks_reply _
-  | Digest_reply _ ->
+  | Digest_reply _ | Trace_context _ ->
     false
 
 let reply_blocks = function
@@ -168,7 +180,7 @@ let reply_blocks = function
   | Blocks_reply { blocks } ->
     blocks
   | Frontier_request _ | Sync_request _ | Bloom_request _ | Blocks_request _
-  | Digest_request _ | Digest_reply _ ->
+  | Digest_request _ | Digest_reply _ | Trace_context _ ->
     []
 
 let advertised_hashes = function
@@ -176,8 +188,44 @@ let advertised_hashes = function
     List.concat_map (fun { hashes; _ } -> hashes) leaves
   | Frontier_request _ | Frontier_reply _ | Sync_request _ | Sync_reply _
   | Bloom_request _ | Bloom_reply _ | Blocks_request _ | Blocks_reply _
-  | Digest_request _ ->
+  | Digest_request _ | Trace_context _ ->
     []
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic span identity (cross-daemon tracing)                   *)
+
+(* Trace and span ids are 16 lowercase hex characters derived by SHA-256
+   from the initiating node's identity and its session sequence number —
+   no global randomness, so same-seed runs mint byte-identical ids, and
+   both ends of an exchange can derive matching ids from the wire
+   context alone. *)
+let id_of_seed seed = String.sub (Hash_id.to_hex (Hash_id.digest seed)) 0 16
+
+let session_trace_ids ~initiator ~generation =
+  let seed = Hash_id.to_raw initiator ^ ":" ^ string_of_int generation in
+  (id_of_seed ("trace:" ^ seed), id_of_seed ("span:" ^ seed))
+
+(* Head sampling: hash the same (initiator, generation) seed into a
+   uniform fraction of [0,1) and compare against the configured rate.
+   Deterministic — every replica, and every replay of the same seed,
+   makes the same keep/drop decision for a given session. *)
+let trace_sampled ~initiator ~generation ~rate =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else
+    let raw =
+      Hash_id.to_raw
+        (Hash_id.digest
+           ("sample:" ^ Hash_id.to_raw initiator ^ ":"
+          ^ string_of_int generation))
+    in
+    let v =
+      (Char.code raw.[0] lsl 24)
+      lor (Char.code raw.[1] lsl 16)
+      lor (Char.code raw.[2] lsl 8)
+      lor Char.code raw.[3]
+    in
+    float_of_int v /. 4294967296.0 < rate
 
 type outcome = Continue of message | Done of Block.t list | Foreign
 
@@ -231,7 +279,7 @@ module Naive_impl = struct
         (st, Continue (Frontier_request { level = st.level }))
     | Frontier_request _ | Sync_request _ | Sync_reply _ | Bloom_request _
     | Bloom_reply _ | Blocks_request _ | Blocks_reply _ | Digest_request _
-    | Digest_reply _ ->
+    | Digest_reply _ | Trace_context _ ->
       (st, Foreign)
 
   let respond dag = function
@@ -241,7 +289,7 @@ module Naive_impl = struct
       Some (Frontier_reply { level; blocks })
     | Frontier_reply _ | Sync_request _ | Sync_reply _ | Bloom_request _
     | Bloom_reply _ | Blocks_request _ | Blocks_reply _ | Digest_request _
-    | Digest_reply _ ->
+    | Digest_reply _ | Trace_context _ ->
       None
 end
 
@@ -274,7 +322,7 @@ module Indexed_impl = struct
       (st, Done unknown)
     | Frontier_request _ | Frontier_reply _ | Sync_request _ | Bloom_request _
     | Bloom_reply _ | Blocks_request _ | Blocks_reply _ | Digest_request _
-    | Digest_reply _ ->
+    | Digest_reply _ | Trace_context _ ->
       (st, Foreign)
 
   let respond dag = function
@@ -296,7 +344,7 @@ module Indexed_impl = struct
       Some (Sync_reply { blocks })
     | Frontier_request _ | Frontier_reply _ | Sync_reply _ | Bloom_request _
     | Bloom_reply _ | Blocks_request _ | Blocks_reply _ | Digest_request _
-    | Digest_reply _ ->
+    | Digest_reply _ | Trace_context _ ->
       None
 end
 
@@ -375,7 +423,8 @@ module Bloom_impl = struct
         in
         (st, Continue req)
     | Frontier_request _ | Frontier_reply _ | Sync_request _ | Sync_reply _
-    | Bloom_request _ | Blocks_request _ | Digest_request _ | Digest_reply _ ->
+    | Bloom_request _ | Blocks_request _ | Digest_request _ | Digest_reply _
+    | Trace_context _ ->
       (st, Foreign)
 
   let respond dag = function
@@ -396,7 +445,7 @@ module Bloom_impl = struct
     end
     | Frontier_request _ | Frontier_reply _ | Sync_request _ | Sync_reply _
     | Bloom_reply _ | Blocks_request _ | Blocks_reply _ | Digest_request _
-    | Digest_reply _ ->
+    | Digest_reply _ | Trace_context _ ->
       None
 end
 
@@ -510,7 +559,7 @@ module Digest_impl = struct
       Some (Digest_reply { splits = List.rev splits; leaves = List.rev leaves })
     | Frontier_request _ | Frontier_reply _ | Sync_request _ | Sync_reply _
     | Bloom_request _ | Bloom_reply _ | Blocks_request _ | Blocks_reply _
-    | Digest_reply _ ->
+    | Digest_reply _ | Trace_context _ ->
       None
 
   let on_reply st dag = function
@@ -579,7 +628,8 @@ module Digest_impl = struct
         (st, Continue req)
     | Digest_reply _ | Blocks_reply _ (* wrong phase: stale frame *)
     | Frontier_request _ | Frontier_reply _ | Sync_request _ | Sync_reply _
-    | Bloom_request _ | Bloom_reply _ | Blocks_request _ | Digest_request _ ->
+    | Bloom_request _ | Bloom_reply _ | Blocks_request _ | Digest_request _
+    | Trace_context _ ->
       (st, Foreign)
 end
 
@@ -626,5 +676,5 @@ let respond dag m =
   | Digest_request _ -> Digest.respond dag m
   | Blocks_request { hashes } -> Some (respond_blocks dag hashes)
   | Frontier_reply _ | Sync_reply _ | Bloom_reply _ | Blocks_reply _
-  | Digest_reply _ ->
+  | Digest_reply _ | Trace_context _ ->
     None

@@ -67,11 +67,18 @@ type message =
           covered so far; the responder treats everything it holds above
           [upto] as one extra mismatched interval. *)
   | Digest_reply of { splits : interval list; leaves : leaf list }
+  | Trace_context of { trace : string; span : string }
+      (** Optional span-tracing context (tag 11), sent by an initiator
+          ahead of its first request so the responder can stitch its
+          serve-side spans into the initiator's trace. Carries no
+          protocol state: every strategy treats it as [Foreign], the
+          responder side answers [None], and peers predating the tag
+          drop the frame at {!Wire.decode_string}. *)
 
 val encode_message : Buffer.t -> message -> unit
 (** Wire tags 1–8 are byte-identical to the pre-strategy encoding (old
     journals and same-seed traces replay unchanged); digest messages
-    use tags 9/10. *)
+    use tags 9/10, the span-tracing context frame tag 11. *)
 
 val decode_message : Wire.cursor -> message
 (** @raise Wire.Malformed on an unknown tag or truncated payload. *)
@@ -144,6 +151,25 @@ val respond : Dag.t -> message -> message option
 
 val recent_level : int
 (** How many frontier levels {!Indexed} advertises as [recent]. *)
+
+(** {1 Deterministic span identity}
+
+    Cross-daemon tracing needs ids both ends can mint without
+    coordination and without randomness. Both helpers are pure SHA-256
+    derivations over the initiating node's identity and its session
+    sequence number, so same-seed runs produce byte-identical ids. *)
+
+val session_trace_ids : initiator:Hash_id.t -> generation:int -> string * string
+(** [(trace_id, span_id)] for the exchange session [generation]
+    initiated by [initiator] — 16 lowercase hex characters each. The
+    responder recovers the same pair from the {!message.Trace_context}
+    frame, never by re-derivation (it does not know the initiator's
+    generation counter). *)
+
+val trace_sampled : initiator:Hash_id.t -> generation:int -> rate:float -> bool
+(** Head-sampling decision for that session: a deterministic uniform
+    hash of (initiator, generation) compared against [rate]. [rate >= 1.]
+    keeps everything, [rate <= 0.] nothing. *)
 
 val bloom_of_dag : Dag.t -> string
 (** The serialized filter {!Bloom} advertises (resident + archived). *)

@@ -12,6 +12,13 @@ module Config = struct
     session_timeout_ms : float;
     retry_limit : int;
     knowledge_cache : int;
+    trace_sample : float;
+        (* Head-sampling rate for cross-daemon span tracing: the
+           fraction of initiated sessions that announce a
+           [Reconcile.Trace_context] frame to the responder. 0. (the
+           default) sends nothing — zero wire overhead; the decision is
+           a deterministic hash of (initiator, generation), never a
+           random draw (the engine is inside the no-random boundary). *)
   }
 
   let default =
@@ -22,6 +29,7 @@ module Config = struct
       session_timeout_ms = 30_000.;
       retry_limit = 3;
       knowledge_cache = 0;
+      trace_sample = 0.;
     }
 end
 
@@ -69,6 +77,13 @@ type event =
   | Redundant_received of { from : int; blocks : Hash_id.t list }
   | Blocks_suppressed of { dst : int; blocks : Hash_id.t list }
   | Peer_advertised of { from : int; hashes : Hash_id.t list }
+  | Trace_context_sent of {
+      dst : int;
+      generation : int;
+      trace : string;
+      span : string;
+    }
+  | Trace_context_received of { from : int; trace : string; span : string }
 
 type effect_ =
   | Send of { dst : int; bytes : string }
@@ -210,7 +225,7 @@ let request_evidence = function
   | Reconcile.Blocks_request _ | Reconcile.Digest_request _
   | Reconcile.Frontier_reply _ | Reconcile.Sync_reply _
   | Reconcile.Bloom_reply _ | Reconcile.Blocks_reply _
-  | Reconcile.Digest_reply _ ->
+  | Reconcile.Digest_reply _ | Reconcile.Trace_context _ ->
     []
 
 (* Hashes a request proves its sender {e lacks}: an explicit block fetch
@@ -224,7 +239,7 @@ let request_retraction = function
   | Reconcile.Bloom_request _ | Reconcile.Digest_request _
   | Reconcile.Frontier_reply _ | Reconcile.Sync_reply _
   | Reconcile.Bloom_reply _ | Reconcile.Blocks_reply _
-  | Reconcile.Digest_reply _ ->
+  | Reconcile.Digest_reply _ | Reconcile.Trace_context _ ->
     []
 
 (* Drop blocks [known] already attributes to the peer from a reply's
@@ -253,7 +268,7 @@ let suppress_known known reply =
   | Reconcile.Frontier_request _ | Reconcile.Sync_request _
   | Reconcile.Bloom_request _ | Reconcile.Blocks_request _
   | Reconcile.Blocks_reply _ | Reconcile.Digest_request _
-  | Reconcile.Digest_reply _ ->
+  | Reconcile.Digest_reply _ | Reconcile.Trace_context _ ->
     (reply, [])
 
 let encode m =
@@ -308,6 +323,25 @@ let tick t ~now ~dag ~peer =
     let session =
       Some { dst; generation; recon; last_activity = now; started_at = now }
     in
+    (* Sampled sessions announce their trace to the responder with a
+       [Trace_context] frame ahead of the first request, so the serve
+       side stitches its spans into the initiator's trace. The frame is
+       fire-and-forget: peers predating tag 11 drop it at decode, and a
+       lost frame only costs an unstitched serve span. *)
+    let trace_ctx =
+      if
+        Reconcile.trace_sampled ~initiator:t.user_id ~generation
+          ~rate:t.config.Config.trace_sample
+      then
+        let trace, span =
+          Reconcile.session_trace_ids ~initiator:t.user_id ~generation
+        in
+        [
+          Send { dst; bytes = encode (Reconcile.Trace_context { trace; span }) };
+          Trace (Trace_context_sent { dst; generation; trace; span });
+        ]
+      else []
+    in
     ( { t with session; generation_ = generation },
       housekeeping
       @ [
@@ -317,8 +351,9 @@ let tick t ~now ~dag ~peer =
               key = Session_timeout { generation };
               after_ms = t.config.Config.session_timeout_ms;
             };
-          Send { dst; bytes = encode first };
-        ] )
+        ]
+      @ trace_ctx
+      @ [ Send { dst; bytes = encode first } ] )
   | (Some _ | None), (Honest | Silent | Withholding), (Some _ | None) ->
     (t, housekeeping)
 
@@ -334,7 +369,8 @@ let served_blocks = function
     List.map (fun (b : Block.t) -> b.Block.hash) blocks
   | Reconcile.Frontier_request _ | Reconcile.Sync_request _
   | Reconcile.Bloom_request _ | Reconcile.Blocks_request _
-  | Reconcile.Digest_request _ | Reconcile.Digest_reply _ ->
+  | Reconcile.Digest_request _ | Reconcile.Digest_reply _
+  | Reconcile.Trace_context _ ->
     []
 
 let on_reply t ~now ~dag ~from msg =
@@ -400,7 +436,17 @@ let on_reply t ~now ~dag ~from msg =
 let on_message t ~now ~dag ~from bytes =
   match Wire.decode_string Reconcile.decode_message bytes with
   | None -> (t, [ Trace (Decode_failed { from }) ])
-  | Some msg -> begin
+  (* A trace announcement is neither request nor reply: surface it to
+     the host (which parents its serve spans under the carried ids) and
+     leave every byte of protocol state untouched. *)
+  | Some (Reconcile.Trace_context { trace; span }) ->
+    (t, [ Trace (Trace_context_received { from; trace; span }) ])
+  | Some
+      (( Reconcile.Frontier_request _ | Reconcile.Frontier_reply _
+       | Reconcile.Sync_request _ | Reconcile.Sync_reply _
+       | Reconcile.Bloom_request _ | Reconcile.Bloom_reply _
+       | Reconcile.Blocks_request _ | Reconcile.Blocks_reply _
+       | Reconcile.Digest_request _ | Reconcile.Digest_reply _ ) as msg) -> begin
     match Reconcile.respond (serving_view t ~dag) msg with
     | Some reply ->
       (* It was a request. Silent peers do not answer. *)
@@ -497,10 +543,20 @@ let event_equal a b =
     Int.equal a.dst b.dst && List.equal Hash_id.equal a.blocks b.blocks
   | Peer_advertised a, Peer_advertised b ->
     Int.equal a.from b.from && List.equal Hash_id.equal a.hashes b.hashes
+  | Trace_context_sent a, Trace_context_sent b ->
+    Int.equal a.dst b.dst
+    && Int.equal a.generation b.generation
+    && String.equal a.trace b.trace
+    && String.equal a.span b.span
+  | Trace_context_received a, Trace_context_received b ->
+    Int.equal a.from b.from
+    && String.equal a.trace b.trace
+    && String.equal a.span b.span
   | ( ( Session_started _ | Request_resent _ | Session_completed _
       | Session_aborted _ | Request_suppressed _ | Reply_ignored _
       | Decode_failed _ | Blocks_served _ | Redundant_received _
-      | Blocks_suppressed _ | Peer_advertised _ ),
+      | Blocks_suppressed _ | Peer_advertised _ | Trace_context_sent _
+      | Trace_context_received _ ),
       _ ) ->
     false
 
@@ -541,6 +597,11 @@ let pp_event ppf = function
     Fmt.pf ppf "blocks-suppressed(dst=%d %d blocks)" dst (List.length blocks)
   | Peer_advertised { from; hashes } ->
     Fmt.pf ppf "peer-advertised(from=%d %d hashes)" from (List.length hashes)
+  | Trace_context_sent { dst; generation; trace; span } ->
+    Fmt.pf ppf "trace-context-sent(dst=%d gen=%d %s/%s)" dst generation trace
+      span
+  | Trace_context_received { from; trace; span } ->
+    Fmt.pf ppf "trace-context-received(from=%d %s/%s)" from trace span
 
 let pp_effect ppf = function
   | Send { dst; bytes } -> Fmt.pf ppf "send(dst=%d %dB)" dst (String.length bytes)

@@ -61,11 +61,21 @@ module Config : sig
             cache resets to empty — a deterministic epoch clear; a
             cold cache costs only redundant transfer, never
             correctness. *)
+    trace_sample : float;
+        (** head-sampling rate for cross-daemon span tracing: the
+            fraction of initiated sessions that announce a
+            {!Reconcile.message.Trace_context} frame to the responder
+            (so its serve-side spans stitch into the initiator's
+            trace). [0.] — the default — sends nothing, keeping the
+            wire byte-identical to the pre-tracing protocol; [1.]
+            announces every session. The sampling decision is a
+            deterministic hash of (initiator, generation)
+            ({!Reconcile.trace_sampled}), never a random draw. *)
   }
 
   val default : t
   (** [Honest], [Naive] mode, 5 s stale, 30 s timeout, 3 retries,
-      caching disabled. *)
+      caching disabled, trace sampling off. *)
 end
 
 (** {1 Timers} *)
@@ -152,6 +162,23 @@ type event =
           feed this to {!Vegvisir.Pending_pool.advertise} so eviction
           prefers blocks no peer ever advertised, and to the knowledge
           cache when enabled *)
+  | Trace_context_sent of {
+      dst : int;
+      generation : int;
+      trace : string;
+      span : string;
+    }
+      (** this engine initiated a sampled session and announced its
+          trace identity to [dst] ahead of the first request — hosts
+          use it to open their exchange span under the same ids *)
+  | Trace_context_received of { from : int; trace : string; span : string }
+      (** [from] announced a trace for the session it is about to run
+          against us; hosts parent their serve-side spans under
+          [(trace, span)] so the exchange stitches into one
+          cross-process tree. Carries no protocol state — engines
+          predating tag 11 never see it (the frame dies at
+          {!Vegvisir.Wire.decode_string} with a [Decode_failed]
+          trace) *)
 
 type effect_ =
   | Send of { dst : int; bytes : string }  (** transmit one frame *)

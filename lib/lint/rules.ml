@@ -222,7 +222,8 @@ let check ~path structure =
   (* lib/obs owns rendering (sinks decide where bytes go) and lib/engine
      already forbids console writes via engine-transport-purity — but the
      obs health fold and its renderer return strings, never print, so
-     they re-enter the printf scope. *)
+     they re-enter the printf scope; same for the span layer and the
+     flight recorder, whose dumps are strings the caller writes. *)
   let printf_on =
     has_prefix [ "lib" ] lp
     && (not (has_prefix [ "lib"; "obs" ] lp))
@@ -230,6 +231,8 @@ let check ~path structure =
     || path_eq lp [ "lib"; "obs"; "monitor.ml" ]
     || path_eq lp [ "lib"; "obs"; "health.ml" ]
     || path_eq lp [ "lib"; "obs"; "scoreboard.ml" ]
+    || path_eq lp [ "lib"; "obs"; "span.ml" ]
+    || path_eq lp [ "lib"; "obs"; "flight.ml" ]
   in
   let partial_on = has_prefix [ "lib" ] lp in
   let full_scan_on =

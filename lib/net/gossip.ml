@@ -40,7 +40,7 @@ let max_fed = 4096
 
 let create ~net ~nodes ?behaviors ?(mode = Reconcile.Naive)
     ?(knowledge_cache = 0) ?(interval_ms = 1000.) ?(stale_after_ms = 5_000.)
-    ?(session_timeout_ms = 30_000.) ?tap ?obs () =
+    ?(session_timeout_ms = 30_000.) ?(trace_sample = 0.) ?tap ?obs () =
   let n = Array.length nodes in
   if Topology.size (Simnet.topo net) <> n then
     invalid_arg "Gossip.create: nodes/topology size mismatch";
@@ -71,6 +71,7 @@ let create ~net ~nodes ?behaviors ?(mode = Reconcile.Naive)
                     stale_after_ms = max stale_after_ms (2. *. interval_ms);
                     session_timeout_ms;
                     knowledge_cache;
+                    trace_sample;
                   }
                 ~user_id:(Node.user_id nodes.(i))
                 ~dag:(Node.dag nodes.(i))
@@ -263,6 +264,33 @@ let apply_effect t i ~src (eff : Peer_engine.effect_) =
              node = node_name i;
              peer = node_name from;
              hashes = List.length hashes;
+           })
+    (* Sampled sessions surface as instant spans: the initiator's
+       announcement opens the trace, the responder's serve span parents
+       under the announced ids — so a simulated fleet exercises the same
+       cross-node stitching the real daemons do. *)
+    | Peer_engine.Trace_context_sent { dst = _; generation = _; trace; span } ->
+      emit t
+        (Obs.Event.Span
+           {
+             node = node_name i;
+             trace;
+             span;
+             parent = None;
+             name = "session.announce";
+             dur_ms = 0.;
+           })
+    | Peer_engine.Trace_context_received { from = _; trace; span } ->
+      emit t
+        (Obs.Event.Span
+           {
+             node = node_name i;
+             trace;
+             span =
+               Obs.Span.derive ~trace ~node:(node_name i) ~name:"session.serve";
+             parent = Some span;
+             name = "session.serve";
+             dur_ms = 0.;
            })
     | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
     | Peer_engine.Decode_failed _ ->

@@ -50,6 +50,7 @@ val create :
   ?interval_ms:float ->
   ?stale_after_ms:float ->
   ?session_timeout_ms:float ->
+  ?trace_sample:float ->
   ?tap:tap ->
   ?obs:Vegvisir_obs.Context.t ->
   unit ->
@@ -59,6 +60,11 @@ val create :
     [knowledge_cache] sets every engine's
     {!Vegvisir_engine.Peer_engine.Config} per-peer knowledge-cache
     capacity (default [0]: disabled, byte-identical legacy behavior).
+
+    [trace_sample] sets every engine's cross-node span-tracing rate
+    (default [0.]: no [Trace_context] frames, no session spans). Sampled
+    sessions emit [session.announce] / [session.serve] {!Vegvisir_obs.Event.Span}
+    events into the fleet's context, stitched by a shared trace id.
 
     [obs] routes block-lifecycle and session telemetry into an
     observability context. When omitted, the agent shares the radio's

@@ -33,6 +33,7 @@ val build :
   ?interval_ms:float ->
   ?stale_after_ms:float ->
   ?session_timeout_ms:float ->
+  ?trace_sample:float ->
   ?tap:Gossip.tap ->
   ?obs:Vegvisir_obs.Context.t ->
   ?signer:signer_kind ->

@@ -43,6 +43,7 @@ let derive reg ev =
   | Event.Recovery_completed { node; blocks; _ } ->
     count reg ~node "store.recovered";
     count_n reg ~node "store.recovered_blocks" blocks
+  | Event.Span { node; _ } -> count reg ~node "span.finished"
 
 let create () =
   let bus = Bus.create () in

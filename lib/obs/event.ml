@@ -50,6 +50,14 @@ type t =
   | Sync_started of { node : node; peer : node }
   | Sync_completed of { node : node; peer : node; pulled : int; served : int }
   | Recovery_completed of { node : node; peer : node; blocks : int }
+  | Span of {
+      node : node;
+      trace : string;
+      span : string;
+      parent : string option;
+      name : string;
+      dur_ms : float;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* String forms                                                         *)
@@ -125,6 +133,7 @@ let subsystem = function
   | Store_loaded _ | Store_saved _ | Sync_started _ | Sync_completed _
   | Recovery_completed _ ->
     "store"
+  | Span _ -> "span"
 
 let primary_node = function
   | Block { node; _ }
@@ -142,7 +151,8 @@ let primary_node = function
   | Store_saved { node; _ }
   | Sync_started { node; _ }
   | Sync_completed { node; _ }
-  | Recovery_completed { node; _ } ->
+  | Recovery_completed { node; _ }
+  | Span { node; _ } ->
     Some node
   | Net_sent { src; _ } | Net_dropped { src; _ } -> Some src
   | Net_delivered { dst; _ } -> Some dst
@@ -169,6 +179,7 @@ let kind = function
   | Sync_started _ -> "sync-started"
   | Sync_completed _ -> "sync-completed"
   | Recovery_completed _ -> "recovered"
+  | Span { name; _ } -> name
 
 (* ------------------------------------------------------------------ *)
 (* Equality                                                             *)
@@ -249,13 +260,19 @@ let equal a b =
   | Recovery_completed a, Recovery_completed b ->
     String.equal a.node b.node && String.equal a.peer b.peer
     && Int.equal a.blocks b.blocks
+  | Span a, Span b ->
+    String.equal a.node b.node && String.equal a.trace b.trace
+    && String.equal a.span b.span
+    && opt_node_equal a.parent b.parent
+    && String.equal a.name b.name
+    && Float.equal a.dur_ms b.dur_ms
   | ( ( Block _ | Block_dropped _ | Block_redundant _ | Blocks_suppressed _
       | Blocks_advertised _ | Net_sent _
       | Net_delivered _ | Net_dropped _ | Partition_changed _
       | Session_started _ | Session_completed _ | Session_aborted _
       | Request_resent _ | Leader_elected _ | Block_archived _
       | Store_loaded _ | Store_saved _ | Sync_started _ | Sync_completed _
-      | Recovery_completed _ ),
+      | Recovery_completed _ | Span _ ),
       _ ) ->
     false
 
@@ -271,22 +288,44 @@ let json_float f =
     let s = Printf.sprintf "%.12g" f in
     if Float.equal (float_of_string s) f then s else Printf.sprintf "%.17g" f
 
-let json_string s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
+(* The escape scanner copies maximal clean runs with [add_substring]
+   instead of walking char by char — on the overwhelmingly common
+   escape-free payload (hex hashes, node ids) a string costs one scan
+   and one blit. Output bytes are identical to the old per-char walk. *)
+let add_escaped b s =
+  let n = String.length s in
+  let needs_escape c =
+    match c with
+    | '"' | '\\' -> true
+    | c -> Char.code c < 0x20
+  in
+  let rec run start j =
+    if j >= n then begin
+      if start < j then Buffer.add_substring b s start (j - start)
+    end
+    else if needs_escape s.[j] then begin
+      if start < j then Buffer.add_substring b s start (j - start);
+      (match s.[j] with
       | '"' -> Buffer.add_string b "\\\""
       | '\\' -> Buffer.add_string b "\\\\"
       | '\n' -> Buffer.add_string b "\\n"
       | '\r' -> Buffer.add_string b "\\r"
       | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
+      | c -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c)));
+      run (j + 1) (j + 1)
+    end
+    else run start (j + 1)
+  in
+  run 0 0
+
+let add_json_string b s =
   Buffer.add_char b '"';
+  add_escaped b s;
+  Buffer.add_char b '"'
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  add_json_string b s;
   Buffer.contents b
 
 type field = S of string | I of int | F of float
@@ -357,27 +396,128 @@ let fields = function
     ]
   | Recovery_completed { node; peer; blocks } ->
     [ ("node", S node); ("peer", S peer); ("blocks", I blocks) ]
+  | Span { node; trace; span; parent; name = _; dur_ms } ->
+    [ ("node", S node); ("trace", S trace); ("span", S span);
+      ("dur_ms", F dur_ms) ]
+    @ (match parent with None -> [] | Some p -> [ ("parent", S p) ])
 
-let to_json ~ts ev =
-  let b = Buffer.create 128 in
+(* The encoder writes each variant's fields straight into the caller's
+   buffer — no per-event assoc list, no per-field string allocation.
+   The key literals below carry their own leading comma/quotes/colon;
+   names and order must stay in lockstep with [fields] above (pp and
+   the decoder share the vocabulary), and the emitted bytes are pinned
+   by the round-trip and same-seed determinism tests. *)
+let add_str b k v =
+  Buffer.add_string b k;
+  add_json_string b v
+
+let add_int b k v =
+  Buffer.add_string b k;
+  Buffer.add_string b (string_of_int v)
+
+let add_float b k v =
+  Buffer.add_string b k;
+  Buffer.add_string b (json_float v)
+
+let add_hash b k v = add_str b k (Hash_id.to_hex v)
+
+let add_opt_peer b = function
+  | None -> ()
+  | Some p -> add_str b ",\"peer\":" p
+
+let add_fields b = function
+  | Block { node; phase = _; block; peer } ->
+    add_str b ",\"node\":" node;
+    add_hash b ",\"block\":" block;
+    add_opt_peer b peer
+  | Block_dropped { node; block } ->
+    add_str b ",\"node\":" node;
+    add_hash b ",\"block\":" block
+  | Block_redundant { node; block; peer } ->
+    add_str b ",\"node\":" node;
+    add_hash b ",\"block\":" block;
+    add_opt_peer b peer
+  | Blocks_suppressed { node; peer; blocks } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer;
+    add_int b ",\"blocks\":" blocks
+  | Blocks_advertised { node; peer; hashes } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer;
+    add_int b ",\"hashes\":" hashes
+  | Net_sent { src; dst; bytes } | Net_delivered { src; dst; bytes } ->
+    add_str b ",\"src\":" src;
+    add_str b ",\"dst\":" dst;
+    add_int b ",\"bytes\":" bytes
+  | Partition_changed { groups } ->
+    add_str b ",\"groups\":" (groups_to_string groups)
+  | Net_dropped { src; dst; bytes; reason } ->
+    add_str b ",\"src\":" src;
+    add_str b ",\"dst\":" dst;
+    add_int b ",\"bytes\":" bytes;
+    add_str b ",\"reason\":" (drop_reason_to_string reason)
+  | Session_started { node; peer; generation } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer;
+    add_int b ",\"gen\":" generation
+  | Session_completed { node; peer; generation; blocks; duration_ms } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer;
+    add_int b ",\"gen\":" generation;
+    add_int b ",\"blocks\":" blocks;
+    add_float b ",\"dur_ms\":" duration_ms
+  | Session_aborted { node; peer; generation; reason } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer;
+    add_int b ",\"gen\":" generation;
+    add_str b ",\"reason\":" (abort_reason_to_string reason)
+  | Request_resent { node; peer; generation; attempt } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer;
+    add_int b ",\"gen\":" generation;
+    add_int b ",\"attempt\":" attempt
+  | Leader_elected { node; term } ->
+    add_str b ",\"node\":" node;
+    add_int b ",\"term\":" term
+  | Block_archived { node; block; index } ->
+    add_str b ",\"node\":" node;
+    add_hash b ",\"block\":" block;
+    add_int b ",\"index\":" index
+  | Store_loaded { node; blocks } | Store_saved { node; blocks } ->
+    add_str b ",\"node\":" node;
+    add_int b ",\"blocks\":" blocks
+  | Sync_started { node; peer } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer
+  | Sync_completed { node; peer; pulled; served } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer;
+    add_int b ",\"pulled\":" pulled;
+    add_int b ",\"served\":" served
+  | Recovery_completed { node; peer; blocks } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"peer\":" peer;
+    add_int b ",\"blocks\":" blocks
+  | Span { node; trace; span; parent; name = _; dur_ms } ->
+    add_str b ",\"node\":" node;
+    add_str b ",\"trace\":" trace;
+    add_str b ",\"span\":" span;
+    add_float b ",\"dur_ms\":" dur_ms;
+    (match parent with None -> () | Some p -> add_str b ",\"parent\":" p)
+
+let to_json_buf b ~ts ev =
   Buffer.add_string b "{\"t\":";
   Buffer.add_string b (json_float ts);
   Buffer.add_string b ",\"sub\":";
-  Buffer.add_string b (json_string (subsystem ev));
+  add_json_string b (subsystem ev);
   Buffer.add_string b ",\"ev\":";
-  Buffer.add_string b (json_string (kind ev));
-  List.iter
-    (fun (k, v) ->
-      Buffer.add_char b ',';
-      Buffer.add_string b (json_string k);
-      Buffer.add_char b ':';
-      Buffer.add_string b
-        (match v with
-        | S s -> json_string s
-        | I i -> string_of_int i
-        | F f -> json_float f))
-    (fields ev);
-  Buffer.add_char b '}';
+  add_json_string b (kind ev);
+  add_fields b ev;
+  Buffer.add_char b '}'
+
+let to_json ~ts ev =
+  let b = Buffer.create 160 in
+  to_json_buf b ~ts ev;
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -641,6 +781,19 @@ let decode assoc =
     | "store", "recovered" ->
       Recovery_completed
         { node = node (); peer = peer (); blocks = int_field "blocks" assoc }
+    | "span", name ->
+      (* The span name is the event kind itself — the vocabulary is
+         open-ended (hosts mint names like "exchange" or "block"), so
+         any name decodes. *)
+      Span
+        {
+          node = node ();
+          trace = field "trace" assoc;
+          span = field "span" assoc;
+          parent = List.assoc_opt "parent" assoc;
+          name;
+          dur_ms = float_field "dur_ms" assoc;
+        }
     | sub, ev -> raise (Bad (Printf.sprintf "unknown event %s/%s" sub ev))
   in
   (ts, ev)

@@ -93,6 +93,23 @@ type t =
   | Recovery_completed of { node : node; peer : node; blocks : int }
       (** a batch ancestry recovery ([vegvisir-cli recover]) restored
           [blocks] missing blocks from [peer]'s store *)
+  | Span of {
+      node : node;
+      trace : string;
+      span : string;
+      parent : string option;
+      name : string;
+      dur_ms : float;
+    }
+      (** one finished span of a distributed trace: [trace] groups the
+          spans of one causal story (an exchange session, one block's
+          propagation) across every daemon that touched it, [span] is
+          this span's identity, [parent] its causal parent when known.
+          Ids are 16-hex-char deterministic derivations (see
+          {!Vegvisir.Reconcile.session_trace_ids}) — no randomness, so
+          same-seed runs journal byte-identical spans. [dur_ms] is [0.]
+          for instant (point-in-time) spans. The span [name] doubles as
+          the event kind. *)
 
 val subsystem : t -> string
 (** ["block"], ["gossip"], ["net"], ["session"], ["cluster"], or
@@ -124,6 +141,12 @@ val block_phase_equal : block_phase -> block_phase -> bool
 val to_json : ts:float -> t -> string
 (** One JSON object (no trailing newline):
     [{"t":…,"sub":…,"ev":…,…fields…}]. *)
+
+val to_json_buf : Buffer.t -> ts:float -> t -> unit
+(** Exactly {!to_json}'s bytes, appended to a caller-supplied buffer —
+    the allocation-free hot path for sinks that journal every event
+    (reuse one buffer across lines instead of materializing a string
+    per event). *)
 
 val of_json : string -> (float * t) option
 (** Total inverse of {!to_json}; [None] on malformed input. *)

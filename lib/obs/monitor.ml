@@ -236,7 +236,7 @@ let observe t ~ts ev =
   | Event.Session_aborted _ | Event.Request_resent _ | Event.Leader_elected _
   | Event.Block_archived _ | Event.Store_loaded _ | Event.Store_saved _
   | Event.Sync_started _ | Event.Sync_completed _ | Event.Recovery_completed _
-    ->
+  | Event.Span _ ->
     ());
   if ts > t.last_ts then t.last_ts <- ts
 

@@ -1,0 +1,94 @@
+(** Distributed spans: typed span trees over the flat event stream.
+
+    A span is one timed (or instant) step of a causal story — an
+    exchange session, one block's propagation — identified by
+    [(trace, span)] with an optional causal [parent]. All ids are
+    deterministic 16-hex-char SHA-256 derivations, so every daemon that
+    touches the same block or session mints the same ids with zero
+    coordination and same-seed runs journal byte-identical span streams.
+
+    Pure (the [span-codec] lint boundary): no clock, no randomness, no
+    IO, no global mutable state. *)
+
+type t = {
+  trace : string;  (** groups the spans of one causal story *)
+  span : string;  (** this span's identity within the trace *)
+  parent : string option;  (** causal parent span, when known *)
+  name : string;  (** e.g. ["session.exchange"], ["block.received"] *)
+  node : string;  (** the daemon/replica that lived this span *)
+  start_ms : float;
+  dur_ms : float;  (** [0.] for instant spans *)
+}
+
+val equal : t -> t -> bool
+
+(** {1 Deterministic identity} *)
+
+val trace_of_block : Vegvisir.Hash_id.t -> string
+(** A block's propagation trace id: the first 16 hex chars of its hash.
+    Every daemon derives it locally — no wire coordination needed. *)
+
+val root_of_trace : string -> string
+(** The root span id of a trace, derived from the trace id alone so
+    creator and downstream daemons agree without exchanging span ids. *)
+
+val derive : trace:string -> node:string -> name:string -> string
+(** A child span id, unique per (trace, node, name). *)
+
+(** {1 Folding events into spans} *)
+
+val of_event : ts:float -> Event.t -> t option
+(** [Event.Span] carries its identity through ([ts] stamps the span's
+    end, so [start_ms = ts - dur_ms]); [Event.Block] phases become
+    instant spans of the block's own trace ([Created] the root, every
+    other phase a child of it); all other events are [None]. *)
+
+val of_events : (float * Event.t) list -> t list
+(** {!of_event} over a timestamped stream, in stream order. *)
+
+(** {1 Live collection}
+
+    A bounded ring of the most recent spans, attachable to a {!Bus} —
+    backs the daemon's [GET /debug/spans]. Per-instance mutable state
+    only. *)
+
+module Collector : sig
+  type span = t
+  type t
+
+  val create : capacity:int -> t
+  (** @raise Invalid_argument if [capacity <= 0]. *)
+
+  val observe : t -> ts:float -> Event.t -> unit
+  (** Retains span-bearing events ([Event.Span], [Event.Block]) and
+      ignores everything else. The hot path is allocation-free: the ring
+      stores the [(ts, event)] pair as-is and defers all span
+      materialisation (including block-span id derivation) to {!spans}. *)
+
+  val sink : t -> Sink.t
+
+  val collected : t -> int
+  (** Total spans ever collected (including overwritten ones). *)
+
+  val dropped : t -> int
+  (** Spans overwritten because the ring was full. *)
+
+  val spans : t -> span list
+  (** Retained spans materialised via {!of_event}, oldest first. *)
+end
+
+(** {1 Rendering} *)
+
+val render_json : t list -> string
+(** A JSON array, one span object per line — the [GET /debug/spans]
+    payload. Fields in fixed order ([trace], [span], optional [parent],
+    [name], [node], [start_ms], [dur_ms]); byte-deterministic. *)
+
+val chrome_trace : t list -> string
+(** One Chrome trace-event JSON document ([{"traceEvents":[…]}]),
+    loadable in Perfetto / [chrome://tracing]: each node becomes a
+    process (with a [process_name] metadata row), each trace a thread
+    within it; spans with a duration are ["X"] complete events, instant
+    spans ["i"] points; timestamps in microseconds. Integer pids/tids
+    are assigned in first-appearance order, so the export is
+    byte-deterministic for a given span list. *)

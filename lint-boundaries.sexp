@@ -49,6 +49,14 @@
   (scope lib/obs/event.ml)
   (forbid clock random io unordered_iter mutates_global))
 
+; The span layer shares the codec's byte-stability contract: span ids,
+; /debug/spans payloads, and Chrome exports must be pure functions of
+; the event stream. The collector's ring is per-instance mutable state,
+; which the analysis correctly distinguishes from global mutation.
+(boundary span-codec
+  (scope lib/obs/span.ml)
+  (forbid clock random io unordered_iter mutates_global))
+
 ; The deadline wheel beneath the event loop: a pure data structure.
 ; The host reads the monotonic clock and passes now_ms in, so replaying
 ; a recorded schedule of (now, event) pairs is bit-for-bit identical.

@@ -691,6 +691,199 @@ let live_health_soak () =
     (take n_dials (normalise labels dials))
     (take n_dials (normalise labels2 dials2))
 
+(* Cross-daemon span tracing + the flight recorder, end to end over real
+   sockets: daemon A (trace_sample 1.0, anti-entropy pointed at B) and
+   daemon B each expose /debug/spans; the parent polls both until one
+   exchange's spans appear on both sides, then asserts the stitch — the
+   same trace id in both processes, with B's serve span (and A's
+   exchange span) parented on the span A announced over the wire.
+   Afterwards: /debug/flight parses as a JSONL dump, the runtime gauges
+   are on /metrics, and SIGQUIT makes A write flight.jsonl without
+   stopping. *)
+
+let json_str_field line name =
+  let key = "\"" ^ name ^ "\":\"" in
+  let n = String.length line and m = String.length key in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = key then begin
+      let stop = ref (i + m) in
+      while !stop < n && line.[!stop] <> '"' do
+        incr stop
+      done;
+      Some (String.sub line (i + m) (!stop - (i + m)))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let span_lines body name =
+  String.split_on_char '\n' body
+  |> List.filter (fun l -> contains l ("\"name\":\"" ^ name ^ "\""))
+
+let daemon_span_stitch_and_flight () =
+  let ca =
+    Result.get_ok
+      (Node_store.init ~dir:(fresh_dir "span-ca") ~seed:"span-ca-seed"
+         ~height:6
+         ~init_crdts:
+           [ ("log", Vegvisir_crdt.Schema.spec Vegvisir_crdt.Schema.Gset
+                Value.T_string) ]
+         ())
+  in
+  let ca_dir = ca.Node_store.dir in
+  let b_dir = fresh_dir "span-b" in
+  let b_store =
+    Result.get_ok
+      (Node_store.enroll ~ca_dir ~dir:b_dir ~seed:"span-b-seed" ~height:4
+         ~role:"member" ())
+  in
+  (* B holds a block A lacks, so sampled exchanges move real data. *)
+  let _ =
+    Result.get_ok
+      (Node_store.append b_store ~crdt:"log" ~op:"add"
+         [ Value.String "from-b" ])
+  in
+  let config =
+    { Event_loop.default_config with Event_loop.trace_sample = 1.0 }
+  in
+  (* Fork one daemon; reports "peer-port metrics-port" over a pipe. *)
+  let spawn dir ~anti_entropy_to =
+    let pr, pw = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.close pr;
+      let rc =
+        match Node_store.load ~dir with
+        | Error _ -> 1
+        | Ok store ->
+          Node_store.buffer_telemetry store true;
+          let loop = Event_loop.create ~store ~config () in
+          (match
+             ( Event_loop.listen_peers loop ~port:0 (),
+               Event_loop.listen_metrics loop ~port:0 () )
+           with
+          | Ok pport, Ok mport ->
+            (match anti_entropy_to with
+            | Some peer ->
+              Event_loop.set_anti_entropy loop ~every_ms:50. ~peers:[ peer ]
+            | None -> ());
+            Unix_compat.install_stop_handler (fun () ->
+                Event_loop.request_stop loop);
+            Unix_compat.install_quit_handler (fun () ->
+                Event_loop.request_flight_dump loop);
+            let msg = Printf.sprintf "%d %d\n" pport mport in
+            ignore (Unix.write_substring pw msg 0 (String.length msg));
+            Unix.close pw;
+            (match Event_loop.run loop with Ok () -> 0 | Error _ -> 1)
+          | _ -> 1)
+      in
+      Unix._exit rc
+    | pid ->
+      Unix.close pw;
+      let line = read_line_fd pr in
+      Unix.close pr;
+      (match String.split_on_char ' ' line with
+      | [ p; m ] -> (pid, int_of_string p, int_of_string m)
+      | _ -> Alcotest.failf "unparseable port report %S" line)
+  in
+  let b_pid, b_pport, b_mport = spawn b_dir ~anti_entropy_to:None in
+  let a_pid, _, a_mport =
+    spawn ca_dir ~anti_entropy_to:(Some ("127.0.0.1", b_pport))
+  in
+  let get port path =
+    match
+      Http_probe.get ~timeout_s:5. ~host:"127.0.0.1" ~port ~path ()
+    with
+    | Ok body -> body
+    | Error e -> Alcotest.failf "GET %s failed: %s" path e
+  in
+  (* Wait until one sampled exchange has landed spans on both sides. *)
+  let deadline = Unix_compat.now () +. 30. in
+  let rec poll () =
+    let a = get a_mport "/debug/spans" and b = get b_mport "/debug/spans" in
+    if
+      span_lines a "session.announce" <> []
+      && span_lines a "session.exchange" <> []
+      && span_lines b "session.serve" <> []
+    then (a, b)
+    else if Unix_compat.now () > deadline then
+      Alcotest.failf "spans never stitched; A: %s B: %s" a b
+    else begin
+      Unix.sleepf 0.05;
+      poll ()
+    end
+  in
+  let a_spans, b_spans = poll () in
+  let announces = span_lines a_spans "session.announce" in
+  let stitches_to_announce line =
+    match (json_str_field line "trace", json_str_field line "parent") with
+    | Some trace, Some parent ->
+      List.exists
+        (fun an ->
+          json_str_field an "trace" = Some trace
+          && json_str_field an "span" = Some parent)
+        announces
+    | (None | Some _), (None | Some _) -> false
+  in
+  (* The runtime stitch: B's serve spans and A's exchange spans carry
+     the same trace id A announced, parented on the announced span. *)
+  check_b "every serve span stitches under an announce" true
+    (List.for_all stitches_to_announce (span_lines b_spans "session.serve"));
+  check_b "every exchange span stitches under an announce" true
+    (List.for_all stitches_to_announce (span_lines a_spans "session.exchange"));
+  (* /debug/flight is a parseable JSONL dump: header, journal-decodable
+     body lines, one-line registry trailer. *)
+  let flight = get a_mport "/debug/flight" in
+  (match String.split_on_char '\n' flight with
+  | header :: rest when contains header {|{"flight":{"capacity":|} ->
+    let body =
+      List.filter (fun l -> l <> "" && not (contains l {|{"registry":|})) rest
+    in
+    check_b "flight body lines decode as events" true
+      (body <> []
+      && List.for_all
+           (fun l -> Vegvisir_obs.Event.of_json l <> None)
+           body);
+    check_b "registry trailer present" true
+      (List.exists (fun l -> contains l {|{"registry":|}) rest)
+  | _ -> Alcotest.failf "unexpected flight dump: %s" flight);
+  (* Runtime gauges ride the same registry as everything else. *)
+  let metrics = get a_mport "/metrics" in
+  check_b "gc gauges" true
+    (contains metrics "vegvisir_gc_minor_collections"
+    && contains metrics "vegvisir_gc_heap_words");
+  check_b "fd gauge" true (contains metrics "vegvisir_fds_open");
+  check_b "timer depth gauge" true (contains metrics "vegvisir_loop_timer_depth");
+  (* SIGQUIT: the daemon dumps its flight ring to disk and keeps
+     serving. *)
+  let flight_file = Filename.concat ca_dir "flight.jsonl" in
+  check_b "no dump before SIGQUIT" false (Sys.file_exists flight_file);
+  Unix.kill a_pid Sys.sigquit;
+  let deadline = Unix_compat.now () +. 10. in
+  let rec wait_dump () =
+    if Sys.file_exists flight_file then ()
+    else if Unix_compat.now () > deadline then
+      Alcotest.fail "SIGQUIT produced no flight.jsonl"
+    else begin
+      Unix.sleepf 0.05;
+      wait_dump ()
+    end
+  in
+  wait_dump ();
+  let dumped = In_channel.with_open_bin flight_file In_channel.input_all in
+  check_b "dump has the flight header" true
+    (contains dumped {|{"flight":{"capacity":|});
+  check_b "dump carries the registry" true (contains dumped {|{"registry":|});
+  check_b "daemon survives SIGQUIT" true
+    (String.length (get a_mport "/health") > 0);
+  List.iter (fun pid -> Unix.kill pid Sys.sigint) [ a_pid; b_pid ];
+  List.iter
+    (fun pid ->
+      let _, status = Unix.waitpid [] pid in
+      check_b "daemon drained cleanly" true (status = Unix.WEXITED 0))
+    [ a_pid; b_pid ]
+
 (* Timer wheel edge cases: the determinism contract the event loop's
    anti-entropy scheduler leans on (same deadline feed, same firing
    order) exercised at its boundaries. *)
@@ -848,5 +1041,7 @@ let () =
           Alcotest.test_case "64-session soak" `Slow daemon_soak;
           Alcotest.test_case "live health + scoreboard dialing" `Slow
             live_health_soak;
+          Alcotest.test_case "cross-daemon span stitch + flight recorder"
+            `Slow daemon_span_stitch_and_flight;
         ] );
     ]

@@ -620,6 +620,9 @@ let reconcile_message_roundtrip () =
               };
             ];
         };
+      Reconcile.Trace_context
+        { trace = "f93a1d00c4b2e871"; span = "0102aabbccddeeff" };
+      Reconcile.Trace_context { trace = ""; span = "" };
     ]
   in
   List.iter
@@ -631,6 +634,44 @@ let reconcile_message_roundtrip () =
       check_b "message roundtrip" true (Reconcile.message_equal m m');
       check_i "message_size" (Buffer.length b) (Reconcile.message_size m))
     msgs
+
+let reconcile_trace_identity () =
+  let initiator = Hash_id.digest "initiator-a" in
+  let trace, span = Reconcile.session_trace_ids ~initiator ~generation:7 in
+  let trace', span' = Reconcile.session_trace_ids ~initiator ~generation:7 in
+  check_b "ids deterministic" true
+    (String.equal trace trace' && String.equal span span');
+  check_i "trace id is 16 hex chars" 16 (String.length trace);
+  check_i "span id is 16 hex chars" 16 (String.length span);
+  check_b "hex alphabet" true
+    (String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       (trace ^ span));
+  let trace2, _ = Reconcile.session_trace_ids ~initiator ~generation:8 in
+  check_b "generation changes the trace id" false (String.equal trace trace2);
+  let other, _ =
+    Reconcile.session_trace_ids
+      ~initiator:(Hash_id.digest "initiator-b")
+      ~generation:7
+  in
+  check_b "initiator changes the trace id" false (String.equal trace other);
+  check_b "rate 0 never samples" false
+    (Reconcile.trace_sampled ~initiator ~generation:7 ~rate:0.);
+  check_b "rate 1 always samples" true
+    (Reconcile.trace_sampled ~initiator ~generation:7 ~rate:1.);
+  (* The decision is a deterministic hash threshold, so it is stable
+     across calls and monotone in the rate. *)
+  let d = Reconcile.trace_sampled ~initiator ~generation:7 ~rate:0.5 in
+  check_b "sampling deterministic" true
+    (Bool.equal d (Reconcile.trace_sampled ~initiator ~generation:7 ~rate:0.5));
+  if d then
+    check_b "monotone in rate" true
+      (Reconcile.trace_sampled ~initiator ~generation:7 ~rate:0.9);
+  let kept = ref 0 in
+  for g = 0 to 999 do
+    if Reconcile.trace_sampled ~initiator ~generation:g ~rate:0.5 then incr kept
+  done;
+  check_b "rate 0.5 keeps roughly half" true (!kept > 350 && !kept < 650)
 
 let reconcile_modes_converge () =
   let dag, _, _, _, _ = diamond () in
@@ -1347,7 +1388,7 @@ let qcheck_tests =
           { lo = rint 100; hi = rint 100; hashes = rhashes () }
         in
         let msg =
-          match rint 10 with
+          match rint 11 with
           | 0 -> Reconcile.Frontier_request { level = rint 1000 }
           | 1 ->
             Reconcile.Frontier_reply { level = rint 1000; blocks = rblocks () }
@@ -1366,11 +1407,17 @@ let qcheck_tests =
                 upto = rint 1000;
                 intervals = List.init (rint 4) (fun _ -> rinterval ());
               }
-          | _ ->
+          | 9 ->
             Reconcile.Digest_reply
               {
                 splits = List.init (rint 3) (fun _ -> rinterval ());
                 leaves = List.init (rint 3) (fun _ -> rleaf ());
+              }
+          | _ ->
+            Reconcile.Trace_context
+              {
+                trace = Vegvisir_crypto.Rng.bytes rng (rint 24);
+                span = Vegvisir_crypto.Rng.bytes rng (rint 24);
               }
         in
         let b = Buffer.create 64 in
@@ -1456,6 +1503,7 @@ let () =
       ( "reconcile",
         [
           Alcotest.test_case "message roundtrip" `Quick reconcile_message_roundtrip;
+          Alcotest.test_case "trace identity" `Quick reconcile_trace_identity;
           Alcotest.test_case "modes converge" `Quick reconcile_modes_converge;
           Alcotest.test_case "escalation depth" `Quick reconcile_escalation_depth;
           Alcotest.test_case "respond ignores replies" `Quick reconcile_respond_ignores_replies;

@@ -152,7 +152,9 @@ let scripted_pull ?(mode = Reconcile.Naive) ?(mangle = fun ~round:_ frames -> fr
           | Peer_engine.Session_completed _ | Peer_engine.Request_suppressed _
           | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
           | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
-          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _
+          | Peer_engine.Trace_context_sent _
+          | Peer_engine.Trace_context_received _ ->
             ())
         | Peer_engine.Send _ | Peer_engine.Set_timer _ -> ())
       effs;
@@ -227,7 +229,9 @@ let has_resent events =
       | Peer_engine.Session_aborted _ | Peer_engine.Request_suppressed _
       | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
       | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
-          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _
+          | Peer_engine.Trace_context_sent _
+          | Peer_engine.Trace_context_received _ ->
         false)
     events
 
@@ -257,7 +261,9 @@ let duplicated_replies_ignored () =
          | Peer_engine.Session_completed _ | Peer_engine.Session_aborted _
          | Peer_engine.Request_suppressed _ | Peer_engine.Decode_failed _
          | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
-          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _
+          | Peer_engine.Trace_context_sent _
+          | Peer_engine.Trace_context_received _ ->
            false)
        o.events)
 
@@ -297,7 +303,9 @@ let garbage_frame_traced () =
          | Peer_engine.Session_completed _ | Peer_engine.Session_aborted _
          | Peer_engine.Request_suppressed _ | Peer_engine.Reply_ignored _
          | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
-          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _
+          | Peer_engine.Trace_context_sent _
+          | Peer_engine.Trace_context_received _ ->
            false)
        o.events)
 
@@ -320,7 +328,9 @@ let retry_exhaustion_aborts () =
            | Peer_engine.Session_aborted _ | Peer_engine.Request_suppressed _
            | Peer_engine.Reply_ignored _ | Peer_engine.Decode_failed _
            | Peer_engine.Blocks_served _ | Peer_engine.Redundant_received _
-          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _ ->
+          | Peer_engine.Blocks_suppressed _ | Peer_engine.Peer_advertised _
+          | Peer_engine.Trace_context_sent _
+          | Peer_engine.Trace_context_received _ ->
              false)
          o.events)
   in

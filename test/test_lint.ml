@@ -99,6 +99,15 @@ let test_unordered_iteration () =
   check_silent ~rule:"no-unordered-iteration" "lib/core/sync_strategy.ml"
     "let f h = Hashtbl.to_seq h (* lint: allow no-unordered-iteration \
      \xe2\x80\x94 fixture *)";
+  (* Span ids and flight dumps must render byte-identically: hash-order
+     iteration in either would break same-seed determinism. *)
+  check_fires "no-unordered-iteration" "lib/obs/span.ml"
+    "let f h = Hashtbl.fold (fun _ v acc -> v :: acc) h []";
+  check_fires "no-unordered-iteration" "lib/obs/flight.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h";
+  check_silent ~rule:"no-unordered-iteration" "lib/obs/span.ml"
+    "let f h = Hashtbl.iter (fun _ _ -> ()) h (* lint: allow \
+     no-unordered-iteration \xe2\x80\x94 fixture *)";
   (* Order-insensitive modules may use hash tables freely. *)
   check_silent ~rule:"no-unordered-iteration" "lib/core/dag.ml"
     "let f h = Hashtbl.iter (fun _ _ -> ()) h";
@@ -187,6 +196,15 @@ let test_printf_outside_obs () =
   check_fires "no-printf-outside-obs" "lib/obs/health.ml"
     {|let f () = Printf.printf "%d" 1|};
   check_silent ~rule:"no-printf-outside-obs" "lib/obs/health.ml"
+    "let f s = print_string s (* lint: allow no-printf-outside-obs \
+     \xe2\x80\x94 fixture *)";
+  (* ...likewise the span layer and flight recorder: dumps are strings
+     the caller writes, never direct prints. *)
+  check_fires "no-printf-outside-obs" "lib/obs/span.ml"
+    {|let f () = print_string "{\"trace\":1}"|};
+  check_fires "no-printf-outside-obs" "lib/obs/flight.ml"
+    {|let f () = Printf.printf "%d events" 3|};
+  check_silent ~rule:"no-printf-outside-obs" "lib/obs/flight.ml"
     "let f s = print_string s (* lint: allow no-printf-outside-obs \
      \xe2\x80\x94 fixture *)";
   (* lib/engine console writes are engine-transport-purity's finding. *)
@@ -448,6 +466,50 @@ let test_parallel_safety () =
     "let table : (string, int) Hashtbl.t = Hashtbl.create 8\n\
      let lookup k = Hashtbl.find_opt table k\n"
 
+(* The span-codec boundary shipped with the span layer: lib/obs/span.ml
+   must stay pure (no clock, no randomness, no io, no unordered
+   iteration, no global mutable state) so span ids are deterministic and
+   same-seed runs journal byte-identical span streams. *)
+let test_span_codec_boundary () =
+  let manifest =
+    ( "lint-boundaries.sexp",
+      "(boundary span-codec (scope lib/obs/span.ml) (forbid clock random io \
+       unordered_iter mutates_global))\n" )
+  in
+  let span_findings src =
+    find_rule "boundary-purity" (project ~manifest [ ("lib/obs/span.ml", src) ])
+  in
+  (* Silent: pure derivation code. *)
+  Alcotest.(check int)
+    "pure span code passes" 0
+    (List.length (span_findings "let derive a b = a ^ \":\" ^ b\n"));
+  (* Fires: each forbidden effect class, at the entry point. *)
+  List.iter
+    (fun (label, src) ->
+      Alcotest.(check bool) (label ^ " fires in span.ml") true
+        (span_findings src <> []))
+    [
+      ("clock", "let now_span () = Unix.gettimeofday ()\n");
+      ("random", "let random_id () = Random.bits ()\n");
+      ("io", "let dump s = print_string s\n");
+      ("unordered_iter", "let walk h = Hashtbl.iter (fun _ _ -> ()) h\n");
+      ("mutates_global", "let seq = ref 0\nlet next () = incr seq; !seq\n");
+    ];
+  (* The scope is the one file: a sibling obs module is untouched. *)
+  Alcotest.(check int)
+    "sibling obs file out of scope" 0
+    (List.length
+       (find_rule "boundary-purity"
+          (project ~manifest
+             [ ("lib/obs/other.ml", "let now () = Unix.gettimeofday ()\n") ])));
+  (* A reasoned suppression at the entry point is honoured. *)
+  Alcotest.(check int)
+    "suppression honoured" 0
+    (List.length
+       (span_findings
+          "(* lint: allow boundary-purity \xe2\x80\x94 fixture *)\n\
+           let dump s = print_string s\n"))
+
 let test_baseline () =
   (* A baselined finding disappears; the baseline's own diagnostics
      surface as lint-baseline findings. *)
@@ -613,6 +675,8 @@ let () =
             test_fixpoint_mutual_recursion;
           Alcotest.test_case "manifest errors" `Quick test_manifest_errors;
           Alcotest.test_case "parallel safety" `Quick test_parallel_safety;
+          Alcotest.test_case "span-codec boundary" `Quick
+            test_span_codec_boundary;
           Alcotest.test_case "baseline" `Quick test_baseline;
         ] );
     ]

@@ -55,6 +55,24 @@ let all_events =
       Partition_changed { groups = Some [ 0; 0; 1; 1 ] };
       Partition_changed { groups = None };
       Recovery_completed { node = "ab12cd34"; peer = "remote"; blocks = 4 };
+      Span
+        {
+          node = "0";
+          trace = "aabbccddeeff0011";
+          span = "1122334455667788";
+          parent = None;
+          name = "session.announce";
+          dur_ms = 0.;
+        };
+      Span
+        {
+          node = "1";
+          trace = "aabbccddeeff0011";
+          span = "8877665544332211";
+          parent = Some "1122334455667788";
+          name = "session.exchange";
+          dur_ms = 12.5;
+        };
     ]
 
 let jsonl_roundtrip () =
@@ -209,6 +227,223 @@ let trace_queries () =
   check_b "render mentions created" true (contains rendered "created")
 
 (* ------------------------------------------------------------------ *)
+(* Spans: deterministic ids, event folding, collector, exporters        *)
+
+let span_identity_deterministic () =
+  let b = h "span-block" in
+  let trace = Span.trace_of_block b in
+  check_i "trace id is 16 hex chars" 16 (String.length trace);
+  check_s "trace = hash prefix" (String.sub (V.Hash_id.to_hex b) 0 16) trace;
+  check_s "root stable" (Span.root_of_trace trace) (Span.root_of_trace trace);
+  check_s "derive stable"
+    (Span.derive ~trace ~node:"0" ~name:"block.received")
+    (Span.derive ~trace ~node:"0" ~name:"block.received");
+  check_b "derive keyed by node" true
+    (not
+       (String.equal
+          (Span.derive ~trace ~node:"0" ~name:"block.received")
+          (Span.derive ~trace ~node:"1" ~name:"block.received")))
+
+let span_of_event_fold () =
+  let b = h "fold-block" in
+  let trace = Span.trace_of_block b in
+  let root = Span.root_of_trace trace in
+  (match
+     Span.of_event ~ts:5.
+       (Event.Block { node = "0"; phase = Event.Created; block = b; peer = None })
+   with
+  | Some s ->
+    check_s "created trace" trace s.Span.trace;
+    check_s "created is the root" root s.Span.span;
+    check_b "root has no parent" true (s.Span.parent = None);
+    check_s "created name" "block.created" s.Span.name;
+    check_f "instant" 0. s.Span.dur_ms
+  | None -> Alcotest.fail "Created must fold to a span");
+  (match
+     Span.of_event ~ts:9.
+       (Event.Block
+          { node = "1"; phase = Event.Received; block = b; peer = Some "0" })
+   with
+  | Some s ->
+    check_s "child trace" trace s.Span.trace;
+    check_s "child parent is the root" root (Option.get s.Span.parent);
+    check_s "child id derived"
+      (Span.derive ~trace ~node:"1" ~name:"block.received")
+      s.Span.span
+  | None -> Alcotest.fail "Received must fold to a span");
+  (* An explicit Span event passes its identity through; ts stamps the
+     end, so the start backs off by the duration. *)
+  (match
+     Span.of_event ~ts:20.
+       (Event.Span
+          {
+            node = "0";
+            trace;
+            span = "0011223344556677";
+            parent = Some root;
+            name = "session.exchange";
+            dur_ms = 12.;
+          })
+   with
+  | Some s ->
+    check_f "start = ts - dur" 8. s.Span.start_ms;
+    check_f "duration carried" 12. s.Span.dur_ms
+  | None -> Alcotest.fail "Span event must fold to a span");
+  check_b "non-lifecycle events fold to None" true
+    (Span.of_event ~ts:1. (Event.Net_sent { src = "0"; dst = "1"; bytes = 1 })
+     = None
+    && Span.of_event ~ts:1.
+         (Event.Session_started { node = "0"; peer = "1"; generation = 1 })
+       = None)
+
+(* Property: a capacity-bounded collector fed event by event always
+   holds exactly the last [capacity] spans of the of_events oracle. *)
+let span_collector_matches_oracle =
+  QCheck.Test.make ~count:200 ~name:"span collector = of_events oracle suffix"
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size Gen.(int_range 0 60) (pair (int_bound 3) (int_bound 6))))
+    (fun (cap, ops) ->
+      let blocks = Array.init 4 (fun i -> h (Printf.sprintf "sp-%d" i)) in
+      let ev_of (b, k) =
+        let block = blocks.(b) in
+        let trace = Span.trace_of_block block in
+        match k with
+        | 0 ->
+          Event.Block { node = "0"; phase = Event.Created; block; peer = None }
+        | 1 ->
+          Event.Block
+            { node = "1"; phase = Event.Received; block; peer = Some "0" }
+        | 2 ->
+          Event.Block
+            { node = "1"; phase = Event.Delivered; block; peer = None }
+        | 3 -> Event.Net_sent { src = "0"; dst = "1"; bytes = 1 }
+        | 4 -> Event.Session_started { node = "0"; peer = "1"; generation = b }
+        | 5 ->
+          Event.Span
+            {
+              node = "0";
+              trace;
+              span = Span.derive ~trace ~node:"0" ~name:"session.exchange";
+              parent = Some (Span.root_of_trace trace);
+              name = "session.exchange";
+              dur_ms = 3.5;
+            }
+        | _ ->
+          Event.Block
+            { node = "0"; phase = Event.Witnessed; block; peer = Some "w" }
+      in
+      let events = List.mapi (fun i op -> (float_of_int i, ev_of op)) ops in
+      let oracle = Span.of_events events in
+      let skip = List.length oracle - min cap (List.length oracle) in
+      let expected = List.filteri (fun i _ -> i >= skip) oracle in
+      let c = Span.Collector.create ~capacity:cap in
+      List.iter (fun (ts, ev) -> Span.Collector.observe c ~ts ev) events;
+      let got = Span.Collector.spans c in
+      Span.Collector.collected c = List.length oracle
+      && Span.Collector.dropped c = skip
+      && List.length got = List.length expected
+      && List.for_all2 Span.equal got expected)
+
+let span_render_json_shape () =
+  let b = h "render-block" in
+  let spans =
+    Span.of_events
+      [
+        (1., Event.Block { node = "0"; phase = Event.Created; block = b; peer = None });
+        (2., Event.Block { node = "1"; phase = Event.Received; block = b; peer = Some "0" });
+      ]
+  in
+  let body = Span.render_json spans in
+  check_s "deterministic" body (Span.render_json spans);
+  check_b "array shape" true
+    (String.length body > 2
+    && Char.equal body.[0] '['
+    && String.equal (String.sub body (String.length body - 3) 3) "\n]\n");
+  check_b "carries the trace id" true (contains body (Span.trace_of_block b));
+  check_b "parent only on children" true (contains body {|"parent":|});
+  check_s "empty list still valid" "[\n]\n" (Span.render_json [])
+
+let span_chrome_export () =
+  let b = h "chrome-block" in
+  let trace = Span.trace_of_block b in
+  let spans =
+    Span.of_events
+      [
+        (1., Event.Block { node = "0"; phase = Event.Created; block = b; peer = None });
+        (2., Event.Block { node = "1"; phase = Event.Received; block = b; peer = Some "0" });
+        ( 5.,
+          Event.Span
+            {
+              node = "0";
+              trace;
+              span = Span.derive ~trace ~node:"0" ~name:"session.exchange";
+              parent = Some (Span.root_of_trace trace);
+              name = "session.exchange";
+              dur_ms = 4.;
+            } );
+      ]
+  in
+  check_i "three spans" 3 (List.length spans);
+  let doc = Span.chrome_trace spans in
+  check_s "deterministic" doc (Span.chrome_trace spans);
+  check_b "traceEvents envelope" true
+    (String.length doc > 16 && String.equal (String.sub doc 0 16) {|{"traceEvents":[|});
+  check_b "process metadata rows" true
+    (contains doc {|"name":"process_name"|}
+    && contains doc {|"args":{"name":"node 0"}|}
+    && contains doc {|"args":{"name":"node 1"}|});
+  check_b "instant events" true (contains doc {|"ph":"i"|} && contains doc {|"s":"p"|});
+  check_b "complete event with µs duration" true
+    (contains doc {|"ph":"X"|} && contains doc {|"dur":4000.0|});
+  (* Cheap well-formedness proxy: every brace/bracket balances (no
+     braces ever appear inside our string payloads). *)
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      (match c with
+      | '{' | '[' -> incr depth
+      | '}' | ']' -> decr depth
+      | _ -> ());
+      if !depth < 0 then ok := false)
+    doc;
+  check_b "balanced json" true (!ok && !depth = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+
+let flight_dump_format () =
+  let f = Flight.create ~capacity:2 () in
+  List.iteri
+    (fun i ev -> Flight.record f ~ts:(float_of_int i) ev)
+    [
+      Event.Net_sent { src = "0"; dst = "1"; bytes = 1 };
+      Event.Leader_elected { node = "2"; term = 4 };
+      Event.Store_saved { node = "ab"; blocks = 9 };
+    ];
+  check_i "recorded" 3 (Flight.recorded f);
+  check_i "dropped" 1 (Flight.dropped f);
+  let reg = Registry.create () in
+  Registry.add (Registry.counter reg ~node:"0" "sess") 2;
+  let dump = Flight.dump f ~snapshot:(Registry.snapshot reg) in
+  match String.split_on_char '\n' dump with
+  | [ header; e1; e2; registry; "" ] ->
+    check_s "header"
+      {|{"flight":{"capacity":2,"recorded":3,"dropped":1}}|} header;
+    (* The body lines are plain journal lines: standard tooling decodes
+       them unchanged, oldest first. *)
+    (match List.filter_map Event.of_json [ e1; e2 ] with
+    | [ (t1, Event.Leader_elected _); (t2, Event.Store_saved _) ] ->
+      check_f "oldest retained first" 1. t1;
+      check_f "newest last" 2. t2
+    | _ -> Alcotest.fail "flight body lines must decode as journal events");
+    check_b "registry snapshot on one line" true
+      (String.length registry > 12
+      && String.equal (String.sub registry 0 12) {|{"registry":|}
+      && contains registry "sess")
+  | _ -> Alcotest.failf "unexpected dump shape: %s" dump
+
+(* ------------------------------------------------------------------ *)
 (* Fleet integration: stitching and byte-level determinism              *)
 
 let run_fleet ?jsonl_into ?attach ~seed until_ms =
@@ -260,6 +495,70 @@ let two_node_stitching () =
   check_b "delivered counter populated" true
     (Registry.total reg "block.delivered" > 0);
   check_b "sessions completed" true (Registry.total reg "session.completed" > 0)
+
+(* With sampling on, a simulated fleet's initiators announce their trace
+   context over the wire and responders stitch under it: both sides of a
+   session share one trace id, and the serve span parents on the
+   announced span. *)
+let fleet_trace_sampling () =
+  let run seed =
+    let obs = Context.create () in
+    let coll = Span.Collector.create ~capacity:4096 in
+    Context.attach obs (Span.Collector.sink coll);
+    let fleet =
+      Net.Scenario.build ~seed ~obs ~trace_sample:1.0
+        ~topo:(Net.Topology.clique ~n:2) ()
+    in
+    (match
+       ( Net.Gossip.append fleet.Net.Scenario.gossip 0 [],
+         Net.Gossip.append fleet.Net.Scenario.gossip 1 [] )
+     with
+    | Ok _, Ok _ -> ()
+    | (Error _, _ | _, Error _) -> Alcotest.fail "fixture append failed");
+    Net.Scenario.run fleet ~until_ms:30_000.;
+    Span.Collector.spans coll
+  in
+  let spans = run 404L in
+  let announces =
+    List.filter (fun s -> String.equal s.Span.name "session.announce") spans
+  in
+  let serves =
+    List.filter (fun s -> String.equal s.Span.name "session.serve") spans
+  in
+  check_b "announce spans emitted" true (announces <> []);
+  check_b "serve spans emitted" true (serves <> []);
+  List.iter
+    (fun (sv : Span.t) ->
+      match
+        List.find_opt
+          (fun (an : Span.t) -> String.equal an.Span.trace sv.Span.trace)
+          announces
+      with
+      | None -> Alcotest.fail "serve span without a matching announce"
+      | Some an ->
+        check_b "stitch crosses nodes" true
+          (not (String.equal an.Span.node sv.Span.node));
+        check_s "serve parents on the announced span" an.Span.span
+          (Option.get sv.Span.parent))
+    serves;
+  (* Ids are hash-derived, never random: the same seed reproduces the
+     span stream byte for byte. *)
+  check_s "same seed, identical span ids" (Span.render_json spans)
+    (Span.render_json (run 404L));
+  check_b "sampling off emits no session spans" true
+    (let obs = Context.create () in
+     let coll = Span.Collector.create ~capacity:4096 in
+     Context.attach obs (Span.Collector.sink coll);
+     let fleet =
+       Net.Scenario.build ~seed:404L ~obs ~topo:(Net.Topology.clique ~n:2) ()
+     in
+     Net.Scenario.run fleet ~until_ms:10_000.;
+     List.for_all
+       (fun (s : Span.t) ->
+         not
+           (String.equal s.Span.name "session.announce"
+           || String.equal s.Span.name "session.serve"))
+       (Span.Collector.spans coll))
 
 let same_seed_identical_trace () =
   let run () =
@@ -634,10 +933,23 @@ let () =
         ] );
       ( "trace",
         [ Alcotest.test_case "span queries" `Quick trace_queries ] );
+      ( "span",
+        [
+          Alcotest.test_case "deterministic identity" `Quick
+            span_identity_deterministic;
+          Alcotest.test_case "event fold" `Quick span_of_event_fold;
+          Alcotest.test_case "render_json shape" `Quick span_render_json_shape;
+          Alcotest.test_case "chrome export" `Quick span_chrome_export;
+          QCheck_alcotest.to_alcotest span_collector_matches_oracle;
+        ] );
+      ( "flight",
+        [ Alcotest.test_case "dump format" `Quick flight_dump_format ] );
       ( "fleet",
         [
           Alcotest.test_case "two-node span stitching" `Quick
             two_node_stitching;
+          Alcotest.test_case "trace sampling stitches sessions" `Quick
+            fleet_trace_sampling;
           Alcotest.test_case "same seed, identical trace bytes" `Quick
             same_seed_identical_trace;
         ] );
